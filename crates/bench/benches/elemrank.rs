@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the ElemRank computation (E1 companion):
+//! power-iteration throughput on the two dataset shapes and the formula
+//! variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xrank_bench::{fixture, BenchConfig, DatasetKind};
+use xrank_graph::{Collection, CollectionBuilder};
+use xrank_rank::{compute, elem_rank, ElemRankParams, RankVariant};
+
+fn build(dataset: DatasetKind) -> Collection {
+    let config = BenchConfig { plant: None, ..BenchConfig::space(dataset) };
+    let ds = fixture::generate_dataset(&config);
+    let mut b = CollectionBuilder::new();
+    for (uri, xml) in &ds.docs {
+        b.add_xml_str(uri, xml).unwrap();
+    }
+    b.build()
+}
+
+fn bench_elemrank(c: &mut Criterion) {
+    let dblp = build(DatasetKind::Dblp { publications: 4000 });
+    let xmark = build(DatasetKind::Xmark { scale: 1.0 });
+    let mut g = c.benchmark_group("elemrank");
+    g.sample_size(10);
+    g.bench_function("final/dblp-4k", |b| {
+        b.iter(|| black_box(elem_rank(&dblp, &ElemRankParams::default())))
+    });
+    g.bench_function("final/xmark-1.0", |b| {
+        b.iter(|| black_box(elem_rank(&xmark, &ElemRankParams::default())))
+    });
+    g.bench_function("pagerank-adapted/dblp-4k", |b| {
+        b.iter(|| black_box(compute(&dblp, RankVariant::PageRankAdapted { d: 0.85 })))
+    });
+    g.bench_function("bidirectional/dblp-4k", |b| {
+        b.iter(|| black_box(compute(&dblp, RankVariant::Bidirectional { d: 0.85 })))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_elemrank);
+criterion_main!(benches);

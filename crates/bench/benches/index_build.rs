@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for index construction (Table 1 companion):
+//! bulk-build throughput of each index structure over the same posting
+//! data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xrank_bench::{fixture, BenchConfig, DatasetKind};
+use xrank_graph::CollectionBuilder;
+use xrank_index::{
+    direct_postings, naive_postings, DilIndex, HdilIndex, NaiveIdIndex, NaiveRankIndex,
+    RdilIndex,
+};
+use xrank_rank::{elem_rank, ElemRankParams};
+use xrank_storage::{BufferPool, MemStore};
+
+fn bench_index_build(c: &mut Criterion) {
+    let config = BenchConfig { plant: None, ..BenchConfig::space(DatasetKind::Dblp { publications: 4000 }) };
+    let ds = fixture::generate_dataset(&config);
+    let mut b = CollectionBuilder::new();
+    for (uri, xml) in &ds.docs {
+        b.add_xml_str(uri, xml).unwrap();
+    }
+    let collection = b.build();
+    let ranks = elem_rank(&collection, &ElemRankParams::default());
+    let direct = direct_postings(&collection, &ranks.scores);
+    let naive = naive_postings(&collection, &ranks.scores);
+
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("dil/dblp-4k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(MemStore::new(), 1024);
+            black_box(DilIndex::build(&mut pool, &direct))
+        })
+    });
+    g.bench_function("rdil/dblp-4k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(MemStore::new(), 1024);
+            black_box(RdilIndex::build(&mut pool, &direct))
+        })
+    });
+    g.bench_function("hdil/dblp-4k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(MemStore::new(), 1024);
+            black_box(HdilIndex::build(&mut pool, &direct))
+        })
+    });
+    g.bench_function("naive-id/dblp-4k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(MemStore::new(), 1024);
+            black_box(NaiveIdIndex::build(&mut pool, &naive))
+        })
+    });
+    g.bench_function("naive-rank/dblp-4k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(MemStore::new(), 1024);
+            black_box(NaiveRankIndex::build(&mut pool, &naive))
+        })
+    });
+    g.bench_function("extract-direct/dblp-4k", |b| {
+        b.iter(|| black_box(direct_postings(&collection, &ranks.scores)))
+    });
+    g.bench_function("extract-naive/dblp-4k", |b| {
+        b.iter(|| black_box(naive_postings(&collection, &ranks.scores)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmarks for query evaluation (Figure 10/11
+//! companions): wall-clock per query for each approach under both
+//! correlation regimes, at a fixed small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xrank_bench::{Approach, BenchConfig, DatasetKind, Workbench};
+use xrank_datagen::workload::{query, Correlation};
+
+fn bench_queries(c: &mut Criterion) {
+    let config = BenchConfig::standard(DatasetKind::Dblp { publications: 8000 });
+    let mut bench = Workbench::build(config);
+
+    let mut g = c.benchmark_group("query_eval");
+    g.sample_size(20);
+    for correlation in [Correlation::High, Correlation::Low] {
+        let corr_label = match correlation {
+            Correlation::High => "high",
+            Correlation::Low => "low",
+        };
+        let terms = bench.resolve(&query(correlation, 0, 2));
+        for approach in Approach::ALL {
+            g.bench_function(format!("{corr_label}/{}/2kw", approach.label()), |b| {
+                b.iter(|| black_box(bench.run(approach, &terms, 10)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the substrates: Dewey codec, B+-tree
+//! probes, XML parsing, tokenization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xrank_dewey::{codec, DeweyId};
+use xrank_storage::btree::SortedKv;
+use xrank_storage::{BufferPool, MemStore};
+
+fn bench_dewey_codec(c: &mut Criterion) {
+    let ids: Vec<DeweyId> = (0..1000u32)
+        .map(|i| DeweyId::from([i % 64, 0, i % 9, i % 31, i % 5, i % 300]))
+        .collect();
+    let encoded: Vec<Vec<u8>> = ids.iter().map(codec::encode_id).collect();
+
+    let mut g = c.benchmark_group("dewey");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("encode-1k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(16);
+            for id in &ids {
+                buf.clear();
+                codec::encode_id_into(id, &mut buf);
+                black_box(&buf);
+            }
+        })
+    });
+    g.bench_function("decode-1k", |b| {
+        b.iter(|| {
+            for e in &encoded {
+                black_box(codec::decode_id(e).unwrap());
+            }
+        })
+    });
+    g.bench_function("compare-encoded-1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in encoded.windows(2) {
+                if w[0] < w[1] {
+                    acc += 1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_btree_probe(c: &mut Criterion) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 16);
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..200_000u32)
+        .map(|i| (codec::encode_id(&DeweyId::from([i >> 10, 0, i & 1023])), vec![0u8; 8]))
+        .collect();
+    let tree = SortedKv::build(&mut pool, &entries).unwrap();
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("lowest_geq/200k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % 200_000;
+            let key = codec::encode_id(&DeweyId::from([i >> 10, 0, i & 1023]));
+            black_box(tree.lowest_geq(&mut pool, &key))
+        })
+    });
+    g.finish();
+}
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let ds = xrank_datagen::xmark::generate(&xrank_datagen::xmark::XmarkConfig {
+        scale: 0.2,
+        ..Default::default()
+    });
+    let xml = &ds.docs[0].1;
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("parse-xmark-0.2", |b| {
+        b.iter(|| black_box(xrank_xml::parse(xml).unwrap()))
+    });
+    g.bench_function("tokenize-xmark-0.2", |b| {
+        b.iter(|| black_box(xrank_graph::tokenize(xml)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dewey_codec, bench_btree_probe, bench_xml_parse);
+criterion_main!(benches);

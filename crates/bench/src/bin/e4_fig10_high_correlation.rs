@@ -1,0 +1,53 @@
+//! E4 — reproduces **Figure 10: High Keyword Correlation** (paper,
+//! Section 5.4): query evaluation cost vs. number of query keywords when
+//! the keywords frequently co-occur in the same elements.
+//!
+//! Expected shape (paper): RDIL performs best ("the index probes to find
+//! common ancestors are successful"); HDIL tracks RDIL; DIL is slower
+//! ("has to scan the entire inverted list"); Naive-ID is worse than DIL
+//! and Naive-Rank worse than RDIL ("the extra overhead of scanning
+//! ancestor entries").
+//!
+//! ```sh
+//! cargo run --release -p xrank-bench --bin e4_fig10_high_correlation [publications] [--warm]
+//! ```
+
+use xrank_bench::sweep::{run_sweep, TOP_M};
+use xrank_bench::{BenchConfig, DatasetKind, Workbench};
+use xrank_datagen::workload::{query, Correlation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let publications: usize =
+        args.iter().skip(1).find_map(|a| a.parse().ok()).unwrap_or(60_000);
+    let warm = args.iter().any(|a| a == "--warm");
+    let use_xmark = args.iter().any(|a| a == "--xmark");
+
+    println!("E4 / Figure 10 — high keyword correlation (m = {TOP_M})\n");
+    let dataset = if use_xmark {
+        // Scale chosen so the slot count matches the DBLP default.
+        DatasetKind::Xmark { scale: publications as f64 / 1700.0 }
+    } else {
+        DatasetKind::Dblp { publications }
+    };
+    println!("dataset: {}\n", dataset.label());
+    let config = BenchConfig::standard(dataset);
+    let groups = config.plant.expect("standard config plants").groups;
+    let mut bench = Workbench::build(config);
+    println!(
+        "corpus: {} docs, {} elements, page budget {}B, keyword list ≈ {} entries\n",
+        bench.collection.doc_count(),
+        bench.collection.element_count(),
+        bench.config.page_budget,
+        bench
+            .dil
+            .meta(bench.resolve(&query(Correlation::High, 0, 1))[0])
+            .map(|m| m.entry_count)
+            .unwrap_or(0),
+    );
+    run_sweep(&mut bench, Correlation::High, groups, warm);
+    println!(
+        "paper's Figure 10 shape: RDIL ≈ HDIL < DIL < Naive-ID, Naive-Rank > RDIL; \
+         all growing with keyword count."
+    );
+}

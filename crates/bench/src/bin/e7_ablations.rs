@@ -1,0 +1,173 @@
+//! E7 — ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **decay** (Section 2.3.2.1) — how the specificity scaling changes
+//!    the top-10 and the depth of returned results;
+//! 2. **proximity** (Section 2.3.2.2) — window proximity vs. `p ≡ 1`;
+//! 3. **aggregation** — `f = max` (paper default) vs. `f = sum`;
+//! 4. **ElemRank formula refinements** (Section 3.1) — how each
+//!    intermediate formula's ranking correlates with the final one, and
+//!    whether it preserves the paper's motivating properties;
+//! 5. **HDIL rank-prefix sizing** (Section 4.4.1) — space vs. the chance
+//!    the adaptive strategy can finish without switching.
+//!
+//! ```sh
+//! cargo run --release -p xrank-bench --bin e7_ablations
+//! ```
+
+use std::collections::HashSet;
+use xrank_bench::table::{mb, Table};
+use xrank_bench::{Approach, BenchConfig, DatasetKind, Workbench};
+use xrank_datagen::workload::selectivity_query;
+use xrank_dewey::DeweyId;
+use xrank_index::hdil::MIN_PREFIX_ENTRIES;
+use xrank_index::{direct_postings, HdilIndex};
+use xrank_query::{Aggregation, Proximity, QueryOptions};
+use xrank_rank::{compute, ElemRankParams, RankVariant};
+
+/// Top-k overlap (|A ∩ B| / k) between two result lists.
+fn overlap(a: &[xrank_query::QueryResult], b: &[xrank_query::QueryResult], k: usize) -> f64 {
+    let sa: HashSet<&DeweyId> = a.iter().take(k).map(|r| &r.dewey).collect();
+    let sb: HashSet<&DeweyId> = b.iter().take(k).map(|r| &r.dewey).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f64 / sa.len().max(sb.len()).max(1) as f64
+}
+
+fn avg_depth(results: &[xrank_query::QueryResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results
+        .iter()
+        .filter_map(|r| r.dewey.depth())
+        .sum::<usize>() as f64
+        / results.len() as f64
+}
+
+fn main() {
+    println!("E7 — ablations (corpus: dblp(8000) natural-vocabulary queries)\n");
+    let config = BenchConfig {
+        with_naive: false,
+        page_budget: xrank_storage::PAGE_SIZE,
+        ..BenchConfig::standard(DatasetKind::Dblp { publications: 8000 })
+    };
+    let mut bench = Workbench::build(config);
+
+    // Natural two-word queries across the selectivity spectrum.
+    let queries: Vec<Vec<xrank_graph::TermId>> = [2usize, 5, 9, 14, 20]
+        .iter()
+        .map(|&rank| bench.resolve(&selectivity_query(rank, 2)))
+        .collect();
+
+    // ---- 1. decay sweep ------------------------------------------------
+    println!("1) decay sweep (baseline decay = 0.75; top-10 overlap + mean result depth):");
+    let mut t = Table::new(vec!["decay", "overlap@10 vs 0.75", "mean depth", "mean |results|"]);
+    let baselines: Vec<Vec<xrank_query::QueryResult>> = queries
+        .iter()
+        .map(|q| {
+            bench
+                .run_opts(Approach::Dil, q, &QueryOptions { top_m: 10, ..Default::default() }, true)
+                .1
+        })
+        .collect();
+    for decay in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let opts = QueryOptions { decay, top_m: 10, ..Default::default() };
+        let mut ov = 0.0;
+        let mut depth = 0.0;
+        let mut count = 0.0;
+        for (q, base) in queries.iter().zip(baselines.iter()) {
+            let res = bench.run_opts(Approach::Dil, q, &opts, true).1;
+            ov += overlap(&res, base, 10);
+            depth += avg_depth(&res);
+            count += res.len() as f64;
+        }
+        let n = queries.len() as f64;
+        t.row(vec![
+            format!("{decay}"),
+            format!("{:.2}", ov / n),
+            format!("{:.2}", depth / n),
+            format!("{:.1}", count / n),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("expected: lower decay punishes indirect containment harder, pushing\n\
+              the top-10 toward deeper, more specific elements.\n");
+
+    // ---- 2 & 3. proximity and aggregation -------------------------------
+    println!("2) proximity & 3) aggregation (top-10 overlap vs paper defaults):");
+    let mut t = Table::new(vec!["variant", "overlap@10 vs default"]);
+    let variants: Vec<(&str, QueryOptions)> = vec![
+        ("window proximity + max (default)", QueryOptions { top_m: 10, ..Default::default() }),
+        (
+            "proximity ≡ 1",
+            QueryOptions { proximity: Proximity::One, top_m: 10, ..Default::default() },
+        ),
+        (
+            "f = sum",
+            QueryOptions { aggregation: Aggregation::Sum, top_m: 10, ..Default::default() },
+        ),
+    ];
+    for (label, opts) in &variants {
+        let mut ov = 0.0;
+        for (q, base) in queries.iter().zip(baselines.iter()) {
+            let res = bench.run_opts(Approach::Dil, q, opts, true).1;
+            ov += overlap(&res, base, 10);
+        }
+        t.row(vec![label.to_string(), format!("{:.2}", ov / queries.len() as f64)]);
+    }
+    println!("{}", t.render());
+
+    // ---- 4. ElemRank variants -------------------------------------------
+    println!("4) ElemRank formula refinements (Section 3.1 lineage):");
+    let final_scores = &bench.ranks.scores;
+    let mut t = Table::new(vec!["variant", "iterations", "top-100 element overlap vs final"]);
+    let top100 = |scores: &[f64]| -> HashSet<u32> {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+        idx.into_iter().take(100).collect()
+    };
+    let final_top = top100(final_scores);
+    for (label, variant) in [
+        ("PageRank-adapted (v1)", RankVariant::PageRankAdapted { d: 0.85 }),
+        ("Bidirectional (v2)", RankVariant::Bidirectional { d: 0.85 }),
+        ("Discriminated (v3)", RankVariant::Discriminated { d1: 0.35, d2: 0.50 }),
+        ("Final (v4)", RankVariant::Final(ElemRankParams::default())),
+    ] {
+        let r = compute(&bench.collection, variant);
+        let ov = top100(&r.scores).intersection(&final_top).count();
+        t.row(vec![
+            label.to_string(),
+            r.iterations.to_string(),
+            format!("{}/100", ov),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 5. HDIL prefix sizing -------------------------------------------
+    println!("5) HDIL rank-prefix fraction (space vs. RDIL-mode coverage):");
+    let direct = direct_postings(&bench.collection, &bench.ranks.scores);
+    let mut t = Table::new(vec!["fraction", "prefix bytes", "index bytes", "list bytes"]);
+    for fraction in [0.02, 0.05, 0.10, 0.25, 0.50] {
+        let hdil = HdilIndex::build_full(
+            &mut bench.pool,
+            &direct,
+            fraction,
+            MIN_PREFIX_ENTRIES,
+            xrank_storage::PAGE_SIZE,
+        );
+        let s = hdil.space(&bench.pool);
+        let dil_bytes = hdil.dil.used_bytes();
+        t.row(vec![
+            format!("{fraction}"),
+            mb(s.list_bytes - dil_bytes),
+            mb(s.index_bytes),
+            mb(s.list_bytes),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected: prefix bytes grow linearly with the fraction; the paper's\n\
+         10% default keeps HDIL's list 'a bit higher' than DIL's (Table 1)."
+    );
+}

@@ -1,0 +1,337 @@
+//! Workbench: datasets, indexes and measured query execution.
+
+use std::time::{Duration, Instant};
+use xrank_datagen::plant::PlantConfig;
+use xrank_datagen::{dblp, xmark, Dataset};
+use xrank_graph::{Collection, CollectionBuilder, TermId};
+use xrank_index::{
+    direct_postings, naive_postings, DilIndex, HdilIndex, NaiveIdIndex, NaiveRankIndex,
+    RdilIndex,
+};
+use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, EvalStats, QueryOptions};
+use xrank_rank::{elem_rank, ElemRankParams, RankResult};
+use xrank_storage::{BufferPool, CostModel, IoStats, MemStore, PAGE_SIZE};
+
+/// Which dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetKind {
+    /// DBLP-shaped: one doc per publication (`publications` of them).
+    Dblp {
+        /// Number of publications.
+        publications: usize,
+    },
+    /// XMark-shaped single deep document.
+    Xmark {
+        /// Scale factor (1.0 ≈ 1200 items).
+        scale: f64,
+    },
+}
+
+impl DatasetKind {
+    /// Number of planter text slots this dataset exposes.
+    pub fn slots(&self) -> usize {
+        match *self {
+            DatasetKind::Dblp { publications } => publications,
+            DatasetKind::Xmark { scale } => {
+                let c = xmark::XmarkConfig { scale, ..Default::default() }.counts();
+                c.items + c.open_auctions + c.closed_auctions
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            DatasetKind::Dblp { publications } => format!("dblp({publications})"),
+            DatasetKind::Xmark { scale } => format!("xmark({scale})"),
+        }
+    }
+}
+
+/// Full workbench configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Dataset to generate.
+    pub dataset: DatasetKind,
+    /// Keyword planting (None = no planted workloads).
+    pub plant: Option<PlantConfig>,
+    /// Per-page byte budget for list pages (scale emulation; see lib docs).
+    pub page_budget: usize,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// I/O cost model.
+    pub cost_model: CostModel,
+    /// Build the naive baselines (memory-hungry at large scales).
+    pub with_naive: bool,
+    /// RNG seed for the generator.
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    /// The standard workload configuration used by the figure experiments:
+    /// 2 planted groups of 4 keywords; each high group co-occurs in 1/8 of
+    /// the text slots; each low keyword appears alone in 1/8 of the slots
+    /// with co-occurrences in ~0.25% of them.
+    pub fn standard(dataset: DatasetKind) -> BenchConfig {
+        let slots = dataset.slots();
+        BenchConfig {
+            dataset,
+            plant: Some(PlantConfig {
+                groups: 2,
+                group_size: 4,
+                high_frequency: (slots / 8).max(8),
+                low_frequency: (slots / 8).max(8),
+                low_cooccurrences: (slots / 400).max(2),
+            }),
+            page_budget: 64,
+            pool_pages: 1 << 16,
+            cost_model: CostModel::default(),
+            with_naive: true,
+            seed: 42,
+        }
+    }
+
+    /// Space-accounting configuration: full pages (real bytes), no planted
+    /// keywords (Table 1 measures the natural corpus).
+    pub fn space(dataset: DatasetKind) -> BenchConfig {
+        BenchConfig {
+            dataset,
+            plant: None,
+            page_budget: PAGE_SIZE,
+            pool_pages: 1 << 16,
+            cost_model: CostModel::default(),
+            with_naive: true,
+            seed: 42,
+        }
+    }
+}
+
+/// One of the five evaluated approaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Naive, element-id ordered lists, merge-join.
+    NaiveId,
+    /// Naive, rank ordered lists + hash probes (TA).
+    NaiveRank,
+    /// Dewey Inverted List (Figure 5).
+    Dil,
+    /// Ranked DIL (Figure 7).
+    Rdil,
+    /// Hybrid DIL (Section 4.4.2).
+    Hdil,
+}
+
+impl Approach {
+    /// All five, in Table 1 / Figure 10 order.
+    pub const ALL: [Approach; 5] =
+        [Approach::NaiveId, Approach::NaiveRank, Approach::Dil, Approach::Rdil, Approach::Hdil];
+
+    /// The paper's three main structures.
+    pub const DIL_FAMILY: [Approach; 3] = [Approach::Dil, Approach::Rdil, Approach::Hdil];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::NaiveId => "Naive-ID",
+            Approach::NaiveRank => "Naive-Rank",
+            Approach::Dil => "DIL",
+            Approach::Rdil => "RDIL",
+            Approach::Hdil => "HDIL",
+        }
+    }
+}
+
+/// A measured query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Simulated I/O cost under the workbench cost model (primary metric).
+    pub cost: f64,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Raw I/O ledger for the query.
+    pub io: IoStats,
+    /// Algorithmic work counters.
+    pub eval: EvalStats,
+    /// Number of results returned.
+    pub results: usize,
+}
+
+/// Generated dataset + all five indexes + instrumented pool.
+pub struct Workbench {
+    /// The built graph.
+    pub collection: Collection,
+    /// ElemRank output.
+    pub ranks: RankResult,
+    /// Instrumented buffer pool (all indexes share it).
+    pub pool: BufferPool<MemStore>,
+    /// DIL index.
+    pub dil: DilIndex,
+    /// RDIL index.
+    pub rdil: RdilIndex,
+    /// HDIL index.
+    pub hdil: HdilIndex,
+    /// Naive-ID (when built).
+    pub naive_id: Option<NaiveIdIndex>,
+    /// Naive-Rank (when built).
+    pub naive_rank: Option<NaiveRankIndex>,
+    /// Cost model used for [`Measurement::cost`].
+    pub cost_model: CostModel,
+    /// XML bytes of the generated dataset.
+    pub dataset_bytes: usize,
+    /// Time spent computing ElemRank.
+    pub elemrank_time: Duration,
+    /// The configuration used.
+    pub config: BenchConfig,
+}
+
+/// Generates the configured dataset.
+pub fn generate_dataset(config: &BenchConfig) -> Dataset {
+    match config.dataset {
+        DatasetKind::Dblp { publications } => dblp::generate(&dblp::DblpConfig {
+            publications,
+            seed: config.seed,
+            plant: config.plant,
+            ..Default::default()
+        }),
+        DatasetKind::Xmark { scale } => xmark::generate(&xmark::XmarkConfig {
+            scale,
+            seed: config.seed,
+            plant: config.plant,
+            ..Default::default()
+        }),
+    }
+}
+
+impl Workbench {
+    /// Generates the dataset and builds everything.
+    pub fn build(config: BenchConfig) -> Workbench {
+        let dataset = generate_dataset(&config);
+        let dataset_bytes = dataset.total_bytes();
+        let mut b = CollectionBuilder::new();
+        for (uri, xml) in &dataset.docs {
+            b.add_xml_str(uri, xml).expect("generated XML is well-formed");
+        }
+        drop(dataset);
+        let collection = b.build();
+
+        let t0 = Instant::now();
+        let ranks = elem_rank(&collection, &ElemRankParams::default());
+        let elemrank_time = t0.elapsed();
+        assert!(ranks.converged, "ElemRank failed to converge");
+
+        let mut pool = BufferPool::new(MemStore::new(), config.pool_pages);
+        let direct = direct_postings(&collection, &ranks.scores);
+        let dil = DilIndex::build_with(&mut pool, &direct, config.page_budget);
+        let rdil = RdilIndex::build_with(&mut pool, &direct, config.page_budget);
+        let hdil = HdilIndex::build_full(
+            &mut pool,
+            &direct,
+            xrank_index::hdil::DEFAULT_PREFIX_FRACTION,
+            xrank_index::hdil::MIN_PREFIX_ENTRIES,
+            config.page_budget,
+        );
+        drop(direct);
+        let (naive_id, naive_rank) = if config.with_naive {
+            let naive = naive_postings(&collection, &ranks.scores);
+            (
+                Some(NaiveIdIndex::build_with(&mut pool, &naive, config.page_budget)),
+                Some(NaiveRankIndex::build_with(&mut pool, &naive, config.page_budget)),
+            )
+        } else {
+            (None, None)
+        };
+
+        Workbench {
+            collection,
+            ranks,
+            pool,
+            dil,
+            rdil,
+            hdil,
+            naive_id,
+            naive_rank,
+            cost_model: config.cost_model,
+            dataset_bytes,
+            elemrank_time,
+            config,
+        }
+    }
+
+    /// Resolves keyword strings; panics with a clear message when a
+    /// planted keyword is missing (a workload/config mismatch).
+    pub fn resolve(&self, keywords: &[String]) -> Vec<TermId> {
+        keywords
+            .iter()
+            .map(|k| {
+                self.collection
+                    .vocabulary()
+                    .lookup(k)
+                    .unwrap_or_else(|| panic!("keyword {k:?} not in the generated corpus"))
+            })
+            .collect()
+    }
+
+    /// Executes one cold-cache query under `approach`, measuring cost,
+    /// time and work (the paper's Section 5.1 setup: "results were
+    /// obtained using a cold operating system cache").
+    pub fn run(&mut self, approach: Approach, terms: &[TermId], m: usize) -> Measurement {
+        let opts = QueryOptions { top_m: m, ..Default::default() };
+        self.run_opts(approach, terms, &opts, true).0
+    }
+
+    /// As [`Workbench::run`] but *without* clearing the cache first — the
+    /// warm-cache companion experiment (E8).
+    pub fn run_warm(&mut self, approach: Approach, terms: &[TermId], m: usize) -> Measurement {
+        let opts = QueryOptions { top_m: m, ..Default::default() };
+        self.run_opts(approach, terms, &opts, false).0
+    }
+
+    /// Fully-parameterized execution, also returning the ranked results
+    /// (used by the ablation experiments).
+    pub fn run_opts(
+        &mut self,
+        approach: Approach,
+        terms: &[TermId],
+        opts: &QueryOptions,
+        cold: bool,
+    ) -> (Measurement, Vec<xrank_query::QueryResult>) {
+        if cold {
+            self.pool.clear_cache();
+        }
+        let before = self.pool.stats();
+        let t0 = Instant::now();
+        let outcome = match approach {
+            Approach::Dil => dil_query::evaluate(&mut self.pool, &self.dil, terms, opts),
+            Approach::Rdil => rdil_query::evaluate(&mut self.pool, &self.rdil, terms, opts),
+            Approach::Hdil => {
+                hdil_query::evaluate(&mut self.pool, &self.hdil, terms, opts, &self.cost_model)
+            }
+            Approach::NaiveId => naive_query::evaluate_id(
+                &mut self.pool,
+                self.naive_id.as_ref().expect("naive indexes not built"),
+                &self.collection,
+                terms,
+                opts,
+            ),
+            Approach::NaiveRank => naive_query::evaluate_rank(
+                &mut self.pool,
+                self.naive_rank.as_ref().expect("naive indexes not built"),
+                &self.collection,
+                terms,
+                opts,
+            ),
+        };
+        let wall = t0.elapsed();
+        let io = self.pool.stats().since(&before);
+        (
+            Measurement {
+                cost: self.cost_model.cost(&io),
+                wall,
+                io,
+                eval: outcome.stats,
+                results: outcome.results.len(),
+            },
+            outcome.results,
+        )
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 3.2 and Section 5). See DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! outcomes.
+//!
+//! Binaries (one per experiment):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `e1_elemrank_convergence` | §3.2 convergence results (+ d-parameter sweep) |
+//! | `e3_space_table` | Table 1 (space requirements) |
+//! | `e4_fig10_high_correlation` | Figure 10 |
+//! | `e5_fig11_low_correlation` | Figure 11 |
+//! | `e6_vary_m` | §5.4 vary-number-of-results experiment |
+//! | `e7_ablations` | decay / proximity / aggregation / ElemRank-variant ablations |
+//!
+//! The performance experiments report the **simulated I/O cost** of the
+//! storage layer's ledger (sequential vs random page reads under the
+//! [`xrank_storage::CostModel`]) as the primary metric — the quantity that
+//! reproduces the paper's cold-cache disk-bound measurements on modern
+//! hardware — alongside wall-clock time and entries scanned. The
+//! `page_budget` knob emulates the paper's uncompressed C++ posting sizes
+//! so that list lengths *in pages* match the paper's scale (DESIGN.md §2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture;
+pub mod sweep;
+pub mod table;
+
+pub use fixture::{Approach, BenchConfig, DatasetKind, Measurement, Workbench};

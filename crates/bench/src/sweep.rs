@@ -1,0 +1,71 @@
+//! The keyword-count × approach sweep shared by the Figure 10/11
+//! experiments.
+
+use crate::fixture::{Approach, Measurement, Workbench};
+use crate::table::{cost, Table};
+use xrank_datagen::workload::{query, Correlation};
+
+/// Results to request (the paper evaluates top-m retrieval; m = 10).
+pub const TOP_M: usize = 10;
+
+/// Runs the #keywords ∈ 1..=4 sweep over all approaches under a
+/// correlation regime, printing the cost / wall / entries tables.
+pub fn run_sweep(bench: &mut Workbench, correlation: Correlation, groups: usize, warm: bool) {
+    let header: Vec<String> = std::iter::once("approach".to_string())
+        .chain((1..=4).map(|n| format!("{n} kw")))
+        .collect();
+    let mut cost_t = Table::new(header.clone());
+    let mut wall_t = Table::new(header.clone());
+    let mut scan_t = Table::new(header.clone());
+
+    for approach in Approach::ALL {
+        let mut cost_row = vec![approach.label().to_string()];
+        let mut wall_row = vec![approach.label().to_string()];
+        let mut scan_row = vec![approach.label().to_string()];
+        for n in 1..=4 {
+            let mut acc: Vec<Measurement> = Vec::new();
+            for g in 0..groups {
+                let terms = bench.resolve(&query(correlation, g, n));
+                acc.push(bench.run(approach, &terms, TOP_M));
+            }
+            let avg_cost = acc.iter().map(|m| m.cost).sum::<f64>() / acc.len() as f64;
+            let avg_wall =
+                acc.iter().map(|m| m.wall.as_secs_f64()).sum::<f64>() / acc.len() as f64;
+            let avg_scan =
+                acc.iter().map(|m| m.eval.entries_scanned).sum::<u64>() / acc.len() as u64;
+            cost_row.push(cost(avg_cost));
+            wall_row.push(format!("{:.1}ms", avg_wall * 1e3));
+            scan_row.push(avg_scan.to_string());
+        }
+        cost_t.row(cost_row);
+        wall_t.row(wall_row);
+        scan_t.row(scan_row);
+    }
+
+    println!("simulated I/O cost (cold cache; the paper's y-axis analogue):");
+    println!("{}", cost_t.render());
+    println!("wall-clock time:");
+    println!("{}", wall_t.render());
+    println!("inverted-list entries consumed:");
+    println!("{}", scan_t.render());
+
+    if warm {
+        println!("warm-cache variant (E8):");
+        let mut warm_t = Table::new(header);
+        for approach in Approach::ALL {
+            let mut row = vec![approach.label().to_string()];
+            for n in 1..=4 {
+                let mut total = 0.0;
+                for g in 0..groups {
+                    let terms = bench.resolve(&query(correlation, g, n));
+                    // Prime once, then measure warm.
+                    bench.run(approach, &terms, TOP_M);
+                    total += bench.run_warm(approach, &terms, TOP_M).cost;
+                }
+                row.push(cost(total / groups as f64));
+            }
+            warm_t.row(row);
+        }
+        println!("{}", warm_t.render());
+    }
+}

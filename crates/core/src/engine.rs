@@ -1,0 +1,438 @@
+//! Engine assembly and the search entry point.
+
+use crate::results::{SearchHit, SearchResults};
+use std::collections::HashSet;
+use xrank_graph::{Collection, CollectionBuilder, ElemId, LinkSpec, TermId};
+use xrank_index::{
+    direct_postings_weighted, naive_postings, HdilIndex, NaiveIdIndex, NaiveRankIndex,
+    RankWeighting, RdilIndex,
+};
+use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions};
+use xrank_rank::{elem_rank, ElemRankParams, RankResult};
+use xrank_storage::{BufferPool, CostModel, FileStore, MemStore, PageStore};
+
+/// Which evaluation strategy [`XRankEngine::search_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Figure 5 single-pass merge over Dewey-sorted lists.
+    Dil,
+    /// Figure 7 Threshold-Algorithm evaluation (requires `with_rdil`).
+    Rdil,
+    /// Section 4.4.2 adaptive strategy (the default).
+    Hdil,
+    /// Naive equality merge baseline (requires `with_naive`).
+    NaiveId,
+    /// Naive TA + hash probes baseline (requires `with_naive`).
+    NaiveRank,
+}
+
+/// Result filtering per Section 2.2.
+#[derive(Debug, Clone, Default)]
+pub enum AnswerNodes {
+    /// Every element may be a result ("If such knowledge is not available,
+    /// all XML elements can be treated as answer nodes").
+    #[default]
+    All,
+    /// Only elements with these tag names may be results; deeper matches
+    /// are promoted to their closest answer-node ancestor.
+    Tags(HashSet<String>),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// ElemRank parameters (paper defaults).
+    pub rank_params: ElemRankParams,
+    /// Default query options (decay, aggregation, proximity, m).
+    pub query: QueryOptions,
+    /// Buffer pool capacity in pages.
+    pub pool_pages: usize,
+    /// Simulated I/O cost model (drives HDIL's adaptive switch).
+    pub cost_model: CostModel,
+    /// Build the standalone RDIL index too (the engine always builds HDIL,
+    /// which already serves the `Dil` strategy through its full list).
+    pub with_rdil: bool,
+    /// Build the naive baselines too (space-hungry; experiments only).
+    pub with_naive: bool,
+    /// Answer-node restriction.
+    pub answer_nodes: AnswerNodes,
+    /// Hyperlink attribute conventions.
+    pub link_spec: LinkSpec,
+    /// Rank source for postings (ElemRank, tf-idf, or a blend — the
+    /// Section 7 tf-idf extension).
+    pub weighting: RankWeighting,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            rank_params: ElemRankParams::default(),
+            query: QueryOptions::default(),
+            pool_pages: 4096,
+            cost_model: CostModel::default(),
+            with_rdil: false,
+            with_naive: false,
+            answer_nodes: AnswerNodes::All,
+            link_spec: LinkSpec::default(),
+            weighting: RankWeighting::ElemRank,
+        }
+    }
+}
+
+/// Accumulates documents, then builds an [`XRankEngine`].
+pub struct EngineBuilder {
+    config: EngineConfig,
+    collection: CollectionBuilder,
+    html_docs: HashSet<u32>,
+}
+
+impl EngineBuilder {
+    /// Builder with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Builder with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let collection = CollectionBuilder::with_spec(config.link_spec.clone());
+        EngineBuilder { config, collection, html_docs: HashSet::new() }
+    }
+
+    /// Adds an XML document.
+    pub fn add_xml(&mut self, uri: &str, xml: &str) -> Result<(), xrank_xml::XmlError> {
+        self.collection.add_xml_str(uri, xml)?;
+        Ok(())
+    }
+
+    /// Adds an HTML page (flattened to a single element; only the whole
+    /// page can be a result, per Section 2.2).
+    pub fn add_html(&mut self, uri: &str, html: &str) {
+        let page = xrank_xml::html::parse_html(html);
+        let doc = self.collection.add_html_document(uri, "page", &page);
+        self.html_docs.insert(doc);
+    }
+
+    /// Resolves links, computes ElemRank, and builds the indexes
+    /// in memory.
+    pub fn build(self) -> XRankEngine {
+        self.build_with_store(MemStore::new())
+    }
+
+    /// Builds into a persistent directory: index pages go to real files
+    /// under `dir/store/`, and the engine's metadata (collection,
+    /// ElemRanks, index directories) to `dir/xrank-meta.bin`. Reopen later
+    /// with [`XRankEngine::open`].
+    pub fn build_persistent(
+        self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<XRankEngine<FileStore>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let store = FileStore::open(dir.join("store"))?;
+        let engine = self.build_with_store(store);
+        engine.write_meta_file(&dir.join("xrank-meta.bin"))?;
+        Ok(engine)
+    }
+
+    /// Builds against an arbitrary page store.
+    pub fn build_with_store<S: PageStore>(self, store: S) -> XRankEngine<S> {
+        let collection = self.collection.build();
+        let ranks = elem_rank(&collection, &self.config.rank_params);
+        let mut pool = BufferPool::new(store, self.config.pool_pages);
+
+        let direct = direct_postings_weighted(&collection, &ranks.scores, self.config.weighting);
+        let hdil = HdilIndex::build(&mut pool, &direct);
+        let rdil = self.config.with_rdil.then(|| RdilIndex::build(&mut pool, &direct));
+        let (naive_id, naive_rank) = if self.config.with_naive {
+            let naive = naive_postings(&collection, &ranks.scores);
+            (
+                Some(NaiveIdIndex::build(&mut pool, &naive)),
+                Some(NaiveRankIndex::build(&mut pool, &naive)),
+            )
+        } else {
+            (None, None)
+        };
+
+        XRankEngine {
+            config: self.config,
+            collection,
+            ranks,
+            pool,
+            hdil,
+            rdil,
+            naive_id,
+            naive_rank,
+            html_docs: self.html_docs,
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The built search engine (in memory by default; see
+/// [`EngineBuilder::build_persistent`] / [`XRankEngine::open`] for the
+/// file-backed form).
+pub struct XRankEngine<S: PageStore = MemStore> {
+    config: EngineConfig,
+    collection: Collection,
+    ranks: RankResult,
+    pool: BufferPool<S>,
+    hdil: HdilIndex,
+    rdil: Option<RdilIndex>,
+    naive_id: Option<NaiveIdIndex>,
+    naive_rank: Option<NaiveRankIndex>,
+    html_docs: HashSet<u32>,
+}
+
+impl<S: PageStore> XRankEngine<S> {
+    /// Searches with the default (HDIL adaptive) strategy.
+    pub fn search(&mut self, query: &str, m: usize) -> SearchResults {
+        let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
+        self.search_with(query, Strategy::Hdil, &opts)
+    }
+
+    /// Disjunctive search (Section 2.2's "at least one keyword"
+    /// semantics): a ranked union over the direct containers of each
+    /// keyword. Unknown keywords are dropped instead of emptying the
+    /// result.
+    pub fn search_any(&mut self, query: &str, m: usize) -> SearchResults {
+        let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
+        let terms: Vec<TermId> = xrank_graph::tokenize(query)
+            .iter()
+            .filter_map(|w| self.collection.vocabulary().lookup(w))
+            .collect();
+        self.pool.clear_cache();
+        let before = self.pool.stats();
+        let start = std::time::Instant::now();
+        let outcome =
+            xrank_query::disjunctive::evaluate(&mut self.pool, &self.hdil.dil, &terms, &opts);
+        let elapsed = start.elapsed();
+        let io = self.pool.stats().since(&before);
+        let hits = self.present(outcome.results, opts.top_m);
+        SearchResults { hits, eval: outcome.stats, io, elapsed }
+    }
+
+    /// Searches with an explicit strategy and options. The buffer pool is
+    /// cold-started per query, matching the paper's experimental setup.
+    pub fn search_with(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+        opts: &QueryOptions,
+    ) -> SearchResults {
+        let terms = self.resolve_terms(query);
+        self.pool.clear_cache();
+        let before = self.pool.stats();
+        let start = std::time::Instant::now();
+
+        // Answer-node promotion (and HTML-root collapsing) can merge many
+        // raw results into one presented hit; over-fetch so the final list
+        // can still fill up to the requested `top_m`.
+        let requested = opts.top_m;
+        let opts = &QueryOptions {
+            top_m: if matches!(self.config.answer_nodes, AnswerNodes::Tags(_))
+                || !self.html_docs.is_empty()
+            {
+                requested.saturating_mul(4).saturating_add(8)
+            } else {
+                requested
+            },
+            ..opts.clone()
+        };
+
+        let outcome = match (strategy, terms.as_deref()) {
+            (_, None) => xrank_query::QueryOutcome {
+                results: Vec::new(),
+                stats: Default::default(),
+            },
+            (Strategy::Dil, Some(t)) => {
+                dil_query::evaluate(&mut self.pool, &self.hdil.dil, t, opts)
+            }
+            (Strategy::Rdil, Some(t)) => {
+                let rdil = self.rdil.as_ref().expect("engine built without with_rdil");
+                rdil_query::evaluate(&mut self.pool, rdil, t, opts)
+            }
+            (Strategy::Hdil, Some(t)) => {
+                hdil_query::evaluate(&mut self.pool, &self.hdil, t, opts, &self.config.cost_model)
+            }
+            (Strategy::NaiveId, Some(t)) => {
+                let idx = self.naive_id.as_ref().expect("engine built without with_naive");
+                naive_query::evaluate_id(&mut self.pool, idx, &self.collection, t, opts)
+            }
+            (Strategy::NaiveRank, Some(t)) => {
+                let idx = self.naive_rank.as_ref().expect("engine built without with_naive");
+                naive_query::evaluate_rank(&mut self.pool, idx, &self.collection, t, opts)
+            }
+        };
+        let elapsed = start.elapsed();
+        let io = self.pool.stats().since(&before);
+
+        let hits = self.present(outcome.results, requested);
+        SearchResults { hits, eval: outcome.stats, io, elapsed }
+    }
+
+    /// Lowercases, tokenizes, and resolves the query keywords. `None` if
+    /// any keyword is absent from the vocabulary (conjunctive semantics —
+    /// no results possible).
+    fn resolve_terms(&self, query: &str) -> Option<Vec<TermId>> {
+        let words = xrank_graph::tokenize(query);
+        if words.is_empty() {
+            return None;
+        }
+        words
+            .iter()
+            .map(|w| self.collection.vocabulary().lookup(w))
+            .collect()
+    }
+
+    /// Applies answer-node promotion/HTML-root filtering and renders hits.
+    fn present(
+        &self,
+        results: Vec<xrank_query::QueryResult>,
+        m: usize,
+    ) -> Vec<SearchHit> {
+        let mut out: Vec<SearchHit> = Vec::new();
+        let mut seen: HashSet<xrank_dewey::DeweyId> = HashSet::new();
+        for r in results {
+            let Some(elem) = self.collection.elem_by_dewey(&r.dewey) else { continue };
+            let target = self.answer_node_for(elem);
+            let dewey = self.collection.element(target).dewey.clone();
+            if !seen.insert(dewey.clone()) {
+                continue; // two results promoted to the same answer node
+            }
+            out.push(self.hit(target, dewey, r.score));
+            if out.len() >= m {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The closest ancestor-or-self that may be presented as a result:
+    /// HTML documents return their root (Section 2.2); `AnswerNodes::Tags`
+    /// promotes to the nearest listed tag.
+    fn answer_node_for(&self, elem: ElemId) -> ElemId {
+        let e = self.collection.element(elem);
+        if self.html_docs.contains(&e.doc) {
+            return self.collection.doc(e.doc).root;
+        }
+        match &self.config.answer_nodes {
+            AnswerNodes::All => elem,
+            AnswerNodes::Tags(tags) => {
+                let mut cur = elem;
+                loop {
+                    let node = self.collection.element(cur);
+                    if tags.contains(&*node.name) {
+                        return cur;
+                    }
+                    match node.parent {
+                        Some(p) => cur = p,
+                        None => return self.collection.doc(node.doc).root,
+                    }
+                }
+            }
+        }
+    }
+
+    fn hit(&self, elem: ElemId, dewey: xrank_dewey::DeweyId, score: f64) -> SearchHit {
+        let mut path = Vec::new();
+        let mut cur = Some(elem);
+        while let Some(e) = cur {
+            let node = self.collection.element(e);
+            path.push(node.name.to_string());
+            cur = node.parent;
+        }
+        path.reverse();
+        let words = self.collection.subtree_terms(elem);
+        let mut snippet: String = words
+            .iter()
+            .take(16)
+            .copied()
+            .collect::<Vec<_>>()
+            .join(" ");
+        if words.len() > 16 {
+            snippet.push_str(" …");
+        }
+        let doc_uri = self
+            .collection
+            .doc(self.collection.element(elem).doc)
+            .uri
+            .clone();
+        SearchHit { dewey, elem, score, path, snippet, doc_uri }
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// An element's ElemRank.
+    pub fn elem_rank_of(&self, elem: ElemId) -> f64 {
+        self.ranks.score(elem)
+    }
+
+    /// ElemRank convergence metadata.
+    pub fn rank_result(&self) -> &RankResult {
+        &self.ranks
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    // --- crate-internal accessors for the persistence layer ---
+
+    pub(crate) fn collection_ref(&self) -> &Collection {
+        &self.collection
+    }
+
+    pub(crate) fn hdil_ref(&self) -> &HdilIndex {
+        &self.hdil
+    }
+
+    pub(crate) fn rdil_ref(&self) -> Option<&RdilIndex> {
+        self.rdil.as_ref()
+    }
+
+    pub(crate) fn naive_id_ref(&self) -> Option<&NaiveIdIndex> {
+        self.naive_id.as_ref()
+    }
+
+    pub(crate) fn naive_rank_ref(&self) -> Option<&NaiveRankIndex> {
+        self.naive_rank.as_ref()
+    }
+
+    pub(crate) fn html_docs_ref(&self) -> &HashSet<u32> {
+        &self.html_docs
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: EngineConfig,
+        collection: Collection,
+        ranks: RankResult,
+        pool: BufferPool<S>,
+        hdil: HdilIndex,
+        rdil: Option<RdilIndex>,
+        naive_id: Option<NaiveIdIndex>,
+        naive_rank: Option<NaiveRankIndex>,
+        html_docs: HashSet<u32>,
+    ) -> Self {
+        XRankEngine {
+            config,
+            collection,
+            ranks,
+            pool,
+            hdil,
+            rdil,
+            naive_id,
+            naive_rank,
+            html_docs,
+        }
+    }
+}

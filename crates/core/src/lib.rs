@@ -1,0 +1,41 @@
+//! The XRANK engine facade: the end-to-end system of Figure 2.
+//!
+//! Ties the substrates together into the pipeline the paper's architecture
+//! diagram shows: documents → XML graph (`xrank-graph`) → *ElemRank
+//! Computation* (`xrank-rank`) → *HDIL generation* (`xrank-index`) →
+//! *Query Evaluator* (`xrank-query`) → ranked results.
+//!
+//! ```
+//! use xrank_core::{EngineBuilder, Strategy};
+//!
+//! let mut builder = EngineBuilder::new();
+//! builder
+//!     .add_xml(
+//!         "workshop",
+//!         "<workshop><paper><title>XQL and Proximal Nodes</title>\
+//!          <body>the XQL query language</body></paper></workshop>",
+//!     )
+//!     .unwrap();
+//! let mut engine = builder.build();
+//! let hits = engine.search("xql language", 10);
+//! assert!(!hits.hits.is_empty());
+//! assert_eq!(hits.hits[0].path.last().map(String::as_str), Some("body"));
+//! ```
+//!
+//! The engine also implements the paper's two result-presentation aids
+//! (Section 2.2): *answer nodes* (restrict results to a set of element
+//! tags, promoting deeper matches to their closest answer-node ancestor)
+//! and HTML mode (each HTML page is one element, so only whole pages are
+//! returned — the Google-generalization behaviour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod persist;
+mod results;
+mod update;
+
+pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
+pub use results::{SearchHit, SearchResults};
+pub use update::UpdatableXRank;

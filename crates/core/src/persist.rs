@@ -1,0 +1,138 @@
+//! Engine persistence: metadata file format and reopening.
+//!
+//! [`crate::EngineBuilder::build_persistent`] writes the index pages to
+//! real files (one per segment under `dir/store/`) and everything the
+//! engine needs at query time — the collection, the ElemRank vector, the
+//! index directories — to `dir/xrank-meta.bin`. [`XRankEngine::open`]
+//! restores the engine without re-parsing, re-ranking, or re-indexing.
+//!
+//! Settings that shape the *stored* data (rank parameters, weighting,
+//! which indexes were built) are baked into the files; settings that only
+//! shape query behaviour (query defaults, cost model, answer nodes, pool
+//! size) come from the [`EngineConfig`] passed at open time.
+
+use crate::engine::{EngineConfig, XRankEngine};
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use xrank_graph::Collection;
+use xrank_index::{HdilIndex, NaiveIdIndex, NaiveRankIndex, RdilIndex};
+use xrank_rank::RankResult;
+use xrank_storage::wire::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
+use xrank_storage::{BufferPool, FileStore, PageStore};
+
+const MAGIC: &[u8; 4] = b"XRKE";
+const VERSION: u32 = 1;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("engine meta: {msg}"))
+}
+
+impl<S: PageStore> XRankEngine<S> {
+    /// Writes the metadata file next to a file-backed store.
+    pub(crate) fn write_meta_file(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, VERSION)?;
+
+        self.collection_ref().write_to(&mut w)?;
+
+        // ElemRank result.
+        let ranks = self.rank_result();
+        put_u64(&mut w, ranks.scores.len() as u64)?;
+        for &s in &ranks.scores {
+            put_f64(&mut w, s)?;
+        }
+        put_u32(&mut w, ranks.iterations as u32)?;
+        put_u32(&mut w, u32::from(ranks.converged))?;
+        put_f64(&mut w, ranks.residual)?;
+
+        // HTML-document set.
+        let html = self.html_docs_ref();
+        put_u32(&mut w, html.len() as u32)?;
+        for &d in html {
+            put_u32(&mut w, d)?;
+        }
+
+        // Index directories.
+        self.hdil_ref().write_meta(&mut w)?;
+        match self.rdil_ref() {
+            Some(r) => {
+                put_u32(&mut w, 1)?;
+                r.write_meta(&mut w)?;
+            }
+            None => put_u32(&mut w, 0)?,
+        }
+        match (self.naive_id_ref(), self.naive_rank_ref()) {
+            (Some(a), Some(b)) => {
+                put_u32(&mut w, 1)?;
+                a.write_meta(&mut w)?;
+                b.write_meta(&mut w)?;
+            }
+            _ => put_u32(&mut w, 0)?,
+        }
+        w.flush()
+    }
+}
+
+impl XRankEngine<FileStore> {
+    /// Reopens an engine built by
+    /// [`crate::EngineBuilder::build_persistent`]. `config` supplies the
+    /// query-time settings (its `with_rdil`/`with_naive`/`weighting` are
+    /// ignored in favor of what is on disk).
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let mut r = BufReader::new(std::fs::File::open(dir.join("xrank-meta.bin"))?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = get_u32(&mut r)?;
+        if version != VERSION {
+            return Err(bad(&format!("unsupported version {version}")));
+        }
+
+        let collection = Collection::read_from(&mut r)?;
+
+        let n_scores = get_u64(&mut r)?;
+        if n_scores != collection.element_count() as u64 {
+            return Err(bad("rank vector does not match the collection"));
+        }
+        let mut scores = Vec::with_capacity(n_scores as usize);
+        for _ in 0..n_scores {
+            scores.push(get_f64(&mut r)?);
+        }
+        let iterations = get_u32(&mut r)? as usize;
+        let converged = get_u32(&mut r)? != 0;
+        let residual = get_f64(&mut r)?;
+        let ranks = RankResult { scores, iterations, converged, residual };
+
+        let n_html = get_u32(&mut r)?;
+        let mut html_docs = HashSet::with_capacity(n_html as usize);
+        for _ in 0..n_html {
+            html_docs.insert(get_u32(&mut r)?);
+        }
+
+        let hdil = HdilIndex::read_meta(&mut r)?;
+        let rdil = match get_u32(&mut r)? {
+            0 => None,
+            1 => Some(RdilIndex::read_meta(&mut r)?),
+            k => return Err(bad(&format!("bad rdil tag {k}"))),
+        };
+        let (naive_id, naive_rank) = match get_u32(&mut r)? {
+            0 => (None, None),
+            1 => (
+                Some(NaiveIdIndex::read_meta(&mut r)?),
+                Some(NaiveRankIndex::read_meta(&mut r)?),
+            ),
+            k => return Err(bad(&format!("bad naive tag {k}"))),
+        };
+
+        let store = FileStore::open(dir.join("store"))?;
+        let pool = BufferPool::new(store, config.pool_pages);
+        Ok(XRankEngine::from_parts(
+            config, collection, ranks, pool, hdil, rdil, naive_id, naive_rank, html_docs,
+        ))
+    }
+}

@@ -1,0 +1,59 @@
+//! Search result presentation types.
+
+use xrank_dewey::DeweyId;
+use xrank_graph::ElemId;
+use xrank_query::EvalStats;
+use xrank_storage::IoStats;
+
+/// One ranked hit, enriched with presentation context ("allow the user to
+/// navigate up to the ancestors of the query result to get more context
+/// information", Section 2.2).
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// The result element's Dewey ID.
+    pub dewey: DeweyId,
+    /// The result element.
+    pub elem: ElemId,
+    /// Overall rank `R(v₁, Q)`.
+    pub score: f64,
+    /// Element tag names from the document root down to the result.
+    pub path: Vec<String>,
+    /// Leading words of the element's content.
+    pub snippet: String,
+    /// The document URI.
+    pub doc_uri: String,
+}
+
+/// A ranked result list plus evaluation metrics.
+#[derive(Debug, Clone)]
+pub struct SearchResults {
+    /// Hits in descending score order.
+    pub hits: Vec<SearchHit>,
+    /// Algorithmic work counters.
+    pub eval: EvalStats,
+    /// Physical I/O performed by this query (cold-start, per query).
+    pub io: IoStats,
+    /// Wall-clock time of the evaluation.
+    pub elapsed: std::time::Duration,
+}
+
+impl SearchResults {
+    /// Renders the hits as a compact human-readable listing (used by the
+    /// examples).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, h) in self.hits.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:2}. [{:.3e}] <{}>  {}  — {}",
+                i + 1,
+                h.score,
+                h.path.join("/"),
+                h.dewey,
+                h.snippet
+            );
+        }
+        out
+    }
+}

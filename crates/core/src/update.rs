@@ -1,0 +1,210 @@
+//! Document-granularity updates (paper, Section 4.5).
+//!
+//! "Document-granularity updates (i.e., adding or deleting documents) can
+//! be handled exactly like in traditional inverted lists ... because DIL,
+//! RDIL, and HDIL do not replicate ancestor information, and because the
+//! first component of the Dewey IDs contains the document ID (which can be
+//! used for deletion)."
+//!
+//! [`UpdatableXRank`] realizes that with the classic main+delta scheme
+//! traditional engines use ([7], [34] in the paper's bibliography):
+//!
+//! * **deletes** are immediate tombstones on the document URI — hits from
+//!   tombstoned documents are filtered at presentation time (the Dewey
+//!   ID's leading document component identifies them), and the postings
+//!   are physically dropped at the next compaction;
+//! * **adds** are staged and become searchable at [`UpdatableXRank::commit`],
+//!   which builds a small *delta* engine over the added documents only;
+//!   queries run against both engines and merge by score;
+//! * [`UpdatableXRank::compact`] rebuilds one engine over the live
+//!   documents, restoring single-index performance and re-resolving
+//!   cross-document hyperlinks between old and new documents (until then,
+//!   links between the main and delta collections remain unresolved — the
+//!   delta's ElemRanks are computed locally, consistent with offline
+//!   ElemRank computation in Figure 2).
+//!
+//! Element-granularity insertion (renumbering sibling Dewey IDs, paper's
+//! reference [32]) is future work here exactly as it was in the paper.
+
+use crate::engine::{EngineBuilder, EngineConfig, Strategy, XRankEngine};
+use crate::results::{SearchHit, SearchResults};
+use std::collections::{BTreeMap, HashSet};
+use xrank_query::QueryOptions;
+
+/// The source text of a live document (kept for compaction rebuilds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DocSource {
+    Xml(String),
+    Html(String),
+}
+
+/// An XRANK engine supporting document-granularity adds and deletes.
+pub struct UpdatableXRank {
+    config: EngineConfig,
+    /// Live documents (URI → source), the durable state.
+    docs: BTreeMap<String, DocSource>,
+    /// Staged additions not yet searchable.
+    staged: BTreeMap<String, DocSource>,
+    main: XRankEngine,
+    /// URIs indexed by the main engine (tombstone routing).
+    main_uris: HashSet<String>,
+    /// Tombstones against the main engine's postings.
+    deleted_main: HashSet<String>,
+    delta: Option<XRankEngine>,
+    /// Tombstones against the current delta engine's postings.
+    deleted_delta: HashSet<String>,
+}
+
+impl UpdatableXRank {
+    /// An empty updatable engine.
+    pub fn new(config: EngineConfig) -> Self {
+        let main = EngineBuilder::with_config(config.clone()).build();
+        UpdatableXRank {
+            config,
+            docs: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            main,
+            main_uris: HashSet::new(),
+            deleted_main: HashSet::new(),
+            delta: None,
+            deleted_delta: HashSet::new(),
+        }
+    }
+
+    /// Stages an XML document (validated now, searchable after `commit`).
+    /// Re-adding an existing URI replaces it (delete + add).
+    pub fn add_xml(&mut self, uri: &str, xml: &str) -> Result<(), xrank_xml::XmlError> {
+        xrank_xml::parse(xml)?; // validate before accepting
+        if self.docs.contains_key(uri) {
+            self.delete(uri);
+        }
+        self.staged.insert(uri.to_string(), DocSource::Xml(xml.to_string()));
+        Ok(())
+    }
+
+    /// Stages an HTML page.
+    pub fn add_html(&mut self, uri: &str, html: &str) {
+        if self.docs.contains_key(uri) {
+            self.delete(uri);
+        }
+        self.staged.insert(uri.to_string(), DocSource::Html(html.to_string()));
+    }
+
+    /// Tombstones a document immediately (also cancels a staged add).
+    /// Returns whether anything was removed.
+    pub fn delete(&mut self, uri: &str) -> bool {
+        let staged = self.staged.remove(uri).is_some();
+        let live = self.docs.remove(uri).is_some();
+        if live {
+            // Route the tombstone to whichever engine holds the postings.
+            if self.main_uris.contains(uri) {
+                self.deleted_main.insert(uri.to_string());
+            } else {
+                self.deleted_delta.insert(uri.to_string());
+            }
+        }
+        staged || live
+    }
+
+    /// Makes staged documents searchable by (re)building the delta engine.
+    pub fn commit(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        for (uri, src) in std::mem::take(&mut self.staged) {
+            self.docs.insert(uri, src);
+        }
+        // The delta covers every live document added since the last
+        // compaction — i.e., those not in the main engine's collection.
+        // It is rebuilt from live documents only, so its tombstones reset.
+        let mut builder = EngineBuilder::with_config(self.config.clone());
+        let mut any = false;
+        for (uri, src) in &self.docs {
+            if self.main_uris.contains(uri) {
+                continue;
+            }
+            any = true;
+            match src {
+                DocSource::Xml(xml) => {
+                    builder.add_xml(uri, xml).expect("validated at add time")
+                }
+                DocSource::Html(html) => builder.add_html(uri, html),
+            }
+        }
+        self.delta = any.then(|| builder.build());
+        self.deleted_delta.clear();
+    }
+
+    /// Rebuilds a single engine over the live documents: tombstoned
+    /// postings disappear, cross-document links between old and new
+    /// documents resolve, and ElemRank is recomputed globally.
+    pub fn compact(&mut self) {
+        self.commit_staged_into_docs();
+        let mut builder = EngineBuilder::with_config(self.config.clone());
+        for (uri, src) in &self.docs {
+            match src {
+                DocSource::Xml(xml) => {
+                    builder.add_xml(uri, xml).expect("validated at add time")
+                }
+                DocSource::Html(html) => builder.add_html(uri, html),
+            }
+        }
+        self.main = builder.build();
+        self.main_uris = self.docs.keys().cloned().collect();
+        self.delta = None;
+        self.deleted_main.clear();
+        self.deleted_delta.clear();
+    }
+
+    fn commit_staged_into_docs(&mut self) {
+        for (uri, src) in std::mem::take(&mut self.staged) {
+            self.docs.insert(uri, src);
+        }
+    }
+
+    /// Searches live documents (main + delta, tombstones filtered),
+    /// merging by score.
+    pub fn search(&mut self, query: &str, m: usize) -> SearchResults {
+        let slack = self.deleted_main.len() + self.deleted_delta.len() + 8;
+        let opts = QueryOptions { top_m: m + slack, ..Default::default() };
+        let mut primary = self.main.search_with(query, Strategy::Hdil, &opts);
+        primary.hits.retain(|h| !self.deleted_main.contains(&h.doc_uri));
+        let mut hits: Vec<SearchHit> = Vec::new();
+        let mut eval = primary.eval;
+        let mut io = primary.io;
+        hits.append(&mut primary.hits);
+        if let Some(delta) = &mut self.delta {
+            let mut secondary = delta.search_with(query, Strategy::Hdil, &opts);
+            secondary.hits.retain(|h| !self.deleted_delta.contains(&h.doc_uri));
+            eval.entries_scanned += secondary.eval.entries_scanned;
+            eval.btree_probes += secondary.eval.btree_probes;
+            io.seq_reads += secondary.io.seq_reads;
+            io.rand_reads += secondary.io.rand_reads;
+            io.cache_hits += secondary.io.cache_hits;
+            hits.append(&mut secondary.hits);
+        }
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.dewey.cmp(&b.dewey)));
+        hits.truncate(m);
+        SearchResults { hits, eval, io, elapsed: primary.elapsed }
+    }
+
+    /// Number of live (searchable or staged) documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len() + self.staged.len()
+    }
+
+    /// Number of staged (not yet searchable) documents.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of tombstoned documents awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.deleted_main.len() + self.deleted_delta.len()
+    }
+
+    /// The main engine (for inspection).
+    pub fn main_engine(&self) -> &XRankEngine {
+        &self.main
+    }
+}

@@ -1,0 +1,120 @@
+//! Build → persist → reopen round-trip tests.
+
+use xrank_core::{EngineBuilder, EngineConfig, Strategy, XRankEngine};
+use xrank_query::QueryOptions;
+use xrank_storage::FileStore;
+
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "w1",
+        "<workshop><paper id=\"1\"><title>XQL and Proximal Nodes</title>\
+         <body>the XQL query language looks</body><cite href=\"w2\">x</cite></paper></workshop>",
+    ),
+    ("w2", "<paper><title>Querying XML in Xyleme language</title></paper>"),
+    ("w3", "<note><text>unrelated content here</text></note>"),
+];
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xrank-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_persistent(dir: &std::path::Path, with_extras: bool) -> XRankEngine<FileStore> {
+    let mut b = EngineBuilder::with_config(EngineConfig {
+        with_rdil: with_extras,
+        with_naive: with_extras,
+        ..Default::default()
+    });
+    for (uri, xml) in CORPUS {
+        b.add_xml(uri, xml).unwrap();
+    }
+    b.add_html("page", "<html><body>xql on the web</body></html>");
+    b.build_persistent(dir).unwrap()
+}
+
+#[test]
+fn reopened_engine_returns_identical_results() {
+    let dir = tempdir("basic");
+    let mut built = build_persistent(&dir, false);
+    let before = built.search("xql language", 10);
+    assert!(!before.hits.is_empty());
+    drop(built);
+
+    let mut reopened = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let after = reopened.search("xql language", 10);
+    assert_eq!(before.hits.len(), after.hits.len());
+    for (a, b) in before.hits.iter().zip(after.hits.iter()) {
+        assert_eq!(a.dewey, b.dewey);
+        assert!((a.score - b.score).abs() < 1e-12);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.snippet, b.snippet);
+        assert_eq!(a.doc_uri, b.doc_uri);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn all_strategies_survive_reopen() {
+    let dir = tempdir("strategies");
+    drop(build_persistent(&dir, true));
+    let mut e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let opts = QueryOptions { top_m: 10, ..Default::default() };
+    let dil = e.search_with("xql language", Strategy::Dil, &opts);
+    for strategy in [Strategy::Rdil, Strategy::Hdil, Strategy::NaiveId, Strategy::NaiveRank] {
+        let res = e.search_with("xql language", strategy, &opts);
+        assert!(
+            !res.hits.is_empty(),
+            "strategy {strategy:?} returned nothing after reopen"
+        );
+        if matches!(strategy, Strategy::Rdil | Strategy::Hdil) {
+            assert_eq!(res.hits.len(), dil.hits.len());
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn html_mode_survives_reopen() {
+    let dir = tempdir("html");
+    drop(build_persistent(&dir, false));
+    let mut e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let res = e.search("web", 10);
+    assert_eq!(res.hits.len(), 1);
+    assert_eq!(res.hits[0].doc_uri, "page");
+    assert_eq!(res.hits[0].path.len(), 1, "HTML pages stay whole documents");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn elem_ranks_survive_reopen() {
+    let dir = tempdir("ranks");
+    let built = build_persistent(&dir, false);
+    let n = built.collection().element_count();
+    let expected: Vec<f64> = (0..n as u32).map(|i| built.elem_rank_of(i)).collect();
+    drop(built);
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    assert!(e.rank_result().converged);
+    for (i, &x) in expected.iter().enumerate() {
+        assert_eq!(e.elem_rank_of(i as u32), x);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_meta_is_rejected() {
+    let dir = tempdir("corrupt");
+    drop(build_persistent(&dir, false));
+    let meta = dir.join("xrank-meta.bin");
+    let mut bytes = std::fs::read(&meta).unwrap();
+    bytes[0] = b'Z';
+    std::fs::write(&meta, &bytes).unwrap();
+    assert!(XRankEngine::open(&dir, EngineConfig::default()).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_directory_is_a_clean_error() {
+    let err = XRankEngine::open("/nonexistent/xrank-zzz", EngineConfig::default());
+    assert!(err.is_err());
+}

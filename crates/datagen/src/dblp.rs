@@ -1,0 +1,226 @@
+//! DBLP-shaped corpus generator.
+//!
+//! Properties mirrored from the real DBLP dataset the paper uses
+//! (Section 5.1): shallow documents ("depth of about 4"), many
+//! inter-document references ("in the form of bibliographic citations"),
+//! skewed author productivity (a few prolific authors — the paper's
+//! 'gray' anecdote needs a Jim-Gray-like author whose papers are heavily
+//! cited), and skewed citation in-degree via preferential attachment.
+//!
+//! Each publication is its own XML document:
+//!
+//! ```xml
+//! <article key="pub42" year="1997">
+//!   <author>kor velan</author><author>resil tunor</author>
+//!   <title>tavoki rensolu ...</title>
+//!   <venue>journal of kor studies</venue>
+//!   <cite href="dblp/pub7"/><cite href="dblp/pub31"/>
+//! </article>
+//! ```
+//!
+//! Citations point only to earlier publications (`href` is resolved by the
+//! graph builder's XLink convention), giving an acyclic citation graph
+//! like real bibliographies.
+
+use crate::plant::{PlantConfig, Planter};
+use crate::text::TextModel;
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of publications (= documents).
+    pub publications: usize,
+    /// Author pool size (0 = derived as `publications / 4`, min 10).
+    pub authors: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Vocabulary size for titles.
+    pub vocab: usize,
+    /// Optional keyword planting (slot = publication index).
+    pub plant: Option<PlantConfig>,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { publications: 2000, authors: 0, seed: 1, vocab: 5000, plant: None }
+    }
+}
+
+/// URI of publication `i` (what `<cite href>` points at).
+pub fn pub_uri(i: usize) -> String {
+    format!("dblp/pub{i}")
+}
+
+/// Generates the corpus.
+pub fn generate(config: &DblpConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let model = TextModel::new(config.vocab.max(10), 1.0);
+    let n = config.publications;
+    let author_pool = if config.authors > 0 { config.authors } else { (n / 4).max(10) };
+
+    // Author names: two-word pseudonyms, selection Zipf-skewed so a few
+    // authors are prolific.
+    let authors: Vec<String> = (0..author_pool)
+        .map(|i| format!("{} {}", crate::text::word_at_rank(2 * i + 11), crate::text::word_at_rank(2 * i + 12)))
+        .collect();
+    let author_model = TextModel::new(author_pool, 1.0);
+
+    let venues: Vec<String> = (0..25)
+        .map(|i| format!("journal of {} studies", crate::text::word_at_rank(i + 301)))
+        .collect();
+
+    let planter = config.plant.map(|p| Planter::new(p, n));
+
+    // Preferential attachment ball list: paper i appears once on creation
+    // plus once per citation received.
+    let mut balls: Vec<usize> = Vec::with_capacity(n * 4);
+    let mut docs = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let mut xml = String::with_capacity(600);
+        let year = 1985 + (i * 19) % 19 + rng.random_range(0..2);
+        let kind = if i % 3 == 0 { "inproceedings" } else { "article" };
+        let _ = write!(xml, r#"<{kind} key="pub{i}" year="{year}">"#);
+
+        let n_authors = 1 + rng.random_range(0..3);
+        for _ in 0..n_authors {
+            // Zipf pick over the author pool: a few authors are prolific.
+            let rank = author_model.sample_rank(&mut rng);
+            let _ = write!(xml, "<author>{}</author>", authors[rank]);
+        }
+
+        let mut title = String::new();
+        let title_len = 6 + rng.random_range(0..6);
+        model.sentence(&mut rng, title_len, &mut title);
+        if let Some(p) = &planter {
+            for word in p.inject(i) {
+                title.push(' ');
+                title.push_str(&word);
+            }
+        }
+        let _ = write!(xml, "<title>{title}</title>");
+        let _ = write!(xml, "<venue>{}</venue>", venues[rng.random_range(0..venues.len())]);
+
+        // Citations to earlier papers, preferential attachment.
+        if i > 0 {
+            let n_cites = rng.random_range(0..12.min(i + 1));
+            for _ in 0..n_cites {
+                let target = balls[rng.random_range(0..balls.len())];
+                let _ = write!(xml, r#"<cite href="{}"/>"#, pub_uri(target));
+                balls.push(target);
+            }
+        }
+        let _ = write!(xml, "</{kind}>");
+
+        balls.push(i);
+        docs.push((pub_uri(i), xml));
+    }
+    Dataset { docs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_parses() {
+        let ds = generate(&DblpConfig { publications: 50, ..Default::default() });
+        assert_eq!(ds.docs.len(), 50);
+        for (uri, xml) in &ds.docs {
+            let doc = xrank_xml::parse(xml).unwrap_or_else(|e| panic!("{uri}: {e}"));
+            let root = doc.node(doc.root());
+            assert!(matches!(root.name(), Some("article" | "inproceedings")));
+        }
+    }
+
+    #[test]
+    fn citations_point_backwards() {
+        let ds = generate(&DblpConfig { publications: 80, ..Default::default() });
+        for (i, (_, xml)) in ds.docs.iter().enumerate() {
+            let doc = xrank_xml::parse(xml).unwrap();
+            for id in doc.descendants() {
+                let node = doc.node(id);
+                if node.name() == Some("cite") {
+                    let href = node.attr("href").unwrap();
+                    let target: usize =
+                        href.strip_prefix("dblp/pub").unwrap().parse().unwrap();
+                    assert!(target < i, "pub{i} cites forward to pub{target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn citation_indegree_is_skewed() {
+        let ds = generate(&DblpConfig { publications: 500, ..Default::default() });
+        let mut indeg = vec![0usize; 500];
+        for (_, xml) in &ds.docs {
+            let doc = xrank_xml::parse(xml).unwrap();
+            for id in doc.descendants() {
+                if doc.node(id).name() == Some("cite") {
+                    let t: usize = doc
+                        .node(id)
+                        .attr("href")
+                        .unwrap()
+                        .strip_prefix("dblp/pub")
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    indeg[t] += 1;
+                }
+            }
+        }
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = indeg[..10].iter().sum();
+        let total: usize = indeg.iter().sum();
+        assert!(total > 0);
+        assert!(
+            top10 * 5 > total,
+            "preferential attachment should concentrate citations: top10={top10} total={total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DblpConfig { publications: 30, ..Default::default() });
+        let b = generate(&DblpConfig { publications: 30, ..Default::default() });
+        assert_eq!(a.docs, b.docs);
+        let c = generate(&DblpConfig { publications: 30, seed: 2, ..Default::default() });
+        assert_ne!(a.docs, c.docs);
+    }
+
+    #[test]
+    fn planted_keywords_present() {
+        let plant = PlantConfig { groups: 1, group_size: 2, high_frequency: 10, low_frequency: 10, low_cooccurrences: 1 };
+        let ds = generate(&DblpConfig {
+            publications: 100,
+            plant: Some(plant),
+            ..Default::default()
+        });
+        let all: String = ds.docs.iter().map(|(_, x)| x.as_str()).collect();
+        assert!(all.contains(&crate::plant::high_keyword(0, 0)));
+        assert!(all.contains(&crate::plant::low_keyword(0, 1)));
+    }
+
+    #[test]
+    fn depth_is_shallow() {
+        let ds = generate(&DblpConfig { publications: 10, ..Default::default() });
+        for (_, xml) in &ds.docs {
+            let doc = xrank_xml::parse(xml).unwrap();
+            // element tree depth: root(article) -> field -> text ⇒ ≤ 2 levels
+            fn depth(doc: &xrank_xml::Document, id: xrank_xml::NodeId) -> usize {
+                doc.children(id)
+                    .iter()
+                    .filter(|&&c| doc.node(c).is_element())
+                    .map(|&c| 1 + depth(doc, c))
+                    .max()
+                    .unwrap_or(0)
+            }
+            assert!(depth(&doc, doc.root()) <= 2);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic datasets and query workloads for the XRANK experiments.
+//!
+//! The paper evaluates on DBLP (real, 143 MB) and XMark (synthetic,
+//! 113 MB, scale 1.0). Neither artifact ships with this reproduction, so
+//! this crate generates *shape-faithful* substitutes (see DESIGN.md §2):
+//!
+//! * [`dblp`] — a DBLP-shaped corpus: one XML document per publication,
+//!   depth ≈ 4, skewed author/venue distributions, and citation hyperlinks
+//!   across documents following preferential attachment (matching DBLP's
+//!   "many inter-document references").
+//! * [`xmark`] — an XMark-shaped auction site: a single deep document
+//!   (depth ≈ 10) with regions/items/people/auctions and intra-document
+//!   IDREFs (auction → item, auction → person).
+//! * [`text`] — the Zipf-distributed synthetic vocabulary both generators
+//!   draw words from (term frequency skew is what gives inverted lists
+//!   their realistic length distribution).
+//! * [`plant`] — keyword planting for the Figure 10/11 workloads: *high
+//!   correlation* groups co-occur in many elements; *low correlation*
+//!   groups are individually frequent but co-occur in almost none — the
+//!   paper's two query regimes.
+//! * [`workload`] — assembles keyword queries from the planted groups and
+//!   by frequency rank.
+//!
+//! All generation is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod plant;
+pub mod text;
+pub mod workload;
+pub mod xmark;
+
+/// A generated dataset: `(uri, xml)` documents ready for
+/// `CollectionBuilder::add_xml_str`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Documents in insertion order.
+    pub docs: Vec<(String, String)>,
+}
+
+impl Dataset {
+    /// Total XML bytes across documents.
+    pub fn total_bytes(&self) -> usize {
+        self.docs.iter().map(|(_, xml)| xml.len()).sum()
+    }
+}

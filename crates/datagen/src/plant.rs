@@ -1,0 +1,203 @@
+//! Keyword planting for the correlation-controlled workloads.
+//!
+//! Figure 10 measures queries whose keywords are *highly correlated*
+//! (they co-occur in many elements, so RDIL's probes keep succeeding);
+//! Figure 11 measures *low correlation* (each keyword is frequent, but
+//! they almost never co-occur, so RDIL burns random probes and DIL's
+//! sequential scan wins). Natural Zipf text cannot guarantee either
+//! regime, so the generators plant synthetic marker keywords:
+//!
+//! * High group `g` — keywords `qhigh{g}k{0..}` are injected *together*
+//!   (adjacent words) into `high_frequency` text slots.
+//! * Low group `g` — keyword `qlow{g}k{i}` is injected alone into
+//!   `low_frequency` slots, with all of a group's keywords co-occurring
+//!   in exactly `low_cooccurrences` designated slots (so conjunctive
+//!   results exist, but are vanishingly rare).
+//!
+//! A *slot* is one generated text block (a DBLP title, an XMark item
+//! description). Injection is a pure function of the slot index, so
+//! datasets are reproducible and the workload generator knows exactly
+//! which keywords exist.
+
+/// Planting parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantConfig {
+    /// Number of high-correlation and low-correlation groups each.
+    pub groups: usize,
+    /// Keywords per group (Figures 10/11 sweep 1–4 query keywords).
+    pub group_size: usize,
+    /// Text slots each high group is planted into (co-occurring).
+    pub high_frequency: usize,
+    /// Text slots each low keyword is planted into (alone).
+    pub low_frequency: usize,
+    /// Slots where a low group's keywords all co-occur.
+    pub low_cooccurrences: usize,
+}
+
+impl Default for PlantConfig {
+    fn default() -> Self {
+        PlantConfig {
+            groups: 4,
+            group_size: 4,
+            high_frequency: 200,
+            low_frequency: 200,
+            low_cooccurrences: 2,
+        }
+    }
+}
+
+/// The i-th keyword of high-correlation group `g`.
+pub fn high_keyword(group: usize, i: usize) -> String {
+    format!("qhigh{group}k{i}")
+}
+
+/// The i-th keyword of low-correlation group `g`.
+pub fn low_keyword(group: usize, i: usize) -> String {
+    format!("qlow{group}k{i}")
+}
+
+/// Deterministic slot-indexed injector.
+#[derive(Debug, Clone)]
+pub struct Planter {
+    config: PlantConfig,
+    total_slots: usize,
+}
+
+impl Planter {
+    /// A planter for a dataset with `total_slots` text slots.
+    pub fn new(config: PlantConfig, total_slots: usize) -> Self {
+        Planter { config, total_slots: total_slots.max(1) }
+    }
+
+    /// The planting configuration.
+    pub fn config(&self) -> &PlantConfig {
+        &self.config
+    }
+
+    /// Words to append to text slot `slot` (empty for most slots).
+    pub fn inject(&self, slot: usize) -> Vec<String> {
+        let c = &self.config;
+        let mut out = Vec::new();
+
+        // High groups: all keywords together, spread evenly.
+        let high_stride = (self.total_slots / c.high_frequency.max(1)).max(1);
+        for g in 0..c.groups {
+            if slot % high_stride == (g * 3) % high_stride {
+                for i in 0..c.group_size {
+                    out.push(high_keyword(g, i));
+                }
+            }
+        }
+
+        // Low co-occurrence slots (checked first so they win the
+        // exclusivity rule below).
+        let mut low_planted = false;
+        for g in 0..c.groups {
+            if (0..c.low_cooccurrences).any(|j| slot == self.low_cooccur_slot(g, j)) {
+                for i in 0..c.group_size {
+                    out.push(low_keyword(g, i));
+                }
+                low_planted = true;
+            }
+        }
+
+        // Low keywords alone: each (g, i) gets its own residue class; at
+        // most one low keyword per slot so they never co-occur by
+        // accident.
+        if !low_planted {
+            let low_stride = (self.total_slots / c.low_frequency.max(1)).max(1);
+            'outer: for g in 0..c.groups {
+                for i in 0..c.group_size {
+                    let residue = (g * c.group_size + i + 1) % low_stride;
+                    if slot % low_stride == residue {
+                        out.push(low_keyword(g, i));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The j-th designated co-occurrence slot of low group `g`.
+    fn low_cooccur_slot(&self, g: usize, j: usize) -> usize {
+        // Spread deep into the slot space, away from the stride classes.
+        (self.total_slots / 2 + g * 31 + j * 97) % self.total_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census(planter: &Planter) -> (Vec<usize>, Vec<usize>, usize) {
+        let c = *planter.config();
+        let mut high_counts = vec![0usize; c.groups];
+        let mut low_counts = vec![0usize; c.groups * c.group_size];
+        let mut low_cooccur = 0usize;
+        for slot in 0..planter.total_slots {
+            let words = planter.inject(slot);
+            for g in 0..c.groups {
+                if words.contains(&high_keyword(g, 0)) {
+                    high_counts[g] += 1;
+                    // high keywords always co-occur
+                    for i in 0..c.group_size {
+                        assert!(words.contains(&high_keyword(g, i)));
+                    }
+                }
+                let lows: Vec<usize> =
+                    (0..c.group_size).filter(|&i| words.contains(&low_keyword(g, i))).collect();
+                if lows.len() == c.group_size {
+                    low_cooccur += 1;
+                }
+                for &i in &lows {
+                    low_counts[g * c.group_size + i] += 1;
+                }
+            }
+        }
+        (high_counts, low_counts, low_cooccur)
+    }
+
+    #[test]
+    fn high_groups_cooccur_frequently() {
+        let planter = Planter::new(PlantConfig::default(), 5000);
+        let (high, _, _) = census(&planter);
+        for (g, &count) in high.iter().enumerate() {
+            assert!(count >= 150, "high group {g} planted only {count} times");
+        }
+    }
+
+    #[test]
+    fn low_keywords_frequent_but_disjoint() {
+        let cfg = PlantConfig::default();
+        let planter = Planter::new(cfg, 5000);
+        let (_, low, cooccur) = census(&planter);
+        for (k, &count) in low.iter().enumerate() {
+            assert!(count >= 50, "low keyword {k} planted only {count} times");
+        }
+        // co-occurrence only at the designated slots
+        assert!(
+            cooccur >= cfg.low_cooccurrences * cfg.groups / 2 && cooccur <= 4 * cfg.groups,
+            "unexpected low co-occurrence count {cooccur}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let planter = Planter::new(PlantConfig::default(), 1000);
+        for slot in [0usize, 13, 500, 999] {
+            assert_eq!(planter.inject(slot), planter.inject(slot));
+        }
+    }
+
+    #[test]
+    fn tiny_slot_spaces_do_not_panic() {
+        let planter = Planter::new(PlantConfig::default(), 1);
+        let _ = planter.inject(0);
+        let planter = Planter::new(
+            PlantConfig { groups: 0, ..Default::default() },
+            100,
+        );
+        assert!(planter.inject(5).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Zipf-distributed synthetic vocabulary.
+//!
+//! Real text is heavily skewed: the r-th most frequent word appears with
+//! probability ∝ 1/r^s. The experiments depend on that skew — it is what
+//! produces a realistic mix of long and short inverted lists — so the
+//! generators sample words from this model. Words are pronounceable
+//! syllable strings ("tavoki", "rensolu", …), deterministic per rank, so
+//! generated XML is human-readable in the examples.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Zipfian word sampler over a fixed-size vocabulary.
+#[derive(Debug, Clone)]
+pub struct TextModel {
+    vocab: Vec<String>,
+    /// Cumulative probability table for inverse-transform sampling.
+    cumulative: Vec<f64>,
+}
+
+const SYLLABLES: &[&str] = &[
+    "ta", "re", "mi", "so", "lu", "ven", "kor", "pa", "den", "fi", "gal", "hu", "jin", "ket",
+    "lor", "mas", "nor", "pel", "qui", "ras", "sil", "tun", "vor", "wex", "yol", "zam",
+];
+
+/// The deterministic word at frequency rank `rank` (0 = most frequent).
+///
+/// Injective: the syllable table is a prefix-free code, and the base-26
+/// digit expansion of `rank + 26` (offset forces at least two syllables)
+/// is canonical, so distinct ranks yield distinct words.
+pub fn word_at_rank(rank: usize) -> String {
+    let base = SYLLABLES.len();
+    let mut n = rank + base;
+    let mut word = String::new();
+    while n > 0 {
+        word.push_str(SYLLABLES[n % base]);
+        n /= base;
+    }
+    word
+}
+
+impl TextModel {
+    /// A model over the `vocab_size` most frequent words with Zipf
+    /// exponent `s` (classic natural-language value: 1.0).
+    pub fn new(vocab_size: usize, s: f64) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        let vocab: Vec<String> = (0..vocab_size).map(word_at_rank).collect();
+        let mut cumulative = Vec::with_capacity(vocab_size);
+        let mut total = 0.0;
+        for r in 1..=vocab_size {
+            total += 1.0 / (r as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        TextModel { vocab, cumulative }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The word at a frequency rank (0-based).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.vocab[rank]
+    }
+
+    /// Samples a frequency rank (0-based, Zipf-distributed).
+    pub fn sample_rank(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.vocab.len() - 1)
+    }
+
+    /// Samples one word.
+    pub fn sample<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        let rank = self.sample_rank(rng);
+        &self.vocab[rank]
+    }
+
+    /// Samples a sentence of `len` words into `out` (space separated).
+    pub fn sentence(&self, rng: &mut StdRng, len: usize, out: &mut String) {
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.sample(rng));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_distinct_and_stable() {
+        let a: Vec<String> = (0..500).map(word_at_rank).collect();
+        let b: Vec<String> = (0..500).map(word_at_rank).collect();
+        assert_eq!(a, b, "deterministic");
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "no collisions in the first 500 ranks");
+    }
+
+    #[test]
+    fn sampling_is_zipf_skewed() {
+        let model = TextModel::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let idx = model.cumulative.partition_point(|&c| c < u);
+            counts[idx.min(999)] += 1;
+        }
+        // rank 0 should dominate rank 99 by roughly 100x (Zipf s=1)
+        assert!(counts[0] > counts[99] * 20, "rank0={} rank99={}", counts[0], counts[99]);
+        // and everything should have a chance
+        assert!(counts[0] < 200_000 / 4, "head not overwhelming");
+    }
+
+    #[test]
+    fn sentence_has_requested_length() {
+        let model = TextModel::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = String::new();
+        model.sentence(&mut rng, 12, &mut s);
+        assert_eq!(s.split_whitespace().count(), 12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = TextModel::new(100, 1.0);
+        let mut s1 = String::new();
+        let mut s2 = String::new();
+        model.sentence(&mut StdRng::seed_from_u64(9), 20, &mut s1);
+        model.sentence(&mut StdRng::seed_from_u64(9), 20, &mut s2);
+        assert_eq!(s1, s2);
+    }
+}

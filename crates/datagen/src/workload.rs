@@ -1,0 +1,56 @@
+//! Query workload assembly for the experiments.
+//!
+//! Section 5.4 varies four factors: number of keywords, keyword
+//! correlation, number of results (`m`), and keyword selectivity. The
+//! first two come from the planted groups ([`crate::plant`]); selectivity
+//! workloads pick natural vocabulary words by frequency rank.
+
+use crate::plant::{high_keyword, low_keyword};
+use crate::text::word_at_rank;
+
+/// The two correlation regimes of Figures 10 and 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    /// Keywords co-occur in many elements (Figure 10).
+    High,
+    /// Keywords frequent but almost never co-occurring (Figure 11).
+    Low,
+}
+
+/// The keywords of query `group` with `n` keywords under a correlation
+/// regime. Groups index the planted keyword groups; `n` must not exceed
+/// the planted `group_size`.
+pub fn query(correlation: Correlation, group: usize, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| match correlation {
+            Correlation::High => high_keyword(group, i),
+            Correlation::Low => low_keyword(group, i),
+        })
+        .collect()
+}
+
+/// A natural-vocabulary query of `n` words around frequency rank `rank`
+/// (consecutive ranks, so all words have comparable selectivity).
+pub fn selectivity_query(rank: usize, n: usize) -> Vec<String> {
+    (0..n).map(|i| word_at_rank(rank + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_shapes() {
+        assert_eq!(query(Correlation::High, 2, 3), vec!["qhigh2k0", "qhigh2k1", "qhigh2k2"]);
+        assert_eq!(query(Correlation::Low, 0, 1), vec!["qlow0k0"]);
+    }
+
+    #[test]
+    fn selectivity_queries_use_adjacent_ranks() {
+        let q = selectivity_query(10, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0], word_at_rank(10));
+        assert_eq!(q[1], word_at_rank(11));
+        assert_ne!(q[0], q[1]);
+    }
+}

@@ -1,0 +1,320 @@
+//! XMark-shaped auction-site generator.
+//!
+//! Mirrors the properties the paper relies on (Section 5.1): one deep
+//! document ("depth of 10"), no inter-document links but plenty of
+//! intra-document IDREFs ("XMark data has many intra-document references"
+//! — auctions referencing items and people), and long description texts
+//! that give the inverted lists realistic lengths.
+//!
+//! Structure (element depth in parentheses):
+//!
+//! ```text
+//! site(0) ── regions(1) ── africa…(2) ── item(3) ── description(4) ──
+//!            parlist(5) ── listitem(6) ── parlist(7) ── listitem(8) ──
+//!            text(9)                                       ← depth 10 path
+//!        ├─ categories(1) ── category(2) ── description(3) ── text(4)
+//!        ├─ people(1) ── person(2) ── profile(3) ── interest(4)
+//!        ├─ open_auctions(1) ── open_auction(2) ── bidder(3) ── …
+//!        └─ closed_auctions(1) ── closed_auction(2) ── annotation(3) ── …
+//! ```
+//!
+//! Scale 1.0 here targets a conveniently-benchmarkable corpus (thousands
+//! of items), not XMark's original 113 MB; the experiments sweep the scale
+//! knob instead.
+
+use crate::plant::{PlantConfig, Planter};
+use crate::text::TextModel;
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Scale factor: 1.0 ≈ 1200 items / 300 people / 500 auctions.
+    pub scale: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// Vocabulary size for description texts.
+    pub vocab: usize,
+    /// Optional keyword planting (slot = item / auction text index).
+    pub plant: Option<PlantConfig>,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig { scale: 1.0, seed: 1, vocab: 5000, plant: None }
+    }
+}
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Derived entity counts for a config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmarkCounts {
+    /// Total items across regions.
+    pub items: usize,
+    /// People.
+    pub people: usize,
+    /// Categories.
+    pub categories: usize,
+    /// Open auctions.
+    pub open_auctions: usize,
+    /// Closed auctions.
+    pub closed_auctions: usize,
+}
+
+impl XmarkConfig {
+    /// The entity counts this config generates.
+    pub fn counts(&self) -> XmarkCounts {
+        let s = self.scale.max(0.01);
+        XmarkCounts {
+            items: ((1200.0 * s) as usize).max(REGIONS.len()),
+            people: ((300.0 * s) as usize).max(4),
+            categories: ((60.0 * s) as usize).max(3),
+            open_auctions: ((300.0 * s) as usize).max(2),
+            closed_auctions: ((200.0 * s) as usize).max(2),
+        }
+    }
+}
+
+/// Generates the single-document dataset.
+pub fn generate(config: &XmarkConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let model = TextModel::new(config.vocab.max(10), 1.0);
+    let c = config.counts();
+    // Text slots: one per item + one per auction annotation.
+    let total_slots = c.items + c.open_auctions + c.closed_auctions;
+    let planter = config.plant.map(|p| Planter::new(p, total_slots));
+    let mut slot = 0usize;
+
+    let mut xml = String::with_capacity(total_slots * 400);
+    xml.push_str("<site>");
+
+    // -- regions / items ------------------------------------------------
+    xml.push_str("<regions>");
+    let mut item = 0usize;
+    for (r, region) in REGIONS.iter().enumerate() {
+        let _ = write!(xml, "<{region}>");
+        let per_region = c.items / REGIONS.len()
+            + usize::from(r < c.items % REGIONS.len());
+        for _ in 0..per_region {
+            write_item(&mut xml, item, &model, &planter, &mut slot, &mut rng);
+            item += 1;
+        }
+        let _ = write!(xml, "</{region}>");
+    }
+    xml.push_str("</regions>");
+
+    // -- categories -------------------------------------------------------
+    xml.push_str("<categories>");
+    for i in 0..c.categories {
+        let mut name = String::new();
+        model.sentence(&mut rng, 2, &mut name);
+        let mut desc = String::new();
+        let desc_len = 10 + rng.random_range(0..10);
+        model.sentence(&mut rng, desc_len, &mut desc);
+        let _ = write!(
+            xml,
+            r#"<category id="category{i}"><name>{name}</name><description><text>{desc}</text></description></category>"#
+        );
+    }
+    xml.push_str("</categories>");
+
+    // -- people -----------------------------------------------------------
+    xml.push_str("<people>");
+    for i in 0..c.people {
+        let first = crate::text::word_at_rank(1000 + 2 * i);
+        let last = crate::text::word_at_rank(1001 + 2 * i);
+        let n_interests = rng.random_range(0..4);
+        let _ = write!(
+            xml,
+            r#"<person id="person{i}"><name>{first} {last}</name><emailaddress>{first}.{last}@auction.example</emailaddress><profile income="{}">"#,
+            20_000 + rng.random_range(0..80_000)
+        );
+        for _ in 0..n_interests {
+            let _ = write!(
+                xml,
+                r#"<interest category="category{}"/>"#,
+                rng.random_range(0..c.categories)
+            );
+        }
+        xml.push_str("</profile></person>");
+    }
+    xml.push_str("</people>");
+
+    // -- open auctions -----------------------------------------------------
+    xml.push_str("<open_auctions>");
+    for i in 0..c.open_auctions {
+        let item_ref = rng.random_range(0..c.items);
+        let seller = rng.random_range(0..c.people);
+        let n_bidders = rng.random_range(0..5);
+        let _ = write!(
+            xml,
+            r#"<open_auction id="open_auction{i}"><initial>{}</initial>"#,
+            1 + rng.random_range(0..500)
+        );
+        for b in 0..n_bidders {
+            let _ = write!(
+                xml,
+                r#"<bidder><date>2003-0{}-1{}</date><personref person="person{}"/><increase>{}</increase></bidder>"#,
+                1 + b % 9,
+                b % 9,
+                rng.random_range(0..c.people),
+                1 + rng.random_range(0..50)
+            );
+        }
+        let mut anno = String::new();
+        let anno_len = 15 + rng.random_range(0..25);
+        model.sentence(&mut rng, anno_len, &mut anno);
+        inject(&planter, &mut slot, &mut anno);
+        let _ = write!(
+            xml,
+            r#"<current>{}</current><itemref item="item{item_ref}"/><seller person="person{seller}"/><annotation><description><text>{anno}</text></description></annotation></open_auction>"#,
+            1 + rng.random_range(0..1000)
+        );
+    }
+    xml.push_str("</open_auctions>");
+
+    // -- closed auctions ----------------------------------------------------
+    xml.push_str("<closed_auctions>");
+    for i in 0..c.closed_auctions {
+        let item_ref = rng.random_range(0..c.items);
+        let seller = rng.random_range(0..c.people);
+        let buyer = rng.random_range(0..c.people);
+        let mut anno = String::new();
+        let anno_len = 10 + rng.random_range(0..20);
+        model.sentence(&mut rng, anno_len, &mut anno);
+        inject(&planter, &mut slot, &mut anno);
+        let _ = write!(
+            xml,
+            r#"<closed_auction id="closed_auction{i}"><seller person="person{seller}"/><buyer person="person{buyer}"/><itemref item="item{item_ref}"/><price>{}</price><date>2003-0{}-02</date><annotation><description><text>{anno}</text></description></annotation></closed_auction>"#,
+            10 + rng.random_range(0..2000),
+            1 + i % 9
+        );
+    }
+    xml.push_str("</closed_auctions>");
+
+    xml.push_str("</site>");
+    Dataset { docs: vec![("xmark/site".to_string(), xml)] }
+}
+
+fn inject(planter: &Option<Planter>, slot: &mut usize, text: &mut String) {
+    if let Some(p) = planter {
+        for word in p.inject(*slot) {
+            text.push(' ');
+            text.push_str(&word);
+        }
+    }
+    *slot += 1;
+}
+
+fn write_item(
+    xml: &mut String,
+    i: usize,
+    model: &TextModel,
+    planter: &Option<Planter>,
+    slot: &mut usize,
+    rng: &mut StdRng,
+) {
+    let mut name = String::new();
+    let name_len = 1 + rng.random_range(0..3);
+    model.sentence(rng, name_len, &mut name);
+    let mut para1 = String::new();
+    let para1_len = 20 + rng.random_range(0..40);
+    model.sentence(rng, para1_len, &mut para1);
+    inject(planter, slot, &mut para1);
+    let mut para2 = String::new();
+    let para2_len = 10 + rng.random_range(0..20);
+    model.sentence(rng, para2_len, &mut para2);
+    let quantity = 1 + rng.random_range(0..5);
+    // The nested parlist/listitem chain is what gives XMark its depth-10
+    // text paths.
+    let _ = write!(
+        xml,
+        r#"<item id="item{i}"><location>here</location><quantity>{quantity}</quantity><name>{name}</name><payment>cash</payment><description><parlist><listitem><parlist><listitem><text>{para1}</text></listitem></parlist></listitem><listitem><text>{para2}</text></listitem></parlist></description><shipping>post</shipping></item>"#
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_one_parsable_document() {
+        let ds = generate(&XmarkConfig { scale: 0.05, ..Default::default() });
+        assert_eq!(ds.docs.len(), 1);
+        let doc = xrank_xml::parse(&ds.docs[0].1).unwrap();
+        assert_eq!(doc.node(doc.root()).name(), Some("site"));
+    }
+
+    #[test]
+    fn depth_reaches_nine_plus() {
+        let ds = generate(&XmarkConfig { scale: 0.05, ..Default::default() });
+        let doc = xrank_xml::parse(&ds.docs[0].1).unwrap();
+        fn depth(doc: &xrank_xml::Document, id: xrank_xml::NodeId) -> usize {
+            doc.children(id)
+                .iter()
+                .filter(|&&c| doc.node(c).is_element())
+                .map(|&c| 1 + depth(doc, c))
+                .max()
+                .unwrap_or(0)
+        }
+        assert!(depth(&doc, doc.root()) >= 9, "XMark-like data must be deep");
+    }
+
+    #[test]
+    fn idrefs_resolve_within_document() {
+        let ds = generate(&XmarkConfig { scale: 0.05, ..Default::default() });
+        let xml = &ds.docs[0].1;
+        // Every itemref/personref target id must be defined.
+        let doc = xrank_xml::parse(xml).unwrap();
+        let mut defined = std::collections::HashSet::new();
+        let mut referenced = Vec::new();
+        for id in doc.descendants() {
+            let n = doc.node(id);
+            if let Some(v) = n.attr("id") {
+                defined.insert(v.to_string());
+            }
+            for attr in ["item", "person", "category"] {
+                if let Some(v) = n.attr(attr) {
+                    referenced.push(v.to_string());
+                }
+            }
+        }
+        assert!(!referenced.is_empty());
+        for r in referenced {
+            assert!(defined.contains(&r), "dangling reference {r}");
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&XmarkConfig { scale: 0.02, ..Default::default() });
+        let large = generate(&XmarkConfig { scale: 0.08, ..Default::default() });
+        assert!(large.total_bytes() > 2 * small.total_bytes());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XmarkConfig { scale: 0.02, ..Default::default() });
+        let b = generate(&XmarkConfig { scale: 0.02, ..Default::default() });
+        assert_eq!(a.docs, b.docs);
+    }
+
+    #[test]
+    fn planted_keywords_present() {
+        let plant = PlantConfig {
+            groups: 1,
+            group_size: 2,
+            high_frequency: 20,
+            low_frequency: 20,
+            low_cooccurrences: 1,
+        };
+        let ds = generate(&XmarkConfig { scale: 0.05, plant: Some(plant), ..Default::default() });
+        let xml = &ds.docs[0].1;
+        assert!(xml.contains(&crate::plant::high_keyword(0, 0)));
+        assert!(xml.contains(&crate::plant::low_keyword(0, 0)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests pinning down the invariants the index layer relies
+//! on: codec bijectivity, order preservation of the byte encoding, and the
+//! prefix algebra of Dewey IDs.
+
+use proptest::prelude::*;
+use xrank_dewey::codec::{self, prefix};
+use xrank_dewey::DeweyId;
+
+/// Components drawn to cross all varint tiers with reasonable probability.
+fn component() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        4 => 0u32..128,
+        3 => 128u32..17_000,
+        2 => 17_000u32..3_000_000,
+        1 => 3_000_000u32..=u32::MAX,
+    ]
+}
+
+fn dewey() -> impl Strategy<Value = DeweyId> {
+    proptest::collection::vec(component(), 0..12).prop_map(DeweyId::from_components)
+}
+
+proptest! {
+    #[test]
+    fn component_roundtrip(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        codec::write_component(v, &mut buf);
+        prop_assert_eq!(buf.len(), codec::component_encoded_len(v));
+        let (back, n) = codec::read_component(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn component_order_preserved(a in any::<u32>(), b in any::<u32>()) {
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        codec::write_component(a, &mut ea);
+        codec::write_component(b, &mut eb);
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn id_roundtrip(id in dewey()) {
+        let enc = codec::encode_id(&id);
+        prop_assert_eq!(enc.len(), codec::encoded_len(&id));
+        prop_assert_eq!(codec::decode_id(&enc).unwrap(), id);
+    }
+
+    /// Byte-lexicographic order of encodings equals the logical Dewey order.
+    /// This is THE property that lets the B+-tree compare raw bytes.
+    #[test]
+    fn id_encoding_order_preserved(a in dewey(), b in dewey()) {
+        let ea = codec::encode_id(&a);
+        let eb = codec::encode_id(&b);
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn delta_stream_roundtrip(mut ids in proptest::collection::vec(dewey(), 1..40)) {
+        ids.sort();
+        let mut buf = Vec::new();
+        let mut prev: Option<DeweyId> = None;
+        for id in &ids {
+            prefix::encode_delta(prev.as_ref(), id, &mut buf);
+            prev = Some(id.clone());
+        }
+        let mut off = 0;
+        let mut prev: Option<DeweyId> = None;
+        for id in &ids {
+            let (got, n) = prefix::decode_delta(prev.as_ref(), &buf[off..]).unwrap();
+            prop_assert_eq!(&got, id);
+            off += n;
+            prev = Some(got);
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn common_prefix_is_deepest_common_ancestor(a in dewey(), b in dewey()) {
+        let p = a.common_prefix(&b);
+        prop_assert!(p.is_ancestor_or_self_of(&a));
+        prop_assert!(p.is_ancestor_or_self_of(&b));
+        // No deeper common ancestor exists: extending p by one component of
+        // a (if any) must not be a prefix of b unless a == b at that slot.
+        if p.len() < a.len() && p.len() < b.len() {
+            prop_assert_ne!(a.components()[p.len()], b.components()[p.len()]);
+        }
+    }
+
+    #[test]
+    fn ancestor_sorts_before_descendant(id in dewey(), extra in component()) {
+        prop_assume!(!id.is_empty());
+        let child = id.child(extra);
+        prop_assert!(id < child);
+        prop_assert!(id.is_ancestor_of(&child));
+        prop_assert_eq!(child.parent().is_some(), child.len() > 2);
+    }
+
+    #[test]
+    fn subtree_upper_bound_bounds_subtree(id in dewey(), extra in component()) {
+        prop_assume!(!id.is_empty());
+        if let Some(ub) = id.subtree_upper_bound() {
+            prop_assert!(id < ub);
+            let desc = id.child(extra);
+            prop_assert!(desc < ub);
+            prop_assert!(!id.is_ancestor_or_self_of(&ub));
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = codec::decode_id(&bytes);
+        let _ = prefix::decode_delta(None, &bytes);
+    }
+}

@@ -1,0 +1,162 @@
+//! The in-memory graph: element arena, containment and hyperlink edges.
+
+use crate::vocab::{TermId, Vocabulary};
+use xrank_dewey::{DeweyId, DocId};
+
+/// Global element id, assigned in document order across the collection.
+/// Because documents are numbered in insertion order and elements in
+/// pre-order, `ElemId` order equals global Dewey order.
+pub type ElemId = u32;
+
+/// One token directly contained by an element: the interned term and its
+/// position in the document-order token stream of the whole document.
+/// Positions are document-global so that the minimal-window proximity of
+/// Section 2.3.2.2 is well-defined across sub-elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenOccurrence {
+    /// Interned term.
+    pub term: TermId,
+    /// Document-order word offset.
+    pub pos: u32,
+}
+
+/// An element node (values are folded into `tokens`; attributes appear as
+/// child elements per Section 2.1).
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Owning document.
+    pub doc: DocId,
+    /// The element's Dewey ID (document id first).
+    pub dewey: DeweyId,
+    /// Tag name as written (attribute-elements use the attribute name).
+    pub name: Box<str>,
+    /// Parent element, `None` for document roots.
+    pub parent: Option<ElemId>,
+    /// Child elements in document order (attribute-elements first).
+    pub children: Vec<ElemId>,
+    /// Tokens *directly* contained: the tag name's tokens, then (for
+    /// attribute-elements) the value's tokens, then direct text tokens —
+    /// in document order.
+    pub tokens: Vec<TokenOccurrence>,
+    /// Resolved outgoing hyperlink edges (IDREF and XLink targets).
+    pub links_out: Vec<ElemId>,
+}
+
+impl Element {
+    /// Number of sub-elements, `N_c(u)` in the ElemRank formulas.
+    pub fn n_children(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of outgoing hyperlinks, `N_h(u)` in the ElemRank formulas.
+    pub fn n_hyperlinks(&self) -> usize {
+        self.links_out.len()
+    }
+}
+
+/// Per-document metadata.
+#[derive(Debug, Clone)]
+pub struct DocInfo {
+    /// The document's URI (used to resolve XLink targets).
+    pub uri: String,
+    /// Root element.
+    pub root: ElemId,
+    /// Number of elements in the document, `N_de(v)` for its elements.
+    pub element_count: u32,
+    /// Number of tokens in the document's token stream.
+    pub token_count: u32,
+}
+
+/// A built collection of hyperlinked documents: `G = (N, CE, HE)`.
+#[derive(Debug)]
+pub struct Collection {
+    pub(crate) docs: Vec<DocInfo>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) vocab: Vocabulary,
+    pub(crate) unresolved_links: u32,
+}
+
+impl Collection {
+    /// Number of documents, `N_d`.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of elements, `N_e`.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Borrow an element.
+    pub fn element(&self, id: ElemId) -> &Element {
+        &self.elements[id as usize]
+    }
+
+    /// All elements in `ElemId` (= document, = Dewey) order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElemId, &Element)> {
+        self.elements.iter().enumerate().map(|(i, e)| (i as ElemId, e))
+    }
+
+    /// Per-document metadata.
+    pub fn doc(&self, doc: DocId) -> &DocInfo {
+        &self.docs[doc as usize]
+    }
+
+    /// All documents in id order.
+    pub fn docs(&self) -> &[DocInfo] {
+        &self.docs
+    }
+
+    /// The interned term table.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Count of hyperlink references that could not be resolved to a target
+    /// element (dangling IDREFs, XLinks to unknown URIs).
+    pub fn unresolved_links(&self) -> u32 {
+        self.unresolved_links
+    }
+
+    /// Total number of resolved hyperlink edges, `|HE|`.
+    pub fn hyperlink_count(&self) -> usize {
+        self.elements.iter().map(|e| e.links_out.len()).sum()
+    }
+
+    /// Finds the element with exactly this Dewey ID via binary search
+    /// (elements are stored in Dewey order).
+    pub fn elem_by_dewey(&self, dewey: &DeweyId) -> Option<ElemId> {
+        self.elements
+            .binary_search_by(|e| e.dewey.cmp(dewey))
+            .ok()
+            .map(|i| i as ElemId)
+    }
+
+    /// Maximum element depth over the collection (document roots are depth
+    /// 0); a dataset-shape statistic used by the experiments.
+    pub fn max_depth(&self) -> usize {
+        self.elements
+            .iter()
+            .filter_map(|e| e.dewey.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reconstructs the concatenated direct-text of an element subtree by
+    /// walking tokens in document order. Debug/UX helper for examples.
+    pub fn subtree_terms(&self, id: ElemId) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terms(id, &mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, id: ElemId, out: &mut Vec<&'a str>) {
+        let e = self.element(id);
+        for t in &e.tokens {
+            out.push(self.vocab.term(t.term));
+        }
+        for &c in &e.children {
+            self.collect_terms(c, out);
+        }
+    }
+}

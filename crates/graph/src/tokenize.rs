@@ -1,0 +1,64 @@
+//! Word tokenization for keyword search.
+//!
+//! Terms are maximal runs of alphanumeric characters, lowercased. This is
+//! the classic IR tokenizer the paper's inverted lists assume; no stemming
+//! or stopwording is applied (the paper does not mention either).
+
+/// Splits `text` into lowercase word tokens, invoking `f` for each.
+pub fn tokenize_into(text: &str, mut f: impl FnMut(&str)) {
+    let mut word = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                word.push(lc);
+            }
+        } else if !word.is_empty() {
+            f(&word);
+            word.clear();
+        }
+    }
+    if !word.is_empty() {
+        f(&word);
+    }
+}
+
+/// Convenience wrapper returning the tokens as owned strings.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, |w| out.push(w.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting_and_lowercasing() {
+        assert_eq!(tokenize("XQL and Proximal Nodes"), vec!["xql", "and", "proximal", "nodes"]);
+    }
+
+    #[test]
+    fn punctuation_is_separator() {
+        assert_eq!(
+            tokenize("Baeza-Yates, Ricardo (2000)"),
+            vec!["baeza", "yates", "ricardo", "2000"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ***").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(tokenize("Müller École"), vec!["müller", "école"]);
+    }
+
+    #[test]
+    fn digits_kept() {
+        assert_eq!(tokenize("SIGIR 2000 Workshop"), vec!["sigir", "2000", "workshop"]);
+    }
+}

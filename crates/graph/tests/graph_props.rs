@@ -1,0 +1,129 @@
+//! Property tests for the graph builder invariants the index layer
+//! depends on (DESIGN.md §4): ElemId order = Dewey order, dense
+//! document-order token positions, parent/child consistency, and
+//! serialization round-trips on random trees.
+
+use proptest::prelude::*;
+use xrank_graph::{Collection, CollectionBuilder};
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(u8),
+    Node(u8, Vec<Tree>),
+}
+
+fn tree() -> impl Strategy<Value = Tree> {
+    let leaf = any::<u8>().prop_map(Tree::Leaf);
+    leaf.prop_recursive(5, 32, 5, |inner| {
+        (any::<u8>(), proptest::collection::vec(inner, 0..5))
+            .prop_map(|(tag, kids)| Tree::Node(tag, kids))
+    })
+}
+
+fn render(t: &Tree, out: &mut String) {
+    match t {
+        Tree::Leaf(w) => out.push_str(&format!("<leaf{w}>word{w} text</leaf{w}>", w = w % 16)),
+        Tree::Node(tag, kids) => {
+            let tag = tag % 16;
+            out.push_str(&format!("<n{tag} id=\"x{tag}\">"));
+            for k in kids {
+                render(k, out);
+            }
+            out.push_str(&format!("</n{tag}>"));
+        }
+    }
+}
+
+fn build(trees: &[Tree]) -> Collection {
+    let mut b = CollectionBuilder::new();
+    for (i, t) in trees.iter().enumerate() {
+        let mut xml = String::from("<root>");
+        render(t, &mut xml);
+        xml.push_str("</root>");
+        b.add_xml_str(&format!("doc{i}"), &xml).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn elem_id_order_is_dewey_order(trees in proptest::collection::vec(tree(), 1..4)) {
+        let c = build(&trees);
+        let mut prev = None;
+        for (_, e) in c.elements() {
+            if let Some(p) = &prev {
+                prop_assert!(p < &e.dewey, "ids out of Dewey order");
+            }
+            prev = Some(e.dewey.clone());
+        }
+    }
+
+    #[test]
+    fn token_positions_dense_per_document(trees in proptest::collection::vec(tree(), 1..4)) {
+        let c = build(&trees);
+        for d in 0..c.doc_count() as u32 {
+            let mut positions: Vec<u32> = c
+                .elements()
+                .filter(|(_, e)| e.doc == d)
+                .flat_map(|(_, e)| e.tokens.iter().map(|t| t.pos))
+                .collect();
+            positions.sort_unstable();
+            let expect: Vec<u32> = (0..positions.len() as u32).collect();
+            prop_assert_eq!(&positions, &expect, "doc {} positions not dense", d);
+            prop_assert_eq!(c.doc(d).token_count as usize, expect.len());
+        }
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent(trees in proptest::collection::vec(tree(), 1..4)) {
+        let c = build(&trees);
+        for (id, e) in c.elements() {
+            for &ch in &e.children {
+                prop_assert_eq!(c.element(ch).parent, Some(id));
+                prop_assert!(e.dewey.is_ancestor_of(&c.element(ch).dewey));
+                prop_assert_eq!(c.element(ch).dewey.len(), e.dewey.len() + 1);
+            }
+            if let Some(p) = e.parent {
+                prop_assert!(c.element(p).children.contains(&id));
+            }
+            // dewey resolves back to the element
+            prop_assert_eq!(c.elem_by_dewey(&e.dewey), Some(id));
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_on_random_trees(trees in proptest::collection::vec(tree(), 1..3)) {
+        let c = build(&trees);
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let d = Collection::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(c.element_count(), d.element_count());
+        for (id, e) in c.elements() {
+            let f = d.element(id);
+            prop_assert_eq!(&e.dewey, &f.dewey);
+            prop_assert_eq!(&e.tokens, &f.tokens);
+            prop_assert_eq!(&e.children, &f.children);
+        }
+    }
+
+    #[test]
+    fn subtree_terms_match_token_multiset(trees in proptest::collection::vec(tree(), 1..3)) {
+        let c = build(&trees);
+        for (id, _) in c.elements().take(20) {
+            let mut terms = c.subtree_terms(id);
+            terms.sort_unstable();
+            // oracle: collect tokens from all descendants directly
+            let mut oracle: Vec<&str> = c
+                .elements()
+                .filter(|(other, _)| {
+                    c.element(id).dewey.is_ancestor_or_self_of(&c.element(*other).dewey)
+                })
+                .flat_map(|(_, e)| e.tokens.iter().map(|t| c.vocabulary().term(t.term)))
+                .collect();
+            oracle.sort_unstable();
+            prop_assert_eq!(terms, oracle);
+        }
+    }
+}

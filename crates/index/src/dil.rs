@@ -1,0 +1,185 @@
+//! The Dewey Inverted List (DIL) — paper, Section 4.2.
+//!
+//! For each keyword the list holds the Dewey IDs of the elements that
+//! *directly* contain it, sorted by Dewey ID, each entry carrying the
+//! element's ElemRank and the keyword's position list (Figure 4). Because
+//! ancestors are implicit in the Dewey encoding, the list is much smaller
+//! than the naive one — Table 1's headline result.
+
+use crate::listio::{self, DeweyListWrite, ListKind, ListMeta, ListReader};
+use crate::posting::Posting;
+use crate::SpaceBreakdown;
+use xrank_graph::TermId;
+use xrank_storage::{BufferPool, PageStore, SegmentId, PAGE_SIZE};
+
+/// Per-term `(first_key, page)` directories captured while writing lists
+/// (one vector per term, in term order) — the input HDIL's interior
+/// builder consumes.
+pub type PageFirstTables = Vec<Vec<(Vec<u8>, u32)>>;
+
+/// A built DIL: one Dewey-sorted list per term, packed into one segment.
+#[derive(Debug)]
+pub struct DilIndex {
+    /// Segment holding every list.
+    pub segment: SegmentId,
+    lists: Vec<Option<ListMeta>>,
+}
+
+impl DilIndex {
+    /// Bulk-builds from per-term Dewey-sorted postings (the output of
+    /// [`crate::extract::direct_postings`]).
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+    ) -> DilIndex {
+        let (index, _) = Self::build_capturing(pool, postings, PAGE_SIZE);
+        index
+    }
+
+    /// As [`DilIndex::build`] with an explicit per-page byte budget (the
+    /// experiment harness's dataset-scale emulation knob; see
+    /// [`crate::listio::write_dewey_list_budgeted`]).
+    pub fn build_with<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+        page_budget: usize,
+    ) -> DilIndex {
+        let (index, _) = Self::build_capturing(pool, postings, page_budget);
+        index
+    }
+
+    /// As [`DilIndex::build`], also returning each list's per-page first
+    /// keys — HDIL builds its interior B+-tree levels over these
+    /// (Section 4.4.1).
+    pub fn build_capturing<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+        page_budget: usize,
+    ) -> (DilIndex, PageFirstTables) {
+        let segment = pool.store_mut().create_segment();
+        let mut lists = Vec::with_capacity(postings.len());
+        let mut firsts = Vec::with_capacity(postings.len());
+        for term_postings in postings {
+            if term_postings.is_empty() {
+                lists.push(None);
+                firsts.push(Vec::new());
+                continue;
+            }
+            debug_assert!(
+                term_postings.windows(2).all(|w| w[0].dewey < w[1].dewey),
+                "DIL postings must be strictly Dewey-ascending"
+            );
+            let DeweyListWrite { meta, page_firsts } =
+                listio::write_dewey_list_budgeted(pool, segment, term_postings, page_budget);
+            lists.push(Some(meta));
+            firsts.push(page_firsts);
+        }
+        (DilIndex { segment, lists }, firsts)
+    }
+
+    /// Metadata of a term's list.
+    pub fn meta(&self, term: TermId) -> Option<ListMeta> {
+        self.lists.get(term.index()).copied().flatten()
+    }
+
+    /// Streaming reader over a term's list (Dewey order).
+    pub fn reader(&self, term: TermId) -> Option<ListReader> {
+        self.meta(term)
+            .map(|meta| ListReader::new(self.segment, meta, ListKind::Dewey))
+    }
+
+    /// Table 1 space: DIL is lists only. Byte-granular (page padding
+    /// excluded), like the filesystem-resident lists the paper measured.
+    pub fn space<S: PageStore>(&self, _pool: &BufferPool<S>) -> SpaceBreakdown {
+        SpaceBreakdown { list_bytes: self.used_bytes(), index_bytes: 0 }
+    }
+
+    /// Byte-granular size of all lists.
+    pub fn used_bytes(&self) -> u64 {
+        self.lists.iter().flatten().map(|m| m.used_bytes).sum()
+    }
+
+    /// Serializes the index directory (pages stay in the store).
+    pub fn write_meta<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        xrank_storage::wire::put_u32(w, self.segment.0)?;
+        listio::write_list_table(w, &self.lists)
+    }
+
+    /// Deserializes a directory written by [`DilIndex::write_meta`].
+    pub fn read_meta<R: std::io::Read>(r: &mut R) -> std::io::Result<DilIndex> {
+        Ok(DilIndex {
+            segment: SegmentId(xrank_storage::wire::get_u32(r)?),
+            lists: listio::read_list_table(r)?,
+        })
+    }
+
+    /// Total posting count across all lists.
+    pub fn total_entries(&self) -> u64 {
+        self.lists
+            .iter()
+            .flatten()
+            .map(|m| m.entry_count as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::direct_postings;
+    use xrank_graph::CollectionBuilder;
+    use xrank_storage::MemStore;
+
+    fn build() -> (BufferPool<MemStore>, DilIndex, xrank_graph::Collection) {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str(
+            "d",
+            "<proc><paper><title>xql nodes</title><body>xql appears here and xql again</body></paper></proc>",
+        )
+        .unwrap();
+        let c = b.build();
+        let scores = vec![0.25; c.element_count()];
+        let postings = direct_postings(&c, &scores);
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let idx = DilIndex::build(&mut pool, &postings);
+        (pool, idx, c)
+    }
+
+    #[test]
+    fn lists_stream_in_dewey_order() {
+        let (mut pool, idx, c) = build();
+        let term = c.vocabulary().lookup("xql").unwrap();
+        let mut r = idx.reader(term).unwrap();
+        let mut deweys = Vec::new();
+        while let Some(p) = r.next(&mut pool) {
+            deweys.push(p.dewey);
+        }
+        assert_eq!(deweys.len(), 2, "title and body directly contain 'xql'");
+        assert!(deweys[0] < deweys[1]);
+    }
+
+    #[test]
+    fn absent_term_has_no_list() {
+        let (_, idx, _) = build();
+        assert!(idx.meta(xrank_graph::TermId(9999)).is_none());
+        assert!(idx.reader(xrank_graph::TermId(9999)).is_none());
+    }
+
+    #[test]
+    fn space_counts_only_lists() {
+        let (pool, idx, _) = build();
+        let s = idx.space(&pool);
+        assert!(s.list_bytes > 0);
+        assert_eq!(s.index_bytes, 0);
+    }
+
+    #[test]
+    fn multiple_positions_preserved() {
+        let (mut pool, idx, c) = build();
+        let term = c.vocabulary().lookup("xql").unwrap();
+        let mut r = idx.reader(term).unwrap();
+        r.next(&mut pool); // title
+        let body = r.next(&mut pool).unwrap();
+        assert_eq!(body.positions.len(), 2, "xql occurs twice in body text");
+    }
+}

@@ -1,0 +1,399 @@
+//! The Hybrid Dewey Inverted List (HDIL) — paper, Section 4.4.
+//!
+//! HDIL stores the *full* inverted list sorted by Dewey ID (usable by the
+//! DIL algorithm) plus only a small rank-sorted **prefix** of each list
+//! (usable by the RDIL algorithm until it is exhausted). Because the full
+//! list is Dewey-sorted, it doubles as the leaf level of the per-keyword
+//! B+-tree: "only the non-leaf part of the B+-tree needs to be explicitly
+//! stored" (Section 4.4.1) — realized here with
+//! [`xrank_storage::btree::Interior`] built over the list's pages. This is
+//! why HDIL's *index* column in Table 1 is orders of magnitude smaller than
+//! RDIL's while its *list* column is only slightly larger than DIL's.
+
+use crate::dil::DilIndex;
+use crate::listio::{self, decode_dewey_page, ListKind, ListMeta, ListReader};
+use crate::posting::Posting;
+use crate::rdil::rank_order;
+use crate::SpaceBreakdown;
+use xrank_dewey::{codec, DeweyId};
+use xrank_graph::TermId;
+use xrank_storage::btree::Interior;
+use xrank_storage::{BufferPool, PageId, PageStore, SegmentId, PAGE_SIZE};
+
+/// Fraction of each list stored rank-sorted (the "small fraction of the
+/// inverted list sorted by rank" of Section 4.4.1).
+pub const DEFAULT_PREFIX_FRACTION: f64 = 0.10;
+/// Rank-sorted prefix floor: short lists are stored in full.
+pub const MIN_PREFIX_ENTRIES: usize = 16;
+
+/// A built HDIL.
+#[derive(Debug)]
+pub struct HdilIndex {
+    /// The full Dewey-sorted lists (shared with the DIL algorithm).
+    pub dil: DilIndex,
+    /// Segment holding the interior B+-tree pages of all terms.
+    pub interior_segment: SegmentId,
+    interiors: Vec<Option<Interior>>,
+    /// Segment holding the rank-sorted prefixes.
+    pub prefix_segment: SegmentId,
+    prefix_lists: Vec<Option<ListMeta>>,
+}
+
+impl HdilIndex {
+    /// Bulk-builds with the default prefix sizing.
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+    ) -> HdilIndex {
+        Self::build_full(pool, postings, DEFAULT_PREFIX_FRACTION, MIN_PREFIX_ENTRIES, PAGE_SIZE)
+    }
+
+    /// Bulk-builds with explicit prefix sizing (ablation knob).
+    pub fn build_with<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+        prefix_fraction: f64,
+        min_prefix: usize,
+    ) -> HdilIndex {
+        Self::build_full(pool, postings, prefix_fraction, min_prefix, PAGE_SIZE)
+    }
+
+    /// Fully-parameterized build: prefix sizing plus the per-page byte
+    /// budget scale-emulation knob.
+    pub fn build_full<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        postings: &[Vec<Posting>],
+        prefix_fraction: f64,
+        min_prefix: usize,
+        page_budget: usize,
+    ) -> HdilIndex {
+        let (dil, firsts) = DilIndex::build_capturing(pool, postings, page_budget);
+        let interior_segment = pool.store_mut().create_segment();
+        let mut interiors = Vec::with_capacity(postings.len());
+        for page_firsts in &firsts {
+            if page_firsts.is_empty() {
+                interiors.push(None);
+            } else {
+                interiors.push(Some(Interior::build(pool, interior_segment, page_firsts)));
+            }
+        }
+
+        let prefix_segment = pool.store_mut().create_segment();
+        let mut prefix_lists = Vec::with_capacity(postings.len());
+        for term_postings in postings {
+            if term_postings.is_empty() {
+                prefix_lists.push(None);
+                continue;
+            }
+            let mut by_rank = term_postings.clone();
+            rank_order(&mut by_rank);
+            let keep = ((term_postings.len() as f64 * prefix_fraction).ceil() as usize)
+                .max(min_prefix)
+                .min(term_postings.len());
+            by_rank.truncate(keep);
+            prefix_lists.push(Some(listio::write_rank_list_budgeted(
+                pool,
+                prefix_segment,
+                &by_rank,
+                page_budget,
+            )));
+        }
+
+        HdilIndex { dil, interior_segment, interiors, prefix_segment, prefix_lists }
+    }
+
+    /// Metadata of a term's full (Dewey-sorted) list.
+    pub fn meta(&self, term: TermId) -> Option<ListMeta> {
+        self.dil.meta(term)
+    }
+
+    /// Reader over the full Dewey-sorted list (the DIL fallback path).
+    pub fn dewey_reader(&self, term: TermId) -> Option<ListReader> {
+        self.dil.reader(term)
+    }
+
+    /// Reader over the rank-sorted prefix (the RDIL starting path). The
+    /// reader ends when the prefix is exhausted — the query processor must
+    /// then switch to the DIL algorithm.
+    pub fn rank_prefix_reader(&self, term: TermId) -> Option<ListReader> {
+        self.prefix_lists
+            .get(term.index())
+            .copied()
+            .flatten()
+            .map(|meta| ListReader::new(self.prefix_segment, meta, ListKind::Rank))
+    }
+
+    /// Entries in the rank-sorted prefix of `term`.
+    pub fn prefix_len(&self, term: TermId) -> u32 {
+        self.prefix_lists
+            .get(term.index())
+            .copied()
+            .flatten()
+            .map_or(0, |m| m.entry_count)
+    }
+
+    /// Locates the first posting with `dewey >= target` in the Dewey list:
+    /// returns the page offset, slot, and the decoded page.
+    fn locate<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        target: &DeweyId,
+    ) -> Option<(ListMeta, u32, usize, Vec<Posting>)> {
+        let meta = self.meta(term)?;
+        let interior = self.interiors.get(term.index()).copied().flatten()?;
+        let key = codec::encode_id(target);
+        let mut page_off = interior.descend(pool, &key);
+        loop {
+            let page = pool.read(PageId::new(self.dil.segment, page_off)).to_vec();
+            let postings = decode_dewey_page(&page);
+            if let Some(slot) = postings.iter().position(|p| &p.dewey >= target) {
+                return Some((meta, page_off, slot, postings));
+            }
+            // Everything on this page sorts below target: advance.
+            if page_off + 1 >= meta.start_page + meta.page_count {
+                return Some((meta, page_off, postings.len(), postings));
+            }
+            page_off += 1;
+        }
+    }
+
+    /// The Section 4.3.2 probe against the Dewey-sorted list: smallest
+    /// posting with `dewey >= target` and its predecessor.
+    pub fn lowest_geq<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        target: &DeweyId,
+    ) -> (Option<Posting>, Option<Posting>) {
+        let Some((meta, page_off, slot, postings)) = self.locate(pool, term, target) else {
+            return (None, None);
+        };
+        let entry = postings.get(slot).cloned();
+        let pred = if slot > 0 {
+            postings.get(slot - 1).cloned()
+        } else if page_off > meta.start_page {
+            let prev = pool.read(PageId::new(self.dil.segment, page_off - 1)).to_vec();
+            decode_dewey_page(&prev).pop()
+        } else {
+            None
+        };
+        (entry, pred)
+    }
+
+    /// All postings of `term` whose Dewey has `prefix` as a prefix,
+    /// scanning list pages forward from the B+-tree descent point.
+    pub fn prefix_postings<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        prefix: &DeweyId,
+    ) -> Vec<Posting> {
+        let Some((meta, mut page_off, mut slot, mut postings)) = self.locate(pool, term, prefix)
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        loop {
+            while slot < postings.len() {
+                let p = &postings[slot];
+                if !prefix.is_ancestor_or_self_of(&p.dewey) {
+                    return out;
+                }
+                out.push(p.clone());
+                slot += 1;
+            }
+            page_off += 1;
+            if page_off >= meta.start_page + meta.page_count {
+                return out;
+            }
+            let page = pool.read(PageId::new(self.dil.segment, page_off)).to_vec();
+            postings = decode_dewey_page(&page);
+            slot = 0;
+        }
+    }
+
+    /// Serializes the index directory.
+    pub fn write_meta<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        use xrank_storage::wire::put_u32;
+        self.dil.write_meta(w)?;
+        put_u32(w, self.interior_segment.0)?;
+        put_u32(w, self.interiors.len() as u32)?;
+        for entry in &self.interiors {
+            match entry {
+                Some(i) => {
+                    put_u32(w, 1)?;
+                    put_u32(w, i.segment.0)?;
+                    put_u32(w, i.root)?;
+                    put_u32(w, i.height)?;
+                }
+                None => put_u32(w, 0)?,
+            }
+        }
+        put_u32(w, self.prefix_segment.0)?;
+        listio::write_list_table(w, &self.prefix_lists)
+    }
+
+    /// Deserializes a directory written by [`HdilIndex::write_meta`].
+    pub fn read_meta<R: std::io::Read>(r: &mut R) -> std::io::Result<HdilIndex> {
+        use xrank_storage::wire::get_u32;
+        let dil = DilIndex::read_meta(r)?;
+        let interior_segment = SegmentId(get_u32(r)?);
+        let n = get_u32(r)?;
+        let mut interiors = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            interiors.push(match get_u32(r)? {
+                0 => None,
+                1 => Some(Interior {
+                    segment: SegmentId(get_u32(r)?),
+                    root: get_u32(r)?,
+                    height: get_u32(r)?,
+                }),
+                k => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad interior tag {k}"),
+                    ))
+                }
+            });
+        }
+        let prefix_segment = SegmentId(get_u32(r)?);
+        let prefix_lists = listio::read_list_table(r)?;
+        Ok(HdilIndex { dil, interior_segment, interiors, prefix_segment, prefix_lists })
+    }
+
+    /// Table 1 space: lists = full Dewey list + rank prefixes
+    /// (byte-granular); index = interior pages only.
+    pub fn space<S: PageStore>(&self, pool: &BufferPool<S>) -> SpaceBreakdown {
+        let dil_bytes = self.dil.used_bytes();
+        let prefix_bytes: u64 = self.prefix_lists.iter().flatten().map(|m| m.used_bytes).sum();
+        SpaceBreakdown {
+            list_bytes: dil_bytes + prefix_bytes,
+            index_bytes: pool.store().page_count(self.interior_segment) as u64
+                * PAGE_SIZE as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::direct_postings;
+    use crate::rdil::RdilIndex;
+    use xrank_graph::CollectionBuilder;
+    use xrank_storage::MemStore;
+
+    /// A corpus big enough to force multi-page lists.
+    fn build_large() -> (BufferPool<MemStore>, HdilIndex, RdilIndex, xrank_graph::Collection)
+    {
+        let mut xml = String::from("<corpus>");
+        for i in 0..400 {
+            xml.push_str(&format!(
+                "<paper><title>common word{i}</title><body>common text about topic{} repeated common</body></paper>",
+                i % 7
+            ));
+        }
+        xml.push_str("</corpus>");
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("d", &xml).unwrap();
+        let c = b.build();
+        let scores: Vec<f64> = (0..c.element_count())
+            .map(|i| 1.0 / ((i % 97) + 1) as f64)
+            .collect();
+        let postings = direct_postings(&c, &scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let hdil = HdilIndex::build(&mut pool, &postings);
+        let rdil = RdilIndex::build(&mut pool, &postings);
+        (pool, hdil, rdil, c)
+    }
+
+    #[test]
+    fn lowest_geq_agrees_with_rdil() {
+        let (mut pool, hdil, rdil, c) = build_large();
+        let term = c.vocabulary().lookup("common").unwrap();
+        let probes = [
+            DeweyId::from([0]),
+            DeweyId::from([0, 0, 100]),
+            DeweyId::from([0, 0, 250, 1]),
+            DeweyId::from([0, 0, 399, 9, 9]),
+            DeweyId::from([5, 0]),
+        ];
+        for probe in &probes {
+            let (he, hp) = hdil.lowest_geq(&mut pool, term, probe);
+            let (re, rp) = rdil.lowest_geq(&mut pool, term, probe);
+            assert_eq!(
+                he.as_ref().map(|p| &p.dewey),
+                re.as_ref().map(|p| &p.dewey),
+                "entry mismatch at {probe}"
+            );
+            assert_eq!(
+                hp.as_ref().map(|p| &p.dewey),
+                rp.as_ref().map(|p| &p.dewey),
+                "pred mismatch at {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_postings_agree_with_rdil() {
+        let (mut pool, hdil, rdil, c) = build_large();
+        let term = c.vocabulary().lookup("common").unwrap();
+        for prefix in [DeweyId::from([0]), DeweyId::from([0, 0, 42]), DeweyId::from([0, 0, 399])]
+        {
+            let h = hdil.prefix_postings(&mut pool, term, &prefix);
+            let r = rdil.prefix_postings(&mut pool, term, &prefix);
+            assert_eq!(h.len(), r.len(), "count mismatch under {prefix}");
+            for (a, b) in h.iter().zip(r.iter()) {
+                assert_eq!(a.dewey, b.dewey);
+                assert_eq!(a.positions, b.positions);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_prefix_is_a_subset_in_rank_order() {
+        let (mut pool, hdil, _, c) = build_large();
+        let term = c.vocabulary().lookup("common").unwrap();
+        let full = hdil.meta(term).unwrap().entry_count;
+        let prefix = hdil.prefix_len(term);
+        assert!(prefix > 0 && prefix < full, "prefix {prefix} of {full}");
+        let mut r = hdil.rank_prefix_reader(term).unwrap();
+        let mut prev = f32::INFINITY;
+        while let Some(p) = r.next(&mut pool) {
+            assert!(p.rank <= prev);
+            prev = p.rank;
+        }
+    }
+
+    #[test]
+    fn short_lists_stored_whole_in_prefix() {
+        let (mut pool, hdil, _, c) = build_large();
+        let term = c.vocabulary().lookup("word3").unwrap(); // occurs once
+        assert_eq!(hdil.prefix_len(term), hdil.meta(term).unwrap().entry_count);
+        let mut r = hdil.rank_prefix_reader(term).unwrap();
+        assert!(r.next(&mut pool).is_some());
+    }
+
+    #[test]
+    fn index_is_tiny_compared_to_rdil() {
+        let (pool, hdil, rdil, _) = build_large();
+        let h = hdil.space(&pool);
+        let r = rdil.space(&pool);
+        assert!(
+            h.index_bytes < r.index_bytes,
+            "HDIL index {} should be far below RDIL {}",
+            h.index_bytes,
+            r.index_bytes
+        );
+    }
+
+    #[test]
+    fn absent_term() {
+        let (mut pool, hdil, _, _) = build_large();
+        let t = TermId(u32::MAX - 1);
+        assert!(hdil.meta(t).is_none());
+        let (e, p) = hdil.lowest_geq(&mut pool, t, &DeweyId::from([0]));
+        assert!(e.is_none() && p.is_none());
+        assert!(hdil.prefix_postings(&mut pool, t, &DeweyId::from([0])).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Posting entry types and their byte codecs.
+//!
+//! A posting records one (keyword, element) pairing: the element's Dewey ID
+//! (Figure 4: "Associated with each Dewey ID entry in DIL is the ElemRank
+//! of the corresponding XML element, and the list of positions where the
+//! keyword k appears in that element").
+//!
+//! Byte layout of one entry (inside list pages, B+-tree values, and hash
+//! values):
+//!
+//! ```text
+//! [dewey: shared-prefix delta]  — only in list pages; B+-tree/hash values
+//!                                 omit it because the key carries the ID
+//! [rank: f32 LE]
+//! [npos: varint] [pos₀: varint] [posᵢ₊₁ - posᵢ: varint]*
+//! ```
+//!
+//! Position lists are ascending document-order word offsets, delta-encoded
+//! with the same ordered varint the Dewey codec uses.
+
+use xrank_dewey::codec::{self, prefix, DecodeError};
+use xrank_dewey::DeweyId;
+use xrank_graph::ElemId;
+
+/// One inverted-list entry for the Dewey-based indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posting {
+    /// The element (dense id, for in-memory cross-referencing).
+    pub elem: ElemId,
+    /// The element's Dewey ID (what goes to disk).
+    pub dewey: DeweyId,
+    /// ElemRank of the element.
+    pub rank: f32,
+    /// Ascending document-order positions of the keyword in this element.
+    pub positions: Vec<u32>,
+}
+
+/// One inverted-list entry for the naive indexes (element-id keyed; the
+/// element may be an ancestor of the keyword's actual location).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaivePosting {
+    /// The element id.
+    pub elem: ElemId,
+    /// ElemRank of the element.
+    pub rank: f32,
+    /// Ascending positions of the keyword anywhere in the element's subtree.
+    pub positions: Vec<u32>,
+}
+
+/// Appends `rank` + positions payload (no Dewey) to `out`.
+pub fn encode_payload(rank: f32, positions: &[u32], out: &mut Vec<u8>) {
+    out.extend_from_slice(&rank.to_le_bytes());
+    codec::write_component(positions.len() as u32, out);
+    let mut prev = 0u32;
+    for (i, &p) in positions.iter().enumerate() {
+        let delta = if i == 0 { p } else { p - prev };
+        codec::write_component(delta, out);
+        prev = p;
+    }
+}
+
+/// Size of [`encode_payload`]'s output.
+pub fn payload_len(positions: &[u32]) -> usize {
+    let mut len = 4 + codec::component_encoded_len(positions.len() as u32);
+    let mut prev = 0u32;
+    for (i, &p) in positions.iter().enumerate() {
+        let delta = if i == 0 { p } else { p - prev };
+        len += codec::component_encoded_len(delta);
+        prev = p;
+    }
+    len
+}
+
+/// Decodes a payload produced by [`encode_payload`], returning
+/// `(rank, positions, bytes_consumed)`.
+pub fn decode_payload(buf: &[u8]) -> Result<(f32, Vec<u32>, usize), DecodeError> {
+    if buf.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let rank = f32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let mut off = 4;
+    let (npos, n) = codec::read_component(&buf[off..])?;
+    off += n;
+    let mut positions = Vec::with_capacity(npos as usize);
+    let mut cur = 0u32;
+    for i in 0..npos {
+        let (delta, n) = codec::read_component(&buf[off..])?;
+        off += n;
+        cur = if i == 0 { delta } else { cur + delta };
+        positions.push(cur);
+    }
+    Ok((rank, positions, off))
+}
+
+/// Appends a full list entry: delta-encoded Dewey (against `prev`, `None`
+/// at page restarts or in rank-ordered lists) followed by the payload.
+pub fn encode_entry(prev: Option<&DeweyId>, p: &Posting, out: &mut Vec<u8>) {
+    prefix::encode_delta(prev, &p.dewey, out);
+    encode_payload(p.rank, &p.positions, out);
+}
+
+/// Size of [`encode_entry`]'s output.
+pub fn entry_len(prev: Option<&DeweyId>, p: &Posting) -> usize {
+    prefix::delta_len(prev, &p.dewey) + payload_len(&p.positions)
+}
+
+/// Decodes one entry, returning the posting (with `elem` left 0 — disk
+/// entries do not carry the dense id) and bytes consumed.
+pub fn decode_entry(
+    prev: Option<&DeweyId>,
+    buf: &[u8],
+) -> Result<(Posting, usize), DecodeError> {
+    let (dewey, n) = prefix::decode_delta(prev, buf)?;
+    let (rank, positions, m) = decode_payload(&buf[n..])?;
+    Ok((Posting { elem: 0, dewey, rank, positions }, n + m))
+}
+
+/// Composite key for the RDIL B+-tree and Naive-Rank hash index: the term
+/// id (ordered varint) followed by the Dewey encoding. One tree keyed this
+/// way is equivalent to a B+-tree per keyword with perfect page sharing —
+/// the paper's "multiple B+-trees on the same disk page" optimization
+/// (Section 4.3.1).
+pub fn composite_key(term: u32, dewey: &DeweyId) -> Vec<u8> {
+    let mut key = Vec::with_capacity(2 + dewey.len() * 2);
+    codec::write_component(term, &mut key);
+    codec::encode_id_into(dewey, &mut key);
+    key
+}
+
+/// Splits a composite key back into `(term, dewey)`.
+pub fn split_composite_key(key: &[u8]) -> Result<(u32, DeweyId), DecodeError> {
+    let (term, n) = codec::read_component(key)?;
+    let dewey = codec::decode_id(&key[n..])?;
+    Ok((term, dewey))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posting(dewey: &[u32], rank: f32, positions: &[u32]) -> Posting {
+        Posting {
+            elem: 0,
+            dewey: DeweyId::from(dewey),
+            rank,
+            positions: positions.to_vec(),
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut buf = Vec::new();
+        encode_payload(0.125, &[3, 17, 17_000, 900_000], &mut buf);
+        assert_eq!(buf.len(), payload_len(&[3, 17, 17_000, 900_000]));
+        let (rank, pos, n) = decode_payload(&buf).unwrap();
+        assert_eq!(rank, 0.125);
+        assert_eq!(pos, vec![3, 17, 17_000, 900_000]);
+        assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn empty_positions() {
+        let mut buf = Vec::new();
+        encode_payload(1.0, &[], &mut buf);
+        let (rank, pos, _) = decode_payload(&buf).unwrap();
+        assert_eq!(rank, 1.0);
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn entry_roundtrip_with_and_without_prev() {
+        let a = posting(&[5, 0, 3, 0, 0], 0.5, &[10, 11]);
+        let b = posting(&[5, 0, 3, 0, 1], 0.25, &[42]);
+        let mut buf = Vec::new();
+        encode_entry(None, &a, &mut buf);
+        let split = buf.len();
+        assert_eq!(split, entry_len(None, &a));
+        encode_entry(Some(&a.dewey), &b, &mut buf);
+        assert_eq!(buf.len() - split, entry_len(Some(&a.dewey), &b));
+
+        let (got_a, n) = decode_entry(None, &buf).unwrap();
+        assert_eq!((got_a.dewey, got_a.rank, got_a.positions), (a.dewey.clone(), 0.5, vec![10, 11]));
+        let (got_b, m) = decode_entry(Some(&a.dewey), &buf[n..]).unwrap();
+        assert_eq!(got_b.dewey, b.dewey);
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn composite_key_orders_by_term_then_dewey() {
+        let k1 = composite_key(3, &DeweyId::from([1, 0, 5]));
+        let k2 = composite_key(3, &DeweyId::from([1, 0, 5, 0]));
+        let k3 = composite_key(3, &DeweyId::from([2, 0]));
+        let k4 = composite_key(4, &DeweyId::from([0, 0]));
+        assert!(k1 < k2 && k2 < k3 && k3 < k4);
+    }
+
+    #[test]
+    fn composite_key_roundtrip() {
+        let d = DeweyId::from([7, 0, 130, 2]);
+        let (term, dewey) = split_composite_key(&composite_key(900, &d)).unwrap();
+        assert_eq!((term, dewey), (900, d));
+    }
+
+    #[test]
+    fn payload_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_payload(1.0, &[5, 6, 7], &mut buf);
+        assert!(decode_payload(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_payload(&buf[..3]).is_err());
+    }
+}

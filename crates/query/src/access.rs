@@ -1,0 +1,117 @@
+//! Uniform access to rank-sorted lists + Dewey probes, so the Figure 7
+//! algorithm can drive both RDIL and HDIL's rank-sorted prefix.
+
+use xrank_dewey::DeweyId;
+use xrank_graph::TermId;
+use xrank_index::listio::ListReader;
+use xrank_index::posting::Posting;
+use xrank_index::{HdilIndex, RdilIndex};
+use xrank_storage::{BufferPool, PageStore};
+
+/// What the RDIL-style evaluator needs from an index.
+pub trait RankedAccess<S: PageStore> {
+    /// Reader over the rank-sorted list (RDIL: the full list; HDIL: the
+    /// stored prefix).
+    fn rank_reader(&self, term: TermId) -> Option<ListReader>;
+
+    /// Whether [`RankedAccess::rank_reader`] covers the *entire* list.
+    /// When `false` (HDIL), exhausting a reader does not mean the keyword
+    /// has no further postings — the evaluator must fall back to DIL.
+    fn rank_lists_complete(&self) -> bool;
+
+    /// Entries in the full list of `term` (for DIL cost estimation and TA
+    /// accounting).
+    fn full_list_entries(&self, term: TermId) -> u32;
+
+    /// Pages in the full Dewey list of `term` (DIL cost estimate).
+    fn full_list_pages(&self, term: TermId) -> u32;
+
+    /// The Section 4.3.2 probe: smallest posting of `term` with
+    /// `dewey >= target`, and its predecessor.
+    fn lowest_geq(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        target: &DeweyId,
+    ) -> (Option<Posting>, Option<Posting>);
+
+    /// Range scan: all postings of `term` under `prefix`.
+    fn prefix_postings(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        prefix: &DeweyId,
+    ) -> Vec<Posting>;
+}
+
+impl<S: PageStore> RankedAccess<S> for RdilIndex {
+    fn rank_reader(&self, term: TermId) -> Option<ListReader> {
+        self.reader(term)
+    }
+
+    fn rank_lists_complete(&self) -> bool {
+        true
+    }
+
+    fn full_list_entries(&self, term: TermId) -> u32 {
+        self.meta(term).map_or(0, |m| m.entry_count)
+    }
+
+    fn full_list_pages(&self, term: TermId) -> u32 {
+        self.meta(term).map_or(0, |m| m.page_count)
+    }
+
+    fn lowest_geq(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        target: &DeweyId,
+    ) -> (Option<Posting>, Option<Posting>) {
+        RdilIndex::lowest_geq(self, pool, term, target)
+    }
+
+    fn prefix_postings(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        prefix: &DeweyId,
+    ) -> Vec<Posting> {
+        RdilIndex::prefix_postings(self, pool, term, prefix)
+    }
+}
+
+impl<S: PageStore> RankedAccess<S> for HdilIndex {
+    fn rank_reader(&self, term: TermId) -> Option<ListReader> {
+        self.rank_prefix_reader(term)
+    }
+
+    fn rank_lists_complete(&self) -> bool {
+        false
+    }
+
+    fn full_list_entries(&self, term: TermId) -> u32 {
+        self.meta(term).map_or(0, |m| m.entry_count)
+    }
+
+    fn full_list_pages(&self, term: TermId) -> u32 {
+        self.meta(term).map_or(0, |m| m.page_count)
+    }
+
+    fn lowest_geq(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        target: &DeweyId,
+    ) -> (Option<Posting>, Option<Posting>) {
+        HdilIndex::lowest_geq(self, pool, term, target)
+    }
+
+    fn prefix_postings(
+        &self,
+        pool: &mut BufferPool<S>,
+        term: TermId,
+        prefix: &DeweyId,
+    ) -> Vec<Posting> {
+        HdilIndex::prefix_postings(self, pool, term, prefix)
+    }
+}

@@ -1,0 +1,333 @@
+//! The DIL query processing algorithm — Figure 5 of the paper.
+//!
+//! A single pass merges the query keywords' Dewey-sorted lists while a
+//! *Dewey stack* tracks the longest common prefix seen so far. Popped
+//! stack entries whose position lists are non-empty for **all** keywords
+//! are results; entries that are not results and do not dominate a
+//! complete descendant propagate their decayed ranks and position lists to
+//! their parent; entries that contain a complete descendant mark their
+//! parent `containsAll`, suppressing the spurious-ancestor results of the
+//! naive scheme (Section 4.2.2's worked example, reproduced in the tests).
+
+use crate::score::{QueryOptions, TopM};
+use crate::{EvalStats, QueryOutcome};
+use xrank_dewey::DeweyId;
+use xrank_graph::TermId;
+use xrank_index::listio::ListReader;
+use xrank_index::posting::Posting;
+use xrank_index::DilIndex;
+use xrank_storage::{BufferPool, PageStore};
+
+/// One Dewey-stack frame (per component of the current Dewey ID).
+struct StackEntry {
+    /// Aggregated rank per keyword (`0` = keyword absent so far).
+    ranks: Vec<f64>,
+    /// Relevant positions per keyword.
+    pos_lists: Vec<Vec<u32>>,
+    /// True when a descendant already contained all keywords.
+    contains_all: bool,
+}
+
+impl StackEntry {
+    fn new(n: usize) -> Self {
+        StackEntry { ranks: vec![0.0; n], pos_lists: vec![Vec::new(); n], contains_all: false }
+    }
+
+    fn has_all(&self) -> bool {
+        self.pos_lists.iter().all(|l| !l.is_empty())
+    }
+}
+
+/// The rank one posting contributes at its own element (distance 0):
+/// `max` keeps the ElemRank, `sum` multiplies by occurrence count.
+pub(crate) fn occurrence_rank(p: &Posting, opts: &QueryOptions) -> f64 {
+    match opts.aggregation {
+        crate::score::Aggregation::Max => p.rank as f64,
+        crate::score::Aggregation::Sum => p.rank as f64 * p.positions.len() as f64,
+    }
+}
+
+/// Evaluates a conjunctive query over a [`DilIndex`], returning the top
+/// `opts.top_m` results.
+pub fn evaluate<S: PageStore>(
+    pool: &mut BufferPool<S>,
+    index: &DilIndex,
+    terms: &[TermId],
+    opts: &QueryOptions,
+) -> QueryOutcome {
+    let n = terms.len();
+    let mut stats = EvalStats::default();
+    let mut heap = TopM::new(opts.top_m);
+    if n == 0 {
+        return QueryOutcome { results: heap.into_sorted(), stats };
+    }
+
+    // Conjunctive semantics: a keyword with no list means no results.
+    let mut readers: Vec<ListReader> = Vec::with_capacity(n);
+    for &t in terms {
+        match index.reader(t) {
+            Some(r) => readers.push(r),
+            None => return QueryOutcome { results: heap.into_sorted(), stats },
+        }
+    }
+
+    let mut stack: Vec<StackEntry> = Vec::new();
+    let mut path: Vec<u32> = Vec::new();
+
+    // Pops one frame, emitting it as a result when appropriate and
+    // propagating to its parent per lines 12-24 of Figure 5.
+    let pop = |stack: &mut Vec<StackEntry>,
+               path: &mut Vec<u32>,
+               heap: &mut TopM,
+               opts: &QueryOptions| {
+        let mut entry = stack.pop().expect("pop on non-empty stack");
+        let dewey = DeweyId::from_components(path.clone());
+        path.pop();
+
+        // Frames shallower than [doc, root] are bookkeeping, not elements.
+        if entry.has_all() && dewey.len() >= 2 {
+            let refs: Vec<&[u32]> = entry.pos_lists.iter().map(|l| l.as_slice()).collect();
+            let score = opts.overall_rank(&entry.ranks, &refs);
+            heap.offer(dewey, score);
+            entry.contains_all = true;
+        }
+        if let Some(parent) = stack.last_mut() {
+            if entry.contains_all {
+                parent.contains_all = true;
+            } else {
+                for i in 0..entry.ranks.len() {
+                    parent.ranks[i] = opts
+                        .aggregation
+                        .combine(parent.ranks[i], entry.ranks[i] * opts.decay);
+                    parent.pos_lists[i].append(&mut entry.pos_lists[i]);
+                }
+            }
+        }
+    };
+
+    loop {
+        // Line 8: the reader whose next entry has the smallest Dewey ID.
+        let mut smallest: Option<(usize, DeweyId)> = None;
+        for (i, reader) in readers.iter_mut().enumerate() {
+            let Some(p) = reader.peek(pool) else { continue };
+            let d = p.dewey.clone();
+            match &smallest {
+                Some((_, best)) if *best <= d => {}
+                _ => smallest = Some((i, d)),
+            }
+        }
+        let Some((il, _)) = smallest else { break };
+        let current = readers[il].next(pool).expect("peeked entry exists");
+        stats.entries_scanned += 1;
+
+        // Lines 10-11: longest common prefix with the stack.
+        let lcp = path
+            .iter()
+            .zip(current.dewey.components())
+            .take_while(|(a, b)| a == b)
+            .count();
+
+        // Lines 12-24: pop non-matching frames.
+        while stack.len() > lcp {
+            pop(&mut stack, &mut path, &mut heap, opts);
+        }
+
+        // Lines 25-28: push the non-matching suffix.
+        for &component in &current.dewey.components()[lcp..] {
+            stack.push(StackEntry::new(n));
+            path.push(component);
+        }
+
+        // Lines 29-31: attach this posting to the top frame.
+        let top = stack.last_mut().expect("just pushed");
+        top.ranks[il] = opts
+            .aggregation
+            .combine(top.ranks[il], occurrence_rank(&current, opts));
+        top.pos_lists[il].extend_from_slice(&current.positions);
+    }
+
+    // Line 33: flush.
+    while !stack.is_empty() {
+        pop(&mut stack, &mut path, &mut heap, opts);
+    }
+
+    QueryOutcome { results: heap.into_sorted(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Proximity;
+    use xrank_graph::{Collection, CollectionBuilder};
+    use xrank_index::extract::direct_postings;
+    use xrank_storage::MemStore;
+
+    pub(crate) fn setup(xml: &str) -> (BufferPool<MemStore>, DilIndex, Collection) {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("d", xml).unwrap();
+        let c = b.build();
+        let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
+        let postings = direct_postings(&c, &r.scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let idx = DilIndex::build(&mut pool, &postings);
+        (pool, idx, c)
+    }
+
+    pub(crate) fn run(
+        pool: &mut BufferPool<MemStore>,
+        idx: &DilIndex,
+        c: &Collection,
+        keywords: &[&str],
+        opts: &QueryOptions,
+    ) -> QueryOutcome {
+        let terms: Vec<TermId> = keywords
+            .iter()
+            .filter_map(|k| c.vocabulary().lookup(k))
+            .collect();
+        if terms.len() != keywords.len() {
+            return QueryOutcome {
+                results: Vec::new(),
+                stats: EvalStats::default(),
+            };
+        }
+        evaluate(pool, idx, &terms, opts)
+    }
+
+    fn names_of(results: &[crate::QueryResult], c: &Collection) -> Vec<String> {
+        results
+            .iter()
+            .map(|r| {
+                c.elem_by_dewey(&r.dewey)
+                    .map(|e| c.element(e).name.to_string())
+                    .unwrap_or_else(|| format!("?{}", r.dewey))
+            })
+            .collect()
+    }
+
+    /// The paper's running example: 'XQL language' must return the
+    /// <subsection> (most specific), not its <section>/<body> ancestors,
+    /// but also the <paper> (independent occurrences in title + abstract).
+    #[test]
+    fn paper_query_semantics_example() {
+        // Mirrors Figure 1: the <title> contains only 'XQL', the
+        // <abstract> only 'language', the <subsection> both.
+        let xml = r#"<workshop>
+          <wtitle>XML and IR a Workshop</wtitle>
+          <proceedings>
+            <paper>
+              <title>XQL and Proximal Nodes</title>
+              <abstract>We consider the recently proposed language</abstract>
+              <body>
+                <section>
+                  <subsection>At first sight the XQL query language looks</subsection>
+                </section>
+              </body>
+            </paper>
+          </proceedings>
+        </workshop>"#;
+        let (mut pool, idx, c) = setup(xml);
+        let opts = QueryOptions { top_m: 10, ..Default::default() };
+        let out = run(&mut pool, &idx, &c, &["xql", "language"], &opts);
+        let names = names_of(&out.results, &c);
+        // The most specific result.
+        assert!(names.contains(&"subsection".to_string()), "most specific result: {names:?}");
+        // "the <paper> element also contains independent occurrences of the
+        // query keywords in the sub-elements <title> and <abstract> ...
+        // hence, the <paper> element is also a query result."
+        assert!(names.contains(&"paper".to_string()), "independent occurrences: {names:?}");
+        // "the <section> and <body> ancestors of the <subsection> will NOT
+        // be returned."
+        assert!(!names.contains(&"section".to_string()), "spurious ancestor: {names:?}");
+        assert!(!names.contains(&"body".to_string()), "spurious ancestor: {names:?}");
+        assert!(!names.contains(&"workshop".to_string()), "spurious ancestor: {names:?}");
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn single_keyword_returns_direct_containers() {
+        let (mut pool, idx, c) =
+            setup("<r><a>solo here</a><b><c>solo again</c></b></r>");
+        let opts = QueryOptions { top_m: 10, ..Default::default() };
+        let out = run(&mut pool, &idx, &c, &["solo"], &opts);
+        let names = names_of(&out.results, &c);
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"a".to_string()) && names.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn missing_keyword_returns_nothing() {
+        let (mut pool, idx, c) = setup("<r><a>alpha beta</a></r>");
+        let opts = QueryOptions::default();
+        let out = run(&mut pool, &idx, &c, &["alpha", "nonexistent"], &opts);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn cross_document_keywords_do_not_join() {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("d1", "<r><a>foo only</a></r>").unwrap();
+        b.add_xml_str("d2", "<r><a>bar only</a></r>").unwrap();
+        let c = b.build();
+        let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
+        let postings = direct_postings(&c, &r.scores);
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let idx = DilIndex::build(&mut pool, &postings);
+        let out = run(&mut pool, &idx, &c, &["foo", "bar"], &QueryOptions::default());
+        assert!(out.results.is_empty(), "keywords in different documents share no element");
+    }
+
+    #[test]
+    fn specificity_beats_spread_with_equal_ranks() {
+        // Both <tight> and <loose> contain both keywords; <tight> holds
+        // them in one element, <loose> spreads them across children (so
+        // its rank is decayed and its window wider).
+        let xml = "<r><tight>alpha beta</tight><loose><x>alpha filler</x><y>filler beta</y></loose></r>";
+        let (mut pool, idx, c) = setup(xml);
+        let opts = QueryOptions { top_m: 10, proximity: Proximity::One, ..Default::default() };
+        let out = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts);
+        let names = names_of(&out.results, &c);
+        assert_eq!(names[0], "tight", "results: {names:?}");
+    }
+
+    #[test]
+    fn proximity_demotes_distant_keywords() {
+        let xml = "<r><near>alpha beta</near><far>alpha w1 w2 w3 w4 w5 w6 w7 w8 w9 beta</far></r>";
+        let (mut pool, idx, c) = setup(xml);
+        let opts = QueryOptions { top_m: 10, ..Default::default() };
+        let out = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts);
+        let names = names_of(&out.results, &c);
+        assert_eq!(names[0], "near");
+        // with proximity disabled the two tie on rank structure
+        let opts1 = QueryOptions { proximity: Proximity::One, ..opts };
+        let out1 = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts1);
+        assert!((out1.results[0].score - out1.results[1].score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scans_every_list_entirely() {
+        let (mut pool, idx, c) = setup("<r><a>x y</a><b>x</b><c>y</c></r>");
+        let tx = c.vocabulary().lookup("x").unwrap();
+        let ty = c.vocabulary().lookup("y").unwrap();
+        let expected =
+            idx.meta(tx).unwrap().entry_count as u64 + idx.meta(ty).unwrap().entry_count as u64;
+        let out = evaluate(&mut pool, &idx, &[tx, ty], &QueryOptions::default());
+        assert_eq!(out.stats.entries_scanned, expected, "DIL always scans fully");
+    }
+
+    #[test]
+    fn empty_query() {
+        let (mut pool, idx, _) = setup("<r><a>word</a></r>");
+        let out = evaluate(&mut pool, &idx, &[], &QueryOptions::default());
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn repeated_keyword_in_query() {
+        // Degenerate but legal: same term twice behaves like once (both
+        // lists are identical).
+        let (mut pool, idx, c) = setup("<r><a>dup text</a></r>");
+        let t = c.vocabulary().lookup("dup").unwrap();
+        let out = evaluate(&mut pool, &idx, &[t, t], &QueryOptions::default());
+        assert_eq!(out.results.len(), 1);
+    }
+}

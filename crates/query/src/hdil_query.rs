@@ -1,0 +1,205 @@
+//! The HDIL adaptive strategy — Section 4.4.2 of the paper.
+//!
+//! "We first start evaluating the query using RDIL, and periodically
+//! monitor its performance to calculate (a) the time spent so far – t, and
+//! (b) the number of results above the threshold so far – r. Based on
+//! this, we estimate the remaining time for RDIL as (m-r)*t/r ... If this
+//! estimated time is more than the expected time for DIL, we switch to
+//! DIL."
+//!
+//! *Time* here is the simulated I/O cost of the buffer-pool ledger under a
+//! [`CostModel`] — the same quantity the experiments plot — so the
+//! adaptation responds to exactly what the figures measure. The DIL
+//! estimate is computable a priori from the keyword lists' page counts
+//! ("it mainly depends on the number of query keywords, and the size of
+//! each query keyword inverted list"). A switch is also forced when a
+//! rank-sorted prefix drains, since HDIL stores only a fraction of each
+//! list in rank order (Section 4.4.1).
+
+use crate::rdil_query::{RdilRun, StepOutcome};
+use crate::score::QueryOptions;
+use crate::{EvalStats, QueryOutcome};
+use xrank_graph::TermId;
+use xrank_index::HdilIndex;
+use xrank_storage::{BufferPool, CostModel, PageStore};
+
+/// Steps between progress checks.
+const CHECK_INTERVAL: u64 = 8;
+
+/// Evaluates a conjunctive query over an [`HdilIndex`] with the adaptive
+/// RDIL→DIL strategy.
+pub fn evaluate<S: PageStore>(
+    pool: &mut BufferPool<S>,
+    index: &HdilIndex,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    cost_model: &CostModel,
+) -> QueryOutcome {
+    let m = opts.top_m;
+    // Expected DIL cost: one seek per keyword list, then sequential scans.
+    let total_pages: u64 = terms
+        .iter()
+        .map(|&t| {
+            use crate::access::RankedAccess;
+            <HdilIndex as RankedAccess<S>>::full_list_pages(index, t) as u64
+        })
+        .sum();
+    let dil_estimate = total_pages.saturating_sub(terms.len() as u64) as f64
+        * cost_model.seq_cost
+        + terms.len() as f64 * cost_model.rand_cost;
+
+    let start_stats = pool.stats();
+    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts);
+    let mut steps = 0u64;
+    loop {
+        match run.step(pool) {
+            StepOutcome::Done => return run.finish(),
+            StepOutcome::PrefixExhausted => break, // must fall back
+            StepOutcome::Continue => {}
+        }
+        steps += 1;
+        if !steps.is_multiple_of(CHECK_INTERVAL) {
+            continue;
+        }
+        // Progress check.
+        let spent = cost_model.cost(&pool.stats().since(&start_stats));
+        let r = run.confirmed_results();
+        let should_switch = if r == 0 {
+            // No confirmed result yet — the signature of uncorrelated
+            // keywords. Cut losses after a quarter of the DIL budget so
+            // the total stays "a slight overhead" over DIL (Section 5.4).
+            spent > dil_estimate / 4.0
+        } else if r >= m {
+            false // about to finish; stay
+        } else {
+            let estimated_remaining = (m - r) as f64 * spent / r as f64;
+            estimated_remaining > dil_estimate
+        };
+        if should_switch {
+            break;
+        }
+    }
+
+    // Fall back: run the DIL algorithm over the full Dewey-sorted lists.
+    let rdil_stats = run.stats();
+    let mut outcome = crate::dil_query::evaluate(pool, &index.dil, terms, opts);
+    outcome.stats = EvalStats {
+        entries_scanned: outcome.stats.entries_scanned + rdil_stats.entries_scanned,
+        btree_probes: rdil_stats.btree_probes,
+        hash_probes: 0,
+        range_scans: rdil_stats.range_scans,
+        switched_to_dil: true,
+    };
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrank_graph::{Collection, CollectionBuilder};
+    use xrank_index::extract::direct_postings;
+    use xrank_index::DilIndex;
+    use xrank_storage::MemStore;
+
+    fn setup(xml: &str) -> (BufferPool<MemStore>, DilIndex, HdilIndex, Collection) {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("d", xml).unwrap();
+        let c = b.build();
+        let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
+        let postings = direct_postings(&c, &r.scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let dil = DilIndex::build(&mut pool, &postings);
+        let hdil = HdilIndex::build(&mut pool, &postings);
+        (pool, dil, hdil, c)
+    }
+
+    fn terms(c: &Collection, kws: &[&str]) -> Vec<TermId> {
+        kws.iter().map(|k| c.vocabulary().lookup(k).unwrap()).collect()
+    }
+
+    /// High-correlation corpus: keywords co-occur, RDIL path confirms
+    /// results fast, no switch expected.
+    #[test]
+    fn stays_on_rdil_when_keywords_correlate() {
+        let mut xml = String::from("<r>");
+        for i in 0..400 {
+            xml.push_str(&format!("<e{i}>alpha beta together {i}</e{i}>"));
+        }
+        xml.push_str("</r>");
+        let (mut pool, dil, hdil, c) = setup(&xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        let opts = QueryOptions { top_m: 5, ..Default::default() };
+        let out = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
+        assert!(!out.stats.switched_to_dil, "correlated keywords should finish on RDIL");
+        // and results agree with DIL
+        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        assert_eq!(out.results.len(), d.results.len());
+        for (a, b) in out.results.iter().zip(d.results.iter()) {
+            assert_eq!(a.dewey, b.dewey);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    /// Low-correlation corpus: the keywords never co-occur except once,
+    /// far down both rank lists — HDIL must switch to DIL yet still return
+    /// the right answer.
+    #[test]
+    fn switches_to_dil_when_keywords_do_not_correlate() {
+        let mut xml = String::from("<r>");
+        for i in 0..300 {
+            xml.push_str(&format!("<a{i}>alpha solo {i}</a{i}><b{i}>beta solo {i}</b{i}>"));
+        }
+        xml.push_str("<rare>alpha beta</rare></r>");
+        let (mut pool, dil, hdil, c) = setup(&xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        let opts = QueryOptions { top_m: 5, ..Default::default() };
+        let out = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
+        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        assert_eq!(out.results.len(), d.results.len());
+        for (a, b) in out.results.iter().zip(d.results.iter()) {
+            assert_eq!(a.dewey, b.dewey);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        // The single co-occurrence sits at an arbitrary rank position; the
+        // prefix very likely drains or the estimate blows up first.
+        assert!(out.stats.switched_to_dil, "uncorrelated keywords should fall back to DIL");
+    }
+
+    #[test]
+    fn agrees_with_dil_across_m_values() {
+        let mut xml = String::from("<corpus>");
+        for i in 0..120 {
+            xml.push_str(&format!(
+                "<doc{i}><h>gamma head</h><p>delta paragraph {}</p><z>gamma delta close</z></doc{i}>",
+                i % 5
+            ));
+        }
+        xml.push_str("</corpus>");
+        let (mut pool, dil, hdil, c) = setup(&xml);
+        let q = terms(&c, &["gamma", "delta"]);
+        for m in [1usize, 4, 25] {
+            let opts = QueryOptions { top_m: m, ..Default::default() };
+            let h = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
+            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+            assert_eq!(h.results.len(), d.results.len(), "m={m}");
+            for (a, b) in h.results.iter().zip(d.results.iter()) {
+                assert_eq!(a.dewey, b.dewey, "m={m}");
+                assert!((a.score - b.score).abs() < 1e-9, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_keyword() {
+        let (mut pool, _, hdil, c) = setup("<r><a>here text</a></r>");
+        let here = c.vocabulary().lookup("here").unwrap();
+        let out = evaluate(
+            &mut pool,
+            &hdil,
+            &[here, TermId(55_555)],
+            &QueryOptions::default(),
+            &CostModel::default(),
+        );
+        assert!(out.results.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Query processors for ranked XML keyword search (paper, Section 4).
+//!
+//! All processors evaluate *conjunctive* keyword queries and return the
+//! top-`m` results under the Section 2.3.2 ranking:
+//!
+//! ```text
+//! r(v₁, kᵢ)  = ElemRank(v_t) · decay^(t-1)        (specificity scaling)
+//! r̂(v₁, kᵢ) = f(r₁ … r_m),  f ∈ {max, sum}       (occurrence aggregation)
+//! R(v₁, Q)   = (Σᵢ r̂(v₁, kᵢ)) · p(v₁, k₁ … k_n)  (proximity factor)
+//! ```
+//!
+//! * [`dil_query::evaluate`] — the single-pass Dewey-stack merge of
+//!   Figure 5 (sorted-by-Dewey lists).
+//! * [`rdil_query::evaluate`] — the Threshold-Algorithm evaluation of
+//!   Figure 7 (rank-sorted lists + B+-tree longest-common-prefix probes),
+//!   generic over [`access::RankedAccess`] so it drives both RDIL and
+//!   HDIL's rank-sorted prefix.
+//! * [`hdil_query::evaluate`] — the Section 4.4.2 adaptive strategy:
+//!   start as RDIL, monitor progress, and switch to DIL when the estimated
+//!   remaining RDIL cost exceeds the (computable a priori) DIL cost.
+//! * [`naive_query`] — the two baselines: equality merge-join (Naive-ID)
+//!   and hash-probe TA (Naive-Rank). They return *every* element
+//!   containing all keywords — ancestors included — reproducing the
+//!   spurious-result behaviour of Section 4.1.
+//!
+//! The DIL processor is the executable specification: property tests in
+//! the workspace assert that RDIL and HDIL return exactly its result set
+//! and top-m ranking, and that the naive result set is its ancestor
+//! closure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod dil_query;
+pub mod disjunctive;
+pub mod hdil_query;
+pub mod naive_query;
+pub mod rdil_query;
+pub mod score;
+
+pub use access::RankedAccess;
+pub use score::{Aggregation, Proximity, QueryOptions, QueryResult, TopM};
+
+/// Counters a query evaluation reports alongside its results. I/O volume
+/// is read from the buffer pool's own ledger; these count algorithmic
+/// work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Inverted-list entries consumed.
+    pub entries_scanned: u64,
+    /// B+-tree `lowest_geq` probes issued.
+    pub btree_probes: u64,
+    /// Hash-index lookups issued.
+    pub hash_probes: u64,
+    /// Prefix range scans issued.
+    pub range_scans: u64,
+    /// HDIL only: the adaptive strategy abandoned RDIL for DIL.
+    pub switched_to_dil: bool,
+}
+
+/// A query outcome: ranked results plus work counters.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Results in descending overall rank (at most `m`).
+    pub results: Vec<QueryResult>,
+    /// Work counters.
+    pub stats: EvalStats,
+}

@@ -1,0 +1,468 @@
+//! The RDIL query processing algorithm — Figure 7 of the paper.
+//!
+//! Rank-sorted lists are consumed round-robin; for each consumed entry the
+//! longest common prefix that contains all query keywords is found by
+//! B+-tree probes (`lowest_geq` + predecessor, Section 4.3.2); the prefix
+//! is scored by range scans that *exclude sub-elements already containing
+//! all keywords* (Figure 7 line 20, matching the Section 2.2 semantics);
+//! and the provably-safe Threshold Algorithm stopping condition ends the
+//! scan early ("since we only overestimate the threshold, the top m
+//! results are still guaranteed to be optimal").
+//!
+//! The evaluation is exposed as a resumable [`RdilRun`] so the HDIL
+//! adaptive strategy (Section 4.4.2) can interleave progress checks.
+
+use crate::access::RankedAccess;
+use crate::dil_query::occurrence_rank;
+use crate::score::{Aggregation, QueryOptions, TopM};
+use crate::{EvalStats, QueryOutcome};
+use std::collections::{HashMap, HashSet};
+use xrank_dewey::DeweyId;
+use xrank_graph::TermId;
+use xrank_index::listio::ListReader;
+use xrank_index::posting::Posting;
+use xrank_storage::{BufferPool, PageStore};
+
+/// What one [`RdilRun::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An entry was consumed; evaluation continues.
+    Continue,
+    /// The TA stopping condition fired (or all complete lists drained):
+    /// the heap provably holds the top-m results.
+    Done,
+    /// A rank reader drained but covers only a prefix of its list (HDIL):
+    /// the caller must fall back to the DIL algorithm.
+    PrefixExhausted,
+}
+
+/// Resumable Figure 7 evaluation state.
+pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
+    access: &'a A,
+    terms: Vec<TermId>,
+    opts: QueryOptions,
+    readers: Vec<ListReader>,
+    /// ElemRank of the last entry consumed from each list (threshold term).
+    frontier: Vec<f64>,
+    heap: TopM,
+    /// Scores of all confirmed results (for the HDIL progress estimate).
+    result_scores: Vec<f64>,
+    seen: HashSet<DeweyId>,
+    next_list: usize,
+    stats: EvalStats,
+    done: bool,
+    _store: std::marker::PhantomData<S>,
+}
+
+impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
+    /// Prepares a run. Queries with a keyword absent from the vocabulary
+    /// or the index finish immediately with no results.
+    pub fn new(
+        pool: &mut BufferPool<S>,
+        access: &'a A,
+        terms: &[TermId],
+        opts: &QueryOptions,
+    ) -> Self {
+        let mut readers = Vec::with_capacity(terms.len());
+        let mut viable = !terms.is_empty();
+        for &t in terms {
+            match access.rank_reader(t) {
+                Some(r) => readers.push(r),
+                None => {
+                    viable = false;
+                    break;
+                }
+            }
+        }
+        // Initialize the threshold frontier with each list's best rank.
+        let mut frontier = vec![0.0f64; readers.len()];
+        if viable {
+            for (i, r) in readers.iter_mut().enumerate() {
+                frontier[i] = r.peek(pool).map(|p| p.rank as f64).unwrap_or(0.0);
+            }
+        }
+        RdilRun {
+            access,
+            terms: terms.to_vec(),
+            opts: opts.clone(),
+            readers,
+            frontier,
+            heap: TopM::new(opts.top_m),
+            result_scores: Vec::new(),
+            seen: HashSet::new(),
+            next_list: 0,
+            stats: EvalStats::default(),
+            done: !viable,
+            _store: std::marker::PhantomData,
+        }
+    }
+
+    /// The current TA threshold: Σ over lists of the (weighted) last-seen
+    /// ElemRank (decay and proximity overestimated at their maximum of 1).
+    pub fn threshold(&self) -> f64 {
+        self.frontier
+            .iter()
+            .enumerate()
+            .map(|(i, r)| self.opts.keyword_weight(i) * r)
+            .sum()
+    }
+
+    /// Results found so far whose score already clears the current
+    /// threshold — the `r` of the Section 4.4.2 estimate.
+    pub fn confirmed_results(&self) -> usize {
+        let t = self.threshold();
+        self.result_scores.iter().filter(|&&s| s >= t).count()
+    }
+
+    /// True when the run has provably produced the top-m results.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Consumes one list entry (round-robin) and processes it.
+    pub fn step(&mut self, pool: &mut BufferPool<S>) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Done;
+        }
+        // With f = sum the overall rank is not bounded by the ElemRank sum,
+        // so TA early termination is unsound; scan to the end instead.
+        let ta_safe = self.opts.aggregation == Aggregation::Max;
+
+        // Pick the next non-exhausted list round-robin.
+        let n = self.readers.len();
+        let mut picked = None;
+        for off in 0..n {
+            let i = (self.next_list + off) % n;
+            if self.readers[i].peek(pool).is_some() {
+                picked = Some(i);
+                break;
+            }
+        }
+        let Some(il) = picked else {
+            // Every list drained. For complete lists this means every
+            // result has been discovered (each result is discovered via
+            // its relevant occurrences, all of which have been consumed).
+            self.done = true;
+            return if self.access.rank_lists_complete() {
+                StepOutcome::Done
+            } else {
+                StepOutcome::PrefixExhausted
+            };
+        };
+        self.next_list = (il + 1) % n;
+
+        let current = self.readers[il].next(pool).expect("peeked entry");
+        self.stats.entries_scanned += 1;
+        self.frontier[il] = if self.readers[il].peek(pool).is_some() {
+            current.rank as f64
+        } else if self.access.rank_lists_complete() {
+            // List fully consumed: nothing below can contribute.
+            0.0
+        } else {
+            current.rank as f64
+        };
+
+        // Lines 11-16: shrink the lcp through each other keyword's B+-tree.
+        let mut lcp = current.dewey.clone();
+        let mut dead = false;
+        for j in 0..n {
+            if j == il {
+                continue;
+            }
+            self.stats.btree_probes += 1;
+            let (entry, pred) = self.access.lowest_geq(pool, self.terms[j], &lcp);
+            let via_entry = entry.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
+            let via_pred = pred.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
+            let keep = via_entry.max(via_pred);
+            if keep < 2 {
+                // No common element (documents differ or only the
+                // artificial collection root is shared).
+                dead = true;
+                break;
+            }
+            lcp = lcp.prefix(keep);
+        }
+
+        if !dead && !self.seen.contains(&lcp) {
+            self.seen.insert(lcp.clone());
+            if let Some(score) = score_candidate(
+                pool,
+                self.access,
+                &self.terms,
+                &lcp,
+                &self.opts,
+                &mut self.stats,
+            ) {
+                self.heap.offer(lcp, score);
+                self.result_scores.push(score);
+            }
+        }
+
+        // Lines 26-28: the stopping condition.
+        if ta_safe {
+            if let Some(mth) = self.heap.mth_score() {
+                if mth >= self.threshold() {
+                    self.done = true;
+                    return StepOutcome::Done;
+                }
+            }
+        }
+        StepOutcome::Continue
+    }
+
+    /// Runs to completion (RDIL use; HDIL drives `step` itself).
+    pub fn run_to_end(&mut self, pool: &mut BufferPool<S>) -> StepOutcome {
+        loop {
+            match self.step(pool) {
+                StepOutcome::Continue => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Finishes, returning the ranked results.
+    pub fn finish(self) -> QueryOutcome {
+        QueryOutcome { results: self.heap.into_sorted(), stats: self.stats }
+    }
+}
+
+/// Figure 7 lines 17-24: score `lcp` as a candidate result. Range-scans
+/// each keyword's postings under `lcp`, drops occurrences inside child
+/// subtrees that contain all keywords (they are more specific results
+/// themselves), and requires every keyword to retain at least one relevant
+/// occurrence.
+pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
+    pool: &mut BufferPool<S>,
+    access: &A,
+    terms: &[TermId],
+    lcp: &DeweyId,
+    opts: &QueryOptions,
+    stats: &mut EvalStats,
+) -> Option<f64> {
+    let n = terms.len();
+    let mut per_kw: Vec<Vec<Posting>> = Vec::with_capacity(n);
+    for &t in terms {
+        stats.range_scans += 1;
+        per_kw.push(access.prefix_postings(pool, t, lcp));
+    }
+
+    // Which direct children of lcp contain all keywords? (Counting
+    // distinct keywords per child rather than bitmasking keeps arbitrary
+    // query lengths safe — a 33-keyword query must not overflow a mask.)
+    let depth = lcp.len();
+    let mut child_cover: HashMap<u32, HashSet<usize>> = HashMap::new();
+    for (i, list) in per_kw.iter().enumerate() {
+        for p in list {
+            if p.dewey.len() > depth {
+                child_cover
+                    .entry(p.dewey.components()[depth])
+                    .or_default()
+                    .insert(i);
+            }
+        }
+    }
+    let complete: HashSet<u32> = child_cover
+        .iter()
+        .filter(|(_, kws)| kws.len() == n)
+        .map(|(&c, _)| c)
+        .collect();
+
+    // Aggregate relevant occurrences per keyword.
+    let mut ranks = vec![0.0f64; n];
+    let mut pos_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, list) in per_kw.iter().enumerate() {
+        for p in list {
+            let relevant = if p.dewey.len() == depth {
+                true // direct value occurrence
+            } else {
+                !complete.contains(&p.dewey.components()[depth])
+            };
+            if !relevant {
+                continue;
+            }
+            let levels = (p.dewey.len() - depth) as i32;
+            let contribution = occurrence_rank(p, opts) * opts.decay.powi(levels);
+            ranks[i] = opts.aggregation.combine(ranks[i], contribution);
+            pos_lists[i].extend_from_slice(&p.positions);
+        }
+        if pos_lists[i].is_empty() {
+            return None; // keyword has no relevant occurrence → not a result
+        }
+        pos_lists[i].sort_unstable();
+    }
+    let refs: Vec<&[u32]> = pos_lists.iter().map(|l| l.as_slice()).collect();
+    Some(opts.overall_rank(&ranks, &refs))
+}
+
+/// Evaluates a conjunctive query with the Figure 7 algorithm, running the
+/// TA loop to completion.
+pub fn evaluate<S: PageStore, A: RankedAccess<S>>(
+    pool: &mut BufferPool<S>,
+    access: &A,
+    terms: &[TermId],
+    opts: &QueryOptions,
+) -> QueryOutcome {
+    let mut run = RdilRun::new(pool, access, terms, opts);
+    run.run_to_end(pool);
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrank_graph::{Collection, CollectionBuilder};
+    use xrank_index::extract::direct_postings;
+    use xrank_index::{DilIndex, RdilIndex};
+    use xrank_storage::MemStore;
+
+    fn setup(xml: &str) -> (BufferPool<MemStore>, DilIndex, RdilIndex, Collection) {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("d", xml).unwrap();
+        let c = b.build();
+        let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
+        let postings = direct_postings(&c, &r.scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let dil = DilIndex::build(&mut pool, &postings);
+        let rdil = RdilIndex::build(&mut pool, &postings);
+        (pool, dil, rdil, c)
+    }
+
+    fn terms(c: &Collection, kws: &[&str]) -> Vec<TermId> {
+        kws.iter().map(|k| c.vocabulary().lookup(k).unwrap()).collect()
+    }
+
+    /// RDIL must return exactly DIL's results with equal scores — DIL is
+    /// the executable specification.
+    #[test]
+    fn agrees_with_dil_on_nested_corpus() {
+        let xml = r#"<workshop>
+          <proceedings>
+            <paper><title>XQL and Proximal Nodes</title>
+              <abstract>We consider the recently proposed language</abstract>
+              <body><section>
+                <subsection>At first sight the XQL query language looks</subsection>
+              </section></body>
+            </paper>
+            <paper><title>Querying XML language</title><body>no xql here</body></paper>
+          </proceedings>
+        </workshop>"#;
+        let (mut pool, dil, rdil, c) = setup(xml);
+        let q = terms(&c, &["xql", "language"]);
+        let opts = QueryOptions { top_m: 50, ..Default::default() };
+        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        let r = evaluate(&mut pool, &rdil, &q, &opts);
+        assert_eq!(d.results.len(), r.results.len(), "result sets differ");
+        for (a, b) in d.results.iter().zip(r.results.iter()) {
+            assert_eq!(a.dewey, b.dewey);
+            assert!((a.score - b.score).abs() < 1e-9, "{} vs {}", a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn single_keyword_top_m_without_full_scan() {
+        // Many elements contain 'common'; with m=1 the TA condition should
+        // fire long before the list is drained.
+        let mut xml = String::from("<r>");
+        for i in 0..300 {
+            xml.push_str(&format!("<e{i}>common text</e{i}>"));
+        }
+        xml.push_str("</r>");
+        let (mut pool, _, rdil, c) = setup(&xml);
+        let q = terms(&c, &["common"]);
+        let opts = QueryOptions { top_m: 1, ..Default::default() };
+        let out = evaluate(&mut pool, &rdil, &q, &opts);
+        assert_eq!(out.results.len(), 1);
+        let total = rdil.meta(q[0]).unwrap().entry_count as u64;
+        assert!(
+            out.stats.entries_scanned < total / 2,
+            "scanned {} of {} — TA should stop early",
+            out.stats.entries_scanned,
+            total
+        );
+    }
+
+    #[test]
+    fn missing_keyword_returns_nothing() {
+        let (mut pool, _, rdil, c) = setup("<r><a>present word</a></r>");
+        let present = c.vocabulary().lookup("present").unwrap();
+        let out = evaluate(&mut pool, &rdil, &[present, TermId(40_000)], &QueryOptions::default());
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn threshold_is_sound_for_top_m() {
+        // Verify top-m equals DIL's top-m, not just set equality.
+        let mut xml = String::from("<corpus>");
+        for i in 0..150 {
+            xml.push_str(&format!(
+                "<doc{i}><h>alpha title {i}</h><p>beta body text {}</p><q>alpha beta</q></doc{i}>",
+                i % 13
+            ));
+        }
+        xml.push_str("</corpus>");
+        let (mut pool, dil, rdil, c) = setup(&xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        for m in [1usize, 3, 10] {
+            let opts = QueryOptions { top_m: m, ..Default::default() };
+            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+            let r = evaluate(&mut pool, &rdil, &q, &opts);
+            assert_eq!(d.results.len(), r.results.len(), "m={m}");
+            for (a, b) in d.results.iter().zip(r.results.iter()) {
+                assert!((a.score - b.score).abs() < 1e-9, "m={m}: scores diverge");
+                assert_eq!(a.dewey, b.dewey, "m={m}");
+            }
+        }
+    }
+
+    /// Keyword weights (Section 2.3.2.2's last paragraph) shift the
+    /// ranking toward the up-weighted keyword, identically in DIL and
+    /// RDIL (the TA threshold scales by the weights too).
+    #[test]
+    fn keyword_weights_shift_ranking_consistently() {
+        let xml = "<r><heavy>alpha alpha alpha beta</heavy><light>alpha beta beta beta</light></r>";
+        let (mut pool, dil, rdil, c) = setup(xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        for weights in [vec![10.0, 1.0], vec![1.0, 10.0]] {
+            let opts = QueryOptions {
+                top_m: 10,
+                aggregation: Aggregation::Sum,
+                keyword_weights: Some(weights.clone()),
+                ..Default::default()
+            };
+            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+            let r = evaluate(&mut pool, &rdil, &q, &opts);
+            assert_eq!(d.results.len(), r.results.len());
+            for (a, b) in d.results.iter().zip(r.results.iter()) {
+                assert_eq!(a.dewey, b.dewey, "weights {weights:?}");
+                assert!((a.score - b.score).abs() < 1e-9);
+            }
+            // The element dense in the up-weighted keyword wins.
+            let top = c.elem_by_dewey(&d.results[0].dewey).unwrap();
+            let expect = if weights[0] > weights[1] { "heavy" } else { "light" };
+            assert_eq!(&*c.element(top).name, expect, "weights {weights:?}");
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_disables_early_stop_but_stays_correct() {
+        let xml = "<r><a>w w w v</a><b>w v</b></r>";
+        let (mut pool, dil, rdil, c) = setup(xml);
+        let q = terms(&c, &["w", "v"]);
+        let opts = QueryOptions {
+            aggregation: Aggregation::Sum,
+            top_m: 5,
+            ..Default::default()
+        };
+        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        let r = evaluate(&mut pool, &rdil, &q, &opts);
+        assert_eq!(d.results.len(), r.results.len());
+        for (a, b) in d.results.iter().zip(r.results.iter()) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+}

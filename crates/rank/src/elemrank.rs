@@ -1,0 +1,467 @@
+//! The ElemRank power iteration and its formula variants.
+
+use xrank_graph::Collection;
+
+/// Parameters of the final ElemRank formula (paper defaults from
+/// Section 3.2: `d1 = 0.35`, `d2 = 0.25`, `d3 = 0.25`, ε = `0.00002`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElemRankParams {
+    /// Probability of navigating a hyperlink edge.
+    pub d1: f64,
+    /// Probability of navigating a forward containment edge (to a child).
+    pub d2: f64,
+    /// Probability of navigating a reverse containment edge (to the parent).
+    pub d3: f64,
+    /// Convergence threshold on the L1 change between iterations.
+    pub epsilon: f64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for ElemRankParams {
+    fn default() -> Self {
+        ElemRankParams { d1: 0.35, d2: 0.25, d3: 0.25, epsilon: 2e-5, max_iterations: 500 }
+    }
+}
+
+impl ElemRankParams {
+    /// Total navigation probability `d1 + d2 + d3`.
+    pub fn total_damping(&self) -> f64 {
+        self.d1 + self.d2 + self.d3
+    }
+
+    /// Validates that the parameters define a probability distribution.
+    pub fn validate(&self) -> Result<(), String> {
+        let ds = [self.d1, self.d2, self.d3];
+        if ds.iter().any(|d| !(0.0..=1.0).contains(d) || !d.is_finite()) {
+            return Err(format!("damping factors out of range: {ds:?}"));
+        }
+        if self.total_damping() >= 1.0 {
+            return Err(format!("d1 + d2 + d3 = {} must be < 1", self.total_damping()));
+        }
+        if self.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("epsilon must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Which formula refinement to run (see crate docs for the lineage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankVariant {
+    /// Refinement 1: all edges treated as hyperlinks, unidirectional.
+    PageRankAdapted {
+        /// Single damping factor (PageRank's `d`, typically 0.85).
+        d: f64,
+    },
+    /// Refinement 2: reverse containment edges added, one damping factor,
+    /// uniform split over all outgoing options.
+    Bidirectional {
+        /// Single damping factor.
+        d: f64,
+    },
+    /// Refinement 3: hyperlinks (`d1`) separated from containment (`d2`,
+    /// both directions uniformly).
+    Discriminated {
+        /// Hyperlink navigation probability.
+        d1: f64,
+        /// Containment (forward + reverse, split evenly) probability.
+        d2: f64,
+    },
+    /// Refinement 4 — the paper's final formula.
+    Final(ElemRankParams),
+}
+
+/// The outcome of a rank computation.
+#[derive(Debug, Clone)]
+pub struct RankResult {
+    /// Per-element score, indexed by `ElemId`, summing to 1.
+    pub scores: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the L1 residual fell below epsilon within the cap.
+    pub converged: bool,
+    /// Final L1 residual.
+    pub residual: f64,
+}
+
+impl RankResult {
+    /// Score of one element.
+    pub fn score(&self, elem: u32) -> f64 {
+        self.scores[elem as usize]
+    }
+}
+
+/// Computes ElemRank with the paper's final formula.
+pub fn elem_rank(collection: &Collection, params: &ElemRankParams) -> RankResult {
+    compute(collection, RankVariant::Final(*params))
+}
+
+/// Computes element ranks under any [`RankVariant`].
+pub fn compute(collection: &Collection, variant: RankVariant) -> RankResult {
+    let (epsilon, max_iterations) = match variant {
+        RankVariant::Final(p) => {
+            p.validate().expect("invalid ElemRank parameters");
+            (p.epsilon, p.max_iterations)
+        }
+        _ => (2e-5, 500),
+    };
+    let n = collection.element_count();
+    if n == 0 {
+        return RankResult { scores: Vec::new(), iterations: 0, converged: true, residual: 0.0 };
+    }
+
+    // Random-jump distribution: pick a document uniformly, then an element
+    // within it uniformly — 1 / (N_d · N_de(v)). For the pre-final variants
+    // the paper uses a uniform 1/N_e jump; we honor that distinction.
+    let jump: Vec<f64> = match variant {
+        RankVariant::Final(_) => {
+            let nd = collection.doc_count() as f64;
+            (0..n as u32)
+                .map(|e| {
+                    let doc = collection.element(e).doc;
+                    1.0 / (nd * collection.doc(doc).element_count as f64)
+                })
+                .collect()
+        }
+        _ => vec![1.0 / n as f64; n],
+    };
+
+    let mut scores = jump.clone();
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+
+    while iterations < max_iterations {
+        iterations += 1;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0f64;
+
+        for (id, elem) in collection.elements() {
+            let mass = scores[id as usize];
+            if mass == 0.0 {
+                continue;
+            }
+            dangling += scatter(&variant, elem, mass, &mut next);
+        }
+
+        // Navigation mass with nowhere to go rejoins the random jump.
+        let total_nav: f64 = match variant {
+            RankVariant::PageRankAdapted { d } | RankVariant::Bidirectional { d } => d,
+            RankVariant::Discriminated { d1, d2 } => d1 + d2,
+            RankVariant::Final(p) => p.total_damping(),
+        };
+        let base = 1.0 - total_nav + dangling;
+        for v in 0..n {
+            next[v] += base * jump[v];
+        }
+
+        residual = scores
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
+        std::mem::swap(&mut scores, &mut next);
+        if residual < epsilon {
+            return RankResult { scores, iterations, converged: true, residual };
+        }
+    }
+    RankResult { scores, iterations, converged: false, residual }
+}
+
+/// Distributes `mass * nav` along `elem`'s outgoing edges according to the
+/// variant. Returns the (undeliverable) dangling navigation mass.
+fn scatter(
+    variant: &RankVariant,
+    elem: &xrank_graph::Element,
+    mass: f64,
+    next: &mut [f64],
+) -> f64 {
+    let nh = elem.links_out.len();
+    let nc = elem.children.len();
+    let has_parent = elem.parent.is_some();
+
+    match *variant {
+        RankVariant::PageRankAdapted { d } => {
+            // Forward edges only: hyperlinks + containment, uniform split.
+            let out = nh + nc;
+            if out == 0 {
+                return mass * d;
+            }
+            let share = mass * d / out as f64;
+            for &t in &elem.links_out {
+                next[t as usize] += share;
+            }
+            for &c in &elem.children {
+                next[c as usize] += share;
+            }
+            0.0
+        }
+        RankVariant::Bidirectional { d } => {
+            let out = nh + nc + usize::from(has_parent);
+            if out == 0 {
+                return mass * d;
+            }
+            let share = mass * d / out as f64;
+            for &t in &elem.links_out {
+                next[t as usize] += share;
+            }
+            for &c in &elem.children {
+                next[c as usize] += share;
+            }
+            if let Some(p) = elem.parent {
+                next[p as usize] += share;
+            }
+            0.0
+        }
+        RankVariant::Discriminated { d1, d2 } => {
+            // Two classes: hyperlinks (d1) and containment both ways (d2);
+            // mass of a missing class shifts to the available one.
+            let n_cont = nc + usize::from(has_parent);
+            let (w1, w2) = (if nh > 0 { d1 } else { 0.0 }, if n_cont > 0 { d2 } else { 0.0 });
+            let avail = w1 + w2;
+            if avail == 0.0 {
+                return mass * (d1 + d2);
+            }
+            let scale = (d1 + d2) / avail;
+            if nh > 0 {
+                let share = mass * w1 * scale / nh as f64;
+                for &t in &elem.links_out {
+                    next[t as usize] += share;
+                }
+            }
+            if n_cont > 0 {
+                let share = mass * w2 * scale / n_cont as f64;
+                for &c in &elem.children {
+                    next[c as usize] += share;
+                }
+                if let Some(p) = elem.parent {
+                    next[p as usize] += share;
+                }
+            }
+            0.0
+        }
+        RankVariant::Final(p) => {
+            // Three classes with proportional re-split of missing ones
+            // (Section 3.1): hyperlinks d1/N_h, forward containment d2/N_c,
+            // reverse containment d3 *aggregate* (each child passes its full
+            // d3 share to the parent — this is what makes a workshop with
+            // many important papers important).
+            let w1 = if nh > 0 { p.d1 } else { 0.0 };
+            let w2 = if nc > 0 { p.d2 } else { 0.0 };
+            let w3 = if has_parent { p.d3 } else { 0.0 };
+            let avail = w1 + w2 + w3;
+            if avail == 0.0 {
+                return mass * p.total_damping();
+            }
+            let scale = p.total_damping() / avail;
+            if nh > 0 {
+                let share = mass * w1 * scale / nh as f64;
+                for &t in &elem.links_out {
+                    next[t as usize] += share;
+                }
+            }
+            if nc > 0 {
+                let share = mass * w2 * scale / nc as f64;
+                for &c in &elem.children {
+                    next[c as usize] += share;
+                }
+            }
+            if let Some(parent) = elem.parent {
+                next[parent as usize] += mass * w3 * scale;
+            }
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrank_graph::CollectionBuilder;
+
+    fn collection(xmls: &[(&str, &str)]) -> Collection {
+        let mut b = CollectionBuilder::new();
+        for (uri, xml) in xmls {
+            b.add_xml_str(uri, xml).unwrap();
+        }
+        b.build()
+    }
+
+    fn assert_stochastic(r: &RankResult) {
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "scores sum to {sum}, expected 1");
+        assert!(r.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn converges_and_is_stochastic_on_paper_example() {
+        let c = collection(&[(
+            "w",
+            r#"<workshop><proceedings>
+                 <paper id="1"><title>XQL</title><cite ref="2">x</cite></paper>
+                 <paper id="2"><title>Xyleme</title></paper>
+               </proceedings></workshop>"#,
+        )]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        assert!(r.converged, "did not converge: residual {}", r.residual);
+        assert_stochastic(&r);
+    }
+
+    #[test]
+    fn cited_paper_outranks_uncited_sibling() {
+        // paper 2 is cited by papers 1 and 3; paper 4 is not cited.
+        let c = collection(&[(
+            "w",
+            r#"<proc>
+                 <paper id="1"><cite ref="2">a</cite></paper>
+                 <paper id="2"><t>popular</t></paper>
+                 <paper id="3"><cite ref="2">b</cite></paper>
+                 <paper id="4"><t>ignored</t></paper>
+               </proc>"#,
+        )]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        let find = |name: &str, nth: usize| {
+            c.elements()
+                .filter(|(_, e)| &*e.name == name)
+                .nth(nth)
+                .map(|(id, _)| id)
+                .unwrap()
+        };
+        let p2 = find("paper", 1);
+        let p4 = find("paper", 3);
+        assert!(
+            r.score(p2) > r.score(p4),
+            "cited paper {} should outrank uncited {}",
+            r.score(p2),
+            r.score(p4)
+        );
+    }
+
+    #[test]
+    fn rank_propagates_to_subelements_of_important_elements() {
+        // The title of a heavily-cited paper should outrank the title of an
+        // uncited one — the paper's 'gray' anecdote (Section 5.2).
+        let c = collection(&[(
+            "w",
+            r#"<proc>
+                 <paper id="hot"><title>gray codes</title></paper>
+                 <paper id="cold"><title>obscure topic</title></paper>
+                 <p><cite ref="hot">x</cite></p><q><cite ref="hot">y</cite></q>
+                 <p2><cite ref="hot">z</cite></p2>
+               </proc>"#,
+        )]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        let titles: Vec<u32> = c
+            .elements()
+            .filter(|(_, e)| &*e.name == "title")
+            .map(|(id, _)| id)
+            .collect();
+        assert!(r.score(titles[0]) > r.score(titles[1]));
+    }
+
+    #[test]
+    fn aggregate_reverse_containment_rewards_rich_parents() {
+        // Two workshops; one contains three cited papers, the other one.
+        // Final formula: the richer workshop must rank higher.
+        let c = collection(&[(
+            "w",
+            r#"<root>
+                 <workshop><paper id="a"><t>x</t></paper><paper id="b"><t>x</t></paper>
+                   <paper id="c"><t>x</t></paper></workshop>
+                 <workshop><paper id="d"><t>x</t></paper></workshop>
+                 <refs><cite ref="a">.</cite><cite ref="b">.</cite><cite ref="c">.</cite>
+                   <cite ref="d">.</cite></refs>
+               </root>"#,
+        )]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        let workshops: Vec<u32> = c
+            .elements()
+            .filter(|(_, e)| &*e.name == "workshop")
+            .map(|(id, _)| id)
+            .collect();
+        assert!(
+            r.score(workshops[0]) > r.score(workshops[1]),
+            "workshop with 3 cited papers ({}) should outrank 1-paper workshop ({})",
+            r.score(workshops[0]),
+            r.score(workshops[1])
+        );
+    }
+
+    #[test]
+    fn all_variants_converge_and_are_stochastic() {
+        let c = collection(&[
+            ("a", r#"<r><x id="1"><y>text</y></x><z ref="1">t</z></r>"#),
+            ("b", r#"<r><w href="a">link</w></r>"#),
+        ]);
+        for variant in [
+            RankVariant::PageRankAdapted { d: 0.85 },
+            RankVariant::Bidirectional { d: 0.85 },
+            RankVariant::Discriminated { d1: 0.45, d2: 0.40 },
+            RankVariant::Final(ElemRankParams::default()),
+        ] {
+            let r = compute(&c, variant);
+            assert!(r.converged, "{variant:?} did not converge");
+            assert_stochastic(&r);
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = CollectionBuilder::new().build();
+        let r = elem_rank(&c, &ElemRankParams::default());
+        assert!(r.converged);
+        assert!(r.scores.is_empty());
+    }
+
+    #[test]
+    fn single_element_no_links_gets_all_mass() {
+        let c = collection(&[("a", "<only/>")]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        assert_eq!(r.scores.len(), 1);
+        assert!((r.scores[0] - 1.0).abs() < 1e-9);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(ElemRankParams::default().validate().is_ok());
+        let bad = ElemRankParams { d1: 0.5, d2: 0.4, d3: 0.2, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let neg = ElemRankParams { d1: -0.1, ..Default::default() };
+        assert!(neg.validate().is_err());
+        let eps = ElemRankParams { epsilon: 0.0, ..Default::default() };
+        assert!(eps.validate().is_err());
+    }
+
+    #[test]
+    fn random_jump_not_biased_toward_large_documents() {
+        // Two documents, one 50x larger. Under the final formula the root
+        // of the small doc should not be starved: per-document jump mass is
+        // equal (1/N_d each).
+        let big: String = {
+            let mut s = String::from("<r>");
+            for i in 0..50 {
+                s.push_str(&format!("<e{i}>word</e{i}>"));
+            }
+            s.push_str("</r>");
+            s
+        };
+        let c = collection(&[("big", &big), ("small", "<r><e>word</e></r>")]);
+        let r = elem_rank(&c, &ElemRankParams::default());
+        // total mass per document should be roughly equal
+        let mass: Vec<f64> = (0..2)
+            .map(|d| {
+                c.elements()
+                    .filter(|(_, e)| e.doc == d)
+                    .map(|(id, _)| r.score(id))
+                    .sum::<f64>()
+            })
+            .collect();
+        let ratio = mass[0] / mass[1];
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "per-document mass should be balanced, got ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! ElemRank: objective importance of XML elements (paper, Section 3).
+//!
+//! ElemRank generalizes PageRank to element granularity. The paper develops
+//! it as a series of refinements, all of which are implemented here as
+//! [`RankVariant`]s so the ablation experiment (E7) can compare them:
+//!
+//! 1. [`RankVariant::PageRankAdapted`] — map every element to a "page" and
+//!    every edge (hyperlink *and* containment) to a hyperlink. Flaw:
+//!    containment deserves bidirectional propagation.
+//! 2. [`RankVariant::Bidirectional`] — add reverse containment edges
+//!    (`E = HE ∪ CE ∪ CE⁻¹`), one damping factor, uniform split over
+//!    `N_h + N_c + 1`. Flaw: hyperlinks and containment compete for the
+//!    same probability mass.
+//! 3. [`RankVariant::Discriminated`] — separate probabilities `d1`
+//!    (hyperlinks) and `d2` (containment, both directions). Flaw: forward
+//!    and reverse containment still share a split, so a parent's rank is
+//!    *divided* among children **and** the parent receives only a fraction
+//!    of each child's rank, losing the "a workshop with many important
+//!    papers is important" aggregate semantics.
+//! 4. [`RankVariant::Final`] — the paper's final formula: `d1` over
+//!    hyperlinks (split by `N_h`), `d2` over forward containment (split by
+//!    `N_c`), `d3` over reverse containment (**aggregated**, not split),
+//!    and a random-jump term `(1 - d1 - d2 - d3) / (N_d · N_de(v))` that
+//!    first picks a document, then an element inside it, so reverse
+//!    propagation is not biased toward large documents.
+//!
+//! When an element lacks one of the edge classes, its navigation mass
+//! `d1+d2+d3` is split proportionally among the classes it does have
+//! (Section 3.1, last paragraph). Elements with no outgoing options at all
+//! (single-element documents without links) spill their navigation mass
+//! into the random jump — the standard dangling-node correction, which
+//! keeps the iteration stochastic and guarantees convergence.
+//!
+//! Scores are normalized to sum to 1 over all elements; convergence is
+//! measured by the L1 norm of successive iterates against the paper's
+//! threshold of `0.00002`.
+//!
+//! [`pagerank::page_rank_docs`] additionally provides classic
+//! document-granularity PageRank, used to validate the paper's claim that
+//! XRANK "naturally generalizes a hyperlink based HTML search engine":
+//! on a collection of single-element documents, ElemRank with
+//! `d1+d2+d3 = 0.85` equals PageRank with `d = 0.85` (see tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elemrank;
+pub mod pagerank;
+
+pub use elemrank::{compute, elem_rank, ElemRankParams, RankResult, RankVariant};

@@ -1,0 +1,147 @@
+//! Classic document-granularity PageRank (Brin & Page, WWW 1998), as cited
+//! by the paper in Section 3.1. Used (a) as the baseline XRANK generalizes,
+//! and (b) by tests validating that ElemRank on flat single-element
+//! documents degenerates to exactly this.
+
+use xrank_graph::Collection;
+
+use crate::RankResult;
+
+/// Computes PageRank over the *document* graph of `collection`: there is an
+/// edge `A → B` for every hyperlink from any element of document `A` to any
+/// element of document `B` (self-links are dropped, multi-edges kept —
+/// PageRank mass follows link multiplicity).
+///
+/// Returns per-document scores summing to 1.
+pub fn page_rank_docs(collection: &Collection, d: f64, epsilon: f64) -> RankResult {
+    let n = collection.doc_count();
+    if n == 0 {
+        return RankResult { scores: Vec::new(), iterations: 0, converged: true, residual: 0.0 };
+    }
+
+    // Build the doc-level multigraph.
+    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (_, elem) in collection.elements() {
+        for &target in &elem.links_out {
+            let to = collection.element(target).doc;
+            if to != elem.doc {
+                out_edges[elem.doc as usize].push(to);
+            }
+        }
+    }
+
+    let jump = 1.0 / n as f64;
+    let mut scores = vec![jump; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let max_iterations = 500;
+
+    while iterations < max_iterations {
+        iterations += 1;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for (u, targets) in out_edges.iter().enumerate() {
+            let mass = scores[u];
+            if targets.is_empty() {
+                dangling += mass * d;
+                continue;
+            }
+            let share = mass * d / targets.len() as f64;
+            for &t in targets {
+                next[t as usize] += share;
+            }
+        }
+        let base = (1.0 - d + dangling) * jump;
+        for v in next.iter_mut() {
+            *v += base;
+        }
+        residual = scores.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut scores, &mut next);
+        if residual < epsilon {
+            return RankResult { scores, iterations, converged: true, residual };
+        }
+    }
+    RankResult { scores, iterations, converged: false, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elem_rank, ElemRankParams};
+    use xrank_graph::CollectionBuilder;
+    use xrank_xml::html::parse_html;
+
+    /// Builds N single-element HTML documents with the given link lists.
+    fn flat_collection(links: &[&[usize]]) -> Collection {
+        let mut b = CollectionBuilder::new();
+        for (i, targets) in links.iter().enumerate() {
+            let html: String = targets
+                .iter()
+                .map(|t| format!("<a href=\"doc{t}\">x</a> word{i}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let page = parse_html(&format!("<body>{html}</body>"));
+            b.add_html_document(&format!("doc{i}"), "html", &page);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hub_receives_highest_rank() {
+        // docs 1, 2, 3 all link to doc 0.
+        let c = flat_collection(&[&[], &[0], &[0], &[0]]);
+        let r = page_rank_docs(&c, 0.85, 1e-10);
+        assert!(r.converged);
+        assert!((0..4).all(|i| r.scores[0] >= r.scores[i]));
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// The paper's design goal (Section 1): "when the number of levels in
+    /// the XML hierarchy is two... our system behaves just like a HTML
+    /// search engine." With single-element documents, ElemRank with
+    /// d1+d2+d3 = 0.85 must equal PageRank with d = 0.85.
+    #[test]
+    fn elemrank_degenerates_to_pagerank_on_flat_documents() {
+        let c = flat_collection(&[&[1, 2], &[2], &[0], &[0, 1, 2]]);
+        let pr = page_rank_docs(&c, 0.85, 1e-12);
+        // Put the entire navigation mass on hyperlinks; containment never
+        // applies because documents have a single element.
+        let er = elem_rank(
+            &c,
+            &ElemRankParams { d1: 0.85, d2: 0.0, d3: 0.0, epsilon: 1e-12, max_iterations: 1000 },
+        );
+        // Element i belongs to doc i here (one element per doc).
+        for i in 0..4 {
+            assert!(
+                (pr.scores[i] - er.scores[i]).abs() < 1e-9,
+                "doc {i}: PageRank {} != ElemRank {}",
+                pr.scores[i],
+                er.scores[i]
+            );
+        }
+    }
+
+    /// Per Section 3.1 the missing-class re-split also makes the default
+    /// parameters behave like PageRank on flat docs: with only hyperlinks
+    /// available, d1+d2+d3 = 0.85 all flows through them.
+    #[test]
+    fn default_params_on_flat_docs_match_pagerank_085() {
+        let c = flat_collection(&[&[1], &[0], &[0, 1]]);
+        let pr = page_rank_docs(&c, 0.85, 1e-12);
+        let er = elem_rank(
+            &c,
+            &ElemRankParams { epsilon: 1e-12, max_iterations: 1000, ..Default::default() },
+        );
+        for i in 0..3 {
+            assert!((pr.scores[i] - er.scores[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = CollectionBuilder::new().build();
+        let r = page_rank_docs(&c, 0.85, 1e-8);
+        assert!(r.converged && r.scores.is_empty());
+    }
+}

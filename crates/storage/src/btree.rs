@@ -1,0 +1,658 @@
+//! Bulk-loaded disk B+-trees over byte-string keys.
+//!
+//! Keys are arbitrary byte strings compared lexicographically; the index
+//! layer passes order-preserving Dewey encodings, so the tree never decodes
+//! a key. Two layers are exposed:
+//!
+//! * [`Interior`] — interior levels only, mapping a search key to the leaf
+//!   *page* that may contain it. HDIL builds this directly over the pages
+//!   of its Dewey-sorted inverted list, realizing the Section 4.4.1
+//!   observation that "the inverted list itself can serve as the leaf level
+//!   of the B+-tree" — only interior pages are materialized, which is why
+//!   Table 1 shows HDIL's index collapsing to a few MB.
+//! * [`SortedKv`] — a complete key→value tree with its own leaf pages,
+//!   used for the per-keyword RDIL B+-trees. Supports the Section 4.3.2
+//!   probe: `lowest_geq(d)` returns the smallest key ≥ `d` *and* its
+//!   predecessor ("either d₂ or its immediate predecessor in the B+-tree,
+//!   d₃, shares the longest common prefix with d"), plus bidirectional
+//!   cursors and range scans.
+//!
+//! Trees are built by offline bulk load from sorted input (the paper builds
+//! its indexes offline; Section 4.5). Leaf pages occupy offsets
+//! `0..leaf_count` of a fresh segment so sibling navigation is implicit
+//! page arithmetic; interior pages follow in the same segment.
+
+use crate::pool::BufferPool;
+use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
+
+/// Max bytes of one leaf entry (key + value + 4-byte lengths); anything
+/// larger cannot share a page with the header.
+pub const MAX_ENTRY: usize = PAGE_SIZE - 8;
+
+// ---------------------------------------------------------------------
+// little-endian page field helpers
+// ---------------------------------------------------------------------
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+// ---------------------------------------------------------------------
+// Interior levels
+// ---------------------------------------------------------------------
+
+/// Interior page layout: `[n: u16] (klen: u16, key, child: u32) × n`,
+/// entries sorted by key; `key` is the smallest key reachable via `child`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interior {
+    /// Segment holding the interior pages.
+    pub segment: SegmentId,
+    /// Root page offset (meaningless when `height == 0`).
+    pub root: u32,
+    /// Number of interior levels. `0` means a single child: `root` then
+    /// holds that child value directly.
+    pub height: u32,
+}
+
+impl Interior {
+    /// Bulk-builds interior levels over `children`: `(first_key, child)`
+    /// pairs sorted by key. `child` values are opaque to the tree (leaf
+    /// page offsets for [`SortedKv`], inverted-list page offsets for HDIL).
+    ///
+    /// Panics if `children` is empty or a key exceeds [`MAX_ENTRY`].
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        segment: SegmentId,
+        children: &[(Vec<u8>, u32)],
+    ) -> Interior {
+        assert!(!children.is_empty(), "cannot build an index over zero children");
+        if children.len() == 1 {
+            return Interior { segment, root: children[0].1, height: 0 };
+        }
+        let mut level: Vec<(Vec<u8>, u32)> =
+            children.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        let mut height = 0u32;
+        loop {
+            let mut next_level: Vec<(Vec<u8>, u32)> = Vec::new();
+            let mut page = Vec::with_capacity(PAGE_SIZE);
+            page.extend_from_slice(&0u16.to_le_bytes());
+            let mut n: u16 = 0;
+            let mut first_key: Option<Vec<u8>> = None;
+
+            let flush =
+                |page: &mut Vec<u8>, n: &mut u16, first_key: &mut Option<Vec<u8>>,
+                 next_level: &mut Vec<(Vec<u8>, u32)>,
+                 pool: &mut BufferPool<S>| {
+                    if *n == 0 {
+                        return;
+                    }
+                    page[0..2].copy_from_slice(&n.to_le_bytes());
+                    let off = pool.append_page(segment, page);
+                    next_level.push((first_key.take().expect("first key recorded"), off));
+                    page.clear();
+                    page.extend_from_slice(&0u16.to_le_bytes());
+                    *n = 0;
+                };
+
+            for (key, child) in &level {
+                assert!(key.len() <= MAX_ENTRY, "interior key too large");
+                let entry_len = 2 + key.len() + 4;
+                if page.len() + entry_len > PAGE_SIZE {
+                    flush(&mut page, &mut n, &mut first_key, &mut next_level, pool);
+                }
+                if n == 0 {
+                    first_key = Some(key.clone());
+                }
+                page.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                page.extend_from_slice(key);
+                page.extend_from_slice(&child.to_le_bytes());
+                n += 1;
+            }
+            flush(&mut page, &mut n, &mut first_key, &mut next_level, pool);
+            height += 1;
+            if next_level.len() == 1 {
+                return Interior { segment, root: next_level[0].1, height };
+            }
+            level = next_level;
+        }
+    }
+
+    /// Descends to the child whose key range may contain `key`: the child
+    /// of the last entry with `first_key <= key`, or the first child when
+    /// `key` sorts before everything.
+    pub fn descend<S: PageStore>(&self, pool: &mut BufferPool<S>, key: &[u8]) -> u32 {
+        if self.height == 0 {
+            return self.root;
+        }
+        let mut page_off = self.root;
+        for level in 0..self.height {
+            let page = pool.read(PageId::new(self.segment, page_off));
+            let child = Self::find_child(page, key);
+            if level + 1 == self.height {
+                return child;
+            }
+            page_off = child;
+        }
+        unreachable!("descend returns within the loop");
+    }
+
+    fn find_child(page: &[u8], key: &[u8]) -> u32 {
+        let n = get_u16(page, 0) as usize;
+        let mut off = 2;
+        let mut chosen: Option<u32> = None;
+        for i in 0..n {
+            let klen = get_u16(page, off) as usize;
+            let k = &page[off + 2..off + 2 + klen];
+            let child = get_u32(page, off + 2 + klen);
+            if i == 0 || k <= key {
+                chosen = Some(child);
+            } else {
+                break;
+            }
+            off += 2 + klen + 4;
+        }
+        chosen.expect("interior page has at least one entry")
+    }
+
+    /// Number of pages the interior occupies (0 when `height == 0`).
+    /// Derived at build time; recomputed here for space accounting.
+    pub fn page_estimate(&self, child_count: usize, avg_key_len: usize) -> usize {
+        if self.height == 0 {
+            return 0;
+        }
+        // Geometric series of levels with fanout ≈ entries per page.
+        let per_page = (PAGE_SIZE - 2) / (2 + avg_key_len + 4);
+        let mut pages = 0usize;
+        let mut n = child_count;
+        while n > 1 {
+            n = n.div_ceil(per_page);
+            pages += n;
+        }
+        pages
+    }
+}
+
+// ---------------------------------------------------------------------
+// Complete key→value tree
+// ---------------------------------------------------------------------
+
+/// Position of one entry: leaf page offset + slot within the leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryLoc {
+    /// Leaf page offset (0-based; leaves are the first pages of the segment).
+    pub leaf: u32,
+    /// Entry slot within the leaf.
+    pub slot: u16,
+}
+
+/// An entry materialized from a leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// Where the entry lives (for cursor movement).
+    pub loc: EntryLoc,
+}
+
+/// Leaf page layout: `[n: u16] (klen: u16, vlen: u16, key, value) × n`,
+/// sorted by key. Leaves are pages `0..leaf_count` of the segment; sibling
+/// leaves are adjacent pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedKv {
+    /// Segment holding leaves then interior pages.
+    pub segment: SegmentId,
+    /// Number of leaf pages.
+    pub leaf_count: u32,
+    /// Interior index over the leaves.
+    pub interior: Interior,
+    /// Total entries.
+    pub entry_count: u64,
+}
+
+/// Streaming bulk loader for [`SortedKv`]. Feed strictly ascending keys.
+pub struct SortedKvBuilder<'a, S: PageStore> {
+    pool: &'a mut BufferPool<S>,
+    segment: SegmentId,
+    page: Vec<u8>,
+    n: u16,
+    first_key: Option<Vec<u8>>,
+    leaf_firsts: Vec<(Vec<u8>, u32)>,
+    last_key: Option<Vec<u8>>,
+    entry_count: u64,
+    leaf_budget: usize,
+}
+
+impl<'a, S: PageStore> SortedKvBuilder<'a, S> {
+    /// Starts a build into a **fresh** segment allocated from the pool.
+    pub fn new(pool: &'a mut BufferPool<S>) -> Self {
+        Self::with_leaf_budget(pool, PAGE_SIZE)
+    }
+
+    /// As [`SortedKvBuilder::new`] with a per-leaf byte budget below
+    /// [`PAGE_SIZE`] — the experiment harness's dataset-scale emulation
+    /// knob (leaves hold fewer entries, so random probes touch
+    /// proportionally more distinct pages, as they would on a
+    /// paper-scale tree). Interior pages always pack fully.
+    pub fn with_leaf_budget(pool: &'a mut BufferPool<S>, leaf_budget: usize) -> Self {
+        let segment = pool.store_mut().create_segment();
+        SortedKvBuilder {
+            pool,
+            segment,
+            page: initial_leaf_page(),
+            n: 0,
+            first_key: None,
+            leaf_firsts: Vec::new(),
+            last_key: None,
+            entry_count: 0,
+            leaf_budget: leaf_budget.clamp(64, PAGE_SIZE),
+        }
+    }
+
+    /// Appends an entry. Keys must be strictly ascending; entries larger
+    /// than [`MAX_ENTRY`] are rejected.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        let entry_len = 4 + key.len() + value.len();
+        if entry_len > MAX_ENTRY {
+            return Err(format!("entry of {entry_len} bytes exceeds MAX_ENTRY ({MAX_ENTRY})"));
+        }
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err("keys must be strictly ascending".into());
+            }
+        }
+        if self.page.len() + entry_len > self.leaf_budget && self.n > 0 {
+            self.flush_leaf();
+        }
+        if self.n == 0 {
+            self.first_key = Some(key.to_vec());
+        }
+        self.page.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.page.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        self.page.extend_from_slice(key);
+        self.page.extend_from_slice(value);
+        self.n += 1;
+        self.entry_count += 1;
+        self.last_key = Some(key.to_vec());
+        Ok(())
+    }
+
+    fn flush_leaf(&mut self) {
+        if self.n == 0 {
+            return;
+        }
+        self.page[0..2].copy_from_slice(&self.n.to_le_bytes());
+        let off = self.pool.append_page(self.segment, &self.page);
+        self.leaf_firsts
+            .push((self.first_key.take().expect("leaf has a first key"), off));
+        self.page = initial_leaf_page();
+        self.n = 0;
+    }
+
+    /// Finishes the build, materializing the interior levels.
+    pub fn finish(mut self) -> SortedKv {
+        self.flush_leaf();
+        if self.leaf_firsts.is_empty() {
+            // Empty tree: keep a single empty leaf for uniform reads.
+            let off = self.pool.append_page(self.segment, &initial_leaf_page());
+            self.leaf_firsts.push((Vec::new(), off));
+        }
+        let leaf_count = self.leaf_firsts.len() as u32;
+        let interior = Interior::build(self.pool, self.segment, &self.leaf_firsts);
+        SortedKv { segment: self.segment, leaf_count, interior, entry_count: self.entry_count }
+    }
+}
+
+fn initial_leaf_page() -> Vec<u8> {
+    let mut p = Vec::with_capacity(PAGE_SIZE);
+    p.extend_from_slice(&0u16.to_le_bytes());
+    p
+}
+
+impl SortedKv {
+    /// Convenience bulk build from a sorted slice.
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<SortedKv, String> {
+        let mut b = SortedKvBuilder::new(pool);
+        for (k, v) in entries {
+            b.push(k, v)?;
+        }
+        Ok(b.finish())
+    }
+
+    fn parse_leaf(page: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let n = get_u16(page, 0) as usize;
+        let mut off = 2;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = get_u16(page, off) as usize;
+            let vlen = get_u16(page, off + 2) as usize;
+            let key = page[off + 4..off + 4 + klen].to_vec();
+            let value = page[off + 4 + klen..off + 4 + klen + vlen].to_vec();
+            out.push((key, value));
+            off += 4 + klen + vlen;
+        }
+        out
+    }
+
+    fn leaf_entries<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        leaf: u32,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let page = pool.read(PageId::new(self.segment, leaf));
+        Self::parse_leaf(page)
+    }
+
+    /// The entry at `loc`, if the location is valid.
+    pub fn entry_at<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        loc: EntryLoc,
+    ) -> Option<Entry> {
+        if loc.leaf >= self.leaf_count {
+            return None;
+        }
+        let entries = self.leaf_entries(pool, loc.leaf);
+        entries.get(loc.slot as usize).map(|(key, value)| Entry {
+            key: key.clone(),
+            value: value.clone(),
+            loc,
+        })
+    }
+
+    /// The entry after `loc` in key order.
+    pub fn next<S: PageStore>(&self, pool: &mut BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
+        let entries = self.leaf_entries(pool, loc.leaf);
+        if (loc.slot as usize) + 1 < entries.len() {
+            return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot + 1 });
+        }
+        let mut leaf = loc.leaf + 1;
+        while leaf < self.leaf_count {
+            let entries = self.leaf_entries(pool, leaf);
+            if !entries.is_empty() {
+                return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
+            }
+            leaf += 1;
+        }
+        None
+    }
+
+    /// The entry before `loc` in key order.
+    pub fn prev<S: PageStore>(&self, pool: &mut BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
+        if loc.slot > 0 {
+            return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot - 1 });
+        }
+        let mut leaf = loc.leaf;
+        while leaf > 0 {
+            leaf -= 1;
+            let entries = self.leaf_entries(pool, leaf);
+            if !entries.is_empty() {
+                return self.entry_at(
+                    pool,
+                    EntryLoc { leaf, slot: (entries.len() - 1) as u16 },
+                );
+            }
+        }
+        None
+    }
+
+    /// The Section 4.3.2 probe: the smallest entry with `key >= target`
+    /// and its immediate predecessor. Either may be `None` at the ends.
+    pub fn lowest_geq<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        target: &[u8],
+    ) -> (Option<Entry>, Option<Entry>) {
+        let leaf = self.interior.descend(pool, target);
+        let entries = self.leaf_entries(pool, leaf);
+        match entries.iter().position(|(k, _)| k.as_slice() >= target) {
+            Some(slot) => {
+                let loc = EntryLoc { leaf, slot: slot as u16 };
+                let entry = self.entry_at(pool, loc);
+                let pred = self.prev(pool, loc);
+                (entry, pred)
+            }
+            None => {
+                // All keys in this leaf sort below target (or leaf empty):
+                // the answer is the first entry of the next leaf; the
+                // predecessor is this leaf's last entry.
+                let pred = if entries.is_empty() {
+                    if leaf == 0 {
+                        None
+                    } else {
+                        self.prev(pool, EntryLoc { leaf, slot: 0 })
+                    }
+                } else {
+                    self.entry_at(pool, EntryLoc { leaf, slot: (entries.len() - 1) as u16 })
+                };
+                let entry = pred
+                    .as_ref()
+                    .and_then(|p| self.next(pool, p.loc))
+                    .or_else(|| {
+                        if entries.is_empty() && leaf + 1 < self.leaf_count {
+                            self.first_entry_from(pool, leaf + 1)
+                        } else {
+                            None
+                        }
+                    });
+                (entry, pred)
+            }
+        }
+    }
+
+    fn first_entry_from<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        mut leaf: u32,
+    ) -> Option<Entry> {
+        while leaf < self.leaf_count {
+            let entries = self.leaf_entries(pool, leaf);
+            if !entries.is_empty() {
+                return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
+            }
+            leaf += 1;
+        }
+        None
+    }
+
+    /// Exact-match lookup.
+    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, key: &[u8]) -> Option<Vec<u8>> {
+        let (entry, _) = self.lowest_geq(pool, key);
+        entry.filter(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// Collects all entries with `low <= key < high` via a leaf range scan.
+    pub fn range<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        low: &[u8],
+        high: &[u8],
+    ) -> Vec<Entry> {
+        let mut out = Vec::new();
+        let (mut cur, _) = self.lowest_geq(pool, low);
+        while let Some(entry) = cur {
+            if entry.key.as_slice() >= high {
+                break;
+            }
+            let loc = entry.loc;
+            out.push(entry);
+            cur = self.next(pool, loc);
+        }
+        out
+    }
+
+    /// Total pages (leaves + interior) the tree occupies.
+    pub fn total_pages<S: PageStore>(&self, pool: &BufferPool<S>) -> u32 {
+        pool.store().page_count(self.segment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (format!("key{i:06}").into_bytes(), format!("value-{i}").into_bytes())
+    }
+
+    fn build_tree(n: u32) -> (BufferPool<MemStore>, SortedKv) {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let entries: Vec<_> = (0..n).map(kv).collect();
+        let tree = SortedKv::build(&mut pool, &entries).unwrap();
+        (pool, tree)
+    }
+
+    #[test]
+    fn small_tree_single_leaf() {
+        let (mut pool, tree) = build_tree(3);
+        assert_eq!(tree.leaf_count, 1);
+        assert_eq!(tree.interior.height, 0);
+        assert_eq!(tree.get(&mut pool, b"key000001"), Some(b"value-1".to_vec()));
+        assert_eq!(tree.get(&mut pool, b"missing"), None);
+    }
+
+    #[test]
+    fn large_tree_multiple_levels() {
+        let (mut pool, tree) = build_tree(5000);
+        assert!(tree.leaf_count > 1);
+        assert!(tree.interior.height >= 1, "expected interior levels");
+        for i in [0u32, 1, 999, 2500, 4999] {
+            let (k, v) = kv(i);
+            assert_eq!(tree.get(&mut pool, &k), Some(v), "key {i}");
+        }
+        assert_eq!(tree.entry_count, 5000);
+    }
+
+    #[test]
+    fn lowest_geq_exact_and_between() {
+        let (mut pool, tree) = build_tree(100);
+        // exact hit
+        let (e, p) = tree.lowest_geq(&mut pool, b"key000050");
+        assert_eq!(e.unwrap().key, b"key000050".to_vec());
+        assert_eq!(p.unwrap().key, b"key000049".to_vec());
+        // between two keys
+        let (e, p) = tree.lowest_geq(&mut pool, b"key000050x");
+        assert_eq!(e.unwrap().key, b"key000051".to_vec());
+        assert_eq!(p.unwrap().key, b"key000050".to_vec());
+    }
+
+    #[test]
+    fn lowest_geq_at_the_ends() {
+        let (mut pool, tree) = build_tree(10);
+        let (e, p) = tree.lowest_geq(&mut pool, b"aaa");
+        assert_eq!(e.unwrap().key, b"key000000".to_vec());
+        assert!(p.is_none());
+        let (e, p) = tree.lowest_geq(&mut pool, b"zzz");
+        assert!(e.is_none());
+        assert_eq!(p.unwrap().key, b"key000009".to_vec());
+    }
+
+    #[test]
+    fn lowest_geq_across_leaf_boundary() {
+        let (mut pool, tree) = build_tree(2000);
+        assert!(tree.leaf_count >= 2);
+        // Probe just past the last key of leaf 0.
+        let leaf0 = tree.leaf_entries(&mut pool, 0);
+        let last = leaf0.last().unwrap().0.clone();
+        let mut probe = last.clone();
+        probe.push(b'!');
+        let (e, p) = tree.lowest_geq(&mut pool, &probe);
+        assert_eq!(p.unwrap().key, last);
+        let first_leaf1 = tree.leaf_entries(&mut pool, 1)[0].0.clone();
+        assert_eq!(e.unwrap().key, first_leaf1);
+    }
+
+    #[test]
+    fn cursors_traverse_everything_in_order() {
+        let (mut pool, tree) = build_tree(1500);
+        let (mut cur, _) = tree.lowest_geq(&mut pool, b"");
+        let mut seen = 0u32;
+        let mut last_key: Option<Vec<u8>> = None;
+        while let Some(e) = cur {
+            if let Some(l) = &last_key {
+                assert!(e.key > *l, "keys out of order");
+            }
+            last_key = Some(e.key.clone());
+            seen += 1;
+            cur = tree.next(&mut pool, e.loc);
+        }
+        assert_eq!(seen, 1500);
+        // and backwards
+        let (_, pred) = tree.lowest_geq(&mut pool, b"zzzz");
+        let mut cur = pred;
+        let mut seen_back = 0u32;
+        while let Some(e) = cur {
+            seen_back += 1;
+            cur = tree.prev(&mut pool, e.loc);
+        }
+        assert_eq!(seen_back, 1500);
+    }
+
+    #[test]
+    fn range_scan() {
+        let (mut pool, tree) = build_tree(100);
+        let out = tree.range(&mut pool, b"key000010", b"key000020");
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].key, b"key000010".to_vec());
+        assert_eq!(out[9].key, b"key000019".to_vec());
+    }
+
+    #[test]
+    fn rejects_unsorted_and_oversized() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let mut b = SortedKvBuilder::new(&mut pool);
+        b.push(b"b", b"1").unwrap();
+        assert!(b.push(b"a", b"2").is_err(), "descending key accepted");
+        assert!(b.push(b"b", b"2").is_err(), "duplicate key accepted");
+        assert!(b.push(b"c", &vec![0u8; PAGE_SIZE]).is_err(), "oversized value accepted");
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let tree = SortedKv::build(&mut pool, &[]).unwrap();
+        assert_eq!(tree.get(&mut pool, b"x"), None);
+        let (e, p) = tree.lowest_geq(&mut pool, b"x");
+        assert!(e.is_none() && p.is_none());
+        assert!(tree.range(&mut pool, b"", b"zzz").is_empty());
+    }
+
+    #[test]
+    fn interior_over_external_leaves() {
+        // The HDIL pattern: children are page numbers of some other segment.
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let seg = pool.store_mut().create_segment();
+        let children: Vec<(Vec<u8>, u32)> = (0..500)
+            .map(|i| (format!("k{i:05}").into_bytes(), 1000 + i))
+            .collect();
+        let interior = Interior::build(&mut pool, seg, &children);
+        assert!(interior.height >= 1);
+        assert_eq!(interior.descend(&mut pool, b"k00000"), 1000);
+        assert_eq!(interior.descend(&mut pool, b"k00123"), 1123);
+        assert_eq!(interior.descend(&mut pool, b"k00123x"), 1123);
+        assert_eq!(interior.descend(&mut pool, b"a"), 1000, "before-first goes to first child");
+        assert_eq!(interior.descend(&mut pool, b"zzz"), 1499);
+    }
+
+    #[test]
+    fn probe_costs_are_logarithmic_random_reads() {
+        let (mut pool, tree) = build_tree(20_000);
+        pool.clear_cache();
+        pool.reset_stats();
+        tree.lowest_geq(&mut pool, b"key010000");
+        let s = pool.stats();
+        // height + leaf + (possible sibling for predecessor): a handful of
+        // random reads, not a scan.
+        assert!(s.physical_reads() <= 6, "probe read {} pages", s.physical_reads());
+        assert!(s.rand_reads >= 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Static paged hash index: `u64` key → byte-string value.
+//!
+//! This is the structure the Naive-Rank baseline uses for random equality
+//! lookups by element id (Section 5.1: "Naïve-Rank has a hash index built
+//! on the ID field... a hash-index is sufficient" because the naive lists
+//! store all ancestor ids explicitly and never need common-prefix probes).
+//!
+//! Layout in a fresh segment: bucket chain pages first, then the bucket
+//! directory. Each lookup reads one directory page plus the bucket's chain
+//! pages — all random I/O, which is exactly the cost profile the
+//! experiments charge the naive approach for.
+
+use crate::pool::BufferPool;
+use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
+
+const NO_PAGE: u32 = u32::MAX;
+/// Target payload bytes per bucket — sized so a typical bucket fills most
+/// of one page regardless of value sizes, keeping the directory small and
+/// the index byte-efficient.
+const BUCKET_BYTES: usize = 3 * PAGE_SIZE / 4;
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn bucket_of(key: u64, n_buckets: u32) -> u32 {
+    // Fibonacci hashing spreads sequential element ids well.
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h % n_buckets as u64) as u32
+}
+
+/// Handle to a built hash index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashIndex {
+    /// Segment holding chains + directory.
+    pub segment: SegmentId,
+    /// Number of buckets.
+    pub n_buckets: u32,
+    /// Page offset of the first directory page.
+    pub dir_start: u32,
+}
+
+impl HashIndex {
+    /// Bulk-builds an index over `entries` into a fresh segment. Duplicate
+    /// keys are rejected. Values longer than a page's payload are rejected.
+    pub fn build<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        entries: &[(u64, Vec<u8>)],
+    ) -> Result<HashIndex, String> {
+        let segment = pool.store_mut().create_segment();
+        let total_bytes: usize = entries.iter().map(|(_, v)| 10 + v.len()).sum();
+        let n_buckets = (total_bytes.div_ceil(BUCKET_BYTES)).max(1) as u32;
+
+        // Partition into buckets.
+        let mut buckets: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); n_buckets as usize];
+        for (key, value) in entries {
+            if value.len() + 10 > PAGE_SIZE - 6 {
+                return Err(format!("hash value of {} bytes exceeds page payload", value.len()));
+            }
+            let b = &mut buckets[bucket_of(*key, n_buckets) as usize];
+            if b.iter().any(|(k, _)| k == key) {
+                return Err(format!("duplicate key {key}"));
+            }
+            b.push((*key, value));
+        }
+
+        // Write each bucket's chain; pages of one chain are appended
+        // consecutively, links run forward.
+        let mut heads = vec![NO_PAGE; n_buckets as usize];
+        for (b, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut pages: Vec<Vec<u8>> = Vec::new();
+            let mut page = new_chain_page();
+            let mut n: u16 = 0;
+            for (key, value) in bucket {
+                let entry_len = 8 + 2 + value.len();
+                if page.len() + entry_len > PAGE_SIZE {
+                    page[4..6].copy_from_slice(&n.to_le_bytes());
+                    pages.push(page);
+                    page = new_chain_page();
+                    n = 0;
+                }
+                page.extend_from_slice(&key.to_le_bytes());
+                page.extend_from_slice(&(value.len() as u16).to_le_bytes());
+                page.extend_from_slice(value);
+                n += 1;
+            }
+            page[4..6].copy_from_slice(&n.to_le_bytes());
+            pages.push(page);
+
+            // Append pages, fixing up next pointers as offsets become known.
+            let mut head = NO_PAGE;
+            let mut prev: Option<u32> = None;
+            for p in pages {
+                let off = pool.append_page(segment, &p);
+                if head == NO_PAGE {
+                    head = off;
+                }
+                if let Some(prev_off) = prev {
+                    // Patch the previous page's next pointer.
+                    let mut prev_page = vec![0u8; PAGE_SIZE];
+                    pool.store().read_page(PageId::new(segment, prev_off), &mut prev_page);
+                    prev_page[0..4].copy_from_slice(&off.to_le_bytes());
+                    pool.write_page(PageId::new(segment, prev_off), &prev_page);
+                }
+                prev = Some(off);
+            }
+            heads[b] = head;
+        }
+
+        // Directory pages: n_buckets u32 heads, packed.
+        let per_page = PAGE_SIZE / 4;
+        let dir_start = pool.store().page_count(segment);
+        for chunk in heads.chunks(per_page) {
+            let mut page = Vec::with_capacity(PAGE_SIZE);
+            for head in chunk {
+                page.extend_from_slice(&head.to_le_bytes());
+            }
+            pool.append_page(segment, &page);
+        }
+        Ok(HashIndex { segment, n_buckets, dir_start })
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, key: u64) -> Option<Vec<u8>> {
+        let bucket = bucket_of(key, self.n_buckets);
+        let per_page = (PAGE_SIZE / 4) as u32;
+        let dir_page = self.dir_start + bucket / per_page;
+        let dir = pool.read(PageId::new(self.segment, dir_page));
+        let mut page_off = get_u32(dir, ((bucket % per_page) * 4) as usize);
+
+        while page_off != NO_PAGE {
+            let page = pool.read(PageId::new(self.segment, page_off)).to_vec();
+            let next = get_u32(&page, 0);
+            let n = get_u16(&page, 4) as usize;
+            let mut off = 6;
+            for _ in 0..n {
+                let k = get_u64(&page, off);
+                let vlen = get_u16(&page, off + 8) as usize;
+                if k == key {
+                    return Some(page[off + 10..off + 10 + vlen].to_vec());
+                }
+                off += 10 + vlen;
+            }
+            page_off = next;
+        }
+        None
+    }
+
+    /// Total pages the index occupies.
+    pub fn total_pages<S: PageStore>(&self, pool: &BufferPool<S>) -> u32 {
+        pool.store().page_count(self.segment)
+    }
+}
+
+fn new_chain_page() -> Vec<u8> {
+    let mut p = Vec::with_capacity(PAGE_SIZE);
+    p.extend_from_slice(&NO_PAGE.to_le_bytes()); // next
+    p.extend_from_slice(&0u16.to_le_bytes()); // n
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn build(n: u64) -> (BufferPool<MemStore>, HashIndex) {
+        let mut pool = BufferPool::new(MemStore::new(), 4096);
+        let entries: Vec<(u64, Vec<u8>)> =
+            (0..n).map(|i| (i * 7 + 1, format!("val{i}").into_bytes())).collect();
+        let idx = HashIndex::build(&mut pool, &entries).unwrap();
+        (pool, idx)
+    }
+
+    #[test]
+    fn lookup_all_present_keys() {
+        let (mut pool, idx) = build(5000);
+        for i in [0u64, 1, 250, 4999] {
+            assert_eq!(
+                idx.get(&mut pool, i * 7 + 1),
+                Some(format!("val{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let (mut pool, idx) = build(1000);
+        assert_eq!(idx.get(&mut pool, 2), None);
+        assert_eq!(idx.get(&mut pool, u64::MAX), None);
+    }
+
+    #[test]
+    fn empty_index() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let idx = HashIndex::build(&mut pool, &[]).unwrap();
+        assert_eq!(idx.get(&mut pool, 42), None);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let err = HashIndex::build(&mut pool, &[(1, vec![0]), (1, vec![1])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let err = HashIndex::build(&mut pool, &[(1, vec![0u8; PAGE_SIZE])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn long_values_roundtrip() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let big = vec![0xAB; 3000];
+        let idx = HashIndex::build(&mut pool, &[(9, big.clone()), (10, vec![1])]).unwrap();
+        assert_eq!(idx.get(&mut pool, 9), Some(big));
+        assert_eq!(idx.get(&mut pool, 10), Some(vec![1]));
+    }
+
+    #[test]
+    fn lookups_cost_constant_random_reads() {
+        let (mut pool, idx) = build(20_000);
+        pool.clear_cache();
+        pool.reset_stats();
+        idx.get(&mut pool, 7 * 1234 + 1);
+        let s = pool.stats();
+        assert!(s.physical_reads() <= 4, "hash probe read {} pages", s.physical_reads());
+        assert!(s.rand_reads >= 1);
+    }
+}

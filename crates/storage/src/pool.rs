@@ -1,0 +1,262 @@
+//! LRU buffer pool with sequential/random miss classification.
+
+use crate::stats::IoStats;
+use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
+use std::collections::{HashMap, VecDeque};
+
+/// An LRU page cache over a [`PageStore`] that keeps the [`IoStats`]
+/// ledger the experiments report.
+///
+/// Miss classification models OS readahead: each segment maintains up to
+/// [`STREAMS_PER_SEGMENT`] active *read streams*. A physical read is
+/// **sequential** when it fetches the page immediately following one of the
+/// segment's stream positions (that stream then advances), and **random**
+/// otherwise (a new stream starts, evicting the oldest). This lets several
+/// inverted lists packed into one segment each scan sequentially — just as
+/// a real kernel tracks readahead contexts per open file region — while
+/// scattered B+-tree probes are charged as seeks. `clear_cache` (the
+/// paper's cold-cache start, Section 5.1) also forgets stream positions.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    capacity: usize,
+    stats: IoStats,
+    streams: HashMap<SegmentId, VecDeque<u32>>,
+}
+
+/// Maximum concurrent readahead streams tracked per segment.
+pub const STREAMS_PER_SEGMENT: usize = 16;
+
+struct Frame {
+    data: Box<[u8]>,
+    last_used: u64,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps `store` with a cache of `capacity` pages (minimum 1).
+    pub fn new(store: S, capacity: usize) -> Self {
+        BufferPool {
+            store,
+            frames: HashMap::new(),
+            clock: 0,
+            capacity: capacity.max(1),
+            stats: IoStats::default(),
+            streams: HashMap::new(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store (index builders allocate
+    /// segments through this; builder writes bypass the read cache).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Reads a page, returning the cached frame.
+    pub fn read(&mut self, id: PageId) -> &[u8] {
+        self.clock += 1;
+        let clock = self.clock;
+        if self.frames.contains_key(&id) {
+            self.stats.cache_hits += 1;
+            let frame = self.frames.get_mut(&id).expect("frame present");
+            frame.last_used = clock;
+            return &frame.data;
+        }
+        // Physical read: classify against the segment's readahead streams.
+        let streams = self.streams.entry(id.segment).or_default();
+        let prev = id.page.wrapping_sub(1);
+        if let Some(slot) = streams.iter().position(|&tail| tail == prev) {
+            self.stats.seq_reads += 1;
+            streams.remove(slot);
+        } else {
+            self.stats.rand_reads += 1;
+            if streams.len() >= STREAMS_PER_SEGMENT {
+                streams.pop_front();
+            }
+        }
+        streams.push_back(id.page);
+
+        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        self.store.read_page(id, &mut data);
+        self.evict_if_full();
+        self.frames.insert(id, Frame { data, last_used: clock });
+        &self.frames[&id].data
+    }
+
+    /// Appends a page to a segment via the store, counting the write.
+    pub fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
+        self.stats.writes += 1;
+        self.store.append_page(segment, data)
+    }
+
+    /// Overwrites a page, invalidating any cached copy.
+    pub fn write_page(&mut self, id: PageId, data: &[u8]) {
+        self.stats.writes += 1;
+        self.frames.remove(&id);
+        self.store.write_page(id, data);
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id)
+                .expect("non-empty frames");
+            self.frames.remove(&victim);
+        }
+    }
+
+    /// Drops all cached pages and forgets read positions — the cold-cache
+    /// starting state of the paper's experiments.
+    pub fn clear_cache(&mut self) {
+        self.frames.clear();
+        self.streams.clear();
+    }
+
+    /// Current ledger.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zeroes the ledger (cache contents are kept; combine with
+    /// [`BufferPool::clear_cache`] for a cold run).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool_with_pages(n: u32, capacity: usize) -> (BufferPool<MemStore>, SegmentId) {
+        let mut store = MemStore::new();
+        let seg = store.create_segment();
+        for i in 0..n {
+            store.append_page(seg, &[i as u8]);
+        }
+        (BufferPool::new(store, capacity), seg)
+    }
+
+    #[test]
+    fn sequential_scan_is_classified_sequential() {
+        let (mut pool, seg) = pool_with_pages(10, 100);
+        for i in 0..10 {
+            pool.read(PageId::new(seg, i));
+        }
+        let s = pool.stats();
+        assert_eq!(s.rand_reads, 1, "only the first read seeks");
+        assert_eq!(s.seq_reads, 9);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn interleaved_segments_stay_sequential_per_segment() {
+        let mut store = MemStore::new();
+        let a = store.create_segment();
+        let b = store.create_segment();
+        for i in 0..5 {
+            store.append_page(a, &[i]);
+            store.append_page(b, &[i]);
+        }
+        let mut pool = BufferPool::new(store, 100);
+        for i in 0..5 {
+            pool.read(PageId::new(a, i));
+            pool.read(PageId::new(b, i));
+        }
+        let s = pool.stats();
+        // one seek per segment; the rest ride each segment's readahead
+        assert_eq!(s.rand_reads, 2);
+        assert_eq!(s.seq_reads, 8);
+    }
+
+    #[test]
+    fn interleaved_list_scans_within_one_segment_are_sequential() {
+        // Two inverted lists packed into one segment at pages 0..5 and
+        // 100..105, merged in lockstep: each list rides its own readahead
+        // stream after the initial seek.
+        let mut store = MemStore::new();
+        let seg = store.create_segment();
+        for i in 0..200 {
+            store.append_page(seg, &[i as u8]);
+        }
+        let mut pool = BufferPool::new(store, 1024);
+        for i in 0..5 {
+            pool.read(PageId::new(seg, i));
+            pool.read(PageId::new(seg, 100 + i));
+        }
+        let s = pool.stats();
+        assert_eq!(s.rand_reads, 2, "one seek per list");
+        assert_eq!(s.seq_reads, 8);
+    }
+
+    #[test]
+    fn random_probes_are_classified_random() {
+        let (mut pool, seg) = pool_with_pages(10, 100);
+        for i in [7u32, 2, 9, 0, 5] {
+            pool.read(PageId::new(seg, i));
+        }
+        assert_eq!(pool.stats().rand_reads, 5);
+        assert_eq!(pool.stats().seq_reads, 0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_touch_store() {
+        let (mut pool, seg) = pool_with_pages(3, 100);
+        pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 0));
+        let s = pool.stats();
+        assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.cache_hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (mut pool, seg) = pool_with_pages(4, 2);
+        pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 1)); // cache = {0,1}
+        pool.read(PageId::new(seg, 2)); // evicts 0
+        pool.read(PageId::new(seg, 1)); // hit
+        pool.read(PageId::new(seg, 0)); // miss again
+        let s = pool.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.physical_reads(), 4);
+    }
+
+    #[test]
+    fn clear_cache_forgets_positions() {
+        let (mut pool, seg) = pool_with_pages(4, 100);
+        pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 1));
+        pool.clear_cache();
+        // Re-reading page 2 right after 1 would have been sequential, but
+        // the cold start forgot the position.
+        pool.read(PageId::new(seg, 2));
+        assert_eq!(pool.stats().rand_reads, 2);
+    }
+
+    #[test]
+    fn write_invalidates_cache(){
+        let (mut pool, seg) = pool_with_pages(2, 100);
+        pool.read(PageId::new(seg, 0));
+        pool.write_page(PageId::new(seg, 0), b"new");
+        let data = pool.read(PageId::new(seg, 0));
+        assert_eq!(&data[..3], b"new");
+        assert_eq!(pool.stats().writes, 1);
+    }
+
+    #[test]
+    fn read_returns_page_contents() {
+        let (mut pool, seg) = pool_with_pages(3, 100);
+        assert_eq!(pool.read(PageId::new(seg, 2))[0], 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Page stores: segmented fixed-page address spaces, in memory or on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+/// Fixed page size, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies a segment (≈ one file: an inverted list, a B+-tree, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+/// A page address: segment + page offset within the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Owning segment.
+    pub segment: SegmentId,
+    /// 0-based page offset within the segment.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Shorthand constructor.
+    pub fn new(segment: SegmentId, page: u32) -> Self {
+        PageId { segment, page }
+    }
+}
+
+/// Abstract backing storage. Pages are exactly [`PAGE_SIZE`] bytes; writes
+/// of shorter buffers are zero-padded.
+pub trait PageStore {
+    /// Creates a new empty segment.
+    fn create_segment(&mut self) -> SegmentId;
+    /// Number of segments.
+    fn segment_count(&self) -> u32;
+    /// Number of pages in a segment.
+    fn page_count(&self, segment: SegmentId) -> u32;
+    /// Appends a page to a segment, returning its offset.
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32;
+    /// Overwrites an existing page.
+    fn write_page(&mut self, id: PageId, data: &[u8]);
+    /// Reads a page into `buf` (must be `PAGE_SIZE` long).
+    fn read_page(&self, id: PageId, buf: &mut [u8]);
+    /// Total bytes occupied by a segment.
+    fn segment_bytes(&self, segment: SegmentId) -> u64 {
+        self.page_count(segment) as u64 * PAGE_SIZE as u64
+    }
+}
+
+/// In-memory store; the default for tests and experiments (the cost model,
+/// not the medium, drives the simulated results).
+///
+/// Pages are stored *truncated to their used length* and zero-padded on
+/// read — logically identical to fixed pages, but sparsely-filled pages
+/// (the experiment harness's `page_budget` scale emulation) cost only
+/// their real bytes of RAM.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    segments: Vec<Vec<Box<[u8]>>>,
+}
+
+impl MemStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn to_page(data: &[u8]) -> Box<[u8]> {
+    assert!(data.len() <= PAGE_SIZE, "page data of {} bytes exceeds PAGE_SIZE", data.len());
+    data.to_vec().into_boxed_slice()
+}
+
+/// Zero-pads to a full fixed page (disk layout).
+fn to_full_page(data: &[u8]) -> Box<[u8]> {
+    assert!(data.len() <= PAGE_SIZE, "page data of {} bytes exceeds PAGE_SIZE", data.len());
+    let mut page = vec![0u8; PAGE_SIZE].into_boxed_slice();
+    page[..data.len()].copy_from_slice(data);
+    page
+}
+
+impl PageStore for MemStore {
+    fn create_segment(&mut self) -> SegmentId {
+        self.segments.push(Vec::new());
+        SegmentId(self.segments.len() as u32 - 1)
+    }
+
+    fn segment_count(&self) -> u32 {
+        self.segments.len() as u32
+    }
+
+    fn page_count(&self, segment: SegmentId) -> u32 {
+        self.segments[segment.0 as usize].len() as u32
+    }
+
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
+        let seg = &mut self.segments[segment.0 as usize];
+        seg.push(to_page(data));
+        seg.len() as u32 - 1
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) {
+        self.segments[id.segment.0 as usize][id.page as usize] = to_page(data);
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+        let data = &self.segments[id.segment.0 as usize][id.page as usize];
+        buf[..data.len()].copy_from_slice(data);
+        buf[data.len()..].fill(0);
+    }
+}
+
+/// File-backed store: one file per segment inside a directory, mirroring
+/// the paper's "inverted lists were implemented in the file system".
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    files: Vec<FileSegment>,
+}
+
+#[derive(Debug)]
+struct FileSegment {
+    file: File,
+    pages: u32,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `dir`. Existing
+    /// `seg-*.pages` files are reattached in segment-id order.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut files = Vec::new();
+        for i in 0.. {
+            let path = dir.join(format!("seg-{i}.pages"));
+            if !path.exists() {
+                break;
+            }
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let pages = (file.metadata()?.len() / PAGE_SIZE as u64) as u32;
+            files.push(FileSegment { file, pages });
+        }
+        Ok(FileStore { dir, files })
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+impl PageStore for FileStore {
+    fn create_segment(&mut self) -> SegmentId {
+        let id = self.files.len() as u32;
+        let path = self.dir.join(format!("seg-{id}.pages"));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .expect("create segment file");
+        self.files.push(FileSegment { file, pages: 0 });
+        SegmentId(id)
+    }
+
+    fn segment_count(&self) -> u32 {
+        self.files.len() as u32
+    }
+
+    fn page_count(&self, segment: SegmentId) -> u32 {
+        self.files[segment.0 as usize].pages
+    }
+
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
+        let seg = &mut self.files[segment.0 as usize];
+        let page = to_full_page(data);
+        seg.file
+            .seek(SeekFrom::Start(seg.pages as u64 * PAGE_SIZE as u64))
+            .and_then(|_| seg.file.write_all(&page))
+            .expect("append page");
+        seg.pages += 1;
+        seg.pages - 1
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) {
+        let seg = &mut self.files[id.segment.0 as usize];
+        assert!(id.page < seg.pages, "write to unallocated page");
+        let page = to_full_page(data);
+        seg.file
+            .seek(SeekFrom::Start(id.page as u64 * PAGE_SIZE as u64))
+            .and_then(|_| seg.file.write_all(&page))
+            .expect("write page");
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) {
+        let seg = &self.files[id.segment.0 as usize];
+        assert!(id.page < seg.pages, "read of unallocated page");
+        // Positional read keeps `&self` reads independent of the write cursor.
+        let mut f = &seg.file;
+        f.seek(SeekFrom::Start(id.page as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.read_exact(buf))
+            .expect("read page");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn PageStore) {
+        let a = store.create_segment();
+        let b = store.create_segment();
+        assert_eq!(store.segment_count(), 2);
+        let p0 = store.append_page(a, b"hello");
+        let p1 = store.append_page(a, &[7u8; PAGE_SIZE]);
+        store.append_page(b, b"other segment");
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(store.page_count(a), 2);
+        assert_eq!(store.page_count(b), 1);
+
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(PageId::new(a, 0), &mut buf);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(buf[5], 0, "short writes are zero-padded");
+
+        store.write_page(PageId::new(a, 0), b"rewritten");
+        store.read_page(PageId::new(a, 0), &mut buf);
+        assert_eq!(&buf[..9], b"rewritten");
+
+        store.read_page(PageId::new(b, 0), &mut buf);
+        assert_eq!(&buf[..13], b"other segment");
+        assert_eq!(store.segment_bytes(a), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mem_store_basics() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_basics_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("xrank-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = FileStore::open(&dir).unwrap();
+            exercise(&mut store);
+        }
+        // Re-open and verify persistence.
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.segment_count(), 2);
+        assert_eq!(store.page_count(SegmentId(0)), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(PageId::new(SegmentId(0), 0), &mut buf);
+        assert_eq!(&buf[..9], b"rewritten");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds PAGE_SIZE")]
+    fn oversized_page_rejected() {
+        let mut store = MemStore::new();
+        let seg = store.create_segment();
+        store.append_page(seg, &vec![0u8; PAGE_SIZE + 1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Tiny binary (de)serialization helpers for index metadata.
+//!
+//! Persistent engines write their structural metadata (list directories,
+//! B+-tree roots, the collection) through these little-endian primitives.
+//! The format is versioned by the callers; these helpers only move bytes.
+
+use std::io::{self, Read, Write};
+
+/// Writes a `u32` little-endian.
+pub fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes a `u64` little-endian.
+pub fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes an `f64` (IEEE bits, little-endian).
+pub fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+/// Writes a length-prefixed byte string.
+pub fn put_bytes<W: Write>(w: &mut W, b: &[u8]) -> io::Result<()> {
+    put_u64(w, b.len() as u64)?;
+    w.write_all(b)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    put_bytes(w, s.as_bytes())
+}
+
+/// Reads a `u32`.
+pub fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads a `u64`.
+pub fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads an `f64`.
+pub fn get_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    Ok(f64::from_bits(get_u64(r)?))
+}
+
+/// Reads a length-prefixed byte string (capped at 1 GiB to catch
+/// corruption before an allocation bomb).
+pub fn get_bytes<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let len = get_u64(r)?;
+    if len > 1 << 30 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible byte-string length {len}"),
+        ));
+    }
+    let mut b = vec![0u8; len as usize];
+    r.read_exact(&mut b)?;
+    Ok(b)
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str<R: Read>(r: &mut R) -> io::Result<String> {
+    String::from_utf8(get_bytes(r)?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        put_u64(&mut buf, u64::MAX - 1).unwrap();
+        put_f64(&mut buf, -0.125).unwrap();
+        put_bytes(&mut buf, b"hello").unwrap();
+        put_str(&mut buf, "wörld").unwrap();
+
+        let mut r = &buf[..];
+        assert_eq!(get_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut r).unwrap(), u64::MAX - 1);
+        assert_eq!(get_f64(&mut r).unwrap(), -0.125);
+        assert_eq!(get_bytes(&mut r).unwrap(), b"hello");
+        assert_eq!(get_str(&mut r).unwrap(), "wörld");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello").unwrap();
+        let mut r = &buf[..buf.len() - 1];
+        assert!(get_str(&mut r).is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX).unwrap();
+        let mut r = &buf[..];
+        assert!(get_bytes(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]).unwrap();
+        let mut r = &buf[..];
+        assert!(get_str(&mut r).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Model-based property tests: the disk B+-tree against
+//! `std::collections::BTreeMap` as the executable specification.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xrank_storage::btree::SortedKv;
+use xrank_storage::{BufferPool, MemStore};
+
+fn keys() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::btree_set(proptest::collection::vec(any::<u8>(), 1..12), 1..200)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+fn build(keys: &[Vec<u8>]) -> (BufferPool<MemStore>, SortedKv, BTreeMap<Vec<u8>, Vec<u8>>) {
+    let mut pool = BufferPool::new(MemStore::new(), 1 << 14);
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), format!("v{i}").into_bytes()))
+        .collect();
+    let tree = SortedKv::build(&mut pool, &entries).unwrap();
+    let model: BTreeMap<Vec<u8>, Vec<u8>> = entries.into_iter().collect();
+    (pool, tree, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn get_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
+        let (mut pool, tree, model) = build(&keys);
+        for k in keys.iter().take(25) {
+            prop_assert_eq!(tree.get(&mut pool, k), model.get(k).cloned(), "present key");
+        }
+        for p in &probes {
+            prop_assert_eq!(tree.get(&mut pool, p), model.get(p).cloned(), "probe key");
+        }
+    }
+
+    #[test]
+    fn lowest_geq_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
+        let (mut pool, tree, model) = build(&keys);
+        for p in &probes {
+            let (entry, pred) = tree.lowest_geq(&mut pool, p);
+            let expect_entry = model.range::<[u8], _>((
+                std::ops::Bound::Included(p.as_slice()),
+                std::ops::Bound::Unbounded,
+            )).next();
+            let expect_pred = model.range::<[u8], _>((
+                std::ops::Bound::Unbounded,
+                std::ops::Bound::Excluded(p.as_slice()),
+            )).next_back();
+            prop_assert_eq!(
+                entry.as_ref().map(|e| (&e.key, &e.value)),
+                expect_entry,
+                "entry for probe {:?}", p
+            );
+            prop_assert_eq!(
+                pred.as_ref().map(|e| (&e.key, &e.value)),
+                expect_pred,
+                "pred for probe {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn range_matches_model(keys in keys(), lo in proptest::collection::vec(any::<u8>(), 0..10), hi in proptest::collection::vec(any::<u8>(), 0..10)) {
+        let (mut pool, tree, model) = build(&keys);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+            .range(&mut pool, &lo, &hi)
+            .into_iter()
+            .map(|e| (e.key, e.value))
+            .collect();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+            .range::<[u8], _>((
+                std::ops::Bound::Included(lo.as_slice()),
+                std::ops::Bound::Excluded(hi.as_slice()),
+            ))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cursor_walk_enumerates_model_in_order(keys in keys()) {
+        let (mut pool, tree, model) = build(&keys);
+        let (mut cur, _) = tree.lowest_geq(&mut pool, b"");
+        let mut walked = Vec::new();
+        while let Some(e) = cur {
+            walked.push(e.key.clone());
+            cur = tree.next(&mut pool, e.loc);
+        }
+        let expect: Vec<Vec<u8>> = model.keys().cloned().collect();
+        prop_assert_eq!(walked, expect);
+    }
+}

@@ -1,0 +1,149 @@
+//! XML entity and character reference decoding.
+//!
+//! Supports the five predefined XML entities (`&amp;`, `&lt;`, `&gt;`,
+//! `&quot;`, `&apos;`) and decimal / hexadecimal character references
+//! (`&#65;`, `&#x41;`). Unknown named entities are an error in XML mode; the
+//! HTML reader additionally recognizes a small set of common HTML names and
+//! passes unknown ones through verbatim (browsers are lenient and the
+//! indexed text should not vanish over a `&nbsp;`).
+
+/// Resolves a predefined XML entity name (the part between `&` and `;`).
+pub fn predefined(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => None,
+    }
+}
+
+/// Resolves common HTML named entities (superset of [`predefined`]).
+pub fn html_named(name: &str) -> Option<char> {
+    predefined(name).or(match name {
+        "nbsp" => Some('\u{A0}'),
+        "copy" => Some('\u{A9}'),
+        "reg" => Some('\u{AE}'),
+        "trade" => Some('\u{2122}'),
+        "hellip" => Some('\u{2026}'),
+        "mdash" => Some('\u{2014}'),
+        "ndash" => Some('\u{2013}'),
+        "lsquo" => Some('\u{2018}'),
+        "rsquo" => Some('\u{2019}'),
+        "ldquo" => Some('\u{201C}'),
+        "rdquo" => Some('\u{201D}'),
+        "eacute" => Some('\u{E9}'),
+        "egrave" => Some('\u{E8}'),
+        "uuml" => Some('\u{FC}'),
+        "ouml" => Some('\u{F6}'),
+        "auml" => Some('\u{E4}'),
+        "szlig" => Some('\u{DF}'),
+        _ => None,
+    })
+}
+
+/// Resolves a character reference body: `#65` or `#x41` (without `&`/`;`).
+/// Returns `None` for malformed bodies or scalar values that are not valid
+/// `char`s (surrogates, out of range).
+pub fn char_ref(body: &str) -> Option<char> {
+    let digits = body.strip_prefix('#')?;
+    let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        digits.parse::<u32>().ok()?
+    };
+    char::from_u32(code)
+}
+
+/// Decodes one reference body (between `&` and `;`): named or numeric.
+/// `html` selects the lenient HTML name table.
+pub fn decode_reference(body: &str, html: bool) -> Option<char> {
+    if body.starts_with('#') {
+        char_ref(body)
+    } else if html {
+        html_named(body)
+    } else {
+        predefined(body)
+    }
+}
+
+/// Escapes text for embedding as XML character data.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes text for embedding inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_entities() {
+        assert_eq!(predefined("amp"), Some('&'));
+        assert_eq!(predefined("lt"), Some('<'));
+        assert_eq!(predefined("gt"), Some('>'));
+        assert_eq!(predefined("quot"), Some('"'));
+        assert_eq!(predefined("apos"), Some('\''));
+        assert_eq!(predefined("nbsp"), None);
+    }
+
+    #[test]
+    fn html_names_are_superset() {
+        assert_eq!(html_named("amp"), Some('&'));
+        assert_eq!(html_named("nbsp"), Some('\u{A0}'));
+        assert_eq!(html_named("bogus"), None);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(char_ref("#65"), Some('A'));
+        assert_eq!(char_ref("#x41"), Some('A'));
+        assert_eq!(char_ref("#X41"), Some('A'));
+        assert_eq!(char_ref("#x1F600"), Some('😀'));
+        assert_eq!(char_ref("#xD800"), None); // surrogate
+        assert_eq!(char_ref("#99999999999"), None); // overflow
+        assert_eq!(char_ref("#"), None);
+        assert_eq!(char_ref("#x"), None);
+        assert_eq!(char_ref("65"), None); // missing '#'
+    }
+
+    #[test]
+    fn decode_reference_dispatch() {
+        assert_eq!(decode_reference("#65", false), Some('A'));
+        assert_eq!(decode_reference("amp", false), Some('&'));
+        assert_eq!(decode_reference("nbsp", false), None);
+        assert_eq!(decode_reference("nbsp", true), Some('\u{A0}'));
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_reader() {
+        let raw = r#"a < b & "c" > d"#;
+        let esc = escape_text(raw);
+        assert!(!esc.contains('<'));
+        let attr = escape_attr(raw);
+        assert!(!attr.contains('"'));
+    }
+}

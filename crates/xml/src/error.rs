@@ -1,0 +1,94 @@
+//! Parse error type with source position reporting.
+
+use std::fmt;
+
+/// An error raised while tokenizing or tree-building an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    /// Byte offset into the input at which the problem was detected.
+    offset: usize,
+    /// 1-based line number of `offset`.
+    line: usize,
+}
+
+/// The category of XML parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended inside a construct (tag, comment, CDATA, ...).
+    UnexpectedEof(&'static str),
+    /// A character that cannot start/continue the current construct.
+    Unexpected {
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// What it found instead.
+        found: char,
+    },
+    /// `</b>` closed `<a>`.
+    MismatchedCloseTag {
+        /// Name of the element that was open.
+        open: String,
+        /// Name in the close tag encountered.
+        close: String,
+    },
+    /// A close tag with no matching open tag.
+    UnmatchedCloseTag(String),
+    /// The document ended with unclosed elements.
+    UnclosedElements(String),
+    /// Malformed entity or character reference.
+    BadEntity(String),
+    /// The same attribute appears twice on one tag.
+    DuplicateAttribute(String),
+    /// Document has no root element, or content after the root.
+    BadDocumentStructure(&'static str),
+    /// A raw `<` or `&` in a context where markup is required.
+    IllegalChar(char),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, offset: usize, line: usize) -> Self {
+        XmlError { kind, offset, line }
+    }
+
+    /// The failure category.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset of the failure in the input.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// 1-based line number of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at line {}, offset {}: ", self.line, self.offset)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input in {ctx}"),
+            XmlErrorKind::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::MismatchedCloseTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            XmlErrorKind::UnmatchedCloseTag(name) => {
+                write!(f, "close tag </{name}> has no matching open tag")
+            }
+            XmlErrorKind::UnclosedElements(name) => {
+                write!(f, "document ended with unclosed element <{name}>")
+            }
+            XmlErrorKind::BadEntity(e) => write!(f, "malformed entity reference {e:?}"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::BadDocumentStructure(why) => write!(f, "bad document structure: {why}"),
+            XmlErrorKind::IllegalChar(c) => write!(f, "illegal character {c:?} in content"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,171 @@
+//! Lenient HTML reader.
+//!
+//! XRANK treats an HTML page as a *single* XML element: "For HTML documents,
+//! we define only the root to be an answer node. Thus, we ignore all of the
+//! HTML tags used for presentation purposes, and only return entire
+//! documents like in standard HTML keyword search" (Section 2.2). What the
+//! engine needs from a page is therefore (a) its visible text, for the
+//! inverted index, and (b) its outgoing hyperlinks, for the (Page/Elem)Rank
+//! computation. [`parse_html`] extracts exactly that, tolerating real-world
+//! HTML: unclosed tags, void elements, valueless attributes, bare `&`.
+
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that never have content and need no close tag.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Elements whose text content is invisible and must not be indexed.
+const SKIP_CONTENT: &[&str] = &["script", "style", "noscript", "template"];
+
+/// The flattened view of an HTML page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HtmlPage {
+    /// `<title>` content, if any.
+    pub title: Option<String>,
+    /// Visible text in document order, whitespace-normalized.
+    pub text: String,
+    /// `href` targets of `<a>`/`<area>` elements, in document order,
+    /// fragment-only links (`#...`) excluded.
+    pub links: Vec<String>,
+}
+
+/// Parses HTML leniently into an [`HtmlPage`]. Never fails on tag-soup
+/// structure; only truncated comments/CDATA raise the underlying tokenizer
+/// error, and even those are swallowed by taking the text seen so far.
+pub fn parse_html(input: &str) -> HtmlPage {
+    let mut tok = Tokenizer::lenient(input);
+    let mut page = HtmlPage::default();
+    let mut skip_depth = 0usize; // inside <script>/<style>
+    let mut in_title = false;
+    let mut title = String::new();
+
+    loop {
+        let token = match tok.next_token() {
+            Ok(Some(t)) => t,
+            Ok(None) => break,
+            Err(_) => break, // tag soup beyond repair: keep what we have
+        };
+        match token {
+            Token::StartTag { name, attributes, self_closing } => {
+                let lname = name.to_ascii_lowercase();
+                if SKIP_CONTENT.contains(&lname.as_str()) && !self_closing {
+                    skip_depth += 1;
+                    continue;
+                }
+                if lname == "title" {
+                    in_title = true;
+                }
+                if matches!(lname.as_str(), "a" | "area") {
+                    if let Some(href) = attributes
+                        .iter()
+                        .find(|a| a.name.eq_ignore_ascii_case("href"))
+                        .map(|a| a.value.trim())
+                    {
+                        if !href.is_empty() && !href.starts_with('#') {
+                            page.links.push(href.to_string());
+                        }
+                    }
+                }
+                let _ = VOID_ELEMENTS; // structure is flattened; voids need no special casing
+            }
+            Token::EndTag { name } => {
+                let lname = name.to_ascii_lowercase();
+                if SKIP_CONTENT.contains(&lname.as_str()) {
+                    skip_depth = skip_depth.saturating_sub(1);
+                }
+                if lname == "title" {
+                    in_title = false;
+                }
+            }
+            Token::Text(t) | Token::CData(t) => {
+                if skip_depth > 0 {
+                    continue;
+                }
+                let trimmed = t.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if in_title {
+                    if !title.is_empty() {
+                        title.push(' ');
+                    }
+                    title.push_str(trimmed);
+                }
+                if !page.text.is_empty() {
+                    page.text.push(' ');
+                }
+                // Normalize internal whitespace runs to single spaces.
+                let mut first = true;
+                for word in trimmed.split_whitespace() {
+                    if !first {
+                        page.text.push(' ');
+                    }
+                    page.text.push_str(word);
+                    first = false;
+                }
+            }
+            Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+        }
+    }
+    if !title.is_empty() {
+        page.title = Some(title);
+    }
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_text_and_links() {
+        let page = parse_html(
+            r##"<html><head><title>My Page</title></head>
+               <body><h1>Hello</h1><p>world <a href="/next">next</a></p>
+               <a href="#frag">skip</a><a href="">skip</a></body></html>"##,
+        );
+        assert_eq!(page.title.as_deref(), Some("My Page"));
+        assert_eq!(page.text, "My Page Hello world next skip skip");
+        assert_eq!(page.links, vec!["/next"]);
+    }
+
+    #[test]
+    fn skips_script_and_style() {
+        let page = parse_html(
+            "<body><script>var x = 'secret';</script><style>.a{}</style>visible</body>",
+        );
+        assert_eq!(page.text, "visible");
+    }
+
+    #[test]
+    fn tolerates_tag_soup() {
+        let page = parse_html("<p>one<p>two<br><b>three");
+        assert_eq!(page.text, "one two three");
+    }
+
+    #[test]
+    fn tolerates_bare_ampersand_and_valueless_attrs() {
+        let page = parse_html(r#"<input disabled><p>AT&T & friends</p>"#);
+        assert_eq!(page.text, "AT&T & friends");
+    }
+
+    #[test]
+    fn normalizes_whitespace() {
+        let page = parse_html("<p>a\n\n   b\t c</p>");
+        assert_eq!(page.text, "a b c");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_page() {
+        assert_eq!(parse_html(""), HtmlPage::default());
+    }
+
+    #[test]
+    fn area_links_collected() {
+        let page = parse_html(r#"<map><area href="http://x.example/a"></map>"#);
+        assert_eq!(page.links, vec!["http://x.example/a"]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Pull-based XML tokenizer.
+//!
+//! [`Tokenizer`] walks the input once, yielding [`Token`]s. It performs
+//! entity decoding in text and attribute values, tracks line numbers for
+//! error reporting, and offers a lenient mode used by the HTML reader
+//! (valueless / unquoted attributes, bare `&`, case-insensitive tag
+//! matching is handled by the caller).
+
+use crate::entities;
+use crate::error::{XmlError, XmlErrorKind};
+
+/// A single `name="value"` attribute. The value is entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written.
+    pub name: String,
+    /// Decoded attribute value (empty for valueless HTML attributes).
+    pub value: String,
+}
+
+/// One lexical event of the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name a="v">` or `<name/>`.
+    StartTag {
+        /// Element name as written.
+        name: String,
+        /// Attributes in source order.
+        attributes: Vec<Attribute>,
+        /// True for `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name as written.
+        name: String,
+    },
+    /// Character data with entities decoded. Never empty.
+    Text(String),
+    /// `<!-- ... -->` body.
+    Comment(String),
+    /// `<![CDATA[ ... ]]>` body (undecoded, as per XML).
+    CData(String),
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target (e.g. `xml` for the declaration).
+        target: String,
+        /// Everything between the target and `?>`.
+        data: String,
+    },
+    /// `<!DOCTYPE ...>` body, internal subset included verbatim.
+    Doctype(String),
+}
+
+/// Streaming tokenizer over a complete in-memory document.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+    lenient: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a strict XML tokenizer.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0, line: 1, lenient: false }
+    }
+
+    /// Creates a lenient tokenizer for HTML-ish input: tolerates bare `&`,
+    /// valueless and unquoted attributes, and `--` inside comments.
+    pub fn lenient(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0, line: 1, lenient: true }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current 1-based line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos, self.line)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(XmlErrorKind::Unexpected {
+                expected: "punctuation",
+                found: c,
+            })),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof("tag"))),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Consumes `prefix` if the input starts with it.
+    fn eat_str(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.line += prefix.matches('\n').count();
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances until `needle`, returning the skipped span; consumes the
+    /// needle. Errors with `ctx` if the input ends first.
+    fn take_until(&mut self, needle: &str, ctx: &'static str) -> Result<&'a str, XmlError> {
+        match self.rest().find(needle) {
+            Some(idx) => {
+                let start = self.pos;
+                let body = &self.input[start..start + idx];
+                self.line += body.matches('\n').count();
+                self.pos += idx + needle.len();
+                Ok(body)
+            }
+            None => {
+                // Position the error at EOF for a useful report.
+                self.line += self.rest().matches('\n').count();
+                self.pos = self.input.len();
+                Err(self.err(XmlErrorKind::UnexpectedEof(ctx)))
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '-' | '.' | '_' | ':')
+    }
+
+    fn read_name(&mut self, what: &'static str) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::Unexpected { expected: what, found: c }))
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof(what))),
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Decodes an `&...;` reference at the current position (just past the
+    /// `&`). In lenient mode an undecodable reference is emitted verbatim.
+    fn read_reference(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let start = self.pos; // after '&'
+        let semi = self.rest().find(';');
+        // Entity bodies are short; a far-away or missing ';' means bare '&'.
+        match semi {
+            Some(idx) if idx <= 10 => {
+                let body = &self.input[start..start + idx];
+                if let Some(c) = entities::decode_reference(body, self.lenient) {
+                    self.pos += idx + 1;
+                    out.push(c);
+                    return Ok(());
+                }
+                if self.lenient {
+                    out.push('&');
+                    return Ok(());
+                }
+                Err(self.err(XmlErrorKind::BadEntity(format!("&{body};"))))
+            }
+            _ if self.lenient => {
+                out.push('&');
+                Ok(())
+            }
+            _ => Err(self.err(XmlErrorKind::BadEntity("&".into()))),
+        }
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                Some(q)
+            }
+            _ if self.lenient => None,
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::Unexpected {
+                    expected: "quoted attribute value",
+                    found: c,
+                }))
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if Some(c) == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                // Unquoted (lenient) values end at whitespace or tag close.
+                Some(c) if quote.is_none() && (c.is_whitespace() || c == '>' || c == '/') => {
+                    return Ok(value);
+                }
+                Some('&') => {
+                    self.bump();
+                    self.read_reference(&mut value)?;
+                }
+                Some('<') if !self.lenient => {
+                    return Err(self.err(XmlErrorKind::IllegalChar('<')));
+                }
+                Some(c) => {
+                    self.bump();
+                    value.push(c);
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("attribute value"))),
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<Token, XmlError> {
+        let name = self.read_name("element name")?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok(Token::StartTag { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.bump();
+                    self.eat('>')?;
+                    return Ok(Token::StartTag { name, attributes, self_closing: true });
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let attr_name = self.read_name("attribute name")?;
+                    self.skip_whitespace();
+                    let value = if self.peek() == Some('=') {
+                        self.bump();
+                        self.skip_whitespace();
+                        self.read_attr_value()?
+                    } else if self.lenient {
+                        String::new() // valueless HTML attribute
+                    } else {
+                        return Err(self.err(XmlErrorKind::Unexpected {
+                            expected: "'=' after attribute name",
+                            found: self.peek().unwrap_or(' '),
+                        }));
+                    };
+                    if !self.lenient && attributes.iter().any(|a| a.name == attr_name) {
+                        return Err(self.err(XmlErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                Some(c) => {
+                    return Err(self.err(XmlErrorKind::Unexpected {
+                        expected: "attribute or tag close",
+                        found: c,
+                    }))
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("start tag"))),
+            }
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<Token, XmlError> {
+        let name = self.read_name("element name")?;
+        self.skip_whitespace();
+        self.eat('>')?;
+        Ok(Token::EndTag { name })
+    }
+
+    fn read_doctype(&mut self) -> Result<Token, XmlError> {
+        // After "<!DOCTYPE". The body may contain an internal subset in
+        // square brackets, which may itself contain '>'.
+        let start = self.pos;
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => {
+                    return Ok(Token::Doctype(
+                        self.input[start..self.pos - 1].trim().to_string(),
+                    ));
+                }
+                Some(_) => {}
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("DOCTYPE"))),
+            }
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Token, XmlError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some('<') | None => break,
+                Some('&') => {
+                    self.bump();
+                    self.read_reference(&mut text)?;
+                }
+                Some(c) => {
+                    self.bump();
+                    text.push(c);
+                }
+            }
+        }
+        Ok(Token::Text(text))
+    }
+
+    /// Yields the next token, or `Ok(None)` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, XmlError> {
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        if self.peek() != Some('<') {
+            return self.read_text().map(Some);
+        }
+        self.bump(); // '<'
+        match self.peek() {
+            Some('/') => {
+                self.bump();
+                self.read_end_tag().map(Some)
+            }
+            Some('?') => {
+                self.bump();
+                let target = self.read_name("PI target")?;
+                let data = self.take_until("?>", "processing instruction")?;
+                Ok(Some(Token::ProcessingInstruction {
+                    target,
+                    data: data.trim().to_string(),
+                }))
+            }
+            Some('!') => {
+                self.bump();
+                if self.eat_str("--") {
+                    let body = self.take_until("-->", "comment")?;
+                    if !self.lenient && body.contains("--") {
+                        return Err(self.err(XmlErrorKind::BadEntity("-- in comment".into())));
+                    }
+                    Ok(Some(Token::Comment(body.to_string())))
+                } else if self.eat_str("[CDATA[") {
+                    let body = self.take_until("]]>", "CDATA section")?;
+                    Ok(Some(Token::CData(body.to_string())))
+                } else if self.eat_str("DOCTYPE") || self.eat_str("doctype") {
+                    self.read_doctype().map(Some)
+                } else {
+                    Err(self.err(XmlErrorKind::Unexpected {
+                        expected: "comment, CDATA, or DOCTYPE",
+                        found: self.peek().unwrap_or(' '),
+                    }))
+                }
+            }
+            Some(c) if Self::is_name_start(c) => self.read_start_tag().map(Some),
+            Some(c) if self.lenient => {
+                // Stray '<' in HTML text: treat it as literal text.
+                let mut text = String::from("<");
+                text.push(c);
+                self.bump();
+                Ok(Some(Token::Text(text)))
+            }
+            Some(c) => Err(self.err(XmlErrorKind::Unexpected { expected: "tag", found: c })),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof("tag"))),
+        }
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Result<Token, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_token().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(input: &str) -> Vec<Token> {
+        Tokenizer::new(input).collect::<Result<_, _>>().unwrap()
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                Token::Text("hi".into()),
+                Token::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_self_closing() {
+        let toks = all(r#"<paper id="1" lang='en'/>"#);
+        assert_eq!(
+            toks,
+            vec![Token::StartTag {
+                name: "paper".into(),
+                attributes: vec![
+                    Attribute { name: "id".into(), value: "1".into() },
+                    Attribute { name: "lang".into(), value: "en".into() },
+                ],
+                self_closing: true
+            }]
+        );
+    }
+
+    #[test]
+    fn entity_decoding_in_text_and_attrs() {
+        let toks = all(r#"<a t="x &amp; y">&lt;tag&gt; &#65;&#x42;</a>"#);
+        match &toks[0] {
+            Token::StartTag { attributes, .. } => {
+                assert_eq!(attributes[0].value, "x & y");
+            }
+            t => panic!("unexpected {t:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("<tag> AB".into()));
+    }
+
+    #[test]
+    fn comment_cdata_pi_doctype() {
+        let toks = all("<?xml version=\"1.0\"?><!DOCTYPE workshop><!-- note --><a><![CDATA[<raw>&amp;]]></a>");
+        assert_eq!(
+            toks[0],
+            Token::ProcessingInstruction { target: "xml".into(), data: "version=\"1.0\"".into() }
+        );
+        assert_eq!(toks[1], Token::Doctype("workshop".into()));
+        assert_eq!(toks[2], Token::Comment(" note ".into()));
+        assert_eq!(toks[4], Token::CData("<raw>&amp;".into()));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let toks = all("<!DOCTYPE dblp [ <!ELEMENT dblp (article)*> ]><dblp/>");
+        match &toks[0] {
+            Token::Doctype(body) => assert!(body.contains("ELEMENT")),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_entity_strictly() {
+        let err = Tokenizer::new("<a>&bogus;</a>")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::BadEntity(_)));
+    }
+
+    #[test]
+    fn lenient_mode_tolerates_html() {
+        let toks: Vec<Token> = Tokenizer::lenient("<input disabled value=abc>AT&T <3</input>")
+            .collect::<Result<_, _>>()
+            .unwrap();
+        match &toks[0] {
+            Token::StartTag { attributes, .. } => {
+                assert_eq!(attributes[0], Attribute { name: "disabled".into(), value: "".into() });
+                assert_eq!(attributes[1], Attribute { name: "value".into(), value: "abc".into() });
+            }
+            t => panic!("unexpected {t:?}"),
+        }
+        let text: String = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Text(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(text, "AT&T <3");
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = Tokenizer::new(r#"<a x="1" x="2"/>"#)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let err = Tokenizer::new("<a>\n\n<b x=5/></a>")
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn eof_inside_comment() {
+        let err = Tokenizer::new("<a><!-- never closed").collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnexpectedEof("comment")));
+    }
+
+    #[test]
+    fn whitespace_text_is_preserved() {
+        let toks = all("<a> \n </a>");
+        assert_eq!(toks[1], Token::Text(" \n ".into()));
+    }
+}

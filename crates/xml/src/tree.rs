@@ -1,0 +1,462 @@
+//! Document tree built from the token stream.
+//!
+//! Nodes live in an arena indexed by [`NodeId`]; children keep source order,
+//! which downstream becomes the Dewey sibling numbering (paper, Figure 3).
+//! Whitespace-only text between elements is dropped (data-centric XML);
+//! mixed content keeps its text verbatim.
+
+use crate::entities;
+use crate::error::{XmlError, XmlErrorKind};
+use crate::tokenizer::{Attribute, Token, Tokenizer};
+use std::fmt::Write as _;
+
+/// Index of a node within its [`Document`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a tree node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with its tag name and attributes.
+    Element {
+        /// Tag name as written.
+        name: String,
+        /// Attributes in source order, values entity-decoded.
+        attributes: Vec<Attribute>,
+    },
+    /// A run of character data (entities decoded, CDATA merged in).
+    Text(String),
+}
+
+/// One node of the document tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element or text payload.
+    pub kind: NodeKind,
+    /// Parent node; `None` only for the root element.
+    pub parent: Option<NodeId>,
+    /// Children in document order. Always empty for text nodes.
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The element name, or `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The text payload, or `None` for elements.
+    pub fn text(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Attribute value lookup (elements only).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// All attributes (empty slice for text nodes).
+    pub fn attributes(&self) -> &[Attribute] {
+        match &self.kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// True for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+}
+
+/// A parsed XML document: an arena of nodes rooted at a single element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Parses a complete document. Exactly one root element is required;
+    /// prolog and trailing comments/PIs are allowed and skipped.
+    pub fn parse(input: &str) -> Result<Self, XmlError> {
+        Self::parse_with(Tokenizer::new(input))
+    }
+
+    /// Parses with an already-configured tokenizer (e.g. lenient mode).
+    pub fn parse_with(mut tok: Tokenizer<'_>) -> Result<Self, XmlError> {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root: Option<NodeId> = None;
+
+        let mut push_node = |nodes: &mut Vec<Node>, stack: &[NodeId], kind: NodeKind| -> NodeId {
+            let id = NodeId(nodes.len() as u32);
+            let parent = stack.last().copied();
+            nodes.push(Node { kind, parent, children: Vec::new() });
+            if let Some(p) = parent {
+                nodes[p.index()].children.push(id);
+            }
+            id
+        };
+
+        while let Some(token) = tok.next_token()? {
+            match token {
+                Token::StartTag { name, attributes, self_closing } => {
+                    if stack.is_empty() && root.is_some() {
+                        return Err(XmlError::new(
+                            XmlErrorKind::BadDocumentStructure("content after root element"),
+                            tok.offset(),
+                            tok.line(),
+                        ));
+                    }
+                    let id = push_node(
+                        &mut nodes,
+                        &stack,
+                        NodeKind::Element { name, attributes },
+                    );
+                    if root.is_none() {
+                        root = Some(id);
+                    }
+                    if !self_closing {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name } => {
+                    let Some(open_id) = stack.pop() else {
+                        return Err(XmlError::new(
+                            XmlErrorKind::UnmatchedCloseTag(name),
+                            tok.offset(),
+                            tok.line(),
+                        ));
+                    };
+                    let open_name = nodes[open_id.index()].name().unwrap_or_default();
+                    if open_name != name {
+                        return Err(XmlError::new(
+                            XmlErrorKind::MismatchedCloseTag {
+                                open: open_name.to_string(),
+                                close: name,
+                            },
+                            tok.offset(),
+                            tok.line(),
+                        ));
+                    }
+                }
+                Token::Text(text) => {
+                    if stack.is_empty() {
+                        if text.trim().is_empty() {
+                            continue; // inter-element whitespace in the prolog
+                        }
+                        return Err(XmlError::new(
+                            XmlErrorKind::BadDocumentStructure("text outside root element"),
+                            tok.offset(),
+                            tok.line(),
+                        ));
+                    }
+                    if text.trim().is_empty() {
+                        continue; // data-centric XML: drop whitespace-only runs
+                    }
+                    Self::append_text(&mut nodes, &stack, text, &mut push_node);
+                }
+                Token::CData(text) => {
+                    if stack.is_empty() {
+                        return Err(XmlError::new(
+                            XmlErrorKind::BadDocumentStructure("CDATA outside root element"),
+                            tok.offset(),
+                            tok.line(),
+                        ));
+                    }
+                    Self::append_text(&mut nodes, &stack, text, &mut push_node);
+                }
+                Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+            }
+        }
+
+        if let Some(open) = stack.last() {
+            return Err(XmlError::new(
+                XmlErrorKind::UnclosedElements(
+                    nodes[open.index()].name().unwrap_or_default().to_string(),
+                ),
+                tok.offset(),
+                tok.line(),
+            ));
+        }
+        let root = root.ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::BadDocumentStructure("no root element"),
+                tok.offset(),
+                tok.line(),
+            )
+        })?;
+        Ok(Document { nodes, root })
+    }
+
+    /// Appends text under the open element, merging with a trailing text
+    /// sibling so `a<![CDATA[b]]>c` becomes one node.
+    fn append_text(
+        nodes: &mut Vec<Node>,
+        stack: &[NodeId],
+        text: String,
+        push_node: &mut impl FnMut(&mut Vec<Node>, &[NodeId], NodeKind) -> NodeId,
+    ) {
+        let parent = *stack.last().expect("text requires an open element");
+        if let Some(&last) = nodes[parent.index()].children.last() {
+            if let NodeKind::Text(existing) = &mut nodes[last.index()].kind {
+                existing.push_str(&text);
+                return;
+            }
+        }
+        push_node(nodes, stack, NodeKind::Text(text));
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of nodes (elements + text).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds no nodes (never after a successful parse).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_element()).count()
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Pre-order (document order) traversal from the root.
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![self.root] }
+    }
+
+    /// Concatenated text of all descendant text nodes of `id`, in document
+    /// order, single-space separated.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t.trim());
+            }
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Serializes back to XML text (no prolog). Used by generators and
+    /// round-trip tests.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_node(self.root, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(&entities::escape_text(t)),
+            NodeKind::Element { name, attributes } => {
+                let _ = write!(out, "<{name}");
+                for a in attributes {
+                    let _ = write!(out, " {}=\"{}\"", a.name, entities::escape_attr(&a.value));
+                }
+                let children = self.children(id);
+                if children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for &c in children {
+                        self.write_node(c, out);
+                    }
+                    let _ = write!(out, "</{name}>");
+                }
+            }
+        }
+    }
+}
+
+/// Pre-order iterator over a document's nodes.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = self.doc.children(id);
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_DOC: &str = r#"<workshop date="28 July 2000">
+  <title>XML and IR: A SIGIR 2000 Workshop</title>
+  <editors>David Carmel, Yoelle Maarek, Aya Soffer</editors>
+  <proceedings>
+    <paper id="1">
+      <title>XQL and Proximal Nodes</title>
+      <author>Ricardo Baeza-Yates</author>
+      <author>Gonzalo Navarro</author>
+      <body>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">At first sight, the XQL query language looks</subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+        <cite xlink="/paper/xmlql/">A Query</cite>
+      </body>
+    </paper>
+    <paper id="2"><title>Querying XML in Xyleme</title></paper>
+  </proceedings>
+</workshop>"#;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let doc = Document::parse(PAPER_DOC).unwrap();
+        let root = doc.node(doc.root());
+        assert_eq!(root.name(), Some("workshop"));
+        assert_eq!(root.attr("date"), Some("28 July 2000"));
+        // workshop has title, editors, proceedings
+        let kids: Vec<_> = doc
+            .children(doc.root())
+            .iter()
+            .map(|&c| doc.node(c).name().unwrap().to_string())
+            .collect();
+        assert_eq!(kids, vec!["title", "editors", "proceedings"]);
+    }
+
+    #[test]
+    fn text_content_walks_subtrees() {
+        let doc = Document::parse(PAPER_DOC).unwrap();
+        let text = doc.text_content(doc.root());
+        assert!(text.contains("XQL query language"));
+        assert!(text.contains("Aya Soffer"));
+    }
+
+    #[test]
+    fn children_keep_source_order_for_dewey_numbering() {
+        let doc = Document::parse("<r><a/><b/><c/></r>").unwrap();
+        let names: Vec<_> = doc
+            .children(doc.root())
+            .iter()
+            .map(|&c| doc.node(c).name().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn descendants_is_preorder() {
+        let doc = Document::parse("<r><a><b/></a><c/></r>").unwrap();
+        let names: Vec<_> = doc
+            .descendants()
+            .filter_map(|id| doc.node(id).name().map(str::to_string))
+            .collect();
+        assert_eq!(names, vec!["r", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_mixed_text_kept() {
+        let doc = Document::parse("<r>\n  <a>keep me</a>\n</r>").unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 1);
+        let a = doc.children(doc.root())[0];
+        assert_eq!(doc.node(doc.children(a)[0]).text(), Some("keep me"));
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let doc = Document::parse("<r>a<![CDATA[<b&]]>c</r>").unwrap();
+        let kids = doc.children(doc.root());
+        assert_eq!(kids.len(), 1);
+        assert_eq!(doc.node(kids[0]).text(), Some("a<b&c"));
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = Document::parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedCloseTag { .. }));
+    }
+
+    #[test]
+    fn error_on_unclosed_root() {
+        let err = Document::parse("<a><b/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnclosedElements(_)));
+    }
+
+    #[test]
+    fn error_on_two_roots() {
+        let err = Document::parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        let err = Document::parse("  \n ").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn prolog_is_skipped() {
+        let doc =
+            Document::parse("<?xml version=\"1.0\"?>\n<!-- c -->\n<!DOCTYPE r>\n<r/>").unwrap();
+        assert_eq!(doc.node(doc.root()).name(), Some("r"));
+        assert_eq!(doc.element_count(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let src = r#"<r a="1 &amp; 2"><b>x &lt; y</b><c/></r>"#;
+        let doc = Document::parse(src).unwrap();
+        let out = doc.to_xml();
+        let doc2 = Document::parse(&out).unwrap();
+        assert_eq!(doc2.to_xml(), out);
+        assert_eq!(doc2.node(doc2.root()).attr("a"), Some("1 & 2"));
+    }
+}

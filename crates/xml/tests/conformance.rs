@@ -1,0 +1,131 @@
+//! XML conformance and robustness tests beyond the unit suites:
+//! edge-of-grammar inputs, deep nesting, large documents, and a fuzz-ish
+//! property that the parser never panics.
+
+use proptest::prelude::*;
+use xrank_xml::{parse, Document, XmlErrorKind};
+
+#[test]
+fn deeply_nested_document() {
+    let depth = 2000;
+    let mut xml = String::new();
+    for i in 0..depth {
+        xml.push_str(&format!("<e{i}>"));
+    }
+    xml.push_str("bottom");
+    for i in (0..depth).rev() {
+        xml.push_str(&format!("</e{i}>"));
+    }
+    let doc = parse(&xml).expect("deep but well-formed");
+    assert_eq!(doc.element_count(), depth);
+    assert!(doc.text_content(doc.root()).contains("bottom"));
+}
+
+#[test]
+fn very_wide_document() {
+    let mut xml = String::from("<r>");
+    for i in 0..50_000 {
+        xml.push_str(&format!("<c{i}/>"));
+    }
+    xml.push_str("</r>");
+    let doc = parse(&xml).unwrap();
+    assert_eq!(doc.children(doc.root()).len(), 50_000);
+}
+
+#[test]
+fn attribute_edge_cases() {
+    // single vs double quotes, embedded quotes via entities, numeric refs,
+    // whitespace around '='
+    let doc = parse(
+        r#"<a one = "1" two='t"wo' three="th&apos;ree" four="&#x26;amp" five=""/>"#,
+    )
+    .unwrap();
+    let root = doc.node(doc.root());
+    assert_eq!(root.attr("one"), Some("1"));
+    assert_eq!(root.attr("two"), Some("t\"wo"));
+    assert_eq!(root.attr("three"), Some("th'ree"));
+    assert_eq!(root.attr("four"), Some("&amp"));
+    assert_eq!(root.attr("five"), Some(""));
+}
+
+#[test]
+fn names_with_unicode_and_namespace_colons() {
+    let doc = parse("<ns:élan ns:attr=\"v\"><ns:child/></ns:élan>").unwrap();
+    assert_eq!(doc.node(doc.root()).name(), Some("ns:élan"));
+    assert_eq!(doc.node(doc.root()).attr("ns:attr"), Some("v"));
+}
+
+#[test]
+fn comments_in_odd_places() {
+    let doc = parse("<!--pre--><r><!--in--><a/><!--between--><b/></r><!--post-->").unwrap();
+    assert_eq!(doc.children(doc.root()).len(), 2);
+}
+
+#[test]
+fn cdata_with_markup_lookalikes() {
+    let doc = parse("<r><![CDATA[</r> <not-a-tag> &amp; ]]]]><![CDATA[>]]></r>").unwrap();
+    let text = doc.text_content(doc.root());
+    assert!(text.contains("</r>"));
+    assert!(text.contains("&amp;"));
+    assert!(text.ends_with("]]>"));
+}
+
+#[test]
+fn error_positions_are_plausible() {
+    let err = parse("<a>\n<b>\n<c>oops</b>\n</a>").unwrap_err();
+    assert!(matches!(err.kind(), XmlErrorKind::MismatchedCloseTag { .. }));
+    assert_eq!(err.line(), 3);
+}
+
+#[test]
+fn crlf_line_counting() {
+    let err = parse("<a>\r\n\r\n<b x=@/></a>").unwrap_err();
+    assert_eq!(err.line(), 3);
+}
+
+#[test]
+fn rejects_cdata_outside_root() {
+    assert!(parse("<![CDATA[x]]><a/>").is_err());
+}
+
+#[test]
+fn huge_text_node() {
+    let body = "word ".repeat(200_000);
+    let xml = format!("<r>{body}</r>");
+    let doc = parse(&xml).unwrap();
+    assert_eq!(doc.len(), 2); // root + one text node
+}
+
+#[test]
+fn serialization_escapes_everything_needed() {
+    let doc = parse(r#"<r a="&lt;&amp;&quot;">x &lt; y &amp; z</r>"#).unwrap();
+    let out = doc.to_xml();
+    let again = parse(&out).unwrap();
+    assert_eq!(again.node(again.root()).attr("a"), Some("<&\""));
+    assert_eq!(again.text_content(again.root()), "x < y & z");
+}
+
+proptest! {
+    /// The parser must never panic, whatever the input.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    /// Any successfully parsed document re-serializes to an equivalent
+    /// document (parse ∘ to_xml is idempotent).
+    #[test]
+    fn roundtrip_is_stable(input in "\\PC*") {
+        if let Ok(doc) = parse(&input) {
+            let once = doc.to_xml();
+            let doc2 = Document::parse(&once).expect("serializer emits well-formed XML");
+            prop_assert_eq!(doc2.to_xml(), once);
+        }
+    }
+
+    /// HTML reader never panics either.
+    #[test]
+    fn html_reader_never_panics(input in "\\PC*") {
+        let _ = xrank_xml::html::parse_html(&input);
+    }
+}

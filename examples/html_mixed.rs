@@ -1,0 +1,63 @@
+//! XRANK as a generalization of an HTML search engine (paper, Sections 1
+//! and 2.2): a mixed collection of HTML pages and XML documents is queried
+//! through the same engine. HTML pages behave exactly like documents in a
+//! classic hyperlink-based engine — whole pages are returned and link
+//! structure drives their rank — while XML documents return nested
+//! elements.
+//!
+//! ```sh
+//! cargo run --example html_mixed
+//! ```
+
+use xrank::EngineBuilder;
+
+fn main() {
+    let mut builder = EngineBuilder::new();
+
+    // A small web: three pages all link to the "hub".
+    builder.add_html(
+        "web/hub",
+        r#"<html><head><title>The Hub</title></head>
+           <body>database systems research portal</body></html>"#,
+    );
+    for i in 0..3 {
+        builder.add_html(
+            &format!("web/blog{i}"),
+            &format!(
+                r#"<html><body>my database systems notes, see
+                   <a href="web/hub">the portal</a> (post {i})</body></html>"#
+            ),
+        );
+    }
+
+    // Plus an XML document with nested structure.
+    builder
+        .add_xml(
+            "xml/course",
+            "<course><name>database systems</name>\
+             <unit><topic>query processing</topic>\
+             <notes>database systems internals, ranked search</notes></unit></course>",
+        )
+        .unwrap();
+
+    let mut engine = builder.build();
+    let results = engine.search("database systems", 10);
+    println!("query: \"database systems\" over {} documents", engine.collection().doc_count());
+    print!("{}", results.render());
+
+    // HTML hits are whole pages (path = single root element)…
+    let html_hits: Vec<_> =
+        results.hits.iter().filter(|h| h.doc_uri.starts_with("web/")).collect();
+    assert!(html_hits.iter().all(|h| h.path.len() == 1));
+    // …and the hub, being linked from everywhere, outranks the blogs.
+    let hub_pos = results.hits.iter().position(|h| h.doc_uri == "web/hub").unwrap();
+    for (i, h) in results.hits.iter().enumerate() {
+        if h.doc_uri.starts_with("web/blog") {
+            assert!(hub_pos < i, "hub must outrank blogs");
+        }
+    }
+    // XML hits return nested elements.
+    let xml_hit = results.hits.iter().find(|h| h.doc_uri == "xml/course").unwrap();
+    assert!(xml_hit.path.len() > 1, "XML results are nested elements");
+    println!("✓ HTML pages rank by links and return whole documents; XML returns elements");
+}

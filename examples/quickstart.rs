@@ -1,0 +1,54 @@
+//! Quickstart: index the paper's Figure 1 workshop document and run the
+//! running-example query "XQL language".
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xrank::EngineBuilder;
+
+const WORKSHOP: &str = r#"<workshop date="28 July 2000">
+  <wtitle>XML and IR: A SIGIR 2000 Workshop</wtitle>
+  <editors>David Carmel, Yoelle Maarek, Aya Soffer</editors>
+  <proceedings>
+    <paper id="1">
+      <title>XQL and Proximal Nodes</title>
+      <author>Ricardo Baeza-Yates</author>
+      <author>Gonzalo Navarro</author>
+      <abstract>We consider the recently proposed language</abstract>
+      <body>
+        <section name="Introduction">Searching on structured text is more important</section>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">At first sight, the XQL query language looks</subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+      </body>
+    </paper>
+    <paper id="2">
+      <title>Querying XML in Xyleme</title>
+    </paper>
+  </proceedings>
+</workshop>"#;
+
+fn main() {
+    let mut builder = EngineBuilder::new();
+    builder.add_xml("sigir-workshop", WORKSHOP).expect("well-formed XML");
+    let mut engine = builder.build();
+
+    for query in ["XQL language", "Soffer", "Xyleme", "author Ricardo"] {
+        let results = engine.search(query, 5);
+        println!("query: {query:?}  ({} hits)", results.hits.len());
+        print!("{}", results.render());
+        println!();
+    }
+
+    // The paper's headline behaviour: "XQL language" returns the
+    // <subsection> (most specific) and the <paper> (independent title +
+    // abstract occurrences) — but never the <section>/<body> ancestors.
+    let results = engine.search("XQL language", 5);
+    let tags: Vec<&str> = results.hits.iter().map(|h| h.path.last().unwrap().as_str()).collect();
+    assert!(tags.contains(&"subsection"));
+    assert!(tags.contains(&"paper"));
+    assert!(!tags.contains(&"section"));
+    println!("✓ most-specific-result semantics verified: {tags:?}");
+}

@@ -1,0 +1,190 @@
+//! `xrank` — command-line interface to the XRANK engine.
+//!
+//! ```text
+//! xrank index  <dir> <file.xml|file.html>...   build a persistent index
+//! xrank demo   <dir> [--dblp N | --xmark S]    build from a generated corpus
+//! xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil]
+//! xrank stats  <dir>                           collection statistics
+//! ```
+//!
+//! `index`/`demo` write the engine under `<dir>` (pages in `<dir>/store/`,
+//! metadata in `<dir>/xrank-meta.bin`); `search`/`stats` reopen it without
+//! re-indexing.
+
+use std::process::ExitCode;
+use xrank::query::QueryOptions;
+use xrank::storage::FileStore;
+use xrank::{EngineBuilder, EngineConfig, Strategy, XRankEngine};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  xrank index  <dir> <file.xml|file.html>...\n  \
+                 xrank demo   <dir> [--dblp N | --xmark SCALE]\n  \
+                 xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil]\n  \
+                 xrank stats  <dir>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn engine_config() -> EngineConfig {
+    // RDIL is cheap to keep for strategy experiments from the CLI.
+    EngineConfig { with_rdil: true, ..Default::default() }
+}
+
+fn cmd_index(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("index: missing <dir>")?;
+    let files = &args[1..];
+    if files.is_empty() {
+        return Err("index: no input files".into());
+    }
+    let mut builder = EngineBuilder::with_config(engine_config());
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        if path.ends_with(".html") || path.ends_with(".htm") {
+            builder.add_html(path, &text);
+        } else {
+            builder.add_xml(path, &text).map_err(|e| format!("{path}: {e}"))?;
+        }
+        println!("added {path}");
+    }
+    let engine = builder
+        .build_persistent(dir)
+        .map_err(|e| format!("writing {dir}: {e}"))?;
+    print_build_summary(&engine);
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("demo: missing <dir>")?;
+    let mut builder = EngineBuilder::with_config(engine_config());
+    let spec = args.get(1).map(String::as_str).unwrap_or("--dblp");
+    match spec {
+        "--xmark" => {
+            let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+            let ds = xrank::datagen::xmark::generate(&xrank::datagen::xmark::XmarkConfig {
+                scale,
+                ..Default::default()
+            });
+            for (uri, xml) in &ds.docs {
+                builder.add_xml(uri, xml).expect("generated XML");
+            }
+            println!("generated XMark-like corpus, scale {scale}");
+        }
+        _ => {
+            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            let ds = xrank::datagen::dblp::generate(&xrank::datagen::dblp::DblpConfig {
+                publications: n,
+                ..Default::default()
+            });
+            for (uri, xml) in &ds.docs {
+                builder.add_xml(uri, xml).expect("generated XML");
+            }
+            println!("generated DBLP-like corpus, {n} publications");
+        }
+    }
+    let engine = builder
+        .build_persistent(dir)
+        .map_err(|e| format!("writing {dir}: {e}"))?;
+    print_build_summary(&engine);
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("search: missing <dir>")?;
+    let mut m = 10usize;
+    let mut any = false;
+    let mut strategy = Strategy::Hdil;
+    let mut words: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-m" => {
+                i += 1;
+                m = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("search: -m needs a number")?;
+            }
+            "--any" => any = true,
+            "--strategy" => {
+                i += 1;
+                strategy = match args.get(i).map(String::as_str) {
+                    Some("dil") => Strategy::Dil,
+                    Some("rdil") => Strategy::Rdil,
+                    Some("hdil") => Strategy::Hdil,
+                    other => return Err(format!("search: unknown strategy {other:?}")),
+                };
+            }
+            w => words.push(w),
+        }
+        i += 1;
+    }
+    if words.is_empty() {
+        return Err("search: empty query".into());
+    }
+    let query = words.join(" ");
+
+    let mut engine = XRankEngine::<FileStore>::open(dir, engine_config())
+        .map_err(|e| format!("opening {dir}: {e}"))?;
+    let results = if any {
+        engine.search_any(&query, m)
+    } else {
+        let opts = QueryOptions { top_m: m, ..Default::default() };
+        engine.search_with(&query, strategy, &opts)
+    };
+    if results.hits.is_empty() {
+        println!("no results for {query:?}");
+        return Ok(());
+    }
+    print!("{}", results.render());
+    println!(
+        "\n{} hits in {:.1}ms — {} entries scanned, {} seq + {} random page reads",
+        results.hits.len(),
+        results.elapsed.as_secs_f64() * 1e3,
+        results.eval.entries_scanned,
+        results.io.seq_reads,
+        results.io.rand_reads,
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("stats: missing <dir>")?;
+    let engine = XRankEngine::<FileStore>::open(dir, engine_config())
+        .map_err(|e| format!("opening {dir}: {e}"))?;
+    print_build_summary(&engine);
+    Ok(())
+}
+
+fn print_build_summary<S: xrank::storage::PageStore>(engine: &XRankEngine<S>) {
+    let c = engine.collection();
+    println!(
+        "index: {} documents, {} elements (max depth {}), {} terms, {} hyperlinks \
+         ({} unresolved); ElemRank converged in {} iterations",
+        c.doc_count(),
+        c.element_count(),
+        c.max_depth(),
+        c.vocabulary().len(),
+        c.hyperlink_count(),
+        c.unresolved_links(),
+        engine.rank_result().iterations,
+    );
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests on generated datasets: the full pipeline
+//! (generate → parse → graph → ElemRank → all five indexes → all five
+//! processors) at small scale, checking the invariants the experiments
+//! rely on.
+
+use xrank::datagen::plant::PlantConfig;
+use xrank::datagen::workload::{query, Correlation};
+use xrank::datagen::{dblp, xmark};
+use xrank::graph::{Collection, CollectionBuilder, TermId};
+use xrank::index::{
+    direct_postings, naive_postings, DilIndex, HdilIndex, NaiveIdIndex, NaiveRankIndex,
+    RdilIndex,
+};
+use xrank::query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions};
+use xrank::rank::{elem_rank, ElemRankParams};
+use xrank::storage::{BufferPool, CostModel, MemStore};
+
+struct Fixture {
+    collection: Collection,
+    pool: BufferPool<MemStore>,
+    dil: DilIndex,
+    rdil: RdilIndex,
+    hdil: HdilIndex,
+    naive_id: NaiveIdIndex,
+    naive_rank: NaiveRankIndex,
+}
+
+fn build_fixture(docs: &[(String, String)]) -> Fixture {
+    let mut b = CollectionBuilder::new();
+    for (uri, xml) in docs {
+        b.add_xml_str(uri, xml).expect("generated XML parses");
+    }
+    let collection = b.build();
+    let ranks = elem_rank(&collection, &ElemRankParams::default());
+    assert!(ranks.converged, "ElemRank must converge");
+    let direct = direct_postings(&collection, &ranks.scores);
+    let naive = naive_postings(&collection, &ranks.scores);
+    let mut pool = BufferPool::new(MemStore::new(), 16384);
+    let dil = DilIndex::build(&mut pool, &direct);
+    let rdil = RdilIndex::build(&mut pool, &direct);
+    let hdil = HdilIndex::build(&mut pool, &direct);
+    let naive_id = NaiveIdIndex::build(&mut pool, &naive);
+    let naive_rank = NaiveRankIndex::build(&mut pool, &naive);
+    Fixture { collection, pool, dil, rdil, hdil, naive_id, naive_rank }
+}
+
+fn plant() -> PlantConfig {
+    PlantConfig {
+        groups: 2,
+        group_size: 4,
+        high_frequency: 40,
+        low_frequency: 40,
+        low_cooccurrences: 2,
+    }
+}
+
+fn resolve(c: &Collection, kws: &[String]) -> Vec<TermId> {
+    kws.iter()
+        .map(|k| c.vocabulary().lookup(k).unwrap_or_else(|| panic!("missing keyword {k}")))
+        .collect()
+}
+
+fn check_all_agree(f: &mut Fixture, terms: &[TermId], m: usize) {
+    let opts = QueryOptions { top_m: m, ..Default::default() };
+    let d = dil_query::evaluate(&mut f.pool, &f.dil, terms, &opts);
+    let r = rdil_query::evaluate(&mut f.pool, &f.rdil, terms, &opts);
+    let h = hdil_query::evaluate(&mut f.pool, &f.hdil, terms, &opts, &CostModel::default());
+    assert_eq!(d.results.len(), r.results.len(), "RDIL cardinality");
+    assert_eq!(d.results.len(), h.results.len(), "HDIL cardinality");
+    for (a, b) in d.results.iter().zip(r.results.iter()) {
+        assert_eq!(a.dewey, b.dewey, "RDIL order");
+        assert!((a.score - b.score).abs() < 1e-9, "RDIL score");
+    }
+    for (a, b) in d.results.iter().zip(h.results.iter()) {
+        assert_eq!(a.dewey, b.dewey, "HDIL order");
+        assert!((a.score - b.score).abs() < 1e-9, "HDIL score");
+    }
+    // Naive processors agree with each other and contain the DIL set.
+    let n1 = naive_query::evaluate_id(&mut f.pool, &f.naive_id, &f.collection, terms, &opts);
+    let n2 =
+        naive_query::evaluate_rank(&mut f.pool, &f.naive_rank, &f.collection, terms, &opts);
+    assert_eq!(n1.results.len(), n2.results.len(), "naive variants cardinality");
+    for (a, b) in n1.results.iter().zip(n2.results.iter()) {
+        assert_eq!(a.dewey, b.dewey, "naive variants order");
+    }
+}
+
+#[test]
+fn dblp_pipeline_all_processors_agree() {
+    let ds = dblp::generate(&dblp::DblpConfig {
+        publications: 400,
+        plant: Some(plant()),
+        ..Default::default()
+    });
+    let mut f = build_fixture(&ds.docs);
+    assert_eq!(f.collection.doc_count(), 400);
+    assert!(f.collection.hyperlink_count() > 100, "citations resolved");
+    assert_eq!(f.collection.unresolved_links(), 0);
+
+    for n in 1..=4 {
+        let hi = resolve(&f.collection, &query(Correlation::High, 0, n));
+        check_all_agree(&mut f, &hi, 10);
+        let lo = resolve(&f.collection, &query(Correlation::Low, 1, n));
+        check_all_agree(&mut f, &lo, 10);
+    }
+}
+
+#[test]
+fn xmark_pipeline_all_processors_agree() {
+    let ds = xmark::generate(&xmark::XmarkConfig {
+        scale: 0.15,
+        plant: Some(plant()),
+        ..Default::default()
+    });
+    let mut f = build_fixture(&ds.docs);
+    assert_eq!(f.collection.doc_count(), 1, "XMark is a single document");
+    assert!(f.collection.max_depth() >= 9, "XMark-like data is deep");
+    assert!(f.collection.hyperlink_count() > 50, "IDREFs resolved");
+
+    for n in 1..=4 {
+        let hi = resolve(&f.collection, &query(Correlation::High, 0, n));
+        check_all_agree(&mut f, &hi, 10);
+        let lo = resolve(&f.collection, &query(Correlation::Low, 0, n));
+        check_all_agree(&mut f, &lo, 10);
+    }
+}
+
+/// Table 1's qualitative shape at small scale: naive lists are strictly
+/// larger than DIL's; RDIL's index dwarfs HDIL's; HDIL's list is at least
+/// DIL's.
+#[test]
+fn space_shape_matches_table1() {
+    let ds = xmark::generate(&xmark::XmarkConfig { scale: 0.2, ..Default::default() });
+    let f = build_fixture(&ds.docs);
+    let dil = f.dil.space(&f.pool);
+    let rdil = f.rdil.space(&f.pool);
+    let hdil = f.hdil.space(&f.pool);
+    let nid = f.naive_id.space(&f.pool);
+    let nrk = f.naive_rank.space(&f.pool);
+
+    assert!(nid.list_bytes > dil.list_bytes, "naive lists must exceed DIL lists");
+    // Naive-Rank's lists are marginally larger (absolute element ids
+    // instead of deltas), but within a few percent.
+    assert!(
+        nrk.list_bytes >= nid.list_bytes
+            && nrk.list_bytes < nid.list_bytes + nid.list_bytes / 6,
+        "naive list sizes should be nearly equal: {} vs {}",
+        nid.list_bytes,
+        nrk.list_bytes
+    );
+    assert!(nrk.index_bytes > 0, "Naive-Rank has a hash index");
+    assert_eq!(dil.index_bytes, 0, "DIL has no auxiliary index");
+    assert!(rdil.index_bytes > 8 * hdil.index_bytes, "HDIL index must collapse vs RDIL");
+    assert!(hdil.list_bytes >= dil.list_bytes, "HDIL stores DIL's list plus a prefix");
+}
+
+/// The I/O profile of the two extreme algorithms on a correlated query:
+/// RDIL does few random probes; DIL scans everything sequentially.
+#[test]
+fn io_profiles_match_the_papers_story() {
+    let ds = xmark::generate(&xmark::XmarkConfig {
+        scale: 0.4,
+        plant: Some(PlantConfig {
+            groups: 1,
+            group_size: 2,
+            high_frequency: 150,
+            low_frequency: 150,
+            low_cooccurrences: 2,
+        }),
+        ..Default::default()
+    });
+    let mut f = build_fixture(&ds.docs);
+    let hi = resolve(&f.collection, &query(Correlation::High, 0, 2));
+    let opts = QueryOptions { top_m: 10, ..Default::default() };
+
+    // DIL: full sequential scan.
+    f.pool.clear_cache();
+    let before = f.pool.stats();
+    let d = dil_query::evaluate(&mut f.pool, &f.dil, &hi, &opts);
+    let dil_io = f.pool.stats().since(&before);
+    let list_pages: u64 =
+        hi.iter().map(|&t| f.dil.meta(t).unwrap().page_count as u64).sum();
+    assert_eq!(dil_io.physical_reads(), list_pages, "DIL reads exactly the lists");
+    assert!(dil_io.seq_reads >= dil_io.rand_reads, "DIL is sequential-dominated");
+    assert!(!d.results.is_empty());
+
+    // RDIL: early termination with random probes.
+    f.pool.clear_cache();
+    let before = f.pool.stats();
+    let r = rdil_query::evaluate(&mut f.pool, &f.rdil, &hi, &opts);
+    let rdil_io = f.pool.stats().since(&before);
+    assert_eq!(d.results.len(), r.results.len());
+    assert!(
+        r.stats.entries_scanned < d.stats.entries_scanned,
+        "RDIL must consume fewer entries ({} vs {})",
+        r.stats.entries_scanned,
+        d.stats.entries_scanned
+    );
+    assert!(rdil_io.rand_reads > 0, "RDIL probes randomly");
+}

@@ -1,0 +1,198 @@
+//! Property tests: on random XML trees and random queries, all ranked
+//! processors (DIL, RDIL, HDIL) return identical result sets and scores —
+//! DIL (the Figure 5 algorithm) is the executable specification — and the
+//! naive baselines return exactly the ancestor closure.
+//!
+//! A brute-force oracle computes `Result(Q)` per the Section 2.2
+//! definition directly on the in-memory graph, pinning the stack algorithm
+//! to the paper's semantics rather than to itself.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use xrank::dewey::DeweyId;
+use xrank::graph::{Collection, CollectionBuilder, ElemId, TermId};
+use xrank::index::{direct_postings, naive_postings, DilIndex, HdilIndex, NaiveIdIndex, RdilIndex};
+use xrank::query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions};
+use xrank::storage::{BufferPool, CostModel, MemStore};
+
+/// A small random XML tree over a tiny vocabulary (so conjunctions hit).
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(Vec<u8>),
+    Node(Vec<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = proptest::collection::vec(0u8..6, 1..5).prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        proptest::collection::vec(inner, 1..4).prop_map(Tree::Node)
+    })
+}
+
+fn render(tree: &Tree, out: &mut String, id: &mut u32) {
+    match tree {
+        Tree::Leaf(words) => {
+            let text: Vec<String> = words.iter().map(|w| format!("w{w}")).collect();
+            out.push_str(&format!("<l{id}>{}</l{id}>", text.join(" ")));
+            *id += 1;
+        }
+        Tree::Node(children) => {
+            let my_id = *id;
+            *id += 1;
+            out.push_str(&format!("<n{my_id}>"));
+            for c in children {
+                render(c, out, id);
+            }
+            out.push_str(&format!("</n{my_id}>"));
+        }
+    }
+}
+
+fn build(trees: &[Tree]) -> (Collection, Vec<Vec<xrank::index::Posting>>) {
+    let mut b = CollectionBuilder::new();
+    for (i, t) in trees.iter().enumerate() {
+        let mut xml = String::new();
+        let mut id = 0;
+        render(t, &mut xml, &mut id);
+        // ensure single root
+        let xml = format!("<root>{xml}</root>");
+        b.add_xml_str(&format!("doc{i}"), &xml).unwrap();
+    }
+    let c = b.build();
+    let r = xrank::rank::elem_rank(&c, &xrank::rank::ElemRankParams::default());
+    let postings = direct_postings(&c, &r.scores);
+    (c, postings)
+}
+
+/// Brute-force `Result(Q)` from Section 2.2: elements where every keyword
+/// occurs in some child subtree (or direct value) that does not itself
+/// contain all keywords.
+fn oracle(c: &Collection, terms: &[TermId]) -> HashSet<DeweyId> {
+    let n = terms.len();
+    // contains*[e] = keyword bitmask over the subtree of e.
+    let mut subtree = vec![0u32; c.element_count()];
+    let mut direct = vec![0u32; c.element_count()];
+    for (id, e) in c.elements() {
+        for t in &e.tokens {
+            if let Some(i) = terms.iter().position(|&q| q == t.term) {
+                direct[id as usize] |= 1 << i;
+            }
+        }
+    }
+    // children come after parents in id order; accumulate bottom-up.
+    for id in (0..c.element_count() as ElemId).rev() {
+        subtree[id as usize] |= direct[id as usize];
+        if let Some(p) = c.element(id).parent {
+            let mask = subtree[id as usize];
+            subtree[p as usize] |= mask;
+        }
+    }
+    let full = (1u32 << n) - 1;
+    let mut out = HashSet::new();
+    for (id, e) in c.elements() {
+        if subtree[id as usize] != full {
+            continue;
+        }
+        // For each keyword: available via a direct value, or via a child
+        // whose subtree is not complete.
+        let mut covered = direct[id as usize];
+        for &ch in &e.children {
+            if subtree[ch as usize] != full {
+                covered |= subtree[ch as usize];
+            }
+        }
+        if covered == full {
+            out.insert(e.dewey.clone());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_processors_agree_and_match_the_oracle(
+        trees in proptest::collection::vec(tree_strategy(), 1..4),
+        kws in proptest::collection::vec(0u8..6, 1..4),
+    ) {
+        let (c, postings) = build(&trees);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let dil = DilIndex::build(&mut pool, &postings);
+        let rdil = RdilIndex::build(&mut pool, &postings);
+        let hdil = HdilIndex::build(&mut pool, &postings);
+
+        // Resolve query keywords; de-duplicate (repeated keywords are a
+        // degenerate case covered by unit tests).
+        let mut seen = HashSet::new();
+        let terms: Vec<TermId> = kws
+            .iter()
+            .filter(|w| seen.insert(**w))
+            .filter_map(|w| c.vocabulary().lookup(&format!("w{w}")))
+            .collect();
+        prop_assume!(terms.len() == seen.len()); // every keyword exists
+
+        let opts = QueryOptions { top_m: 1000, ..Default::default() };
+        let d = dil_query::evaluate(&mut pool, &dil, &terms, &opts);
+        let r = rdil_query::evaluate(&mut pool, &rdil, &terms, &opts);
+        let h = hdil_query::evaluate(&mut pool, &hdil, &terms, &opts, &CostModel::default());
+
+        // 1. DIL matches the brute-force Result(Q) oracle.
+        let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
+        let expect = oracle(&c, &terms);
+        prop_assert_eq!(&dil_set, &expect, "DIL vs oracle");
+
+        // 2. RDIL and HDIL agree with DIL on set AND scores.
+        let as_map = |o: &xrank::query::QueryOutcome| -> HashMap<DeweyId, f64> {
+            o.results.iter().map(|x| (x.dewey.clone(), x.score)).collect()
+        };
+        let (dm, rm, hm) = (as_map(&d), as_map(&r), as_map(&h));
+        prop_assert_eq!(dm.len(), rm.len(), "RDIL set size");
+        prop_assert_eq!(dm.len(), hm.len(), "HDIL set size");
+        for (k, v) in &dm {
+            let rv = rm.get(k).copied().unwrap_or(f64::NAN);
+            let hv = hm.get(k).copied().unwrap_or(f64::NAN);
+            prop_assert!((v - rv).abs() < 1e-9, "RDIL score for {}: {} vs {}", k, v, rv);
+            prop_assert!((v - hv).abs() < 1e-9, "HDIL score for {}: {} vs {}", k, v, hv);
+        }
+    }
+
+    #[test]
+    fn naive_result_set_is_the_ancestor_closure(
+        trees in proptest::collection::vec(tree_strategy(), 1..3),
+        kws in proptest::collection::vec(0u8..6, 1..3),
+    ) {
+        let (c, postings) = build(&trees);
+        let scores: Vec<f64> = vec![1.0 / c.element_count() as f64; c.element_count()];
+        let naive = naive_postings(&c, &scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let dil = DilIndex::build(&mut pool, &postings);
+        let nid = NaiveIdIndex::build(&mut pool, &naive);
+
+        let mut seen = HashSet::new();
+        let terms: Vec<TermId> = kws
+            .iter()
+            .filter(|w| seen.insert(**w))
+            .filter_map(|w| c.vocabulary().lookup(&format!("w{w}")))
+            .collect();
+        prop_assume!(terms.len() == seen.len());
+
+        let opts = QueryOptions { top_m: 10_000, ..Default::default() };
+        let d = dil_query::evaluate(&mut pool, &dil, &terms, &opts);
+        let n = naive_query::evaluate_id(&mut pool, &nid, &c, &terms, &opts);
+
+        let naive_set: HashSet<DeweyId> = n.results.iter().map(|x| x.dewey.clone()).collect();
+        let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
+
+        // Naive = { e | subtree(e) contains all keywords } ⊇ Result(Q),
+        // and every naive element is a result or an ancestor of one.
+        for r in &dil_set {
+            prop_assert!(naive_set.contains(r), "naive missing real result {}", r);
+        }
+        for e in &naive_set {
+            let ok = dil_set.contains(e)
+                || dil_set.iter().any(|r| e.is_ancestor_of(r));
+            prop_assert!(ok, "naive element {} is not an ancestor of any result", e);
+        }
+    }
+}
