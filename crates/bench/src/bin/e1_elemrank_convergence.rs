@@ -7,6 +7,11 @@
 //! Paper: 143MB DBLP converged within 10 minutes, 113MB XMark within 5,
 //! threshold 0.00002, d = (0.35, 0.25, 0.25), on a 2.8GHz Pentium IV.
 //!
+//! Also sweeps the pull-kernel worker-thread count on both datasets and
+//! writes per-thread-count wall time and iterations to
+//! `BENCH_elemrank.json` (override the path with `BENCH_ELEMRANK_OUT`);
+//! `scripts/bench_elemrank.sh` wraps this.
+//!
 //! ```sh
 //! cargo run --release -p xrank-bench --bin e1_elemrank_convergence [--sweep]
 //! ```
@@ -14,8 +19,8 @@
 use std::time::Instant;
 use xrank_bench::table::{mb, Table};
 use xrank_bench::{fixture, BenchConfig, DatasetKind};
-use xrank_graph::CollectionBuilder;
-use xrank_rank::{compute, elem_rank, ElemRankParams, RankVariant};
+use xrank_graph::{Collection, CollectionBuilder};
+use xrank_rank::{compute, elem_rank, ElemRankParams, IterationParams, RankGraph, RankVariant};
 
 fn build_collection(dataset: DatasetKind) -> (xrank_graph::Collection, usize) {
     let config = BenchConfig { plant: None, ..BenchConfig::space(dataset) };
@@ -63,6 +68,8 @@ fn main() {
          offline-feasible cost, which the table above confirms.\n"
     );
 
+    thread_sweep(&collections);
+
     if sweep {
         println!("E1b — (d1, d2, d3) sweep (paper: “does not have a significant \
                   effect on algorithm convergence time”):\n");
@@ -91,5 +98,106 @@ fn main() {
             ]);
         }
         println!("{}", st.render());
+    }
+}
+
+/// Thread counts to benchmark: powers of two up to the machine's
+/// parallelism, always at least {1, 2} so the emitted JSON demonstrates a
+/// multi-threaded data point even on constrained machines.
+fn sweep_thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut counts: Vec<usize> = [1usize, 2, 4, 8, 16, hw]
+        .into_iter()
+        .filter(|&t| t <= hw.max(2))
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    if counts.len() < 2 {
+        counts.push(2);
+    }
+    counts
+}
+
+/// E1c — pull-kernel thread scaling. The CSR graph is built once per
+/// dataset; each thread count runs the full power iteration three times
+/// and keeps the best wall time. Results go to `BENCH_elemrank.json`.
+fn thread_sweep(collections: &[(String, Collection)]) {
+    let params = ElemRankParams::default();
+    let counts = sweep_thread_counts();
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "E1c — pull-kernel thread scaling (threads {counts:?}, best of 3 runs, \
+         {hw} hardware thread(s)):\n"
+    );
+    if hw < 2 {
+        println!(
+            "note: single hardware thread — multi-threaded runs can only \
+             timeshare, so expect parity at best; the sweep still verifies \
+             determinism and overhead.\n"
+        );
+    }
+
+    let mut t = Table::new(vec!["dataset", "threads", "iterations", "time", "speedup"]);
+    let mut dataset_blocks: Vec<String> = Vec::new();
+    for (label, c) in collections {
+        let t0 = Instant::now();
+        let graph = RankGraph::from_collection(c, &RankVariant::Final(params));
+        let build_seconds = t0.elapsed().as_secs_f64();
+
+        let mut runs: Vec<String> = Vec::new();
+        let mut single_thread_time = 0.0f64;
+        for &threads in &counts {
+            let mut best = f64::INFINITY;
+            let mut iterations = 0usize;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = graph.power_iterate(&IterationParams {
+                    epsilon: params.epsilon,
+                    max_iterations: params.max_iterations,
+                    threads,
+                });
+                best = best.min(t0.elapsed().as_secs_f64());
+                iterations = r.iterations;
+                assert!(r.converged, "{label}: no convergence at {threads} threads");
+            }
+            if threads == 1 {
+                single_thread_time = best;
+            }
+            let speedup = single_thread_time / best;
+            t.row(vec![
+                label.clone(),
+                threads.to_string(),
+                iterations.to_string(),
+                format!("{:.1} ms", best * 1e3),
+                format!("{speedup:.2}x"),
+            ]);
+            runs.push(format!(
+                "{{\"threads\": {threads}, \"seconds\": {best:.6}, \
+                 \"iterations\": {iterations}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+        dataset_blocks.push(format!(
+            "{{\"dataset\": \"{label}\", \"elements\": {}, \"edges\": {}, \
+             \"build_seconds\": {build_seconds:.6}, \"runs\": [{}]}}",
+            graph.len(),
+            graph.edge_count(),
+            runs.join(", ")
+        ));
+    }
+    println!("{}", t.render());
+
+    let json = format!(
+        "{{\n  \"bench\": \"elemrank_threads\",\n  \"epsilon\": {},\n  \
+         \"variant\": \"Final(d1=0.35, d2=0.25, d3=0.25)\",\n  \
+         \"hardware_threads\": {hw},\n  \
+         \"datasets\": [\n    {}\n  ]\n}}\n",
+        params.epsilon,
+        dataset_blocks.join(",\n    ")
+    );
+    let out = std::env::var("BENCH_ELEMRANK_OUT")
+        .unwrap_or_else(|_| "BENCH_elemrank.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("thread-sweep results written to {out}\n"),
+        Err(e) => eprintln!("could not write {out}: {e}\n"),
     }
 }

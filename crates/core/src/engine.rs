@@ -98,6 +98,17 @@ impl EngineBuilder {
         EngineBuilder { config, collection, html_docs: HashSet::new() }
     }
 
+    /// Sets the worker-thread count for the ElemRank power iteration run
+    /// at build time: `0` auto-detects (the `XRANK_THREADS` env var if
+    /// set, else available parallelism scaled to the collection size),
+    /// `1` forces the exact single-threaded computation. Scores are
+    /// deterministic regardless of the value (see DESIGN.md, "ElemRank
+    /// kernel").
+    pub fn rank_threads(mut self, threads: usize) -> Self {
+        self.config.rank_params.threads = threads;
+        self
+    }
+
     /// Adds an XML document.
     pub fn add_xml(&mut self, uri: &str, xml: &str) -> Result<(), xrank_xml::XmlError> {
         self.collection.add_xml_str(uri, xml)?;
@@ -434,5 +445,29 @@ impl<S: PageStore> XRankEngine<S> {
             naive_rank,
             html_docs,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The thread knob reaches the rank kernel and does not perturb the
+    /// computed ElemRanks (within the cross-thread-count tolerance).
+    #[test]
+    fn rank_threads_plumbs_through_without_changing_scores() {
+        let xml = r#"<r><a id="1"><b>alpha beta</b><c>gamma</c></a><d ref="1">cite</d></r>"#;
+        let build = |threads: usize| {
+            let mut b = EngineBuilder::new().rank_threads(threads);
+            b.add_xml("doc", xml).unwrap();
+            b.build()
+        };
+        let single = build(1);
+        assert_eq!(single.config().rank_params.threads, 1);
+        let dual = build(2);
+        assert_eq!(dual.config().rank_params.threads, 2);
+        let (a, b) = (&single.rank_result().scores, &dual.rank_result().scores);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-12));
     }
 }

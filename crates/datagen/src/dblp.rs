@@ -82,7 +82,7 @@ pub fn generate(config: &DblpConfig) -> Dataset {
 
     for i in 0..n {
         let mut xml = String::with_capacity(600);
-        let year = 1985 + (i * 19) % 19 + rng.random_range(0..2);
+        let year = 1985 + (i * 19) % 19 + rng.random_range(0..2usize);
         let kind = if i % 3 == 0 { "inproceedings" } else { "article" };
         let _ = write!(xml, r#"<{kind} key="pub{i}" year="{year}">"#);
 
@@ -94,7 +94,7 @@ pub fn generate(config: &DblpConfig) -> Dataset {
         }
 
         let mut title = String::new();
-        let title_len = 6 + rng.random_range(0..6);
+        let title_len = 6 + rng.random_range(0..6usize);
         model.sentence(&mut rng, title_len, &mut title);
         if let Some(p) = &planter {
             for word in p.inject(i) {

@@ -113,7 +113,7 @@ pub fn generate(config: &XmarkConfig) -> Dataset {
         let mut name = String::new();
         model.sentence(&mut rng, 2, &mut name);
         let mut desc = String::new();
-        let desc_len = 10 + rng.random_range(0..10);
+        let desc_len = 10 + rng.random_range(0..10usize);
         model.sentence(&mut rng, desc_len, &mut desc);
         let _ = write!(
             xml,
@@ -166,7 +166,7 @@ pub fn generate(config: &XmarkConfig) -> Dataset {
             );
         }
         let mut anno = String::new();
-        let anno_len = 15 + rng.random_range(0..25);
+        let anno_len = 15 + rng.random_range(0..25usize);
         model.sentence(&mut rng, anno_len, &mut anno);
         inject(&planter, &mut slot, &mut anno);
         let _ = write!(
@@ -184,7 +184,7 @@ pub fn generate(config: &XmarkConfig) -> Dataset {
         let seller = rng.random_range(0..c.people);
         let buyer = rng.random_range(0..c.people);
         let mut anno = String::new();
-        let anno_len = 10 + rng.random_range(0..20);
+        let anno_len = 10 + rng.random_range(0..20usize);
         model.sentence(&mut rng, anno_len, &mut anno);
         inject(&planter, &mut slot, &mut anno);
         let _ = write!(
@@ -219,14 +219,14 @@ fn write_item(
     rng: &mut StdRng,
 ) {
     let mut name = String::new();
-    let name_len = 1 + rng.random_range(0..3);
+    let name_len = 1 + rng.random_range(0..3usize);
     model.sentence(rng, name_len, &mut name);
     let mut para1 = String::new();
-    let para1_len = 20 + rng.random_range(0..40);
+    let para1_len = 20 + rng.random_range(0..40usize);
     model.sentence(rng, para1_len, &mut para1);
     inject(planter, slot, &mut para1);
     let mut para2 = String::new();
-    let para2_len = 10 + rng.random_range(0..20);
+    let para2_len = 10 + rng.random_range(0..20usize);
     model.sentence(rng, para2_len, &mut para2);
     let quantity = 1 + rng.random_range(0..5);
     // The nested parlist/listitem chain is what gives XMark its depth-10

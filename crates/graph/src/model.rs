@@ -123,6 +123,43 @@ impl Collection {
         self.elements.iter().map(|e| e.links_out.len()).sum()
     }
 
+    /// Total number of containment edges, `|CE|` (equivalently, the number
+    /// of non-root elements).
+    pub fn containment_count(&self) -> usize {
+        self.elements.iter().map(|e| e.children.len()).sum()
+    }
+
+    /// An element's resolved outgoing hyperlink targets.
+    pub fn links_from(&self, id: ElemId) -> &[ElemId] {
+        &self.elements[id as usize].links_out
+    }
+
+    /// An element's children in document order.
+    pub fn children_of(&self, id: ElemId) -> &[ElemId] {
+        &self.elements[id as usize].children
+    }
+
+    /// An element's parent (`None` for document roots).
+    pub fn parent_of(&self, id: ElemId) -> Option<ElemId> {
+        self.elements[id as usize].parent
+    }
+
+    /// The three out-degree figures of the ElemRank formulas in one probe:
+    /// `(N_h, N_c, has_parent)` — hyperlinks out, children, and whether a
+    /// reverse containment edge exists. Lets a rank-graph builder size CSR
+    /// rows in a single sweep without touching the edge `Vec`s twice.
+    pub fn out_degrees(&self, id: ElemId) -> (usize, usize, bool) {
+        let e = &self.elements[id as usize];
+        (e.links_out.len(), e.children.len(), e.parent.is_some())
+    }
+
+    /// Upper bound on the total directed edge count of the ElemRank
+    /// navigation graph: `|HE| + 2·|CE|` (every containment edge appears
+    /// forward and reverse). Used to pre-size flattened edge arrays.
+    pub fn nav_edge_bound(&self) -> usize {
+        self.hyperlink_count() + 2 * self.containment_count()
+    }
+
     /// Finds the element with exactly this Dewey ID via binary search
     /// (elements are stored in Dewey order).
     pub fn elem_by_dewey(&self, dewey: &DeweyId) -> Option<ElemId> {

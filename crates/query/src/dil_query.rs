@@ -36,6 +36,13 @@ impl StackEntry {
     fn has_all(&self) -> bool {
         self.pos_lists.iter().all(|l| !l.is_empty())
     }
+
+    /// Clears the frame for reuse, keeping every buffer's capacity.
+    fn reset(&mut self) {
+        self.ranks.iter_mut().for_each(|r| *r = 0.0);
+        self.pos_lists.iter_mut().for_each(Vec::clear);
+        self.contains_all = false;
+    }
 }
 
 /// The rank one posting contributes at its own element (distance 0):
@@ -73,24 +80,29 @@ pub fn evaluate<S: PageStore>(
 
     let mut stack: Vec<StackEntry> = Vec::new();
     let mut path: Vec<u32> = Vec::new();
+    // Retired frames, reset and ready for reuse: the merge pushes and pops
+    // one frame per Dewey component, so recycling them keeps the hot loop
+    // allocation-free once the deepest path has been visited.
+    let mut spare: Vec<StackEntry> = Vec::new();
 
     // Pops one frame, emitting it as a result when appropriate and
     // propagating to its parent per lines 12-24 of Figure 5.
     let pop = |stack: &mut Vec<StackEntry>,
                path: &mut Vec<u32>,
                heap: &mut TopM,
+               spare: &mut Vec<StackEntry>,
                opts: &QueryOptions| {
         let mut entry = stack.pop().expect("pop on non-empty stack");
-        let dewey = DeweyId::from_components(path.clone());
-        path.pop();
 
         // Frames shallower than [doc, root] are bookkeeping, not elements.
-        if entry.has_all() && dewey.len() >= 2 {
-            let refs: Vec<&[u32]> = entry.pos_lists.iter().map(|l| l.as_slice()).collect();
-            let score = opts.overall_rank(&entry.ranks, &refs);
-            heap.offer(dewey, score);
+        // The Dewey ID is materialized only for actual results; scoring
+        // reads the frame's position lists in place.
+        if entry.has_all() && path.len() >= 2 {
+            let score = opts.overall_rank(&entry.ranks, &entry.pos_lists);
+            heap.offer(DeweyId::from(path.as_slice()), score);
             entry.contains_all = true;
         }
+        path.pop();
         if let Some(parent) = stack.last_mut() {
             if entry.contains_all {
                 parent.contains_all = true;
@@ -103,6 +115,8 @@ pub fn evaluate<S: PageStore>(
                 }
             }
         }
+        entry.reset();
+        spare.push(entry);
     };
 
     loop {
@@ -129,12 +143,13 @@ pub fn evaluate<S: PageStore>(
 
         // Lines 12-24: pop non-matching frames.
         while stack.len() > lcp {
-            pop(&mut stack, &mut path, &mut heap, opts);
+            pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
         }
 
-        // Lines 25-28: push the non-matching suffix.
+        // Lines 25-28: push the non-matching suffix (reusing retired
+        // frames instead of allocating fresh ones).
         for &component in &current.dewey.components()[lcp..] {
-            stack.push(StackEntry::new(n));
+            stack.push(spare.pop().unwrap_or_else(|| StackEntry::new(n)));
             path.push(component);
         }
 
@@ -148,7 +163,7 @@ pub fn evaluate<S: PageStore>(
 
     // Line 33: flush.
     while !stack.is_empty() {
-        pop(&mut stack, &mut path, &mut heap, opts);
+        pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
     }
 
     QueryOutcome { results: heap.into_sorted(), stats }

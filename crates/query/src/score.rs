@@ -75,8 +75,10 @@ impl Default for QueryOptions {
 
 impl QueryOptions {
     /// Computes the proximity factor for per-keyword relevant position
-    /// lists (each must be non-empty and ascending).
-    pub fn proximity_factor(&self, pos_lists: &[&[u32]]) -> f64 {
+    /// lists (each must be non-empty and ascending). Generic over the list
+    /// representation so callers can pass `&[Vec<u32>]` holders directly
+    /// instead of materializing a `Vec<&[u32]>` per scored element.
+    pub fn proximity_factor<L: AsRef<[u32]>>(&self, pos_lists: &[L]) -> f64 {
         match self.proximity {
             Proximity::One => 1.0,
             Proximity::MinWindow => {
@@ -102,7 +104,7 @@ impl QueryOptions {
 
     /// The overall rank `R(v₁, Q)` from per-keyword aggregated ranks and
     /// relevant positions: `Σ wᵢ · r̂(v₁, kᵢ)`, scaled by proximity.
-    pub fn overall_rank(&self, keyword_ranks: &[f64], pos_lists: &[&[u32]]) -> f64 {
+    pub fn overall_rank<L: AsRef<[u32]>>(&self, keyword_ranks: &[f64], pos_lists: &[L]) -> f64 {
         let sum: f64 = keyword_ranks
             .iter()
             .enumerate()
@@ -115,15 +117,15 @@ impl QueryOptions {
 /// Smallest window (in words, inclusive span) containing at least one
 /// position from every list. Classic k-list sliding window over the merged
 /// position sequence. Returns `None` when some list is empty.
-pub fn min_window(pos_lists: &[&[u32]]) -> Option<u64> {
+pub fn min_window<L: AsRef<[u32]>>(pos_lists: &[L]) -> Option<u64> {
     let k = pos_lists.len();
-    if pos_lists.iter().any(|l| l.is_empty()) {
+    if pos_lists.iter().any(|l| l.as_ref().is_empty()) {
         return None;
     }
     // Merge (position, list) pairs.
     let mut merged: Vec<(u32, usize)> = Vec::new();
     for (i, list) in pos_lists.iter().enumerate() {
-        for &p in *list {
+        for &p in list.as_ref() {
             merged.push((p, i));
         }
     }
@@ -265,7 +267,9 @@ mod tests {
 
     #[test]
     fn min_window_empty_list_is_none() {
-        assert_eq!(min_window(&[&[1, 2], &[]]), None);
+        let full: &[u32] = &[1, 2];
+        let empty: &[u32] = &[];
+        assert_eq!(min_window(&[full, empty]), None);
     }
 
     #[test]

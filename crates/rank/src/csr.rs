@@ -1,0 +1,612 @@
+//! The pull-based CSR rank kernel.
+//!
+//! [`RankGraph`] flattens a rank problem — any [`RankVariant`] over a
+//! [`Collection`], or the document-level PageRank graph — into a
+//! compressed-sparse-row matrix **transposed to in-edges**: for each target
+//! vertex `v`, a contiguous slice of `(source, weight)` pairs such that one
+//! power-iteration step is
+//!
+//! ```text
+//! next[v] = base · jump[v] + Σ over in-edges (s, w) of v:  w · scores[s]
+//! base    = (1 − Σd) + Σd · Σ over dangling s: scores[s]
+//! ```
+//!
+//! Pulling (gather) instead of pushing (scatter) makes row computations
+//! independent: the vertex range can be partitioned across threads with no
+//! atomics and no write contention, and each row accumulates its in-edges
+//! in a fixed order, so scores are **bit-for-bit identical for every
+//! thread count** (only the L1 residual is reduced per-chunk, which can
+//! perturb the *stopping* decision across thread counts by ~1 ulp; see
+//! DESIGN.md "ElemRank kernel" for the tolerance contract).
+//!
+//! All per-variant edge weights are precomputed once at graph-build time
+//! (the missing-class probability re-splits of Section 3.1 happen here,
+//! not in the iteration), so the hot loop is a pure sparse
+//! matrix-times-vector sweep over contiguous arrays.
+
+use crate::elemrank::{RankResult, RankVariant};
+use xrank_graph::Collection;
+
+/// Hard cap on an explicitly requested worker count; requests beyond it
+/// are a configuration error ([`crate::ElemRankParams::validate`]).
+pub const MAX_THREADS: usize = 4096;
+
+/// A rank computation flattened to transposed CSR form. Immutable once
+/// built; [`RankGraph::power_iterate`] can be run many times (e.g. with
+/// different thread counts) against the same graph.
+pub struct RankGraph {
+    /// Vertex count.
+    n: usize,
+    /// Row offsets into `src`/`weight`, length `n + 1`; row `v` holds the
+    /// in-edges of vertex `v`.
+    row_ptr: Vec<usize>,
+    /// Edge sources, row-major.
+    src: Vec<u32>,
+    /// Mass fraction each edge carries per unit of source score.
+    weight: Vec<f64>,
+    /// Vertices with no outgoing navigation options: their whole
+    /// navigation mass rejoins the random jump every iteration.
+    dangling: Vec<u32>,
+    /// Total navigation probability (`d` or `d1 + d2 + d3`).
+    total_nav: f64,
+    /// Random-jump distribution; sums to 1.
+    jump: Vec<f64>,
+}
+
+/// Iteration controls for [`RankGraph::power_iterate`].
+#[derive(Debug, Clone, Copy)]
+pub struct IterationParams {
+    /// Convergence threshold on the L1 change between iterates.
+    pub epsilon: f64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+    /// Worker threads; must already be resolved (≥ 1).
+    pub threads: usize,
+}
+
+impl RankGraph {
+    /// Flattens `collection` under `variant` into pull-form CSR. One sweep
+    /// sizes the rows from [`Collection::out_degrees`], a second fills
+    /// them; per-target in-edge order is `(source, source-emission-order)`,
+    /// which is what fixes the floating-point accumulation order.
+    pub fn from_collection(collection: &Collection, variant: &RankVariant) -> RankGraph {
+        let n = collection.element_count();
+        let total_nav = variant_total_nav(variant);
+        let jump = build_jump(collection, variant);
+        let mut builder = CsrBuilder::new(n, collection.nav_edge_bound());
+        builder.count_pass(|emit| for_each_nav_edge(collection, variant, emit));
+        builder.fill_pass(|emit| for_each_nav_edge(collection, variant, emit));
+        builder.finish(total_nav, jump)
+    }
+
+    /// Builds a rank graph from explicit weighted edges over `n` vertices
+    /// (used for the document-level PageRank graph). `edges` is invoked
+    /// twice and must enumerate identically both times, passing each
+    /// `(source, target, unit_weight)` to its callback; a source's weights
+    /// must sum to `total_nav` (or it must emit nothing, making the source
+    /// dangling).
+    pub fn from_edges<F>(n: usize, total_nav: f64, jump: Vec<f64>, edges: F) -> RankGraph
+    where
+        F: Fn(&mut dyn FnMut(u32, u32, f64)),
+    {
+        assert_eq!(jump.len(), n);
+        let mut builder = CsrBuilder::new(n, 0);
+        builder.count_pass(&edges);
+        builder.fill_pass(&edges);
+        builder.finish(total_nav, jump)
+    }
+
+    /// Vertex count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Directed edge count of the flattened navigation graph.
+    pub fn edge_count(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Number of dangling (no-outgoing-option) vertices.
+    pub fn dangling_count(&self) -> usize {
+        self.dangling.len()
+    }
+
+    /// Runs the power iteration from the random-jump distribution until
+    /// the L1 residual falls below `params.epsilon` or the iteration cap
+    /// is hit. Scores are identical for every `params.threads` (see module
+    /// docs for the one caveat on the stopping test).
+    pub fn power_iterate(&self, params: &IterationParams) -> RankResult {
+        let n = self.n;
+        if n == 0 {
+            return RankResult { scores: Vec::new(), iterations: 0, converged: true, residual: 0.0 };
+        }
+        let threads = params.threads.clamp(1, n);
+        let chunk = n.div_ceil(threads);
+
+        let mut scores = self.jump.clone();
+        let mut next = vec![0.0f64; n];
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+
+        while iterations < params.max_iterations {
+            iterations += 1;
+
+            // Dangling navigation mass rejoins the random jump. Summed
+            // sequentially in vertex order so `base` — and therefore every
+            // score — is independent of the thread count.
+            let dangling_mass: f64 =
+                self.dangling.iter().map(|&v| scores[v as usize]).sum();
+            let base = 1.0 - self.total_nav + self.total_nav * dangling_mass;
+
+            residual = if threads == 1 {
+                self.sweep_rows(0, &scores, &mut next, base)
+            } else {
+                // Row-parallel pull: disjoint `next` chunks, shared
+                // read-only `scores`. No atomics needed. The calling
+                // thread takes the first chunk itself instead of blocking
+                // in join, so `t` threads cost only `t - 1` spawns.
+                let scores_ref = &scores;
+                let partials: Vec<f64> = std::thread::scope(|scope| {
+                    let mut chunks = next.chunks_mut(chunk).enumerate();
+                    let (_, first_chunk) = chunks.next().expect("n > 0");
+                    let handles: Vec<_> = chunks
+                        .map(|(i, next_chunk)| {
+                            scope.spawn(move || {
+                                self.sweep_rows(i * chunk, scores_ref, next_chunk, base)
+                            })
+                        })
+                        .collect();
+                    let mut out = Vec::with_capacity(threads);
+                    out.push(self.sweep_rows(0, scores_ref, first_chunk, base));
+                    out.extend(
+                        handles.into_iter().map(|h| h.join().expect("rank worker panicked")),
+                    );
+                    out
+                });
+                // Fixed reduction order: deterministic per thread count.
+                partials.into_iter().sum()
+            };
+
+            std::mem::swap(&mut scores, &mut next);
+            if residual < params.epsilon {
+                return RankResult { scores, iterations, converged: true, residual };
+            }
+        }
+        RankResult { scores, iterations, converged: false, residual }
+    }
+
+    /// Computes `next[v]` for the row range starting at `first_row` and
+    /// spanning `out.len()` rows, returning the chunk's L1 residual. The
+    /// residual is fused into the same sweep (satellite of the push→pull
+    /// rewrite): one pass reads, writes and diffs each vertex once.
+    fn sweep_rows(&self, first_row: usize, scores: &[f64], out: &mut [f64], base: f64) -> f64 {
+        let mut res = 0.0f64;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let v = first_row + k;
+            let (lo, hi) = (self.row_ptr[v], self.row_ptr[v + 1]);
+            let mut acc = base * self.jump[v];
+            for e in lo..hi {
+                acc += self.weight[e] * scores[self.src[e] as usize];
+            }
+            res += (acc - scores[v]).abs();
+            *slot = acc;
+        }
+        res
+    }
+}
+
+/// Total navigation probability of a variant.
+pub(crate) fn variant_total_nav(variant: &RankVariant) -> f64 {
+    match *variant {
+        RankVariant::PageRankAdapted { d } | RankVariant::Bidirectional { d } => d,
+        RankVariant::Discriminated { d1, d2 } => d1 + d2,
+        RankVariant::Final(p) => p.total_damping(),
+    }
+}
+
+/// Random-jump distribution for a variant (Section 3.1 / 3.2): the final
+/// formula picks a document uniformly, then an element within it; the
+/// pre-final refinements jump uniformly over all elements.
+fn build_jump(collection: &Collection, variant: &RankVariant) -> Vec<f64> {
+    let n = collection.element_count();
+    match variant {
+        RankVariant::Final(_) => {
+            let nd = collection.doc_count() as f64;
+            (0..n as u32)
+                .map(|e| {
+                    let doc = collection.element(e).doc;
+                    1.0 / (nd * collection.doc(doc).element_count as f64)
+                })
+                .collect()
+        }
+        _ => vec![1.0 / n.max(1) as f64; n],
+    }
+}
+
+/// Enumerates every navigation edge of `collection` under `variant` as
+/// `(source, target, unit_weight)`, in a fixed order (sources ascending;
+/// per source: hyperlinks, then children, then parent). Unit weights
+/// incorporate the missing-class re-split of Section 3.1, so per-source
+/// they sum to the variant's total navigation probability — or to nothing
+/// for dangling sources, which emit no edges at all.
+fn for_each_nav_edge(
+    collection: &Collection,
+    variant: &RankVariant,
+    emit: &mut dyn FnMut(u32, u32, f64),
+) {
+    let n = collection.element_count() as u32;
+    for u in 0..n {
+        let (nh, nc, has_parent) = collection.out_degrees(u);
+        match *variant {
+            RankVariant::PageRankAdapted { d } => {
+                let out = nh + nc;
+                if out == 0 {
+                    continue;
+                }
+                let w = d / out as f64;
+                for &t in collection.links_from(u) {
+                    emit(u, t, w);
+                }
+                for &c in collection.children_of(u) {
+                    emit(u, c, w);
+                }
+            }
+            RankVariant::Bidirectional { d } => {
+                let out = nh + nc + usize::from(has_parent);
+                if out == 0 {
+                    continue;
+                }
+                let w = d / out as f64;
+                for &t in collection.links_from(u) {
+                    emit(u, t, w);
+                }
+                for &c in collection.children_of(u) {
+                    emit(u, c, w);
+                }
+                if let Some(p) = collection.parent_of(u) {
+                    emit(u, p, w);
+                }
+            }
+            RankVariant::Discriminated { d1, d2 } => {
+                let n_cont = nc + usize::from(has_parent);
+                let w1 = if nh > 0 { d1 } else { 0.0 };
+                let w2 = if n_cont > 0 { d2 } else { 0.0 };
+                let avail = w1 + w2;
+                if avail == 0.0 {
+                    continue;
+                }
+                let scale = (d1 + d2) / avail;
+                if nh > 0 {
+                    let w = w1 * scale / nh as f64;
+                    for &t in collection.links_from(u) {
+                        emit(u, t, w);
+                    }
+                }
+                if n_cont > 0 {
+                    let w = w2 * scale / n_cont as f64;
+                    for &c in collection.children_of(u) {
+                        emit(u, c, w);
+                    }
+                    if let Some(p) = collection.parent_of(u) {
+                        emit(u, p, w);
+                    }
+                }
+            }
+            RankVariant::Final(p) => {
+                let w1 = if nh > 0 { p.d1 } else { 0.0 };
+                let w2 = if nc > 0 { p.d2 } else { 0.0 };
+                let w3 = if has_parent { p.d3 } else { 0.0 };
+                let avail = w1 + w2 + w3;
+                if avail == 0.0 {
+                    continue;
+                }
+                let scale = p.total_damping() / avail;
+                if nh > 0 {
+                    let w = w1 * scale / nh as f64;
+                    for &t in collection.links_from(u) {
+                        emit(u, t, w);
+                    }
+                }
+                if nc > 0 {
+                    let w = w2 * scale / nc as f64;
+                    for &c in collection.children_of(u) {
+                        emit(u, c, w);
+                    }
+                }
+                if let Some(parent) = collection.parent_of(u) {
+                    // Aggregate reverse containment: the full d3 share.
+                    emit(u, parent, w3 * scale);
+                }
+            }
+        }
+    }
+}
+
+/// Two-pass transposing CSR assembler: `count_pass` sizes the rows,
+/// `fill_pass` places `(src, weight)` pairs with per-row cursors. Because
+/// both passes see edges in the same order, row contents end up sorted by
+/// `(source, emission order)` — the fixed accumulation order the
+/// determinism contract relies on.
+struct CsrBuilder {
+    n: usize,
+    row_ptr: Vec<usize>,
+    src: Vec<u32>,
+    weight: Vec<f64>,
+    cursor: Vec<usize>,
+    has_out: Vec<bool>,
+    edge_capacity: usize,
+    counted: bool,
+}
+
+impl CsrBuilder {
+    fn new(n: usize, edge_capacity: usize) -> CsrBuilder {
+        CsrBuilder {
+            n,
+            row_ptr: vec![0usize; n + 1],
+            src: Vec::new(),
+            weight: Vec::new(),
+            cursor: Vec::new(),
+            has_out: vec![false; n],
+            edge_capacity,
+            counted: false,
+        }
+    }
+
+    fn count_pass<F: Fn(&mut dyn FnMut(u32, u32, f64))>(&mut self, edges: F) {
+        debug_assert!(!self.counted);
+        edges(&mut |s, t, _w| {
+            self.row_ptr[t as usize + 1] += 1;
+            self.has_out[s as usize] = true;
+        });
+        for v in 0..self.n {
+            self.row_ptr[v + 1] += self.row_ptr[v];
+        }
+        let m = self.row_ptr[self.n];
+        debug_assert!(self.edge_capacity == 0 || m <= self.edge_capacity);
+        self.src = vec![0u32; m];
+        self.weight = vec![0.0f64; m];
+        self.cursor = self.row_ptr[..self.n].to_vec();
+        self.counted = true;
+    }
+
+    fn fill_pass<F: Fn(&mut dyn FnMut(u32, u32, f64))>(&mut self, edges: F) {
+        debug_assert!(self.counted);
+        edges(&mut |s, t, w| {
+            let slot = self.cursor[t as usize];
+            self.src[slot] = s;
+            self.weight[slot] = w;
+            self.cursor[t as usize] += 1;
+        });
+        debug_assert!(
+            (0..self.n).all(|v| self.cursor[v] == self.row_ptr[v + 1]),
+            "fill pass enumerated different edges than count pass"
+        );
+    }
+
+    fn finish(self, total_nav: f64, jump: Vec<f64>) -> RankGraph {
+        let dangling = (0..self.n as u32).filter(|&v| !self.has_out[v as usize]).collect();
+        RankGraph {
+            n: self.n,
+            row_ptr: self.row_ptr,
+            src: self.src,
+            weight: self.weight,
+            dangling,
+            total_nav,
+            jump,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elemrank::tests::compute_scatter_reference;
+    use crate::{ElemRankParams, RankVariant};
+    use proptest::prelude::*;
+    use xrank_graph::CollectionBuilder;
+
+    /// Random linked XML forests: internal nodes carry `id` attributes,
+    /// leaves sometimes carry `ref` attributes pointing at (possibly
+    /// missing) ids, so the built collections mix containment edges,
+    /// resolved hyperlinks, unresolved links and dangling elements.
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(u8, u8),
+        Node(u8, Vec<Tree>),
+    }
+
+    fn tree() -> impl Strategy<Value = Tree> {
+        let leaf = (any::<u8>(), any::<u8>()).prop_map(|(w, r)| Tree::Leaf(w, r));
+        leaf.prop_recursive(4, 24, 4, |inner| {
+            (any::<u8>(), proptest::collection::vec(inner, 0..4))
+                .prop_map(|(tag, kids)| Tree::Node(tag, kids))
+        })
+    }
+
+    fn render(t: &Tree, out: &mut String) {
+        match t {
+            Tree::Leaf(w, r) => {
+                let w = w % 16;
+                if *r < 160 {
+                    out.push_str(&format!(
+                        "<leaf{w} ref=\"x{r}\">word{w}</leaf{w}>",
+                        r = r % 24 // targets x16..x23 never exist: unresolved
+                    ));
+                } else {
+                    out.push_str(&format!("<leaf{w}>word{w}</leaf{w}>"));
+                }
+            }
+            Tree::Node(tag, kids) => {
+                let tag = tag % 16;
+                out.push_str(&format!("<n{tag} id=\"x{tag}\">"));
+                for k in kids {
+                    render(k, out);
+                }
+                out.push_str(&format!("</n{tag}>"));
+            }
+        }
+    }
+
+    fn build(trees: &[Tree]) -> Collection {
+        let mut b = CollectionBuilder::new();
+        for (i, t) in trees.iter().enumerate() {
+            let mut xml = String::from("<root>");
+            render(t, &mut xml);
+            xml.push_str("</root>");
+            b.add_xml_str(&format!("doc{i}"), &xml).unwrap();
+        }
+        b.build()
+    }
+
+    fn variants() -> [RankVariant; 4] {
+        [
+            RankVariant::PageRankAdapted { d: 0.85 },
+            RankVariant::Bidirectional { d: 0.85 },
+            RankVariant::Discriminated { d1: 0.45, d2: 0.40 },
+            RankVariant::Final(ElemRankParams::default()),
+        ]
+    }
+
+    fn iteration_params(variant: &RankVariant, threads: usize) -> IterationParams {
+        let (epsilon, max_iterations) = match variant {
+            RankVariant::Final(p) => (p.epsilon, p.max_iterations),
+            _ => (2e-5, 500),
+        };
+        IterationParams { epsilon, max_iterations, threads }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// The tentpole equivalence property: for every variant, the pull
+        /// kernel matches the legacy push/scatter oracle within 1e-12 per
+        /// element, and threads ∈ {2, 4} match threads = 1 — bit-for-bit
+        /// whenever the stopping test fired on the same iteration.
+        #[test]
+        fn pull_kernel_matches_scatter_oracle(
+            trees in proptest::collection::vec(tree(), 1..4)
+        ) {
+            let c = build(&trees);
+            for variant in variants() {
+                let oracle = compute_scatter_reference(&c, variant);
+                let graph = RankGraph::from_collection(&c, &variant);
+                let baseline = graph.power_iterate(&iteration_params(&variant, 1));
+
+                prop_assert_eq!(baseline.scores.len(), oracle.scores.len());
+                prop_assert_eq!(baseline.converged, oracle.converged);
+                for (v, (a, b)) in
+                    baseline.scores.iter().zip(&oracle.scores).enumerate()
+                {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-12,
+                        "{:?}: element {} pull {} vs scatter {}", variant, v, a, b
+                    );
+                }
+
+                for threads in [2usize, 4] {
+                    let mt = graph.power_iterate(&iteration_params(&variant, threads));
+                    for (v, (a, b)) in
+                        mt.scores.iter().zip(&baseline.scores).enumerate()
+                    {
+                        prop_assert!(
+                            (a - b).abs() <= 1e-12,
+                            "{:?}: element {} differs at {} threads: {} vs {}",
+                            variant, v, threads, a, b
+                        );
+                    }
+                    if mt.iterations == baseline.iterations {
+                        prop_assert!(
+                            mt.scores
+                                .iter()
+                                .zip(&baseline.scores)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "{:?}: same iteration count but not bit-identical at {} threads",
+                            variant, threads
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Structural invariants of the flattened graph: per-source weights
+        /// sum to the variant's total navigation probability (or the source
+        /// is dangling), and Bidirectional materializes exactly
+        /// `|HE| + 2·|CE|` edges.
+        #[test]
+        fn csr_weights_are_stochastic(trees in proptest::collection::vec(tree(), 1..3)) {
+            let c = build(&trees);
+            for variant in variants() {
+                let graph = RankGraph::from_collection(&c, &variant);
+                let total = variant_total_nav(&variant);
+                let mut per_source = vec![0.0f64; graph.len()];
+                for (e, &s) in graph.src.iter().enumerate() {
+                    per_source[s as usize] += graph.weight[e];
+                }
+                let mut dangling = 0usize;
+                for (_, w) in per_source.iter().enumerate() {
+                    if *w == 0.0 {
+                        dangling += 1;
+                    } else {
+                        prop_assert!(
+                            (w - total).abs() < 1e-9,
+                            "{:?}: out-weights sum to {} not {}", variant, w, total
+                        );
+                    }
+                }
+                prop_assert_eq!(dangling, graph.dangling_count());
+                if let RankVariant::Bidirectional { .. } = variant {
+                    prop_assert_eq!(graph.edge_count(), c.nav_edge_bound());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph_is_dangling() {
+        let mut b = CollectionBuilder::new();
+        b.add_xml_str("a", "<only/>").unwrap();
+        let c = b.build();
+        let graph =
+            RankGraph::from_collection(&c, &RankVariant::Final(ElemRankParams::default()));
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph.edge_count(), 0);
+        assert_eq!(graph.dangling_count(), 1);
+        let r = graph.power_iterate(&IterationParams {
+            epsilon: 1e-10,
+            max_iterations: 100,
+            threads: 2, // clamped to n = 1
+        });
+        assert!(r.converged);
+        assert!((r.scores[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edges_builds_expected_rows() {
+        // 3 vertices: 0 → 1, 0 → 2, 1 → 2; vertex 2 dangling.
+        let jump = vec![1.0 / 3.0; 3];
+        let graph = RankGraph::from_edges(3, 0.85, jump, |emit| {
+            emit(0, 1, 0.425);
+            emit(0, 2, 0.425);
+            emit(1, 2, 0.85);
+        });
+        assert_eq!(graph.edge_count(), 3);
+        assert_eq!(graph.dangling_count(), 1);
+        assert_eq!(graph.row_ptr, vec![0, 0, 1, 3]);
+        assert_eq!(graph.src, vec![0, 0, 1]);
+        let r = graph.power_iterate(&IterationParams {
+            epsilon: 1e-14,
+            max_iterations: 1000,
+            threads: 1,
+        });
+        assert!(r.converged);
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // 2 has two in-edges and must dominate.
+        assert!(r.scores[2] > r.scores[1] && r.scores[1] > r.scores[0]);
+    }
+}

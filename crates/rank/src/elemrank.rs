@@ -1,6 +1,24 @@
 //! The ElemRank power iteration and its formula variants.
+//!
+//! Since the pull-kernel rewrite, every variant is computed by flattening
+//! the collection into a [`crate::csr::RankGraph`] (transposed CSR with
+//! precomputed per-variant edge weights) and running the shared
+//! multi-threaded pull iteration. The original per-element push/scatter
+//! implementation survives only as the test oracle
+//! ([`tests::compute_scatter_reference`]) that the property tests compare
+//! the kernel against.
 
+use crate::csr::{IterationParams, RankGraph, MAX_THREADS};
 use xrank_graph::Collection;
+
+/// Environment variable overriding the worker-thread count when
+/// [`ElemRankParams::threads`] is `0` (auto). Ignored unless it parses as
+/// a positive integer.
+pub const THREADS_ENV_VAR: &str = "XRANK_THREADS";
+
+/// Auto thread resolution grants one worker per this many vertices, so
+/// small collections never pay thread-startup costs.
+const AUTO_MIN_CHUNK: usize = 2048;
 
 /// Parameters of the final ElemRank formula (paper defaults from
 /// Section 3.2: `d1 = 0.35`, `d2 = 0.25`, `d3 = 0.25`, ε = `0.00002`).
@@ -16,11 +34,24 @@ pub struct ElemRankParams {
     pub epsilon: f64,
     /// Safety cap on iterations.
     pub max_iterations: usize,
+    /// Worker threads for the power iteration: `0` resolves automatically
+    /// (the `XRANK_THREADS` env var if set and valid, else
+    /// `std::thread::available_parallelism`, scaled down for small
+    /// graphs); `1` forces the exact single-threaded computation; any
+    /// other value is used as-is (clamped to the vertex count).
+    pub threads: usize,
 }
 
 impl Default for ElemRankParams {
     fn default() -> Self {
-        ElemRankParams { d1: 0.35, d2: 0.25, d3: 0.25, epsilon: 2e-5, max_iterations: 500 }
+        ElemRankParams {
+            d1: 0.35,
+            d2: 0.25,
+            d3: 0.25,
+            epsilon: 2e-5,
+            max_iterations: 500,
+            threads: 0,
+        }
     }
 }
 
@@ -30,7 +61,8 @@ impl ElemRankParams {
         self.d1 + self.d2 + self.d3
     }
 
-    /// Validates that the parameters define a probability distribution.
+    /// Validates that the parameters define a probability distribution
+    /// and a sane execution configuration.
     pub fn validate(&self) -> Result<(), String> {
         let ds = [self.d1, self.d2, self.d3];
         if ds.iter().any(|d| !(0.0..=1.0).contains(d) || !d.is_finite()) {
@@ -42,8 +74,38 @@ impl ElemRankParams {
         if self.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("epsilon must be positive".into());
         }
+        if self.threads > MAX_THREADS {
+            return Err(format!(
+                "threads = {} exceeds the {MAX_THREADS} cap (0 = auto-detect)",
+                self.threads
+            ));
+        }
         Ok(())
     }
+}
+
+/// Resolves a requested thread count against the graph size: explicit
+/// requests (param, then the `XRANK_THREADS` env var) are honored but
+/// clamped to the vertex count; auto mode uses available parallelism
+/// scaled down so each worker owns at least a few thousand rows. Always
+/// returns at least 1; falls back to 1 when `available_parallelism` is
+/// unavailable on the platform.
+pub fn resolve_threads(requested: usize, n: usize) -> usize {
+    let explicit = if requested > 0 { Some(requested) } else { threads_from_env() };
+    if let Some(t) = explicit {
+        return t.clamp(1, n.max(1));
+    }
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    hw.min((n / AUTO_MIN_CHUNK).max(1)).clamp(1, n.max(1))
+}
+
+/// The `XRANK_THREADS` override, if set to a positive integer. Any other
+/// value (unset, empty, garbage, `0`) yields `None` — auto-detect.
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
 }
 
 /// Which formula refinement to run (see crate docs for the lineage).
@@ -97,188 +159,197 @@ pub fn elem_rank(collection: &Collection, params: &ElemRankParams) -> RankResult
     compute(collection, RankVariant::Final(*params))
 }
 
-/// Computes element ranks under any [`RankVariant`].
+/// Computes element ranks under any [`RankVariant`] through the shared
+/// pull-based CSR kernel.
 pub fn compute(collection: &Collection, variant: RankVariant) -> RankResult {
-    let (epsilon, max_iterations) = match variant {
+    let (epsilon, max_iterations, requested_threads) = match variant {
         RankVariant::Final(p) => {
             p.validate().expect("invalid ElemRank parameters");
-            (p.epsilon, p.max_iterations)
+            (p.epsilon, p.max_iterations, p.threads)
         }
-        _ => (2e-5, 500),
+        _ => (2e-5, 500, 0),
     };
     let n = collection.element_count();
     if n == 0 {
         return RankResult { scores: Vec::new(), iterations: 0, converged: true, residual: 0.0 };
     }
-
-    // Random-jump distribution: pick a document uniformly, then an element
-    // within it uniformly — 1 / (N_d · N_de(v)). For the pre-final variants
-    // the paper uses a uniform 1/N_e jump; we honor that distinction.
-    let jump: Vec<f64> = match variant {
-        RankVariant::Final(_) => {
-            let nd = collection.doc_count() as f64;
-            (0..n as u32)
-                .map(|e| {
-                    let doc = collection.element(e).doc;
-                    1.0 / (nd * collection.doc(doc).element_count as f64)
-                })
-                .collect()
-        }
-        _ => vec![1.0 / n as f64; n],
-    };
-
-    let mut scores = jump.clone();
-    let mut next = vec![0.0f64; n];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-
-    while iterations < max_iterations {
-        iterations += 1;
-        next.iter_mut().for_each(|x| *x = 0.0);
-        let mut dangling = 0.0f64;
-
-        for (id, elem) in collection.elements() {
-            let mass = scores[id as usize];
-            if mass == 0.0 {
-                continue;
-            }
-            dangling += scatter(&variant, elem, mass, &mut next);
-        }
-
-        // Navigation mass with nowhere to go rejoins the random jump.
-        let total_nav: f64 = match variant {
-            RankVariant::PageRankAdapted { d } | RankVariant::Bidirectional { d } => d,
-            RankVariant::Discriminated { d1, d2 } => d1 + d2,
-            RankVariant::Final(p) => p.total_damping(),
-        };
-        let base = 1.0 - total_nav + dangling;
-        for v in 0..n {
-            next[v] += base * jump[v];
-        }
-
-        residual = scores
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>();
-        std::mem::swap(&mut scores, &mut next);
-        if residual < epsilon {
-            return RankResult { scores, iterations, converged: true, residual };
-        }
-    }
-    RankResult { scores, iterations, converged: false, residual }
+    let graph = RankGraph::from_collection(collection, &variant);
+    let threads = resolve_threads(requested_threads, n);
+    graph.power_iterate(&IterationParams { epsilon, max_iterations, threads })
 }
 
-/// Distributes `mass * nav` along `elem`'s outgoing edges according to the
-/// variant. Returns the (undeliverable) dangling navigation mass.
-fn scatter(
-    variant: &RankVariant,
-    elem: &xrank_graph::Element,
-    mass: f64,
-    next: &mut [f64],
-) -> f64 {
-    let nh = elem.links_out.len();
-    let nc = elem.children.len();
-    let has_parent = elem.parent.is_some();
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use xrank_graph::CollectionBuilder;
 
-    match *variant {
-        RankVariant::PageRankAdapted { d } => {
-            // Forward edges only: hyperlinks + containment, uniform split.
-            let out = nh + nc;
-            if out == 0 {
-                return mass * d;
-            }
-            let share = mass * d / out as f64;
-            for &t in &elem.links_out {
-                next[t as usize] += share;
-            }
-            for &c in &elem.children {
-                next[c as usize] += share;
-            }
-            0.0
+    /// The original push/scatter implementation, kept verbatim as the
+    /// oracle the CSR pull kernel is property-tested against (with the
+    /// zeroing-`fill` and fused-residual cleanups applied).
+    pub(crate) fn compute_scatter_reference(
+        collection: &Collection,
+        variant: RankVariant,
+    ) -> RankResult {
+        let (epsilon, max_iterations) = match variant {
+            RankVariant::Final(p) => (p.epsilon, p.max_iterations),
+            _ => (2e-5, 500),
+        };
+        let n = collection.element_count();
+        if n == 0 {
+            return RankResult {
+                scores: Vec::new(),
+                iterations: 0,
+                converged: true,
+                residual: 0.0,
+            };
         }
-        RankVariant::Bidirectional { d } => {
-            let out = nh + nc + usize::from(has_parent);
-            if out == 0 {
-                return mass * d;
+
+        let jump: Vec<f64> = match variant {
+            RankVariant::Final(_) => {
+                let nd = collection.doc_count() as f64;
+                (0..n as u32)
+                    .map(|e| {
+                        let doc = collection.element(e).doc;
+                        1.0 / (nd * collection.doc(doc).element_count as f64)
+                    })
+                    .collect()
             }
-            let share = mass * d / out as f64;
-            for &t in &elem.links_out {
-                next[t as usize] += share;
+            _ => vec![1.0 / n as f64; n],
+        };
+
+        let mut scores = jump.clone();
+        let mut next = vec![0.0f64; n];
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+
+        while iterations < max_iterations {
+            iterations += 1;
+            next.fill(0.0);
+            let mut dangling = 0.0f64;
+
+            for (id, elem) in collection.elements() {
+                let mass = scores[id as usize];
+                if mass == 0.0 {
+                    continue;
+                }
+                dangling += scatter(&variant, elem, mass, &mut next);
             }
-            for &c in &elem.children {
-                next[c as usize] += share;
+
+            let total_nav = crate::csr::variant_total_nav(&variant);
+            let base = 1.0 - total_nav + dangling;
+            // One fused sweep: add the jump mass and accumulate the L1
+            // residual against the previous iterate.
+            residual = 0.0;
+            for v in 0..n {
+                next[v] += base * jump[v];
+                residual += (scores[v] - next[v]).abs();
             }
-            if let Some(p) = elem.parent {
-                next[p as usize] += share;
+            std::mem::swap(&mut scores, &mut next);
+            if residual < epsilon {
+                return RankResult { scores, iterations, converged: true, residual };
             }
-            0.0
         }
-        RankVariant::Discriminated { d1, d2 } => {
-            // Two classes: hyperlinks (d1) and containment both ways (d2);
-            // mass of a missing class shifts to the available one.
-            let n_cont = nc + usize::from(has_parent);
-            let (w1, w2) = (if nh > 0 { d1 } else { 0.0 }, if n_cont > 0 { d2 } else { 0.0 });
-            let avail = w1 + w2;
-            if avail == 0.0 {
-                return mass * (d1 + d2);
-            }
-            let scale = (d1 + d2) / avail;
-            if nh > 0 {
-                let share = mass * w1 * scale / nh as f64;
+        RankResult { scores, iterations, converged: false, residual }
+    }
+
+    /// Distributes `mass * nav` along `elem`'s outgoing edges according to
+    /// the variant. Returns the (undeliverable) dangling navigation mass.
+    fn scatter(
+        variant: &RankVariant,
+        elem: &xrank_graph::Element,
+        mass: f64,
+        next: &mut [f64],
+    ) -> f64 {
+        let nh = elem.links_out.len();
+        let nc = elem.children.len();
+        let has_parent = elem.parent.is_some();
+
+        match *variant {
+            RankVariant::PageRankAdapted { d } => {
+                let out = nh + nc;
+                if out == 0 {
+                    return mass * d;
+                }
+                let share = mass * d / out as f64;
                 for &t in &elem.links_out {
                     next[t as usize] += share;
                 }
+                for &c in &elem.children {
+                    next[c as usize] += share;
+                }
+                0.0
             }
-            if n_cont > 0 {
-                let share = mass * w2 * scale / n_cont as f64;
+            RankVariant::Bidirectional { d } => {
+                let out = nh + nc + usize::from(has_parent);
+                if out == 0 {
+                    return mass * d;
+                }
+                let share = mass * d / out as f64;
+                for &t in &elem.links_out {
+                    next[t as usize] += share;
+                }
                 for &c in &elem.children {
                     next[c as usize] += share;
                 }
                 if let Some(p) = elem.parent {
                     next[p as usize] += share;
                 }
+                0.0
             }
-            0.0
-        }
-        RankVariant::Final(p) => {
-            // Three classes with proportional re-split of missing ones
-            // (Section 3.1): hyperlinks d1/N_h, forward containment d2/N_c,
-            // reverse containment d3 *aggregate* (each child passes its full
-            // d3 share to the parent — this is what makes a workshop with
-            // many important papers important).
-            let w1 = if nh > 0 { p.d1 } else { 0.0 };
-            let w2 = if nc > 0 { p.d2 } else { 0.0 };
-            let w3 = if has_parent { p.d3 } else { 0.0 };
-            let avail = w1 + w2 + w3;
-            if avail == 0.0 {
-                return mass * p.total_damping();
-            }
-            let scale = p.total_damping() / avail;
-            if nh > 0 {
-                let share = mass * w1 * scale / nh as f64;
-                for &t in &elem.links_out {
-                    next[t as usize] += share;
+            RankVariant::Discriminated { d1, d2 } => {
+                let n_cont = nc + usize::from(has_parent);
+                let (w1, w2) =
+                    (if nh > 0 { d1 } else { 0.0 }, if n_cont > 0 { d2 } else { 0.0 });
+                let avail = w1 + w2;
+                if avail == 0.0 {
+                    return mass * (d1 + d2);
                 }
-            }
-            if nc > 0 {
-                let share = mass * w2 * scale / nc as f64;
-                for &c in &elem.children {
-                    next[c as usize] += share;
+                let scale = (d1 + d2) / avail;
+                if nh > 0 {
+                    let share = mass * w1 * scale / nh as f64;
+                    for &t in &elem.links_out {
+                        next[t as usize] += share;
+                    }
                 }
+                if n_cont > 0 {
+                    let share = mass * w2 * scale / n_cont as f64;
+                    for &c in &elem.children {
+                        next[c as usize] += share;
+                    }
+                    if let Some(p) = elem.parent {
+                        next[p as usize] += share;
+                    }
+                }
+                0.0
             }
-            if let Some(parent) = elem.parent {
-                next[parent as usize] += mass * w3 * scale;
+            RankVariant::Final(p) => {
+                let w1 = if nh > 0 { p.d1 } else { 0.0 };
+                let w2 = if nc > 0 { p.d2 } else { 0.0 };
+                let w3 = if has_parent { p.d3 } else { 0.0 };
+                let avail = w1 + w2 + w3;
+                if avail == 0.0 {
+                    return mass * p.total_damping();
+                }
+                let scale = p.total_damping() / avail;
+                if nh > 0 {
+                    let share = mass * w1 * scale / nh as f64;
+                    for &t in &elem.links_out {
+                        next[t as usize] += share;
+                    }
+                }
+                if nc > 0 {
+                    let share = mass * w2 * scale / nc as f64;
+                    for &c in &elem.children {
+                        next[c as usize] += share;
+                    }
+                }
+                if let Some(parent) = elem.parent {
+                    next[parent as usize] += mass * w3 * scale;
+                }
+                0.0
             }
-            0.0
         }
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use xrank_graph::CollectionBuilder;
 
     fn collection(xmls: &[(&str, &str)]) -> Collection {
         let mut b = CollectionBuilder::new();
@@ -432,6 +503,63 @@ mod tests {
         assert!(neg.validate().is_err());
         let eps = ElemRankParams { epsilon: 0.0, ..Default::default() };
         assert!(eps.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_thread_cap_violation() {
+        let over = ElemRankParams { threads: MAX_THREADS + 1, ..Default::default() };
+        assert!(over.validate().is_err(), "threads over the cap must be rejected");
+        let at_cap = ElemRankParams { threads: MAX_THREADS, ..Default::default() };
+        assert!(at_cap.validate().is_ok());
+        let auto = ElemRankParams { threads: 0, ..Default::default() };
+        assert!(auto.validate().is_ok(), "0 means auto-detect and is always valid");
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        // An explicit request wins over env/auto but is clamped to the
+        // vertex count; the degenerate n = 0 still resolves to 1 worker.
+        assert_eq!(resolve_threads(3, 100_000), 3);
+        assert_eq!(resolve_threads(8, 4), 4);
+        assert_eq!(resolve_threads(5, 0), 1);
+        // Auto mode always lands in [1, n] even if `available_parallelism`
+        // is unavailable (its failure path falls back to one worker).
+        for n in [1usize, 7, 2048, 1 << 20] {
+            let t = resolve_threads(0, n);
+            assert!((1..=n).contains(&t), "auto resolved {t} for n = {n}");
+        }
+    }
+
+    #[test]
+    fn env_override_reproduces_single_threaded_scores() {
+        let c = collection(&[
+            ("a", r#"<r><x id="1"><y>alpha beta</y><z>gamma</z></x><c ref="1">t</c></r>"#),
+            ("b", r#"<r><p><q>delta</q></p><s ref="1">u</s></r>"#),
+        ]);
+        let explicit = elem_rank(&c, &ElemRankParams { threads: 1, ..Default::default() });
+
+        std::env::set_var(THREADS_ENV_VAR, "1");
+        assert_eq!(threads_from_env(), Some(1));
+        let via_env = elem_rank(&c, &ElemRankParams::default());
+        std::env::remove_var(THREADS_ENV_VAR);
+
+        assert_eq!(via_env.iterations, explicit.iterations);
+        assert!(
+            via_env
+                .scores
+                .iter()
+                .zip(&explicit.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "XRANK_THREADS=1 must be bit-for-bit identical to threads: 1"
+        );
+
+        // Garbage / zero values are ignored — auto-detect takes over
+        // instead of panicking or spawning nothing.
+        for bad in ["not-a-number", "", "0", "-3", "1.5"] {
+            std::env::set_var(THREADS_ENV_VAR, bad);
+            assert_eq!(threads_from_env(), None, "{bad:?} should fall back to auto");
+        }
+        std::env::remove_var(THREADS_ENV_VAR);
     }
 
     #[test]

@@ -40,11 +40,23 @@
 //! XRANK "naturally generalizes a hyperlink based HTML search engine":
 //! on a collection of single-element documents, ElemRank with
 //! `d1+d2+d3 = 0.85` equals PageRank with `d = 0.85` (see tests).
+//!
+//! All variants (and document PageRank) execute through the shared
+//! pull-based CSR kernel in [`csr`]: the collection is flattened once into
+//! transposed (in-edge) CSR arrays with per-variant weights precomputed,
+//! and the power iteration gathers `next[v] = Σ w·scores[src]` row by row —
+//! embarrassingly parallel across rows with no atomics. Thread count is
+//! controlled by [`ElemRankParams::threads`] / the `XRANK_THREADS` env var.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 mod elemrank;
 pub mod pagerank;
 
-pub use elemrank::{compute, elem_rank, ElemRankParams, RankResult, RankVariant};
+pub use csr::{IterationParams, RankGraph, MAX_THREADS};
+pub use elemrank::{
+    compute, elem_rank, resolve_threads, threads_from_env, ElemRankParams, RankResult,
+    RankVariant, THREADS_ENV_VAR,
+};

@@ -5,12 +5,15 @@
 
 use xrank_graph::Collection;
 
-use crate::RankResult;
+use crate::csr::{IterationParams, RankGraph};
+use crate::{resolve_threads, RankResult};
 
 /// Computes PageRank over the *document* graph of `collection`: there is an
 /// edge `A → B` for every hyperlink from any element of document `A` to any
 /// element of document `B` (self-links are dropped, multi-edges kept —
-/// PageRank mass follows link multiplicity).
+/// PageRank mass follows link multiplicity). Executes through the shared
+/// pull-based CSR kernel ([`RankGraph`]); thread count resolves like
+/// ElemRank's auto mode (`XRANK_THREADS`, then available parallelism).
 ///
 /// Returns per-document scores summing to 1.
 pub fn page_rank_docs(collection: &Collection, d: f64, epsilon: f64) -> RankResult {
@@ -30,39 +33,23 @@ pub fn page_rank_docs(collection: &Collection, d: f64, epsilon: f64) -> RankResu
         }
     }
 
-    let jump = 1.0 / n as f64;
-    let mut scores = vec![jump; n];
-    let mut next = vec![0.0f64; n];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-    let max_iterations = 500;
-
-    while iterations < max_iterations {
-        iterations += 1;
-        next.iter_mut().for_each(|x| *x = 0.0);
-        let mut dangling = 0.0;
+    let jump = vec![1.0 / n as f64; n];
+    let graph = RankGraph::from_edges(n, d, jump, |emit| {
         for (u, targets) in out_edges.iter().enumerate() {
-            let mass = scores[u];
             if targets.is_empty() {
-                dangling += mass * d;
-                continue;
+                continue; // dangling document
             }
-            let share = mass * d / targets.len() as f64;
+            let w = d / targets.len() as f64;
             for &t in targets {
-                next[t as usize] += share;
+                emit(u as u32, t, w);
             }
         }
-        let base = (1.0 - d + dangling) * jump;
-        for v in next.iter_mut() {
-            *v += base;
-        }
-        residual = scores.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
-        std::mem::swap(&mut scores, &mut next);
-        if residual < epsilon {
-            return RankResult { scores, iterations, converged: true, residual };
-        }
-    }
-    RankResult { scores, iterations, converged: false, residual }
+    });
+    graph.power_iterate(&IterationParams {
+        epsilon,
+        max_iterations: 500,
+        threads: resolve_threads(0, n),
+    })
 }
 
 #[cfg(test)]
@@ -109,7 +96,14 @@ mod tests {
         // applies because documents have a single element.
         let er = elem_rank(
             &c,
-            &ElemRankParams { d1: 0.85, d2: 0.0, d3: 0.0, epsilon: 1e-12, max_iterations: 1000 },
+            &ElemRankParams {
+                d1: 0.85,
+                d2: 0.0,
+                d3: 0.0,
+                epsilon: 1e-12,
+                max_iterations: 1000,
+                ..Default::default()
+            },
         );
         // Element i belongs to doc i here (one element per doc).
         for i in 0..4 {

@@ -1,0 +1,98 @@
+//! Case generation and the per-test driver loop.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the
+/// prelude). Construct with struct-update syntax over `default()`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+    /// Give up (panic) after `cases * max_global_rejects` discarded draws.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 50 }
+    }
+}
+
+/// The non-failure ways a single case can end.
+pub enum TestCaseError {
+    /// `prop_assert*!` failed: the property is falsified.
+    Fail(String),
+    /// `prop_assume!` failed: discard this case and draw another.
+    Reject,
+}
+
+/// Deterministic per-test random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift with rejection keeps the draw exactly uniform.
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            let wide = v as u128 * n as u128;
+            if (wide as u64) >= zone {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Runs one property: draws inputs until `config.cases` cases pass,
+/// panicking on the first falsified case (no shrinking).
+pub fn run_cases<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = config.cases as u64 * config.max_global_rejects as u64;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` falsified at case {} (after {rejected} rejects): {msg}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the E1 ElemRank benchmark (convergence tables + pull-kernel thread
+# sweep) and leaves the machine-readable sweep results in
+# BENCH_elemrank.json at the repo root (or $1 if given).
+#
+# Usage: scripts/bench_elemrank.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_elemrank.json}"
+BENCH_ELEMRANK_OUT="$OUT" cargo run --release --offline -p xrank-bench \
+    --bin e1_elemrank_convergence
+echo "thread-sweep JSON: $OUT"
