@@ -59,7 +59,7 @@ fn bench_btree_probe(c: &mut Criterion) {
         b.iter(|| {
             i = (i.wrapping_mul(2654435761)) % 200_000;
             let key = codec::encode_id(&DeweyId::from([i >> 10, 0, i & 1023]));
-            black_box(tree.lowest_geq(&mut pool, &key))
+            black_box(tree.lowest_geq(&pool, &key))
         })
     });
     g.finish();

@@ -102,19 +102,18 @@ fn main() {
 }
 
 /// Thread counts to benchmark: powers of two up to the machine's
-/// parallelism, always at least {1, 2} so the emitted JSON demonstrates a
-/// multi-threaded data point even on constrained machines.
+/// parallelism, never beyond it. Counts above the hardware thread count
+/// only timeshare one core — the sweep used to report those as meaningless
+/// 0.9x "speedups" — so they are skipped; on a single-core machine the
+/// sweep is the single point {1}.
 fn sweep_thread_counts() -> Vec<usize> {
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut counts: Vec<usize> = [1usize, 2, 4, 8, 16, hw]
         .into_iter()
-        .filter(|&t| t <= hw.max(2))
+        .filter(|&t| t <= hw)
         .collect();
     counts.sort_unstable();
     counts.dedup();
-    if counts.len() < 2 {
-        counts.push(2);
-    }
     counts
 }
 
@@ -131,9 +130,9 @@ fn thread_sweep(collections: &[(String, Collection)]) {
     );
     if hw < 2 {
         println!(
-            "note: single hardware thread — multi-threaded runs can only \
-             timeshare, so expect parity at best; the sweep still verifies \
-             determinism and overhead.\n"
+            "note: single hardware thread — multi-threaded points are \
+             skipped (timesharing one core only adds overhead), so the \
+             sweep degenerates to the single-threaded baseline.\n"
         );
     }
 

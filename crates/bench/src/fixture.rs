@@ -301,20 +301,20 @@ impl Workbench {
         let before = self.pool.stats();
         let t0 = Instant::now();
         let outcome = match approach {
-            Approach::Dil => dil_query::evaluate(&mut self.pool, &self.dil, terms, opts),
-            Approach::Rdil => rdil_query::evaluate(&mut self.pool, &self.rdil, terms, opts),
+            Approach::Dil => dil_query::evaluate(&self.pool, &self.dil, terms, opts),
+            Approach::Rdil => rdil_query::evaluate(&self.pool, &self.rdil, terms, opts),
             Approach::Hdil => {
-                hdil_query::evaluate(&mut self.pool, &self.hdil, terms, opts, &self.cost_model)
+                hdil_query::evaluate(&self.pool, &self.hdil, terms, opts, &self.cost_model)
             }
             Approach::NaiveId => naive_query::evaluate_id(
-                &mut self.pool,
+                &self.pool,
                 self.naive_id.as_ref().expect("naive indexes not built"),
                 &self.collection,
                 terms,
                 opts,
             ),
             Approach::NaiveRank => naive_query::evaluate_rank(
-                &mut self.pool,
+                &self.pool,
                 self.naive_rank.as_ref().expect("naive indexes not built"),
                 &self.collection,
                 terms,

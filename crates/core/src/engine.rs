@@ -9,7 +9,7 @@ use xrank_index::{
 };
 use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions};
 use xrank_rank::{elem_rank, ElemRankParams, RankResult};
-use xrank_storage::{BufferPool, CostModel, FileStore, MemStore, PageStore};
+use xrank_storage::{BufferPool, CostModel, FileStore, MemStore, PageStore, StatsScope};
 
 /// Which evaluation strategy [`XRankEngine::search_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,7 +201,7 @@ pub struct XRankEngine<S: PageStore = MemStore> {
 
 impl<S: PageStore> XRankEngine<S> {
     /// Searches with the default (HDIL adaptive) strategy.
-    pub fn search(&mut self, query: &str, m: usize) -> SearchResults {
+    pub fn search(&self, query: &str, m: usize) -> SearchResults {
         let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
         self.search_with(query, Strategy::Hdil, &opts)
     }
@@ -210,34 +210,52 @@ impl<S: PageStore> XRankEngine<S> {
     /// semantics): a ranked union over the direct containers of each
     /// keyword. Unknown keywords are dropped instead of emptying the
     /// result.
-    pub fn search_any(&mut self, query: &str, m: usize) -> SearchResults {
+    pub fn search_any(&self, query: &str, m: usize) -> SearchResults {
         let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
         let terms: Vec<TermId> = xrank_graph::tokenize(query)
             .iter()
             .filter_map(|w| self.collection.vocabulary().lookup(w))
             .collect();
         self.pool.clear_cache();
-        let before = self.pool.stats();
+        let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let outcome =
-            xrank_query::disjunctive::evaluate(&mut self.pool, &self.hdil.dil, &terms, &opts);
+            xrank_query::disjunctive::evaluate(&self.pool, &self.hdil.dil, &terms, &opts);
         let elapsed = start.elapsed();
-        let io = self.pool.stats().since(&before);
+        let io = scope.finish();
         let hits = self.present(outcome.results, opts.top_m);
         SearchResults { hits, eval: outcome.stats, io, elapsed }
     }
 
     /// Searches with an explicit strategy and options. The buffer pool is
     /// cold-started per query, matching the paper's experimental setup.
+    /// This is the single-stream benchmark entry point — the global cache
+    /// clear makes it unsuitable to call concurrently; the serving path is
+    /// [`XRankEngine::query`].
     pub fn search_with(
-        &mut self,
+        &self,
+        query: &str,
+        strategy: Strategy,
+        opts: &QueryOptions,
+    ) -> SearchResults {
+        self.pool.clear_cache();
+        self.query(query, strategy, opts)
+    }
+
+    /// Evaluates a query against the warm shared cache through `&self` —
+    /// the concurrent serving entry point: any number of threads may call
+    /// this on one engine simultaneously. Per-query I/O in the returned
+    /// [`SearchResults::io`] is attributed via a thread-local
+    /// [`StatsScope`], so it stays exact even with other queries in
+    /// flight.
+    pub fn query(
+        &self,
         query: &str,
         strategy: Strategy,
         opts: &QueryOptions,
     ) -> SearchResults {
         let terms = self.resolve_terms(query);
-        self.pool.clear_cache();
-        let before = self.pool.stats();
+        let scope = StatsScope::begin();
         let start = std::time::Instant::now();
 
         // Answer-node promotion (and HTML-root collapsing) can merge many
@@ -261,26 +279,26 @@ impl<S: PageStore> XRankEngine<S> {
                 stats: Default::default(),
             },
             (Strategy::Dil, Some(t)) => {
-                dil_query::evaluate(&mut self.pool, &self.hdil.dil, t, opts)
+                dil_query::evaluate(&self.pool, &self.hdil.dil, t, opts)
             }
             (Strategy::Rdil, Some(t)) => {
                 let rdil = self.rdil.as_ref().expect("engine built without with_rdil");
-                rdil_query::evaluate(&mut self.pool, rdil, t, opts)
+                rdil_query::evaluate(&self.pool, rdil, t, opts)
             }
             (Strategy::Hdil, Some(t)) => {
-                hdil_query::evaluate(&mut self.pool, &self.hdil, t, opts, &self.config.cost_model)
+                hdil_query::evaluate(&self.pool, &self.hdil, t, opts, &self.config.cost_model)
             }
             (Strategy::NaiveId, Some(t)) => {
                 let idx = self.naive_id.as_ref().expect("engine built without with_naive");
-                naive_query::evaluate_id(&mut self.pool, idx, &self.collection, t, opts)
+                naive_query::evaluate_id(&self.pool, idx, &self.collection, t, opts)
             }
             (Strategy::NaiveRank, Some(t)) => {
                 let idx = self.naive_rank.as_ref().expect("engine built without with_naive");
-                naive_query::evaluate_rank(&mut self.pool, idx, &self.collection, t, opts)
+                naive_query::evaluate_rank(&self.pool, idx, &self.collection, t, opts)
             }
         };
         let elapsed = start.elapsed();
-        let io = self.pool.stats().since(&before);
+        let io = scope.finish();
 
         let hits = self.present(outcome.results, requested);
         SearchResults { hits, eval: outcome.stats, io, elapsed }
@@ -394,6 +412,11 @@ impl<S: PageStore> XRankEngine<S> {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's shared page cache (global I/O ledger, cache control).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
     }
 
     // --- crate-internal accessors for the persistence layer ---

@@ -1,0 +1,176 @@
+//! Multi-threaded query serving over one shared engine.
+//!
+//! [`QueryExecutor`] is a closed-loop worker pool: N `std::thread` workers
+//! pull [`QueryRequest`]s off one bounded queue and run them through
+//! [`XRankEngine::query`] on the *same* engine instance — the sharded
+//! buffer pool and `&self` query path are what make that sound. The
+//! bounded queue gives submission backpressure: [`QueryExecutor::submit`]
+//! blocks once `queue_depth` requests are waiting, so a load generator
+//! naturally runs closed-loop at the service rate instead of building an
+//! unbounded backlog.
+
+use crate::engine::{Strategy, XRankEngine};
+use crate::results::SearchResults;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use xrank_query::QueryOptions;
+use xrank_storage::PageStore;
+
+/// One unit of work for the executor.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Raw query string (tokenized by the engine).
+    pub query: String,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Options; `None` uses the engine's configured defaults.
+    pub opts: Option<QueryOptions>,
+}
+
+impl QueryRequest {
+    /// A request with engine-default options.
+    pub fn new(query: impl Into<String>, strategy: Strategy) -> Self {
+        QueryRequest { query: query.into(), strategy, opts: None }
+    }
+}
+
+struct Task {
+    request: QueryRequest,
+    reply: Sender<SearchResults>,
+}
+
+/// A fixed pool of worker threads serving queries from a bounded queue
+/// against one shared [`XRankEngine`].
+///
+/// Dropping the executor closes the queue and joins the workers after they
+/// drain the remaining requests.
+pub struct QueryExecutor {
+    tx: Option<SyncSender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryExecutor {
+    /// Spawns `workers` threads (minimum 1) over `engine`, with room for
+    /// `queue_depth` requests (minimum 1) waiting between submission and
+    /// execution.
+    pub fn new<S>(engine: Arc<XRankEngine<S>>, workers: usize, queue_depth: usize) -> Self
+    where
+        S: PageStore + Send + Sync + 'static,
+    {
+        let (tx, rx) = sync_channel::<Task>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&engine, &rx))
+            })
+            .collect();
+        QueryExecutor { tx: Some(tx), workers }
+    }
+
+    /// Enqueues a request, blocking while the queue is full. The returned
+    /// channel yields the result when a worker finishes it.
+    pub fn submit(&self, request: QueryRequest) -> Receiver<SearchResults> {
+        let (reply, result) = std::sync::mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("executor alive")
+            .send(Task { request, reply })
+            .expect("workers alive");
+        result
+    }
+
+    /// Runs a request to completion on a worker (blocking convenience
+    /// wrapper around [`QueryExecutor::submit`]).
+    pub fn execute(&self, request: QueryRequest) -> SearchResults {
+        self.submit(request).recv().expect("worker completes the request")
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for QueryExecutor {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // closes the queue; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop<S: PageStore>(
+    engine: &XRankEngine<S>,
+    rx: &Mutex<Receiver<Task>>,
+) {
+    loop {
+        // Hold the lock only to dequeue, never while evaluating.
+        let task = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        let Ok(Task { request, reply }) = task else { return };
+        let opts = request
+            .opts
+            .unwrap_or_else(|| engine.config().query.clone());
+        let results = engine.query(&request.query, request.strategy, &opts);
+        // The submitter may have dropped the receiver; that's fine.
+        let _ = reply.send(results);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+
+    fn small_engine() -> Arc<XRankEngine> {
+        let mut b = EngineBuilder::new();
+        for i in 0..20 {
+            b.add_xml(
+                &format!("doc{i}"),
+                &format!("<r><a>shared words {i}</a><b>shared extra</b></r>"),
+            )
+            .unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn executes_queries_on_workers() {
+        let engine = small_engine();
+        let exec = QueryExecutor::new(Arc::clone(&engine), 2, 4);
+        assert_eq!(exec.worker_count(), 2);
+        let direct = engine.query(
+            "shared words",
+            Strategy::Hdil,
+            &engine.config().query,
+        );
+        let pooled = exec.execute(QueryRequest::new("shared words", Strategy::Hdil));
+        assert_eq!(direct.hits.len(), pooled.hits.len());
+        for (a, b) in direct.hits.iter().zip(&pooled.hits) {
+            assert_eq!(a.dewey, b.dewey);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn many_concurrent_submissions_drain() {
+        let engine = small_engine();
+        let exec = QueryExecutor::new(engine, 4, 2);
+        let pending: Vec<_> = (0..64)
+            .map(|i| {
+                let q = if i % 2 == 0 { "shared words" } else { "shared extra" };
+                exec.submit(QueryRequest::new(q, Strategy::Dil))
+            })
+            .collect();
+        for (i, rx) in pending.into_iter().enumerate() {
+            let r = rx.recv().expect("completed");
+            assert!(!r.hits.is_empty(), "request {i} returned no hits");
+        }
+    }
+}

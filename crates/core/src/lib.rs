@@ -16,7 +16,7 @@
 //!          <body>the XQL query language</body></paper></workshop>",
 //!     )
 //!     .unwrap();
-//! let mut engine = builder.build();
+//! let engine = builder.build();
 //! let hits = engine.search("xql language", 10);
 //! assert!(!hits.hits.is_empty());
 //! assert_eq!(hits.hits[0].path.last().map(String::as_str), Some("body"));
@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod executor;
 mod persist;
 mod results;
 mod update;
 
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
+pub use executor::{QueryExecutor, QueryRequest};
 pub use results::{SearchHit, SearchResults};
 pub use update::UpdatableXRank;

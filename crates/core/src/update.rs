@@ -164,7 +164,7 @@ impl UpdatableXRank {
 
     /// Searches live documents (main + delta, tombstones filtered),
     /// merging by score.
-    pub fn search(&mut self, query: &str, m: usize) -> SearchResults {
+    pub fn search(&self, query: &str, m: usize) -> SearchResults {
         let slack = self.deleted_main.len() + self.deleted_delta.len() + 8;
         let opts = QueryOptions { top_m: m + slack, ..Default::default() };
         let mut primary = self.main.search_with(query, Strategy::Hdil, &opts);
@@ -173,7 +173,7 @@ impl UpdatableXRank {
         let mut eval = primary.eval;
         let mut io = primary.io;
         hits.append(&mut primary.hits);
-        if let Some(delta) = &mut self.delta {
+        if let Some(delta) = &self.delta {
             let mut secondary = delta.search_with(query, Strategy::Hdil, &opts);
             secondary.hits.retain(|h| !self.deleted_delta.contains(&h.doc_uri));
             eval.entries_scanned += secondary.eval.entries_scanned;

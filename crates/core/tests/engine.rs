@@ -40,7 +40,7 @@ fn full_engine() -> XRankEngine {
 
 #[test]
 fn search_returns_most_specific_results() {
-    let mut e = engine();
+    let e = engine();
     let res = e.search("xql language", 10);
     let tags: Vec<&str> =
         res.hits.iter().map(|h| h.path.last().unwrap().as_str()).collect();
@@ -58,7 +58,7 @@ fn search_returns_most_specific_results() {
 
 #[test]
 fn strategies_agree_on_results() {
-    let mut e = full_engine();
+    let e = full_engine();
     let opts = QueryOptions { top_m: 10, ..Default::default() };
     let dil = e.search_with("xql language", Strategy::Dil, &opts);
     let rdil = e.search_with("xql language", Strategy::Rdil, &opts);
@@ -76,7 +76,7 @@ fn strategies_agree_on_results() {
 
 #[test]
 fn naive_strategies_include_spurious_ancestors() {
-    let mut e = full_engine();
+    let e = full_engine();
     let opts = QueryOptions { top_m: 50, ..Default::default() };
     let dil = e.search_with("xql language", Strategy::Dil, &opts);
     let nid = e.search_with("xql language", Strategy::NaiveId, &opts);
@@ -87,7 +87,7 @@ fn naive_strategies_include_spurious_ancestors() {
 
 #[test]
 fn unknown_keyword_yields_empty() {
-    let mut e = engine();
+    let e = engine();
     assert!(e.search("xql zzzzunknown", 10).hits.is_empty());
     assert!(e.search("", 10).hits.is_empty());
     assert!(e.search("   ", 10).hits.is_empty());
@@ -95,7 +95,7 @@ fn unknown_keyword_yields_empty() {
 
 #[test]
 fn query_normalization_matches_tokenizer() {
-    let mut e = engine();
+    let e = engine();
     let a = e.search("XQL Language", 10);
     let b = e.search("xql language", 10);
     assert_eq!(a.hits.len(), b.hits.len());
@@ -113,7 +113,7 @@ fn answer_nodes_promote_results() {
         ..Default::default()
     });
     b.add_xml("workshop", WORKSHOP).unwrap();
-    let mut e = b.build();
+    let e = b.build();
     let res = e.search("xql language", 10);
     for h in &res.hits {
         let tag = h.path.last().unwrap().as_str();
@@ -141,7 +141,7 @@ fn html_mode_returns_whole_pages_and_uses_links() {
         "page/fan2",
         r#"<html><body>me too <a href="page/popular">link</a> rust search</body></html>"#,
     );
-    let mut e = b.build();
+    let e = b.build();
     let res = e.search("rust search", 10);
     assert_eq!(res.hits.len(), 3, "every page matches");
     // linked-to page ranks first (PageRank behaviour)
@@ -157,7 +157,7 @@ fn mixed_html_and_xml_collections() {
     let mut b = EngineBuilder::new();
     b.add_xml("x", "<doc><part>hybrid corpus</part></doc>").unwrap();
     b.add_html("h", "<html><body>hybrid corpus too</body></html>");
-    let mut e = b.build();
+    let e = b.build();
     let res = e.search("hybrid corpus", 10);
     assert_eq!(res.hits.len(), 2);
     let uris: HashSet<_> = res.hits.iter().map(|h| h.doc_uri.as_str()).collect();
@@ -168,14 +168,14 @@ fn mixed_html_and_xml_collections() {
 fn tag_names_are_searchable() {
     // Section 2.1: element tag names are values — the paper's
     // 'author gray' anecdote depends on this.
-    let mut e = engine();
+    let e = engine();
     let res = e.search("author ricardo", 10);
     assert!(!res.hits.is_empty(), "tag name 'author' should match");
 }
 
 #[test]
 fn io_and_timing_metrics_populated() {
-    let mut e = engine();
+    let e = engine();
     let res = e.search("xql language", 10);
     assert!(res.io.physical_reads() > 0, "cold query must do I/O");
     assert!(res.elapsed.as_nanos() > 0);
@@ -194,7 +194,7 @@ fn elem_rank_accessors() {
 
 #[test]
 fn render_produces_readable_output() {
-    let mut e = engine();
+    let e = engine();
     let res = e.search("xql language", 5);
     let text = res.render();
     assert!(text.contains("workshop/"));

@@ -36,12 +36,12 @@ fn build_persistent(dir: &std::path::Path, with_extras: bool) -> XRankEngine<Fil
 #[test]
 fn reopened_engine_returns_identical_results() {
     let dir = tempdir("basic");
-    let mut built = build_persistent(&dir, false);
+    let built = build_persistent(&dir, false);
     let before = built.search("xql language", 10);
     assert!(!before.hits.is_empty());
     drop(built);
 
-    let mut reopened = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let reopened = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
     let after = reopened.search("xql language", 10);
     assert_eq!(before.hits.len(), after.hits.len());
     for (a, b) in before.hits.iter().zip(after.hits.iter()) {
@@ -58,7 +58,7 @@ fn reopened_engine_returns_identical_results() {
 fn all_strategies_survive_reopen() {
     let dir = tempdir("strategies");
     drop(build_persistent(&dir, true));
-    let mut e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
     let opts = QueryOptions { top_m: 10, ..Default::default() };
     let dil = e.search_with("xql language", Strategy::Dil, &opts);
     for strategy in [Strategy::Rdil, Strategy::Hdil, Strategy::NaiveId, Strategy::NaiveRank] {
@@ -78,7 +78,7 @@ fn all_strategies_survive_reopen() {
 fn html_mode_survives_reopen() {
     let dir = tempdir("html");
     drop(build_persistent(&dir, false));
-    let mut e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
     let res = e.search("web", 10);
     assert_eq!(res.hits.len(), 1);
     assert_eq!(res.hits[0].doc_uri, "page");

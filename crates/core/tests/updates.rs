@@ -96,7 +96,7 @@ fn disjunctive_search_via_engine() {
     let mut b = EngineBuilder::new();
     b.add_xml("d", "<r><a>apple pie</a><b>banana split</b><c>apple banana</c></r>")
         .unwrap();
-    let mut e = b.build();
+    let e = b.build();
     // Conjunctive: only <c>.
     // <c> directly, plus <r> via independent occurrences in <a> and <b>.
     assert_eq!(e.search("apple banana", 10).hits.len(), 2);

@@ -147,11 +147,11 @@ mod tests {
 
     #[test]
     fn lists_stream_in_dewey_order() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut deweys = Vec::new();
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             deweys.push(p.dewey);
         }
         assert_eq!(deweys.len(), 2, "title and body directly contain 'xql'");
@@ -175,11 +175,11 @@ mod tests {
 
     #[test]
     fn multiple_positions_preserved() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
-        r.next(&mut pool); // title
-        let body = r.next(&mut pool).unwrap();
+        r.next(&pool); // title
+        let body = r.next(&pool).unwrap();
         assert_eq!(body.positions.len(), 2, "xql occurs twice in body text");
     }
 }

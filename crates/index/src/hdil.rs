@@ -136,7 +136,7 @@ impl HdilIndex {
     /// returns the page offset, slot, and the decoded page.
     fn locate<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> Option<(ListMeta, u32, usize, Vec<Posting>)> {
@@ -162,7 +162,7 @@ impl HdilIndex {
     /// posting with `dewey >= target` and its predecessor.
     pub fn lowest_geq<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> (Option<Posting>, Option<Posting>) {
@@ -185,7 +185,7 @@ impl HdilIndex {
     /// scanning list pages forward from the B+-tree descent point.
     pub fn prefix_postings<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> Vec<Posting> {
@@ -309,7 +309,7 @@ mod tests {
 
     #[test]
     fn lowest_geq_agrees_with_rdil() {
-        let (mut pool, hdil, rdil, c) = build_large();
+        let (pool, hdil, rdil, c) = build_large();
         let term = c.vocabulary().lookup("common").unwrap();
         let probes = [
             DeweyId::from([0]),
@@ -319,8 +319,8 @@ mod tests {
             DeweyId::from([5, 0]),
         ];
         for probe in &probes {
-            let (he, hp) = hdil.lowest_geq(&mut pool, term, probe);
-            let (re, rp) = rdil.lowest_geq(&mut pool, term, probe);
+            let (he, hp) = hdil.lowest_geq(&pool, term, probe);
+            let (re, rp) = rdil.lowest_geq(&pool, term, probe);
             assert_eq!(
                 he.as_ref().map(|p| &p.dewey),
                 re.as_ref().map(|p| &p.dewey),
@@ -336,12 +336,12 @@ mod tests {
 
     #[test]
     fn prefix_postings_agree_with_rdil() {
-        let (mut pool, hdil, rdil, c) = build_large();
+        let (pool, hdil, rdil, c) = build_large();
         let term = c.vocabulary().lookup("common").unwrap();
         for prefix in [DeweyId::from([0]), DeweyId::from([0, 0, 42]), DeweyId::from([0, 0, 399])]
         {
-            let h = hdil.prefix_postings(&mut pool, term, &prefix);
-            let r = rdil.prefix_postings(&mut pool, term, &prefix);
+            let h = hdil.prefix_postings(&pool, term, &prefix);
+            let r = rdil.prefix_postings(&pool, term, &prefix);
             assert_eq!(h.len(), r.len(), "count mismatch under {prefix}");
             for (a, b) in h.iter().zip(r.iter()) {
                 assert_eq!(a.dewey, b.dewey);
@@ -352,14 +352,14 @@ mod tests {
 
     #[test]
     fn rank_prefix_is_a_subset_in_rank_order() {
-        let (mut pool, hdil, _, c) = build_large();
+        let (pool, hdil, _, c) = build_large();
         let term = c.vocabulary().lookup("common").unwrap();
         let full = hdil.meta(term).unwrap().entry_count;
         let prefix = hdil.prefix_len(term);
         assert!(prefix > 0 && prefix < full, "prefix {prefix} of {full}");
         let mut r = hdil.rank_prefix_reader(term).unwrap();
         let mut prev = f32::INFINITY;
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             assert!(p.rank <= prev);
             prev = p.rank;
         }
@@ -367,11 +367,11 @@ mod tests {
 
     #[test]
     fn short_lists_stored_whole_in_prefix() {
-        let (mut pool, hdil, _, c) = build_large();
+        let (pool, hdil, _, c) = build_large();
         let term = c.vocabulary().lookup("word3").unwrap(); // occurs once
         assert_eq!(hdil.prefix_len(term), hdil.meta(term).unwrap().entry_count);
         let mut r = hdil.rank_prefix_reader(term).unwrap();
-        assert!(r.next(&mut pool).is_some());
+        assert!(r.next(&pool).is_some());
     }
 
     #[test]
@@ -389,11 +389,11 @@ mod tests {
 
     #[test]
     fn absent_term() {
-        let (mut pool, hdil, _, _) = build_large();
+        let (pool, hdil, _, _) = build_large();
         let t = TermId(u32::MAX - 1);
         assert!(hdil.meta(t).is_none());
-        let (e, p) = hdil.lowest_geq(&mut pool, t, &DeweyId::from([0]));
+        let (e, p) = hdil.lowest_geq(&pool, t, &DeweyId::from([0]));
         assert!(e.is_none() && p.is_none());
-        assert!(hdil.prefix_postings(&mut pool, t, &DeweyId::from([0])).is_empty());
+        assert!(hdil.prefix_postings(&pool, t, &DeweyId::from([0])).is_empty());
     }
 }

@@ -368,7 +368,7 @@ impl ListReader {
     }
 
     /// Peeks at the next posting without consuming it.
-    pub fn peek<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> Option<&Posting> {
+    pub fn peek<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<&Posting> {
         if self.buffered.is_empty() {
             self.fill(pool);
         }
@@ -376,7 +376,7 @@ impl ListReader {
     }
 
     /// Pops the next posting.
-    pub fn next<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> Option<Posting> {
+    pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<Posting> {
         if self.buffered.is_empty() {
             self.fill(pool);
         }
@@ -387,15 +387,15 @@ impl ListReader {
         p
     }
 
-    fn fill<S: PageStore>(&mut self, pool: &mut BufferPool<S>) {
+    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) {
         if self.next_page >= self.meta.start_page + self.meta.page_count {
             return;
         }
         let page = pool.read(PageId::new(self.segment, self.next_page));
         self.next_page += 1;
         let postings = match self.kind {
-            ListKind::Dewey => decode_dewey_page(page),
-            ListKind::Rank => decode_rank_page(page),
+            ListKind::Dewey => decode_dewey_page(&page),
+            ListKind::Rank => decode_rank_page(&page),
         };
         self.buffered = postings.into();
     }
@@ -424,7 +424,7 @@ impl NaiveListReader {
     }
 
     /// Peeks at the next posting.
-    pub fn peek<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> Option<&NaivePosting> {
+    pub fn peek<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<&NaivePosting> {
         if self.buffered.is_empty() {
             self.fill(pool);
         }
@@ -432,20 +432,20 @@ impl NaiveListReader {
     }
 
     /// Pops the next posting.
-    pub fn next<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> Option<NaivePosting> {
+    pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<NaivePosting> {
         if self.buffered.is_empty() {
             self.fill(pool);
         }
         self.buffered.pop_front()
     }
 
-    fn fill<S: PageStore>(&mut self, pool: &mut BufferPool<S>) {
+    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) {
         if self.next_page >= self.meta.start_page + self.meta.page_count {
             return;
         }
         let page = pool.read(PageId::new(self.segment, self.next_page));
         self.next_page += 1;
-        self.buffered = decode_naive_page(page, self.delta).into();
+        self.buffered = decode_naive_page(&page, self.delta).into();
     }
 }
 
@@ -475,12 +475,12 @@ mod tests {
         assert_eq!(w.page_firsts.len(), w.meta.page_count as usize);
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
         for expect in &ps {
-            let got = r.next(&mut pool).unwrap();
+            let got = r.next(&pool).unwrap();
             assert_eq!(got.dewey, expect.dewey);
             assert_eq!(got.positions, expect.positions);
             assert!((got.rank - expect.rank).abs() < 1e-9);
         }
-        assert!(r.next(&mut pool).is_none());
+        assert!(r.next(&pool).is_none());
         assert!(r.exhausted());
     }
 
@@ -512,7 +512,7 @@ mod tests {
         let mut r = ListReader::new(seg, meta, ListKind::Rank);
         let mut prev_rank = f32::INFINITY;
         let mut n = 0;
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             assert!(p.rank <= prev_rank);
             prev_rank = p.rank;
             n += 1;
@@ -531,11 +531,11 @@ mod tests {
             let meta = write_naive_list(&mut pool, seg, &ps, delta);
             let mut r = NaiveListReader::new(seg, meta, delta);
             for expect in &ps {
-                let got = r.next(&mut pool).unwrap();
+                let got = r.next(&pool).unwrap();
                 assert_eq!(got.elem, expect.elem);
                 assert_eq!(got.positions, expect.positions);
             }
-            assert!(r.next(&mut pool).is_none());
+            assert!(r.next(&pool).is_none());
         }
     }
 
@@ -546,7 +546,7 @@ mod tests {
         let w = write_dewey_list(&mut pool, seg, &[]);
         assert_eq!(w.meta.page_count, 0);
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        assert!(r.next(&mut pool).is_none());
+        assert!(r.next(&pool).is_none());
     }
 
     #[test]
@@ -556,9 +556,9 @@ mod tests {
         let ps = postings(5);
         let w = write_dewey_list(&mut pool, seg, &ps);
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        let first = r.peek(&mut pool).unwrap().dewey.clone();
-        assert_eq!(r.peek(&mut pool).unwrap().dewey, first);
-        assert_eq!(r.next(&mut pool).unwrap().dewey, first);
+        let first = r.peek(&pool).unwrap().dewey.clone();
+        assert_eq!(r.peek(&pool).unwrap().dewey, first);
+        assert_eq!(r.next(&pool).unwrap().dewey, first);
         assert_eq!(r.consumed(), 1);
     }
 
@@ -571,7 +571,7 @@ mod tests {
         pool.clear_cache();
         pool.reset_stats();
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        while r.next(&mut pool).is_some() {}
+        while r.next(&pool).is_some() {}
         let s = pool.stats();
         assert_eq!(s.rand_reads, 1, "one initial seek");
         assert_eq!(s.seq_reads as u32, w.meta.page_count - 1);

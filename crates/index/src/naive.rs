@@ -167,7 +167,7 @@ impl NaiveRankIndex {
     /// entry's rank and positions.
     pub fn lookup<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         elem: ElemId,
     ) -> Option<(f32, Vec<u32>)> {
@@ -239,11 +239,11 @@ mod tests {
 
     #[test]
     fn id_lists_include_ancestors_in_order() {
-        let (mut pool, idx, _, c) = build();
+        let (pool, idx, _, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut elems = Vec::new();
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             elems.push(p.elem);
         }
         // xql is in <title> and <sec>; ancestors proc, paper, body, plus
@@ -257,11 +257,11 @@ mod tests {
 
     #[test]
     fn rank_lists_descend() {
-        let (mut pool, _, idx, c) = build();
+        let (pool, _, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut prev = f32::INFINITY;
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             assert!(p.rank <= prev);
             prev = p.rank;
         }
@@ -269,10 +269,10 @@ mod tests {
 
     #[test]
     fn hash_lookup_finds_members_only() {
-        let (mut pool, _, idx, c) = build();
+        let (pool, _, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         // Root (elem 0) contains xql.
-        let (rank, positions) = idx.lookup(&mut pool, term, 0).unwrap();
+        let (rank, positions) = idx.lookup(&pool, term, 0).unwrap();
         assert!(rank > 0.0);
         assert_eq!(positions.len(), 2);
         // The <title> element's direct posting has one position.
@@ -281,7 +281,7 @@ mod tests {
             .find(|(_, e)| &*e.name == "title")
             .map(|(id, _)| id)
             .unwrap();
-        let (_, tpos) = idx.lookup(&mut pool, term, title).unwrap();
+        let (_, tpos) = idx.lookup(&pool, term, title).unwrap();
         assert_eq!(tpos.len(), 1);
         // An element not containing xql misses.
         let nodes_term = c.vocabulary().lookup("nodes").unwrap();
@@ -290,7 +290,7 @@ mod tests {
             .find(|(_, e)| &*e.name == "sec")
             .map(|(id, _)| id)
             .unwrap();
-        assert!(idx.lookup(&mut pool, nodes_term, sec).is_none());
+        assert!(idx.lookup(&pool, nodes_term, sec).is_none());
     }
 
     #[test]

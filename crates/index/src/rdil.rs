@@ -100,7 +100,7 @@ impl RdilIndex {
     /// both restricted to `term`.
     pub fn lowest_geq<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> (Option<Posting>, Option<Posting>) {
@@ -116,7 +116,7 @@ impl RdilIndex {
     /// "range scan over btree[i]" of Figure 7 line 19.
     pub fn prefix_postings<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> Vec<Posting> {
@@ -213,12 +213,12 @@ mod tests {
 
     #[test]
     fn lists_stream_in_rank_order() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("ricardo").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut prev = f32::INFINITY;
         let mut count = 0;
-        while let Some(p) = r.next(&mut pool) {
+        while let Some(p) = r.next(&pool) {
             assert!(p.rank <= prev, "rank order violated");
             prev = p.rank;
             count += 1;
@@ -228,15 +228,15 @@ mod tests {
 
     #[test]
     fn lowest_geq_respects_term_boundaries() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let xql = c.vocabulary().lookup("xql").unwrap();
         // Probe beyond all xql postings: entry must not leak into the next
         // term's key space.
-        let (entry, pred) = idx.lowest_geq(&mut pool, xql, &DeweyId::from([99, 0]));
+        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([99, 0]));
         assert!(entry.is_none());
         assert!(pred.is_some(), "predecessor is xql's last posting");
         // Probe before all: predecessor must not leak backwards.
-        let (entry, pred) = idx.lowest_geq(&mut pool, xql, &DeweyId::from([0]));
+        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([0]));
         assert!(entry.is_some());
         // the predecessor, if any, must belong to this term
         if let Some(p) = pred {
@@ -246,29 +246,29 @@ mod tests {
 
     #[test]
     fn lowest_geq_finds_exact_and_following() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         // Find xql's first posting by probing the document root.
-        let (entry, _) = idx.lowest_geq(&mut pool, term, &DeweyId::from([0]));
+        let (entry, _) = idx.lowest_geq(&pool, term, &DeweyId::from([0]));
         let first = entry.unwrap();
         // Probing exactly that Dewey returns it again.
-        let (again, pred) = idx.lowest_geq(&mut pool, term, &first.dewey);
+        let (again, pred) = idx.lowest_geq(&pool, term, &first.dewey);
         assert_eq!(again.unwrap().dewey, first.dewey);
         assert!(pred.is_none() || pred.unwrap().dewey < first.dewey);
     }
 
     #[test]
     fn prefix_postings_scans_subtrees() {
-        let (mut pool, idx, c) = build();
+        let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("ricardo").unwrap();
         // Whole document prefix: both occurrences.
-        let all = idx.prefix_postings(&mut pool, term, &DeweyId::from([0]));
+        let all = idx.prefix_postings(&pool, term, &DeweyId::from([0]));
         assert_eq!(all.len(), 2);
         // First paper subtree only.
-        let first_paper = idx.prefix_postings(&mut pool, term, &DeweyId::from([0, 0, 0]));
+        let first_paper = idx.prefix_postings(&pool, term, &DeweyId::from([0, 0, 0]));
         assert_eq!(first_paper.len(), 1);
         // Foreign subtree: nothing.
-        let none = idx.prefix_postings(&mut pool, term, &DeweyId::from([1]));
+        let none = idx.prefix_postings(&pool, term, &DeweyId::from([1]));
         assert!(none.is_empty());
     }
 

@@ -30,7 +30,7 @@ pub trait RankedAccess<S: PageStore> {
     /// `dewey >= target`, and its predecessor.
     fn lowest_geq(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> (Option<Posting>, Option<Posting>);
@@ -38,7 +38,7 @@ pub trait RankedAccess<S: PageStore> {
     /// Range scan: all postings of `term` under `prefix`.
     fn prefix_postings(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> Vec<Posting>;
@@ -63,7 +63,7 @@ impl<S: PageStore> RankedAccess<S> for RdilIndex {
 
     fn lowest_geq(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> (Option<Posting>, Option<Posting>) {
@@ -72,7 +72,7 @@ impl<S: PageStore> RankedAccess<S> for RdilIndex {
 
     fn prefix_postings(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> Vec<Posting> {
@@ -99,7 +99,7 @@ impl<S: PageStore> RankedAccess<S> for HdilIndex {
 
     fn lowest_geq(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
     ) -> (Option<Posting>, Option<Posting>) {
@@ -108,7 +108,7 @@ impl<S: PageStore> RankedAccess<S> for HdilIndex {
 
     fn prefix_postings(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> Vec<Posting> {

@@ -57,7 +57,7 @@ pub(crate) fn occurrence_rank(p: &Posting, opts: &QueryOptions) -> f64 {
 /// Evaluates a conjunctive query over a [`DilIndex`], returning the top
 /// `opts.top_m` results.
 pub fn evaluate<S: PageStore>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     index: &DilIndex,
     terms: &[TermId],
     opts: &QueryOptions,
@@ -189,7 +189,7 @@ mod tests {
     }
 
     pub(crate) fn run(
-        pool: &mut BufferPool<MemStore>,
+        pool: &BufferPool<MemStore>,
         idx: &DilIndex,
         c: &Collection,
         keywords: &[&str],
@@ -240,9 +240,9 @@ mod tests {
             </paper>
           </proceedings>
         </workshop>"#;
-        let (mut pool, idx, c) = setup(xml);
+        let (pool, idx, c) = setup(xml);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = run(&mut pool, &idx, &c, &["xql", "language"], &opts);
+        let out = run(&pool, &idx, &c, &["xql", "language"], &opts);
         let names = names_of(&out.results, &c);
         // The most specific result.
         assert!(names.contains(&"subsection".to_string()), "most specific result: {names:?}");
@@ -260,10 +260,10 @@ mod tests {
 
     #[test]
     fn single_keyword_returns_direct_containers() {
-        let (mut pool, idx, c) =
+        let (pool, idx, c) =
             setup("<r><a>solo here</a><b><c>solo again</c></b></r>");
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = run(&mut pool, &idx, &c, &["solo"], &opts);
+        let out = run(&pool, &idx, &c, &["solo"], &opts);
         let names = names_of(&out.results, &c);
         assert_eq!(names.len(), 2);
         assert!(names.contains(&"a".to_string()) && names.contains(&"c".to_string()));
@@ -271,9 +271,9 @@ mod tests {
 
     #[test]
     fn missing_keyword_returns_nothing() {
-        let (mut pool, idx, c) = setup("<r><a>alpha beta</a></r>");
+        let (pool, idx, c) = setup("<r><a>alpha beta</a></r>");
         let opts = QueryOptions::default();
-        let out = run(&mut pool, &idx, &c, &["alpha", "nonexistent"], &opts);
+        let out = run(&pool, &idx, &c, &["alpha", "nonexistent"], &opts);
         assert!(out.results.is_empty());
     }
 
@@ -287,7 +287,7 @@ mod tests {
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
         let idx = DilIndex::build(&mut pool, &postings);
-        let out = run(&mut pool, &idx, &c, &["foo", "bar"], &QueryOptions::default());
+        let out = run(&pool, &idx, &c, &["foo", "bar"], &QueryOptions::default());
         assert!(out.results.is_empty(), "keywords in different documents share no element");
     }
 
@@ -297,9 +297,9 @@ mod tests {
         // them in one element, <loose> spreads them across children (so
         // its rank is decayed and its window wider).
         let xml = "<r><tight>alpha beta</tight><loose><x>alpha filler</x><y>filler beta</y></loose></r>";
-        let (mut pool, idx, c) = setup(xml);
+        let (pool, idx, c) = setup(xml);
         let opts = QueryOptions { top_m: 10, proximity: Proximity::One, ..Default::default() };
-        let out = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts);
+        let out = run(&pool, &idx, &c, &["alpha", "beta"], &opts);
         let names = names_of(&out.results, &c);
         assert_eq!(names[0], "tight", "results: {names:?}");
     }
@@ -307,32 +307,32 @@ mod tests {
     #[test]
     fn proximity_demotes_distant_keywords() {
         let xml = "<r><near>alpha beta</near><far>alpha w1 w2 w3 w4 w5 w6 w7 w8 w9 beta</far></r>";
-        let (mut pool, idx, c) = setup(xml);
+        let (pool, idx, c) = setup(xml);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts);
+        let out = run(&pool, &idx, &c, &["alpha", "beta"], &opts);
         let names = names_of(&out.results, &c);
         assert_eq!(names[0], "near");
         // with proximity disabled the two tie on rank structure
         let opts1 = QueryOptions { proximity: Proximity::One, ..opts };
-        let out1 = run(&mut pool, &idx, &c, &["alpha", "beta"], &opts1);
+        let out1 = run(&pool, &idx, &c, &["alpha", "beta"], &opts1);
         assert!((out1.results[0].score - out1.results[1].score).abs() < 1e-12);
     }
 
     #[test]
     fn scans_every_list_entirely() {
-        let (mut pool, idx, c) = setup("<r><a>x y</a><b>x</b><c>y</c></r>");
+        let (pool, idx, c) = setup("<r><a>x y</a><b>x</b><c>y</c></r>");
         let tx = c.vocabulary().lookup("x").unwrap();
         let ty = c.vocabulary().lookup("y").unwrap();
         let expected =
             idx.meta(tx).unwrap().entry_count as u64 + idx.meta(ty).unwrap().entry_count as u64;
-        let out = evaluate(&mut pool, &idx, &[tx, ty], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[tx, ty], &QueryOptions::default());
         assert_eq!(out.stats.entries_scanned, expected, "DIL always scans fully");
     }
 
     #[test]
     fn empty_query() {
-        let (mut pool, idx, _) = setup("<r><a>word</a></r>");
-        let out = evaluate(&mut pool, &idx, &[], &QueryOptions::default());
+        let (pool, idx, _) = setup("<r><a>word</a></r>");
+        let out = evaluate(&pool, &idx, &[], &QueryOptions::default());
         assert!(out.results.is_empty());
     }
 
@@ -340,9 +340,9 @@ mod tests {
     fn repeated_keyword_in_query() {
         // Degenerate but legal: same term twice behaves like once (both
         // lists are identical).
-        let (mut pool, idx, c) = setup("<r><a>dup text</a></r>");
+        let (pool, idx, c) = setup("<r><a>dup text</a></r>");
         let t = c.vocabulary().lookup("dup").unwrap();
-        let out = evaluate(&mut pool, &idx, &[t, t], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[t, t], &QueryOptions::default());
         assert_eq!(out.results.len(), 1);
     }
 }

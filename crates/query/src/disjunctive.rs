@@ -27,7 +27,7 @@ use xrank_storage::{BufferPool, PageStore};
 /// Evaluates a disjunctive query over the Dewey-sorted lists: one merge
 /// pass, grouping postings by element.
 pub fn evaluate<S: PageStore>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     index: &DilIndex,
     terms: &[TermId],
     opts: &QueryOptions,
@@ -141,32 +141,32 @@ mod tests {
 
     #[test]
     fn returns_partial_matches() {
-        let (mut pool, idx, c) =
+        let (pool, idx, c) =
             setup("<r><a>apple banana</a><b>apple only</b><x>banana</x><z>neither</z></r>");
         let q = terms(&c, &["apple", "banana"]);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = evaluate(&mut pool, &idx, &q, &opts);
+        let out = evaluate(&pool, &idx, &q, &opts);
         // a (both), b (apple), x (banana) — not z
         assert_eq!(out.results.len(), 3);
     }
 
     #[test]
     fn full_matches_outrank_partial_with_equal_elemrank() {
-        let (mut pool, idx, c) =
+        let (pool, idx, c) =
             setup("<r><both>apple banana</both><one>apple word</one><two>banana word</two></r>");
         let q = terms(&c, &["apple", "banana"]);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = evaluate(&mut pool, &idx, &q, &opts);
+        let out = evaluate(&pool, &idx, &q, &opts);
         let top = c.elem_by_dewey(&out.results[0].dewey).unwrap();
         assert_eq!(&*c.element(top).name, "both");
     }
 
     #[test]
     fn missing_keyword_does_not_kill_the_query() {
-        let (mut pool, idx, c) = setup("<r><a>present</a></r>");
+        let (pool, idx, c) = setup("<r><a>present</a></r>");
         let present = c.vocabulary().lookup("present").unwrap();
         let out = evaluate(
-            &mut pool,
+            &pool,
             &idx,
             &[present, TermId(9999)],
             &QueryOptions::default(),
@@ -177,11 +177,11 @@ mod tests {
     #[test]
     fn disjunctive_covers_every_conjunctive_result() {
         let xml = "<r><a>x y</a><b>x</b><c>y</c><d>x z y</d></r>";
-        let (mut pool, idx, c) = setup(xml);
+        let (pool, idx, c) = setup(xml);
         let q = terms(&c, &["x", "y"]);
         let opts = QueryOptions { top_m: 100, ..Default::default() };
-        let dis = evaluate(&mut pool, &idx, &q, &opts);
-        let con = crate::dil_query::evaluate(&mut pool, &idx, &q, &opts);
+        let dis = evaluate(&pool, &idx, &q, &opts);
+        let con = crate::dil_query::evaluate(&pool, &idx, &q, &opts);
         // Disjunctive returns the direct containers (a, b, c, d);
         // conjunctive returns a, d, and <r> (independent occurrences via b
         // and c). Every conjunctive result is an ancestor-or-self of some
@@ -199,8 +199,8 @@ mod tests {
 
     #[test]
     fn empty_query() {
-        let (mut pool, idx, _) = setup("<r><a>word</a></r>");
-        let out = evaluate(&mut pool, &idx, &[], &QueryOptions::default());
+        let (pool, idx, _) = setup("<r><a>word</a></r>");
+        let out = evaluate(&pool, &idx, &[], &QueryOptions::default());
         assert!(out.results.is_empty());
     }
 }

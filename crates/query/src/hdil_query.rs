@@ -21,7 +21,7 @@ use crate::score::QueryOptions;
 use crate::{EvalStats, QueryOutcome};
 use xrank_graph::TermId;
 use xrank_index::HdilIndex;
-use xrank_storage::{BufferPool, CostModel, PageStore};
+use xrank_storage::{BufferPool, CostModel, PageStore, StatsScope};
 
 /// Steps between progress checks.
 const CHECK_INTERVAL: u64 = 8;
@@ -29,7 +29,7 @@ const CHECK_INTERVAL: u64 = 8;
 /// Evaluates a conjunctive query over an [`HdilIndex`] with the adaptive
 /// RDIL→DIL strategy.
 pub fn evaluate<S: PageStore>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     index: &HdilIndex,
     terms: &[TermId],
     opts: &QueryOptions,
@@ -48,7 +48,10 @@ pub fn evaluate<S: PageStore>(
         * cost_model.seq_cost
         + terms.len() as f64 * cost_model.rand_cost;
 
-    let start_stats = pool.stats();
+    // Thread-local attribution: under a concurrent driver the pool's
+    // global ledger mixes every in-flight query, which would corrupt the
+    // spent-so-far estimate driving the switch decision.
+    let scope = StatsScope::begin();
     let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts);
     let mut steps = 0u64;
     loop {
@@ -62,7 +65,7 @@ pub fn evaluate<S: PageStore>(
             continue;
         }
         // Progress check.
-        let spent = cost_model.cost(&pool.stats().since(&start_stats));
+        let spent = cost_model.cost(&scope.so_far());
         let r = run.confirmed_results();
         let should_switch = if r == 0 {
             // No confirmed result yet — the signature of uncorrelated
@@ -126,13 +129,13 @@ mod tests {
             xml.push_str(&format!("<e{i}>alpha beta together {i}</e{i}>"));
         }
         xml.push_str("</r>");
-        let (mut pool, dil, hdil, c) = setup(&xml);
+        let (pool, dil, hdil, c) = setup(&xml);
         let q = terms(&c, &["alpha", "beta"]);
         let opts = QueryOptions { top_m: 5, ..Default::default() };
-        let out = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
         assert!(!out.stats.switched_to_dil, "correlated keywords should finish on RDIL");
         // and results agree with DIL
-        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
         assert_eq!(out.results.len(), d.results.len());
         for (a, b) in out.results.iter().zip(d.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -150,11 +153,11 @@ mod tests {
             xml.push_str(&format!("<a{i}>alpha solo {i}</a{i}><b{i}>beta solo {i}</b{i}>"));
         }
         xml.push_str("<rare>alpha beta</rare></r>");
-        let (mut pool, dil, hdil, c) = setup(&xml);
+        let (pool, dil, hdil, c) = setup(&xml);
         let q = terms(&c, &["alpha", "beta"]);
         let opts = QueryOptions { top_m: 5, ..Default::default() };
-        let out = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
-        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
         assert_eq!(out.results.len(), d.results.len());
         for (a, b) in out.results.iter().zip(d.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -175,12 +178,12 @@ mod tests {
             ));
         }
         xml.push_str("</corpus>");
-        let (mut pool, dil, hdil, c) = setup(&xml);
+        let (pool, dil, hdil, c) = setup(&xml);
         let q = terms(&c, &["gamma", "delta"]);
         for m in [1usize, 4, 25] {
             let opts = QueryOptions { top_m: m, ..Default::default() };
-            let h = evaluate(&mut pool, &hdil, &q, &opts, &CostModel::default());
-            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+            let h = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
             assert_eq!(h.results.len(), d.results.len(), "m={m}");
             for (a, b) in h.results.iter().zip(d.results.iter()) {
                 assert_eq!(a.dewey, b.dewey, "m={m}");
@@ -191,10 +194,10 @@ mod tests {
 
     #[test]
     fn missing_keyword() {
-        let (mut pool, _, hdil, c) = setup("<r><a>here text</a></r>");
+        let (pool, _, hdil, c) = setup("<r><a>here text</a></r>");
         let here = c.vocabulary().lookup("here").unwrap();
         let out = evaluate(
-            &mut pool,
+            &pool,
             &hdil,
             &[here, TermId(55_555)],
             &QueryOptions::default(),

@@ -36,7 +36,7 @@ fn score_group(entries: &[NaivePosting], opts: &QueryOptions) -> f64 {
 
 /// Naive-ID evaluation: k-way equality merge-join on element id.
 pub fn evaluate_id<S: PageStore>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     index: &NaiveIdIndex,
     collection: &Collection,
     terms: &[TermId],
@@ -100,7 +100,7 @@ pub fn evaluate_id<S: PageStore>(
 /// Naive-Rank evaluation: Threshold Algorithm over rank-ordered lists with
 /// hash-index membership probes.
 pub fn evaluate_rank<S: PageStore>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     index: &NaiveRankIndex,
     collection: &Collection,
     terms: &[TermId],
@@ -234,11 +234,11 @@ mod tests {
     /// returns spurious ancestors.
     #[test]
     fn naive_returns_spurious_ancestors() {
-        let (mut pool, id_idx, _, dil, c) = setup(XML);
+        let (pool, id_idx, _, dil, c) = setup(XML);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let naive = evaluate_id(&mut pool, &id_idx, &c, &q, &opts);
-        let xrank = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
+        let naive = evaluate_id(&pool, &id_idx, &c, &q, &opts);
+        let xrank = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
         assert!(
             naive.results.len() > xrank.results.len(),
             "naive {} results should exceed XRANK {}",
@@ -263,11 +263,11 @@ mod tests {
     /// different access paths).
     #[test]
     fn id_and_rank_agree() {
-        let (mut pool, id_idx, rank_idx, _, c) = setup(XML);
+        let (pool, id_idx, rank_idx, _, c) = setup(XML);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let a = evaluate_id(&mut pool, &id_idx, &c, &q, &opts);
-        let b = evaluate_rank(&mut pool, &rank_idx, &c, &q, &opts);
+        let a = evaluate_id(&pool, &id_idx, &c, &q, &opts);
+        let b = evaluate_rank(&pool, &rank_idx, &c, &q, &opts);
         assert_eq!(a.results.len(), b.results.len());
         for (x, y) in a.results.iter().zip(b.results.iter()) {
             assert_eq!(x.dewey, y.dewey);
@@ -282,10 +282,10 @@ mod tests {
             xml.push_str(&format!("<e{i}>pair one two {i}</e{i}>"));
         }
         xml.push_str("</r>");
-        let (mut pool, _, rank_idx, _, c) = setup(&xml);
+        let (pool, _, rank_idx, _, c) = setup(&xml);
         let q = terms(&c, &["one", "two"]);
         let opts = QueryOptions { top_m: 1, ..Default::default() };
-        let out = evaluate_rank(&mut pool, &rank_idx, &c, &q, &opts);
+        let out = evaluate_rank(&pool, &rank_idx, &c, &q, &opts);
         assert_eq!(out.results.len(), 1);
         let total: u64 = q
             .iter()
@@ -299,25 +299,25 @@ mod tests {
 
     #[test]
     fn missing_keyword_and_empty_query() {
-        let (mut pool, id_idx, rank_idx, _, c) = setup("<r><a>hello world</a></r>");
+        let (pool, id_idx, rank_idx, _, c) = setup("<r><a>hello world</a></r>");
         let hello = c.vocabulary().lookup("hello").unwrap();
         let opts = QueryOptions::default();
-        assert!(evaluate_id(&mut pool, &id_idx, &c, &[hello, TermId(7777)], &opts)
+        assert!(evaluate_id(&pool, &id_idx, &c, &[hello, TermId(7777)], &opts)
             .results
             .is_empty());
-        assert!(evaluate_rank(&mut pool, &rank_idx, &c, &[hello, TermId(7777)], &opts)
+        assert!(evaluate_rank(&pool, &rank_idx, &c, &[hello, TermId(7777)], &opts)
             .results
             .is_empty());
-        assert!(evaluate_id(&mut pool, &id_idx, &c, &[], &opts).results.is_empty());
-        assert!(evaluate_rank(&mut pool, &rank_idx, &c, &[], &opts).results.is_empty());
+        assert!(evaluate_id(&pool, &id_idx, &c, &[], &opts).results.is_empty());
+        assert!(evaluate_rank(&pool, &rank_idx, &c, &[], &opts).results.is_empty());
     }
 
     #[test]
     fn single_keyword_merge() {
-        let (mut pool, id_idx, _, _, c) = setup("<r><a>solo</a><b><c>solo</c></b></r>");
+        let (pool, id_idx, _, _, c) = setup("<r><a>solo</a><b><c>solo</c></b></r>");
         let q = terms(&c, &["solo"]);
         let opts = QueryOptions { top_m: 20, ..Default::default() };
-        let out = evaluate_id(&mut pool, &id_idx, &c, &q, &opts);
+        let out = evaluate_id(&pool, &id_idx, &c, &q, &opts);
         // naive single-keyword = every element containing it: a, c, b, r
         assert_eq!(out.results.len(), 4);
     }

@@ -58,7 +58,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     /// Prepares a run. Queries with a keyword absent from the vocabulary
     /// or the index finish immediately with no results.
     pub fn new(
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         access: &'a A,
         terms: &[TermId],
         opts: &QueryOptions,
@@ -125,7 +125,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     }
 
     /// Consumes one list entry (round-robin) and processes it.
-    pub fn step(&mut self, pool: &mut BufferPool<S>) -> StepOutcome {
+    pub fn step(&mut self, pool: &BufferPool<S>) -> StepOutcome {
         if self.done {
             return StepOutcome::Done;
         }
@@ -216,7 +216,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     }
 
     /// Runs to completion (RDIL use; HDIL drives `step` itself).
-    pub fn run_to_end(&mut self, pool: &mut BufferPool<S>) -> StepOutcome {
+    pub fn run_to_end(&mut self, pool: &BufferPool<S>) -> StepOutcome {
         loop {
             match self.step(pool) {
                 StepOutcome::Continue => continue,
@@ -237,7 +237,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
 /// themselves), and requires every keyword to retain at least one relevant
 /// occurrence.
 pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     access: &A,
     terms: &[TermId],
     lcp: &DeweyId,
@@ -302,7 +302,7 @@ pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
 /// Evaluates a conjunctive query with the Figure 7 algorithm, running the
 /// TA loop to completion.
 pub fn evaluate<S: PageStore, A: RankedAccess<S>>(
-    pool: &mut BufferPool<S>,
+    pool: &BufferPool<S>,
     access: &A,
     terms: &[TermId],
     opts: &QueryOptions,
@@ -351,11 +351,11 @@ mod tests {
             <paper><title>Querying XML language</title><body>no xql here</body></paper>
           </proceedings>
         </workshop>"#;
-        let (mut pool, dil, rdil, c) = setup(xml);
+        let (pool, dil, rdil, c) = setup(xml);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
-        let r = evaluate(&mut pool, &rdil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+        let r = evaluate(&pool, &rdil, &q, &opts);
         assert_eq!(d.results.len(), r.results.len(), "result sets differ");
         for (a, b) in d.results.iter().zip(r.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -372,10 +372,10 @@ mod tests {
             xml.push_str(&format!("<e{i}>common text</e{i}>"));
         }
         xml.push_str("</r>");
-        let (mut pool, _, rdil, c) = setup(&xml);
+        let (pool, _, rdil, c) = setup(&xml);
         let q = terms(&c, &["common"]);
         let opts = QueryOptions { top_m: 1, ..Default::default() };
-        let out = evaluate(&mut pool, &rdil, &q, &opts);
+        let out = evaluate(&pool, &rdil, &q, &opts);
         assert_eq!(out.results.len(), 1);
         let total = rdil.meta(q[0]).unwrap().entry_count as u64;
         assert!(
@@ -388,9 +388,9 @@ mod tests {
 
     #[test]
     fn missing_keyword_returns_nothing() {
-        let (mut pool, _, rdil, c) = setup("<r><a>present word</a></r>");
+        let (pool, _, rdil, c) = setup("<r><a>present word</a></r>");
         let present = c.vocabulary().lookup("present").unwrap();
-        let out = evaluate(&mut pool, &rdil, &[present, TermId(40_000)], &QueryOptions::default());
+        let out = evaluate(&pool, &rdil, &[present, TermId(40_000)], &QueryOptions::default());
         assert!(out.results.is_empty());
     }
 
@@ -405,12 +405,12 @@ mod tests {
             ));
         }
         xml.push_str("</corpus>");
-        let (mut pool, dil, rdil, c) = setup(&xml);
+        let (pool, dil, rdil, c) = setup(&xml);
         let q = terms(&c, &["alpha", "beta"]);
         for m in [1usize, 3, 10] {
             let opts = QueryOptions { top_m: m, ..Default::default() };
-            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
-            let r = evaluate(&mut pool, &rdil, &q, &opts);
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+            let r = evaluate(&pool, &rdil, &q, &opts);
             assert_eq!(d.results.len(), r.results.len(), "m={m}");
             for (a, b) in d.results.iter().zip(r.results.iter()) {
                 assert!((a.score - b.score).abs() < 1e-9, "m={m}: scores diverge");
@@ -425,7 +425,7 @@ mod tests {
     #[test]
     fn keyword_weights_shift_ranking_consistently() {
         let xml = "<r><heavy>alpha alpha alpha beta</heavy><light>alpha beta beta beta</light></r>";
-        let (mut pool, dil, rdil, c) = setup(xml);
+        let (pool, dil, rdil, c) = setup(xml);
         let q = terms(&c, &["alpha", "beta"]);
         for weights in [vec![10.0, 1.0], vec![1.0, 10.0]] {
             let opts = QueryOptions {
@@ -434,8 +434,8 @@ mod tests {
                 keyword_weights: Some(weights.clone()),
                 ..Default::default()
             };
-            let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
-            let r = evaluate(&mut pool, &rdil, &q, &opts);
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+            let r = evaluate(&pool, &rdil, &q, &opts);
             assert_eq!(d.results.len(), r.results.len());
             for (a, b) in d.results.iter().zip(r.results.iter()) {
                 assert_eq!(a.dewey, b.dewey, "weights {weights:?}");
@@ -451,15 +451,15 @@ mod tests {
     #[test]
     fn sum_aggregation_disables_early_stop_but_stays_correct() {
         let xml = "<r><a>w w w v</a><b>w v</b></r>";
-        let (mut pool, dil, rdil, c) = setup(xml);
+        let (pool, dil, rdil, c) = setup(xml);
         let q = terms(&c, &["w", "v"]);
         let opts = QueryOptions {
             aggregation: Aggregation::Sum,
             top_m: 5,
             ..Default::default()
         };
-        let d = crate::dil_query::evaluate(&mut pool, &dil, &q, &opts);
-        let r = evaluate(&mut pool, &rdil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+        let r = evaluate(&pool, &rdil, &q, &opts);
         assert_eq!(d.results.len(), r.results.len());
         for (a, b) in d.results.iter().zip(r.results.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);

@@ -548,7 +548,7 @@ mod tests {
                     per_source[s as usize] += graph.weight[e];
                 }
                 let mut dangling = 0usize;
-                for (_, w) in per_source.iter().enumerate() {
+                for w in per_source.iter() {
                     if *w == 0.0 {
                         dangling += 1;
                     } else {

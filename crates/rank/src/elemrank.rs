@@ -84,18 +84,22 @@ impl ElemRankParams {
     }
 }
 
-/// Resolves a requested thread count against the graph size: explicit
-/// requests (param, then the `XRANK_THREADS` env var) are honored but
-/// clamped to the vertex count; auto mode uses available parallelism
+/// Resolves a requested thread count against the graph size: an explicit
+/// parameter (`requested > 0`) is honored but clamped to the vertex count;
+/// auto mode (`0`) takes the `XRANK_THREADS` env var clamped to available
+/// parallelism — oversubscribing a machine only timeshares one core and
+/// slows the sweep down — or, with no env override, available parallelism
 /// scaled down so each worker owns at least a few thousand rows. Always
 /// returns at least 1; falls back to 1 when `available_parallelism` is
 /// unavailable on the platform.
 pub fn resolve_threads(requested: usize, n: usize) -> usize {
-    let explicit = if requested > 0 { Some(requested) } else { threads_from_env() };
-    if let Some(t) = explicit {
-        return t.clamp(1, n.max(1));
+    if requested > 0 {
+        return requested.clamp(1, n.max(1));
     }
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    if let Some(t) = threads_from_env() {
+        return t.min(hw).clamp(1, n.max(1));
+    }
     hw.min((n / AUTO_MIN_CHUNK).max(1)).clamp(1, n.max(1))
 }
 
@@ -524,11 +528,14 @@ pub(crate) mod tests {
         assert_eq!(resolve_threads(5, 0), 1);
         // Auto mode always lands in [1, n] even if `available_parallelism`
         // is unavailable (its failure path falls back to one worker).
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         for n in [1usize, 7, 2048, 1 << 20] {
             let t = resolve_threads(0, n);
             assert!((1..=n).contains(&t), "auto resolved {t} for n = {n}");
+            assert!(t <= hw, "auto must never oversubscribe: {t} > {hw} hw threads");
         }
     }
+
 
     #[test]
     fn env_override_reproduces_single_threaded_scores() {
@@ -559,7 +566,15 @@ pub(crate) mod tests {
             std::env::set_var(THREADS_ENV_VAR, bad);
             assert_eq!(threads_from_env(), None, "{bad:?} should fall back to auto");
         }
+
+        // In auto mode an absurd XRANK_THREADS no longer oversubscribes:
+        // workers time-sharing one core are pure overhead (the E1 sweep
+        // used to report that as a 0.9x "speedup").
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        std::env::set_var(THREADS_ENV_VAR, "4096");
+        let resolved = resolve_threads(0, 1 << 20);
         std::env::remove_var(THREADS_ENV_VAR);
+        assert!(resolved <= hw, "env auto request resolved {resolved} > {hw} hw threads");
     }
 
     #[test]

@@ -124,14 +124,14 @@ impl Interior {
     /// Descends to the child whose key range may contain `key`: the child
     /// of the last entry with `first_key <= key`, or the first child when
     /// `key` sorts before everything.
-    pub fn descend<S: PageStore>(&self, pool: &mut BufferPool<S>, key: &[u8]) -> u32 {
+    pub fn descend<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> u32 {
         if self.height == 0 {
             return self.root;
         }
         let mut page_off = self.root;
         for level in 0..self.height {
             let page = pool.read(PageId::new(self.segment, page_off));
-            let child = Self::find_child(page, key);
+            let child = Self::find_child(&page, key);
             if level + 1 == self.height {
                 return child;
             }
@@ -344,17 +344,17 @@ impl SortedKv {
 
     fn leaf_entries<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         leaf: u32,
     ) -> Vec<(Vec<u8>, Vec<u8>)> {
         let page = pool.read(PageId::new(self.segment, leaf));
-        Self::parse_leaf(page)
+        Self::parse_leaf(&page)
     }
 
     /// The entry at `loc`, if the location is valid.
     pub fn entry_at<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         loc: EntryLoc,
     ) -> Option<Entry> {
         if loc.leaf >= self.leaf_count {
@@ -369,7 +369,7 @@ impl SortedKv {
     }
 
     /// The entry after `loc` in key order.
-    pub fn next<S: PageStore>(&self, pool: &mut BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
+    pub fn next<S: PageStore>(&self, pool: &BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
         let entries = self.leaf_entries(pool, loc.leaf);
         if (loc.slot as usize) + 1 < entries.len() {
             return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot + 1 });
@@ -386,7 +386,7 @@ impl SortedKv {
     }
 
     /// The entry before `loc` in key order.
-    pub fn prev<S: PageStore>(&self, pool: &mut BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
+    pub fn prev<S: PageStore>(&self, pool: &BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
         if loc.slot > 0 {
             return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot - 1 });
         }
@@ -408,7 +408,7 @@ impl SortedKv {
     /// and its immediate predecessor. Either may be `None` at the ends.
     pub fn lowest_geq<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         target: &[u8],
     ) -> (Option<Entry>, Option<Entry>) {
         let leaf = self.interior.descend(pool, target);
@@ -450,7 +450,7 @@ impl SortedKv {
 
     fn first_entry_from<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         mut leaf: u32,
     ) -> Option<Entry> {
         while leaf < self.leaf_count {
@@ -464,7 +464,7 @@ impl SortedKv {
     }
 
     /// Exact-match lookup.
-    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, key: &[u8]) -> Option<Vec<u8>> {
+    pub fn get<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> Option<Vec<u8>> {
         let (entry, _) = self.lowest_geq(pool, key);
         entry.filter(|e| e.key == key).map(|e| e.value)
     }
@@ -472,7 +472,7 @@ impl SortedKv {
     /// Collects all entries with `low <= key < high` via a leaf range scan.
     pub fn range<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         low: &[u8],
         high: &[u8],
     ) -> Vec<Entry> {
@@ -513,68 +513,68 @@ mod tests {
 
     #[test]
     fn small_tree_single_leaf() {
-        let (mut pool, tree) = build_tree(3);
+        let (pool, tree) = build_tree(3);
         assert_eq!(tree.leaf_count, 1);
         assert_eq!(tree.interior.height, 0);
-        assert_eq!(tree.get(&mut pool, b"key000001"), Some(b"value-1".to_vec()));
-        assert_eq!(tree.get(&mut pool, b"missing"), None);
+        assert_eq!(tree.get(&pool, b"key000001"), Some(b"value-1".to_vec()));
+        assert_eq!(tree.get(&pool, b"missing"), None);
     }
 
     #[test]
     fn large_tree_multiple_levels() {
-        let (mut pool, tree) = build_tree(5000);
+        let (pool, tree) = build_tree(5000);
         assert!(tree.leaf_count > 1);
         assert!(tree.interior.height >= 1, "expected interior levels");
         for i in [0u32, 1, 999, 2500, 4999] {
             let (k, v) = kv(i);
-            assert_eq!(tree.get(&mut pool, &k), Some(v), "key {i}");
+            assert_eq!(tree.get(&pool, &k), Some(v), "key {i}");
         }
         assert_eq!(tree.entry_count, 5000);
     }
 
     #[test]
     fn lowest_geq_exact_and_between() {
-        let (mut pool, tree) = build_tree(100);
+        let (pool, tree) = build_tree(100);
         // exact hit
-        let (e, p) = tree.lowest_geq(&mut pool, b"key000050");
+        let (e, p) = tree.lowest_geq(&pool, b"key000050");
         assert_eq!(e.unwrap().key, b"key000050".to_vec());
         assert_eq!(p.unwrap().key, b"key000049".to_vec());
         // between two keys
-        let (e, p) = tree.lowest_geq(&mut pool, b"key000050x");
+        let (e, p) = tree.lowest_geq(&pool, b"key000050x");
         assert_eq!(e.unwrap().key, b"key000051".to_vec());
         assert_eq!(p.unwrap().key, b"key000050".to_vec());
     }
 
     #[test]
     fn lowest_geq_at_the_ends() {
-        let (mut pool, tree) = build_tree(10);
-        let (e, p) = tree.lowest_geq(&mut pool, b"aaa");
+        let (pool, tree) = build_tree(10);
+        let (e, p) = tree.lowest_geq(&pool, b"aaa");
         assert_eq!(e.unwrap().key, b"key000000".to_vec());
         assert!(p.is_none());
-        let (e, p) = tree.lowest_geq(&mut pool, b"zzz");
+        let (e, p) = tree.lowest_geq(&pool, b"zzz");
         assert!(e.is_none());
         assert_eq!(p.unwrap().key, b"key000009".to_vec());
     }
 
     #[test]
     fn lowest_geq_across_leaf_boundary() {
-        let (mut pool, tree) = build_tree(2000);
+        let (pool, tree) = build_tree(2000);
         assert!(tree.leaf_count >= 2);
         // Probe just past the last key of leaf 0.
-        let leaf0 = tree.leaf_entries(&mut pool, 0);
+        let leaf0 = tree.leaf_entries(&pool, 0);
         let last = leaf0.last().unwrap().0.clone();
         let mut probe = last.clone();
         probe.push(b'!');
-        let (e, p) = tree.lowest_geq(&mut pool, &probe);
+        let (e, p) = tree.lowest_geq(&pool, &probe);
         assert_eq!(p.unwrap().key, last);
-        let first_leaf1 = tree.leaf_entries(&mut pool, 1)[0].0.clone();
+        let first_leaf1 = tree.leaf_entries(&pool, 1)[0].0.clone();
         assert_eq!(e.unwrap().key, first_leaf1);
     }
 
     #[test]
     fn cursors_traverse_everything_in_order() {
-        let (mut pool, tree) = build_tree(1500);
-        let (mut cur, _) = tree.lowest_geq(&mut pool, b"");
+        let (pool, tree) = build_tree(1500);
+        let (mut cur, _) = tree.lowest_geq(&pool, b"");
         let mut seen = 0u32;
         let mut last_key: Option<Vec<u8>> = None;
         while let Some(e) = cur {
@@ -583,24 +583,24 @@ mod tests {
             }
             last_key = Some(e.key.clone());
             seen += 1;
-            cur = tree.next(&mut pool, e.loc);
+            cur = tree.next(&pool, e.loc);
         }
         assert_eq!(seen, 1500);
         // and backwards
-        let (_, pred) = tree.lowest_geq(&mut pool, b"zzzz");
+        let (_, pred) = tree.lowest_geq(&pool, b"zzzz");
         let mut cur = pred;
         let mut seen_back = 0u32;
         while let Some(e) = cur {
             seen_back += 1;
-            cur = tree.prev(&mut pool, e.loc);
+            cur = tree.prev(&pool, e.loc);
         }
         assert_eq!(seen_back, 1500);
     }
 
     #[test]
     fn range_scan() {
-        let (mut pool, tree) = build_tree(100);
-        let out = tree.range(&mut pool, b"key000010", b"key000020");
+        let (pool, tree) = build_tree(100);
+        let out = tree.range(&pool, b"key000010", b"key000020");
         assert_eq!(out.len(), 10);
         assert_eq!(out[0].key, b"key000010".to_vec());
         assert_eq!(out[9].key, b"key000019".to_vec());
@@ -620,10 +620,10 @@ mod tests {
     fn empty_tree_behaves() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let tree = SortedKv::build(&mut pool, &[]).unwrap();
-        assert_eq!(tree.get(&mut pool, b"x"), None);
-        let (e, p) = tree.lowest_geq(&mut pool, b"x");
+        assert_eq!(tree.get(&pool, b"x"), None);
+        let (e, p) = tree.lowest_geq(&pool, b"x");
         assert!(e.is_none() && p.is_none());
-        assert!(tree.range(&mut pool, b"", b"zzz").is_empty());
+        assert!(tree.range(&pool, b"", b"zzz").is_empty());
     }
 
     #[test]
@@ -636,19 +636,19 @@ mod tests {
             .collect();
         let interior = Interior::build(&mut pool, seg, &children);
         assert!(interior.height >= 1);
-        assert_eq!(interior.descend(&mut pool, b"k00000"), 1000);
-        assert_eq!(interior.descend(&mut pool, b"k00123"), 1123);
-        assert_eq!(interior.descend(&mut pool, b"k00123x"), 1123);
-        assert_eq!(interior.descend(&mut pool, b"a"), 1000, "before-first goes to first child");
-        assert_eq!(interior.descend(&mut pool, b"zzz"), 1499);
+        assert_eq!(interior.descend(&pool, b"k00000"), 1000);
+        assert_eq!(interior.descend(&pool, b"k00123"), 1123);
+        assert_eq!(interior.descend(&pool, b"k00123x"), 1123);
+        assert_eq!(interior.descend(&pool, b"a"), 1000, "before-first goes to first child");
+        assert_eq!(interior.descend(&pool, b"zzz"), 1499);
     }
 
     #[test]
     fn probe_costs_are_logarithmic_random_reads() {
-        let (mut pool, tree) = build_tree(20_000);
+        let (pool, tree) = build_tree(20_000);
         pool.clear_cache();
         pool.reset_stats();
-        tree.lowest_geq(&mut pool, b"key010000");
+        tree.lowest_geq(&pool, b"key010000");
         let s = pool.stats();
         // height + leaf + (possible sibling for predecessor): a handful of
         // random reads, not a scan.

@@ -134,12 +134,12 @@ impl HashIndex {
     }
 
     /// Looks up `key`, returning its value if present.
-    pub fn get<S: PageStore>(&self, pool: &mut BufferPool<S>, key: u64) -> Option<Vec<u8>> {
+    pub fn get<S: PageStore>(&self, pool: &BufferPool<S>, key: u64) -> Option<Vec<u8>> {
         let bucket = bucket_of(key, self.n_buckets);
         let per_page = (PAGE_SIZE / 4) as u32;
         let dir_page = self.dir_start + bucket / per_page;
         let dir = pool.read(PageId::new(self.segment, dir_page));
-        let mut page_off = get_u32(dir, ((bucket % per_page) * 4) as usize);
+        let mut page_off = get_u32(&dir, ((bucket % per_page) * 4) as usize);
 
         while page_off != NO_PAGE {
             let page = pool.read(PageId::new(self.segment, page_off)).to_vec();
@@ -187,10 +187,10 @@ mod tests {
 
     #[test]
     fn lookup_all_present_keys() {
-        let (mut pool, idx) = build(5000);
+        let (pool, idx) = build(5000);
         for i in [0u64, 1, 250, 4999] {
             assert_eq!(
-                idx.get(&mut pool, i * 7 + 1),
+                idx.get(&pool, i * 7 + 1),
                 Some(format!("val{i}").into_bytes()),
                 "key {i}"
             );
@@ -199,16 +199,16 @@ mod tests {
 
     #[test]
     fn absent_keys_return_none() {
-        let (mut pool, idx) = build(1000);
-        assert_eq!(idx.get(&mut pool, 2), None);
-        assert_eq!(idx.get(&mut pool, u64::MAX), None);
+        let (pool, idx) = build(1000);
+        assert_eq!(idx.get(&pool, 2), None);
+        assert_eq!(idx.get(&pool, u64::MAX), None);
     }
 
     #[test]
     fn empty_index() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let idx = HashIndex::build(&mut pool, &[]).unwrap();
-        assert_eq!(idx.get(&mut pool, 42), None);
+        assert_eq!(idx.get(&pool, 42), None);
     }
 
     #[test]
@@ -230,16 +230,16 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let big = vec![0xAB; 3000];
         let idx = HashIndex::build(&mut pool, &[(9, big.clone()), (10, vec![1])]).unwrap();
-        assert_eq!(idx.get(&mut pool, 9), Some(big));
-        assert_eq!(idx.get(&mut pool, 10), Some(vec![1]));
+        assert_eq!(idx.get(&pool, 9), Some(big));
+        assert_eq!(idx.get(&pool, 10), Some(vec![1]));
     }
 
     #[test]
     fn lookups_cost_constant_random_reads() {
-        let (mut pool, idx) = build(20_000);
+        let (pool, idx) = build(20_000);
         pool.clear_cache();
         pool.reset_stats();
-        idx.get(&mut pool, 7 * 1234 + 1);
+        idx.get(&pool, 7 * 1234 + 1);
         let s = pool.stats();
         assert!(s.physical_reads() <= 4, "hash probe read {} pages", s.physical_reads());
         assert!(s.rand_reads >= 1);

@@ -41,6 +41,6 @@ mod stats;
 mod store;
 pub mod wire;
 
-pub use pool::BufferPool;
-pub use stats::{CostModel, IoStats};
+pub use pool::{BufferPool, EvictionCounters, PageRef, STREAMS_PER_SEGMENT};
+pub use stats::{AtomicIoStats, CostModel, IoStats, StatsScope};
 pub use store::{FileStore, MemStore, PageId, PageStore, SegmentId, PAGE_SIZE};

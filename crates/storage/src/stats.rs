@@ -1,4 +1,20 @@
 //! I/O accounting and the simulated cost model.
+//!
+//! Two layers of accounting coexist:
+//!
+//! * [`AtomicIoStats`] — the pool-global ledger. Counters are relaxed
+//!   atomics so any number of concurrent readers can record events through
+//!   `&self`; [`AtomicIoStats::snapshot`] materialises a plain [`IoStats`].
+//! * [`StatsScope`] — per-query attribution. A query runs on one worker
+//!   thread; `StatsScope::begin()` opens a thread-local ledger that every
+//!   buffer-pool event on that thread is *also* charged to, and
+//!   [`StatsScope::finish`] returns the delta. Concurrent queries on other
+//!   threads never pollute it, which is what keeps the Section 5 per-query
+//!   cost accounting meaningful under a multi-threaded driver.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ledger of physical I/O performed through a [`crate::BufferPool`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +49,125 @@ impl IoStats {
             cache_hits: self.cache_hits - earlier.cache_hits,
             writes: self.writes - earlier.writes,
         }
+    }
+}
+
+/// Interior-mutable [`IoStats`] ledger: relaxed atomic counters that
+/// concurrent readers bump through `&self`. The counters are independent
+/// (no cross-counter invariant is read transactionally), so relaxed
+/// ordering is sufficient — totals are exact because every event is exactly
+/// one increment.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    seq_reads: AtomicU64,
+    rand_reads: AtomicU64,
+    cache_hits: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// Records a sequential physical read.
+    pub fn add_seq(&self) {
+        self.seq_reads.fetch_add(1, Ordering::Relaxed);
+        scope_record(|s| s.seq_reads += 1);
+    }
+
+    /// Records a random (seeking) physical read.
+    pub fn add_rand(&self) {
+        self.rand_reads.fetch_add(1, Ordering::Relaxed);
+        scope_record(|s| s.rand_reads += 1);
+    }
+
+    /// Records a buffer-pool hit.
+    pub fn add_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        scope_record(|s| s.cache_hits += 1);
+    }
+
+    /// Records a page write.
+    pub fn add_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        scope_record(|s| s.writes += 1);
+    }
+
+    /// Materialises the current ledger.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            rand_reads: self.rand_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.seq_reads.store(0, Ordering::Relaxed);
+        self.rand_reads.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// Stack of open [`StatsScope`] frames on this thread. Every pool event
+    /// is charged to *all* open frames, so an outer scope sees the I/O of
+    /// work wrapped in an inner one.
+    static SCOPES: RefCell<Vec<IoStats>> = const { RefCell::new(Vec::new()) };
+}
+
+fn scope_record(f: impl Fn(&mut IoStats)) {
+    SCOPES.with(|s| {
+        for frame in s.borrow_mut().iter_mut() {
+            f(frame);
+        }
+    });
+}
+
+/// A thread-local I/O attribution window.
+///
+/// Between [`StatsScope::begin`] and [`StatsScope::finish`], every
+/// buffer-pool event performed *by this thread* is accumulated into the
+/// scope — regardless of what other threads do to the shared pool's global
+/// ledger. Scopes nest (the outer scope includes the inner one's I/O) and
+/// are `!Send`: a scope measures the thread it was opened on.
+#[derive(Debug)]
+pub struct StatsScope {
+    depth: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl StatsScope {
+    /// Opens a fresh zeroed ledger on this thread.
+    pub fn begin() -> StatsScope {
+        let depth = SCOPES.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(IoStats::default());
+            s.len()
+        });
+        StatsScope { depth, _not_send: PhantomData }
+    }
+
+    /// The I/O charged to this scope so far (scope stays open).
+    pub fn so_far(&self) -> IoStats {
+        SCOPES.with(|s| s.borrow()[self.depth - 1])
+    }
+
+    /// Closes the scope and returns its ledger.
+    pub fn finish(self) -> IoStats {
+        let stats = self.so_far();
+        drop(self); // pops the frame
+        stats
+    }
+}
+
+impl Drop for StatsScope {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.len(), self.depth, "StatsScope dropped out of order");
+            s.truncate(self.depth - 1);
+        });
     }
 }
 
@@ -88,5 +223,51 @@ mod tests {
         assert_eq!(d, IoStats { seq_reads: 15, rand_reads: 4, cache_hits: 2, writes: 0 });
         assert_eq!(d.physical_reads(), 19);
         assert_eq!(d.logical_reads(), 21);
+    }
+
+    #[test]
+    fn atomic_ledger_snapshot_and_reset() {
+        let ledger = AtomicIoStats::default();
+        ledger.add_seq();
+        ledger.add_rand();
+        ledger.add_rand();
+        ledger.add_hit();
+        ledger.add_write();
+        let s = ledger.snapshot();
+        assert_eq!(s, IoStats { seq_reads: 1, rand_reads: 2, cache_hits: 1, writes: 1 });
+        ledger.reset();
+        assert_eq!(ledger.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn scope_charges_only_its_thread() {
+        let ledger = std::sync::Arc::new(AtomicIoStats::default());
+        let scope = StatsScope::begin();
+        ledger.add_seq();
+        let other = {
+            let ledger = ledger.clone();
+            std::thread::spawn(move || {
+                // No scope open on this thread: global ledger only.
+                ledger.add_rand();
+                ledger.add_rand();
+            })
+        };
+        other.join().unwrap();
+        ledger.add_hit();
+        let scoped = scope.finish();
+        assert_eq!(scoped, IoStats { seq_reads: 1, cache_hits: 1, ..Default::default() });
+        assert_eq!(ledger.snapshot().rand_reads, 2, "global ledger saw the other thread");
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let ledger = AtomicIoStats::default();
+        let outer = StatsScope::begin();
+        ledger.add_seq();
+        let inner = StatsScope::begin();
+        ledger.add_rand();
+        assert_eq!(inner.finish().rand_reads, 1);
+        let o = outer.finish();
+        assert_eq!((o.seq_reads, o.rand_reads), (1, 1), "outer includes inner");
     }
 }

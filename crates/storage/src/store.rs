@@ -1,7 +1,7 @@
 //! Page stores: segmented fixed-page address spaces, in memory or on disk.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 /// Fixed page size, in bytes.
@@ -197,11 +197,20 @@ impl PageStore for FileStore {
     fn read_page(&self, id: PageId, buf: &mut [u8]) {
         let seg = &self.files[id.segment.0 as usize];
         assert!(id.page < seg.pages, "read of unallocated page");
-        // Positional read keeps `&self` reads independent of the write cursor.
-        let mut f = &seg.file;
-        f.seek(SeekFrom::Start(id.page as u64 * PAGE_SIZE as u64))
-            .and_then(|_| f.read_exact(buf))
-            .expect("read page");
+        let offset = id.page as u64 * PAGE_SIZE as u64;
+        // A true positional read: concurrent `&self` readers sharing one
+        // file descriptor must not race on the seek cursor.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            seg.file.read_exact_at(buf, offset).expect("read page");
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut f = &seg.file;
+            f.seek(SeekFrom::Start(offset)).and_then(|_| f.read_exact(buf)).expect("read page");
+        }
     }
 }
 

@@ -28,20 +28,20 @@ proptest! {
 
     #[test]
     fn get_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
-        let (mut pool, tree, model) = build(&keys);
+        let (pool, tree, model) = build(&keys);
         for k in keys.iter().take(25) {
-            prop_assert_eq!(tree.get(&mut pool, k), model.get(k).cloned(), "present key");
+            prop_assert_eq!(tree.get(&pool, k), model.get(k).cloned(), "present key");
         }
         for p in &probes {
-            prop_assert_eq!(tree.get(&mut pool, p), model.get(p).cloned(), "probe key");
+            prop_assert_eq!(tree.get(&pool, p), model.get(p).cloned(), "probe key");
         }
     }
 
     #[test]
     fn lowest_geq_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
-        let (mut pool, tree, model) = build(&keys);
+        let (pool, tree, model) = build(&keys);
         for p in &probes {
-            let (entry, pred) = tree.lowest_geq(&mut pool, p);
+            let (entry, pred) = tree.lowest_geq(&pool, p);
             let expect_entry = model.range::<[u8], _>((
                 std::ops::Bound::Included(p.as_slice()),
                 std::ops::Bound::Unbounded,
@@ -65,10 +65,10 @@ proptest! {
 
     #[test]
     fn range_matches_model(keys in keys(), lo in proptest::collection::vec(any::<u8>(), 0..10), hi in proptest::collection::vec(any::<u8>(), 0..10)) {
-        let (mut pool, tree, model) = build(&keys);
+        let (pool, tree, model) = build(&keys);
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         let got: Vec<(Vec<u8>, Vec<u8>)> = tree
-            .range(&mut pool, &lo, &hi)
+            .range(&pool, &lo, &hi)
             .into_iter()
             .map(|e| (e.key, e.value))
             .collect();
@@ -84,12 +84,12 @@ proptest! {
 
     #[test]
     fn cursor_walk_enumerates_model_in_order(keys in keys()) {
-        let (mut pool, tree, model) = build(&keys);
-        let (mut cur, _) = tree.lowest_geq(&mut pool, b"");
+        let (pool, tree, model) = build(&keys);
+        let (mut cur, _) = tree.lowest_geq(&pool, b"");
         let mut walked = Vec::new();
         while let Some(e) = cur {
             walked.push(e.key.clone());
-            cur = tree.next(&mut pool, e.loc);
+            cur = tree.next(&pool, e.loc);
         }
         let expect: Vec<Vec<u8>> = model.keys().cloned().collect();
         prop_assert_eq!(walked, expect);

@@ -25,7 +25,7 @@ fn main() {
     for (uri, xml) in &dataset.docs {
         builder.add_xml(uri, xml).expect("generated XML is well-formed");
     }
-    let mut engine = builder.build();
+    let engine = builder.build();
     println!(
         "collection: {} docs, {} elements, {} hyperlinks, ElemRank converged in {} iterations\n",
         engine.collection().doc_count(),

@@ -40,7 +40,7 @@ fn main() {
         )
         .unwrap();
 
-    let mut engine = builder.build();
+    let engine = builder.build();
     let results = engine.search("database systems", 10);
     println!("query: \"database systems\" over {} documents", engine.collection().doc_count());
     print!("{}", results.render());

@@ -28,14 +28,14 @@ fn main() {
              <body>keyword search over flat documents</body></paper>",
         )
         .unwrap();
-    let mut engine = builder.build_persistent(&dir).expect("writable temp dir");
+    let engine = builder.build_persistent(&dir).expect("writable temp dir");
     let on_build = engine.search("keyword search", 10);
     println!("built at {}:", dir.display());
     print!("{}", on_build.render());
     drop(engine);
 
     // --- reopen without re-indexing --------------------------------------
-    let mut reopened =
+    let reopened =
         XRankEngine::open(&dir, EngineConfig::default()).expect("index directory intact");
     let after = reopened.search("keyword search", 10);
     assert_eq!(on_build.hits.len(), after.hits.len());

@@ -33,7 +33,7 @@ const WORKSHOP: &str = r#"<workshop date="28 July 2000">
 fn main() {
     let mut builder = EngineBuilder::new();
     builder.add_xml("sigir-workshop", WORKSHOP).expect("well-formed XML");
-    let mut engine = builder.build();
+    let engine = builder.build();
 
     for query in ["XQL language", "Soffer", "Xyleme", "author Ricardo"] {
         let results = engine.search(query, 5);

@@ -46,7 +46,7 @@ fn main() {
             </bibliography>"#,
         )
         .unwrap();
-    let mut engine = builder.build();
+    let engine = builder.build();
 
     // --- anecdote 1: 'gray' returns author + title elements of important
     // papers first; the uncited paper's title trails.
@@ -93,7 +93,7 @@ fn main() {
             </items></site>"#,
         )
         .unwrap();
-    let mut engine2 = builder.build();
+    let engine2 = builder.build();
     let res3 = engine2.search("stained mirror", 5);
     println!("\nquery 'stained mirror':");
     print!("{}", res3.render());

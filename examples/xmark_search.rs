@@ -22,7 +22,7 @@ fn main() {
     // Engine 1: every element is an answer node (the default).
     let mut builder = EngineBuilder::new();
     builder.add_xml(&dataset.docs[0].0, &dataset.docs[0].1).unwrap();
-    let mut engine = builder.build();
+    let engine = builder.build();
     println!(
         "collection: {} elements, max depth {}, {} IDREF edges\n",
         engine.collection().element_count(),
@@ -51,7 +51,7 @@ fn main() {
         ..Default::default()
     });
     builder.add_xml(&dataset.docs[0].0, &dataset.docs[0].1).unwrap();
-    let mut engine = builder.build();
+    let engine = builder.build();
     let results = engine.search(&query, 6);
     println!("query: {query:?} (answer nodes = item/auction)");
     print!("{}", results.render());

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the E8 concurrent-serving throughput benchmark (QueryExecutor
+# worker pools of 1/2/4/8 threads over one shared engine, DIL/RDIL/HDIL)
+# and leaves the machine-readable results in BENCH_throughput.json at the
+# repo root (or $1 if given).
+#
+# Usage: scripts/bench_throughput.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_throughput.json}"
+BENCH_THROUGHPUT_OUT="$OUT" cargo run --release --offline -p xrank-bench \
+    --bin e8_throughput
+echo "throughput JSON: $OUT"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full workspace test suite, and
+# clippy with warnings denied. CI and pre-merge checks run exactly this.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ci: all green"

@@ -142,7 +142,7 @@ fn cmd_search(args: &[String]) -> CliResult {
     }
     let query = words.join(" ");
 
-    let mut engine = XRankEngine::<FileStore>::open(dir, engine_config())
+    let engine = XRankEngine::<FileStore>::open(dir, engine_config())
         .map_err(|e| format!("opening {dir}: {e}"))?;
     let results = if any {
         engine.search_any(&query, m)

@@ -16,7 +16,7 @@
 //! let mut builder = EngineBuilder::new();
 //! builder.add_xml("doc", "<paper><title>XQL and Proximal Nodes</title>\
 //!     <body>the XQL query language</body></paper>").unwrap();
-//! let mut engine = builder.build();
+//! let engine = builder.build();
 //! for hit in engine.search("xql language", 10).hits {
 //!     println!("{:.3e}  <{}>", hit.score, hit.path.join("/"));
 //! }
@@ -40,8 +40,8 @@
 #![warn(missing_docs)]
 
 pub use xrank_core::{
-    AnswerNodes, EngineBuilder, EngineConfig, SearchHit, SearchResults, Strategy,
-    UpdatableXRank, XRankEngine,
+    AnswerNodes, EngineBuilder, EngineConfig, QueryExecutor, QueryRequest, SearchHit,
+    SearchResults, Strategy, UpdatableXRank, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).

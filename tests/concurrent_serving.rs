@@ -1,0 +1,137 @@
+//! Concurrent serving acceptance: the Section 4.2.2 worked example, run
+//! through `&self` [`XRankEngine::query`] from several threads at once
+//! against every query processor, must return byte-identical result lists
+//! and reproducible aggregate `IoStats`.
+
+use std::sync::Arc;
+use xrank::query::QueryOptions;
+use xrank::{EngineBuilder, EngineConfig, QueryExecutor, QueryRequest, SearchResults, Strategy, XRankEngine};
+
+/// Figure 1 / Section 4.2.2: the `<title>` contains only 'XQL', the
+/// `<abstract>` only 'language', the `<subsection>` both.
+const WORKED_EXAMPLE: &str = r#"<workshop>
+  <wtitle>XML and IR a Workshop</wtitle>
+  <proceedings>
+    <paper>
+      <title>XQL and Proximal Nodes</title>
+      <abstract>We consider the recently proposed language</abstract>
+      <body>
+        <section>
+          <subsection>At first sight the XQL query language looks</subsection>
+        </section>
+      </body>
+    </paper>
+  </proceedings>
+</workshop>"#;
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Dil,
+    Strategy::Rdil,
+    Strategy::Hdil,
+    Strategy::NaiveId,
+    Strategy::NaiveRank,
+];
+
+fn build_engine() -> XRankEngine {
+    let config = EngineConfig { with_rdil: true, with_naive: true, ..Default::default() };
+    let mut b = EngineBuilder::with_config(config);
+    b.add_xml("workshop", WORKED_EXAMPLE).unwrap();
+    b.build()
+}
+
+fn assert_identical(a: &SearchResults, b: &SearchResults, what: &str) {
+    assert_eq!(a.hits.len(), b.hits.len(), "{what}: result count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.dewey, y.dewey, "{what}: dewey");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{what}: score bytes");
+        assert_eq!(x.path, y.path, "{what}: path");
+        assert_eq!(x.snippet, y.snippet, "{what}: snippet");
+    }
+}
+
+#[test]
+fn worked_example_parallel_across_all_processors() {
+    let engine = Arc::new(build_engine());
+    let opts = QueryOptions { top_m: 10, ..engine.config().query.clone() };
+
+    // Warm the shared cache, then capture a warm single-threaded reference
+    // per strategy (warm, so HDIL's cost-driven decisions are the same ones
+    // the parallel warm runs will make).
+    engine.pool().clear_cache();
+    for s in STRATEGIES {
+        engine.query("xql language", s, &opts);
+    }
+    let reference: Vec<SearchResults> =
+        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts)).collect();
+
+    // Section 4.2.2 semantics hold for the conjunctive processors (the
+    // naive baselines intentionally include spurious ancestors).
+    for (s, r) in STRATEGIES.iter().zip(&reference).take(3) {
+        let names: Vec<&str> =
+            r.hits.iter().filter_map(|h| h.path.last().map(String::as_str)).collect();
+        assert!(names.contains(&"subsection"), "{s:?}: most specific result in {names:?}");
+        assert!(names.contains(&"paper"), "{s:?}: independent occurrences in {names:?}");
+        assert!(!names.contains(&"section"), "{s:?}: spurious ancestor in {names:?}");
+        assert_eq!(r.hits.len(), 2, "{s:?}");
+    }
+
+    // Two identical parallel runs: 4 threads, every thread exercises every
+    // processor through `&self` on the one shared engine.
+    let mut aggregates = Vec::new();
+    for run in 0..2 {
+        engine.pool().reset_stats();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = &engine;
+                let opts = &opts;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for (i, &s) in STRATEGIES.iter().enumerate() {
+                        let r = engine.query("xql language", s, opts);
+                        assert_identical(&r, &reference[i], &format!("run {run} thread {t} {s:?}"));
+                        assert_eq!(
+                            r.io.physical_reads(),
+                            0,
+                            "warm cache: thread {t} {s:?} did physical I/O"
+                        );
+                        assert_eq!(
+                            r.io.logical_reads(),
+                            reference[i].io.logical_reads(),
+                            "thread {t} {s:?}: scoped per-query I/O drifted"
+                        );
+                    }
+                });
+            }
+        });
+        aggregates.push(engine.pool().stats());
+    }
+    assert_eq!(
+        aggregates[0], aggregates[1],
+        "aggregate IoStats totals differ between identical parallel runs"
+    );
+    assert!(aggregates[0].cache_hits > 0);
+    assert_eq!(aggregates[0].physical_reads(), 0, "warm runs must not touch the store");
+}
+
+#[test]
+fn executor_matches_direct_queries() {
+    let engine = Arc::new(build_engine());
+    let opts = QueryOptions { top_m: 10, ..engine.config().query.clone() };
+    engine.pool().clear_cache();
+    let reference: Vec<SearchResults> =
+        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts)).collect();
+
+    let exec = QueryExecutor::new(Arc::clone(&engine), 3, 4);
+    let pending: Vec<_> = (0..30)
+        .map(|i| {
+            let s = STRATEGIES[i % STRATEGIES.len()];
+            let mut req = QueryRequest::new("xql language", s);
+            req.opts = Some(opts.clone());
+            exec.submit(req)
+        })
+        .collect();
+    for (i, rx) in pending.into_iter().enumerate() {
+        let r = rx.recv().expect("worker completed");
+        assert_identical(&r, &reference[i % STRATEGIES.len()], &format!("request {i}"));
+    }
+}

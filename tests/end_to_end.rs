@@ -62,9 +62,9 @@ fn resolve(c: &Collection, kws: &[String]) -> Vec<TermId> {
 
 fn check_all_agree(f: &mut Fixture, terms: &[TermId], m: usize) {
     let opts = QueryOptions { top_m: m, ..Default::default() };
-    let d = dil_query::evaluate(&mut f.pool, &f.dil, terms, &opts);
-    let r = rdil_query::evaluate(&mut f.pool, &f.rdil, terms, &opts);
-    let h = hdil_query::evaluate(&mut f.pool, &f.hdil, terms, &opts, &CostModel::default());
+    let d = dil_query::evaluate(&f.pool, &f.dil, terms, &opts);
+    let r = rdil_query::evaluate(&f.pool, &f.rdil, terms, &opts);
+    let h = hdil_query::evaluate(&f.pool, &f.hdil, terms, &opts, &CostModel::default());
     assert_eq!(d.results.len(), r.results.len(), "RDIL cardinality");
     assert_eq!(d.results.len(), h.results.len(), "HDIL cardinality");
     for (a, b) in d.results.iter().zip(r.results.iter()) {
@@ -76,9 +76,9 @@ fn check_all_agree(f: &mut Fixture, terms: &[TermId], m: usize) {
         assert!((a.score - b.score).abs() < 1e-9, "HDIL score");
     }
     // Naive processors agree with each other and contain the DIL set.
-    let n1 = naive_query::evaluate_id(&mut f.pool, &f.naive_id, &f.collection, terms, &opts);
+    let n1 = naive_query::evaluate_id(&f.pool, &f.naive_id, &f.collection, terms, &opts);
     let n2 =
-        naive_query::evaluate_rank(&mut f.pool, &f.naive_rank, &f.collection, terms, &opts);
+        naive_query::evaluate_rank(&f.pool, &f.naive_rank, &f.collection, terms, &opts);
     assert_eq!(n1.results.len(), n2.results.len(), "naive variants cardinality");
     for (a, b) in n1.results.iter().zip(n2.results.iter()) {
         assert_eq!(a.dewey, b.dewey, "naive variants order");
@@ -169,14 +169,14 @@ fn io_profiles_match_the_papers_story() {
         }),
         ..Default::default()
     });
-    let mut f = build_fixture(&ds.docs);
+    let f = build_fixture(&ds.docs);
     let hi = resolve(&f.collection, &query(Correlation::High, 0, 2));
     let opts = QueryOptions { top_m: 10, ..Default::default() };
 
     // DIL: full sequential scan.
     f.pool.clear_cache();
     let before = f.pool.stats();
-    let d = dil_query::evaluate(&mut f.pool, &f.dil, &hi, &opts);
+    let d = dil_query::evaluate(&f.pool, &f.dil, &hi, &opts);
     let dil_io = f.pool.stats().since(&before);
     let list_pages: u64 =
         hi.iter().map(|&t| f.dil.meta(t).unwrap().page_count as u64).sum();
@@ -187,7 +187,7 @@ fn io_profiles_match_the_papers_story() {
     // RDIL: early termination with random probes.
     f.pool.clear_cache();
     let before = f.pool.stats();
-    let r = rdil_query::evaluate(&mut f.pool, &f.rdil, &hi, &opts);
+    let r = rdil_query::evaluate(&f.pool, &f.rdil, &hi, &opts);
     let rdil_io = f.pool.stats().since(&before);
     assert_eq!(d.results.len(), r.results.len());
     assert!(

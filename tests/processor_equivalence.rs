@@ -133,9 +133,9 @@ proptest! {
         prop_assume!(terms.len() == seen.len()); // every keyword exists
 
         let opts = QueryOptions { top_m: 1000, ..Default::default() };
-        let d = dil_query::evaluate(&mut pool, &dil, &terms, &opts);
-        let r = rdil_query::evaluate(&mut pool, &rdil, &terms, &opts);
-        let h = hdil_query::evaluate(&mut pool, &hdil, &terms, &opts, &CostModel::default());
+        let d = dil_query::evaluate(&pool, &dil, &terms, &opts);
+        let r = rdil_query::evaluate(&pool, &rdil, &terms, &opts);
+        let h = hdil_query::evaluate(&pool, &hdil, &terms, &opts, &CostModel::default());
 
         // 1. DIL matches the brute-force Result(Q) oracle.
         let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
@@ -178,8 +178,8 @@ proptest! {
         prop_assume!(terms.len() == seen.len());
 
         let opts = QueryOptions { top_m: 10_000, ..Default::default() };
-        let d = dil_query::evaluate(&mut pool, &dil, &terms, &opts);
-        let n = naive_query::evaluate_id(&mut pool, &nid, &c, &terms, &opts);
+        let d = dil_query::evaluate(&pool, &dil, &terms, &opts);
+        let n = naive_query::evaluate_id(&pool, &nid, &c, &terms, &opts);
 
         let naive_set: HashSet<DeweyId> = n.results.iter().map(|x| x.dewey.clone()).collect();
         let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
