@@ -155,7 +155,8 @@ fn main() {
             fraction,
             MIN_PREFIX_ENTRIES,
             xrank_storage::PAGE_SIZE,
-        );
+        )
+        .expect("ablation index build");
         let s = hdil.space(&bench.pool);
         let dil_bytes = hdil.dil.used_bytes();
         t.row(vec![

@@ -103,7 +103,9 @@ fn run_trial(
                         }
                         let q = &queries[i % queries.len()];
                         let sent = Instant::now();
-                        let r = exec.execute(QueryRequest::new(q.clone(), strategy));
+                        let r = exec
+                            .execute(QueryRequest::new(q.clone(), strategy))
+                            .expect("throughput query");
                         assert!(!r.hits.is_empty(), "workload query returned no hits");
                         local.push(sent.elapsed().as_secs_f64() * 1e6);
                     }
@@ -183,7 +185,7 @@ fn cold_replay(engine: &XRankEngine, queries: &[String], strategy: Strategy) -> 
     engine.pool().clear_cache();
     engine.pool().reset_stats();
     for q in queries {
-        let r = engine.query(q, strategy, &engine.config().query);
+        let r = engine.query(q, strategy, &engine.config().query).expect("cold query");
         assert!(!r.hits.is_empty(), "cold {strategy:?} query '{q}' returned no hits");
     }
     engine.pool().stats()
@@ -231,7 +233,7 @@ fn main() {
         // Warm the cache fully before any timed trial so every point
         // measures the same all-hit workload.
         for q in &queries {
-            engine.query(q, strategy, &engine.config().query);
+            engine.query(q, strategy, &engine.config().query).expect("warm query");
         }
 
         let mut points: Vec<Point> = THREAD_COUNTS

@@ -221,21 +221,30 @@ impl Workbench {
 
         let mut pool = BufferPool::new(MemStore::new(), config.pool_pages);
         let direct = direct_postings(&collection, &ranks.scores);
-        let dil = DilIndex::build_with(&mut pool, &direct, config.page_budget);
-        let rdil = RdilIndex::build_with(&mut pool, &direct, config.page_budget);
+        let dil = DilIndex::build_with(&mut pool, &direct, config.page_budget)
+            .expect("bench index build");
+        let rdil = RdilIndex::build_with(&mut pool, &direct, config.page_budget)
+            .expect("bench index build");
         let hdil = HdilIndex::build_full(
             &mut pool,
             &direct,
             xrank_index::hdil::DEFAULT_PREFIX_FRACTION,
             xrank_index::hdil::MIN_PREFIX_ENTRIES,
             config.page_budget,
-        );
+        )
+        .expect("bench index build");
         drop(direct);
         let (naive_id, naive_rank) = if config.with_naive {
             let naive = naive_postings(&collection, &ranks.scores);
             (
-                Some(NaiveIdIndex::build_with(&mut pool, &naive, config.page_budget)),
-                Some(NaiveRankIndex::build_with(&mut pool, &naive, config.page_budget)),
+                Some(
+                    NaiveIdIndex::build_with(&mut pool, &naive, config.page_budget)
+                        .expect("bench index build"),
+                ),
+                Some(
+                    NaiveRankIndex::build_with(&mut pool, &naive, config.page_budget)
+                        .expect("bench index build"),
+                ),
             )
         } else {
             (None, None)
@@ -321,6 +330,7 @@ impl Workbench {
                 opts,
             ),
         };
+        let outcome = outcome.expect("bench query evaluation");
         let wall = t0.elapsed();
         let io = self.pool.stats().since(&before);
         (

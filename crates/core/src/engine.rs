@@ -7,9 +7,11 @@ use xrank_index::{
     direct_postings_weighted, naive_postings, HdilIndex, NaiveIdIndex, NaiveRankIndex,
     RankWeighting, RdilIndex,
 };
-use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions};
+use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryError, QueryOptions};
 use xrank_rank::{elem_rank, ElemRankParams, RankResult};
-use xrank_storage::{BufferPool, CostModel, FileStore, MemStore, PageStore, StatsScope};
+use xrank_storage::{
+    BufferPool, CostModel, FileStore, MemStore, PageStore, StatsScope, StorageResult,
+};
 
 /// Which evaluation strategy [`XRankEngine::search_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,44 +129,59 @@ impl EngineBuilder {
     /// in memory.
     pub fn build(self) -> XRankEngine {
         self.build_with_store(MemStore::new())
+            .expect("in-memory index build cannot hit I/O faults")
     }
 
-    /// Builds into a persistent directory: index pages go to real files
-    /// under `dir/store/`, and the engine's metadata (collection,
-    /// ElemRanks, index directories) to `dir/xrank-meta.bin`. Reopen later
-    /// with [`XRankEngine::open`].
+    /// Builds into a persistent directory with a crash-safe commit: index
+    /// pages and the engine metadata (`xrank-meta.bin`) are written to
+    /// `dir/store.tmp/`, fsynced, and atomically renamed over `dir/store/`.
+    /// A crash at any point leaves either the previous index or the new
+    /// one openable with [`XRankEngine::open`] — never a half-written mix.
     pub fn build_persistent(
         self,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<XRankEngine<FileStore>> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let store = FileStore::open(dir.join("store"))?;
-        let engine = self.build_with_store(store);
-        engine.write_meta_file(&dir.join("xrank-meta.bin"))?;
+        let tmp = dir.join(crate::persist::STORE_TMP);
+        if tmp.exists() {
+            // Leftover from an interrupted save; it was never committed.
+            std::fs::remove_dir_all(&tmp)?;
+        }
+        let store = FileStore::open(&tmp)?;
+        let engine = self.build_with_store(store)?;
+        engine.write_meta_file(&tmp.join(crate::persist::META_FILE))?;
+        engine.pool().store().sync()?;
+        crate::persist::commit_store_swap(dir)?;
         Ok(engine)
     }
 
-    /// Builds against an arbitrary page store.
-    pub fn build_with_store<S: PageStore>(self, store: S) -> XRankEngine<S> {
+    /// Builds against an arbitrary page store. Fallible: every index page
+    /// goes through the store, so a failing or full device surfaces as a
+    /// typed [`xrank_storage::StorageError`] instead of a panic.
+    pub fn build_with_store<S: PageStore>(self, store: S) -> StorageResult<XRankEngine<S>> {
         let collection = self.collection.build();
         let ranks = elem_rank(&collection, &self.config.rank_params);
         let mut pool = BufferPool::new(store, self.config.pool_pages);
 
         let direct = direct_postings_weighted(&collection, &ranks.scores, self.config.weighting);
-        let hdil = HdilIndex::build(&mut pool, &direct);
-        let rdil = self.config.with_rdil.then(|| RdilIndex::build(&mut pool, &direct));
+        let hdil = HdilIndex::build(&mut pool, &direct)?;
+        let rdil = if self.config.with_rdil {
+            Some(RdilIndex::build(&mut pool, &direct)?)
+        } else {
+            None
+        };
         let (naive_id, naive_rank) = if self.config.with_naive {
             let naive = naive_postings(&collection, &ranks.scores);
             (
-                Some(NaiveIdIndex::build(&mut pool, &naive)),
-                Some(NaiveRankIndex::build(&mut pool, &naive)),
+                Some(NaiveIdIndex::build(&mut pool, &naive)?),
+                Some(NaiveRankIndex::build(&mut pool, &naive)?),
             )
         } else {
             (None, None)
         };
 
-        XRankEngine {
+        Ok(XRankEngine {
             config: self.config,
             collection,
             ranks,
@@ -174,7 +191,7 @@ impl EngineBuilder {
             naive_id,
             naive_rank,
             html_docs: self.html_docs,
-        }
+        })
     }
 }
 
@@ -201,7 +218,7 @@ pub struct XRankEngine<S: PageStore = MemStore> {
 
 impl<S: PageStore> XRankEngine<S> {
     /// Searches with the default (HDIL adaptive) strategy.
-    pub fn search(&self, query: &str, m: usize) -> SearchResults {
+    pub fn search(&self, query: &str, m: usize) -> Result<SearchResults, QueryError> {
         let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
         self.search_with(query, Strategy::Hdil, &opts)
     }
@@ -210,7 +227,7 @@ impl<S: PageStore> XRankEngine<S> {
     /// semantics): a ranked union over the direct containers of each
     /// keyword. Unknown keywords are dropped instead of emptying the
     /// result.
-    pub fn search_any(&self, query: &str, m: usize) -> SearchResults {
+    pub fn search_any(&self, query: &str, m: usize) -> Result<SearchResults, QueryError> {
         let opts = QueryOptions { top_m: m, ..self.config.query.clone() };
         let terms: Vec<TermId> = xrank_graph::tokenize(query)
             .iter()
@@ -220,11 +237,11 @@ impl<S: PageStore> XRankEngine<S> {
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let outcome =
-            xrank_query::disjunctive::evaluate(&self.pool, &self.hdil.dil, &terms, &opts);
+            xrank_query::disjunctive::evaluate(&self.pool, &self.hdil.dil, &terms, &opts)?;
         let elapsed = start.elapsed();
         let io = scope.finish();
         let hits = self.present(outcome.results, opts.top_m);
-        SearchResults { hits, eval: outcome.stats, io, elapsed }
+        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed })
     }
 
     /// Searches with an explicit strategy and options. The buffer pool is
@@ -237,7 +254,7 @@ impl<S: PageStore> XRankEngine<S> {
         query: &str,
         strategy: Strategy,
         opts: &QueryOptions,
-    ) -> SearchResults {
+    ) -> Result<SearchResults, QueryError> {
         self.pool.clear_cache();
         self.query(query, strategy, opts)
     }
@@ -248,12 +265,15 @@ impl<S: PageStore> XRankEngine<S> {
     /// [`SearchResults::io`] is attributed via a thread-local
     /// [`StatsScope`], so it stays exact even with other queries in
     /// flight.
+    /// A fault under any query — an I/O error, a checksum mismatch, a
+    /// corrupt page — returns [`QueryError`] for *that query only*; the
+    /// engine itself stays healthy and keeps serving.
     pub fn query(
         &self,
         query: &str,
         strategy: Strategy,
         opts: &QueryOptions,
-    ) -> SearchResults {
+    ) -> Result<SearchResults, QueryError> {
         let terms = self.resolve_terms(query);
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
@@ -279,29 +299,38 @@ impl<S: PageStore> XRankEngine<S> {
                 stats: Default::default(),
             },
             (Strategy::Dil, Some(t)) => {
-                dil_query::evaluate(&self.pool, &self.hdil.dil, t, opts)
+                dil_query::evaluate(&self.pool, &self.hdil.dil, t, opts)?
             }
             (Strategy::Rdil, Some(t)) => {
-                let rdil = self.rdil.as_ref().expect("engine built without with_rdil");
-                rdil_query::evaluate(&self.pool, rdil, t, opts)
+                let rdil = self
+                    .rdil
+                    .as_ref()
+                    .ok_or(QueryError::Unavailable("engine built without with_rdil"))?;
+                rdil_query::evaluate(&self.pool, rdil, t, opts)?
             }
             (Strategy::Hdil, Some(t)) => {
-                hdil_query::evaluate(&self.pool, &self.hdil, t, opts, &self.config.cost_model)
+                hdil_query::evaluate(&self.pool, &self.hdil, t, opts, &self.config.cost_model)?
             }
             (Strategy::NaiveId, Some(t)) => {
-                let idx = self.naive_id.as_ref().expect("engine built without with_naive");
-                naive_query::evaluate_id(&self.pool, idx, &self.collection, t, opts)
+                let idx = self
+                    .naive_id
+                    .as_ref()
+                    .ok_or(QueryError::Unavailable("engine built without with_naive"))?;
+                naive_query::evaluate_id(&self.pool, idx, &self.collection, t, opts)?
             }
             (Strategy::NaiveRank, Some(t)) => {
-                let idx = self.naive_rank.as_ref().expect("engine built without with_naive");
-                naive_query::evaluate_rank(&self.pool, idx, &self.collection, t, opts)
+                let idx = self
+                    .naive_rank
+                    .as_ref()
+                    .ok_or(QueryError::Unavailable("engine built without with_naive"))?;
+                naive_query::evaluate_rank(&self.pool, idx, &self.collection, t, opts)?
             }
         };
         let elapsed = start.elapsed();
         let io = scope.finish();
 
         let hits = self.present(outcome.results, requested);
-        SearchResults { hits, eval: outcome.stats, io, elapsed }
+        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed })
     }
 
     /// Lowercases, tokenizes, and resolves the query keywords. `None` if

@@ -14,8 +14,12 @@ use crate::results::SearchResults;
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use xrank_query::QueryOptions;
+use xrank_query::{QueryError, QueryOptions};
 use xrank_storage::PageStore;
+
+/// What a worker sends back for one request: the results, or the typed
+/// reason the evaluation failed (storage fault, deadline, shutdown).
+pub type QueryReply = Result<SearchResults, QueryError>;
 
 /// One unit of work for the executor.
 #[derive(Debug, Clone)]
@@ -37,14 +41,15 @@ impl QueryRequest {
 
 struct Task {
     request: QueryRequest,
-    reply: Sender<SearchResults>,
+    reply: Sender<QueryReply>,
 }
 
 /// A fixed pool of worker threads serving queries from a bounded queue
 /// against one shared [`XRankEngine`].
 ///
-/// Dropping the executor closes the queue and joins the workers after they
-/// drain the remaining requests.
+/// [`QueryExecutor::shutdown`] (or dropping the executor) closes the
+/// queue and joins the workers after they drain the remaining requests —
+/// accepted work always gets a reply.
 pub struct QueryExecutor {
     tx: Option<SyncSender<Task>>,
     workers: Vec<JoinHandle<()>>,
@@ -71,35 +76,52 @@ impl QueryExecutor {
     }
 
     /// Enqueues a request, blocking while the queue is full. The returned
-    /// channel yields the result when a worker finishes it.
-    pub fn submit(&self, request: QueryRequest) -> Receiver<SearchResults> {
+    /// channel yields the reply when a worker finishes it. Fails with
+    /// [`QueryError::Unavailable`] instead of panicking if the executor
+    /// has shut down or every worker has exited.
+    pub fn submit(&self, request: QueryRequest) -> Result<Receiver<QueryReply>, QueryError> {
         let (reply, result) = std::sync::mpsc::channel();
-        self.tx
+        let tx = self
+            .tx
             .as_ref()
-            .expect("executor alive")
-            .send(Task { request, reply })
-            .expect("workers alive");
-        result
+            .ok_or(QueryError::Unavailable("executor is shut down"))?;
+        tx.send(Task { request, reply })
+            .map_err(|_| QueryError::Unavailable("executor workers exited"))?;
+        Ok(result)
     }
 
     /// Runs a request to completion on a worker (blocking convenience
     /// wrapper around [`QueryExecutor::submit`]).
-    pub fn execute(&self, request: QueryRequest) -> SearchResults {
-        self.submit(request).recv().expect("worker completes the request")
+    pub fn execute(&self, request: QueryRequest) -> QueryReply {
+        self.submit(request)?
+            .recv()
+            .map_err(|_| QueryError::Unavailable("worker exited before replying"))?
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
-}
 
-impl Drop for QueryExecutor {
-    fn drop(&mut self) {
+    /// Graceful shutdown: stops accepting new work, lets the workers
+    /// drain every already-submitted request (each submitter still gets
+    /// its reply), and joins the threads. Consuming `self` makes
+    /// post-shutdown submission unrepresentable.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
         drop(self.tx.take()); // closes the queue; workers drain and exit
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+impl Drop for QueryExecutor {
+    fn drop(&mut self) {
+        self.close_and_join();
     }
 }
 
@@ -118,6 +140,7 @@ fn worker_loop<S: PageStore>(
             .opts
             .unwrap_or_else(|| engine.config().query.clone());
         let results = engine.query(&request.query, request.strategy, &opts);
+
         // The submitter may have dropped the receiver; that's fine.
         let _ = reply.send(results);
     }
@@ -145,12 +168,12 @@ mod tests {
         let engine = small_engine();
         let exec = QueryExecutor::new(Arc::clone(&engine), 2, 4);
         assert_eq!(exec.worker_count(), 2);
-        let direct = engine.query(
-            "shared words",
-            Strategy::Hdil,
-            &engine.config().query,
-        );
-        let pooled = exec.execute(QueryRequest::new("shared words", Strategy::Hdil));
+        let direct = engine
+            .query("shared words", Strategy::Hdil, &engine.config().query)
+            .unwrap();
+        let pooled = exec
+            .execute(QueryRequest::new("shared words", Strategy::Hdil))
+            .unwrap();
         assert_eq!(direct.hits.len(), pooled.hits.len());
         for (a, b) in direct.hits.iter().zip(&pooled.hits) {
             assert_eq!(a.dewey, b.dewey);
@@ -165,12 +188,42 @@ mod tests {
         let pending: Vec<_> = (0..64)
             .map(|i| {
                 let q = if i % 2 == 0 { "shared words" } else { "shared extra" };
-                exec.submit(QueryRequest::new(q, Strategy::Dil))
+                exec.submit(QueryRequest::new(q, Strategy::Dil)).unwrap()
             })
             .collect();
         for (i, rx) in pending.into_iter().enumerate() {
-            let r = rx.recv().expect("completed");
+            let r = rx.recv().expect("completed").unwrap();
             assert!(!r.hits.is_empty(), "request {i} returned no hits");
         }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let engine = small_engine();
+        let exec = QueryExecutor::new(engine, 2, 64);
+        let pending: Vec<_> = (0..32)
+            .map(|_| exec.submit(QueryRequest::new("shared words", Strategy::Hdil)).unwrap())
+            .collect();
+        exec.shutdown(); // blocks until every accepted request is served
+        for rx in pending {
+            let r = rx.recv().expect("reply delivered before shutdown returned").unwrap();
+            assert!(!r.hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn per_query_deadline_surfaces_as_timeout() {
+        let engine = small_engine();
+        let exec = QueryExecutor::new(engine, 1, 4);
+        let opts = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            ..QueryOptions::default()
+        };
+        let reply = exec.execute(QueryRequest {
+            query: "shared words".into(),
+            strategy: Strategy::Dil,
+            opts: Some(opts),
+        });
+        assert!(matches!(reply, Err(QueryError::Timeout)), "got {reply:?}");
     }
 }

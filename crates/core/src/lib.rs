@@ -17,7 +17,7 @@
 //!     )
 //!     .unwrap();
 //! let engine = builder.build();
-//! let hits = engine.search("xql language", 10);
+//! let hits = engine.search("xql language", 10).unwrap();
 //! assert!(!hits.hits.is_empty());
 //! assert_eq!(hits.hits[0].path.last().map(String::as_str), Some("body"));
 //! ```
@@ -38,6 +38,6 @@ mod results;
 mod update;
 
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
-pub use executor::{QueryExecutor, QueryRequest};
+pub use executor::{QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
 pub use update::UpdatableXRank;

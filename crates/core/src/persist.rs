@@ -1,10 +1,24 @@
-//! Engine persistence: metadata file format and reopening.
+//! Engine persistence: metadata file format, crash-safe commit, and
+//! recovery-aware reopening.
 //!
-//! [`crate::EngineBuilder::build_persistent`] writes the index pages to
-//! real files (one per segment under `dir/store/`) and everything the
-//! engine needs at query time — the collection, the ElemRank vector, the
-//! index directories — to `dir/xrank-meta.bin`. [`XRankEngine::open`]
-//! restores the engine without re-parsing, re-ranking, or re-indexing.
+//! [`crate::EngineBuilder::build_persistent`] builds the index pages and
+//! the metadata file (`xrank-meta.bin`, holding the collection, the
+//! ElemRank vector, and the index directories) inside a staging directory
+//! `dir/store.tmp/`, fsyncs everything, and then commits by renaming:
+//!
+//! ```text
+//! dir/store      → dir/store.old     (previous index, kept until commit)
+//! dir/store.tmp  → dir/store         (the atomic commit point)
+//! ```
+//!
+//! A crash before the first rename leaves the previous `store/` intact; a
+//! crash between the renames leaves `store.old/` intact; after the second
+//! rename the new `store/` is complete. [`XRankEngine::open`] resolves in
+//! that order (`store/`, then `store.old/`, then the pre-crash-safety
+//! layout with the meta file beside `store/`), so *some* complete index is
+//! always openable. Opening also verifies every page checksum so that
+//! silent on-disk corruption fails loudly at open instead of poisoning
+//! queries later.
 //!
 //! Settings that shape the *stored* data (rank parameters, weighting,
 //! which indexes were built) are baked into the files; settings that only
@@ -22,10 +36,53 @@ use xrank_storage::wire::{get_f64, get_u32, get_u64, put_f64, put_u32, put_u64};
 use xrank_storage::{BufferPool, FileStore, PageStore};
 
 const MAGIC: &[u8; 4] = b"XRKE";
-const VERSION: u32 = 1;
+/// Current meta-file version. v2 engines store checksummed pages and keep
+/// the meta file inside the store directory; v1 metas (written before the
+/// fault-tolerance work) are still readable.
+const VERSION: u32 = 2;
+const OLDEST_READABLE_VERSION: u32 = 1;
+
+/// The live store directory under the engine dir.
+pub(crate) const STORE_DIR: &str = "store";
+/// Staging directory a save builds into before the commit renames.
+pub(crate) const STORE_TMP: &str = "store.tmp";
+/// Where the previous index sits between the two commit renames.
+pub(crate) const STORE_OLD: &str = "store.old";
+/// The metadata file name (inside the store directory for v2 layouts,
+/// beside it for legacy v1 layouts).
+pub(crate) const META_FILE: &str = "xrank-meta.bin";
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("engine meta: {msg}"))
+}
+
+/// Fsyncs a directory so renames/creations inside it are durable.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Commits a fully-fsynced `dir/store.tmp/` over `dir/store/`. The rename
+/// of `store.tmp` is the atomic commit point; the previous index survives
+/// as `store.old/` until the commit lands, and [`XRankEngine::open`] falls
+/// back to it if a crash strikes between the renames.
+pub(crate) fn commit_store_swap(dir: &Path) -> io::Result<()> {
+    let tmp = dir.join(STORE_TMP);
+    let live = dir.join(STORE_DIR);
+    let old = dir.join(STORE_OLD);
+    fsync_dir(&tmp)?;
+    if old.exists() {
+        std::fs::remove_dir_all(&old)?;
+    }
+    if live.exists() {
+        std::fs::rename(&live, &old)?;
+    }
+    std::fs::rename(&tmp, &live)?;
+    fsync_dir(dir)?;
+    // The commit has landed; the previous index and any legacy-layout meta
+    // beside the store directory are now superseded. Best-effort cleanup.
+    let _ = std::fs::remove_dir_all(&old);
+    let _ = std::fs::remove_file(dir.join(META_FILE));
+    Ok(())
 }
 
 impl<S: PageStore> XRankEngine<S> {
@@ -71,7 +128,10 @@ impl<S: PageStore> XRankEngine<S> {
             }
             _ => put_u32(&mut w, 0)?,
         }
-        w.flush()
+        w.flush()?;
+        // Durability: the commit rename must never land before the meta
+        // bytes it points at.
+        w.get_ref().sync_all()
     }
 }
 
@@ -82,15 +142,42 @@ impl XRankEngine<FileStore> {
     /// ignored in favor of what is on disk).
     pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> io::Result<Self> {
         let dir = dir.as_ref();
-        let mut r = BufReader::new(std::fs::File::open(dir.join("xrank-meta.bin"))?);
+        // Resolution order mirrors the commit protocol: the live store,
+        // then the pre-commit snapshot a crash may have stranded, then the
+        // legacy layout (meta beside the store directory).
+        let candidates = [
+            (dir.join(STORE_DIR), dir.join(STORE_DIR).join(META_FILE)),
+            (dir.join(STORE_OLD), dir.join(STORE_OLD).join(META_FILE)),
+            (dir.join(STORE_DIR), dir.join(META_FILE)),
+        ];
+        let Some((store_dir, meta_path)) =
+            candidates.into_iter().find(|(_, meta)| meta.is_file())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no xrank index under {}: expected {STORE_DIR}/{META_FILE}, \
+                     {STORE_OLD}/{META_FILE}, or legacy {META_FILE}",
+                    dir.display()
+                ),
+            ));
+        };
+        Self::open_at(&store_dir, &meta_path, config)
+    }
+
+    fn open_at(store_dir: &Path, meta_path: &Path, config: EngineConfig) -> io::Result<Self> {
+        let mut r = BufReader::new(std::fs::File::open(meta_path)?);
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(bad("bad magic"));
         }
         let version = get_u32(&mut r)?;
-        if version != VERSION {
-            return Err(bad(&format!("unsupported version {version}")));
+        if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
+            return Err(bad(&format!(
+                "unsupported version {version} (this build reads \
+                 {OLDEST_READABLE_VERSION}..={VERSION})"
+            )));
         }
 
         let collection = Collection::read_from(&mut r)?;
@@ -129,7 +216,10 @@ impl XRankEngine<FileStore> {
             k => return Err(bad(&format!("bad naive tag {k}"))),
         };
 
-        let store = FileStore::open(dir.join("store"))?;
+        let store = FileStore::open(store_dir)?;
+        // Full checksum scan: a bit-flipped or truncated segment fails the
+        // open with a descriptive error instead of surfacing mid-query.
+        store.verify().map_err(io::Error::from)?;
         let pool = BufferPool::new(store, config.pool_pages);
         Ok(XRankEngine::from_parts(
             config, collection, ranks, pool, hdil, rdil, naive_id, naive_rank, html_docs,

@@ -29,7 +29,7 @@
 use crate::engine::{EngineBuilder, EngineConfig, Strategy, XRankEngine};
 use crate::results::{SearchHit, SearchResults};
 use std::collections::{BTreeMap, HashSet};
-use xrank_query::QueryOptions;
+use xrank_query::{QueryError, QueryOptions};
 
 /// The source text of a live document (kept for compaction rebuilds).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,18 +163,19 @@ impl UpdatableXRank {
     }
 
     /// Searches live documents (main + delta, tombstones filtered),
-    /// merging by score.
-    pub fn search(&self, query: &str, m: usize) -> SearchResults {
+    /// merging by score. A storage fault in either engine surfaces as a
+    /// typed [`QueryError`] for this query only.
+    pub fn search(&self, query: &str, m: usize) -> Result<SearchResults, QueryError> {
         let slack = self.deleted_main.len() + self.deleted_delta.len() + 8;
         let opts = QueryOptions { top_m: m + slack, ..Default::default() };
-        let mut primary = self.main.search_with(query, Strategy::Hdil, &opts);
+        let mut primary = self.main.search_with(query, Strategy::Hdil, &opts)?;
         primary.hits.retain(|h| !self.deleted_main.contains(&h.doc_uri));
         let mut hits: Vec<SearchHit> = Vec::new();
         let mut eval = primary.eval;
         let mut io = primary.io;
         hits.append(&mut primary.hits);
         if let Some(delta) = &self.delta {
-            let mut secondary = delta.search_with(query, Strategy::Hdil, &opts);
+            let mut secondary = delta.search_with(query, Strategy::Hdil, &opts)?;
             secondary.hits.retain(|h| !self.deleted_delta.contains(&h.doc_uri));
             eval.entries_scanned += secondary.eval.entries_scanned;
             eval.btree_probes += secondary.eval.btree_probes;
@@ -185,7 +186,7 @@ impl UpdatableXRank {
         }
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.dewey.cmp(&b.dewey)));
         hits.truncate(m);
-        SearchResults { hits, eval, io, elapsed: primary.elapsed }
+        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed })
     }
 
     /// Number of live (searchable or staged) documents.

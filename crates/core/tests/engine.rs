@@ -41,7 +41,7 @@ fn full_engine() -> XRankEngine {
 #[test]
 fn search_returns_most_specific_results() {
     let e = engine();
-    let res = e.search("xql language", 10);
+    let res = e.search("xql language", 10).unwrap();
     let tags: Vec<&str> =
         res.hits.iter().map(|h| h.path.last().unwrap().as_str()).collect();
     assert!(tags.contains(&"subsection"), "most specific element missing: {tags:?}");
@@ -60,9 +60,9 @@ fn search_returns_most_specific_results() {
 fn strategies_agree_on_results() {
     let e = full_engine();
     let opts = QueryOptions { top_m: 10, ..Default::default() };
-    let dil = e.search_with("xql language", Strategy::Dil, &opts);
-    let rdil = e.search_with("xql language", Strategy::Rdil, &opts);
-    let hdil = e.search_with("xql language", Strategy::Hdil, &opts);
+    let dil = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
+    let rdil = e.search_with("xql language", Strategy::Rdil, &opts).unwrap();
+    let hdil = e.search_with("xql language", Strategy::Hdil, &opts).unwrap();
     assert_eq!(dil.hits.len(), rdil.hits.len());
     assert_eq!(dil.hits.len(), hdil.hits.len());
     for (a, b) in dil.hits.iter().zip(rdil.hits.iter()) {
@@ -78,9 +78,9 @@ fn strategies_agree_on_results() {
 fn naive_strategies_include_spurious_ancestors() {
     let e = full_engine();
     let opts = QueryOptions { top_m: 50, ..Default::default() };
-    let dil = e.search_with("xql language", Strategy::Dil, &opts);
-    let nid = e.search_with("xql language", Strategy::NaiveId, &opts);
-    let nrk = e.search_with("xql language", Strategy::NaiveRank, &opts);
+    let dil = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
+    let nid = e.search_with("xql language", Strategy::NaiveId, &opts).unwrap();
+    let nrk = e.search_with("xql language", Strategy::NaiveRank, &opts).unwrap();
     assert!(nid.hits.len() > dil.hits.len());
     assert_eq!(nid.hits.len(), nrk.hits.len());
 }
@@ -88,19 +88,19 @@ fn naive_strategies_include_spurious_ancestors() {
 #[test]
 fn unknown_keyword_yields_empty() {
     let e = engine();
-    assert!(e.search("xql zzzzunknown", 10).hits.is_empty());
-    assert!(e.search("", 10).hits.is_empty());
-    assert!(e.search("   ", 10).hits.is_empty());
+    assert!(e.search("xql zzzzunknown", 10).unwrap().hits.is_empty());
+    assert!(e.search("", 10).unwrap().hits.is_empty());
+    assert!(e.search("   ", 10).unwrap().hits.is_empty());
 }
 
 #[test]
 fn query_normalization_matches_tokenizer() {
     let e = engine();
-    let a = e.search("XQL Language", 10);
-    let b = e.search("xql language", 10);
+    let a = e.search("XQL Language", 10).unwrap();
+    let b = e.search("xql language", 10).unwrap();
     assert_eq!(a.hits.len(), b.hits.len());
     // punctuation separates like the indexer
-    let c = e.search("xql, language!", 10);
+    let c = e.search("xql, language!", 10).unwrap();
     assert_eq!(c.hits.len(), b.hits.len());
 }
 
@@ -114,7 +114,7 @@ fn answer_nodes_promote_results() {
     });
     b.add_xml("workshop", WORKSHOP).unwrap();
     let e = b.build();
-    let res = e.search("xql language", 10);
+    let res = e.search("xql language", 10).unwrap();
     for h in &res.hits {
         let tag = h.path.last().unwrap().as_str();
         assert!(
@@ -142,7 +142,7 @@ fn html_mode_returns_whole_pages_and_uses_links() {
         r#"<html><body>me too <a href="page/popular">link</a> rust search</body></html>"#,
     );
     let e = b.build();
-    let res = e.search("rust search", 10);
+    let res = e.search("rust search", 10).unwrap();
     assert_eq!(res.hits.len(), 3, "every page matches");
     // linked-to page ranks first (PageRank behaviour)
     assert_eq!(res.hits[0].doc_uri, "page/popular");
@@ -158,7 +158,7 @@ fn mixed_html_and_xml_collections() {
     b.add_xml("x", "<doc><part>hybrid corpus</part></doc>").unwrap();
     b.add_html("h", "<html><body>hybrid corpus too</body></html>");
     let e = b.build();
-    let res = e.search("hybrid corpus", 10);
+    let res = e.search("hybrid corpus", 10).unwrap();
     assert_eq!(res.hits.len(), 2);
     let uris: HashSet<_> = res.hits.iter().map(|h| h.doc_uri.as_str()).collect();
     assert!(uris.contains("x") && uris.contains("h"));
@@ -169,14 +169,14 @@ fn tag_names_are_searchable() {
     // Section 2.1: element tag names are values — the paper's
     // 'author gray' anecdote depends on this.
     let e = engine();
-    let res = e.search("author ricardo", 10);
+    let res = e.search("author ricardo", 10).unwrap();
     assert!(!res.hits.is_empty(), "tag name 'author' should match");
 }
 
 #[test]
 fn io_and_timing_metrics_populated() {
     let e = engine();
-    let res = e.search("xql language", 10);
+    let res = e.search("xql language", 10).unwrap();
     assert!(res.io.physical_reads() > 0, "cold query must do I/O");
     assert!(res.elapsed.as_nanos() > 0);
 }
@@ -195,7 +195,7 @@ fn elem_rank_accessors() {
 #[test]
 fn render_produces_readable_output() {
     let e = engine();
-    let res = e.search("xql language", 5);
+    let res = e.search("xql language", 5).unwrap();
     let text = res.render();
     assert!(text.contains("workshop/"));
     assert!(text.lines().count() >= 2);

@@ -1,0 +1,237 @@
+//! Fault-injection suite: the robustness contract of the storage-to-query
+//! read path.
+//!
+//! The engine is built over a [`FaultStore`] that deterministically
+//! injects read errors, torn writes, bit flips, and ENOSPC. The contract
+//! under test: a damaged page fails *exactly* the queries whose evaluation
+//! touches it — with a typed [`QueryError::Storage`], never a panic —
+//! while the same shared engine keeps serving every other query with
+//! results identical to the fault-free baseline, including the paper's
+//! Figure 1 worked example.
+
+use xrank_core::{EngineBuilder, Strategy, XRankEngine};
+use xrank_query::{QueryError, QueryOptions};
+use xrank_storage::{
+    FaultAt, FaultKind, FaultRule, FaultStore, MemStore, PageId, PageStore, SegmentId,
+    StorageError,
+};
+
+/// The Figure 1 workshop document (worked example of Sections 2.1–2.3).
+const WORKSHOP: &str = r#"<workshop>
+  <wtitle>XML and IR a SIGIR Workshop</wtitle>
+  <proceedings>
+    <paper id="1">
+      <title>XQL and Proximal Nodes</title>
+      <author>Ricardo Baeza-Yates</author>
+      <abstract>We consider the recently proposed language</abstract>
+      <body>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">At first sight the XQL query language looks</subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+      </body>
+    </paper>
+    <paper id="2"><title>Querying XML in Xyleme</title></paper>
+  </proceedings>
+</workshop>"#;
+
+fn repeated(word: &str, n: usize) -> String {
+    vec![word; n].join(" ")
+}
+
+/// The worked example plus two high-volume single-term topics whose
+/// inverted lists are large enough to occupy disjoint pages.
+fn builder() -> EngineBuilder {
+    let mut b = EngineBuilder::new();
+    b.add_xml("workshop", WORKSHOP).unwrap();
+    for d in 0..40 {
+        b.add_xml(
+            &format!("a{d}"),
+            &format!("<doc><t>{}</t></doc>", repeated("alphaword", 100)),
+        )
+        .unwrap();
+        b.add_xml(
+            &format!("b{d}"),
+            &format!("<doc><t>{}</t></doc>", repeated("betaword", 100)),
+        )
+        .unwrap();
+    }
+    b
+}
+
+fn fault_engine(seed: u64) -> XRankEngine<FaultStore<MemStore>> {
+    builder()
+        .build_with_store(FaultStore::with_seed(MemStore::new(), seed))
+        .unwrap()
+}
+
+fn hits_of(r: &xrank_core::SearchResults) -> Vec<(xrank_dewey::DeweyId, u64)> {
+    r.hits.iter().map(|h| (h.dewey.clone(), h.score.to_bits())).collect()
+}
+
+fn all_pages<S: PageStore>(store: &S) -> Vec<PageId> {
+    let mut v = Vec::new();
+    for s in 0..store.segment_count() {
+        let seg = SegmentId(s);
+        for p in 0..store.page_count(seg) {
+            v.push(PageId::new(seg, p));
+        }
+    }
+    v
+}
+
+/// Corrupting one page fails exactly the queries that read it; everything
+/// else keeps returning baseline-identical results on the same engine.
+#[test]
+fn corrupt_page_fails_exactly_the_touching_queries() {
+    let e = fault_engine(7);
+    let opts = QueryOptions::default();
+    let base_a = e.search_with("alphaword", Strategy::Dil, &opts).unwrap();
+    let base_b = e.search_with("betaword", Strategy::Dil, &opts).unwrap();
+    assert!(!base_a.hits.is_empty() && !base_b.hits.is_empty());
+
+    let store = e.pool().store();
+    let (mut fails_a_only, mut fails_b_only) = (0u32, 0u32);
+    for page in all_pages(store) {
+        store.inject(FaultRule::new(FaultKind::ReadError, FaultAt::Page(page)));
+        let a = e.search_with("alphaword", Strategy::Dil, &opts);
+        let b = e.search_with("betaword", Strategy::Dil, &opts);
+        match (&a, &b) {
+            (Err(_), Ok(_)) => fails_a_only += 1,
+            (Ok(_), Err(_)) => fails_b_only += 1,
+            _ => {}
+        }
+        for r in [&a, &b] {
+            if let Err(err) = r {
+                assert!(
+                    matches!(err, QueryError::Storage(_)),
+                    "page {page:?}: expected a typed storage error, got {err:?}"
+                );
+            }
+        }
+        if let Ok(r) = &a {
+            assert_eq!(hits_of(r), hits_of(&base_a), "page {page:?} perturbed survivors");
+        }
+        if let Ok(r) = &b {
+            assert_eq!(hits_of(r), hits_of(&base_b), "page {page:?} perturbed survivors");
+        }
+        store.clear_faults();
+    }
+    // The two term lists really live on disjoint pages: each query has
+    // pages whose loss kills it alone.
+    assert!(fails_a_only > 0, "no page failed only the alphaword query");
+    assert!(fails_b_only > 0, "no page failed only the betaword query");
+
+    // With all faults cleared the engine is fully healthy again.
+    let after = e.search_with("alphaword", Strategy::Dil, &opts).unwrap();
+    assert_eq!(hits_of(&after), hits_of(&base_a));
+}
+
+/// While one topic's pages are unreadable, the paper's worked example on
+/// the same shared engine still returns its exact Section 2 result set.
+#[test]
+fn paper_worked_example_survives_unrelated_damage() {
+    let e = fault_engine(11);
+    let opts = QueryOptions::default();
+
+    // Find a page whose loss fails the alphaword query.
+    let store = e.pool().store();
+    let victim = all_pages(store)
+        .into_iter()
+        .find(|&page| {
+            store.inject(FaultRule::new(FaultKind::ReadError, FaultAt::Page(page)));
+            let dead = e.search_with("alphaword", Strategy::Dil, &opts).is_err();
+            store.clear_faults();
+            dead
+        })
+        .expect("some page backs the alphaword list");
+
+    store.inject(FaultRule::new(FaultKind::ReadError, FaultAt::Page(victim)));
+    assert!(matches!(
+        e.search_with("alphaword", Strategy::Dil, &opts),
+        Err(QueryError::Storage(_))
+    ));
+    // The worked example is untouched by the damage: subsection + paper
+    // returned, the spurious ancestors (section, body, workshop) excluded.
+    let res = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
+    let tags: Vec<&str> = res.hits.iter().filter_map(|h| h.path.last().map(String::as_str)).collect();
+    assert!(tags.contains(&"subsection"), "most specific result missing: {tags:?}");
+    assert!(tags.contains(&"paper"), "independent-occurrence result missing: {tags:?}");
+    assert!(
+        !tags.contains(&"section") && !tags.contains(&"body") && !tags.contains(&"workshop"),
+        "spurious ancestors leaked: {tags:?}"
+    );
+    store.clear_faults();
+}
+
+/// A transient fault fails one evaluation; the very next one succeeds —
+/// nothing is poisoned.
+#[test]
+fn transient_fault_then_full_recovery() {
+    let e = fault_engine(3);
+    let opts = QueryOptions::default();
+    let baseline = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
+
+    let store = e.pool().store();
+    store.inject(FaultRule::new(FaultKind::ReadError, FaultAt::Always).times(1));
+    let err = e.search_with("xql language", Strategy::Dil, &opts).unwrap_err();
+    assert!(matches!(err, QueryError::Storage(StorageError::Io { .. })));
+    assert_eq!(store.injected_count(), 1);
+
+    let again = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
+    assert_eq!(hits_of(&again), hits_of(&baseline));
+}
+
+/// A torn write surfaces as its own typed error.
+#[test]
+fn torn_write_is_typed() {
+    let e = fault_engine(5);
+    let opts = QueryOptions::default();
+    let store = e.pool().store();
+    store.inject(FaultRule::new(FaultKind::TornWrite, FaultAt::Always).times(1));
+    let err = e.search_with("xql language", Strategy::Dil, &opts).unwrap_err();
+    assert!(
+        matches!(err, QueryError::Storage(StorageError::TornWrite { .. })),
+        "got {err:?}"
+    );
+}
+
+/// Silent bit flips never panic any processor: every evaluation returns
+/// `Ok` or a typed error, and clearing the faults restores correctness.
+#[test]
+fn bit_flips_never_panic() {
+    let e = fault_engine(13);
+    let opts = QueryOptions::default();
+    let baseline = e.search_with("xql language", Strategy::Hdil, &opts).unwrap();
+
+    let store = e.pool().store();
+    store.inject(FaultRule::new(FaultKind::BitFlip, FaultAt::EveryNth(3)));
+    for q in ["xql language", "alphaword", "betaword", "querying xml"] {
+        for s in [Strategy::Dil, Strategy::Hdil] {
+            // Ok-or-typed-Err; a panic would abort the test.
+            let _ = e.search_with(q, s, &opts);
+        }
+    }
+    store.clear_faults();
+
+    let healed = e.search_with("xql language", Strategy::Hdil, &opts).unwrap();
+    assert_eq!(hits_of(&healed), hits_of(&baseline));
+}
+
+/// A full device fails the *build* with a typed ENOSPC, not a panic.
+#[test]
+fn enospc_fails_build_with_typed_error() {
+    let store = FaultStore::new(MemStore::new());
+    store.inject(FaultRule::new(FaultKind::NoSpace, FaultAt::EveryNth(10)));
+    let err = builder().build_with_store(store).err().expect("build must fail");
+    assert!(matches!(err, StorageError::NoSpace { .. }), "got {err:?}");
+}
+
+/// Write errors during build also surface typed.
+#[test]
+fn write_error_fails_build_with_typed_error() {
+    let store = FaultStore::new(MemStore::new());
+    store.inject(FaultRule::new(FaultKind::WriteError, FaultAt::EveryNth(7)).times(1));
+    let err = builder().build_with_store(store).err().expect("build must fail");
+    assert!(matches!(err, StorageError::Io { .. }), "got {err:?}");
+}

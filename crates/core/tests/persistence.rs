@@ -37,12 +37,12 @@ fn build_persistent(dir: &std::path::Path, with_extras: bool) -> XRankEngine<Fil
 fn reopened_engine_returns_identical_results() {
     let dir = tempdir("basic");
     let built = build_persistent(&dir, false);
-    let before = built.search("xql language", 10);
+    let before = built.search("xql language", 10).unwrap();
     assert!(!before.hits.is_empty());
     drop(built);
 
     let reopened = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
-    let after = reopened.search("xql language", 10);
+    let after = reopened.search("xql language", 10).unwrap();
     assert_eq!(before.hits.len(), after.hits.len());
     for (a, b) in before.hits.iter().zip(after.hits.iter()) {
         assert_eq!(a.dewey, b.dewey);
@@ -60,9 +60,9 @@ fn all_strategies_survive_reopen() {
     drop(build_persistent(&dir, true));
     let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
     let opts = QueryOptions { top_m: 10, ..Default::default() };
-    let dil = e.search_with("xql language", Strategy::Dil, &opts);
+    let dil = e.search_with("xql language", Strategy::Dil, &opts).unwrap();
     for strategy in [Strategy::Rdil, Strategy::Hdil, Strategy::NaiveId, Strategy::NaiveRank] {
-        let res = e.search_with("xql language", strategy, &opts);
+        let res = e.search_with("xql language", strategy, &opts).unwrap();
         assert!(
             !res.hits.is_empty(),
             "strategy {strategy:?} returned nothing after reopen"
@@ -79,7 +79,7 @@ fn html_mode_survives_reopen() {
     let dir = tempdir("html");
     drop(build_persistent(&dir, false));
     let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
-    let res = e.search("web", 10);
+    let res = e.search("web", 10).unwrap();
     assert_eq!(res.hits.len(), 1);
     assert_eq!(res.hits[0].doc_uri, "page");
     assert_eq!(res.hits[0].path.len(), 1, "HTML pages stay whole documents");
@@ -105,7 +105,7 @@ fn elem_ranks_survive_reopen() {
 fn corrupted_meta_is_rejected() {
     let dir = tempdir("corrupt");
     drop(build_persistent(&dir, false));
-    let meta = dir.join("xrank-meta.bin");
+    let meta = dir.join("store").join("xrank-meta.bin");
     let mut bytes = std::fs::read(&meta).unwrap();
     bytes[0] = b'Z';
     std::fs::write(&meta, &bytes).unwrap();
@@ -117,4 +117,116 @@ fn corrupted_meta_is_rejected() {
 fn missing_directory_is_a_clean_error() {
     let err = XRankEngine::open("/nonexistent/xrank-zzz", EngineConfig::default());
     assert!(err.is_err());
+}
+
+// --- Fault-tolerance validation (PR 3) -------------------------------------
+
+#[test]
+fn truncated_meta_is_rejected() {
+    let dir = tempdir("truncmeta");
+    drop(build_persistent(&dir, false));
+    let meta = dir.join("store").join("xrank-meta.bin");
+    let bytes = std::fs::read(&meta).unwrap();
+    std::fs::write(&meta, &bytes[..bytes.len() / 2]).unwrap();
+    let err = XRankEngine::open(&dir, EngineConfig::default());
+    assert!(err.is_err(), "truncated meta must not open");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn future_version_is_rejected_with_descriptive_error() {
+    let dir = tempdir("futurever");
+    drop(build_persistent(&dir, false));
+    let meta = dir.join("store").join("xrank-meta.bin");
+    let mut bytes = std::fs::read(&meta).unwrap();
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes()); // version after magic
+    std::fs::write(&meta, &bytes).unwrap();
+    let err = XRankEngine::open(&dir, EngineConfig::default()).err().expect("must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("version") && msg.contains("99"), "undescriptive error: {msg}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flipped_segment_fails_open() {
+    let dir = tempdir("bitflip");
+    drop(build_persistent(&dir, false));
+    let seg = dir.join("store").join("seg-0.pages");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&seg, &bytes).unwrap();
+    let err = XRankEngine::open(&dir, EngineConfig::default());
+    assert!(err.is_err(), "checksum verification must reject a flipped bit");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fresh_save_over_damaged_dir_succeeds() {
+    let dir = tempdir("resave");
+    drop(build_persistent(&dir, false));
+    // Damage both the meta and a segment.
+    let meta = dir.join("store").join("xrank-meta.bin");
+    let mut bytes = std::fs::read(&meta).unwrap();
+    bytes[0] = b'Z';
+    std::fs::write(&meta, &bytes).unwrap();
+    let seg = dir.join("store").join("seg-0.pages");
+    std::fs::write(&seg, b"garbage").unwrap();
+    assert!(XRankEngine::open(&dir, EngineConfig::default()).is_err());
+
+    // A fresh save over the damaged directory fully replaces it.
+    drop(build_persistent(&dir, false));
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    assert!(!e.search("xql language", 10).unwrap().hits.is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_between_save_and_rename_leaves_previous_index_openable() {
+    let dir = tempdir("crashsim");
+    let built = build_persistent(&dir, false);
+    let expected = built.search("xql language", 10).unwrap();
+    drop(built);
+
+    // Crash state A: a later save died while still writing store.tmp
+    // (incomplete staging dir beside the intact live store).
+    let tmp = dir.join("store.tmp");
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::fs::write(tmp.join("seg-0.pages"), b"half-written").unwrap();
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    assert_eq!(e.search("xql language", 10).unwrap().hits.len(), expected.hits.len());
+    drop(e);
+
+    // Crash state B: killed between the two commit renames — the previous
+    // index sits at store.old, there is no live store yet.
+    std::fs::rename(dir.join("store"), dir.join("store.old")).unwrap();
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    let got = e.search("xql language", 10).unwrap();
+    assert_eq!(got.hits.len(), expected.hits.len());
+    for (a, b) in expected.hits.iter().zip(got.hits.iter()) {
+        assert_eq!(a.dewey, b.dewey);
+    }
+    drop(e);
+
+    // Recovery by a fresh save cleans up all crash debris.
+    drop(build_persistent(&dir, false));
+    assert!(!dir.join("store.tmp").exists(), "staging dir must be consumed");
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    assert!(!e.search("xql language", 10).unwrap().hits.is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn legacy_v1_layout_still_opens() {
+    let dir = tempdir("legacy");
+    drop(build_persistent(&dir, false));
+    // Reshape into the pre-crash-safety layout: meta beside the store dir.
+    std::fs::rename(
+        dir.join("store").join("xrank-meta.bin"),
+        dir.join("xrank-meta.bin"),
+    )
+    .unwrap();
+    let e = XRankEngine::open(&dir, EngineConfig::default()).unwrap();
+    assert!(!e.search("xql language", 10).unwrap().hits.is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -21,19 +21,19 @@ fn staged_docs_invisible_until_commit() {
     let mut e = UpdatableXRank::new(EngineConfig::default());
     e.add_xml("a", &doc("alpha")).unwrap();
     assert_eq!(e.staged_count(), 1);
-    assert!(e.search("alpha", 10).hits.is_empty(), "not yet committed");
+    assert!(e.search("alpha", 10).unwrap().hits.is_empty(), "not yet committed");
     e.commit();
     assert_eq!(e.staged_count(), 0);
-    assert_eq!(e.search("alpha", 10).hits.len(), 2); // title + body
+    assert_eq!(e.search("alpha", 10).unwrap().hits.len(), 2); // title + body
 }
 
 #[test]
 fn delete_takes_effect_immediately() {
     let mut e = engine_with(&[("a", "alpha"), ("b", "beta")]);
-    assert!(!e.search("alpha", 10).hits.is_empty());
+    assert!(!e.search("alpha", 10).unwrap().hits.is_empty());
     assert!(e.delete("a"));
-    assert!(e.search("alpha", 10).hits.is_empty(), "tombstone filters hits");
-    assert!(!e.search("beta", 10).hits.is_empty(), "other docs unaffected");
+    assert!(e.search("alpha", 10).unwrap().hits.is_empty(), "tombstone filters hits");
+    assert!(!e.search("beta", 10).unwrap().hits.is_empty(), "other docs unaffected");
     assert_eq!(e.tombstone_count(), 1);
     assert!(!e.delete("a"), "double delete is a no-op");
 }
@@ -44,7 +44,7 @@ fn incremental_adds_search_across_main_and_delta() {
     e.add_xml("b", &doc("beta")).unwrap();
     e.commit();
     // 'shared' occurs in both documents — results must merge.
-    let res = e.search("shared corpus", 10);
+    let res = e.search("shared corpus", 10).unwrap();
     let uris: std::collections::HashSet<&str> =
         res.hits.iter().map(|h| h.doc_uri.as_str()).collect();
     assert!(uris.contains("a") && uris.contains("b"), "got {uris:?}");
@@ -55,8 +55,8 @@ fn replace_document() {
     let mut e = engine_with(&[("a", "oldword")]);
     e.add_xml("a", &doc("newword")).unwrap();
     e.commit();
-    assert!(e.search("oldword", 10).hits.is_empty(), "old content tombstoned");
-    assert!(!e.search("newword", 10).hits.is_empty(), "new content searchable");
+    assert!(e.search("oldword", 10).unwrap().hits.is_empty(), "old content tombstoned");
+    assert!(!e.search("newword", 10).unwrap().hits.is_empty(), "new content searchable");
 }
 
 #[test]
@@ -68,9 +68,9 @@ fn compact_restores_single_engine_and_drops_tombstones() {
     assert_eq!(e.tombstone_count(), 0);
     assert_eq!(e.staged_count(), 0);
     assert_eq!(e.main_engine().collection().doc_count(), 2); // b, c
-    assert!(e.search("alpha", 10).hits.is_empty());
-    assert!(!e.search("gamma", 10).hits.is_empty());
-    assert!(!e.search("beta", 10).hits.is_empty());
+    assert!(e.search("alpha", 10).unwrap().hits.is_empty());
+    assert!(!e.search("gamma", 10).unwrap().hits.is_empty());
+    assert!(!e.search("beta", 10).unwrap().hits.is_empty());
 }
 
 #[test]
@@ -85,7 +85,7 @@ fn merged_ranking_is_score_ordered() {
     let mut e = engine_with(&[("a", "alpha"), ("b", "beta")]);
     e.add_xml("c", &doc("gamma")).unwrap();
     e.commit();
-    let res = e.search("shared", 10);
+    let res = e.search("shared", 10).unwrap();
     for w in res.hits.windows(2) {
         assert!(w[0].score >= w[1].score, "merged hits out of order");
     }
@@ -99,14 +99,14 @@ fn disjunctive_search_via_engine() {
     let e = b.build();
     // Conjunctive: only <c>.
     // <c> directly, plus <r> via independent occurrences in <a> and <b>.
-    assert_eq!(e.search("apple banana", 10).hits.len(), 2);
+    assert_eq!(e.search("apple banana", 10).unwrap().hits.len(), 2);
     // Disjunctive: a, b, c.
-    let any = e.search_any("apple banana", 10);
+    let any = e.search_any("apple banana", 10).unwrap();
     assert_eq!(any.hits.len(), 3);
     // Unknown keywords are dropped, not fatal.
-    let any = e.search_any("apple zzzznope", 10);
+    let any = e.search_any("apple zzzznope", 10).unwrap();
     assert_eq!(any.hits.len(), 2);
     // Conjunctive matches rank first (two rank terms vs one).
-    let top = &e.search_any("apple banana", 10).hits[0];
+    let top = &e.search_any("apple banana", 10).unwrap().hits[0];
     assert!(top.path.ends_with(&["c".to_string()]));
 }

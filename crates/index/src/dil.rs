@@ -10,7 +10,7 @@ use crate::listio::{self, DeweyListWrite, ListKind, ListMeta, ListReader};
 use crate::posting::Posting;
 use crate::SpaceBreakdown;
 use xrank_graph::TermId;
-use xrank_storage::{BufferPool, PageStore, SegmentId, PAGE_SIZE};
+use xrank_storage::{BufferPool, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// Per-term `(first_key, page)` directories captured while writing lists
 /// (one vector per term, in term order) — the input HDIL's interior
@@ -31,9 +31,9 @@ impl DilIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
-    ) -> DilIndex {
-        let (index, _) = Self::build_capturing(pool, postings, PAGE_SIZE);
-        index
+    ) -> StorageResult<DilIndex> {
+        let (index, _) = Self::build_capturing(pool, postings, PAGE_SIZE)?;
+        Ok(index)
     }
 
     /// As [`DilIndex::build`] with an explicit per-page byte budget (the
@@ -43,9 +43,9 @@ impl DilIndex {
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
         page_budget: usize,
-    ) -> DilIndex {
-        let (index, _) = Self::build_capturing(pool, postings, page_budget);
-        index
+    ) -> StorageResult<DilIndex> {
+        let (index, _) = Self::build_capturing(pool, postings, page_budget)?;
+        Ok(index)
     }
 
     /// As [`DilIndex::build`], also returning each list's per-page first
@@ -55,8 +55,8 @@ impl DilIndex {
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
         page_budget: usize,
-    ) -> (DilIndex, PageFirstTables) {
-        let segment = pool.store_mut().create_segment();
+    ) -> StorageResult<(DilIndex, PageFirstTables)> {
+        let segment = pool.store_mut().create_segment()?;
         let mut lists = Vec::with_capacity(postings.len());
         let mut firsts = Vec::with_capacity(postings.len());
         for term_postings in postings {
@@ -70,11 +70,11 @@ impl DilIndex {
                 "DIL postings must be strictly Dewey-ascending"
             );
             let DeweyListWrite { meta, page_firsts } =
-                listio::write_dewey_list_budgeted(pool, segment, term_postings, page_budget);
+                listio::write_dewey_list_budgeted(pool, segment, term_postings, page_budget)?;
             lists.push(Some(meta));
             firsts.push(page_firsts);
         }
-        (DilIndex { segment, lists }, firsts)
+        Ok((DilIndex { segment, lists }, firsts))
     }
 
     /// Metadata of a term's list.
@@ -141,7 +141,7 @@ mod tests {
         let scores = vec![0.25; c.element_count()];
         let postings = direct_postings(&c, &scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let idx = DilIndex::build(&mut pool, &postings);
+        let idx = DilIndex::build(&mut pool, &postings).unwrap();
         (pool, idx, c)
     }
 
@@ -151,7 +151,7 @@ mod tests {
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut deweys = Vec::new();
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             deweys.push(p.dewey);
         }
         assert_eq!(deweys.len(), 2, "title and body directly contain 'xql'");
@@ -178,8 +178,8 @@ mod tests {
         let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
-        r.next(&pool); // title
-        let body = r.next(&pool).unwrap();
+        r.next(&pool).unwrap(); // title
+        let body = r.next(&pool).unwrap().unwrap();
         assert_eq!(body.positions.len(), 2, "xql occurs twice in body text");
     }
 }

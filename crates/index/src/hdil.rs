@@ -18,7 +18,11 @@ use crate::SpaceBreakdown;
 use xrank_dewey::{codec, DeweyId};
 use xrank_graph::TermId;
 use xrank_storage::btree::Interior;
-use xrank_storage::{BufferPool, PageId, PageStore, SegmentId, PAGE_SIZE};
+use xrank_storage::{BufferPool, PageId, PageStore, SegmentId, StorageResult, PAGE_SIZE};
+
+/// A located Dewey-list entry: list meta, page offset, slot index within
+/// the decoded page, and the page's postings.
+type LocatedEntry = (ListMeta, u32, usize, Vec<Posting>);
 
 /// Fraction of each list stored rank-sorted (the "small fraction of the
 /// inverted list sorted by rank" of Section 4.4.1).
@@ -44,7 +48,7 @@ impl HdilIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
-    ) -> HdilIndex {
+    ) -> StorageResult<HdilIndex> {
         Self::build_full(pool, postings, DEFAULT_PREFIX_FRACTION, MIN_PREFIX_ENTRIES, PAGE_SIZE)
     }
 
@@ -54,7 +58,7 @@ impl HdilIndex {
         postings: &[Vec<Posting>],
         prefix_fraction: f64,
         min_prefix: usize,
-    ) -> HdilIndex {
+    ) -> StorageResult<HdilIndex> {
         Self::build_full(pool, postings, prefix_fraction, min_prefix, PAGE_SIZE)
     }
 
@@ -66,19 +70,19 @@ impl HdilIndex {
         prefix_fraction: f64,
         min_prefix: usize,
         page_budget: usize,
-    ) -> HdilIndex {
-        let (dil, firsts) = DilIndex::build_capturing(pool, postings, page_budget);
-        let interior_segment = pool.store_mut().create_segment();
+    ) -> StorageResult<HdilIndex> {
+        let (dil, firsts) = DilIndex::build_capturing(pool, postings, page_budget)?;
+        let interior_segment = pool.store_mut().create_segment()?;
         let mut interiors = Vec::with_capacity(postings.len());
         for page_firsts in &firsts {
             if page_firsts.is_empty() {
                 interiors.push(None);
             } else {
-                interiors.push(Some(Interior::build(pool, interior_segment, page_firsts)));
+                interiors.push(Some(Interior::build(pool, interior_segment, page_firsts)?));
             }
         }
 
-        let prefix_segment = pool.store_mut().create_segment();
+        let prefix_segment = pool.store_mut().create_segment()?;
         let mut prefix_lists = Vec::with_capacity(postings.len());
         for term_postings in postings {
             if term_postings.is_empty() {
@@ -96,10 +100,10 @@ impl HdilIndex {
                 prefix_segment,
                 &by_rank,
                 page_budget,
-            )));
+            )?));
         }
 
-        HdilIndex { dil, interior_segment, interiors, prefix_segment, prefix_lists }
+        Ok(HdilIndex { dil, interior_segment, interiors, prefix_segment, prefix_lists })
     }
 
     /// Metadata of a term's full (Dewey-sorted) list.
@@ -139,20 +143,23 @@ impl HdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> Option<(ListMeta, u32, usize, Vec<Posting>)> {
-        let meta = self.meta(term)?;
-        let interior = self.interiors.get(term.index()).copied().flatten()?;
+    ) -> StorageResult<Option<LocatedEntry>> {
+        let (Some(meta), Some(interior)) =
+            (self.meta(term), self.interiors.get(term.index()).copied().flatten())
+        else {
+            return Ok(None);
+        };
         let key = codec::encode_id(target);
-        let mut page_off = interior.descend(pool, &key);
+        let mut page_off = interior.descend(pool, &key)?;
         loop {
-            let page = pool.read(PageId::new(self.dil.segment, page_off)).to_vec();
-            let postings = decode_dewey_page(&page);
+            let page = pool.read(PageId::new(self.dil.segment, page_off))?.to_vec();
+            let postings = decode_dewey_page(&page)?;
             if let Some(slot) = postings.iter().position(|p| &p.dewey >= target) {
-                return Some((meta, page_off, slot, postings));
+                return Ok(Some((meta, page_off, slot, postings)));
             }
             // Everything on this page sorts below target: advance.
             if page_off + 1 >= meta.start_page + meta.page_count {
-                return Some((meta, page_off, postings.len(), postings));
+                return Ok(Some((meta, page_off, postings.len(), postings)));
             }
             page_off += 1;
         }
@@ -165,20 +172,20 @@ impl HdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> (Option<Posting>, Option<Posting>) {
-        let Some((meta, page_off, slot, postings)) = self.locate(pool, term, target) else {
-            return (None, None);
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
+        let Some((meta, page_off, slot, postings)) = self.locate(pool, term, target)? else {
+            return Ok((None, None));
         };
         let entry = postings.get(slot).cloned();
         let pred = if slot > 0 {
             postings.get(slot - 1).cloned()
         } else if page_off > meta.start_page {
-            let prev = pool.read(PageId::new(self.dil.segment, page_off - 1)).to_vec();
-            decode_dewey_page(&prev).pop()
+            let prev = pool.read(PageId::new(self.dil.segment, page_off - 1))?.to_vec();
+            decode_dewey_page(&prev)?.pop()
         } else {
             None
         };
-        (entry, pred)
+        Ok((entry, pred))
     }
 
     /// All postings of `term` whose Dewey has `prefix` as a prefix,
@@ -188,27 +195,27 @@ impl HdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
-    ) -> Vec<Posting> {
-        let Some((meta, mut page_off, mut slot, mut postings)) = self.locate(pool, term, prefix)
+    ) -> StorageResult<Vec<Posting>> {
+        let Some((meta, mut page_off, mut slot, mut postings)) = self.locate(pool, term, prefix)?
         else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let mut out = Vec::new();
         loop {
             while slot < postings.len() {
                 let p = &postings[slot];
                 if !prefix.is_ancestor_or_self_of(&p.dewey) {
-                    return out;
+                    return Ok(out);
                 }
                 out.push(p.clone());
                 slot += 1;
             }
             page_off += 1;
             if page_off >= meta.start_page + meta.page_count {
-                return out;
+                return Ok(out);
             }
-            let page = pool.read(PageId::new(self.dil.segment, page_off)).to_vec();
-            postings = decode_dewey_page(&page);
+            let page = pool.read(PageId::new(self.dil.segment, page_off))?.to_vec();
+            postings = decode_dewey_page(&page)?;
             slot = 0;
         }
     }
@@ -302,8 +309,8 @@ mod tests {
             .collect();
         let postings = direct_postings(&c, &scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let hdil = HdilIndex::build(&mut pool, &postings);
-        let rdil = RdilIndex::build(&mut pool, &postings);
+        let hdil = HdilIndex::build(&mut pool, &postings).unwrap();
+        let rdil = RdilIndex::build(&mut pool, &postings).unwrap();
         (pool, hdil, rdil, c)
     }
 
@@ -319,8 +326,8 @@ mod tests {
             DeweyId::from([5, 0]),
         ];
         for probe in &probes {
-            let (he, hp) = hdil.lowest_geq(&pool, term, probe);
-            let (re, rp) = rdil.lowest_geq(&pool, term, probe);
+            let (he, hp) = hdil.lowest_geq(&pool, term, probe).unwrap();
+            let (re, rp) = rdil.lowest_geq(&pool, term, probe).unwrap();
             assert_eq!(
                 he.as_ref().map(|p| &p.dewey),
                 re.as_ref().map(|p| &p.dewey),
@@ -340,8 +347,8 @@ mod tests {
         let term = c.vocabulary().lookup("common").unwrap();
         for prefix in [DeweyId::from([0]), DeweyId::from([0, 0, 42]), DeweyId::from([0, 0, 399])]
         {
-            let h = hdil.prefix_postings(&pool, term, &prefix);
-            let r = rdil.prefix_postings(&pool, term, &prefix);
+            let h = hdil.prefix_postings(&pool, term, &prefix).unwrap();
+            let r = rdil.prefix_postings(&pool, term, &prefix).unwrap();
             assert_eq!(h.len(), r.len(), "count mismatch under {prefix}");
             for (a, b) in h.iter().zip(r.iter()) {
                 assert_eq!(a.dewey, b.dewey);
@@ -359,7 +366,7 @@ mod tests {
         assert!(prefix > 0 && prefix < full, "prefix {prefix} of {full}");
         let mut r = hdil.rank_prefix_reader(term).unwrap();
         let mut prev = f32::INFINITY;
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             assert!(p.rank <= prev);
             prev = p.rank;
         }
@@ -371,7 +378,7 @@ mod tests {
         let term = c.vocabulary().lookup("word3").unwrap(); // occurs once
         assert_eq!(hdil.prefix_len(term), hdil.meta(term).unwrap().entry_count);
         let mut r = hdil.rank_prefix_reader(term).unwrap();
-        assert!(r.next(&pool).is_some());
+        assert!(r.next(&pool).unwrap().is_some());
     }
 
     #[test]
@@ -392,8 +399,8 @@ mod tests {
         let (pool, hdil, _, _) = build_large();
         let t = TermId(u32::MAX - 1);
         assert!(hdil.meta(t).is_none());
-        let (e, p) = hdil.lowest_geq(&pool, t, &DeweyId::from([0]));
+        let (e, p) = hdil.lowest_geq(&pool, t, &DeweyId::from([0])).unwrap();
         assert!(e.is_none() && p.is_none());
-        assert!(hdil.prefix_postings(&pool, t, &DeweyId::from([0])).is_empty());
+        assert!(hdil.prefix_postings(&pool, t, &DeweyId::from([0])).unwrap().is_empty());
     }
 }

@@ -15,7 +15,9 @@ use crate::posting::{self, NaivePosting, Posting};
 use std::collections::VecDeque;
 use xrank_dewey::codec;
 use xrank_dewey::DeweyId;
-use xrank_storage::{wire, BufferPool, PageId, PageStore, SegmentId, PAGE_SIZE};
+use xrank_storage::{
+    wire, BufferPool, PageId, PageStore, SegmentId, StorageError, StorageResult, PAGE_SIZE,
+};
 
 /// Location of one term's list inside its segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +119,7 @@ pub fn write_dewey_list<S: PageStore>(
     pool: &mut BufferPool<S>,
     segment: SegmentId,
     postings: &[Posting],
-) -> DeweyListWrite {
+) -> StorageResult<DeweyListWrite> {
     write_dewey_list_budgeted(pool, segment, postings, PAGE_SIZE)
 }
 
@@ -132,7 +134,7 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
     segment: SegmentId,
     postings: &[Posting],
     budget: usize,
-) -> DeweyListWrite {
+) -> StorageResult<DeweyListWrite> {
     let budget = budget.clamp(64, PAGE_SIZE);
     let mut page = new_page();
     let mut n: u16 = 0;
@@ -147,7 +149,7 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
         if page.len() + len > budget && n > 0 {
             used_bytes += page.len() as u64;
             seal(&mut page, n);
-            let off = pool.append_page(segment, &page);
+            let off = pool.append_page(segment, &page)?;
             page_firsts.push((first_key_of_page.take().expect("page has entries"), off));
             page = new_page();
             n = 0;
@@ -165,11 +167,11 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
     if n > 0 {
         used_bytes += page.len() as u64;
         seal(&mut page, n);
-        let off = pool.append_page(segment, &page);
+        let off = pool.append_page(segment, &page)?;
         page_firsts.push((first_key_of_page.take().expect("page has entries"), off));
     }
     let page_count = pool.store().page_count(segment) - start_page;
-    DeweyListWrite {
+    Ok(DeweyListWrite {
         meta: ListMeta {
             start_page,
             page_count,
@@ -177,24 +179,33 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
             used_bytes,
         },
         page_firsts,
-    }
+    })
+}
+
+/// Reads a list page's entry-count header, bounds-checked.
+fn page_header(page: &[u8]) -> StorageResult<usize> {
+    let b: [u8; 2] = page
+        .get(0..2)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("list page shorter than its header"))?;
+    Ok(u16::from_le_bytes(b) as usize)
 }
 
 /// Decodes a Dewey-list page into postings (`elem` ids are not stored on
-/// disk and come back as 0).
-pub fn decode_dewey_page(page: &[u8]) -> Vec<Posting> {
-    let n = u16::from_le_bytes([page[0], page[1]]) as usize;
-    let mut out = Vec::with_capacity(n);
+/// disk and come back as 0). Corruption yields a typed error, not a panic.
+pub fn decode_dewey_page(page: &[u8]) -> StorageResult<Vec<Posting>> {
+    let n = page_header(page)?;
+    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
     let mut off = 2;
     let mut prev: Option<DeweyId> = None;
     for _ in 0..n {
-        let (p, consumed) =
-            posting::decode_entry(prev.as_ref(), &page[off..]).expect("corrupt dewey list page");
+        let (p, consumed) = posting::decode_entry(prev.as_ref(), &page[off..])
+            .map_err(|e| StorageError::corrupt(format!("dewey list page entry: {e}")))?;
         off += consumed;
         prev = Some(p.dewey.clone());
         out.push(p);
     }
-    out
+    Ok(out)
 }
 
 /// Writes a rank-ordered list (every Dewey fully encoded).
@@ -202,7 +213,7 @@ pub fn write_rank_list<S: PageStore>(
     pool: &mut BufferPool<S>,
     segment: SegmentId,
     postings: &[Posting],
-) -> ListMeta {
+) -> StorageResult<ListMeta> {
     write_rank_list_budgeted(pool, segment, postings, PAGE_SIZE)
 }
 
@@ -212,7 +223,7 @@ pub fn write_rank_list_budgeted<S: PageStore>(
     segment: SegmentId,
     postings: &[Posting],
     budget: usize,
-) -> ListMeta {
+) -> StorageResult<ListMeta> {
     let budget = budget.clamp(64, PAGE_SIZE);
     let mut page = new_page();
     let mut n: u16 = 0;
@@ -223,7 +234,7 @@ pub fn write_rank_list_budgeted<S: PageStore>(
         if page.len() + len > budget && n > 0 {
             used_bytes += page.len() as u64;
             seal(&mut page, n);
-            pool.append_page(segment, &page);
+            pool.append_page(segment, &page)?;
             page = new_page();
             n = 0;
         }
@@ -234,24 +245,24 @@ pub fn write_rank_list_budgeted<S: PageStore>(
     if n > 0 {
         used_bytes += page.len() as u64;
         seal(&mut page, n);
-        pool.append_page(segment, &page);
+        pool.append_page(segment, &page)?;
     }
     let page_count = pool.store().page_count(segment) - start_page;
-    ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes }
+    Ok(ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes })
 }
 
 /// Decodes a rank-list page.
-pub fn decode_rank_page(page: &[u8]) -> Vec<Posting> {
-    let n = u16::from_le_bytes([page[0], page[1]]) as usize;
-    let mut out = Vec::with_capacity(n);
+pub fn decode_rank_page(page: &[u8]) -> StorageResult<Vec<Posting>> {
+    let n = page_header(page)?;
+    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
     let mut off = 2;
     for _ in 0..n {
-        let (p, consumed) =
-            posting::decode_entry(None, &page[off..]).expect("corrupt rank list page");
+        let (p, consumed) = posting::decode_entry(None, &page[off..])
+            .map_err(|e| StorageError::corrupt(format!("rank list page entry: {e}")))?;
         off += consumed;
         out.push(p);
     }
-    out
+    Ok(out)
 }
 
 /// Writes a naive list. `delta` encodes ascending element ids as deltas
@@ -261,7 +272,7 @@ pub fn write_naive_list<S: PageStore>(
     segment: SegmentId,
     postings: &[NaivePosting],
     delta: bool,
-) -> ListMeta {
+) -> StorageResult<ListMeta> {
     write_naive_list_budgeted(pool, segment, postings, delta, PAGE_SIZE)
 }
 
@@ -272,7 +283,7 @@ pub fn write_naive_list_budgeted<S: PageStore>(
     postings: &[NaivePosting],
     delta: bool,
     budget: usize,
-) -> ListMeta {
+) -> StorageResult<ListMeta> {
     let budget = budget.clamp(64, PAGE_SIZE);
     let start_page = pool.store().page_count(segment);
     let mut page = new_page();
@@ -285,7 +296,7 @@ pub fn write_naive_list_budgeted<S: PageStore>(
         if page.len() + len > budget && n > 0 {
             used_bytes += page.len() as u64;
             seal(&mut page, n);
-            pool.append_page(segment, &page);
+            pool.append_page(segment, &page)?;
             page = new_page();
             n = 0;
         }
@@ -303,30 +314,36 @@ pub fn write_naive_list_budgeted<S: PageStore>(
     if n > 0 {
         used_bytes += page.len() as u64;
         seal(&mut page, n);
-        pool.append_page(segment, &page);
+        pool.append_page(segment, &page)?;
     }
     let page_count = pool.store().page_count(segment) - start_page;
-    ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes }
+    Ok(ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes })
 }
 
 /// Decodes a naive-list page (pass the same `delta` used when writing).
-pub fn decode_naive_page(page: &[u8], delta: bool) -> Vec<NaivePosting> {
-    let n = u16::from_le_bytes([page[0], page[1]]) as usize;
-    let mut out = Vec::with_capacity(n);
+pub fn decode_naive_page(page: &[u8], delta: bool) -> StorageResult<Vec<NaivePosting>> {
+    let n = page_header(page)?;
+    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
     let mut off = 2;
     let mut prev_elem = 0u32;
     for i in 0..n {
-        let (field, consumed) =
-            codec::read_component(&page[off..]).expect("corrupt naive list page");
+        let (field, consumed) = codec::read_component(&page[off..])
+            .map_err(|e| StorageError::corrupt(format!("naive list page entry: {e}")))?;
         off += consumed;
-        let elem = if delta && i > 0 { prev_elem + field } else { field };
+        let elem = if delta && i > 0 {
+            prev_elem
+                .checked_add(field)
+                .ok_or_else(|| StorageError::corrupt("naive list element id overflow"))?
+        } else {
+            field
+        };
         prev_elem = elem;
-        let (rank, positions, consumed) =
-            posting::decode_payload(&page[off..]).expect("corrupt naive list payload");
+        let (rank, positions, consumed) = posting::decode_payload(&page[off..])
+            .map_err(|e| StorageError::corrupt(format!("naive list payload: {e}")))?;
         off += consumed;
         out.push(NaivePosting { elem, rank, positions });
     }
-    out
+    Ok(out)
 }
 
 /// How a list's pages should be decoded.
@@ -368,36 +385,40 @@ impl ListReader {
     }
 
     /// Peeks at the next posting without consuming it.
-    pub fn peek<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<&Posting> {
+    pub fn peek<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+    ) -> StorageResult<Option<&Posting>> {
         if self.buffered.is_empty() {
-            self.fill(pool);
+            self.fill(pool)?;
         }
-        self.buffered.front()
+        Ok(self.buffered.front())
     }
 
     /// Pops the next posting.
-    pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<Posting> {
+    pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<Option<Posting>> {
         if self.buffered.is_empty() {
-            self.fill(pool);
+            self.fill(pool)?;
         }
         let p = self.buffered.pop_front();
         if p.is_some() {
             self.consumed += 1;
         }
-        p
+        Ok(p)
     }
 
-    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) {
+    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
         if self.next_page >= self.meta.start_page + self.meta.page_count {
-            return;
+            return Ok(());
         }
-        let page = pool.read(PageId::new(self.segment, self.next_page));
+        let page = pool.read(PageId::new(self.segment, self.next_page))?;
         self.next_page += 1;
         let postings = match self.kind {
-            ListKind::Dewey => decode_dewey_page(&page),
-            ListKind::Rank => decode_rank_page(&page),
+            ListKind::Dewey => decode_dewey_page(&page)?,
+            ListKind::Rank => decode_rank_page(&page)?,
         };
         self.buffered = postings.into();
+        Ok(())
     }
 
     /// True once every posting has been yielded.
@@ -424,28 +445,35 @@ impl NaiveListReader {
     }
 
     /// Peeks at the next posting.
-    pub fn peek<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<&NaivePosting> {
+    pub fn peek<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+    ) -> StorageResult<Option<&NaivePosting>> {
         if self.buffered.is_empty() {
-            self.fill(pool);
+            self.fill(pool)?;
         }
-        self.buffered.front()
+        Ok(self.buffered.front())
     }
 
     /// Pops the next posting.
-    pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> Option<NaivePosting> {
+    pub fn next<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+    ) -> StorageResult<Option<NaivePosting>> {
         if self.buffered.is_empty() {
-            self.fill(pool);
+            self.fill(pool)?;
         }
-        self.buffered.pop_front()
+        Ok(self.buffered.pop_front())
     }
 
-    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) {
+    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
         if self.next_page >= self.meta.start_page + self.meta.page_count {
-            return;
+            return Ok(());
         }
-        let page = pool.read(PageId::new(self.segment, self.next_page));
+        let page = pool.read(PageId::new(self.segment, self.next_page))?;
         self.next_page += 1;
-        self.buffered = decode_naive_page(&page, self.delta).into();
+        self.buffered = decode_naive_page(&page, self.delta)?.into();
+        Ok(())
     }
 }
 
@@ -468,33 +496,33 @@ mod tests {
     #[test]
     fn dewey_list_roundtrip_across_pages() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(2000);
-        let w = write_dewey_list(&mut pool, seg, &ps);
+        let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         assert!(w.meta.page_count > 1, "should span pages");
         assert_eq!(w.page_firsts.len(), w.meta.page_count as usize);
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
         for expect in &ps {
-            let got = r.next(&pool).unwrap();
+            let got = r.next(&pool).unwrap().unwrap();
             assert_eq!(got.dewey, expect.dewey);
             assert_eq!(got.positions, expect.positions);
             assert!((got.rank - expect.rank).abs() < 1e-9);
         }
-        assert!(r.next(&pool).is_none());
+        assert!(r.next(&pool).unwrap().is_none());
         assert!(r.exhausted());
     }
 
     #[test]
     fn pages_are_self_contained() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(2000);
-        let w = write_dewey_list(&mut pool, seg, &ps);
+        let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         // Decode the middle page directly; its first key must match the
         // recorded page_first.
         let mid = w.meta.page_count / 2;
-        let page = pool.read(PageId::new(seg, w.meta.start_page + mid)).to_vec();
-        let decoded = decode_dewey_page(&page);
+        let page = pool.read(PageId::new(seg, w.meta.start_page + mid)).unwrap().to_vec();
+        let decoded = decode_dewey_page(&page).unwrap();
         assert!(!decoded.is_empty());
         assert_eq!(
             codec::encode_id(&decoded[0].dewey),
@@ -505,14 +533,14 @@ mod tests {
     #[test]
     fn rank_list_roundtrip_preserves_order() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let mut ps = postings(500);
         ps.sort_by(|a, b| b.rank.total_cmp(&a.rank).then(a.dewey.cmp(&b.dewey)));
-        let meta = write_rank_list(&mut pool, seg, &ps);
+        let meta = write_rank_list(&mut pool, seg, &ps).unwrap();
         let mut r = ListReader::new(seg, meta, ListKind::Rank);
         let mut prev_rank = f32::INFINITY;
         let mut n = 0;
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             assert!(p.rank <= prev_rank);
             prev_rank = p.rank;
             n += 1;
@@ -523,55 +551,55 @@ mod tests {
     #[test]
     fn naive_list_roundtrip_delta_and_absolute() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let ps: Vec<NaivePosting> = (0..1200)
             .map(|i| NaivePosting { elem: i * 2, rank: 0.5, positions: vec![i] })
             .collect();
         for delta in [true, false] {
-            let meta = write_naive_list(&mut pool, seg, &ps, delta);
+            let meta = write_naive_list(&mut pool, seg, &ps, delta).unwrap();
             let mut r = NaiveListReader::new(seg, meta, delta);
             for expect in &ps {
-                let got = r.next(&pool).unwrap();
+                let got = r.next(&pool).unwrap().unwrap();
                 assert_eq!(got.elem, expect.elem);
                 assert_eq!(got.positions, expect.positions);
             }
-            assert!(r.next(&pool).is_none());
+            assert!(r.next(&pool).unwrap().is_none());
         }
     }
 
     #[test]
     fn empty_list() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
-        let seg = pool.store_mut().create_segment();
-        let w = write_dewey_list(&mut pool, seg, &[]);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let w = write_dewey_list(&mut pool, seg, &[]).unwrap();
         assert_eq!(w.meta.page_count, 0);
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        assert!(r.next(&pool).is_none());
+        assert!(r.next(&pool).unwrap().is_none());
     }
 
     #[test]
     fn peek_does_not_consume() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(5);
-        let w = write_dewey_list(&mut pool, seg, &ps);
+        let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        let first = r.peek(&pool).unwrap().dewey.clone();
-        assert_eq!(r.peek(&pool).unwrap().dewey, first);
-        assert_eq!(r.next(&pool).unwrap().dewey, first);
+        let first = r.peek(&pool).unwrap().unwrap().dewey.clone();
+        assert_eq!(r.peek(&pool).unwrap().unwrap().dewey, first);
+        assert_eq!(r.next(&pool).unwrap().unwrap().dewey, first);
         assert_eq!(r.consumed(), 1);
     }
 
     #[test]
     fn full_scan_is_mostly_sequential() {
         let mut pool = BufferPool::new(MemStore::new(), 4096);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(20_000);
-        let w = write_dewey_list(&mut pool, seg, &ps);
+        let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         pool.clear_cache();
         pool.reset_stats();
         let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
-        while r.next(&pool).is_some() {}
+        while r.next(&pool).unwrap().is_some() {}
         let s = pool.stats();
         assert_eq!(s.rand_reads, 1, "one initial seek");
         assert_eq!(s.seq_reads as u32, w.meta.page_count - 1);

@@ -13,7 +13,7 @@ use crate::posting::{self, NaivePosting};
 use crate::SpaceBreakdown;
 use xrank_graph::{ElemId, TermId};
 use xrank_storage::hash::HashIndex;
-use xrank_storage::{BufferPool, PageStore, SegmentId, PAGE_SIZE};
+use xrank_storage::{BufferPool, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// Composite hash key: term in the high half, element id in the low half.
 fn hash_key(term: TermId, elem: ElemId) -> u64 {
@@ -34,7 +34,7 @@ impl NaiveIdIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         postings: &[Vec<NaivePosting>],
-    ) -> NaiveIdIndex {
+    ) -> StorageResult<NaiveIdIndex> {
         Self::build_with(pool, postings, PAGE_SIZE)
     }
 
@@ -43,26 +43,24 @@ impl NaiveIdIndex {
         pool: &mut BufferPool<S>,
         postings: &[Vec<NaivePosting>],
         page_budget: usize,
-    ) -> NaiveIdIndex {
-        let segment = pool.store_mut().create_segment();
-        let lists = postings
-            .iter()
-            .map(|list| {
-                if list.is_empty() {
-                    None
-                } else {
-                    debug_assert!(list.windows(2).all(|w| w[0].elem < w[1].elem));
-                    Some(listio::write_naive_list_budgeted(
-                        pool,
-                        segment,
-                        list,
-                        true,
-                        page_budget,
-                    ))
-                }
-            })
-            .collect();
-        NaiveIdIndex { segment, lists }
+    ) -> StorageResult<NaiveIdIndex> {
+        let segment = pool.store_mut().create_segment()?;
+        let mut lists = Vec::with_capacity(postings.len());
+        for list in postings {
+            if list.is_empty() {
+                lists.push(None);
+            } else {
+                debug_assert!(list.windows(2).all(|w| w[0].elem < w[1].elem));
+                lists.push(Some(listio::write_naive_list_budgeted(
+                    pool,
+                    segment,
+                    list,
+                    true,
+                    page_budget,
+                )?));
+            }
+        }
+        Ok(NaiveIdIndex { segment, lists })
     }
 
     /// Metadata of a term's list.
@@ -115,7 +113,7 @@ impl NaiveRankIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         postings: &[Vec<NaivePosting>],
-    ) -> NaiveRankIndex {
+    ) -> StorageResult<NaiveRankIndex> {
         Self::build_with(pool, postings, PAGE_SIZE)
     }
 
@@ -124,8 +122,8 @@ impl NaiveRankIndex {
         pool: &mut BufferPool<S>,
         postings: &[Vec<NaivePosting>],
         page_budget: usize,
-    ) -> NaiveRankIndex {
-        let segment = pool.store_mut().create_segment();
+    ) -> StorageResult<NaiveRankIndex> {
+        let segment = pool.store_mut().create_segment()?;
         let mut lists = Vec::with_capacity(postings.len());
         let mut hash_entries: Vec<(u64, Vec<u8>)> = Vec::new();
         for (term, list) in postings.iter().enumerate() {
@@ -141,15 +139,15 @@ impl NaiveRankIndex {
                 &by_rank,
                 false,
                 page_budget,
-            )));
+            )?));
             for p in list {
                 let mut value = Vec::new();
                 posting::encode_payload(p.rank, &p.positions, &mut value);
                 hash_entries.push((hash_key(TermId(term as u32), p.elem), value));
             }
         }
-        let hash = HashIndex::build(pool, &hash_entries).expect("unique (term, elem) keys");
-        NaiveRankIndex { segment, lists, hash }
+        let hash = HashIndex::build(pool, &hash_entries)?;
+        Ok(NaiveRankIndex { segment, lists, hash })
     }
 
     /// Metadata of a term's list.
@@ -170,10 +168,13 @@ impl NaiveRankIndex {
         pool: &BufferPool<S>,
         term: TermId,
         elem: ElemId,
-    ) -> Option<(f32, Vec<u32>)> {
-        let value = self.hash.get(pool, hash_key(term, elem))?;
-        let (rank, positions, _) = posting::decode_payload(&value).ok()?;
-        Some((rank, positions))
+    ) -> StorageResult<Option<(f32, Vec<u32>)>> {
+        let Some(value) = self.hash.get(pool, hash_key(term, elem))? else {
+            return Ok(None);
+        };
+        let (rank, positions, _) = posting::decode_payload(&value)
+            .map_err(|e| xrank_storage::StorageError::corrupt(format!("naive hash payload: {e}")))?;
+        Ok(Some((rank, positions)))
     }
 
     /// Serializes the index directory.
@@ -232,8 +233,8 @@ mod tests {
         let scores: Vec<f64> = (0..c.element_count()).map(|i| 1.0 / (i + 1) as f64).collect();
         let naive = naive_postings(&c, &scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let id_idx = NaiveIdIndex::build(&mut pool, &naive);
-        let rank_idx = NaiveRankIndex::build(&mut pool, &naive);
+        let id_idx = NaiveIdIndex::build(&mut pool, &naive).unwrap();
+        let rank_idx = NaiveRankIndex::build(&mut pool, &naive).unwrap();
         (pool, id_idx, rank_idx, c)
     }
 
@@ -243,7 +244,7 @@ mod tests {
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut elems = Vec::new();
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             elems.push(p.elem);
         }
         // xql is in <title> and <sec>; ancestors proc, paper, body, plus
@@ -261,7 +262,7 @@ mod tests {
         let term = c.vocabulary().lookup("xql").unwrap();
         let mut r = idx.reader(term).unwrap();
         let mut prev = f32::INFINITY;
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             assert!(p.rank <= prev);
             prev = p.rank;
         }
@@ -272,7 +273,7 @@ mod tests {
         let (pool, _, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         // Root (elem 0) contains xql.
-        let (rank, positions) = idx.lookup(&pool, term, 0).unwrap();
+        let (rank, positions) = idx.lookup(&pool, term, 0).unwrap().unwrap();
         assert!(rank > 0.0);
         assert_eq!(positions.len(), 2);
         // The <title> element's direct posting has one position.
@@ -281,7 +282,7 @@ mod tests {
             .find(|(_, e)| &*e.name == "title")
             .map(|(id, _)| id)
             .unwrap();
-        let (_, tpos) = idx.lookup(&pool, term, title).unwrap();
+        let (_, tpos) = idx.lookup(&pool, term, title).unwrap().unwrap();
         assert_eq!(tpos.len(), 1);
         // An element not containing xql misses.
         let nodes_term = c.vocabulary().lookup("nodes").unwrap();
@@ -290,7 +291,7 @@ mod tests {
             .find(|(_, e)| &*e.name == "sec")
             .map(|(id, _)| id)
             .unwrap();
-        assert!(idx.lookup(&pool, nodes_term, sec).is_none());
+        assert!(idx.lookup(&pool, nodes_term, sec).unwrap().is_none());
     }
 
     #[test]
@@ -298,7 +299,7 @@ mod tests {
         let (_, id_idx, _, c) = build();
         let scores: Vec<f64> = (0..c.element_count()).map(|i| 1.0 / (i + 1) as f64).collect();
         let mut pool2 = BufferPool::new(MemStore::new(), 1024);
-        let dil = crate::DilIndex::build(&mut pool2, &direct_postings(&c, &scores));
+        let dil = crate::DilIndex::build(&mut pool2, &direct_postings(&c, &scores)).unwrap();
         // entry counts are the honest comparison at tiny scale (page
         // rounding hides byte differences)
         let naive_entries: u64 = c

@@ -81,12 +81,21 @@ pub fn decode_payload(buf: &[u8]) -> Result<(f32, Vec<u32>, usize), DecodeError>
     let mut off = 4;
     let (npos, n) = codec::read_component(&buf[off..])?;
     off += n;
+    // Every position takes at least one byte, so a count beyond the
+    // remaining bytes is corruption — reject before reserving capacity.
+    if npos as usize > buf.len() - off {
+        return Err(DecodeError::Truncated);
+    }
     let mut positions = Vec::with_capacity(npos as usize);
     let mut cur = 0u32;
     for i in 0..npos {
         let (delta, n) = codec::read_component(&buf[off..])?;
         off += n;
-        cur = if i == 0 { delta } else { cur + delta };
+        cur = if i == 0 {
+            delta
+        } else {
+            cur.checked_add(delta).ok_or(DecodeError::Overflow)?
+        };
         positions.push(cur);
     }
     Ok((rank, positions, off))

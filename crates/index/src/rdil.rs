@@ -14,7 +14,7 @@ use crate::SpaceBreakdown;
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_storage::btree::{SortedKv, SortedKvBuilder};
-use xrank_storage::{BufferPool, PageStore, SegmentId, PAGE_SIZE};
+use xrank_storage::{BufferPool, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// A built RDIL: rank-ordered lists + the composite Dewey B+-tree.
 #[derive(Debug)]
@@ -37,7 +37,7 @@ impl RdilIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
-    ) -> RdilIndex {
+    ) -> StorageResult<RdilIndex> {
         Self::build_with(pool, postings, PAGE_SIZE)
     }
 
@@ -48,8 +48,8 @@ impl RdilIndex {
         pool: &mut BufferPool<S>,
         postings: &[Vec<Posting>],
         page_budget: usize,
-    ) -> RdilIndex {
-        let segment = pool.store_mut().create_segment();
+    ) -> StorageResult<RdilIndex> {
+        let segment = pool.store_mut().create_segment()?;
         let mut lists = Vec::with_capacity(postings.len());
         for term_postings in postings {
             if term_postings.is_empty() {
@@ -63,25 +63,23 @@ impl RdilIndex {
                 segment,
                 &by_rank,
                 page_budget,
-            )));
+            )?));
         }
 
         // Composite B+-tree: terms ascending, Dewey ascending within each —
         // exactly the iteration order of `postings`. The leaf level shares
         // the scale-emulation budget so probe costs scale with the lists.
-        let mut builder = SortedKvBuilder::with_leaf_budget(pool, page_budget);
+        let mut builder = SortedKvBuilder::with_leaf_budget(pool, page_budget)?;
         let mut value = Vec::new();
         for (term, term_postings) in postings.iter().enumerate() {
             for p in term_postings {
                 value.clear();
                 posting::encode_payload(p.rank, &p.positions, &mut value);
-                builder
-                    .push(&posting::composite_key(term as u32, &p.dewey), &value)
-                    .expect("composite keys ascend; payloads bounded");
+                builder.push(&posting::composite_key(term as u32, &p.dewey), &value)?;
             }
         }
-        let tree = builder.finish();
-        RdilIndex { segment, lists, tree }
+        let tree = builder.finish()?;
+        Ok(RdilIndex { segment, lists, tree })
     }
 
     /// Metadata of a term's rank-ordered list.
@@ -103,13 +101,13 @@ impl RdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> (Option<Posting>, Option<Posting>) {
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
         let key = posting::composite_key(term.0, target);
-        let (entry, pred) = self.tree.lowest_geq(pool, &key);
-        (
+        let (entry, pred) = self.tree.lowest_geq(pool, &key)?;
+        Ok((
             entry.and_then(|e| decode_tree_entry(term, &e.key, &e.value)),
             pred.and_then(|e| decode_tree_entry(term, &e.key, &e.value)),
-        )
+        ))
     }
 
     /// All postings of `term` whose Dewey has `prefix` as a prefix — the
@@ -119,17 +117,18 @@ impl RdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
-    ) -> Vec<Posting> {
+    ) -> StorageResult<Vec<Posting>> {
         let low = posting::composite_key(term.0, prefix);
         let high = match prefix.subtree_upper_bound() {
             Some(ub) => posting::composite_key(term.0, &ub),
             None => posting::composite_key(term.0 + 1, &DeweyId::default()),
         };
-        self.tree
-            .range(pool, &low, &high)
+        Ok(self
+            .tree
+            .range(pool, &low, &high)?
             .into_iter()
             .filter_map(|e| decode_tree_entry(term, &e.key, &e.value))
-            .collect()
+            .collect())
     }
 
     /// Serializes the index directory.
@@ -207,7 +206,7 @@ mod tests {
         let scores: Vec<f64> = (0..c.element_count()).map(|i| 1.0 / (i + 1) as f64).collect();
         let postings = direct_postings(&c, &scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let idx = RdilIndex::build(&mut pool, &postings);
+        let idx = RdilIndex::build(&mut pool, &postings).unwrap();
         (pool, idx, c)
     }
 
@@ -218,7 +217,7 @@ mod tests {
         let mut r = idx.reader(term).unwrap();
         let mut prev = f32::INFINITY;
         let mut count = 0;
-        while let Some(p) = r.next(&pool) {
+        while let Some(p) = r.next(&pool).unwrap() {
             assert!(p.rank <= prev, "rank order violated");
             prev = p.rank;
             count += 1;
@@ -232,11 +231,11 @@ mod tests {
         let xql = c.vocabulary().lookup("xql").unwrap();
         // Probe beyond all xql postings: entry must not leak into the next
         // term's key space.
-        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([99, 0]));
+        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([99, 0])).unwrap();
         assert!(entry.is_none());
         assert!(pred.is_some(), "predecessor is xql's last posting");
         // Probe before all: predecessor must not leak backwards.
-        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([0]));
+        let (entry, pred) = idx.lowest_geq(&pool, xql, &DeweyId::from([0])).unwrap();
         assert!(entry.is_some());
         // the predecessor, if any, must belong to this term
         if let Some(p) = pred {
@@ -249,10 +248,10 @@ mod tests {
         let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("xql").unwrap();
         // Find xql's first posting by probing the document root.
-        let (entry, _) = idx.lowest_geq(&pool, term, &DeweyId::from([0]));
+        let (entry, _) = idx.lowest_geq(&pool, term, &DeweyId::from([0])).unwrap();
         let first = entry.unwrap();
         // Probing exactly that Dewey returns it again.
-        let (again, pred) = idx.lowest_geq(&pool, term, &first.dewey);
+        let (again, pred) = idx.lowest_geq(&pool, term, &first.dewey).unwrap();
         assert_eq!(again.unwrap().dewey, first.dewey);
         assert!(pred.is_none() || pred.unwrap().dewey < first.dewey);
     }
@@ -262,13 +261,13 @@ mod tests {
         let (pool, idx, c) = build();
         let term = c.vocabulary().lookup("ricardo").unwrap();
         // Whole document prefix: both occurrences.
-        let all = idx.prefix_postings(&pool, term, &DeweyId::from([0]));
+        let all = idx.prefix_postings(&pool, term, &DeweyId::from([0])).unwrap();
         assert_eq!(all.len(), 2);
         // First paper subtree only.
-        let first_paper = idx.prefix_postings(&pool, term, &DeweyId::from([0, 0, 0]));
+        let first_paper = idx.prefix_postings(&pool, term, &DeweyId::from([0, 0, 0])).unwrap();
         assert_eq!(first_paper.len(), 1);
         // Foreign subtree: nothing.
-        let none = idx.prefix_postings(&pool, term, &DeweyId::from([1]));
+        let none = idx.prefix_postings(&pool, term, &DeweyId::from([1])).unwrap();
         assert!(none.is_empty());
     }
 

@@ -6,7 +6,7 @@ use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::posting::Posting;
 use xrank_index::{HdilIndex, RdilIndex};
-use xrank_storage::{BufferPool, PageStore};
+use xrank_storage::{BufferPool, PageStore, StorageResult};
 
 /// What the RDIL-style evaluator needs from an index.
 pub trait RankedAccess<S: PageStore> {
@@ -27,13 +27,14 @@ pub trait RankedAccess<S: PageStore> {
     fn full_list_pages(&self, term: TermId) -> u32;
 
     /// The Section 4.3.2 probe: smallest posting of `term` with
-    /// `dewey >= target`, and its predecessor.
+    /// `dewey >= target`, and its predecessor. Fallible: a damaged tree or
+    /// list page surfaces as a [`xrank_storage::StorageError`].
     fn lowest_geq(
         &self,
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> (Option<Posting>, Option<Posting>);
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)>;
 
     /// Range scan: all postings of `term` under `prefix`.
     fn prefix_postings(
@@ -41,7 +42,7 @@ pub trait RankedAccess<S: PageStore> {
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
-    ) -> Vec<Posting>;
+    ) -> StorageResult<Vec<Posting>>;
 }
 
 impl<S: PageStore> RankedAccess<S> for RdilIndex {
@@ -66,7 +67,7 @@ impl<S: PageStore> RankedAccess<S> for RdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> (Option<Posting>, Option<Posting>) {
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
         RdilIndex::lowest_geq(self, pool, term, target)
     }
 
@@ -75,7 +76,7 @@ impl<S: PageStore> RankedAccess<S> for RdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
-    ) -> Vec<Posting> {
+    ) -> StorageResult<Vec<Posting>> {
         RdilIndex::prefix_postings(self, pool, term, prefix)
     }
 }
@@ -102,7 +103,7 @@ impl<S: PageStore> RankedAccess<S> for HdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         target: &DeweyId,
-    ) -> (Option<Posting>, Option<Posting>) {
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
         HdilIndex::lowest_geq(self, pool, term, target)
     }
 
@@ -111,7 +112,7 @@ impl<S: PageStore> RankedAccess<S> for HdilIndex {
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
-    ) -> Vec<Posting> {
+    ) -> StorageResult<Vec<Posting>> {
         HdilIndex::prefix_postings(self, pool, term, prefix)
     }
 }

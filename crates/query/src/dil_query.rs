@@ -10,7 +10,7 @@
 //! naive scheme (Section 4.2.2's worked example, reproduced in the tests).
 
 use crate::score::{QueryOptions, TopM};
-use crate::{EvalStats, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome};
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
@@ -55,18 +55,21 @@ pub(crate) fn occurrence_rank(p: &Posting, opts: &QueryOptions) -> f64 {
 }
 
 /// Evaluates a conjunctive query over a [`DilIndex`], returning the top
-/// `opts.top_m` results.
+/// `opts.top_m` results. A damaged page in any touched list surfaces as
+/// [`QueryError::Storage`]; an elapsed [`QueryOptions::timeout`] as
+/// [`QueryError::Timeout`].
 pub fn evaluate<S: PageStore>(
     pool: &BufferPool<S>,
     index: &DilIndex,
     terms: &[TermId],
     opts: &QueryOptions,
-) -> QueryOutcome {
+) -> Result<QueryOutcome, QueryError> {
     let n = terms.len();
+    let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if n == 0 {
-        return QueryOutcome { results: heap.into_sorted(), stats };
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
 
     // Conjunctive semantics: a keyword with no list means no results.
@@ -74,7 +77,7 @@ pub fn evaluate<S: PageStore>(
     for &t in terms {
         match index.reader(t) {
             Some(r) => readers.push(r),
-            None => return QueryOutcome { results: heap.into_sorted(), stats },
+            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
         }
     }
 
@@ -120,10 +123,11 @@ pub fn evaluate<S: PageStore>(
     };
 
     loop {
+        crate::check_deadline(deadline)?;
         // Line 8: the reader whose next entry has the smallest Dewey ID.
         let mut smallest: Option<(usize, DeweyId)> = None;
         for (i, reader) in readers.iter_mut().enumerate() {
-            let Some(p) = reader.peek(pool) else { continue };
+            let Some(p) = reader.peek(pool)? else { continue };
             let d = p.dewey.clone();
             match &smallest {
                 Some((_, best)) if *best <= d => {}
@@ -131,7 +135,8 @@ pub fn evaluate<S: PageStore>(
             }
         }
         let Some((il, _)) = smallest else { break };
-        let current = readers[il].next(pool).expect("peeked entry exists");
+        // The peek above buffered this entry, so `next` cannot be `None`.
+        let Some(current) = readers[il].next(pool)? else { break };
         stats.entries_scanned += 1;
 
         // Lines 10-11: longest common prefix with the stack.
@@ -166,7 +171,7 @@ pub fn evaluate<S: PageStore>(
         pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
     }
 
-    QueryOutcome { results: heap.into_sorted(), stats }
+    Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }
 
 #[cfg(test)]
@@ -184,7 +189,7 @@ mod tests {
         let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let idx = DilIndex::build(&mut pool, &postings);
+        let idx = DilIndex::build(&mut pool, &postings).unwrap();
         (pool, idx, c)
     }
 
@@ -205,7 +210,7 @@ mod tests {
                 stats: EvalStats::default(),
             };
         }
-        evaluate(pool, idx, &terms, opts)
+        evaluate(pool, idx, &terms, opts).unwrap()
     }
 
     fn names_of(results: &[crate::QueryResult], c: &Collection) -> Vec<String> {
@@ -286,7 +291,7 @@ mod tests {
         let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let idx = DilIndex::build(&mut pool, &postings);
+        let idx = DilIndex::build(&mut pool, &postings).unwrap();
         let out = run(&pool, &idx, &c, &["foo", "bar"], &QueryOptions::default());
         assert!(out.results.is_empty(), "keywords in different documents share no element");
     }
@@ -325,15 +330,27 @@ mod tests {
         let ty = c.vocabulary().lookup("y").unwrap();
         let expected =
             idx.meta(tx).unwrap().entry_count as u64 + idx.meta(ty).unwrap().entry_count as u64;
-        let out = evaluate(&pool, &idx, &[tx, ty], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[tx, ty], &QueryOptions::default()).unwrap();
         assert_eq!(out.stats.entries_scanned, expected, "DIL always scans fully");
     }
 
     #[test]
     fn empty_query() {
         let (pool, idx, _) = setup("<r><a>word</a></r>");
-        let out = evaluate(&pool, &idx, &[], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[], &QueryOptions::default()).unwrap();
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn zero_timeout_yields_typed_timeout_error() {
+        let (pool, idx, c) = setup("<r><a>tick tock</a></r>");
+        let t = c.vocabulary().lookup("tick").unwrap();
+        let opts = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let err = evaluate(&pool, &idx, &[t], &opts).unwrap_err();
+        assert!(matches!(err, QueryError::Timeout), "{err}");
     }
 
     #[test]
@@ -342,7 +359,7 @@ mod tests {
         // lists are identical).
         let (pool, idx, c) = setup("<r><a>dup text</a></r>");
         let t = c.vocabulary().lookup("dup").unwrap();
-        let out = evaluate(&pool, &idx, &[t, t], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[t, t], &QueryOptions::default()).unwrap();
         assert_eq!(out.results.len(), 1);
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::dil_query::occurrence_rank;
 use crate::score::{QueryOptions, TopM};
-use crate::{EvalStats, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome};
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
@@ -31,7 +31,8 @@ pub fn evaluate<S: PageStore>(
     index: &DilIndex,
     terms: &[TermId],
     opts: &QueryOptions,
-) -> QueryOutcome {
+) -> Result<QueryOutcome, QueryError> {
+    let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     // Unlike the conjunctive case, keywords without a list simply drop out.
@@ -41,7 +42,7 @@ pub fn evaluate<S: PageStore>(
         .filter_map(|(i, &t)| index.reader(t).map(|r| (i, r)))
         .collect();
     if readers.is_empty() {
-        return QueryOutcome { results: heap.into_sorted(), stats };
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
     let n = terms.len();
 
@@ -50,10 +51,11 @@ pub fn evaluate<S: PageStore>(
     let mut pos_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     loop {
+        crate::check_deadline(deadline)?;
         // Smallest Dewey among the reader heads.
         let mut smallest: Option<(usize, DeweyId)> = None;
         for (slot, (_, r)) in readers.iter_mut().enumerate() {
-            if let Some(p) = r.peek(pool) {
+            if let Some(p) = r.peek(pool)? {
                 let d = p.dewey.clone();
                 match &smallest {
                     Some((_, best)) if *best <= d => {}
@@ -75,7 +77,8 @@ pub fn evaluate<S: PageStore>(
         }
 
         let (kw, reader) = &mut readers[slot];
-        let posting = reader.next(pool).expect("peeked entry");
+        // The peek above buffered this entry, so `next` cannot be `None`.
+        let Some(posting) = reader.next(pool)? else { break };
         stats.entries_scanned += 1;
         ranks[*kw] = opts.aggregation.combine(ranks[*kw], occurrence_rank(&posting, opts));
         pos_lists[*kw].extend_from_slice(&posting.positions);
@@ -84,7 +87,7 @@ pub fn evaluate<S: PageStore>(
         flush(cur, &mut ranks, &mut pos_lists, opts, &mut heap);
     }
 
-    QueryOutcome { results: heap.into_sorted(), stats }
+    Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }
 
 /// Scores one element group: present keywords only.
@@ -129,7 +132,7 @@ mod tests {
         let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 1024);
-        let idx = DilIndex::build(&mut pool, &postings);
+        let idx = DilIndex::build(&mut pool, &postings).unwrap();
         (pool, idx, c)
     }
 
@@ -145,7 +148,7 @@ mod tests {
             setup("<r><a>apple banana</a><b>apple only</b><x>banana</x><z>neither</z></r>");
         let q = terms(&c, &["apple", "banana"]);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = evaluate(&pool, &idx, &q, &opts);
+        let out = evaluate(&pool, &idx, &q, &opts).unwrap();
         // a (both), b (apple), x (banana) — not z
         assert_eq!(out.results.len(), 3);
     }
@@ -156,7 +159,7 @@ mod tests {
             setup("<r><both>apple banana</both><one>apple word</one><two>banana word</two></r>");
         let q = terms(&c, &["apple", "banana"]);
         let opts = QueryOptions { top_m: 10, ..Default::default() };
-        let out = evaluate(&pool, &idx, &q, &opts);
+        let out = evaluate(&pool, &idx, &q, &opts).unwrap();
         let top = c.elem_by_dewey(&out.results[0].dewey).unwrap();
         assert_eq!(&*c.element(top).name, "both");
     }
@@ -170,7 +173,8 @@ mod tests {
             &idx,
             &[present, TermId(9999)],
             &QueryOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.results.len(), 1);
     }
 
@@ -180,8 +184,8 @@ mod tests {
         let (pool, idx, c) = setup(xml);
         let q = terms(&c, &["x", "y"]);
         let opts = QueryOptions { top_m: 100, ..Default::default() };
-        let dis = evaluate(&pool, &idx, &q, &opts);
-        let con = crate::dil_query::evaluate(&pool, &idx, &q, &opts);
+        let dis = evaluate(&pool, &idx, &q, &opts).unwrap();
+        let con = crate::dil_query::evaluate(&pool, &idx, &q, &opts).unwrap();
         // Disjunctive returns the direct containers (a, b, c, d);
         // conjunctive returns a, d, and <r> (independent occurrences via b
         // and c). Every conjunctive result is an ancestor-or-self of some
@@ -200,7 +204,7 @@ mod tests {
     #[test]
     fn empty_query() {
         let (pool, idx, _) = setup("<r><a>word</a></r>");
-        let out = evaluate(&pool, &idx, &[], &QueryOptions::default());
+        let out = evaluate(&pool, &idx, &[], &QueryOptions::default()).unwrap();
         assert!(out.results.is_empty());
     }
 }

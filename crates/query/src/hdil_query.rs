@@ -18,7 +18,7 @@
 
 use crate::rdil_query::{RdilRun, StepOutcome};
 use crate::score::QueryOptions;
-use crate::{EvalStats, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome};
 use xrank_graph::TermId;
 use xrank_index::HdilIndex;
 use xrank_storage::{BufferPool, CostModel, PageStore, StatsScope};
@@ -34,7 +34,7 @@ pub fn evaluate<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
     cost_model: &CostModel,
-) -> QueryOutcome {
+) -> Result<QueryOutcome, QueryError> {
     let m = opts.top_m;
     // Expected DIL cost: one seek per keyword list, then sequential scans.
     let total_pages: u64 = terms
@@ -52,11 +52,11 @@ pub fn evaluate<S: PageStore>(
     // global ledger mixes every in-flight query, which would corrupt the
     // spent-so-far estimate driving the switch decision.
     let scope = StatsScope::begin();
-    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts);
+    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts)?;
     let mut steps = 0u64;
     loop {
-        match run.step(pool) {
-            StepOutcome::Done => return run.finish(),
+        match run.step(pool)? {
+            StepOutcome::Done => return Ok(run.finish()),
             StepOutcome::PrefixExhausted => break, // must fall back
             StepOutcome::Continue => {}
         }
@@ -85,7 +85,7 @@ pub fn evaluate<S: PageStore>(
 
     // Fall back: run the DIL algorithm over the full Dewey-sorted lists.
     let rdil_stats = run.stats();
-    let mut outcome = crate::dil_query::evaluate(pool, &index.dil, terms, opts);
+    let mut outcome = crate::dil_query::evaluate(pool, &index.dil, terms, opts)?;
     outcome.stats = EvalStats {
         entries_scanned: outcome.stats.entries_scanned + rdil_stats.entries_scanned,
         btree_probes: rdil_stats.btree_probes,
@@ -93,7 +93,7 @@ pub fn evaluate<S: PageStore>(
         range_scans: rdil_stats.range_scans,
         switched_to_dil: true,
     };
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -111,8 +111,8 @@ mod tests {
         let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let dil = DilIndex::build(&mut pool, &postings);
-        let hdil = HdilIndex::build(&mut pool, &postings);
+        let dil = DilIndex::build(&mut pool, &postings).unwrap();
+        let hdil = HdilIndex::build(&mut pool, &postings).unwrap();
         (pool, dil, hdil, c)
     }
 
@@ -132,10 +132,10 @@ mod tests {
         let (pool, dil, hdil, c) = setup(&xml);
         let q = terms(&c, &["alpha", "beta"]);
         let opts = QueryOptions { top_m: 5, ..Default::default() };
-        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default()).unwrap();
         assert!(!out.stats.switched_to_dil, "correlated keywords should finish on RDIL");
         // and results agree with DIL
-        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
         assert_eq!(out.results.len(), d.results.len());
         for (a, b) in out.results.iter().zip(d.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -156,8 +156,8 @@ mod tests {
         let (pool, dil, hdil, c) = setup(&xml);
         let q = terms(&c, &["alpha", "beta"]);
         let opts = QueryOptions { top_m: 5, ..Default::default() };
-        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
-        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default()).unwrap();
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
         assert_eq!(out.results.len(), d.results.len());
         for (a, b) in out.results.iter().zip(d.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -182,8 +182,8 @@ mod tests {
         let q = terms(&c, &["gamma", "delta"]);
         for m in [1usize, 4, 25] {
             let opts = QueryOptions { top_m: m, ..Default::default() };
-            let h = evaluate(&pool, &hdil, &q, &opts, &CostModel::default());
-            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+            let h = evaluate(&pool, &hdil, &q, &opts, &CostModel::default()).unwrap();
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
             assert_eq!(h.results.len(), d.results.len(), "m={m}");
             for (a, b) in h.results.iter().zip(d.results.iter()) {
                 assert_eq!(a.dewey, b.dewey, "m={m}");
@@ -202,7 +202,8 @@ mod tests {
             &[here, TermId(55_555)],
             &QueryOptions::default(),
             &CostModel::default(),
-        );
+        )
+        .unwrap();
         assert!(out.results.is_empty());
     }
 }

@@ -42,6 +42,58 @@ pub mod score;
 pub use access::RankedAccess;
 pub use score::{Aggregation, Proximity, QueryOptions, QueryResult, TopM};
 
+use xrank_storage::StorageError;
+
+/// Why a query evaluation could not produce a result set.
+///
+/// Every processor returns `Result<QueryOutcome, QueryError>`: a fault in
+/// the storage layer (I/O error, checksum mismatch, corrupt page) surfaces
+/// as a typed error on exactly the queries whose page reads touched the
+/// damage, never as a panic — the engine keeps serving everything else.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A page read or decode failed beneath the processor.
+    Storage(StorageError),
+    /// [`QueryOptions::timeout`] elapsed before evaluation finished.
+    Timeout,
+    /// The serving infrastructure rejected the query (e.g. the executor
+    /// is shutting down).
+    Unavailable(&'static str),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage failure during query: {e}"),
+            QueryError::Timeout => write!(f, "query deadline exceeded"),
+            QueryError::Unavailable(why) => write!(f, "query service unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Checks a precomputed deadline at a processor loop boundary.
+pub(crate) fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(), QueryError> {
+    match deadline {
+        Some(d) if std::time::Instant::now() >= d => Err(QueryError::Timeout),
+        _ => Ok(()),
+    }
+}
+
 /// Counters a query evaluation reports alongside its results. I/O volume
 /// is read from the buffer pool's own ledger; these count algorithmic
 /// work.

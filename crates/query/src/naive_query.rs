@@ -14,7 +14,7 @@
 //! compared against the DIL family in tests and experiments.
 
 use crate::score::{Aggregation, QueryOptions, TopM};
-use crate::{EvalStats, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome};
 use std::collections::HashSet;
 use xrank_graph::{Collection, ElemId, TermId};
 use xrank_index::posting::NaivePosting;
@@ -41,42 +41,46 @@ pub fn evaluate_id<S: PageStore>(
     collection: &Collection,
     terms: &[TermId],
     opts: &QueryOptions,
-) -> QueryOutcome {
+) -> Result<QueryOutcome, QueryError> {
+    let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
-        return QueryOutcome { results: heap.into_sorted(), stats };
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
             Some(r) => readers.push(r),
-            None => return QueryOutcome { results: heap.into_sorted(), stats },
+            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
         }
     }
 
     'merge: loop {
+        crate::check_deadline(deadline)?;
         // Find the maximum head element id; advance every other list to it.
         let mut target: Option<ElemId> = None;
         for r in readers.iter_mut() {
-            match r.peek(pool) {
+            match r.peek(pool)? {
                 Some(p) => target = Some(target.map_or(p.elem, |t: ElemId| t.max(p.elem))),
                 None => break 'merge,
             }
         }
-        let target = target.expect("all readers non-empty");
+        let Some(target) = target else { break };
 
         let mut group: Vec<NaivePosting> = Vec::with_capacity(readers.len());
         let mut aligned = true;
         for r in readers.iter_mut() {
             loop {
-                match r.peek(pool) {
+                match r.peek(pool)? {
                     Some(p) if p.elem < target => {
-                        r.next(pool);
+                        r.next(pool)?;
                         stats.entries_scanned += 1;
                     }
                     Some(p) if p.elem == target => {
-                        group.push(r.next(pool).expect("peeked"));
+                        // The peek just buffered this entry.
+                        let Some(p) = r.next(pool)? else { break 'merge };
+                        group.push(p);
                         stats.entries_scanned += 1;
                         break;
                     }
@@ -94,7 +98,7 @@ pub fn evaluate_id<S: PageStore>(
         }
     }
 
-    QueryOutcome { results: heap.into_sorted(), stats }
+    Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }
 
 /// Naive-Rank evaluation: Threshold Algorithm over rank-ordered lists with
@@ -105,34 +109,36 @@ pub fn evaluate_rank<S: PageStore>(
     collection: &Collection,
     terms: &[TermId],
     opts: &QueryOptions,
-) -> QueryOutcome {
+) -> Result<QueryOutcome, QueryError> {
+    let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
-        return QueryOutcome { results: heap.into_sorted(), stats };
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
             Some(r) => readers.push(r),
-            None => return QueryOutcome { results: heap.into_sorted(), stats },
+            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
         }
     }
     let n = readers.len();
     let ta_safe = opts.aggregation == Aggregation::Max;
     let mut frontier: Vec<f64> = Vec::with_capacity(n);
     for r in readers.iter_mut() {
-        frontier.push(r.peek(pool).map(|p| p.rank as f64).unwrap_or(0.0));
+        frontier.push(r.peek(pool)?.map(|p| p.rank as f64).unwrap_or(0.0));
     }
     let mut seen: HashSet<ElemId> = HashSet::new();
     let mut next_list = 0usize;
 
     loop {
+        crate::check_deadline(deadline)?;
         // Round-robin over non-exhausted lists.
         let mut picked = None;
         for off in 0..n {
             let i = (next_list + off) % n;
-            if readers[i].peek(pool).is_some() {
+            if readers[i].peek(pool)?.is_some() {
                 picked = Some(i);
                 break;
             }
@@ -140,15 +146,23 @@ pub fn evaluate_rank<S: PageStore>(
         // Any fully-drained list implies every intersection member was
         // seen through that list — done.
         let Some(il) = picked else { break };
-        if (0..n).any(|i| readers[i].peek(pool).is_none() && i != il) {
+        let mut other_drained = false;
+        for (i, reader) in readers.iter_mut().enumerate() {
+            if i != il && reader.peek(pool)?.is_none() {
+                other_drained = true;
+                break;
+            }
+        }
+        if other_drained {
             break;
         }
         next_list = (il + 1) % n;
 
-        let current = readers[il].next(pool).expect("peeked");
+        // The round-robin peek buffered this entry.
+        let Some(current) = readers[il].next(pool)? else { break };
         stats.entries_scanned += 1;
         frontier[il] = readers[il]
-            .peek(pool)
+            .peek(pool)?
             .map(|_| current.rank as f64)
             .unwrap_or(0.0);
 
@@ -161,7 +175,7 @@ pub fn evaluate_rank<S: PageStore>(
                     continue;
                 }
                 stats.hash_probes += 1;
-                match index.lookup(pool, t, current.elem) {
+                match index.lookup(pool, t, current.elem)? {
                     Some((rank, positions)) => {
                         group.push(NaivePosting { elem: current.elem, rank, positions })
                     }
@@ -186,7 +200,7 @@ pub fn evaluate_rank<S: PageStore>(
         }
     }
 
-    QueryOutcome { results: heap.into_sorted(), stats }
+    Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }
 
 #[cfg(test)]
@@ -213,9 +227,9 @@ mod tests {
         let naive = naive_postings(&c, &r.scores);
         let direct = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let id_idx = NaiveIdIndex::build(&mut pool, &naive);
-        let rank_idx = NaiveRankIndex::build(&mut pool, &naive);
-        let dil = DilIndex::build(&mut pool, &direct);
+        let id_idx = NaiveIdIndex::build(&mut pool, &naive).unwrap();
+        let rank_idx = NaiveRankIndex::build(&mut pool, &naive).unwrap();
+        let dil = DilIndex::build(&mut pool, &direct).unwrap();
         (pool, id_idx, rank_idx, dil, c)
     }
 
@@ -237,8 +251,8 @@ mod tests {
         let (pool, id_idx, _, dil, c) = setup(XML);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let naive = evaluate_id(&pool, &id_idx, &c, &q, &opts);
-        let xrank = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
+        let naive = evaluate_id(&pool, &id_idx, &c, &q, &opts).unwrap();
+        let xrank = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
         assert!(
             naive.results.len() > xrank.results.len(),
             "naive {} results should exceed XRANK {}",
@@ -266,8 +280,8 @@ mod tests {
         let (pool, id_idx, rank_idx, _, c) = setup(XML);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let a = evaluate_id(&pool, &id_idx, &c, &q, &opts);
-        let b = evaluate_rank(&pool, &rank_idx, &c, &q, &opts);
+        let a = evaluate_id(&pool, &id_idx, &c, &q, &opts).unwrap();
+        let b = evaluate_rank(&pool, &rank_idx, &c, &q, &opts).unwrap();
         assert_eq!(a.results.len(), b.results.len());
         for (x, y) in a.results.iter().zip(b.results.iter()) {
             assert_eq!(x.dewey, y.dewey);
@@ -285,7 +299,7 @@ mod tests {
         let (pool, _, rank_idx, _, c) = setup(&xml);
         let q = terms(&c, &["one", "two"]);
         let opts = QueryOptions { top_m: 1, ..Default::default() };
-        let out = evaluate_rank(&pool, &rank_idx, &c, &q, &opts);
+        let out = evaluate_rank(&pool, &rank_idx, &c, &q, &opts).unwrap();
         assert_eq!(out.results.len(), 1);
         let total: u64 = q
             .iter()
@@ -303,13 +317,18 @@ mod tests {
         let hello = c.vocabulary().lookup("hello").unwrap();
         let opts = QueryOptions::default();
         assert!(evaluate_id(&pool, &id_idx, &c, &[hello, TermId(7777)], &opts)
+            .unwrap()
             .results
             .is_empty());
         assert!(evaluate_rank(&pool, &rank_idx, &c, &[hello, TermId(7777)], &opts)
+            .unwrap()
             .results
             .is_empty());
-        assert!(evaluate_id(&pool, &id_idx, &c, &[], &opts).results.is_empty());
-        assert!(evaluate_rank(&pool, &rank_idx, &c, &[], &opts).results.is_empty());
+        assert!(evaluate_id(&pool, &id_idx, &c, &[], &opts).unwrap().results.is_empty());
+        assert!(evaluate_rank(&pool, &rank_idx, &c, &[], &opts)
+            .unwrap()
+            .results
+            .is_empty());
     }
 
     #[test]
@@ -317,7 +336,7 @@ mod tests {
         let (pool, id_idx, _, _, c) = setup("<r><a>solo</a><b><c>solo</c></b></r>");
         let q = terms(&c, &["solo"]);
         let opts = QueryOptions { top_m: 20, ..Default::default() };
-        let out = evaluate_id(&pool, &id_idx, &c, &q, &opts);
+        let out = evaluate_id(&pool, &id_idx, &c, &q, &opts).unwrap();
         // naive single-keyword = every element containing it: a, c, b, r
         assert_eq!(out.results.len(), 4);
     }

@@ -15,7 +15,7 @@
 use crate::access::RankedAccess;
 use crate::dil_query::occurrence_rank;
 use crate::score::{Aggregation, QueryOptions, TopM};
-use crate::{EvalStats, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome};
 use std::collections::{HashMap, HashSet};
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
@@ -51,18 +51,20 @@ pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
     next_list: usize,
     stats: EvalStats,
     done: bool,
+    deadline: Option<std::time::Instant>,
     _store: std::marker::PhantomData<S>,
 }
 
 impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     /// Prepares a run. Queries with a keyword absent from the vocabulary
-    /// or the index finish immediately with no results.
+    /// or the index finish immediately with no results. Fallible: seeding
+    /// the threshold frontier peeks each list's first page.
     pub fn new(
         pool: &BufferPool<S>,
         access: &'a A,
         terms: &[TermId],
         opts: &QueryOptions,
-    ) -> Self {
+    ) -> Result<Self, QueryError> {
         let mut readers = Vec::with_capacity(terms.len());
         let mut viable = !terms.is_empty();
         for &t in terms {
@@ -78,10 +80,10 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         let mut frontier = vec![0.0f64; readers.len()];
         if viable {
             for (i, r) in readers.iter_mut().enumerate() {
-                frontier[i] = r.peek(pool).map(|p| p.rank as f64).unwrap_or(0.0);
+                frontier[i] = r.peek(pool)?.map(|p| p.rank as f64).unwrap_or(0.0);
             }
         }
-        RdilRun {
+        Ok(RdilRun {
             access,
             terms: terms.to_vec(),
             opts: opts.clone(),
@@ -93,8 +95,9 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             next_list: 0,
             stats: EvalStats::default(),
             done: !viable,
+            deadline: opts.deadline(),
             _store: std::marker::PhantomData,
-        }
+        })
     }
 
     /// The current TA threshold: Σ over lists of the (weighted) last-seen
@@ -125,10 +128,11 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     }
 
     /// Consumes one list entry (round-robin) and processes it.
-    pub fn step(&mut self, pool: &BufferPool<S>) -> StepOutcome {
+    pub fn step(&mut self, pool: &BufferPool<S>) -> Result<StepOutcome, QueryError> {
         if self.done {
-            return StepOutcome::Done;
+            return Ok(StepOutcome::Done);
         }
+        crate::check_deadline(self.deadline)?;
         // With f = sum the overall rank is not bounded by the ElemRank sum,
         // so TA early termination is unsound; scan to the end instead.
         let ta_safe = self.opts.aggregation == Aggregation::Max;
@@ -138,7 +142,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         let mut picked = None;
         for off in 0..n {
             let i = (self.next_list + off) % n;
-            if self.readers[i].peek(pool).is_some() {
+            if self.readers[i].peek(pool)?.is_some() {
                 picked = Some(i);
                 break;
             }
@@ -148,17 +152,22 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             // result has been discovered (each result is discovered via
             // its relevant occurrences, all of which have been consumed).
             self.done = true;
-            return if self.access.rank_lists_complete() {
+            return Ok(if self.access.rank_lists_complete() {
                 StepOutcome::Done
             } else {
                 StepOutcome::PrefixExhausted
-            };
+            });
         };
         self.next_list = (il + 1) % n;
 
-        let current = self.readers[il].next(pool).expect("peeked entry");
+        // The round-robin peek buffered this entry, so `next` cannot be
+        // `None`.
+        let Some(current) = self.readers[il].next(pool)? else {
+            self.done = true;
+            return Ok(StepOutcome::Done);
+        };
         self.stats.entries_scanned += 1;
-        self.frontier[il] = if self.readers[il].peek(pool).is_some() {
+        self.frontier[il] = if self.readers[il].peek(pool)?.is_some() {
             current.rank as f64
         } else if self.access.rank_lists_complete() {
             // List fully consumed: nothing below can contribute.
@@ -175,7 +184,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 continue;
             }
             self.stats.btree_probes += 1;
-            let (entry, pred) = self.access.lowest_geq(pool, self.terms[j], &lcp);
+            let (entry, pred) = self.access.lowest_geq(pool, self.terms[j], &lcp)?;
             let via_entry = entry.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let via_pred = pred.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let keep = via_entry.max(via_pred);
@@ -197,7 +206,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 &lcp,
                 &self.opts,
                 &mut self.stats,
-            ) {
+            )? {
                 self.heap.offer(lcp, score);
                 self.result_scores.push(score);
             }
@@ -208,19 +217,19 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             if let Some(mth) = self.heap.mth_score() {
                 if mth >= self.threshold() {
                     self.done = true;
-                    return StepOutcome::Done;
+                    return Ok(StepOutcome::Done);
                 }
             }
         }
-        StepOutcome::Continue
+        Ok(StepOutcome::Continue)
     }
 
     /// Runs to completion (RDIL use; HDIL drives `step` itself).
-    pub fn run_to_end(&mut self, pool: &BufferPool<S>) -> StepOutcome {
+    pub fn run_to_end(&mut self, pool: &BufferPool<S>) -> Result<StepOutcome, QueryError> {
         loop {
-            match self.step(pool) {
+            match self.step(pool)? {
                 StepOutcome::Continue => continue,
-                other => return other,
+                other => return Ok(other),
             }
         }
     }
@@ -243,12 +252,12 @@ pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
     lcp: &DeweyId,
     opts: &QueryOptions,
     stats: &mut EvalStats,
-) -> Option<f64> {
+) -> Result<Option<f64>, QueryError> {
     let n = terms.len();
     let mut per_kw: Vec<Vec<Posting>> = Vec::with_capacity(n);
     for &t in terms {
         stats.range_scans += 1;
-        per_kw.push(access.prefix_postings(pool, t, lcp));
+        per_kw.push(access.prefix_postings(pool, t, lcp)?);
     }
 
     // Which direct children of lcp contain all keywords? (Counting
@@ -291,12 +300,13 @@ pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
             pos_lists[i].extend_from_slice(&p.positions);
         }
         if pos_lists[i].is_empty() {
-            return None; // keyword has no relevant occurrence → not a result
+            // Keyword has no relevant occurrence → not a result.
+            return Ok(None);
         }
         pos_lists[i].sort_unstable();
     }
     let refs: Vec<&[u32]> = pos_lists.iter().map(|l| l.as_slice()).collect();
-    Some(opts.overall_rank(&ranks, &refs))
+    Ok(Some(opts.overall_rank(&ranks, &refs)))
 }
 
 /// Evaluates a conjunctive query with the Figure 7 algorithm, running the
@@ -306,10 +316,10 @@ pub fn evaluate<S: PageStore, A: RankedAccess<S>>(
     access: &A,
     terms: &[TermId],
     opts: &QueryOptions,
-) -> QueryOutcome {
-    let mut run = RdilRun::new(pool, access, terms, opts);
-    run.run_to_end(pool);
-    run.finish()
+) -> Result<QueryOutcome, QueryError> {
+    let mut run = RdilRun::new(pool, access, terms, opts)?;
+    run.run_to_end(pool)?;
+    Ok(run.finish())
 }
 
 #[cfg(test)]
@@ -327,8 +337,8 @@ mod tests {
         let r = xrank_rank::elem_rank(&c, &xrank_rank::ElemRankParams::default());
         let postings = direct_postings(&c, &r.scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let dil = DilIndex::build(&mut pool, &postings);
-        let rdil = RdilIndex::build(&mut pool, &postings);
+        let dil = DilIndex::build(&mut pool, &postings).unwrap();
+        let rdil = RdilIndex::build(&mut pool, &postings).unwrap();
         (pool, dil, rdil, c)
     }
 
@@ -354,8 +364,8 @@ mod tests {
         let (pool, dil, rdil, c) = setup(xml);
         let q = terms(&c, &["xql", "language"]);
         let opts = QueryOptions { top_m: 50, ..Default::default() };
-        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
-        let r = evaluate(&pool, &rdil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
+        let r = evaluate(&pool, &rdil, &q, &opts).unwrap();
         assert_eq!(d.results.len(), r.results.len(), "result sets differ");
         for (a, b) in d.results.iter().zip(r.results.iter()) {
             assert_eq!(a.dewey, b.dewey);
@@ -375,7 +385,7 @@ mod tests {
         let (pool, _, rdil, c) = setup(&xml);
         let q = terms(&c, &["common"]);
         let opts = QueryOptions { top_m: 1, ..Default::default() };
-        let out = evaluate(&pool, &rdil, &q, &opts);
+        let out = evaluate(&pool, &rdil, &q, &opts).unwrap();
         assert_eq!(out.results.len(), 1);
         let total = rdil.meta(q[0]).unwrap().entry_count as u64;
         assert!(
@@ -390,7 +400,8 @@ mod tests {
     fn missing_keyword_returns_nothing() {
         let (pool, _, rdil, c) = setup("<r><a>present word</a></r>");
         let present = c.vocabulary().lookup("present").unwrap();
-        let out = evaluate(&pool, &rdil, &[present, TermId(40_000)], &QueryOptions::default());
+        let out =
+            evaluate(&pool, &rdil, &[present, TermId(40_000)], &QueryOptions::default()).unwrap();
         assert!(out.results.is_empty());
     }
 
@@ -409,8 +420,8 @@ mod tests {
         let q = terms(&c, &["alpha", "beta"]);
         for m in [1usize, 3, 10] {
             let opts = QueryOptions { top_m: m, ..Default::default() };
-            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
-            let r = evaluate(&pool, &rdil, &q, &opts);
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
+            let r = evaluate(&pool, &rdil, &q, &opts).unwrap();
             assert_eq!(d.results.len(), r.results.len(), "m={m}");
             for (a, b) in d.results.iter().zip(r.results.iter()) {
                 assert!((a.score - b.score).abs() < 1e-9, "m={m}: scores diverge");
@@ -434,8 +445,8 @@ mod tests {
                 keyword_weights: Some(weights.clone()),
                 ..Default::default()
             };
-            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
-            let r = evaluate(&pool, &rdil, &q, &opts);
+            let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
+            let r = evaluate(&pool, &rdil, &q, &opts).unwrap();
             assert_eq!(d.results.len(), r.results.len());
             for (a, b) in d.results.iter().zip(r.results.iter()) {
                 assert_eq!(a.dewey, b.dewey, "weights {weights:?}");
@@ -458,8 +469,8 @@ mod tests {
             top_m: 5,
             ..Default::default()
         };
-        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts);
-        let r = evaluate(&pool, &rdil, &q, &opts);
+        let d = crate::dil_query::evaluate(&pool, &dil, &q, &opts).unwrap();
+        let r = evaluate(&pool, &rdil, &q, &opts).unwrap();
         assert_eq!(d.results.len(), r.results.len());
         for (a, b) in d.results.iter().zip(r.results.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);

@@ -59,6 +59,10 @@ pub struct QueryOptions {
     /// default to 1. Weights must be non-negative (TA's threshold
     /// overestimate scales each frontier rank by its weight).
     pub keyword_weights: Option<Vec<f64>>,
+    /// Wall-clock budget for one evaluation. Checked at processor loop
+    /// boundaries; on expiry the processor returns
+    /// [`crate::QueryError::Timeout`] instead of a partial result set.
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl Default for QueryOptions {
@@ -69,7 +73,15 @@ impl Default for QueryOptions {
             proximity: Proximity::MinWindow,
             top_m: 10,
             keyword_weights: None,
+            timeout: None,
         }
+    }
+}
+
+impl QueryOptions {
+    /// Materializes the per-evaluation deadline from [`Self::timeout`].
+    pub(crate) fn deadline(&self) -> Option<std::time::Instant> {
+        self.timeout.map(|t| std::time::Instant::now() + t)
     }
 }
 

@@ -21,7 +21,12 @@
 //! its indexes offline; Section 4.5). Leaf pages occupy offsets
 //! `0..leaf_count` of a fresh segment so sibling navigation is implicit
 //! page arithmetic; interior pages follow in the same segment.
+//!
+//! Every probe returns a [`StorageResult`]: page decoding is fully bounds-
+//! checked, so a corrupted page (bit rot that slipped past the medium's
+//! own checks) degrades into [`StorageError::Corrupt`] instead of a panic.
 
+use crate::error::{StorageError, StorageResult};
 use crate::pool::BufferPool;
 use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
 
@@ -30,15 +35,23 @@ use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
 pub const MAX_ENTRY: usize = PAGE_SIZE - 8;
 
 // ---------------------------------------------------------------------
-// little-endian page field helpers
+// little-endian page field helpers (bounds-checked)
 // ---------------------------------------------------------------------
 
-fn get_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes([buf[off], buf[off + 1]])
+fn get_u16(buf: &[u8], off: usize) -> StorageResult<u16> {
+    let b: [u8; 2] = buf
+        .get(off..off + 2)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("truncated u16 field in B+-tree page"))?;
+    Ok(u16::from_le_bytes(b))
 }
 
-fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+fn get_u32(buf: &[u8], off: usize) -> StorageResult<u32> {
+    let b: [u8; 4] = buf
+        .get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("truncated u32 field in B+-tree page"))?;
+    Ok(u32::from_le_bytes(b))
 }
 
 // ---------------------------------------------------------------------
@@ -63,15 +76,17 @@ impl Interior {
     /// pairs sorted by key. `child` values are opaque to the tree (leaf
     /// page offsets for [`SortedKv`], inverted-list page offsets for HDIL).
     ///
-    /// Panics if `children` is empty or a key exceeds [`MAX_ENTRY`].
+    /// Errors on empty `children` or a key exceeding [`MAX_ENTRY`].
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         segment: SegmentId,
         children: &[(Vec<u8>, u32)],
-    ) -> Interior {
-        assert!(!children.is_empty(), "cannot build an index over zero children");
+    ) -> StorageResult<Interior> {
+        if children.is_empty() {
+            return Err(StorageError::invalid_input("cannot build an index over zero children"));
+        }
         if children.len() == 1 {
-            return Interior { segment, root: children[0].1, height: 0 };
+            return Ok(Interior { segment, root: children[0].1, height: 0 });
         }
         let mut level: Vec<(Vec<u8>, u32)> =
             children.iter().map(|(k, c)| (k.clone(), *c)).collect();
@@ -83,26 +98,31 @@ impl Interior {
             let mut n: u16 = 0;
             let mut first_key: Option<Vec<u8>> = None;
 
-            let flush =
-                |page: &mut Vec<u8>, n: &mut u16, first_key: &mut Option<Vec<u8>>,
-                 next_level: &mut Vec<(Vec<u8>, u32)>,
-                 pool: &mut BufferPool<S>| {
-                    if *n == 0 {
-                        return;
-                    }
-                    page[0..2].copy_from_slice(&n.to_le_bytes());
-                    let off = pool.append_page(segment, page);
-                    next_level.push((first_key.take().expect("first key recorded"), off));
-                    page.clear();
-                    page.extend_from_slice(&0u16.to_le_bytes());
-                    *n = 0;
-                };
+            let flush = |page: &mut Vec<u8>,
+                         n: &mut u16,
+                         first_key: &mut Option<Vec<u8>>,
+                         next_level: &mut Vec<(Vec<u8>, u32)>,
+                         pool: &mut BufferPool<S>|
+             -> StorageResult<()> {
+                if *n == 0 {
+                    return Ok(());
+                }
+                page[0..2].copy_from_slice(&n.to_le_bytes());
+                let off = pool.append_page(segment, page)?;
+                next_level.push((first_key.take().expect("first key recorded"), off));
+                page.clear();
+                page.extend_from_slice(&0u16.to_le_bytes());
+                *n = 0;
+                Ok(())
+            };
 
             for (key, child) in &level {
-                assert!(key.len() <= MAX_ENTRY, "interior key too large");
+                if key.len() > MAX_ENTRY {
+                    return Err(StorageError::invalid_input("interior key too large"));
+                }
                 let entry_len = 2 + key.len() + 4;
                 if page.len() + entry_len > PAGE_SIZE {
-                    flush(&mut page, &mut n, &mut first_key, &mut next_level, pool);
+                    flush(&mut page, &mut n, &mut first_key, &mut next_level, pool)?;
                 }
                 if n == 0 {
                     first_key = Some(key.clone());
@@ -112,10 +132,10 @@ impl Interior {
                 page.extend_from_slice(&child.to_le_bytes());
                 n += 1;
             }
-            flush(&mut page, &mut n, &mut first_key, &mut next_level, pool);
+            flush(&mut page, &mut n, &mut first_key, &mut next_level, pool)?;
             height += 1;
             if next_level.len() == 1 {
-                return Interior { segment, root: next_level[0].1, height };
+                return Ok(Interior { segment, root: next_level[0].1, height });
             }
             level = next_level;
         }
@@ -124,30 +144,32 @@ impl Interior {
     /// Descends to the child whose key range may contain `key`: the child
     /// of the last entry with `first_key <= key`, or the first child when
     /// `key` sorts before everything.
-    pub fn descend<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> u32 {
+    pub fn descend<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> StorageResult<u32> {
         if self.height == 0 {
-            return self.root;
+            return Ok(self.root);
         }
         let mut page_off = self.root;
         for level in 0..self.height {
-            let page = pool.read(PageId::new(self.segment, page_off));
-            let child = Self::find_child(&page, key);
+            let page = pool.read(PageId::new(self.segment, page_off))?;
+            let child = Self::find_child(&page, key)?;
             if level + 1 == self.height {
-                return child;
+                return Ok(child);
             }
             page_off = child;
         }
         unreachable!("descend returns within the loop");
     }
 
-    fn find_child(page: &[u8], key: &[u8]) -> u32 {
-        let n = get_u16(page, 0) as usize;
+    fn find_child(page: &[u8], key: &[u8]) -> StorageResult<u32> {
+        let n = get_u16(page, 0)? as usize;
         let mut off = 2;
         let mut chosen: Option<u32> = None;
         for i in 0..n {
-            let klen = get_u16(page, off) as usize;
-            let k = &page[off + 2..off + 2 + klen];
-            let child = get_u32(page, off + 2 + klen);
+            let klen = get_u16(page, off)? as usize;
+            let k = page
+                .get(off + 2..off + 2 + klen)
+                .ok_or_else(|| StorageError::corrupt("interior entry key overruns page"))?;
+            let child = get_u32(page, off + 2 + klen)?;
             if i == 0 || k <= key {
                 chosen = Some(child);
             } else {
@@ -155,7 +177,7 @@ impl Interior {
             }
             off += 2 + klen + 4;
         }
-        chosen.expect("interior page has at least one entry")
+        chosen.ok_or_else(|| StorageError::corrupt("interior page has no entries"))
     }
 
     /// Number of pages the interior occupies (0 when `height == 0`).
@@ -230,7 +252,7 @@ pub struct SortedKvBuilder<'a, S: PageStore> {
 
 impl<'a, S: PageStore> SortedKvBuilder<'a, S> {
     /// Starts a build into a **fresh** segment allocated from the pool.
-    pub fn new(pool: &'a mut BufferPool<S>) -> Self {
+    pub fn new(pool: &'a mut BufferPool<S>) -> StorageResult<Self> {
         Self::with_leaf_budget(pool, PAGE_SIZE)
     }
 
@@ -239,9 +261,12 @@ impl<'a, S: PageStore> SortedKvBuilder<'a, S> {
     /// knob (leaves hold fewer entries, so random probes touch
     /// proportionally more distinct pages, as they would on a
     /// paper-scale tree). Interior pages always pack fully.
-    pub fn with_leaf_budget(pool: &'a mut BufferPool<S>, leaf_budget: usize) -> Self {
-        let segment = pool.store_mut().create_segment();
-        SortedKvBuilder {
+    pub fn with_leaf_budget(
+        pool: &'a mut BufferPool<S>,
+        leaf_budget: usize,
+    ) -> StorageResult<Self> {
+        let segment = pool.store_mut().create_segment()?;
+        Ok(SortedKvBuilder {
             pool,
             segment,
             page: initial_leaf_page(),
@@ -251,23 +276,25 @@ impl<'a, S: PageStore> SortedKvBuilder<'a, S> {
             last_key: None,
             entry_count: 0,
             leaf_budget: leaf_budget.clamp(64, PAGE_SIZE),
-        }
+        })
     }
 
     /// Appends an entry. Keys must be strictly ascending; entries larger
     /// than [`MAX_ENTRY`] are rejected.
-    pub fn push(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+    pub fn push(&mut self, key: &[u8], value: &[u8]) -> StorageResult<()> {
         let entry_len = 4 + key.len() + value.len();
         if entry_len > MAX_ENTRY {
-            return Err(format!("entry of {entry_len} bytes exceeds MAX_ENTRY ({MAX_ENTRY})"));
+            return Err(StorageError::invalid_input(format!(
+                "entry of {entry_len} bytes exceeds MAX_ENTRY ({MAX_ENTRY})"
+            )));
         }
         if let Some(last) = &self.last_key {
             if key <= last.as_slice() {
-                return Err("keys must be strictly ascending".into());
+                return Err(StorageError::invalid_input("keys must be strictly ascending"));
             }
         }
         if self.page.len() + entry_len > self.leaf_budget && self.n > 0 {
-            self.flush_leaf();
+            self.flush_leaf()?;
         }
         if self.n == 0 {
             self.first_key = Some(key.to_vec());
@@ -282,29 +309,30 @@ impl<'a, S: PageStore> SortedKvBuilder<'a, S> {
         Ok(())
     }
 
-    fn flush_leaf(&mut self) {
+    fn flush_leaf(&mut self) -> StorageResult<()> {
         if self.n == 0 {
-            return;
+            return Ok(());
         }
         self.page[0..2].copy_from_slice(&self.n.to_le_bytes());
-        let off = self.pool.append_page(self.segment, &self.page);
+        let off = self.pool.append_page(self.segment, &self.page)?;
         self.leaf_firsts
             .push((self.first_key.take().expect("leaf has a first key"), off));
         self.page = initial_leaf_page();
         self.n = 0;
+        Ok(())
     }
 
     /// Finishes the build, materializing the interior levels.
-    pub fn finish(mut self) -> SortedKv {
-        self.flush_leaf();
+    pub fn finish(mut self) -> StorageResult<SortedKv> {
+        self.flush_leaf()?;
         if self.leaf_firsts.is_empty() {
             // Empty tree: keep a single empty leaf for uniform reads.
-            let off = self.pool.append_page(self.segment, &initial_leaf_page());
+            let off = self.pool.append_page(self.segment, &initial_leaf_page())?;
             self.leaf_firsts.push((Vec::new(), off));
         }
         let leaf_count = self.leaf_firsts.len() as u32;
-        let interior = Interior::build(self.pool, self.segment, &self.leaf_firsts);
-        SortedKv { segment: self.segment, leaf_count, interior, entry_count: self.entry_count }
+        let interior = Interior::build(self.pool, self.segment, &self.leaf_firsts)?;
+        Ok(SortedKv { segment: self.segment, leaf_count, interior, entry_count: self.entry_count })
     }
 }
 
@@ -319,35 +347,41 @@ impl SortedKv {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         entries: &[(Vec<u8>, Vec<u8>)],
-    ) -> Result<SortedKv, String> {
-        let mut b = SortedKvBuilder::new(pool);
+    ) -> StorageResult<SortedKv> {
+        let mut b = SortedKvBuilder::new(pool)?;
         for (k, v) in entries {
             b.push(k, v)?;
         }
-        Ok(b.finish())
+        b.finish()
     }
 
-    fn parse_leaf(page: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let n = get_u16(page, 0) as usize;
+    fn parse_leaf(page: &[u8]) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let n = get_u16(page, 0)? as usize;
         let mut off = 2;
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n.min(PAGE_SIZE / 4));
         for _ in 0..n {
-            let klen = get_u16(page, off) as usize;
-            let vlen = get_u16(page, off + 2) as usize;
-            let key = page[off + 4..off + 4 + klen].to_vec();
-            let value = page[off + 4 + klen..off + 4 + klen + vlen].to_vec();
+            let klen = get_u16(page, off)? as usize;
+            let vlen = get_u16(page, off + 2)? as usize;
+            let key = page
+                .get(off + 4..off + 4 + klen)
+                .ok_or_else(|| StorageError::corrupt("leaf entry key overruns page"))?
+                .to_vec();
+            let value = page
+                .get(off + 4 + klen..off + 4 + klen + vlen)
+                .ok_or_else(|| StorageError::corrupt("leaf entry value overruns page"))?
+                .to_vec();
             out.push((key, value));
             off += 4 + klen + vlen;
         }
-        out
+        Ok(out)
     }
 
     fn leaf_entries<S: PageStore>(
         &self,
         pool: &BufferPool<S>,
         leaf: u32,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let page = pool.read(PageId::new(self.segment, leaf));
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let page = pool.read(PageId::new(self.segment, leaf))?;
         Self::parse_leaf(&page)
     }
 
@@ -356,44 +390,52 @@ impl SortedKv {
         &self,
         pool: &BufferPool<S>,
         loc: EntryLoc,
-    ) -> Option<Entry> {
+    ) -> StorageResult<Option<Entry>> {
         if loc.leaf >= self.leaf_count {
-            return None;
+            return Ok(None);
         }
-        let entries = self.leaf_entries(pool, loc.leaf);
-        entries.get(loc.slot as usize).map(|(key, value)| Entry {
+        let entries = self.leaf_entries(pool, loc.leaf)?;
+        Ok(entries.get(loc.slot as usize).map(|(key, value)| Entry {
             key: key.clone(),
             value: value.clone(),
             loc,
-        })
+        }))
     }
 
     /// The entry after `loc` in key order.
-    pub fn next<S: PageStore>(&self, pool: &BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
-        let entries = self.leaf_entries(pool, loc.leaf);
+    pub fn next<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        loc: EntryLoc,
+    ) -> StorageResult<Option<Entry>> {
+        let entries = self.leaf_entries(pool, loc.leaf)?;
         if (loc.slot as usize) + 1 < entries.len() {
             return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot + 1 });
         }
         let mut leaf = loc.leaf + 1;
         while leaf < self.leaf_count {
-            let entries = self.leaf_entries(pool, leaf);
+            let entries = self.leaf_entries(pool, leaf)?;
             if !entries.is_empty() {
                 return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
             }
             leaf += 1;
         }
-        None
+        Ok(None)
     }
 
     /// The entry before `loc` in key order.
-    pub fn prev<S: PageStore>(&self, pool: &BufferPool<S>, loc: EntryLoc) -> Option<Entry> {
+    pub fn prev<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        loc: EntryLoc,
+    ) -> StorageResult<Option<Entry>> {
         if loc.slot > 0 {
             return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot - 1 });
         }
         let mut leaf = loc.leaf;
         while leaf > 0 {
             leaf -= 1;
-            let entries = self.leaf_entries(pool, leaf);
+            let entries = self.leaf_entries(pool, leaf)?;
             if !entries.is_empty() {
                 return self.entry_at(
                     pool,
@@ -401,7 +443,7 @@ impl SortedKv {
                 );
             }
         }
-        None
+        Ok(None)
     }
 
     /// The Section 4.3.2 probe: the smallest entry with `key >= target`
@@ -410,15 +452,15 @@ impl SortedKv {
         &self,
         pool: &BufferPool<S>,
         target: &[u8],
-    ) -> (Option<Entry>, Option<Entry>) {
-        let leaf = self.interior.descend(pool, target);
-        let entries = self.leaf_entries(pool, leaf);
+    ) -> StorageResult<(Option<Entry>, Option<Entry>)> {
+        let leaf = self.interior.descend(pool, target)?;
+        let entries = self.leaf_entries(pool, leaf)?;
         match entries.iter().position(|(k, _)| k.as_slice() >= target) {
             Some(slot) => {
                 let loc = EntryLoc { leaf, slot: slot as u16 };
-                let entry = self.entry_at(pool, loc);
-                let pred = self.prev(pool, loc);
-                (entry, pred)
+                let entry = self.entry_at(pool, loc)?;
+                let pred = self.prev(pool, loc)?;
+                Ok((entry, pred))
             }
             None => {
                 // All keys in this leaf sort below target (or leaf empty):
@@ -428,22 +470,23 @@ impl SortedKv {
                     if leaf == 0 {
                         None
                     } else {
-                        self.prev(pool, EntryLoc { leaf, slot: 0 })
+                        self.prev(pool, EntryLoc { leaf, slot: 0 })?
                     }
                 } else {
-                    self.entry_at(pool, EntryLoc { leaf, slot: (entries.len() - 1) as u16 })
+                    self.entry_at(pool, EntryLoc { leaf, slot: (entries.len() - 1) as u16 })?
                 };
-                let entry = pred
-                    .as_ref()
-                    .and_then(|p| self.next(pool, p.loc))
-                    .or_else(|| {
-                        if entries.is_empty() && leaf + 1 < self.leaf_count {
-                            self.first_entry_from(pool, leaf + 1)
-                        } else {
-                            None
-                        }
-                    });
-                (entry, pred)
+                let entry = match pred.as_ref() {
+                    Some(p) => self.next(pool, p.loc)?,
+                    None => None,
+                };
+                let entry = match entry {
+                    Some(e) => Some(e),
+                    None if entries.is_empty() && leaf + 1 < self.leaf_count => {
+                        self.first_entry_from(pool, leaf + 1)?
+                    }
+                    None => None,
+                };
+                Ok((entry, pred))
             }
         }
     }
@@ -452,21 +495,25 @@ impl SortedKv {
         &self,
         pool: &BufferPool<S>,
         mut leaf: u32,
-    ) -> Option<Entry> {
+    ) -> StorageResult<Option<Entry>> {
         while leaf < self.leaf_count {
-            let entries = self.leaf_entries(pool, leaf);
+            let entries = self.leaf_entries(pool, leaf)?;
             if !entries.is_empty() {
                 return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
             }
             leaf += 1;
         }
-        None
+        Ok(None)
     }
 
     /// Exact-match lookup.
-    pub fn get<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> Option<Vec<u8>> {
-        let (entry, _) = self.lowest_geq(pool, key);
-        entry.filter(|e| e.key == key).map(|e| e.value)
+    pub fn get<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<Option<Vec<u8>>> {
+        let (entry, _) = self.lowest_geq(pool, key)?;
+        Ok(entry.filter(|e| e.key == key).map(|e| e.value))
     }
 
     /// Collects all entries with `low <= key < high` via a leaf range scan.
@@ -475,18 +522,18 @@ impl SortedKv {
         pool: &BufferPool<S>,
         low: &[u8],
         high: &[u8],
-    ) -> Vec<Entry> {
+    ) -> StorageResult<Vec<Entry>> {
         let mut out = Vec::new();
-        let (mut cur, _) = self.lowest_geq(pool, low);
+        let (mut cur, _) = self.lowest_geq(pool, low)?;
         while let Some(entry) = cur {
             if entry.key.as_slice() >= high {
                 break;
             }
             let loc = entry.loc;
             out.push(entry);
-            cur = self.next(pool, loc);
+            cur = self.next(pool, loc)?;
         }
-        out
+        Ok(out)
     }
 
     /// Total pages (leaves + interior) the tree occupies.
@@ -516,8 +563,8 @@ mod tests {
         let (pool, tree) = build_tree(3);
         assert_eq!(tree.leaf_count, 1);
         assert_eq!(tree.interior.height, 0);
-        assert_eq!(tree.get(&pool, b"key000001"), Some(b"value-1".to_vec()));
-        assert_eq!(tree.get(&pool, b"missing"), None);
+        assert_eq!(tree.get(&pool, b"key000001").unwrap(), Some(b"value-1".to_vec()));
+        assert_eq!(tree.get(&pool, b"missing").unwrap(), None);
     }
 
     #[test]
@@ -527,7 +574,7 @@ mod tests {
         assert!(tree.interior.height >= 1, "expected interior levels");
         for i in [0u32, 1, 999, 2500, 4999] {
             let (k, v) = kv(i);
-            assert_eq!(tree.get(&pool, &k), Some(v), "key {i}");
+            assert_eq!(tree.get(&pool, &k).unwrap(), Some(v), "key {i}");
         }
         assert_eq!(tree.entry_count, 5000);
     }
@@ -536,11 +583,11 @@ mod tests {
     fn lowest_geq_exact_and_between() {
         let (pool, tree) = build_tree(100);
         // exact hit
-        let (e, p) = tree.lowest_geq(&pool, b"key000050");
+        let (e, p) = tree.lowest_geq(&pool, b"key000050").unwrap();
         assert_eq!(e.unwrap().key, b"key000050".to_vec());
         assert_eq!(p.unwrap().key, b"key000049".to_vec());
         // between two keys
-        let (e, p) = tree.lowest_geq(&pool, b"key000050x");
+        let (e, p) = tree.lowest_geq(&pool, b"key000050x").unwrap();
         assert_eq!(e.unwrap().key, b"key000051".to_vec());
         assert_eq!(p.unwrap().key, b"key000050".to_vec());
     }
@@ -548,10 +595,10 @@ mod tests {
     #[test]
     fn lowest_geq_at_the_ends() {
         let (pool, tree) = build_tree(10);
-        let (e, p) = tree.lowest_geq(&pool, b"aaa");
+        let (e, p) = tree.lowest_geq(&pool, b"aaa").unwrap();
         assert_eq!(e.unwrap().key, b"key000000".to_vec());
         assert!(p.is_none());
-        let (e, p) = tree.lowest_geq(&pool, b"zzz");
+        let (e, p) = tree.lowest_geq(&pool, b"zzz").unwrap();
         assert!(e.is_none());
         assert_eq!(p.unwrap().key, b"key000009".to_vec());
     }
@@ -561,20 +608,20 @@ mod tests {
         let (pool, tree) = build_tree(2000);
         assert!(tree.leaf_count >= 2);
         // Probe just past the last key of leaf 0.
-        let leaf0 = tree.leaf_entries(&pool, 0);
+        let leaf0 = tree.leaf_entries(&pool, 0).unwrap();
         let last = leaf0.last().unwrap().0.clone();
         let mut probe = last.clone();
         probe.push(b'!');
-        let (e, p) = tree.lowest_geq(&pool, &probe);
+        let (e, p) = tree.lowest_geq(&pool, &probe).unwrap();
         assert_eq!(p.unwrap().key, last);
-        let first_leaf1 = tree.leaf_entries(&pool, 1)[0].0.clone();
+        let first_leaf1 = tree.leaf_entries(&pool, 1).unwrap()[0].0.clone();
         assert_eq!(e.unwrap().key, first_leaf1);
     }
 
     #[test]
     fn cursors_traverse_everything_in_order() {
         let (pool, tree) = build_tree(1500);
-        let (mut cur, _) = tree.lowest_geq(&pool, b"");
+        let (mut cur, _) = tree.lowest_geq(&pool, b"").unwrap();
         let mut seen = 0u32;
         let mut last_key: Option<Vec<u8>> = None;
         while let Some(e) = cur {
@@ -583,16 +630,16 @@ mod tests {
             }
             last_key = Some(e.key.clone());
             seen += 1;
-            cur = tree.next(&pool, e.loc);
+            cur = tree.next(&pool, e.loc).unwrap();
         }
         assert_eq!(seen, 1500);
         // and backwards
-        let (_, pred) = tree.lowest_geq(&pool, b"zzzz");
+        let (_, pred) = tree.lowest_geq(&pool, b"zzzz").unwrap();
         let mut cur = pred;
         let mut seen_back = 0u32;
         while let Some(e) = cur {
             seen_back += 1;
-            cur = tree.prev(&pool, e.loc);
+            cur = tree.prev(&pool, e.loc).unwrap();
         }
         assert_eq!(seen_back, 1500);
     }
@@ -600,7 +647,7 @@ mod tests {
     #[test]
     fn range_scan() {
         let (pool, tree) = build_tree(100);
-        let out = tree.range(&pool, b"key000010", b"key000020");
+        let out = tree.range(&pool, b"key000010", b"key000020").unwrap();
         assert_eq!(out.len(), 10);
         assert_eq!(out[0].key, b"key000010".to_vec());
         assert_eq!(out[9].key, b"key000019".to_vec());
@@ -609,7 +656,7 @@ mod tests {
     #[test]
     fn rejects_unsorted_and_oversized() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
-        let mut b = SortedKvBuilder::new(&mut pool);
+        let mut b = SortedKvBuilder::new(&mut pool).unwrap();
         b.push(b"b", b"1").unwrap();
         assert!(b.push(b"a", b"2").is_err(), "descending key accepted");
         assert!(b.push(b"b", b"2").is_err(), "duplicate key accepted");
@@ -620,27 +667,31 @@ mod tests {
     fn empty_tree_behaves() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let tree = SortedKv::build(&mut pool, &[]).unwrap();
-        assert_eq!(tree.get(&pool, b"x"), None);
-        let (e, p) = tree.lowest_geq(&pool, b"x");
+        assert_eq!(tree.get(&pool, b"x").unwrap(), None);
+        let (e, p) = tree.lowest_geq(&pool, b"x").unwrap();
         assert!(e.is_none() && p.is_none());
-        assert!(tree.range(&pool, b"", b"zzz").is_empty());
+        assert!(tree.range(&pool, b"", b"zzz").unwrap().is_empty());
     }
 
     #[test]
     fn interior_over_external_leaves() {
         // The HDIL pattern: children are page numbers of some other segment.
         let mut pool = BufferPool::new(MemStore::new(), 64);
-        let seg = pool.store_mut().create_segment();
+        let seg = pool.store_mut().create_segment().unwrap();
         let children: Vec<(Vec<u8>, u32)> = (0..500)
             .map(|i| (format!("k{i:05}").into_bytes(), 1000 + i))
             .collect();
-        let interior = Interior::build(&mut pool, seg, &children);
+        let interior = Interior::build(&mut pool, seg, &children).unwrap();
         assert!(interior.height >= 1);
-        assert_eq!(interior.descend(&pool, b"k00000"), 1000);
-        assert_eq!(interior.descend(&pool, b"k00123"), 1123);
-        assert_eq!(interior.descend(&pool, b"k00123x"), 1123);
-        assert_eq!(interior.descend(&pool, b"a"), 1000, "before-first goes to first child");
-        assert_eq!(interior.descend(&pool, b"zzz"), 1499);
+        assert_eq!(interior.descend(&pool, b"k00000").unwrap(), 1000);
+        assert_eq!(interior.descend(&pool, b"k00123").unwrap(), 1123);
+        assert_eq!(interior.descend(&pool, b"k00123x").unwrap(), 1123);
+        assert_eq!(
+            interior.descend(&pool, b"a").unwrap(),
+            1000,
+            "before-first goes to first child"
+        );
+        assert_eq!(interior.descend(&pool, b"zzz").unwrap(), 1499);
     }
 
     #[test]
@@ -648,11 +699,30 @@ mod tests {
         let (pool, tree) = build_tree(20_000);
         pool.clear_cache();
         pool.reset_stats();
-        tree.lowest_geq(&pool, b"key010000");
+        tree.lowest_geq(&pool, b"key010000").unwrap();
         let s = pool.stats();
         // height + leaf + (possible sibling for predecessor): a handful of
         // random reads, not a scan.
         assert!(s.physical_reads() <= 6, "probe read {} pages", s.physical_reads());
         assert!(s.rand_reads >= 1);
+    }
+
+    #[test]
+    fn corrupt_leaf_is_an_error_not_a_panic() {
+        // A leaf whose entry lengths point past the page must decode to a
+        // typed error under any byte garbage.
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0..2].copy_from_slice(&3u16.to_le_bytes()); // claims 3 entries
+        page[2..4].copy_from_slice(&u16::MAX.to_le_bytes()); // klen = 65535
+        let err = SortedKv::parse_leaf(&page).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+
+        // And through the probe path: corrupt the tree's leaf in place.
+        let (mut pool, tree) = build_tree(100);
+        let mut evil = vec![0u8; PAGE_SIZE];
+        evil[0..2].copy_from_slice(&9u16.to_le_bytes());
+        evil[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        pool.write_page(PageId::new(tree.segment, 0), &evil).unwrap();
+        assert!(tree.lowest_geq(&pool, b"key000000").is_err());
     }
 }

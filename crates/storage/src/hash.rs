@@ -8,8 +8,11 @@
 //! Layout in a fresh segment: bucket chain pages first, then the bucket
 //! directory. Each lookup reads one directory page plus the bucket's chain
 //! pages — all random I/O, which is exactly the cost profile the
-//! experiments charge the naive approach for.
+//! experiments charge the naive approach for. Probes are bounds-checked
+//! and cycle-guarded, so a corrupt chain page yields
+//! [`StorageError::Corrupt`] instead of a panic or an infinite loop.
 
+use crate::error::{StorageError, StorageResult};
 use crate::pool::BufferPool;
 use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
 
@@ -19,18 +22,28 @@ const NO_PAGE: u32 = u32::MAX;
 /// the index byte-efficient.
 const BUCKET_BYTES: usize = 3 * PAGE_SIZE / 4;
 
-fn get_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes([buf[off], buf[off + 1]])
+fn get_u16(buf: &[u8], off: usize) -> StorageResult<u16> {
+    let b: [u8; 2] = buf
+        .get(off..off + 2)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("truncated u16 field in hash page"))?;
+    Ok(u16::from_le_bytes(b))
 }
 
-fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+fn get_u32(buf: &[u8], off: usize) -> StorageResult<u32> {
+    let b: [u8; 4] = buf
+        .get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("truncated u32 field in hash page"))?;
+    Ok(u32::from_le_bytes(b))
 }
 
-fn get_u64(buf: &[u8], off: usize) -> u64 {
-    let mut b = [0u8; 8];
-    b.copy_from_slice(&buf[off..off + 8]);
-    u64::from_le_bytes(b)
+fn get_u64(buf: &[u8], off: usize) -> StorageResult<u64> {
+    let b: [u8; 8] = buf
+        .get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::corrupt("truncated u64 field in hash page"))?;
+    Ok(u64::from_le_bytes(b))
 }
 
 fn bucket_of(key: u64, n_buckets: u32) -> u32 {
@@ -56,8 +69,8 @@ impl HashIndex {
     pub fn build<S: PageStore>(
         pool: &mut BufferPool<S>,
         entries: &[(u64, Vec<u8>)],
-    ) -> Result<HashIndex, String> {
-        let segment = pool.store_mut().create_segment();
+    ) -> StorageResult<HashIndex> {
+        let segment = pool.store_mut().create_segment()?;
         let total_bytes: usize = entries.iter().map(|(_, v)| 10 + v.len()).sum();
         let n_buckets = (total_bytes.div_ceil(BUCKET_BYTES)).max(1) as u32;
 
@@ -65,11 +78,14 @@ impl HashIndex {
         let mut buckets: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); n_buckets as usize];
         for (key, value) in entries {
             if value.len() + 10 > PAGE_SIZE - 6 {
-                return Err(format!("hash value of {} bytes exceeds page payload", value.len()));
+                return Err(StorageError::invalid_input(format!(
+                    "hash value of {} bytes exceeds page payload",
+                    value.len()
+                )));
             }
             let b = &mut buckets[bucket_of(*key, n_buckets) as usize];
             if b.iter().any(|(k, _)| k == key) {
-                return Err(format!("duplicate key {key}"));
+                return Err(StorageError::invalid_input(format!("duplicate key {key}")));
             }
             b.push((*key, value));
         }
@@ -104,16 +120,16 @@ impl HashIndex {
             let mut head = NO_PAGE;
             let mut prev: Option<u32> = None;
             for p in pages {
-                let off = pool.append_page(segment, &p);
+                let off = pool.append_page(segment, &p)?;
                 if head == NO_PAGE {
                     head = off;
                 }
                 if let Some(prev_off) = prev {
                     // Patch the previous page's next pointer.
                     let mut prev_page = vec![0u8; PAGE_SIZE];
-                    pool.store().read_page(PageId::new(segment, prev_off), &mut prev_page);
+                    pool.store().read_page(PageId::new(segment, prev_off), &mut prev_page)?;
                     prev_page[0..4].copy_from_slice(&off.to_le_bytes());
-                    pool.write_page(PageId::new(segment, prev_off), &prev_page);
+                    pool.write_page(PageId::new(segment, prev_off), &prev_page)?;
                 }
                 prev = Some(off);
             }
@@ -128,35 +144,50 @@ impl HashIndex {
             for head in chunk {
                 page.extend_from_slice(&head.to_le_bytes());
             }
-            pool.append_page(segment, &page);
+            pool.append_page(segment, &page)?;
         }
         Ok(HashIndex { segment, n_buckets, dir_start })
     }
 
     /// Looks up `key`, returning its value if present.
-    pub fn get<S: PageStore>(&self, pool: &BufferPool<S>, key: u64) -> Option<Vec<u8>> {
+    pub fn get<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        key: u64,
+    ) -> StorageResult<Option<Vec<u8>>> {
         let bucket = bucket_of(key, self.n_buckets);
         let per_page = (PAGE_SIZE / 4) as u32;
         let dir_page = self.dir_start + bucket / per_page;
-        let dir = pool.read(PageId::new(self.segment, dir_page));
-        let mut page_off = get_u32(&dir, ((bucket % per_page) * 4) as usize);
+        let dir = pool.read(PageId::new(self.segment, dir_page))?;
+        let mut page_off = get_u32(&dir, ((bucket % per_page) * 4) as usize)?;
 
+        // Cycle guard: a corrupt next pointer must not loop forever. No
+        // legitimate chain is longer than the segment's page count.
+        let mut hops = 0u32;
+        let max_hops = pool.store().page_count(self.segment).saturating_add(1);
         while page_off != NO_PAGE {
-            let page = pool.read(PageId::new(self.segment, page_off)).to_vec();
-            let next = get_u32(&page, 0);
-            let n = get_u16(&page, 4) as usize;
+            hops += 1;
+            if hops > max_hops {
+                return Err(StorageError::corrupt("hash chain cycle"));
+            }
+            let page = pool.read(PageId::new(self.segment, page_off))?;
+            let next = get_u32(&page, 0)?;
+            let n = get_u16(&page, 4)? as usize;
             let mut off = 6;
             for _ in 0..n {
-                let k = get_u64(&page, off);
-                let vlen = get_u16(&page, off + 8) as usize;
+                let k = get_u64(&page, off)?;
+                let vlen = get_u16(&page, off + 8)? as usize;
+                let value = page
+                    .get(off + 10..off + 10 + vlen)
+                    .ok_or_else(|| StorageError::corrupt("hash entry value overruns page"))?;
                 if k == key {
-                    return Some(page[off + 10..off + 10 + vlen].to_vec());
+                    return Ok(Some(value.to_vec()));
                 }
                 off += 10 + vlen;
             }
             page_off = next;
         }
-        None
+        Ok(None)
     }
 
     /// Total pages the index occupies.
@@ -190,7 +221,7 @@ mod tests {
         let (pool, idx) = build(5000);
         for i in [0u64, 1, 250, 4999] {
             assert_eq!(
-                idx.get(&pool, i * 7 + 1),
+                idx.get(&pool, i * 7 + 1).unwrap(),
                 Some(format!("val{i}").into_bytes()),
                 "key {i}"
             );
@@ -200,15 +231,15 @@ mod tests {
     #[test]
     fn absent_keys_return_none() {
         let (pool, idx) = build(1000);
-        assert_eq!(idx.get(&pool, 2), None);
-        assert_eq!(idx.get(&pool, u64::MAX), None);
+        assert_eq!(idx.get(&pool, 2).unwrap(), None);
+        assert_eq!(idx.get(&pool, u64::MAX).unwrap(), None);
     }
 
     #[test]
     fn empty_index() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let idx = HashIndex::build(&mut pool, &[]).unwrap();
-        assert_eq!(idx.get(&pool, 42), None);
+        assert_eq!(idx.get(&pool, 42).unwrap(), None);
     }
 
     #[test]
@@ -230,8 +261,8 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let big = vec![0xAB; 3000];
         let idx = HashIndex::build(&mut pool, &[(9, big.clone()), (10, vec![1])]).unwrap();
-        assert_eq!(idx.get(&pool, 9), Some(big));
-        assert_eq!(idx.get(&pool, 10), Some(vec![1]));
+        assert_eq!(idx.get(&pool, 9).unwrap(), Some(big));
+        assert_eq!(idx.get(&pool, 10).unwrap(), Some(vec![1]));
     }
 
     #[test]
@@ -239,9 +270,27 @@ mod tests {
         let (pool, idx) = build(20_000);
         pool.clear_cache();
         pool.reset_stats();
-        idx.get(&pool, 7 * 1234 + 1);
+        idx.get(&pool, 7 * 1234 + 1).unwrap();
         let s = pool.stats();
         assert!(s.physical_reads() <= 4, "hash probe read {} pages", s.physical_reads());
         assert!(s.rand_reads >= 1);
+    }
+
+    #[test]
+    fn corrupt_chain_self_loop_is_detected() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let entries: Vec<(u64, Vec<u8>)> = (0..4u64).map(|i| (i, vec![i as u8])).collect();
+        let idx = HashIndex::build(&mut pool, &entries).unwrap();
+        // Point every chain page's next pointer at itself.
+        for p in 0..idx.dir_start {
+            let mut page = vec![0u8; PAGE_SIZE];
+            pool.store().read_page(PageId::new(idx.segment, p), &mut page).unwrap();
+            page[0..4].copy_from_slice(&p.to_le_bytes());
+            pool.write_page(PageId::new(idx.segment, p), &page).unwrap();
+        }
+        // Lookups of absent keys would walk the cycle forever without the
+        // guard; a typed error must surface instead.
+        let err = idx.get(&pool, 0xDEAD_BEEF).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
     }
 }

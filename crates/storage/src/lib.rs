@@ -35,12 +35,19 @@
 #![warn(missing_docs)]
 
 pub mod btree;
+mod error;
+mod fault;
 pub mod hash;
 mod pool;
 mod stats;
 mod store;
 pub mod wire;
 
+pub use error::{crc32, StorageError, StorageResult};
+pub use fault::{FaultAt, FaultKind, FaultRule, FaultStore};
 pub use pool::{BufferPool, EvictionCounters, PageRef, STREAMS_PER_SEGMENT};
 pub use stats::{AtomicIoStats, CostModel, IoStats, StatsScope};
-pub use store::{FileStore, MemStore, PageId, PageStore, SegmentId, PAGE_SIZE};
+pub use store::{
+    FileStore, MemStore, PageId, PageStore, SegmentId, StoreFormat, PAGE_SIZE, PAGE_TRAILER_LEN,
+    PAGE_TRAILER_MAGIC,
+};

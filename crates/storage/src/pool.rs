@@ -1,6 +1,7 @@
 //! Sharded, read-shared page cache with CLOCK eviction and
 //! sequential/random miss classification.
 
+use crate::error::StorageResult;
 use crate::stats::{AtomicIoStats, IoStats};
 use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
 use std::collections::{HashMap, VecDeque};
@@ -214,8 +215,10 @@ impl<S: PageStore> BufferPool<S> {
         (h >> 33) as usize & (self.streams.len() - 1)
     }
 
-    /// Reads a page through the cache, returning an owned handle.
-    pub fn read(&self, id: PageId) -> PageRef {
+    /// Reads a page through the cache, returning an owned handle. A failed
+    /// physical read (I/O error, checksum mismatch, torn write, out of
+    /// range) is never cached: a later retry goes back to the store.
+    pub fn read(&self, id: PageId) -> StorageResult<PageRef> {
         let si = self.shard_index(id);
         {
             let mut shard = lock(&self.shards[si]);
@@ -223,10 +226,12 @@ impl<S: PageStore> BufferPool<S> {
                 self.stats.add_hit();
                 let s = &mut shard.slots[slot];
                 s.referenced = true;
-                return PageRef { data: Arc::clone(&s.data) };
+                return Ok(PageRef { data: Arc::clone(&s.data) });
             }
         }
         // Physical read: classify against the segment's readahead streams.
+        // The attempt is charged to the ledger even if the read then fails —
+        // the seek happened.
         {
             let mut table = lock(&self.streams[self.stream_index(id.segment)]);
             let streams = table.entry(id.segment).or_default();
@@ -244,7 +249,7 @@ impl<S: PageStore> BufferPool<S> {
         }
 
         let mut data = vec![0u8; PAGE_SIZE];
-        self.store.read_page(id, &mut data);
+        self.store.read_page(id, &mut data)?;
         let data: Arc<[u8]> = Arc::from(data);
 
         let mut shard = lock(&self.shards[si]);
@@ -253,20 +258,22 @@ impl<S: PageStore> BufferPool<S> {
             // the cached copy so all handles alias one allocation.
             let s = &mut shard.slots[slot];
             s.referenced = true;
-            return PageRef { data: Arc::clone(&s.data) };
+            return Ok(PageRef { data: Arc::clone(&s.data) });
         }
         shard.install(id, Arc::clone(&data), &self.evictions, &self.hand_steps);
-        PageRef { data }
+        Ok(PageRef { data })
     }
 
     /// Appends a page to a segment via the store, counting the write.
-    pub fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
+    pub fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> StorageResult<u32> {
         self.stats.add_write();
         self.store.append_page(segment, data)
     }
 
-    /// Overwrites a page, invalidating any cached copy.
-    pub fn write_page(&mut self, id: PageId, data: &[u8]) {
+    /// Overwrites a page, invalidating any cached copy (even when the
+    /// store write then fails — the cached bytes may no longer match what
+    /// is on the medium).
+    pub fn write_page(&mut self, id: PageId, data: &[u8]) -> StorageResult<()> {
         self.stats.add_write();
         {
             let mut shard = lock(&self.shards[self.shard_index(id)]);
@@ -277,7 +284,7 @@ impl<S: PageStore> BufferPool<S> {
                 s.data = Arc::from(Vec::new());
             }
         }
-        self.store.write_page(id, data);
+        self.store.write_page(id, data)
     }
 
     /// Drops all cached pages and forgets read positions — the cold-cache
@@ -321,9 +328,9 @@ mod tests {
 
     fn store_with_pages(n: u32) -> (MemStore, SegmentId) {
         let mut store = MemStore::new();
-        let seg = store.create_segment();
+        let seg = store.create_segment().unwrap();
         for i in 0..n {
-            store.append_page(seg, &[i as u8]);
+            store.append_page(seg, &[i as u8]).unwrap();
         }
         (store, seg)
     }
@@ -337,7 +344,7 @@ mod tests {
     fn sequential_scan_is_classified_sequential() {
         let (pool, seg) = pool_with_pages(10, 100);
         for i in 0..10 {
-            pool.read(PageId::new(seg, i));
+            pool.read(PageId::new(seg, i)).unwrap();
         }
         let s = pool.stats();
         assert_eq!(s.rand_reads, 1, "only the first read seeks");
@@ -348,16 +355,16 @@ mod tests {
     #[test]
     fn interleaved_segments_stay_sequential_per_segment() {
         let mut store = MemStore::new();
-        let a = store.create_segment();
-        let b = store.create_segment();
+        let a = store.create_segment().unwrap();
+        let b = store.create_segment().unwrap();
         for i in 0..5 {
-            store.append_page(a, &[i]);
-            store.append_page(b, &[i]);
+            store.append_page(a, &[i]).unwrap();
+            store.append_page(b, &[i]).unwrap();
         }
         let pool = BufferPool::new(store, 100);
         for i in 0..5 {
-            pool.read(PageId::new(a, i));
-            pool.read(PageId::new(b, i));
+            pool.read(PageId::new(a, i)).unwrap();
+            pool.read(PageId::new(b, i)).unwrap();
         }
         let s = pool.stats();
         // one seek per segment; the rest ride each segment's readahead
@@ -371,14 +378,14 @@ mod tests {
         // 100..105, merged in lockstep: each list rides its own readahead
         // stream after the initial seek.
         let mut store = MemStore::new();
-        let seg = store.create_segment();
+        let seg = store.create_segment().unwrap();
         for i in 0..200 {
-            store.append_page(seg, &[i as u8]);
+            store.append_page(seg, &[i as u8]).unwrap();
         }
         let pool = BufferPool::new(store, 1024);
         for i in 0..5 {
-            pool.read(PageId::new(seg, i));
-            pool.read(PageId::new(seg, 100 + i));
+            pool.read(PageId::new(seg, i)).unwrap();
+            pool.read(PageId::new(seg, 100 + i)).unwrap();
         }
         let s = pool.stats();
         assert_eq!(s.rand_reads, 2, "one seek per list");
@@ -389,7 +396,7 @@ mod tests {
     fn random_probes_are_classified_random() {
         let (pool, seg) = pool_with_pages(10, 100);
         for i in [7u32, 2, 9, 0, 5] {
-            pool.read(PageId::new(seg, i));
+            pool.read(PageId::new(seg, i)).unwrap();
         }
         assert_eq!(pool.stats().rand_reads, 5);
         assert_eq!(pool.stats().seq_reads, 0);
@@ -398,9 +405,9 @@ mod tests {
     #[test]
     fn cache_hits_do_not_touch_store() {
         let (pool, seg) = pool_with_pages(3, 100);
-        pool.read(PageId::new(seg, 0));
-        pool.read(PageId::new(seg, 0));
-        pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 0)).unwrap();
+        pool.read(PageId::new(seg, 0)).unwrap();
+        pool.read(PageId::new(seg, 0)).unwrap();
         let s = pool.stats();
         assert_eq!(s.physical_reads(), 1);
         assert_eq!(s.cache_hits, 2);
@@ -410,11 +417,11 @@ mod tests {
     fn clock_evicts_unreferenced_frame_single_shard() {
         let (store, seg) = store_with_pages(4);
         let pool = BufferPool::with_shards(store, 2, 1);
-        pool.read(PageId::new(seg, 0));
-        pool.read(PageId::new(seg, 1)); // cache = {0,1}
-        pool.read(PageId::new(seg, 2)); // second-chance sweep evicts 0
-        pool.read(PageId::new(seg, 1)); // hit
-        pool.read(PageId::new(seg, 0)); // miss again
+        pool.read(PageId::new(seg, 0)).unwrap();
+        pool.read(PageId::new(seg, 1)).unwrap(); // cache = {0,1}
+        pool.read(PageId::new(seg, 2)).unwrap(); // second-chance sweep evicts 0
+        pool.read(PageId::new(seg, 1)).unwrap(); // hit
+        pool.read(PageId::new(seg, 0)).unwrap(); // miss again
         let s = pool.stats();
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.physical_reads(), 4);
@@ -431,13 +438,13 @@ mod tests {
             let (store, seg) = store_with_pages(64);
             let pool = BufferPool::with_shards(store, 1024, shards);
             for i in 0..32 {
-                pool.read(PageId::new(seg, i)); // sequential scan
+                pool.read(PageId::new(seg, i)).unwrap(); // sequential scan
             }
             for i in [40u32, 3, 57, 12, 40, 3] {
-                pool.read(PageId::new(seg, i)); // probes; 3/12 and repeats hit
+                pool.read(PageId::new(seg, i)).unwrap(); // probes; 3/12 and repeats hit
             }
             for i in 32..40 {
-                pool.read(PageId::new(seg, i)); // resume the scan
+                pool.read(PageId::new(seg, i)).unwrap(); // resume the scan
             }
             let s = pool.stats();
             assert_eq!(
@@ -462,7 +469,7 @@ mod tests {
             let (store, seg) = store_with_pages(capacity * 4);
             let pool = BufferPool::with_shards(store, capacity as usize, 1);
             for i in 0..capacity * 4 {
-                pool.read(PageId::new(seg, i));
+                pool.read(PageId::new(seg, i)).unwrap();
             }
             let c = pool.eviction_counters();
             assert_eq!(c.evictions, capacity as u64 * 3);
@@ -484,21 +491,21 @@ mod tests {
     #[test]
     fn clear_cache_forgets_positions() {
         let (pool, seg) = pool_with_pages(4, 100);
-        pool.read(PageId::new(seg, 0));
-        pool.read(PageId::new(seg, 1));
+        pool.read(PageId::new(seg, 0)).unwrap();
+        pool.read(PageId::new(seg, 1)).unwrap();
         pool.clear_cache();
         // Re-reading page 2 right after 1 would have been sequential, but
         // the cold start forgot the position.
-        pool.read(PageId::new(seg, 2));
+        pool.read(PageId::new(seg, 2)).unwrap();
         assert_eq!(pool.stats().rand_reads, 2);
     }
 
     #[test]
     fn write_invalidates_cache() {
         let (mut pool, seg) = pool_with_pages(2, 100);
-        pool.read(PageId::new(seg, 0));
-        pool.write_page(PageId::new(seg, 0), b"new");
-        let data = pool.read(PageId::new(seg, 0));
+        pool.read(PageId::new(seg, 0)).unwrap();
+        pool.write_page(PageId::new(seg, 0), b"new").unwrap();
+        let data = pool.read(PageId::new(seg, 0)).unwrap();
         assert_eq!(&data[..3], b"new");
         assert_eq!(pool.stats().writes, 1);
     }
@@ -506,17 +513,33 @@ mod tests {
     #[test]
     fn read_returns_page_contents() {
         let (pool, seg) = pool_with_pages(3, 100);
-        assert_eq!(pool.read(PageId::new(seg, 2))[0], 2);
+        assert_eq!(pool.read(PageId::new(seg, 2)).unwrap()[0], 2);
     }
 
     #[test]
     fn page_ref_survives_eviction() {
         let (store, seg) = store_with_pages(4);
         let pool = BufferPool::with_shards(store, 1, 1);
-        let held = pool.read(PageId::new(seg, 0));
-        pool.read(PageId::new(seg, 1)); // evicts page 0's frame
-        pool.read(PageId::new(seg, 2));
+        let held = pool.read(PageId::new(seg, 0)).unwrap();
+        pool.read(PageId::new(seg, 1)).unwrap(); // evicts page 0's frame
+        pool.read(PageId::new(seg, 2)).unwrap();
         assert_eq!(held[0], 0, "handle outlives the frame");
+    }
+
+    #[test]
+    fn failed_reads_propagate_and_are_not_cached() {
+        use crate::fault::{FaultAt, FaultKind, FaultRule, FaultStore};
+        let mut store = FaultStore::new(MemStore::new());
+        let seg = store.create_segment().unwrap();
+        store.append_page(seg, &[9u8; 8]).unwrap();
+        let pool = BufferPool::with_shards(store, 16, 1);
+        pool.store().inject(FaultRule::new(FaultKind::ReadError, FaultAt::Always).times(1));
+        assert!(pool.read(PageId::new(seg, 0)).is_err());
+        // The failure was not cached: the retry reaches the store and
+        // succeeds.
+        let page = pool.read(PageId::new(seg, 0)).unwrap();
+        assert_eq!(page[0], 9);
+        assert_eq!(pool.stats().cache_hits, 0);
     }
 
     /// Deterministic per-thread page sequence (splitmix-style).
@@ -538,9 +561,9 @@ mod tests {
         const READS: usize = 2_000;
         const PAGES: u32 = 64;
         let mut store = MemStore::new();
-        let seg = store.create_segment();
+        let seg = store.create_segment().unwrap();
         for i in 0..PAGES {
-            store.append_page(seg, &[i as u8; 32]);
+            store.append_page(seg, &[i as u8; 32]).unwrap();
         }
         // Tiny capacity: every thread continuously evicts under every other
         // thread's feet.
@@ -550,7 +573,7 @@ mod tests {
                 let pool = &pool;
                 scope.spawn(move || {
                     for p in page_sequence(t + 1, READS, PAGES) {
-                        let page = pool.read(PageId::new(seg, p));
+                        let page = pool.read(PageId::new(seg, p)).unwrap();
                         assert_eq!(&page[..32], &[p as u8; 32], "torn page content");
                         assert!(page[32..].iter().all(|&b| b == 0));
                     }
@@ -570,9 +593,9 @@ mod tests {
     fn clear_and_reset_race_free_under_readers() {
         const PAGES: u32 = 32;
         let mut store = MemStore::new();
-        let seg = store.create_segment();
+        let seg = store.create_segment().unwrap();
         for i in 0..PAGES {
-            store.append_page(seg, &[i as u8; 16]);
+            store.append_page(seg, &[i as u8; 16]).unwrap();
         }
         let pool = BufferPool::with_shards(store, 16, 4);
         std::thread::scope(|scope| {
@@ -580,7 +603,7 @@ mod tests {
                 let pool = &pool;
                 scope.spawn(move || {
                     for p in page_sequence(t + 11, 1_000, PAGES) {
-                        let page = pool.read(PageId::new(seg, p));
+                        let page = pool.read(PageId::new(seg, p)).unwrap();
                         assert_eq!(page[0], p as u8);
                     }
                 });

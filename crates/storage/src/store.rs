@@ -1,11 +1,27 @@
 //! Page stores: segmented fixed-page address spaces, in memory or on disk.
+//!
+//! Every I/O-bearing operation returns a [`StorageResult`]: a flaky disk
+//! fails the one query that touched it, never the process. On-disk
+//! segments (format v2) carry a per-page trailer — CRC32 over the page
+//! bytes plus a magic — so bit rot surfaces as
+//! [`StorageError::ChecksumMismatch`] and a partially-overwritten slot as
+//! [`StorageError::TornWrite`]. Format v1 segments (no trailer) remain
+//! readable for backward compatibility.
 
+use crate::error::{crc32, StorageError, StorageResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 /// Fixed page size, in bytes.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of per-page trailer in format-v2 segment files: CRC32
+/// (little-endian) + [`PAGE_TRAILER_MAGIC`].
+pub const PAGE_TRAILER_LEN: usize = 8;
+
+/// Trailer magic sealing a fully-written v2 page slot.
+pub const PAGE_TRAILER_MAGIC: [u8; 4] = *b"XPG2";
 
 /// Identifies a segment (≈ one file: an inverted list, a B+-tree, ...).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,17 +47,18 @@ impl PageId {
 /// of shorter buffers are zero-padded.
 pub trait PageStore {
     /// Creates a new empty segment.
-    fn create_segment(&mut self) -> SegmentId;
+    fn create_segment(&mut self) -> StorageResult<SegmentId>;
     /// Number of segments.
     fn segment_count(&self) -> u32;
-    /// Number of pages in a segment.
+    /// Number of pages in a segment (0 for an unknown segment).
     fn page_count(&self, segment: SegmentId) -> u32;
     /// Appends a page to a segment, returning its offset.
-    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32;
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> StorageResult<u32>;
     /// Overwrites an existing page.
-    fn write_page(&mut self, id: PageId, data: &[u8]);
-    /// Reads a page into `buf` (must be `PAGE_SIZE` long).
-    fn read_page(&self, id: PageId, buf: &mut [u8]);
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> StorageResult<()>;
+    /// Reads a page into `buf` (must be `PAGE_SIZE` long), verifying its
+    /// integrity where the medium supports it.
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()>;
     /// Total bytes occupied by a segment.
     fn segment_bytes(&self, segment: SegmentId) -> u64 {
         self.page_count(segment) as u64 * PAGE_SIZE as u64
@@ -65,6 +82,20 @@ impl MemStore {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn segment(&self, segment: SegmentId) -> StorageResult<&Vec<Box<[u8]>>> {
+        self.segments.get(segment.0 as usize).ok_or(StorageError::SegmentOutOfRange {
+            segment,
+            segments: self.segments.len() as u32,
+        })
+    }
+
+    fn segment_mut(&mut self, segment: SegmentId) -> StorageResult<&mut Vec<Box<[u8]>>> {
+        let segments = self.segments.len() as u32;
+        self.segments
+            .get_mut(segment.0 as usize)
+            .ok_or(StorageError::SegmentOutOfRange { segment, segments })
+    }
 }
 
 fn to_page(data: &[u8]) -> Box<[u8]> {
@@ -81,9 +112,9 @@ fn to_full_page(data: &[u8]) -> Box<[u8]> {
 }
 
 impl PageStore for MemStore {
-    fn create_segment(&mut self) -> SegmentId {
+    fn create_segment(&mut self) -> StorageResult<SegmentId> {
         self.segments.push(Vec::new());
-        SegmentId(self.segments.len() as u32 - 1)
+        Ok(SegmentId(self.segments.len() as u32 - 1))
     }
 
     fn segment_count(&self) -> u32 {
@@ -91,32 +122,70 @@ impl PageStore for MemStore {
     }
 
     fn page_count(&self, segment: SegmentId) -> u32 {
-        self.segments[segment.0 as usize].len() as u32
+        self.segments.get(segment.0 as usize).map_or(0, |s| s.len() as u32)
     }
 
-    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
-        let seg = &mut self.segments[segment.0 as usize];
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> StorageResult<u32> {
+        let seg = self.segment_mut(segment)?;
         seg.push(to_page(data));
-        seg.len() as u32 - 1
+        Ok(seg.len() as u32 - 1)
     }
 
-    fn write_page(&mut self, id: PageId, data: &[u8]) {
-        self.segments[id.segment.0 as usize][id.page as usize] = to_page(data);
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> StorageResult<()> {
+        let seg = self.segment_mut(id.segment)?;
+        let pages = seg.len() as u32;
+        let slot = seg
+            .get_mut(id.page as usize)
+            .ok_or(StorageError::PageOutOfRange { id, pages })?;
+        *slot = to_page(data);
+        Ok(())
     }
 
-    fn read_page(&self, id: PageId, buf: &mut [u8]) {
-        let data = &self.segments[id.segment.0 as usize][id.page as usize];
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        let seg = self.segment(id.segment)?;
+        let pages = seg.len() as u32;
+        let data = seg
+            .get(id.page as usize)
+            .ok_or(StorageError::PageOutOfRange { id, pages })?;
         buf[..data.len()].copy_from_slice(data);
         buf[data.len()..].fill(0);
+        Ok(())
+    }
+}
+
+/// On-disk segment file layout version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// Bare [`PAGE_SIZE`] slots, no integrity trailer (the original
+    /// layout; read-compatible, never written for new stores).
+    V1,
+    /// [`PAGE_SIZE`] + [`PAGE_TRAILER_LEN`] slots: page bytes, CRC32 of
+    /// them (LE), and the [`PAGE_TRAILER_MAGIC`].
+    V2,
+}
+
+impl StoreFormat {
+    fn slot_size(self) -> u64 {
+        match self {
+            StoreFormat::V1 => PAGE_SIZE as u64,
+            StoreFormat::V2 => (PAGE_SIZE + PAGE_TRAILER_LEN) as u64,
+        }
     }
 }
 
 /// File-backed store: one file per segment inside a directory, mirroring
 /// the paper's "inverted lists were implemented in the file system".
+///
+/// A `FORMAT` marker file records the layout version. Directories written
+/// before checksumming existed have no marker; they are attached as
+/// [`StoreFormat::V1`] and read without verification. New or empty
+/// directories become [`StoreFormat::V2`], where every page slot carries a
+/// CRC32 + magic trailer verified on each read.
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
     files: Vec<FileSegment>,
+    format: StoreFormat,
 }
 
 #[derive(Debug)]
@@ -128,30 +197,144 @@ struct FileSegment {
 impl FileStore {
     /// Opens (creating if needed) a store rooted at `dir`. Existing
     /// `seg-*.pages` files are reattached in segment-id order.
-    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::io("create store dir", e))?;
+        let format_path = dir.join("FORMAT");
+        let format = match std::fs::read_to_string(&format_path) {
+            Ok(tag) => match tag.trim() {
+                "1" => StoreFormat::V1,
+                "2" => StoreFormat::V2,
+                other => {
+                    return Err(StorageError::corrupt(format!(
+                        "unknown store FORMAT tag {other:?} in {}",
+                        format_path.display()
+                    )))
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if dir.join("seg-0.pages").exists() {
+                    // Pre-checksum store: no marker, bare pages.
+                    StoreFormat::V1
+                } else {
+                    std::fs::write(&format_path, "2\n")
+                        .map_err(|e| StorageError::io("write store FORMAT", e))?;
+                    StoreFormat::V2
+                }
+            }
+            Err(e) => return Err(StorageError::io("read store FORMAT", e)),
+        };
+        let slot = format.slot_size();
         let mut files = Vec::new();
         for i in 0.. {
             let path = dir.join(format!("seg-{i}.pages"));
             if !path.exists() {
                 break;
             }
-            let file = OpenOptions::new().read(true).write(true).open(&path)?;
-            let pages = (file.metadata()?.len() / PAGE_SIZE as u64) as u32;
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(|e| StorageError::io("open segment file", e))?;
+            let len = file.metadata().map_err(|e| StorageError::io("stat segment file", e))?.len();
+            // A trailing partial slot (crash mid-append) is ignored: the
+            // page was never acknowledged, so it does not exist.
+            let pages = (len / slot) as u32;
             files.push(FileSegment { file, pages });
         }
-        Ok(FileStore { dir, files })
+        Ok(FileStore { dir, files, format })
     }
 
     /// The root directory.
     pub fn dir(&self) -> &std::path::Path {
         &self.dir
     }
+
+    /// The on-disk layout version this store reads and writes.
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// Flushes every segment file's data and metadata to the device.
+    pub fn sync(&self) -> StorageResult<()> {
+        for seg in &self.files {
+            seg.file.sync_all().map_err(|e| StorageError::io("fsync segment file", e))?;
+        }
+        Ok(())
+    }
+
+    /// Reads back every page of every segment, verifying trailers and
+    /// checksums (v2). A clean pass proves the files are fully readable
+    /// and uncorrupted; the first damaged page aborts with its typed
+    /// error. Used by engine open to fail loudly on silent corruption.
+    pub fn verify(&self) -> StorageResult<()> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for s in 0..self.segment_count() {
+            let seg = SegmentId(s);
+            for p in 0..self.page_count(seg) {
+                self.read_page(PageId::new(seg, p), &mut buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn segment(&self, segment: SegmentId) -> StorageResult<&FileSegment> {
+        self.files.get(segment.0 as usize).ok_or(StorageError::SegmentOutOfRange {
+            segment,
+            segments: self.files.len() as u32,
+        })
+    }
+
+    fn segment_mut(&mut self, segment: SegmentId) -> StorageResult<&mut FileSegment> {
+        let segments = self.files.len() as u32;
+        self.files
+            .get_mut(segment.0 as usize)
+            .ok_or(StorageError::SegmentOutOfRange { segment, segments })
+    }
+
+    /// Serializes `data` into one on-disk slot for this format.
+    fn encode_slot(&self, data: &[u8]) -> Box<[u8]> {
+        match self.format {
+            StoreFormat::V1 => to_full_page(data),
+            StoreFormat::V2 => {
+                let page = to_full_page(data);
+                let mut slot = vec![0u8; PAGE_SIZE + PAGE_TRAILER_LEN].into_boxed_slice();
+                slot[..PAGE_SIZE].copy_from_slice(&page);
+                slot[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc32(&page).to_le_bytes());
+                slot[PAGE_SIZE + 4..].copy_from_slice(&PAGE_TRAILER_MAGIC);
+                slot
+            }
+        }
+    }
+
+    fn write_slot(seg: &mut FileSegment, offset: u64, slot: &[u8], op: &'static str) -> StorageResult<()> {
+        seg.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| seg.file.write_all(slot))
+            .map_err(|e| StorageError::io(op, e))
+    }
+
+    fn read_slot(seg: &FileSegment, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        // A true positional read: concurrent `&self` readers sharing one
+        // file descriptor must not race on the seek cursor.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            seg.file.read_exact_at(buf, offset).map_err(|e| StorageError::io("read page", e))
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut f = &seg.file;
+            f.seek(SeekFrom::Start(offset))
+                .and_then(|_| f.read_exact(buf))
+                .map_err(|e| StorageError::io("read page", e))
+        }
+    }
 }
 
 impl PageStore for FileStore {
-    fn create_segment(&mut self) -> SegmentId {
+    fn create_segment(&mut self) -> StorageResult<SegmentId> {
         let id = self.files.len() as u32;
         let path = self.dir.join(format!("seg-{id}.pages"));
         let file = OpenOptions::new()
@@ -160,9 +343,9 @@ impl PageStore for FileStore {
             .create(true)
             .truncate(true)
             .open(path)
-            .expect("create segment file");
+            .map_err(|e| StorageError::io("create segment file", e))?;
         self.files.push(FileSegment { file, pages: 0 });
-        SegmentId(id)
+        Ok(SegmentId(id))
     }
 
     fn segment_count(&self) -> u32 {
@@ -170,46 +353,52 @@ impl PageStore for FileStore {
     }
 
     fn page_count(&self, segment: SegmentId) -> u32 {
-        self.files[segment.0 as usize].pages
+        self.files.get(segment.0 as usize).map_or(0, |s| s.pages)
     }
 
-    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> u32 {
-        let seg = &mut self.files[segment.0 as usize];
-        let page = to_full_page(data);
-        seg.file
-            .seek(SeekFrom::Start(seg.pages as u64 * PAGE_SIZE as u64))
-            .and_then(|_| seg.file.write_all(&page))
-            .expect("append page");
+    fn append_page(&mut self, segment: SegmentId, data: &[u8]) -> StorageResult<u32> {
+        let slot = self.encode_slot(data);
+        let slot_size = self.format.slot_size();
+        let seg = self.segment_mut(segment)?;
+        Self::write_slot(seg, seg.pages as u64 * slot_size, &slot, "append page")?;
         seg.pages += 1;
-        seg.pages - 1
+        Ok(seg.pages - 1)
     }
 
-    fn write_page(&mut self, id: PageId, data: &[u8]) {
-        let seg = &mut self.files[id.segment.0 as usize];
-        assert!(id.page < seg.pages, "write to unallocated page");
-        let page = to_full_page(data);
-        seg.file
-            .seek(SeekFrom::Start(id.page as u64 * PAGE_SIZE as u64))
-            .and_then(|_| seg.file.write_all(&page))
-            .expect("write page");
-    }
-
-    fn read_page(&self, id: PageId, buf: &mut [u8]) {
-        let seg = &self.files[id.segment.0 as usize];
-        assert!(id.page < seg.pages, "read of unallocated page");
-        let offset = id.page as u64 * PAGE_SIZE as u64;
-        // A true positional read: concurrent `&self` readers sharing one
-        // file descriptor must not race on the seek cursor.
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            seg.file.read_exact_at(buf, offset).expect("read page");
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> StorageResult<()> {
+        let slot = self.encode_slot(data);
+        let slot_size = self.format.slot_size();
+        let seg = self.segment_mut(id.segment)?;
+        if id.page >= seg.pages {
+            return Err(StorageError::PageOutOfRange { id, pages: seg.pages });
         }
-        #[cfg(not(unix))]
-        {
-            use std::io::Read;
-            let mut f = &seg.file;
-            f.seek(SeekFrom::Start(offset)).and_then(|_| f.read_exact(buf)).expect("read page");
+        Self::write_slot(seg, id.page as u64 * slot_size, &slot, "write page")
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        let seg = self.segment(id.segment)?;
+        if id.page >= seg.pages {
+            return Err(StorageError::PageOutOfRange { id, pages: seg.pages });
+        }
+        let offset = id.page as u64 * self.format.slot_size();
+        match self.format {
+            StoreFormat::V1 => Self::read_slot(seg, offset, buf),
+            StoreFormat::V2 => {
+                let mut slot = [0u8; PAGE_SIZE + PAGE_TRAILER_LEN];
+                Self::read_slot(seg, offset, &mut slot)?;
+                if slot[PAGE_SIZE + 4..] != PAGE_TRAILER_MAGIC {
+                    return Err(StorageError::TornWrite { id });
+                }
+                let stored = u32::from_le_bytes(
+                    slot[PAGE_SIZE..PAGE_SIZE + 4].try_into().expect("4-byte slice"),
+                );
+                let computed = crc32(&slot[..PAGE_SIZE]);
+                if stored != computed {
+                    return Err(StorageError::ChecksumMismatch { id, stored, computed });
+                }
+                buf.copy_from_slice(&slot[..PAGE_SIZE]);
+                Ok(())
+            }
         }
     }
 }
@@ -219,28 +408,46 @@ mod tests {
     use super::*;
 
     fn exercise(store: &mut dyn PageStore) {
-        let a = store.create_segment();
-        let b = store.create_segment();
+        let a = store.create_segment().unwrap();
+        let b = store.create_segment().unwrap();
         assert_eq!(store.segment_count(), 2);
-        let p0 = store.append_page(a, b"hello");
-        let p1 = store.append_page(a, &[7u8; PAGE_SIZE]);
-        store.append_page(b, b"other segment");
+        let p0 = store.append_page(a, b"hello").unwrap();
+        let p1 = store.append_page(a, &[7u8; PAGE_SIZE]).unwrap();
+        store.append_page(b, b"other segment").unwrap();
         assert_eq!((p0, p1), (0, 1));
         assert_eq!(store.page_count(a), 2);
         assert_eq!(store.page_count(b), 1);
 
         let mut buf = vec![0u8; PAGE_SIZE];
-        store.read_page(PageId::new(a, 0), &mut buf);
+        store.read_page(PageId::new(a, 0), &mut buf).unwrap();
         assert_eq!(&buf[..5], b"hello");
         assert_eq!(buf[5], 0, "short writes are zero-padded");
 
-        store.write_page(PageId::new(a, 0), b"rewritten");
-        store.read_page(PageId::new(a, 0), &mut buf);
+        store.write_page(PageId::new(a, 0), b"rewritten").unwrap();
+        store.read_page(PageId::new(a, 0), &mut buf).unwrap();
         assert_eq!(&buf[..9], b"rewritten");
 
-        store.read_page(PageId::new(b, 0), &mut buf);
+        store.read_page(PageId::new(b, 0), &mut buf).unwrap();
         assert_eq!(&buf[..13], b"other segment");
         assert_eq!(store.segment_bytes(a), 2 * PAGE_SIZE as u64);
+
+        // Out-of-range access is a typed error, not a panic.
+        assert!(matches!(
+            store.read_page(PageId::new(a, 99), &mut buf),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.read_page(PageId::new(SegmentId(55), 0), &mut buf),
+            Err(StorageError::SegmentOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.write_page(PageId::new(a, 99), b"x"),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("xrank-store-test-{tag}-{}", std::process::id()))
     }
 
     #[test]
@@ -250,19 +457,132 @@ mod tests {
 
     #[test]
     fn file_store_basics_and_reopen() {
-        let dir = std::env::temp_dir().join(format!("xrank-store-test-{}", std::process::id()));
+        let dir = temp_dir("basics");
         let _ = std::fs::remove_dir_all(&dir);
         {
             let mut store = FileStore::open(&dir).unwrap();
+            assert_eq!(store.format(), StoreFormat::V2);
             exercise(&mut store);
         }
         // Re-open and verify persistence.
         let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.format(), StoreFormat::V2);
         assert_eq!(store.segment_count(), 2);
         assert_eq!(store.page_count(SegmentId(0)), 2);
         let mut buf = vec![0u8; PAGE_SIZE];
-        store.read_page(PageId::new(SegmentId(0), 0), &mut buf);
+        store.read_page(PageId::new(SegmentId(0), 0), &mut buf).unwrap();
         assert_eq!(&buf[..9], b"rewritten");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_directory_without_marker_reads_back() {
+        let dir = temp_dir("v1");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-write a v1 segment: two bare 4096-byte pages, no FORMAT.
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..3].copy_from_slice(b"old");
+        let mut raw = page.clone();
+        page[..3].copy_from_slice(b"two");
+        raw.extend_from_slice(&page);
+        std::fs::write(dir.join("seg-0.pages"), &raw).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.format(), StoreFormat::V1);
+        assert_eq!(store.page_count(SegmentId(0)), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(PageId::new(SegmentId(0), 0), &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"old");
+        store.read_page(PageId::new(SegmentId(0), 1), &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"two");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_page_fails_checksum() {
+        let dir = temp_dir("crc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let seg;
+        {
+            let mut store = FileStore::open(&dir).unwrap();
+            seg = store.create_segment().unwrap();
+            store.append_page(seg, b"good page").unwrap();
+            store.append_page(seg, b"stays fine").unwrap();
+        }
+        // Flip one payload bit of page 0.
+        let path = dir.join("seg-0.pages");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[100] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = store.read_page(PageId::new(seg, 0), &mut buf).unwrap_err();
+        assert!(matches!(err, StorageError::ChecksumMismatch { .. }), "{err}");
+        // The sibling page is untouched and still verifies.
+        store.read_page(PageId::new(seg, 1), &mut buf).unwrap();
+        assert_eq!(&buf[..10], b"stays fine");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn smashed_trailer_is_a_torn_write() {
+        let dir = temp_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let seg;
+        {
+            let mut store = FileStore::open(&dir).unwrap();
+            seg = store.create_segment().unwrap();
+            store.append_page(seg, b"whole").unwrap();
+        }
+        let path = dir.join("seg-0.pages");
+        let mut raw = std::fs::read(&path).unwrap();
+        // Zero the trailer magic, as if the write never completed.
+        let magic_at = PAGE_SIZE + 4;
+        raw[magic_at..magic_at + 4].fill(0);
+        std::fs::write(&path, &raw).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = store.read_page(PageId::new(seg, 0), &mut buf).unwrap_err();
+        assert!(matches!(err, StorageError::TornWrite { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_partial_slot_is_ignored() {
+        let dir = temp_dir("partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        let seg;
+        {
+            let mut store = FileStore::open(&dir).unwrap();
+            seg = store.create_segment().unwrap();
+            store.append_page(seg, b"committed").unwrap();
+            store.append_page(seg, b"will be torn").unwrap();
+        }
+        // Truncate mid-slot: the crash happened during the second append.
+        let path = dir.join("seg-0.pages");
+        let full = std::fs::read(&path).unwrap();
+        let slot = PAGE_SIZE + PAGE_TRAILER_LEN;
+        std::fs::write(&path, &full[..slot + slot / 2]).unwrap();
+
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.page_count(seg), 1, "partial slot must not count");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(PageId::new(seg, 0), &mut buf).unwrap();
+        assert_eq!(&buf[..9], b"committed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_format_tag_is_corrupt() {
+        let dir = temp_dir("badfmt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("FORMAT"), "99\n").unwrap();
+        let err = FileStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -270,7 +590,7 @@ mod tests {
     #[should_panic(expected = "exceeds PAGE_SIZE")]
     fn oversized_page_rejected() {
         let mut store = MemStore::new();
-        let seg = store.create_segment();
-        store.append_page(seg, &vec![0u8; PAGE_SIZE + 1]);
+        let seg = store.create_segment().unwrap();
+        let _ = store.append_page(seg, &vec![0u8; PAGE_SIZE + 1]);
     }
 }

@@ -118,3 +118,107 @@ mod tests {
         assert!(get_str(&mut r).is_err());
     }
 }
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes the canonical five-field sequence, verifying each field.
+    fn decode_all(
+        mut r: &[u8],
+        a: u32,
+        b: u64,
+        fbits: u64,
+        bytes: &[u8],
+        s: &str,
+    ) -> io::Result<()> {
+        let check = |ok: bool| {
+            ok.then_some(())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "field mismatch"))
+        };
+        check(get_u32(&mut r)? == a)?;
+        check(get_u64(&mut r)? == b)?;
+        check(get_f64(&mut r)?.to_bits() == fbits)?;
+        check(get_bytes(&mut r)? == bytes)?;
+        check(get_str(&mut r)? == s)?;
+        check(r.is_empty())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Full-buffer decode round-trips; every strict prefix fails
+        /// cleanly (no panic, no partial garbage accepted as complete).
+        #[test]
+        fn roundtrip_and_short_reads_at_every_prefix(
+            a in any::<u32>(),
+            b in any::<u64>(),
+            fbits in any::<u64>(),
+            bytes in proptest::collection::vec(any::<u8>(), 0..48),
+            raw in proptest::collection::vec(any::<u8>(), 0..12),
+        ) {
+            let s: String = String::from_utf8_lossy(&raw).into_owned();
+            let mut buf = Vec::new();
+            put_u32(&mut buf, a).unwrap();
+            put_u64(&mut buf, b).unwrap();
+            put_f64(&mut buf, f64::from_bits(fbits)).unwrap();
+            put_bytes(&mut buf, &bytes).unwrap();
+            put_str(&mut buf, &s).unwrap();
+
+            prop_assert!(decode_all(&buf, a, b, fbits, &bytes, &s).is_ok());
+            for cut in 0..buf.len() {
+                prop_assert!(
+                    decode_all(&buf[..cut], a, b, fbits, &bytes, &s).is_err(),
+                    "prefix of {cut}/{} bytes decoded as complete", buf.len()
+                );
+            }
+        }
+
+        /// Each primitive alone: round-trip plus short reads at every
+        /// prefix of its own encoding.
+        #[test]
+        fn primitive_roundtrips(v32 in any::<u32>(), v64 in any::<u64>()) {
+            let mut b32 = Vec::new();
+            put_u32(&mut b32, v32).unwrap();
+            prop_assert_eq!(get_u32(&mut &b32[..]).unwrap(), v32);
+            for cut in 0..b32.len() {
+                prop_assert!(get_u32(&mut &b32[..cut]).is_err());
+            }
+
+            let mut b64 = Vec::new();
+            put_u64(&mut b64, v64).unwrap();
+            prop_assert_eq!(get_u64(&mut &b64[..]).unwrap(), v64);
+            for cut in 0..b64.len() {
+                prop_assert!(get_u64(&mut &b64[..cut]).is_err());
+            }
+
+            let mut bf = Vec::new();
+            put_f64(&mut bf, f64::from_bits(v64)).unwrap();
+            prop_assert_eq!(get_f64(&mut &bf[..]).unwrap().to_bits(), v64);
+            for cut in 0..bf.len() {
+                prop_assert!(get_f64(&mut &bf[..cut]).is_err());
+            }
+        }
+
+        /// Byte strings: round-trip, short reads at every prefix, and the
+        /// reader never consumes past the encoded field.
+        #[test]
+        fn bytes_roundtrip_and_tail_preserved(
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            tail in proptest::collection::vec(any::<u8>(), 0..8),
+        ) {
+            let mut buf = Vec::new();
+            put_bytes(&mut buf, &payload).unwrap();
+            let field_len = buf.len();
+            buf.extend_from_slice(&tail);
+
+            let mut r = &buf[..];
+            prop_assert_eq!(get_bytes(&mut r).unwrap(), payload);
+            prop_assert_eq!(r, &tail[..], "reader overran the field");
+            for cut in 0..field_len {
+                prop_assert!(get_bytes(&mut &buf[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -30,10 +30,10 @@ proptest! {
     fn get_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
         let (pool, tree, model) = build(&keys);
         for k in keys.iter().take(25) {
-            prop_assert_eq!(tree.get(&pool, k), model.get(k).cloned(), "present key");
+            prop_assert_eq!(tree.get(&pool, k).unwrap(), model.get(k).cloned(), "present key");
         }
         for p in &probes {
-            prop_assert_eq!(tree.get(&pool, p), model.get(p).cloned(), "probe key");
+            prop_assert_eq!(tree.get(&pool, p).unwrap(), model.get(p).cloned(), "probe key");
         }
     }
 
@@ -41,7 +41,7 @@ proptest! {
     fn lowest_geq_matches_model(keys in keys(), probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)) {
         let (pool, tree, model) = build(&keys);
         for p in &probes {
-            let (entry, pred) = tree.lowest_geq(&pool, p);
+            let (entry, pred) = tree.lowest_geq(&pool, p).unwrap();
             let expect_entry = model.range::<[u8], _>((
                 std::ops::Bound::Included(p.as_slice()),
                 std::ops::Bound::Unbounded,
@@ -69,6 +69,7 @@ proptest! {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         let got: Vec<(Vec<u8>, Vec<u8>)> = tree
             .range(&pool, &lo, &hi)
+            .unwrap()
             .into_iter()
             .map(|e| (e.key, e.value))
             .collect();
@@ -85,11 +86,11 @@ proptest! {
     #[test]
     fn cursor_walk_enumerates_model_in_order(keys in keys()) {
         let (pool, tree, model) = build(&keys);
-        let (mut cur, _) = tree.lowest_geq(&pool, b"");
+        let (mut cur, _) = tree.lowest_geq(&pool, b"").unwrap();
         let mut walked = Vec::new();
         while let Some(e) = cur {
             walked.push(e.key.clone());
-            cur = tree.next(&pool, e.loc);
+            cur = tree.next(&pool, e.loc).unwrap();
         }
         let expect: Vec<Vec<u8>> = model.keys().cloned().collect();
         prop_assert_eq!(walked, expect);

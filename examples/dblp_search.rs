@@ -39,7 +39,7 @@ fn main() {
     // papers should surface first.
     let prolific = xrank::datagen::text::word_at_rank(11); // rank-0 author's first name
     let query = format!("author {prolific}");
-    let results = engine.search(&query, 8);
+    let results = engine.search(&query, 8).unwrap();
     println!("query: {query:?}");
     print!("{}", results.render());
 
@@ -47,7 +47,7 @@ fn main() {
     let w1 = xrank::datagen::text::word_at_rank(3);
     let w2 = xrank::datagen::text::word_at_rank(5);
     let query = format!("{w1} {w2}");
-    let results = engine.search(&query, 8);
+    let results = engine.search(&query, 8).unwrap();
     println!("\nquery: {query:?}  ({} hits)", results.hits.len());
     print!("{}", results.render());
     println!(

@@ -41,7 +41,7 @@ fn main() {
         .unwrap();
 
     let engine = builder.build();
-    let results = engine.search("database systems", 10);
+    let results = engine.search("database systems", 10).unwrap();
     println!("query: \"database systems\" over {} documents", engine.collection().doc_count());
     print!("{}", results.render());
 

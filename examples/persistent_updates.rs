@@ -29,7 +29,7 @@ fn main() {
         )
         .unwrap();
     let engine = builder.build_persistent(&dir).expect("writable temp dir");
-    let on_build = engine.search("keyword search", 10);
+    let on_build = engine.search("keyword search", 10).unwrap();
     println!("built at {}:", dir.display());
     print!("{}", on_build.render());
     drop(engine);
@@ -37,7 +37,7 @@ fn main() {
     // --- reopen without re-indexing --------------------------------------
     let reopened =
         XRankEngine::open(&dir, EngineConfig::default()).expect("index directory intact");
-    let after = reopened.search("keyword search", 10);
+    let after = reopened.search("keyword search", 10).unwrap();
     assert_eq!(on_build.hits.len(), after.hits.len());
     println!("\nreopened: identical {} hits, zero re-indexing", after.hits.len());
     drop(reopened);
@@ -48,23 +48,23 @@ fn main() {
         .add_xml("a", "<doc><t>alpha searchable text</t></doc>")
         .unwrap();
     updatable.commit();
-    assert_eq!(updatable.search("alpha", 10).hits.len(), 1);
+    assert_eq!(updatable.search("alpha", 10).unwrap().hits.len(), 1);
 
     updatable
         .add_xml("b", "<doc><t>beta arrives later</t></doc>")
         .unwrap();
-    assert!(updatable.search("beta", 10).hits.is_empty(), "staged, not yet visible");
+    assert!(updatable.search("beta", 10).unwrap().hits.is_empty(), "staged, not yet visible");
     updatable.commit();
-    assert!(!updatable.search("beta", 10).hits.is_empty());
+    assert!(!updatable.search("beta", 10).unwrap().hits.is_empty());
     println!("update lifecycle: staged add became searchable after commit");
 
     updatable.delete("a");
-    assert!(updatable.search("alpha", 10).hits.is_empty(), "tombstoned immediately");
+    assert!(updatable.search("alpha", 10).unwrap().hits.is_empty(), "tombstoned immediately");
     println!("delete: tombstone filtered results immediately");
 
     updatable.compact();
     assert_eq!(updatable.tombstone_count(), 0);
-    assert!(!updatable.search("beta", 10).hits.is_empty());
+    assert!(!updatable.search("beta", 10).unwrap().hits.is_empty());
     println!("compact: single engine again, {} live docs", updatable.doc_count());
 
     std::fs::remove_dir_all(&dir).ok();

@@ -36,7 +36,7 @@ fn main() {
     let engine = builder.build();
 
     for query in ["XQL language", "Soffer", "Xyleme", "author Ricardo"] {
-        let results = engine.search(query, 5);
+        let results = engine.search(query, 5).unwrap();
         println!("query: {query:?}  ({} hits)", results.hits.len());
         print!("{}", results.render());
         println!();
@@ -45,7 +45,7 @@ fn main() {
     // The paper's headline behaviour: "XQL language" returns the
     // <subsection> (most specific) and the <paper> (independent title +
     // abstract occurrences) — but never the <section>/<body> ancestors.
-    let results = engine.search("XQL language", 5);
+    let results = engine.search("XQL language", 5).unwrap();
     let tags: Vec<&str> = results.hits.iter().map(|h| h.path.last().unwrap().as_str()).collect();
     assert!(tags.contains(&"subsection"));
     assert!(tags.contains(&"paper"));

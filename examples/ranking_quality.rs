@@ -50,7 +50,7 @@ fn main() {
 
     // --- anecdote 1: 'gray' returns author + title elements of important
     // papers first; the uncited paper's title trails.
-    let res = engine.search("gray", 10);
+    let res = engine.search("gray", 10).unwrap();
     println!("query 'gray':");
     print!("{}", res.render());
     let order: Vec<&str> = res.hits.iter().map(|h| h.snippet.as_str()).collect();
@@ -67,7 +67,7 @@ fn main() {
     // --- anecdote 2: 'author gray' demotes the gray-codes <title>
     // (keyword 'author' is far from 'gray' there) relative to the <author>
     // element (where the tag name itself is adjacent to the value).
-    let res2 = engine.search("author gray", 10);
+    let res2 = engine.search("author gray", 10).unwrap();
     println!("\nquery 'author gray':");
     print!("{}", res2.render());
     let author_hit = res2.hits.iter().position(|h| h.path.last().unwrap() == "author");
@@ -94,7 +94,7 @@ fn main() {
         )
         .unwrap();
     let engine2 = builder.build();
-    let res3 = engine2.search("stained mirror", 5);
+    let res3 = engine2.search("stained mirror", 5).unwrap();
     println!("\nquery 'stained mirror':");
     print!("{}", res3.render());
     let top = &res3.hits[0];

@@ -34,7 +34,7 @@ fn main() {
     let w1 = xrank::datagen::text::word_at_rank(1);
     let w2 = xrank::datagen::text::word_at_rank(2);
     let query = format!("{w1} {w2}");
-    let results = engine.search(&query, 6);
+    let results = engine.search(&query, 6).unwrap();
     println!("query: {query:?} (all elements are answer nodes)");
     print!("{}", results.render());
     let deepest = results.hits.iter().map(|h| h.path.len()).max().unwrap_or(0);
@@ -52,7 +52,7 @@ fn main() {
     });
     builder.add_xml(&dataset.docs[0].0, &dataset.docs[0].1).unwrap();
     let engine = builder.build();
-    let results = engine.search(&query, 6);
+    let results = engine.search(&query, 6).unwrap();
     println!("query: {query:?} (answer nodes = item/auction)");
     print!("{}", results.render());
     for h in &results.hits {

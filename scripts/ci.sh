@@ -12,6 +12,13 @@ cargo build --release --offline
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace --offline
 
+echo "== fault-injection suite (explicit) =="
+cargo test -q -p xrank-core --offline --test fault_injection
+cargo test -q -p xrank-core --offline --test persistence
+
+echo "== fault smoke (corrupt a page, assert typed failure + recovery) =="
+scripts/fault_smoke.sh
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Fault smoke test against a real on-disk engine:
+#   1. build a persistent demo index,
+#   2. search it (must succeed),
+#   3. flip one random byte in a random page of a segment file,
+#   4. assert the engine now refuses to open / query with a typed error
+#      (checksum mismatch), never a panic,
+#   5. rebuild over the damaged directory and assert full recovery.
+#
+# Usage: scripts/fault_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/xrank-fault-smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+XRANK=target/release/xrank
+
+echo "== build persistent demo index =="
+cargo build --release --offline --bin xrank
+"$XRANK" demo "$DIR/idx" --dblp 300 > /dev/null
+"$XRANK" search "$DIR/idx" sigmod paper -m 5 > /dev/null
+echo "healthy index serves queries"
+
+echo "== corrupt one random page =="
+SEG=$(ls "$DIR"/idx/store/seg-*.pages | head -n 1)
+PAGES=$(( $(stat -c %s "$SEG") / 4104 ))           # PAGE_SIZE + 8-byte trailer
+PAGE=$(( RANDOM % PAGES ))
+OFFSET=$(( PAGE * 4104 + RANDOM % 4096 ))
+printf '\xff' | dd of="$SEG" bs=1 seek="$OFFSET" count=1 conv=notrunc status=none
+echo "flipped byte at offset $OFFSET (page $PAGE) of $(basename "$SEG")"
+
+echo "== damaged index must fail with a typed error, not a panic =="
+set +e
+OUT=$("$XRANK" search "$DIR/idx" sigmod paper -m 5 2>&1)
+STATUS=$?
+set -e
+if [ "$STATUS" -eq 0 ]; then
+    echo "FAIL: corrupted index served the query"; exit 1
+fi
+case "$OUT" in
+    *panicked*) echo "FAIL: panic instead of typed error: $OUT"; exit 1 ;;
+    *checksum*|*corrupt*|*torn*|*error*)
+        echo "typed failure as expected: ${OUT##*$'\n'}" ;;
+    *) echo "FAIL: unrecognized failure mode: $OUT"; exit 1 ;;
+esac
+
+echo "== rebuild over the damaged directory =="
+"$XRANK" demo "$DIR/idx" --dblp 300 > /dev/null
+"$XRANK" search "$DIR/idx" sigmod paper -m 5 > /dev/null
+echo "fault smoke: recovery OK"

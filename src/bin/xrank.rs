@@ -149,7 +149,8 @@ fn cmd_search(args: &[String]) -> CliResult {
     } else {
         let opts = QueryOptions { top_m: m, ..Default::default() };
         engine.search_with(&query, strategy, &opts)
-    };
+    }
+    .map_err(|e| format!("query failed: {e}"))?;
     if results.hits.is_empty() {
         println!("no results for {query:?}");
         return Ok(());

@@ -17,7 +17,7 @@
 //! builder.add_xml("doc", "<paper><title>XQL and Proximal Nodes</title>\
 //!     <body>the XQL query language</body></paper>").unwrap();
 //! let engine = builder.build();
-//! for hit in engine.search("xql language", 10).hits {
+//! for hit in engine.search("xql language", 10).unwrap().hits {
 //!     println!("{:.3e}  <{}>", hit.score, hit.path.join("/"));
 //! }
 //! ```

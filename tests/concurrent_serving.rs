@@ -59,10 +59,10 @@ fn worked_example_parallel_across_all_processors() {
     // the parallel warm runs will make).
     engine.pool().clear_cache();
     for s in STRATEGIES {
-        engine.query("xql language", s, &opts);
+        engine.query("xql language", s, &opts).unwrap();
     }
     let reference: Vec<SearchResults> =
-        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts)).collect();
+        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts).unwrap()).collect();
 
     // Section 4.2.2 semantics hold for the conjunctive processors (the
     // naive baselines intentionally include spurious ancestors).
@@ -87,7 +87,7 @@ fn worked_example_parallel_across_all_processors() {
                 let reference = &reference;
                 scope.spawn(move || {
                     for (i, &s) in STRATEGIES.iter().enumerate() {
-                        let r = engine.query("xql language", s, opts);
+                        let r = engine.query("xql language", s, opts).unwrap();
                         assert_identical(&r, &reference[i], &format!("run {run} thread {t} {s:?}"));
                         assert_eq!(
                             r.io.physical_reads(),
@@ -119,7 +119,7 @@ fn executor_matches_direct_queries() {
     let opts = QueryOptions { top_m: 10, ..engine.config().query.clone() };
     engine.pool().clear_cache();
     let reference: Vec<SearchResults> =
-        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts)).collect();
+        STRATEGIES.iter().map(|&s| engine.query("xql language", s, &opts).unwrap()).collect();
 
     let exec = QueryExecutor::new(Arc::clone(&engine), 3, 4);
     let pending: Vec<_> = (0..30)
@@ -127,11 +127,11 @@ fn executor_matches_direct_queries() {
             let s = STRATEGIES[i % STRATEGIES.len()];
             let mut req = QueryRequest::new("xql language", s);
             req.opts = Some(opts.clone());
-            exec.submit(req)
+            exec.submit(req).unwrap()
         })
         .collect();
     for (i, rx) in pending.into_iter().enumerate() {
-        let r = rx.recv().expect("worker completed");
+        let r = rx.recv().expect("worker completed").unwrap();
         assert_identical(&r, &reference[i % STRATEGIES.len()], &format!("request {i}"));
     }
 }

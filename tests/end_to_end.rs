@@ -36,11 +36,11 @@ fn build_fixture(docs: &[(String, String)]) -> Fixture {
     let direct = direct_postings(&collection, &ranks.scores);
     let naive = naive_postings(&collection, &ranks.scores);
     let mut pool = BufferPool::new(MemStore::new(), 16384);
-    let dil = DilIndex::build(&mut pool, &direct);
-    let rdil = RdilIndex::build(&mut pool, &direct);
-    let hdil = HdilIndex::build(&mut pool, &direct);
-    let naive_id = NaiveIdIndex::build(&mut pool, &naive);
-    let naive_rank = NaiveRankIndex::build(&mut pool, &naive);
+    let dil = DilIndex::build(&mut pool, &direct).unwrap();
+    let rdil = RdilIndex::build(&mut pool, &direct).unwrap();
+    let hdil = HdilIndex::build(&mut pool, &direct).unwrap();
+    let naive_id = NaiveIdIndex::build(&mut pool, &naive).unwrap();
+    let naive_rank = NaiveRankIndex::build(&mut pool, &naive).unwrap();
     Fixture { collection, pool, dil, rdil, hdil, naive_id, naive_rank }
 }
 
@@ -62,9 +62,9 @@ fn resolve(c: &Collection, kws: &[String]) -> Vec<TermId> {
 
 fn check_all_agree(f: &mut Fixture, terms: &[TermId], m: usize) {
     let opts = QueryOptions { top_m: m, ..Default::default() };
-    let d = dil_query::evaluate(&f.pool, &f.dil, terms, &opts);
-    let r = rdil_query::evaluate(&f.pool, &f.rdil, terms, &opts);
-    let h = hdil_query::evaluate(&f.pool, &f.hdil, terms, &opts, &CostModel::default());
+    let d = dil_query::evaluate(&f.pool, &f.dil, terms, &opts).unwrap();
+    let r = rdil_query::evaluate(&f.pool, &f.rdil, terms, &opts).unwrap();
+    let h = hdil_query::evaluate(&f.pool, &f.hdil, terms, &opts, &CostModel::default()).unwrap();
     assert_eq!(d.results.len(), r.results.len(), "RDIL cardinality");
     assert_eq!(d.results.len(), h.results.len(), "HDIL cardinality");
     for (a, b) in d.results.iter().zip(r.results.iter()) {
@@ -76,9 +76,9 @@ fn check_all_agree(f: &mut Fixture, terms: &[TermId], m: usize) {
         assert!((a.score - b.score).abs() < 1e-9, "HDIL score");
     }
     // Naive processors agree with each other and contain the DIL set.
-    let n1 = naive_query::evaluate_id(&f.pool, &f.naive_id, &f.collection, terms, &opts);
+    let n1 = naive_query::evaluate_id(&f.pool, &f.naive_id, &f.collection, terms, &opts).unwrap();
     let n2 =
-        naive_query::evaluate_rank(&f.pool, &f.naive_rank, &f.collection, terms, &opts);
+        naive_query::evaluate_rank(&f.pool, &f.naive_rank, &f.collection, terms, &opts).unwrap();
     assert_eq!(n1.results.len(), n2.results.len(), "naive variants cardinality");
     for (a, b) in n1.results.iter().zip(n2.results.iter()) {
         assert_eq!(a.dewey, b.dewey, "naive variants order");
@@ -176,7 +176,7 @@ fn io_profiles_match_the_papers_story() {
     // DIL: full sequential scan.
     f.pool.clear_cache();
     let before = f.pool.stats();
-    let d = dil_query::evaluate(&f.pool, &f.dil, &hi, &opts);
+    let d = dil_query::evaluate(&f.pool, &f.dil, &hi, &opts).unwrap();
     let dil_io = f.pool.stats().since(&before);
     let list_pages: u64 =
         hi.iter().map(|&t| f.dil.meta(t).unwrap().page_count as u64).sum();
@@ -187,7 +187,7 @@ fn io_profiles_match_the_papers_story() {
     // RDIL: early termination with random probes.
     f.pool.clear_cache();
     let before = f.pool.stats();
-    let r = rdil_query::evaluate(&f.pool, &f.rdil, &hi, &opts);
+    let r = rdil_query::evaluate(&f.pool, &f.rdil, &hi, &opts).unwrap();
     let rdil_io = f.pool.stats().since(&before);
     assert_eq!(d.results.len(), r.results.len());
     assert!(

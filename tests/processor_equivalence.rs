@@ -118,9 +118,9 @@ proptest! {
     ) {
         let (c, postings) = build(&trees);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let dil = DilIndex::build(&mut pool, &postings);
-        let rdil = RdilIndex::build(&mut pool, &postings);
-        let hdil = HdilIndex::build(&mut pool, &postings);
+        let dil = DilIndex::build(&mut pool, &postings).unwrap();
+        let rdil = RdilIndex::build(&mut pool, &postings).unwrap();
+        let hdil = HdilIndex::build(&mut pool, &postings).unwrap();
 
         // Resolve query keywords; de-duplicate (repeated keywords are a
         // degenerate case covered by unit tests).
@@ -133,9 +133,9 @@ proptest! {
         prop_assume!(terms.len() == seen.len()); // every keyword exists
 
         let opts = QueryOptions { top_m: 1000, ..Default::default() };
-        let d = dil_query::evaluate(&pool, &dil, &terms, &opts);
-        let r = rdil_query::evaluate(&pool, &rdil, &terms, &opts);
-        let h = hdil_query::evaluate(&pool, &hdil, &terms, &opts, &CostModel::default());
+        let d = dil_query::evaluate(&pool, &dil, &terms, &opts).unwrap();
+        let r = rdil_query::evaluate(&pool, &rdil, &terms, &opts).unwrap();
+        let h = hdil_query::evaluate(&pool, &hdil, &terms, &opts, &CostModel::default()).unwrap();
 
         // 1. DIL matches the brute-force Result(Q) oracle.
         let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
@@ -166,8 +166,8 @@ proptest! {
         let scores: Vec<f64> = vec![1.0 / c.element_count() as f64; c.element_count()];
         let naive = naive_postings(&c, &scores);
         let mut pool = BufferPool::new(MemStore::new(), 8192);
-        let dil = DilIndex::build(&mut pool, &postings);
-        let nid = NaiveIdIndex::build(&mut pool, &naive);
+        let dil = DilIndex::build(&mut pool, &postings).unwrap();
+        let nid = NaiveIdIndex::build(&mut pool, &naive).unwrap();
 
         let mut seen = HashSet::new();
         let terms: Vec<TermId> = kws
@@ -178,8 +178,8 @@ proptest! {
         prop_assume!(terms.len() == seen.len());
 
         let opts = QueryOptions { top_m: 10_000, ..Default::default() };
-        let d = dil_query::evaluate(&pool, &dil, &terms, &opts);
-        let n = naive_query::evaluate_id(&pool, &nid, &c, &terms, &opts);
+        let d = dil_query::evaluate(&pool, &dil, &terms, &opts).unwrap();
+        let n = naive_query::evaluate_id(&pool, &nid, &c, &terms, &opts).unwrap();
 
         let naive_set: HashSet<DeweyId> = n.results.iter().map(|x| x.dewey.clone()).collect();
         let dil_set: HashSet<DeweyId> = d.results.iter().map(|x| x.dewey.clone()).collect();
