@@ -308,10 +308,63 @@ fn main() {
     }
     println!("{}", t.render());
 
+    // Serving-path metrics snapshot: the same quantities the trials
+    // measured externally, read back from the engine's registry — the
+    // executor's wall-latency histogram and the pool hit-ratio gauge.
+    let snap = engine.metrics_snapshot();
+    let wall = snap.histogram("xrank_executor_wall_us");
+    let (wp50, wp95, wp99) = wall
+        .map(|h| (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)))
+        .unwrap_or((0.0, 0.0, 0.0));
+    let metrics_json = format!(
+        "{{\"queries_total\": {}, \"pool_hit_ratio_ppm\": {}, \
+         \"executor_wall_p50_us\": {wp50:.1}, \"executor_wall_p95_us\": {wp95:.1}, \
+         \"executor_wall_p99_us\": {wp99:.1}, \"executor_queue_depth\": {}, \
+         \"executor_in_flight\": {}}}",
+        snap.counter_family_total("xrank_queries_total"),
+        snap.gauge("xrank_pool_hit_ratio_ppm"),
+        snap.gauge("xrank_executor_queue_depth"),
+        snap.gauge("xrank_executor_in_flight"),
+    );
+    println!(
+        "registry: {} queries recorded, hit ratio {:.1}%, executor wall \
+         p50/p95/p99 = {wp50:.0}/{wp95:.0}/{wp99:.0}us",
+        snap.counter_family_total("xrank_queries_total"),
+        snap.gauge("xrank_pool_hit_ratio_ppm") as f64 / 10_000.0,
+    );
+
+    // Observability overhead gate: the same (HDIL, 2-thread) point with
+    // hot-path recording on vs gated off. A disabled registry reduces
+    // every recording call to one relaxed load and a branch, so enabled
+    // throughput must stay within tolerance of disabled throughput.
+    let mut enabled_qps = 0.0f64;
+    let mut disabled_qps = 0.0f64;
+    for _ in 0..TRIALS {
+        engine.metrics().set_enabled(true);
+        let (q, _, _) = run_trial(&engine, &queries, Strategy::Hdil, 2, total);
+        enabled_qps = enabled_qps.max(q);
+        engine.metrics().set_enabled(false);
+        let (q, _, _) = run_trial(&engine, &queries, Strategy::Hdil, 2, total);
+        disabled_qps = disabled_qps.max(q);
+    }
+    engine.metrics().set_enabled(true);
+    let ratio = if disabled_qps == 0.0 { 1.0 } else { enabled_qps / disabled_qps };
+    let overhead_ok = ratio >= 0.85;
+    println!(
+        "obs overhead: enabled {enabled_qps:.0} qps vs disabled {disabled_qps:.0} qps \
+         (ratio {ratio:.3}) — {}",
+        if overhead_ok { "within tolerance" } else { "REGRESSION" }
+    );
+    let overhead_json = format!(
+        "{{\"enabled_qps\": {enabled_qps:.1}, \"disabled_qps\": {disabled_qps:.1}, \
+         \"ratio\": {ratio:.4}, \"within_tolerance\": {overhead_ok}}}"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"dblp(3000)\",\n  \
          \"hardware_threads\": {hw},\n  \"queries_per_trial\": {total},\n  \
-         \"distinct_queries\": {},\n  \"strategies\": [\n    {}\n  ]\n}}\n",
+         \"distinct_queries\": {},\n  \"metrics\": {metrics_json},\n  \
+         \"obs_overhead\": {overhead_json},\n  \"strategies\": [\n    {}\n  ]\n}}\n",
         queries.len(),
         strategy_blocks.join(",\n    ")
     );

@@ -1,12 +1,17 @@
 //! Engine assembly and the search entry point.
 
 use crate::results::{SearchHit, SearchResults};
+use crate::telemetry::{
+    strategy_label, EngineMetrics, Explain, ObsConfig, SlowQueryEntry, SlowQueryLog, ANY_SLOT,
+};
 use std::collections::HashSet;
+use std::sync::Arc;
 use xrank_graph::{Collection, CollectionBuilder, ElemId, LinkSpec, TermId};
 use xrank_index::{
     direct_postings_weighted, naive_postings, HdilIndex, NaiveIdIndex, NaiveRankIndex,
     RankWeighting, RdilIndex,
 };
+use xrank_obs::{MetricsRegistry, QueryTrace, Stage};
 use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryError, QueryOptions};
 use xrank_rank::{elem_rank, ElemRankParams, RankResult};
 use xrank_storage::{
@@ -63,6 +68,8 @@ pub struct EngineConfig {
     /// Rank source for postings (ElemRank, tf-idf, or a blend — the
     /// Section 7 tf-idf extension).
     pub weighting: RankWeighting,
+    /// Observability: metrics gating, slow-query log threshold/capacity.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +84,7 @@ impl Default for EngineConfig {
             answer_nodes: AnswerNodes::All,
             link_spec: LinkSpec::default(),
             weighting: RankWeighting::ElemRank,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -181,8 +189,8 @@ impl EngineBuilder {
             (None, None)
         };
 
-        Ok(XRankEngine {
-            config: self.config,
+        Ok(XRankEngine::from_parts(
+            self.config,
             collection,
             ranks,
             pool,
@@ -190,8 +198,8 @@ impl EngineBuilder {
             rdil,
             naive_id,
             naive_rank,
-            html_docs: self.html_docs,
-        })
+            self.html_docs,
+        ))
     }
 }
 
@@ -214,6 +222,9 @@ pub struct XRankEngine<S: PageStore = MemStore> {
     naive_id: Option<NaiveIdIndex>,
     naive_rank: Option<NaiveRankIndex>,
     html_docs: HashSet<u32>,
+    metrics: Arc<MetricsRegistry>,
+    emetrics: EngineMetrics,
+    slow_log: SlowQueryLog,
 }
 
 impl<S: PageStore> XRankEngine<S> {
@@ -237,11 +248,19 @@ impl<S: PageStore> XRankEngine<S> {
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let outcome =
-            xrank_query::disjunctive::evaluate(&self.pool, &self.hdil.dil, &terms, &opts)?;
+            match xrank_query::disjunctive::evaluate(&self.pool, &self.hdil.dil, &terms, &opts) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.emetrics.record_err(&e);
+                    return Err(e);
+                }
+            };
         let elapsed = start.elapsed();
         let io = scope.finish();
         let hits = self.present(outcome.results, opts.top_m);
-        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed })
+        self.emetrics.record_ok(ANY_SLOT, elapsed);
+        self.note_slow(query, "any", elapsed, hits.len());
+        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed, trace: None })
     }
 
     /// Searches with an explicit strategy and options. The buffer pool is
@@ -274,9 +293,55 @@ impl<S: PageStore> XRankEngine<S> {
         strategy: Strategy,
         opts: &QueryOptions,
     ) -> Result<SearchResults, QueryError> {
-        let terms = self.resolve_terms(query);
+        self.query_inner(query, strategy, opts, QueryTrace::disabled())
+    }
+
+    /// [`XRankEngine::query`] with per-stage tracing: the returned
+    /// [`SearchResults::trace`] holds the finished per-query timeline
+    /// (stage timings, TA rounds, the HDIL switch decision). Tracing costs
+    /// clock reads on the instrumented stages; the untraced path costs one
+    /// branch per call site.
+    pub fn query_traced(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        opts: &QueryOptions,
+    ) -> Result<SearchResults, QueryError> {
+        self.query_inner(query, strategy, opts, QueryTrace::enabled())
+    }
+
+    /// Runs `query` with tracing on and renders the [`Explain`] view: the
+    /// per-stage timeline plus this query's I/O delta and work counters.
+    pub fn explain(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        opts: &QueryOptions,
+    ) -> Result<Explain, QueryError> {
+        let results = self.query_traced(query, strategy, opts)?;
+        Ok(Explain {
+            query: query.to_string(),
+            strategy: strategy_label(strategy),
+            hits: results.hits.len(),
+            elapsed: results.elapsed,
+            eval: results.eval,
+            io: results.io,
+            trace: results.trace.unwrap_or_default(),
+        })
+    }
+
+    fn query_inner(
+        &self,
+        query: &str,
+        strategy: Strategy,
+        opts: &QueryOptions,
+        trace: QueryTrace,
+    ) -> Result<SearchResults, QueryError> {
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
+        let tokenize_span = trace.span(Stage::Tokenize);
+        let terms = self.resolve_terms(query);
+        drop(tokenize_span);
 
         // Answer-node promotion (and HTML-root collapsing) can merge many
         // raw results into one presented hit; over-fetch so the final list
@@ -293,44 +358,88 @@ impl<S: PageStore> XRankEngine<S> {
             ..opts.clone()
         };
 
-        let outcome = match (strategy, terms.as_deref()) {
-            (_, None) => xrank_query::QueryOutcome {
+        let evaluated = match (strategy, terms.as_deref()) {
+            (_, None) => Ok(xrank_query::QueryOutcome {
                 results: Vec::new(),
                 stats: Default::default(),
-            },
+            }),
             (Strategy::Dil, Some(t)) => {
-                dil_query::evaluate(&self.pool, &self.hdil.dil, t, opts)?
+                dil_query::evaluate_traced(&self.pool, &self.hdil.dil, t, opts, &trace)
             }
-            (Strategy::Rdil, Some(t)) => {
-                let rdil = self
-                    .rdil
-                    .as_ref()
-                    .ok_or(QueryError::Unavailable("engine built without with_rdil"))?;
-                rdil_query::evaluate(&self.pool, rdil, t, opts)?
-            }
-            (Strategy::Hdil, Some(t)) => {
-                hdil_query::evaluate(&self.pool, &self.hdil, t, opts, &self.config.cost_model)?
-            }
-            (Strategy::NaiveId, Some(t)) => {
-                let idx = self
-                    .naive_id
-                    .as_ref()
-                    .ok_or(QueryError::Unavailable("engine built without with_naive"))?;
-                naive_query::evaluate_id(&self.pool, idx, &self.collection, t, opts)?
-            }
-            (Strategy::NaiveRank, Some(t)) => {
-                let idx = self
-                    .naive_rank
-                    .as_ref()
-                    .ok_or(QueryError::Unavailable("engine built without with_naive"))?;
-                naive_query::evaluate_rank(&self.pool, idx, &self.collection, t, opts)?
+            (Strategy::Rdil, Some(t)) => self
+                .rdil
+                .as_ref()
+                .ok_or(QueryError::Unavailable("engine built without with_rdil"))
+                .and_then(|rdil| rdil_query::evaluate_traced(&self.pool, rdil, t, opts, &trace)),
+            (Strategy::Hdil, Some(t)) => hdil_query::evaluate_traced(
+                &self.pool,
+                &self.hdil,
+                t,
+                opts,
+                &self.config.cost_model,
+                &trace,
+            ),
+            (Strategy::NaiveId, Some(t)) => self
+                .naive_id
+                .as_ref()
+                .ok_or(QueryError::Unavailable("engine built without with_naive"))
+                .and_then(|idx| {
+                    naive_query::evaluate_id_traced(
+                        &self.pool,
+                        idx,
+                        &self.collection,
+                        t,
+                        opts,
+                        &trace,
+                    )
+                }),
+            (Strategy::NaiveRank, Some(t)) => self
+                .naive_rank
+                .as_ref()
+                .ok_or(QueryError::Unavailable("engine built without with_naive"))
+                .and_then(|idx| {
+                    naive_query::evaluate_rank_traced(
+                        &self.pool,
+                        idx,
+                        &self.collection,
+                        t,
+                        opts,
+                        &trace,
+                    )
+                }),
+        };
+        let outcome = match evaluated {
+            Ok(o) => o,
+            Err(e) => {
+                self.emetrics.record_err(&e);
+                return Err(e);
             }
         };
+
+        let present_span = trace.span(Stage::Present);
+        let hits = self.present(outcome.results, requested);
+        drop(present_span);
         let elapsed = start.elapsed();
         let io = scope.finish();
 
-        let hits = self.present(outcome.results, requested);
-        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed })
+        self.emetrics.record_ok(EngineMetrics::slot_for(strategy), elapsed);
+        self.note_slow(query, strategy_label(strategy), elapsed, hits.len());
+        let trace = trace.is_enabled().then(|| trace.finish());
+        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed, trace })
+    }
+
+    fn note_slow(&self, query: &str, strategy: &'static str, elapsed: std::time::Duration, hits: usize) {
+        if elapsed >= self.slow_log.threshold() {
+            let captured = self.slow_log.offer(SlowQueryEntry {
+                query: query.to_string(),
+                strategy,
+                elapsed,
+                hits,
+            });
+            if captured {
+                self.emetrics.record_slow();
+            }
+        }
     }
 
     /// Lowercases, tokenizes, and resolves the query keywords. `None` if
@@ -448,6 +557,69 @@ impl<S: PageStore> XRankEngine<S> {
         &self.pool
     }
 
+    /// The engine's metrics registry. Shared with the
+    /// [`crate::QueryExecutor`] so serving-path metrics land in one place;
+    /// gate hot-path recording with
+    /// [`MetricsRegistry::set_enabled`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Publishes pool-level gauges (hit ratio, evictions, per-segment
+    /// sequential/random read split) into the registry. Called by
+    /// [`XRankEngine::render_metrics`] and
+    /// [`XRankEngine::metrics_snapshot`]; call directly before scraping
+    /// the registry through [`XRankEngine::metrics`].
+    pub fn publish_pool_metrics(&self) {
+        let io = self.pool.stats();
+        let ev = self.pool.eviction_counters();
+        let m = &self.metrics;
+        m.gauge("xrank_pool_seq_reads").set(io.seq_reads as i64);
+        m.gauge("xrank_pool_rand_reads").set(io.rand_reads as i64);
+        m.gauge("xrank_pool_cache_hits").set(io.cache_hits as i64);
+        m.gauge("xrank_pool_writes").set(io.writes as i64);
+        m.gauge("xrank_pool_evictions").set(ev.evictions as i64);
+        m.gauge("xrank_pool_hand_steps").set(ev.hand_steps as i64);
+        let ratio_ppm = io
+            .cache_hits
+            .saturating_mul(1_000_000)
+            .checked_div(io.logical_reads())
+            .unwrap_or(0) as i64;
+        m.gauge("xrank_pool_hit_ratio_ppm").set(ratio_ppm);
+        for (seg, sio) in self.pool.segment_io() {
+            m.gauge(&format!(
+                "xrank_pool_segment_reads{{segment=\"{}\",kind=\"seq\"}}",
+                seg.0
+            ))
+            .set(sio.seq_reads as i64);
+            m.gauge(&format!(
+                "xrank_pool_segment_reads{{segment=\"{}\",kind=\"rand\"}}",
+                seg.0
+            ))
+            .set(sio.rand_reads as i64);
+        }
+    }
+
+    /// Prometheus text exposition of every metric, with pool gauges
+    /// freshly published.
+    pub fn render_metrics(&self) -> String {
+        self.publish_pool_metrics();
+        self.metrics.render_prometheus()
+    }
+
+    /// A typed snapshot of every metric, with pool gauges freshly
+    /// published.
+    pub fn metrics_snapshot(&self) -> xrank_obs::MetricsSnapshot {
+        self.publish_pool_metrics();
+        self.metrics.snapshot()
+    }
+
+    /// The captured slow queries (queries at least
+    /// [`ObsConfig::slow_query_threshold`] slow), oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow_log.snapshot()
+    }
+
     // --- crate-internal accessors for the persistence layer ---
 
     pub(crate) fn collection_ref(&self) -> &Collection {
@@ -486,6 +658,13 @@ impl<S: PageStore> XRankEngine<S> {
         naive_rank: Option<NaiveRankIndex>,
         html_docs: HashSet<u32>,
     ) -> Self {
+        let metrics = Arc::new(if config.obs.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        let emetrics = EngineMetrics::new(&metrics);
+        let slow_log = SlowQueryLog::new(&config.obs);
         XRankEngine {
             config,
             collection,
@@ -496,6 +675,9 @@ impl<S: PageStore> XRankEngine<S> {
             naive_id,
             naive_rank,
             html_docs,
+            metrics,
+            emetrics,
+            slow_log,
         }
     }
 }

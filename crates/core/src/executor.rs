@@ -14,6 +14,8 @@ use crate::results::SearchResults;
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use xrank_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use xrank_query::{QueryError, QueryOptions};
 use xrank_storage::PageStore;
 
@@ -42,6 +44,43 @@ impl QueryRequest {
 struct Task {
     request: QueryRequest,
     reply: Sender<QueryReply>,
+    /// Submission time, for the queue-wait histogram.
+    submitted: Instant,
+}
+
+/// Handles the executor records through, resolved once from the engine's
+/// registry (shared — executor metrics land next to the engine's own).
+#[derive(Clone)]
+struct ExecMetrics {
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    wall_us: Histogram,
+    queue_wait_us: Histogram,
+    err_storage: Counter,
+    err_timeout: Counter,
+    err_unavailable: Counter,
+}
+
+impl ExecMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ExecMetrics {
+            queue_depth: registry.gauge("xrank_executor_queue_depth"),
+            in_flight: registry.gauge("xrank_executor_in_flight"),
+            wall_us: registry.latency_histogram_us("xrank_executor_wall_us"),
+            queue_wait_us: registry.latency_histogram_us("xrank_executor_queue_wait_us"),
+            err_storage: registry.counter("xrank_executor_errors_total{kind=\"storage\"}"),
+            err_timeout: registry.counter("xrank_executor_errors_total{kind=\"timeout\"}"),
+            err_unavailable: registry.counter("xrank_executor_errors_total{kind=\"unavailable\"}"),
+        }
+    }
+
+    fn record_error(&self, err: &QueryError) {
+        match err {
+            QueryError::Storage(_) => self.err_storage.inc(),
+            QueryError::Timeout => self.err_timeout.inc(),
+            QueryError::Unavailable(_) => self.err_unavailable.inc(),
+        }
+    }
 }
 
 /// A fixed pool of worker threads serving queries from a bounded queue
@@ -53,26 +92,31 @@ struct Task {
 pub struct QueryExecutor {
     tx: Option<SyncSender<Task>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: ExecMetrics,
 }
 
 impl QueryExecutor {
     /// Spawns `workers` threads (minimum 1) over `engine`, with room for
     /// `queue_depth` requests (minimum 1) waiting between submission and
-    /// execution.
+    /// execution. Serving metrics (queue depth, in-flight count, wall and
+    /// queue-wait latency histograms, per-kind error counters) are
+    /// recorded into the engine's [`XRankEngine::metrics`] registry.
     pub fn new<S>(engine: Arc<XRankEngine<S>>, workers: usize, queue_depth: usize) -> Self
     where
         S: PageStore + Send + Sync + 'static,
     {
+        let metrics = ExecMetrics::new(engine.metrics());
         let (tx, rx) = sync_channel::<Task>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
             .map(|_| {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&engine, &rx))
+                let metrics = metrics.clone();
+                std::thread::spawn(move || worker_loop(&engine, &rx, &metrics))
             })
             .collect();
-        QueryExecutor { tx: Some(tx), workers }
+        QueryExecutor { tx: Some(tx), workers, metrics }
     }
 
     /// Enqueues a request, blocking while the queue is full. The returned
@@ -85,8 +129,9 @@ impl QueryExecutor {
             .tx
             .as_ref()
             .ok_or(QueryError::Unavailable("executor is shut down"))?;
-        tx.send(Task { request, reply })
+        tx.send(Task { request, reply, submitted: Instant::now() })
             .map_err(|_| QueryError::Unavailable("executor workers exited"))?;
+        self.metrics.queue_depth.add(1);
         Ok(result)
     }
 
@@ -128,6 +173,7 @@ impl Drop for QueryExecutor {
 fn worker_loop<S: PageStore>(
     engine: &XRankEngine<S>,
     rx: &Mutex<Receiver<Task>>,
+    metrics: &ExecMetrics,
 ) {
     loop {
         // Hold the lock only to dequeue, never while evaluating.
@@ -135,11 +181,22 @@ fn worker_loop<S: PageStore>(
             Ok(rx) => rx.recv(),
             Err(poisoned) => poisoned.into_inner().recv(),
         };
-        let Ok(Task { request, reply }) = task else { return };
+        let Ok(Task { request, reply, submitted }) = task else { return };
+        metrics.queue_depth.sub(1);
+        metrics
+            .queue_wait_us
+            .observe(submitted.elapsed().as_secs_f64() * 1e6);
+        metrics.in_flight.add(1);
+        let started = Instant::now();
         let opts = request
             .opts
             .unwrap_or_else(|| engine.config().query.clone());
         let results = engine.query(&request.query, request.strategy, &opts);
+        metrics.wall_us.observe(started.elapsed().as_secs_f64() * 1e6);
+        metrics.in_flight.sub(1);
+        if let Err(e) = &results {
+            metrics.record_error(e);
+        }
 
         // The submitter may have dropped the receiver; that's fine.
         let _ = reply.send(results);

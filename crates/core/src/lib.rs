@@ -35,9 +35,11 @@ mod engine;
 mod executor;
 mod persist;
 mod results;
+mod telemetry;
 mod update;
 
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
 pub use executor::{QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
+pub use telemetry::{Explain, ObsConfig, SlowQueryEntry};
 pub use update::UpdatableXRank;

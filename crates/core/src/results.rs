@@ -2,6 +2,7 @@
 
 use xrank_dewey::DeweyId;
 use xrank_graph::ElemId;
+use xrank_obs::Trace;
 use xrank_query::EvalStats;
 use xrank_storage::IoStats;
 
@@ -35,6 +36,10 @@ pub struct SearchResults {
     pub io: IoStats,
     /// Wall-clock time of the evaluation.
     pub elapsed: std::time::Duration,
+    /// Per-stage timings and events, populated by
+    /// [`crate::XRankEngine::query_traced`] /
+    /// [`crate::XRankEngine::explain`]; `None` on the untraced path.
+    pub trace: Option<Trace>,
 }
 
 impl SearchResults {

@@ -1,0 +1,375 @@
+//! Engine-level observability: pre-resolved metric handles, the
+//! slow-query log, and the EXPLAIN rendering.
+//!
+//! The engine owns one [`MetricsRegistry`]; every handle the serving path
+//! touches is resolved here once, at engine construction, so recording a
+//! query is a handful of relaxed atomic adds — never a lock or a map
+//! lookup. Pool-level quantities (hit ratio, eviction counters,
+//! per-segment read classification) are *published* into the registry at
+//! scrape time instead of being incremented inline, which keeps the
+//! storage crate free of any observability dependency.
+
+use crate::engine::Strategy;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+use xrank_obs::{Counter, EventData, Histogram, MetricsRegistry, Trace};
+use xrank_query::{EvalStats, QueryError};
+use xrank_storage::IoStats;
+
+/// Observability configuration ([`crate::EngineConfig::obs`]).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Whether the registry records on the hot path. When off, every
+    /// recording call is one relaxed load and a branch; scraping still
+    /// works (it just reads zeros for the gated series).
+    pub metrics_enabled: bool,
+    /// Queries at least this slow are captured in the slow-query log.
+    pub slow_query_threshold: Duration,
+    /// Ring-buffer capacity of the slow-query log.
+    pub slow_log_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            metrics_enabled: true,
+            slow_query_threshold: Duration::from_millis(100),
+            slow_log_capacity: 64,
+        }
+    }
+}
+
+/// Stable label for a strategy, baked into metric series names and used
+/// in EXPLAIN output.
+pub(crate) fn strategy_label(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Dil => "dil",
+        Strategy::Rdil => "rdil",
+        Strategy::Hdil => "hdil",
+        Strategy::NaiveId => "naive_id",
+        Strategy::NaiveRank => "naive_rank",
+    }
+}
+
+fn strategy_slot(strategy: Strategy) -> usize {
+    match strategy {
+        Strategy::Dil => 0,
+        Strategy::Rdil => 1,
+        Strategy::Hdil => 2,
+        Strategy::NaiveId => 3,
+        Strategy::NaiveRank => 4,
+    }
+}
+
+/// Labels in slot order; slot 5 is the disjunctive (`search_any`) path.
+const STRATEGY_LABELS: [&str; 6] = ["dil", "rdil", "hdil", "naive_id", "naive_rank", "any"];
+
+/// Slot index of the disjunctive path.
+pub(crate) const ANY_SLOT: usize = 5;
+
+struct PerStrategy {
+    queries: Counter,
+    latency_us: Histogram,
+}
+
+/// Every handle the engine's query path records through, resolved once.
+pub(crate) struct EngineMetrics {
+    per_strategy: Vec<PerStrategy>,
+    err_storage: Counter,
+    err_timeout: Counter,
+    err_unavailable: Counter,
+    slow_queries: Counter,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        let per_strategy = STRATEGY_LABELS
+            .iter()
+            .map(|label| PerStrategy {
+                queries: registry.counter(&format!("xrank_queries_total{{strategy=\"{label}\"}}")),
+                latency_us: registry
+                    .latency_histogram_us(&format!("xrank_query_latency_us{{strategy=\"{label}\"}}")),
+            })
+            .collect();
+        EngineMetrics {
+            per_strategy,
+            err_storage: registry.counter("xrank_query_errors_total{kind=\"storage\"}"),
+            err_timeout: registry.counter("xrank_query_errors_total{kind=\"timeout\"}"),
+            err_unavailable: registry.counter("xrank_query_errors_total{kind=\"unavailable\"}"),
+            slow_queries: registry.counter("xrank_slow_queries_total"),
+        }
+    }
+
+    /// Records a served query: QPS counter plus wall-latency histogram.
+    pub(crate) fn record_ok(&self, slot: usize, elapsed: Duration) {
+        let s = &self.per_strategy[slot];
+        s.queries.inc();
+        s.latency_us.observe(elapsed.as_secs_f64() * 1e6);
+    }
+
+    /// Records a failed query under its error kind.
+    pub(crate) fn record_err(&self, err: &QueryError) {
+        match err {
+            QueryError::Storage(_) => self.err_storage.inc(),
+            QueryError::Timeout => self.err_timeout.inc(),
+            QueryError::Unavailable(_) => self.err_unavailable.inc(),
+        }
+    }
+
+    pub(crate) fn record_slow(&self) {
+        self.slow_queries.inc();
+    }
+
+    pub(crate) fn slot_for(strategy: Strategy) -> usize {
+        strategy_slot(strategy)
+    }
+}
+
+/// One captured slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// The raw query string.
+    pub query: String,
+    /// Strategy label (`dil`, `rdil`, `hdil`, `naive_id`, `naive_rank`,
+    /// `any`).
+    pub strategy: &'static str,
+    /// Evaluation wall time.
+    pub elapsed: Duration,
+    /// Hits returned.
+    pub hits: usize,
+}
+
+/// A bounded ring buffer of the most recent queries slower than the
+/// configured threshold.
+pub(crate) struct SlowQueryLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+impl SlowQueryLog {
+    pub(crate) fn new(config: &ObsConfig) -> Self {
+        SlowQueryLog {
+            threshold: config.slow_query_threshold,
+            capacity: config.slow_log_capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Captures `entry` if it clears the threshold; evicts the oldest
+    /// entry beyond capacity. Returns whether it was captured.
+    pub(crate) fn offer(&self, entry: SlowQueryEntry) -> bool {
+        if entry.elapsed < self.threshold {
+            return false;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+
+    /// The captured entries, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<SlowQueryEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Number of trace events rendered in full before eliding the middle.
+const EXPLAIN_EVENT_HEAD: usize = 10;
+const EXPLAIN_EVENT_TAIL: usize = 6;
+
+/// The EXPLAIN view of one query: the per-stage trace, work counters, and
+/// the per-query physical I/O delta, renderable via `Display`.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The raw query string.
+    pub query: String,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Hits returned.
+    pub hits: usize,
+    /// Evaluation wall time.
+    pub elapsed: Duration,
+    /// Algorithmic work counters.
+    pub eval: EvalStats,
+    /// Physical I/O attributed to this query.
+    pub io: IoStats,
+    /// The per-stage timing/event trace.
+    pub trace: Trace,
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}µs")
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EXPLAIN {:?} strategy={}", self.query, self.strategy)?;
+        writeln!(f, "  hits={} elapsed={}", self.hits, fmt_dur(self.elapsed))?;
+        writeln!(
+            f,
+            "  io: seq_reads={} rand_reads={} cache_hits={} (hit ratio {:.1}%)",
+            self.io.seq_reads,
+            self.io.rand_reads,
+            self.io.cache_hits,
+            100.0 * self.io.cache_hits as f64 / (self.io.logical_reads().max(1)) as f64,
+        )?;
+        writeln!(
+            f,
+            "  work: entries_scanned={} btree_probes={} hash_probes={} range_scans={}",
+            self.eval.entries_scanned,
+            self.eval.btree_probes,
+            self.eval.hash_probes,
+            self.eval.range_scans,
+        )?;
+        if let Some(sw) = self.eval.switch {
+            writeln!(
+                f,
+                "  switch: reason={} spent={:.1} rdil_remaining={} dil_estimate={:.1} confirmed={}",
+                sw.reason.name(),
+                sw.spent,
+                sw.rdil_remaining
+                    .map_or_else(|| "n/a".to_string(), |v| format!("{v:.1}")),
+                sw.dil_estimate,
+                sw.confirmed,
+            )?;
+        }
+        writeln!(f, "  stages:")?;
+        for t in &self.trace.stages {
+            writeln!(
+                f,
+                "    {:<16} {:>8}x {:>12}",
+                t.stage.name(),
+                t.count,
+                fmt_dur(t.total)
+            )?;
+        }
+        if !self.trace.events.is_empty() {
+            writeln!(f, "  events:")?;
+            let n = self.trace.events.len();
+            let elide = n > EXPLAIN_EVENT_HEAD + EXPLAIN_EVENT_TAIL;
+            for (i, e) in self.trace.events.iter().enumerate() {
+                if elide && i == EXPLAIN_EVENT_HEAD {
+                    writeln!(
+                        f,
+                        "    … {} events elided …",
+                        n - EXPLAIN_EVENT_HEAD - EXPLAIN_EVENT_TAIL
+                    )?;
+                }
+                if elide && i >= EXPLAIN_EVENT_HEAD && i < n - EXPLAIN_EVENT_TAIL {
+                    continue;
+                }
+                write!(f, "    +{:<10}", fmt_dur(e.at))?;
+                match &e.data {
+                    EventData::TaRound { entries, threshold, confirmed } => writeln!(
+                        f,
+                        " ta_round entries={entries} threshold={threshold:.4} confirmed={confirmed}"
+                    )?,
+                    EventData::Switch {
+                        spent,
+                        rdil_remaining,
+                        dil_estimate,
+                        confirmed,
+                        reason,
+                    } => writeln!(
+                        f,
+                        " switch reason={} spent={spent:.1} rdil_remaining={} dil_estimate={dil_estimate:.1} confirmed={confirmed}",
+                        reason.name(),
+                        rdil_remaining
+                            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.1}")),
+                    )?,
+                    EventData::Count { what, n } => {
+                        writeln!(f, " {} {what}={n}", e.stage.name())?
+                    }
+                    EventData::Note(note) => writeln!(f, " {} {note}", e.stage.name())?,
+                }
+            }
+        }
+        if self.trace.dropped_events > 0 {
+            writeln!(f, "  (dropped {} events beyond cap)", self.trace.dropped_events)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_log_captures_only_above_threshold_and_bounds_capacity() {
+        let log = SlowQueryLog::new(&ObsConfig {
+            metrics_enabled: true,
+            slow_query_threshold: Duration::from_millis(10),
+            slow_log_capacity: 2,
+        });
+        let entry = |q: &str, ms: u64| SlowQueryEntry {
+            query: q.to_string(),
+            strategy: "hdil",
+            elapsed: Duration::from_millis(ms),
+            hits: 1,
+        };
+        assert!(!log.offer(entry("fast", 1)));
+        assert!(log.offer(entry("a", 20)));
+        assert!(log.offer(entry("b", 30)));
+        assert!(log.offer(entry("c", 40)));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2, "ring evicts oldest");
+        assert_eq!(snap[0].query, "b");
+        assert_eq!(snap[1].query, "c");
+    }
+
+    #[test]
+    fn explain_renders_stages_and_switch() {
+        use xrank_obs::{QueryTrace, Stage, SwitchReason};
+        let qt = QueryTrace::enabled();
+        {
+            let _s = qt.span(Stage::TaLoop);
+        }
+        qt.event(
+            Stage::SwitchDecision,
+            EventData::Switch {
+                spent: 12.0,
+                rdil_remaining: Some(99.5),
+                dil_estimate: 40.0,
+                confirmed: 1,
+                reason: SwitchReason::EstimateExceeded,
+            },
+        );
+        let explain = Explain {
+            query: "xql language".into(),
+            strategy: "hdil",
+            hits: 3,
+            elapsed: Duration::from_micros(420),
+            eval: EvalStats::default(),
+            io: IoStats::default(),
+            trace: qt.finish(),
+        };
+        let text = explain.to_string();
+        assert!(text.contains("strategy=hdil"), "{text}");
+        assert!(text.contains("ta_loop"), "{text}");
+        assert!(text.contains("reason=estimate_exceeded"), "{text}");
+        assert!(text.contains("rdil_remaining=99.5"), "{text}");
+        assert!(text.contains("dil_estimate=40.0"), "{text}");
+    }
+}

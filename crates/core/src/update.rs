@@ -186,7 +186,7 @@ impl UpdatableXRank {
         }
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.dewey.cmp(&b.dewey)));
         hits.truncate(m);
-        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed })
+        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed, trace: None })
     }
 
     /// Number of live (searchable or staged) documents.

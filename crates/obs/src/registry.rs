@@ -1,0 +1,509 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! of atomic cells. Components resolve their handles once (at
+//! construction) and then record through relaxed atomics only — the
+//! registry's internal lock is touched exclusively during registration and
+//! scraping, never on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default latency histogram bucket upper bounds, in microseconds:
+/// exponential 2.5×-ish ladder from 10 µs to 10 s, which brackets
+/// everything from an all-cache-hit point query to a cold multi-keyword
+/// DIL scan.
+pub const LATENCY_BUCKETS_US: [f64; 14] = [
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0,
+    100_000.0, 1_000_000.0, 10_000_000.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth,
+/// in-flight count) or be set outright at scrape time (hit ratio ppm).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Sets the value. Unlike the delta operations this is not gated on
+    /// the enabled flag: scrape-time publication must work even when hot
+    /// path recording is off.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow (+Inf) bucket.
+    counts: Vec<AtomicU64>,
+    /// Σ observed values, stored as f64 bits (CAS accumulation).
+    sum_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Buckets are cumulative only at exposition
+/// time; internally each atomic counts its own bucket, so concurrent
+/// `observe` calls never contend beyond a cache line.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self
+            .cell
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.cell.bounds.len());
+        self.cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.cell.total.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .cell
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// A point-in-time copy of the bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.cell.bounds.clone(),
+            counts: self.cell.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed)),
+            count: self.cell.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Materialised histogram state: per-bucket (non-cumulative) counts, the
+/// observation total, and the value sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the final +Inf bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket containing the target rank — the standard
+    /// Prometheus `histogram_quantile` estimate. Returns 0 for an empty
+    /// histogram; observations in the overflow bucket clamp to the last
+    /// finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= rank && c > 0 {
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: no upper bound to interpolate
+                    // toward; clamp to the last finite bound.
+                    None => return self.bounds.last().copied().unwrap_or(0.0),
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - cumulative as f64) / c as f64;
+                return lower + (upper - lower) * into.clamp(0.0, 1.0);
+            }
+            cumulative = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+    }
+}
+
+/// A typed point-in-time copy of every registered metric, keyed by full
+/// series name (family plus any `{label="…"}` suffix).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by exact series name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by exact series name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by exact series name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of all counter series in a family (series whose name is
+    /// `family` or starts with `family{`).
+    pub fn counter_family_total(&self, family: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| series_family(k) == family)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[derive(Default)]
+struct Registered {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<HistogramCell>>,
+}
+
+/// A registry of named metrics.
+///
+/// Series names follow the Prometheus data model: a family name of
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, optionally followed by a `{k="v",…}` label
+/// set that distinguishes series within the family. The registry does not
+/// parse labels beyond locating the family prefix; callers bake the label
+/// set into the name (`xrank_queries_total{strategy="dil"}`).
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    inner: Mutex<Registered>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The family prefix of a series name (everything before `{`).
+fn series_family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+fn lock(m: &Mutex<Registered>) -> MutexGuard<'_, Registered> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            inner: Mutex::new(Registered::default()),
+        }
+    }
+
+    /// A registry whose recording calls are no-ops until
+    /// [`MetricsRegistry::set_enabled`] turns them on.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Turns hot-path recording on or off. Existing handles observe the
+    /// change immediately (they share the flag).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Resolves (registering on first use) a counter series.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = lock(&self.inner)
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone();
+        Counter { cell, enabled: Arc::clone(&self.enabled) }
+    }
+
+    /// Resolves (registering on first use) a gauge series.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = lock(&self.inner)
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone();
+        Gauge { cell, enabled: Arc::clone(&self.enabled) }
+    }
+
+    /// Resolves (registering on first use) a histogram series with the
+    /// given bucket upper bounds (ascending; the +Inf overflow bucket is
+    /// implicit). Re-resolving an existing series returns the same cell
+    /// regardless of the bounds passed.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let cell = lock(&self.inner)
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(HistogramCell {
+                    bounds: bounds.to_vec(),
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                    total: AtomicU64::new(0),
+                })
+            })
+            .clone();
+        Histogram { cell, enabled: Arc::clone(&self.enabled) }
+    }
+
+    /// Resolves a latency histogram in microseconds with the standard
+    /// [`LATENCY_BUCKETS_US`] ladder.
+    pub fn latency_histogram_us(&self, name: &str) -> Histogram {
+        self.histogram(name, &LATENCY_BUCKETS_US)
+    }
+
+    /// A typed point-in-time copy of every registered series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = lock(&self.inner);
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: v.bounds.clone(),
+                            counts: v.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                            sum: f64::from_bits(v.sum_bits.load(Ordering::Relaxed)),
+                            count: v.total.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every series in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per family, then one line per
+    /// series; histograms expand into cumulative `_bucket{le=…}` series
+    /// plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let snap = self.snapshot();
+        let mut out = String::new();
+
+        let mut last_family = String::new();
+        for (name, value) in &snap.counters {
+            let family = series_family(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} counter");
+                last_family = family.to_string();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        last_family.clear();
+        for (name, value) in &snap.gauges {
+            let family = series_family(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} gauge");
+                last_family = family.to_string();
+            }
+            let _ = writeln!(out, "{name} {value}");
+        }
+        last_family.clear();
+        for (name, h) in &snap.histograms {
+            let family = series_family(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} histogram");
+                last_family = family.to_string();
+            }
+            // Split "fam{labels}" so le can join any existing label set.
+            let (prefix, labels) = match name.split_once('{') {
+                Some((fam, rest)) => (fam, rest.trim_end_matches('}')),
+                None => (name.as_str(), ""),
+            };
+            let sep = if labels.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => format_bound(*b),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{prefix}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(out, "{prefix}_sum{{{labels}}} {}", format_value(h.sum));
+            let _ = writeln!(out, "{prefix}_count{{{labels}}} {}", h.count);
+        }
+        out
+    }
+}
+
+/// Formats a bucket bound without a trailing `.0` for integral values.
+fn format_bound(b: f64) -> String {
+    if b == b.trunc() && b.abs() < 1e15 {
+        format!("{}", b as i64)
+    } else {
+        format!("{b}")
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("depth");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hits_total"), 5);
+        assert_eq!(snap.gauge("depth"), -7);
+    }
+
+    #[test]
+    fn handles_alias_one_cell() {
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.counter("x").inc();
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_but_set_works() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h", &[1.0, 2.0]);
+        c.inc();
+        g.add(5);
+        h.observe(1.5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        g.set(9); // scrape-time publication bypasses the gate
+        assert_eq!(g.get(), 9);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat", &[10.0, 100.0]);
+        for v in [5.0, 10.0, 11.0, 99.0, 250.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1]); // ≤10, ≤100, +Inf
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn family_totals_sum_labelled_series() {
+        let r = MetricsRegistry::new();
+        r.counter("q_total{strategy=\"dil\"}").add(3);
+        r.counter("q_total{strategy=\"rdil\"}").add(4);
+        r.counter("q_totally_different").add(100);
+        assert_eq!(r.snapshot().counter_family_total("q_total"), 7);
+    }
+}

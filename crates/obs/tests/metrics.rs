@@ -1,0 +1,165 @@
+//! Integration tests for the metrics registry: bucket boundary semantics,
+//! quantile estimation, concurrent recording, the Prometheus text
+//! exposition format, and the disabled-registry gate.
+
+use std::sync::Arc;
+use std::thread;
+use xrank_obs::{MetricsRegistry, LATENCY_BUCKETS_US};
+
+#[test]
+fn bucket_bounds_are_inclusive_upper_bounds() {
+    let r = MetricsRegistry::new();
+    let h = r.histogram("h", &[10.0, 100.0, 1000.0]);
+    h.observe(10.0); // exactly on a bound lands in that bound's bucket
+    h.observe(10.1);
+    h.observe(100.0);
+    h.observe(1000.0);
+    h.observe(1000.1); // past the last bound: overflow bucket
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![1, 2, 1, 1]);
+    assert_eq!(s.count, 5);
+    let expected_sum = 10.0 + 10.1 + 100.0 + 1000.0 + 1000.1;
+    assert!((s.sum - expected_sum).abs() < 1e-9);
+}
+
+#[test]
+fn quantiles_interpolate_within_buckets() {
+    let r = MetricsRegistry::new();
+    let h = r.histogram("q", &[10.0, 20.0, 40.0]);
+    for _ in 0..50 {
+        h.observe(5.0); // [0, 10] bucket
+    }
+    for _ in 0..50 {
+        h.observe(15.0); // (10, 20] bucket
+    }
+    let s = h.snapshot();
+    // Rank 50 of 100 is the top of the first bucket.
+    assert!((s.quantile(0.5) - 10.0).abs() < 1e-9);
+    // Rank 75 is halfway through the (10, 20] bucket.
+    assert!((s.quantile(0.75) - 15.0).abs() < 1e-9);
+    // Rank 25 is halfway through the [0, 10] bucket.
+    assert!((s.quantile(0.25) - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn quantile_edge_cases() {
+    let r = MetricsRegistry::new();
+    // Empty histogram reports 0.
+    assert_eq!(r.histogram("empty", &[10.0]).snapshot().quantile(0.5), 0.0);
+    // Overflow-bucket observations clamp to the last finite bound rather
+    // than inventing a value past it.
+    let h = r.histogram("over", &[10.0]);
+    h.observe(99.0);
+    assert_eq!(h.snapshot().quantile(0.99), 10.0);
+    // Out-of-range q clamps instead of panicking.
+    let g = r.histogram("clamped", &[10.0, 20.0]);
+    g.observe(5.0);
+    assert!((g.snapshot().quantile(2.0) - 10.0).abs() < 1e-9);
+    assert_eq!(g.snapshot().quantile(-1.0), 0.0);
+}
+
+#[test]
+fn latency_buckets_span_10us_to_10s_and_are_sorted() {
+    assert_eq!(LATENCY_BUCKETS_US.first(), Some(&10.0));
+    assert_eq!(LATENCY_BUCKETS_US.last(), Some(&10_000_000.0));
+    assert!(LATENCY_BUCKETS_US.windows(2).all(|w| w[0] < w[1]));
+    let r = MetricsRegistry::new();
+    let h = r.latency_histogram_us("lat");
+    h.observe(25_000.0);
+    assert_eq!(h.snapshot().bounds, LATENCY_BUCKETS_US.to_vec());
+    assert_eq!(h.snapshot().count, 1);
+}
+
+#[test]
+fn concurrent_increments_are_exact() {
+    let r = Arc::new(MetricsRegistry::new());
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                // Handles resolve to the same shared cells in every thread.
+                let c = r.counter("ops_total");
+                let g = r.gauge("balance");
+                let h = r.latency_histogram_us("lat_us");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    g.sub(1);
+                    h.observe(i as f64);
+                }
+            })
+        })
+        .collect();
+    for t in handles {
+        t.join().unwrap();
+    }
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("ops_total"), THREADS * PER_THREAD);
+    assert_eq!(snap.gauge("balance"), 0);
+    let h = snap.histogram("lat_us").expect("histogram registered");
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert_eq!(h.counts.iter().sum::<u64>(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn prometheus_exposition_golden() {
+    let r = MetricsRegistry::new();
+    r.counter("requests_total{code=\"200\"}").add(3);
+    r.counter("requests_total{code=\"500\"}").inc();
+    r.gauge("queue_depth").set(2);
+    let h = r.histogram("latency", &[1.0, 2.5]);
+    h.observe(0.5);
+    h.observe(2.0);
+    h.observe(9.0);
+    let expected = "\
+# TYPE requests_total counter
+requests_total{code=\"200\"} 3
+requests_total{code=\"500\"} 1
+# TYPE queue_depth gauge
+queue_depth 2
+# TYPE latency histogram
+latency_bucket{le=\"1\"} 1
+latency_bucket{le=\"2.5\"} 2
+latency_bucket{le=\"+Inf\"} 3
+latency_sum{} 11.5
+latency_count{} 3
+";
+    assert_eq!(r.render_prometheus(), expected);
+}
+
+#[test]
+fn disabled_registry_gates_recording_but_not_gauge_set() {
+    let r = MetricsRegistry::disabled();
+    assert!(!r.is_enabled());
+    let c = r.counter("c_total");
+    let g = r.gauge("g");
+    let h = r.histogram("h", &[1.0]);
+    c.inc();
+    g.add(5);
+    h.observe(0.5);
+    g.set(42); // scrape-time publication bypasses the gate by design
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("c_total"), 0);
+    assert_eq!(snap.gauge("g"), 42);
+    assert_eq!(snap.histogram("h").unwrap().count, 0);
+    // Flipping the shared flag makes the already-resolved handles live.
+    r.set_enabled(true);
+    c.inc();
+    h.observe(0.5);
+    assert_eq!(r.snapshot().counter("c_total"), 1);
+    assert_eq!(r.snapshot().histogram("h").unwrap().count, 1);
+}
+
+#[test]
+fn counter_family_total_sums_labelled_series() {
+    let r = MetricsRegistry::new();
+    r.counter("q_total{strategy=\"dil\"}").add(2);
+    r.counter("q_total{strategy=\"rdil\"}").add(3);
+    r.counter("q_totally_different").add(100);
+    let snap = r.snapshot();
+    assert_eq!(snap.counter_family_total("q_total"), 5);
+    assert_eq!(snap.counter_family_total("q_totally_different"), 100);
+    assert_eq!(snap.counter_family_total("absent"), 0);
+}

@@ -12,6 +12,7 @@
 use crate::score::{QueryOptions, TopM};
 use crate::{EvalStats, QueryError, QueryOutcome};
 use xrank_dewey::DeweyId;
+use xrank_obs::{EventData, QueryTrace, Stage};
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::posting::Posting;
@@ -64,6 +65,19 @@ pub fn evaluate<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
 ) -> Result<QueryOutcome, QueryError> {
+    evaluate_traced(pool, index, terms, opts, &QueryTrace::disabled())
+}
+
+/// [`evaluate`] with per-stage tracing: list opening and the Figure 5
+/// merge loop are timed into `trace`, and the entry-consumption total is
+/// recorded as a [`xrank_obs::EventData::Count`] event.
+pub fn evaluate_traced<S: PageStore>(
+    pool: &BufferPool<S>,
+    index: &DilIndex,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    trace: &QueryTrace,
+) -> Result<QueryOutcome, QueryError> {
     let n = terms.len();
     let deadline = opts.deadline();
     let mut stats = EvalStats::default();
@@ -74,12 +88,16 @@ pub fn evaluate<S: PageStore>(
 
     // Conjunctive semantics: a keyword with no list means no results.
     let mut readers: Vec<ListReader> = Vec::with_capacity(n);
-    for &t in terms {
-        match index.reader(t) {
-            Some(r) => readers.push(r),
-            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
+    {
+        let _open = trace.span(Stage::ListOpen);
+        for &t in terms {
+            match index.reader(t) {
+                Some(r) => readers.push(r),
+                None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
+            }
         }
     }
+    let merge_span = trace.span(Stage::DeweyMerge);
 
     let mut stack: Vec<StackEntry> = Vec::new();
     let mut path: Vec<u32> = Vec::new();
@@ -170,6 +188,11 @@ pub fn evaluate<S: PageStore>(
     while !stack.is_empty() {
         pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
     }
+    drop(merge_span);
+    trace.event(
+        Stage::DeweyMerge,
+        EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
+    );
 
     Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }

@@ -22,6 +22,7 @@ use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::DilIndex;
+use xrank_obs::{EventData, QueryTrace, Stage};
 use xrank_storage::{BufferPool, PageStore};
 
 /// Evaluates a disjunctive query over the Dewey-sorted lists: one merge
@@ -32,20 +33,34 @@ pub fn evaluate<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
 ) -> Result<QueryOutcome, QueryError> {
+    evaluate_traced(pool, index, terms, opts, &QueryTrace::disabled())
+}
+
+/// [`evaluate`] with the union-merge phase timed into `trace`.
+pub fn evaluate_traced<S: PageStore>(
+    pool: &BufferPool<S>,
+    index: &DilIndex,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    trace: &QueryTrace,
+) -> Result<QueryOutcome, QueryError> {
     let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
+    let open_span = trace.span(Stage::ListOpen);
     // Unlike the conjunctive case, keywords without a list simply drop out.
     let mut readers: Vec<(usize, ListReader)> = terms
         .iter()
         .enumerate()
         .filter_map(|(i, &t)| index.reader(t).map(|r| (i, r)))
         .collect();
+    drop(open_span);
     if readers.is_empty() {
         return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
     let n = terms.len();
 
+    let union_span = trace.span(Stage::UnionMerge);
     let mut current: Option<DeweyId> = None;
     let mut ranks = vec![0.0f64; n];
     let mut pos_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -86,6 +101,11 @@ pub fn evaluate<S: PageStore>(
     if let Some(cur) = current {
         flush(cur, &mut ranks, &mut pos_lists, opts, &mut heap);
     }
+    drop(union_span);
+    trace.event(
+        Stage::UnionMerge,
+        EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
+    );
 
     Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }

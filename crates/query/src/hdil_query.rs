@@ -18,9 +18,10 @@
 
 use crate::rdil_query::{RdilRun, StepOutcome};
 use crate::score::QueryOptions;
-use crate::{EvalStats, QueryError, QueryOutcome};
+use crate::{EvalStats, QueryError, QueryOutcome, SwitchDecision};
 use xrank_graph::TermId;
 use xrank_index::HdilIndex;
+use xrank_obs::{EventData, QueryTrace, Stage, SwitchReason};
 use xrank_storage::{BufferPool, CostModel, PageStore, StatsScope};
 
 /// Steps between progress checks.
@@ -34,6 +35,19 @@ pub fn evaluate<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
     cost_model: &CostModel,
+) -> Result<QueryOutcome, QueryError> {
+    evaluate_traced(pool, index, terms, opts, cost_model, &QueryTrace::disabled())
+}
+
+/// [`evaluate`] with the switch decision — both cost estimates, the
+/// trigger, and the fallback phase — recorded into `trace`.
+pub fn evaluate_traced<S: PageStore>(
+    pool: &BufferPool<S>,
+    index: &HdilIndex,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    cost_model: &CostModel,
+    trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
     let m = opts.top_m;
     // Expected DIL cost: one seek per keyword list, then sequential scans.
@@ -52,12 +66,25 @@ pub fn evaluate<S: PageStore>(
     // global ledger mixes every in-flight query, which would corrupt the
     // spent-so-far estimate driving the switch decision.
     let scope = StatsScope::begin();
-    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts)?;
+    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts, trace)?;
+    let ta_span = trace.span(Stage::TaLoop);
     let mut steps = 0u64;
-    loop {
+    let decision: SwitchDecision = loop {
         match run.step(pool)? {
-            StepOutcome::Done => return Ok(run.finish()),
-            StepOutcome::PrefixExhausted => break, // must fall back
+            StepOutcome::Done => {
+                drop(ta_span);
+                return Ok(run.finish());
+            }
+            StepOutcome::PrefixExhausted => {
+                // Must fall back: HDIL stores only a rank-sorted prefix.
+                break SwitchDecision {
+                    spent: cost_model.cost(&scope.so_far()),
+                    rdil_remaining: None,
+                    dil_estimate,
+                    confirmed: run.confirmed_results(),
+                    reason: SwitchReason::PrefixExhausted,
+                };
+            }
             StepOutcome::Continue => {}
         }
         steps += 1;
@@ -67,31 +94,56 @@ pub fn evaluate<S: PageStore>(
         // Progress check.
         let spent = cost_model.cost(&scope.so_far());
         let r = run.confirmed_results();
-        let should_switch = if r == 0 {
+        if r == 0 {
             // No confirmed result yet — the signature of uncorrelated
             // keywords. Cut losses after a quarter of the DIL budget so
             // the total stays "a slight overhead" over DIL (Section 5.4).
-            spent > dil_estimate / 4.0
-        } else if r >= m {
-            false // about to finish; stay
-        } else {
+            if spent > dil_estimate / 4.0 {
+                break SwitchDecision {
+                    spent,
+                    rdil_remaining: None,
+                    dil_estimate,
+                    confirmed: 0,
+                    reason: SwitchReason::NoProgressBudget,
+                };
+            }
+        } else if r < m {
             let estimated_remaining = (m - r) as f64 * spent / r as f64;
-            estimated_remaining > dil_estimate
-        };
-        if should_switch {
-            break;
-        }
-    }
+            if estimated_remaining > dil_estimate {
+                break SwitchDecision {
+                    spent,
+                    rdil_remaining: Some(estimated_remaining),
+                    dil_estimate,
+                    confirmed: r,
+                    reason: SwitchReason::EstimateExceeded,
+                };
+            }
+        } // r >= m: about to finish; stay
+    };
+    drop(ta_span);
+    trace.event(
+        Stage::SwitchDecision,
+        EventData::Switch {
+            spent: decision.spent,
+            rdil_remaining: decision.rdil_remaining,
+            dil_estimate: decision.dil_estimate,
+            confirmed: decision.confirmed,
+            reason: decision.reason,
+        },
+    );
 
     // Fall back: run the DIL algorithm over the full Dewey-sorted lists.
     let rdil_stats = run.stats();
-    let mut outcome = crate::dil_query::evaluate(pool, &index.dil, terms, opts)?;
+    let fallback_span = trace.span(Stage::DilFallback);
+    let mut outcome = crate::dil_query::evaluate_traced(pool, &index.dil, terms, opts, trace)?;
+    drop(fallback_span);
     outcome.stats = EvalStats {
         entries_scanned: outcome.stats.entries_scanned + rdil_stats.entries_scanned,
         btree_probes: rdil_stats.btree_probes,
         hash_probes: 0,
         range_scans: rdil_stats.range_scans,
         switched_to_dil: true,
+        switch: Some(decision),
     };
     Ok(outcome)
 }

@@ -97,7 +97,7 @@ pub(crate) fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(),
 /// Counters a query evaluation reports alongside its results. I/O volume
 /// is read from the buffer pool's own ledger; these count algorithmic
 /// work.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct EvalStats {
     /// Inverted-list entries consumed.
     pub entries_scanned: u64,
@@ -109,6 +109,31 @@ pub struct EvalStats {
     pub range_scans: u64,
     /// HDIL only: the adaptive strategy abandoned RDIL for DIL.
     pub switched_to_dil: bool,
+    /// HDIL only: the quantities behind the Section 4.4.2 switch decision,
+    /// recorded at the moment the strategy left RDIL. `None` when the
+    /// query finished on RDIL (no switch) or did not run HDIL at all.
+    pub switch: Option<SwitchDecision>,
+}
+
+/// Why (and with which numbers) HDIL abandoned RDIL for DIL — the
+/// Section 4.4.2 decision, made auditable. All costs are simulated I/O
+/// units of the engine's `CostModel`, the same quantity Figures 10–11
+/// plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchDecision {
+    /// Simulated cost spent in the RDIL phase when the decision fired.
+    pub spent: f64,
+    /// The `(m-r)·t/r` estimate of the remaining RDIL cost; `None` when
+    /// no result had been confirmed yet (the estimate is undefined) or
+    /// when the switch was forced by prefix exhaustion.
+    pub rdil_remaining: Option<f64>,
+    /// The a-priori DIL cost estimate (seeks + sequential scans over the
+    /// keyword lists' pages).
+    pub dil_estimate: f64,
+    /// Results confirmed above the TA threshold at the decision point.
+    pub confirmed: usize,
+    /// What triggered the switch.
+    pub reason: xrank_obs::SwitchReason,
 }
 
 /// A query outcome: ranked results plus work counters.

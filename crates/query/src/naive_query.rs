@@ -19,6 +19,7 @@ use std::collections::HashSet;
 use xrank_graph::{Collection, ElemId, TermId};
 use xrank_index::posting::NaivePosting;
 use xrank_index::{NaiveIdIndex, NaiveRankIndex};
+use xrank_obs::{EventData, QueryTrace, Stage};
 use xrank_storage::{BufferPool, PageStore};
 
 fn naive_occurrence_rank(p: &NaivePosting, opts: &QueryOptions) -> f64 {
@@ -42,12 +43,25 @@ pub fn evaluate_id<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
 ) -> Result<QueryOutcome, QueryError> {
+    evaluate_id_traced(pool, index, collection, terms, opts, &QueryTrace::disabled())
+}
+
+/// [`evaluate_id`] with the merge-join phase timed into `trace`.
+pub fn evaluate_id_traced<S: PageStore>(
+    pool: &BufferPool<S>,
+    index: &NaiveIdIndex,
+    collection: &Collection,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    trace: &QueryTrace,
+) -> Result<QueryOutcome, QueryError> {
     let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
         return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
+    let open_span = trace.span(Stage::ListOpen);
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
@@ -55,7 +69,9 @@ pub fn evaluate_id<S: PageStore>(
             None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
         }
     }
+    drop(open_span);
 
+    let merge_span = trace.span(Stage::MergeJoin);
     'merge: loop {
         crate::check_deadline(deadline)?;
         // Find the maximum head element id; advance every other list to it.
@@ -97,6 +113,11 @@ pub fn evaluate_id<S: PageStore>(
             heap.offer(dewey, score_group(&group, opts));
         }
     }
+    drop(merge_span);
+    trace.event(
+        Stage::MergeJoin,
+        EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
+    );
 
     Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }
@@ -110,12 +131,25 @@ pub fn evaluate_rank<S: PageStore>(
     terms: &[TermId],
     opts: &QueryOptions,
 ) -> Result<QueryOutcome, QueryError> {
+    evaluate_rank_traced(pool, index, collection, terms, opts, &QueryTrace::disabled())
+}
+
+/// [`evaluate_rank`] with the TA loop and hash probes timed into `trace`.
+pub fn evaluate_rank_traced<S: PageStore>(
+    pool: &BufferPool<S>,
+    index: &NaiveRankIndex,
+    collection: &Collection,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    trace: &QueryTrace,
+) -> Result<QueryOutcome, QueryError> {
     let deadline = opts.deadline();
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
         return Ok(QueryOutcome { results: heap.into_sorted(), stats });
     }
+    let open_span = trace.span(Stage::ListOpen);
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
@@ -123,6 +157,7 @@ pub fn evaluate_rank<S: PageStore>(
             None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
         }
     }
+    drop(open_span);
     let n = readers.len();
     let ta_safe = opts.aggregation == Aggregation::Max;
     let mut frontier: Vec<f64> = Vec::with_capacity(n);
@@ -132,6 +167,7 @@ pub fn evaluate_rank<S: PageStore>(
     let mut seen: HashSet<ElemId> = HashSet::new();
     let mut next_list = 0usize;
 
+    let ta_span = trace.span(Stage::TaLoop);
     loop {
         crate::check_deadline(deadline)?;
         // Round-robin over non-exhausted lists.
@@ -175,7 +211,10 @@ pub fn evaluate_rank<S: PageStore>(
                     continue;
                 }
                 stats.hash_probes += 1;
-                match index.lookup(pool, t, current.elem)? {
+                let probe_span = trace.span(Stage::HashProbe);
+                let probed = index.lookup(pool, t, current.elem)?;
+                drop(probe_span);
+                match probed {
                     Some((rank, positions)) => {
                         group.push(NaivePosting { elem: current.elem, rank, positions })
                     }
@@ -191,6 +230,17 @@ pub fn evaluate_rank<S: PageStore>(
             }
         }
 
+        if trace.is_enabled() && stats.entries_scanned.is_multiple_of(n as u64) {
+            trace.event(
+                Stage::TaRound,
+                EventData::TaRound {
+                    entries: stats.entries_scanned,
+                    threshold: frontier.iter().sum::<f64>(),
+                    confirmed: heap.len(),
+                },
+            );
+        }
+
         if ta_safe {
             if let Some(mth) = heap.mth_score() {
                 if mth >= frontier.iter().sum::<f64>() {
@@ -199,6 +249,7 @@ pub fn evaluate_rank<S: PageStore>(
             }
         }
     }
+    drop(ta_span);
 
     Ok(QueryOutcome { results: heap.into_sorted(), stats })
 }

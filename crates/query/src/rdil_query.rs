@@ -18,6 +18,7 @@ use crate::score::{Aggregation, QueryOptions, TopM};
 use crate::{EvalStats, QueryError, QueryOutcome};
 use std::collections::{HashMap, HashSet};
 use xrank_dewey::DeweyId;
+use xrank_obs::{EventData, QueryTrace, Stage};
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::posting::Posting;
@@ -39,6 +40,7 @@ pub enum StepOutcome {
 /// Resumable Figure 7 evaluation state.
 pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
     access: &'a A,
+    trace: &'a QueryTrace,
     terms: Vec<TermId>,
     opts: QueryOptions,
     readers: Vec<ListReader>,
@@ -58,13 +60,17 @@ pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
 impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     /// Prepares a run. Queries with a keyword absent from the vocabulary
     /// or the index finish immediately with no results. Fallible: seeding
-    /// the threshold frontier peeks each list's first page.
+    /// the threshold frontier peeks each list's first page. List opening
+    /// and frontier seeding are timed into `trace`, which the run keeps
+    /// for per-step recording (B+-tree probes, range scans, TA rounds).
     pub fn new(
         pool: &BufferPool<S>,
         access: &'a A,
         terms: &[TermId],
         opts: &QueryOptions,
+        trace: &'a QueryTrace,
     ) -> Result<Self, QueryError> {
+        let open_span = trace.span(Stage::ListOpen);
         let mut readers = Vec::with_capacity(terms.len());
         let mut viable = !terms.is_empty();
         for &t in terms {
@@ -83,8 +89,10 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 frontier[i] = r.peek(pool)?.map(|p| p.rank as f64).unwrap_or(0.0);
             }
         }
+        drop(open_span);
         Ok(RdilRun {
             access,
+            trace,
             terms: terms.to_vec(),
             opts: opts.clone(),
             readers,
@@ -184,7 +192,9 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 continue;
             }
             self.stats.btree_probes += 1;
+            let probe_span = self.trace.span(Stage::BtreeProbe);
             let (entry, pred) = self.access.lowest_geq(pool, self.terms[j], &lcp)?;
+            drop(probe_span);
             let via_entry = entry.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let via_pred = pred.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let keep = via_entry.max(via_pred);
@@ -206,10 +216,25 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 &lcp,
                 &self.opts,
                 &mut self.stats,
+                self.trace,
             )? {
                 self.heap.offer(lcp, score);
                 self.result_scores.push(score);
             }
+        }
+
+        // One TA "round" = one full round-robin cycle over the keyword
+        // lists; record its threshold for the EXPLAIN timeline (the
+        // quantity the Figure 7 stopping rule compares against).
+        if self.trace.is_enabled() && self.stats.entries_scanned.is_multiple_of(n as u64) {
+            self.trace.event(
+                Stage::TaRound,
+                EventData::TaRound {
+                    entries: self.stats.entries_scanned,
+                    threshold: self.threshold(),
+                    confirmed: self.confirmed_results(),
+                },
+            );
         }
 
         // Lines 26-28: the stopping condition.
@@ -252,13 +277,16 @@ pub(crate) fn score_candidate<S: PageStore, A: RankedAccess<S>>(
     lcp: &DeweyId,
     opts: &QueryOptions,
     stats: &mut EvalStats,
+    trace: &QueryTrace,
 ) -> Result<Option<f64>, QueryError> {
     let n = terms.len();
+    let scan_span = trace.span(Stage::RangeScan);
     let mut per_kw: Vec<Vec<Posting>> = Vec::with_capacity(n);
     for &t in terms {
         stats.range_scans += 1;
         per_kw.push(access.prefix_postings(pool, t, lcp)?);
     }
+    drop(scan_span);
 
     // Which direct children of lcp contain all keywords? (Counting
     // distinct keywords per child rather than bitmasking keeps arbitrary
@@ -317,8 +345,22 @@ pub fn evaluate<S: PageStore, A: RankedAccess<S>>(
     terms: &[TermId],
     opts: &QueryOptions,
 ) -> Result<QueryOutcome, QueryError> {
-    let mut run = RdilRun::new(pool, access, terms, opts)?;
+    evaluate_traced(pool, access, terms, opts, &QueryTrace::disabled())
+}
+
+/// [`evaluate`] with per-stage timings and TA-round events recorded into
+/// `trace`.
+pub fn evaluate_traced<S: PageStore, A: RankedAccess<S>>(
+    pool: &BufferPool<S>,
+    access: &A,
+    terms: &[TermId],
+    opts: &QueryOptions,
+    trace: &QueryTrace,
+) -> Result<QueryOutcome, QueryError> {
+    let mut run = RdilRun::new(pool, access, terms, opts, trace)?;
+    let ta_span = trace.span(Stage::TaLoop);
     run.run_to_end(pool)?;
+    drop(ta_span);
     Ok(run.finish())
 }
 

@@ -45,7 +45,7 @@ pub mod wire;
 
 pub use error::{crc32, StorageError, StorageResult};
 pub use fault::{FaultAt, FaultKind, FaultRule, FaultStore};
-pub use pool::{BufferPool, EvictionCounters, PageRef, STREAMS_PER_SEGMENT};
+pub use pool::{BufferPool, EvictionCounters, PageRef, SegmentIo, STREAMS_PER_SEGMENT};
 pub use stats::{AtomicIoStats, CostModel, IoStats, StatsScope};
 pub use store::{
     FileStore, MemStore, PageId, PageStore, SegmentId, StoreFormat, PAGE_SIZE, PAGE_TRAILER_LEN,

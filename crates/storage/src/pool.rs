@@ -40,10 +40,31 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub struct BufferPool<S: PageStore> {
     store: S,
     shards: Vec<Mutex<FrameShard>>,
-    streams: Vec<Mutex<HashMap<SegmentId, VecDeque<u32>>>>,
+    streams: Vec<Mutex<HashMap<SegmentId, SegStreams>>>,
     stats: AtomicIoStats,
     evictions: AtomicU64,
     hand_steps: AtomicU64,
+}
+
+/// Per-segment readahead state plus the physical-read tally for that
+/// segment. The tally feeds the observability layer's per-segment
+/// sequential/random gauges; it survives `clear_cache` (a cold start
+/// forgets *positions*, not history) and is zeroed by `reset_stats`.
+#[derive(Default)]
+struct SegStreams {
+    tails: VecDeque<u32>,
+    seq: u64,
+    rand: u64,
+}
+
+/// Physical-read counts for one segment, split by readahead
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentIo {
+    /// Reads that rode an active readahead stream.
+    pub seq_reads: u64,
+    /// Reads charged as seeks.
+    pub rand_reads: u64,
 }
 
 /// Maximum concurrent readahead streams tracked per segment.
@@ -236,16 +257,18 @@ impl<S: PageStore> BufferPool<S> {
             let mut table = lock(&self.streams[self.stream_index(id.segment)]);
             let streams = table.entry(id.segment).or_default();
             let prev = id.page.wrapping_sub(1);
-            if let Some(slot) = streams.iter().position(|&tail| tail == prev) {
+            if let Some(slot) = streams.tails.iter().position(|&tail| tail == prev) {
                 self.stats.add_seq();
-                streams.remove(slot);
+                streams.seq += 1;
+                streams.tails.remove(slot);
             } else {
                 self.stats.add_rand();
-                if streams.len() >= STREAMS_PER_SEGMENT {
-                    streams.pop_front();
+                streams.rand += 1;
+                if streams.tails.len() >= STREAMS_PER_SEGMENT {
+                    streams.tails.pop_front();
                 }
             }
-            streams.push_back(id.page);
+            streams.tails.push_back(id.page);
         }
 
         let mut data = vec![0u8; PAGE_SIZE];
@@ -288,13 +311,16 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Drops all cached pages and forgets read positions — the cold-cache
-    /// starting state of the paper's experiments.
+    /// starting state of the paper's experiments. Per-segment read tallies
+    /// are kept: a cold start erases *state*, not *history*.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
             lock(shard).clear();
         }
         for table in &self.streams {
-            lock(table).clear();
+            for streams in lock(table).values_mut() {
+                streams.tails.clear();
+            }
         }
     }
 
@@ -304,12 +330,36 @@ impl<S: PageStore> BufferPool<S> {
         self.stats.snapshot()
     }
 
-    /// Zeroes the ledger and eviction counters (cache contents are kept;
-    /// combine with [`BufferPool::clear_cache`] for a cold run).
+    /// Zeroes the ledger, eviction counters, and per-segment read tallies
+    /// (cache contents are kept; combine with [`BufferPool::clear_cache`]
+    /// for a cold run).
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.evictions.store(0, Ordering::Relaxed);
         self.hand_steps.store(0, Ordering::Relaxed);
+        for table in &self.streams {
+            for streams in lock(table).values_mut() {
+                streams.seq = 0;
+                streams.rand = 0;
+            }
+        }
+    }
+
+    /// Per-segment physical-read tallies, sorted by segment id. Feeds the
+    /// observability layer's `pool_segment_*_reads` gauges: the storage
+    /// crate keeps plain counters and the engine publishes them at scrape
+    /// time, so this crate stays dependency-free.
+    pub fn segment_io(&self) -> Vec<(SegmentId, SegmentIo)> {
+        let mut out = Vec::new();
+        for table in &self.streams {
+            for (&seg, streams) in lock(table).iter() {
+                if streams.seq > 0 || streams.rand > 0 {
+                    out.push((seg, SegmentIo { seq_reads: streams.seq, rand_reads: streams.rand }));
+                }
+            }
+        }
+        out.sort_by_key(|(seg, _)| *seg);
+        out
     }
 
     /// Eviction-work counters (see [`EvictionCounters`]).

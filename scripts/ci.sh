@@ -19,6 +19,9 @@ cargo test -q -p xrank-core --offline --test persistence
 echo "== fault smoke (corrupt a page, assert typed failure + recovery) =="
 scripts/fault_smoke.sh
 
+echo "== obs smoke (EXPLAIN stages + Prometheus exposition) =="
+scripts/obs_smoke.sh
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

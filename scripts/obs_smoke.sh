@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Observability smoke: index a tiny document, run one query with
+# --explain --metrics, and assert (a) the EXPLAIN trace carries the
+# expected stages, (b) the Prometheus exposition carries the expected
+# metric families, and (c) every sample line parses as `name value`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/xrank
+[ -x "$BIN" ] || cargo build --release --offline
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+cat > "$dir/doc.xml" <<'XML'
+<workshop>
+  <paper>
+    <title>XQL and Proximal Nodes</title>
+    <body>the XQL query language</body>
+  </paper>
+</workshop>
+XML
+
+"$BIN" index "$dir/idx" "$dir/doc.xml" > /dev/null
+
+out=$("$BIN" search "$dir/idx" xql language --strategy hdil --explain --metrics)
+
+fail() { echo "obs_smoke: $1" >&2; echo "$out" >&2; exit 1; }
+
+# The trace: header, the stages every variant records, and the
+# rank-sorted phase HDIL always starts on.
+grep -q 'EXPLAIN "xql language" strategy=hdil' <<<"$out" || fail "missing EXPLAIN header"
+grep -q 'tokenize' <<<"$out" || fail "missing tokenize stage"
+grep -q 'ta_loop' <<<"$out" || fail "missing ta_loop stage"
+grep -q 'present' <<<"$out" || fail "missing present stage"
+
+# The exposition: one sample per expected family, and the query we just
+# ran must be counted.
+for fam in \
+  xrank_queries_total \
+  xrank_query_errors_total \
+  xrank_query_latency_us_bucket \
+  xrank_query_latency_us_count \
+  xrank_pool_hit_ratio_ppm \
+  xrank_pool_seq_reads \
+  xrank_slow_queries_total
+do
+  grep -q "^$fam" <<<"$out" || fail "missing metric family $fam"
+done
+grep -q '^xrank_queries_total{strategy="hdil"} 1$' <<<"$out" \
+  || fail "hdil query not counted"
+
+# Every sample line is `series value` with a numeric value.
+awk '
+  /^xrank_/ {
+    if (NF != 2 || $2 !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) {
+      print "obs_smoke: unparseable sample: " $0
+      bad = 1
+    }
+  }
+  END { exit bad }
+' <<<"$out"
+
+echo "obs_smoke: ok"

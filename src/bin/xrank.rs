@@ -4,8 +4,13 @@
 //! xrank index  <dir> <file.xml|file.html>...   build a persistent index
 //! xrank demo   <dir> [--dblp N | --xmark S]    build from a generated corpus
 //! xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil]
+//!                                  [--explain] [--metrics]
 //! xrank stats  <dir>                           collection statistics
 //! ```
+//!
+//! `--explain` runs the query traced and prints the per-stage timeline
+//! (and, under HDIL, the switch decision with both cost estimates);
+//! `--metrics` dumps the engine's Prometheus exposition after the query.
 //!
 //! `index`/`demo` write the engine under `<dir>` (pages in `<dir>/store/`,
 //! metadata in `<dir>/xrank-meta.bin`); `search`/`stats` reopen it without
@@ -27,7 +32,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  xrank index  <dir> <file.xml|file.html>...\n  \
                  xrank demo   <dir> [--dblp N | --xmark SCALE]\n  \
-                 xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil]\n  \
+                 xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil] \
+                 [--explain] [--metrics]\n  \
                  xrank stats  <dir>"
             );
             return ExitCode::from(2);
@@ -111,6 +117,8 @@ fn cmd_search(args: &[String]) -> CliResult {
     let dir = args.first().ok_or("search: missing <dir>")?;
     let mut m = 10usize;
     let mut any = false;
+    let mut explain = false;
+    let mut metrics = false;
     let mut strategy = Strategy::Hdil;
     let mut words: Vec<&str> = Vec::new();
     let mut i = 1;
@@ -124,6 +132,8 @@ fn cmd_search(args: &[String]) -> CliResult {
                     .ok_or("search: -m needs a number")?;
             }
             "--any" => any = true,
+            "--explain" => explain = true,
+            "--metrics" => metrics = true,
             "--strategy" => {
                 i += 1;
                 strategy = match args.get(i).map(String::as_str) {
@@ -142,8 +152,23 @@ fn cmd_search(args: &[String]) -> CliResult {
     }
     let query = words.join(" ");
 
+    if explain && any {
+        return Err("search: --explain applies to conjunctive queries (drop --any)".into());
+    }
+
     let engine = XRankEngine::<FileStore>::open(dir, engine_config())
         .map_err(|e| format!("opening {dir}: {e}"))?;
+    if explain {
+        let opts = QueryOptions { top_m: m, ..Default::default() };
+        let report = engine
+            .explain(&query, strategy, &opts)
+            .map_err(|e| format!("query failed: {e}"))?;
+        print!("{report}");
+        if metrics {
+            print!("{}", engine.render_metrics());
+        }
+        return Ok(());
+    }
     let results = if any {
         engine.search_any(&query, m)
     } else {
@@ -153,17 +178,20 @@ fn cmd_search(args: &[String]) -> CliResult {
     .map_err(|e| format!("query failed: {e}"))?;
     if results.hits.is_empty() {
         println!("no results for {query:?}");
-        return Ok(());
+    } else {
+        print!("{}", results.render());
+        println!(
+            "\n{} hits in {:.1}ms — {} entries scanned, {} seq + {} random page reads",
+            results.hits.len(),
+            results.elapsed.as_secs_f64() * 1e3,
+            results.eval.entries_scanned,
+            results.io.seq_reads,
+            results.io.rand_reads,
+        );
     }
-    print!("{}", results.render());
-    println!(
-        "\n{} hits in {:.1}ms — {} entries scanned, {} seq + {} random page reads",
-        results.hits.len(),
-        results.elapsed.as_secs_f64() * 1e3,
-        results.eval.entries_scanned,
-        results.io.seq_reads,
-        results.io.rand_reads,
-    );
+    if metrics {
+        print!("{}", engine.render_metrics());
+    }
     Ok(())
 }
 

@@ -35,13 +35,14 @@
 //! | [`index`] | `xrank-index` | §4.1–4.4 index family |
 //! | [`query`] | `xrank-query` | Fig. 5, Fig. 7, §4.4.2 |
 //! | [`datagen`] | `xrank-datagen` | §5.1 datasets |
+//! | [`obs`] | `xrank-obs` | metrics + query tracing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use xrank_core::{
-    AnswerNodes, EngineBuilder, EngineConfig, QueryExecutor, QueryRequest, SearchHit,
-    SearchResults, Strategy, UpdatableXRank, XRankEngine,
+    AnswerNodes, EngineBuilder, EngineConfig, Explain, ObsConfig, QueryExecutor, QueryRequest,
+    SearchHit, SearchResults, SlowQueryEntry, Strategy, UpdatableXRank, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).
@@ -82,6 +83,11 @@ pub mod query {
 /// Dataset and workload generators (`xrank-datagen`).
 pub mod datagen {
     pub use xrank_datagen::*;
+}
+
+/// Metrics registry and per-query tracing (`xrank-obs`).
+pub mod obs {
+    pub use xrank_obs::*;
 }
 
 /// The engine facade (`xrank-core`).
