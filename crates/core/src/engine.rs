@@ -5,7 +5,7 @@ use crate::telemetry::{
     strategy_label, EngineMetrics, Explain, ObsConfig, SlowQueryEntry, SlowQueryLog, ANY_SLOT,
 };
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use xrank_graph::{Collection, CollectionBuilder, ElemId, LinkSpec, TermId};
 use xrank_index::{
     direct_postings_weighted, naive_postings, HdilIndex, NaiveIdIndex, NaiveRankIndex,
@@ -15,7 +15,7 @@ use xrank_obs::{MetricsRegistry, QueryTrace, Stage};
 use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryError, QueryOptions};
 use xrank_rank::{elem_rank, ElemRankParams, RankResult};
 use xrank_storage::{
-    BufferPool, CostModel, FileStore, MemStore, PageStore, StatsScope, StorageResult,
+    BufferPool, CostModel, FaultPolicy, FileStore, MemStore, PageStore, StatsScope, StorageResult,
 };
 
 /// Which evaluation strategy [`XRankEngine::search_with`] runs.
@@ -70,6 +70,15 @@ pub struct EngineConfig {
     pub weighting: RankWeighting,
     /// Observability: metrics gating, slow-query log threshold/capacity.
     pub obs: ObsConfig,
+    /// Engine-level concurrency backstop: the maximum number of queries
+    /// evaluating simultaneously through [`XRankEngine::query`]. `0`
+    /// (default) means unbounded; a positive value makes excess callers
+    /// wait — the executor's admission policy is the place to shed, this
+    /// is the last line of defense for direct callers.
+    pub max_in_flight: usize,
+    /// Retry and circuit-breaker behavior for physical page reads
+    /// (defaults to fully disabled: every fault surfaces immediately).
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,8 @@ impl Default for EngineConfig {
             link_spec: LinkSpec::default(),
             weighting: RankWeighting::ElemRank,
             obs: ObsConfig::default(),
+            max_in_flight: 0,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
@@ -171,6 +182,7 @@ impl EngineBuilder {
         let collection = self.collection.build();
         let ranks = elem_rank(&collection, &self.config.rank_params);
         let mut pool = BufferPool::new(store, self.config.pool_pages);
+        pool.set_fault_policy(self.config.fault_policy);
 
         let direct = direct_postings_weighted(&collection, &ranks.scores, self.config.weighting);
         let hdil = HdilIndex::build(&mut pool, &direct)?;
@@ -209,6 +221,52 @@ impl Default for EngineBuilder {
     }
 }
 
+/// Counting semaphore bounding concurrent evaluations
+/// ([`EngineConfig::max_in_flight`]); `limit == 0` disables it entirely.
+struct InFlightLimiter {
+    limit: usize,
+    active: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl InFlightLimiter {
+    fn new(limit: usize) -> Self {
+        InFlightLimiter { limit, active: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    /// Blocks until a slot frees up (no-op when unbounded). The returned
+    /// permit releases the slot on drop — including on error paths and
+    /// panics, so a failed query can never leak a slot.
+    fn acquire(&self) -> InFlightPermit<'_> {
+        if self.limit > 0 {
+            let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+            while *active >= self.limit {
+                active = self.cv.wait(active).unwrap_or_else(|e| e.into_inner());
+            }
+            *active += 1;
+        }
+        InFlightPermit { limiter: self }
+    }
+}
+
+struct InFlightPermit<'a> {
+    limiter: &'a InFlightLimiter,
+}
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        if self.limiter.limit > 0 {
+            let mut active = self
+                .limiter
+                .active
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *active = active.saturating_sub(1);
+            self.limiter.cv.notify_one();
+        }
+    }
+}
+
 /// The built search engine (in memory by default; see
 /// [`EngineBuilder::build_persistent`] / [`XRankEngine::open`] for the
 /// file-backed form).
@@ -225,6 +283,7 @@ pub struct XRankEngine<S: PageStore = MemStore> {
     metrics: Arc<MetricsRegistry>,
     emetrics: EngineMetrics,
     slow_log: SlowQueryLog,
+    limiter: InFlightLimiter,
 }
 
 impl<S: PageStore> XRankEngine<S> {
@@ -245,6 +304,7 @@ impl<S: PageStore> XRankEngine<S> {
             .filter_map(|w| self.collection.vocabulary().lookup(w))
             .collect();
         self.pool.clear_cache();
+        let _permit = self.limiter.acquire();
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let outcome =
@@ -259,8 +319,18 @@ impl<S: PageStore> XRankEngine<S> {
         let io = scope.finish();
         let hits = self.present(outcome.results, opts.top_m);
         self.emetrics.record_ok(ANY_SLOT, elapsed);
+        if let Some(reason) = outcome.degraded {
+            self.emetrics.record_degraded(reason);
+        }
         self.note_slow(query, "any", elapsed, hits.len());
-        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed, trace: None })
+        Ok(SearchResults {
+            hits,
+            eval: outcome.stats,
+            io,
+            elapsed,
+            trace: None,
+            degraded: outcome.degraded,
+        })
     }
 
     /// Searches with an explicit strategy and options. The buffer pool is
@@ -326,6 +396,7 @@ impl<S: PageStore> XRankEngine<S> {
             elapsed: results.elapsed,
             eval: results.eval,
             io: results.io,
+            degraded: results.degraded,
             trace: results.trace.unwrap_or_default(),
         })
     }
@@ -337,6 +408,7 @@ impl<S: PageStore> XRankEngine<S> {
         opts: &QueryOptions,
         trace: QueryTrace,
     ) -> Result<SearchResults, QueryError> {
+        let _permit = self.limiter.acquire();
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let tokenize_span = trace.span(Stage::Tokenize);
@@ -362,6 +434,7 @@ impl<S: PageStore> XRankEngine<S> {
             (_, None) => Ok(xrank_query::QueryOutcome {
                 results: Vec::new(),
                 stats: Default::default(),
+                degraded: None,
             }),
             (Strategy::Dil, Some(t)) => {
                 dil_query::evaluate_traced(&self.pool, &self.hdil.dil, t, opts, &trace)
@@ -423,9 +496,19 @@ impl<S: PageStore> XRankEngine<S> {
         let io = scope.finish();
 
         self.emetrics.record_ok(EngineMetrics::slot_for(strategy), elapsed);
+        if let Some(reason) = outcome.degraded {
+            self.emetrics.record_degraded(reason);
+        }
         self.note_slow(query, strategy_label(strategy), elapsed, hits.len());
         let trace = trace.is_enabled().then(|| trace.finish());
-        Ok(SearchResults { hits, eval: outcome.stats, io, elapsed, trace })
+        Ok(SearchResults {
+            hits,
+            eval: outcome.stats,
+            io,
+            elapsed,
+            trace,
+            degraded: outcome.degraded,
+        })
     }
 
     fn note_slow(&self, query: &str, strategy: &'static str, elapsed: std::time::Duration, hits: usize) {
@@ -586,6 +669,12 @@ impl<S: PageStore> XRankEngine<S> {
             .checked_div(io.logical_reads())
             .unwrap_or(0) as i64;
         m.gauge("xrank_pool_hit_ratio_ppm").set(ratio_ppm);
+        let fc = self.pool.fault_counters();
+        m.gauge("xrank_pool_read_retries").set(fc.retries as i64);
+        m.gauge("xrank_pool_retry_successes").set(fc.retry_successes as i64);
+        m.gauge("xrank_pool_breaker_trips").set(fc.breaker_trips as i64);
+        m.gauge("xrank_pool_breaker_fast_fails").set(fc.breaker_fast_fails as i64);
+        m.gauge("xrank_pool_breaker_recoveries").set(fc.breaker_recoveries as i64);
         for (seg, sio) in self.pool.segment_io() {
             m.gauge(&format!(
                 "xrank_pool_segment_reads{{segment=\"{}\",kind=\"seq\"}}",
@@ -665,6 +754,7 @@ impl<S: PageStore> XRankEngine<S> {
         });
         let emetrics = EngineMetrics::new(&metrics);
         let slow_log = SlowQueryLog::new(&config.obs);
+        let limiter = InFlightLimiter::new(config.max_in_flight);
         XRankEngine {
             config,
             collection,
@@ -678,6 +768,7 @@ impl<S: PageStore> XRankEngine<S> {
             metrics,
             emetrics,
             slow_log,
+            limiter,
         }
     }
 }

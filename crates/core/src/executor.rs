@@ -8,15 +8,24 @@
 //! blocks once `queue_depth` requests are waiting, so a load generator
 //! naturally runs closed-loop at the service rate instead of building an
 //! unbounded backlog.
+//!
+//! Overload protection: an [`AdmissionPolicy`] decides what a full queue
+//! means — [`AdmissionPolicy::Shed`] rejects immediately with typed
+//! [`QueryError::Overloaded`] (the load-shedding posture: a fast *no*
+//! beats a slow *yes* under saturation), while [`AdmissionPolicy::Block`]
+//! waits, optionally up to a submission deadline. [`QueryExecutor::try_submit`]
+//! is the never-blocking entry point regardless of policy. Shutdown flags
+//! a shared [`CancelToken`] that in-flight queries observe at their loop
+//! boundaries, so it cannot hang on a long-running evaluation.
 
 use crate::engine::{Strategy, XRankEngine};
 use crate::results::SearchResults;
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xrank_obs::{Counter, Gauge, Histogram, MetricsRegistry};
-use xrank_query::{QueryError, QueryOptions};
+use xrank_query::{CancelToken, QueryError, QueryOptions};
 use xrank_storage::PageStore;
 
 /// What a worker sends back for one request: the results, or the typed
@@ -41,6 +50,26 @@ impl QueryRequest {
     }
 }
 
+/// What [`QueryExecutor::submit`] does when the bounded queue is full.
+///
+/// The default, `Block { submission_timeout: None }`, preserves the
+/// original closed-loop backpressure: submitters wait indefinitely for a
+/// slot. `Shed` turns the executor into a load-shedding server — a full
+/// queue yields an immediate typed [`QueryError::Overloaded`] so the
+/// caller can retry elsewhere instead of piling onto a saturated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait for a queue slot; with `Some(timeout)`, give up and return
+    /// [`QueryError::Overloaded`] once the submission deadline passes.
+    #[default]
+    Block,
+    /// Like [`AdmissionPolicy::Block`] but bounded: waiting longer than
+    /// the given duration for a queue slot sheds the request.
+    BlockWithDeadline(Duration),
+    /// Reject immediately when the queue is full.
+    Shed,
+}
+
 struct Task {
     request: QueryRequest,
     reply: Sender<QueryReply>,
@@ -59,6 +88,11 @@ struct ExecMetrics {
     err_storage: Counter,
     err_timeout: Counter,
     err_unavailable: Counter,
+    err_overloaded: Counter,
+    err_budget: Counter,
+    /// Requests rejected at admission (queue full under `Shed`, or a
+    /// `BlockWithDeadline` submission that timed out).
+    sheds: Counter,
 }
 
 impl ExecMetrics {
@@ -71,6 +105,9 @@ impl ExecMetrics {
             err_storage: registry.counter("xrank_executor_errors_total{kind=\"storage\"}"),
             err_timeout: registry.counter("xrank_executor_errors_total{kind=\"timeout\"}"),
             err_unavailable: registry.counter("xrank_executor_errors_total{kind=\"unavailable\"}"),
+            err_overloaded: registry.counter("xrank_executor_errors_total{kind=\"overloaded\"}"),
+            err_budget: registry.counter("xrank_executor_errors_total{kind=\"budget\"}"),
+            sheds: registry.counter("xrank_executor_sheds_total"),
         }
     }
 
@@ -79,6 +116,8 @@ impl ExecMetrics {
             QueryError::Storage(_) => self.err_storage.inc(),
             QueryError::Timeout => self.err_timeout.inc(),
             QueryError::Unavailable(_) => self.err_unavailable.inc(),
+            QueryError::Overloaded => self.err_overloaded.inc(),
+            QueryError::BudgetExhausted => self.err_budget.inc(),
         }
     }
 }
@@ -86,13 +125,20 @@ impl ExecMetrics {
 /// A fixed pool of worker threads serving queries from a bounded queue
 /// against one shared [`XRankEngine`].
 ///
-/// [`QueryExecutor::shutdown`] (or dropping the executor) closes the
-/// queue and joins the workers after they drain the remaining requests —
-/// accepted work always gets a reply.
+/// [`QueryExecutor::shutdown`] flags a shared cancel token (observed by
+/// in-flight queries at their evaluation loop boundaries, so shutdown
+/// cannot hang on a long-running query), then closes the queue and joins
+/// the workers — accepted work always gets a *reply*, though under
+/// explicit shutdown that reply may be `Err(Unavailable)`. Dropping the
+/// executor instead drains gracefully without cancelling.
 pub struct QueryExecutor {
     tx: Option<SyncSender<Task>>,
     workers: Vec<JoinHandle<()>>,
     metrics: ExecMetrics,
+    policy: AdmissionPolicy,
+    /// Shared shutdown signal, cloned into every query that does not carry
+    /// its own cancel token.
+    shutdown: CancelToken,
 }
 
 impl QueryExecutor {
@@ -105,7 +151,22 @@ impl QueryExecutor {
     where
         S: PageStore + Send + Sync + 'static,
     {
+        Self::with_policy(engine, workers, queue_depth, AdmissionPolicy::default())
+    }
+
+    /// [`QueryExecutor::new`] with an explicit [`AdmissionPolicy`]
+    /// governing what a full queue means for [`QueryExecutor::submit`].
+    pub fn with_policy<S>(
+        engine: Arc<XRankEngine<S>>,
+        workers: usize,
+        queue_depth: usize,
+        policy: AdmissionPolicy,
+    ) -> Self
+    where
+        S: PageStore + Send + Sync + 'static,
+    {
         let metrics = ExecMetrics::new(engine.metrics());
+        let shutdown = CancelToken::new();
         let (tx, rx) = sync_channel::<Task>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
@@ -113,17 +174,60 @@ impl QueryExecutor {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&rx);
                 let metrics = metrics.clone();
-                std::thread::spawn(move || worker_loop(&engine, &rx, &metrics))
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || worker_loop(&engine, &rx, &metrics, &shutdown))
             })
             .collect();
-        QueryExecutor { tx: Some(tx), workers, metrics }
+        QueryExecutor { tx: Some(tx), workers, metrics, policy, shutdown }
     }
 
-    /// Enqueues a request, blocking while the queue is full. The returned
-    /// channel yields the reply when a worker finishes it. Fails with
+    /// The admission policy this executor was built with.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Enqueues a request according to the executor's [`AdmissionPolicy`]:
+    /// `Block` waits for a slot, `BlockWithDeadline` waits up to the
+    /// submission deadline, `Shed` never waits. The returned channel
+    /// yields the reply when a worker finishes it. Fails with
+    /// [`QueryError::Overloaded`] when admission is denied, and with
     /// [`QueryError::Unavailable`] instead of panicking if the executor
     /// has shut down or every worker has exited.
     pub fn submit(&self, request: QueryRequest) -> Result<Receiver<QueryReply>, QueryError> {
+        match self.policy {
+            AdmissionPolicy::Block => self.submit_blocking(request),
+            AdmissionPolicy::BlockWithDeadline(timeout) => {
+                self.submit_with_deadline(request, timeout)
+            }
+            AdmissionPolicy::Shed => self.try_submit(request),
+        }
+    }
+
+    /// Never-blocking admission, regardless of policy: a full queue is an
+    /// immediate typed [`QueryError::Overloaded`].
+    pub fn try_submit(&self, request: QueryRequest) -> Result<Receiver<QueryReply>, QueryError> {
+        let (reply, result) = std::sync::mpsc::channel();
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or(QueryError::Unavailable("executor is shut down"))?;
+        match tx.try_send(Task { request, reply, submitted: Instant::now() }) {
+            Ok(()) => {
+                self.metrics.queue_depth.add(1);
+                Ok(result)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.sheds.inc();
+                self.metrics.record_error(&QueryError::Overloaded);
+                Err(QueryError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(QueryError::Unavailable("executor workers exited"))
+            }
+        }
+    }
+
+    fn submit_blocking(&self, request: QueryRequest) -> Result<Receiver<QueryReply>, QueryError> {
         let (reply, result) = std::sync::mpsc::channel();
         let tx = self
             .tx
@@ -133,6 +237,44 @@ impl QueryExecutor {
             .map_err(|_| QueryError::Unavailable("executor workers exited"))?;
         self.metrics.queue_depth.add(1);
         Ok(result)
+    }
+
+    /// Block-with-deadline admission. `std::sync::mpsc` has no
+    /// `send_timeout`, so this polls `try_send` with a short sleep; the
+    /// task is handed back through [`TrySendError::Full`] on every failed
+    /// attempt, so no work is cloned or lost while waiting.
+    fn submit_with_deadline(
+        &self,
+        request: QueryRequest,
+        timeout: Duration,
+    ) -> Result<Receiver<QueryReply>, QueryError> {
+        let (reply, result) = std::sync::mpsc::channel();
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or(QueryError::Unavailable("executor is shut down"))?;
+        let deadline = Instant::now() + timeout;
+        let mut task = Task { request, reply, submitted: Instant::now() };
+        loop {
+            match tx.try_send(task) {
+                Ok(()) => {
+                    self.metrics.queue_depth.add(1);
+                    return Ok(result);
+                }
+                Err(TrySendError::Full(t)) => {
+                    if Instant::now() >= deadline {
+                        self.metrics.sheds.inc();
+                        self.metrics.record_error(&QueryError::Overloaded);
+                        return Err(QueryError::Overloaded);
+                    }
+                    task = t;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(QueryError::Unavailable("executor workers exited"));
+                }
+            }
+        }
     }
 
     /// Runs a request to completion on a worker (blocking convenience
@@ -148,11 +290,17 @@ impl QueryExecutor {
         self.workers.len()
     }
 
-    /// Graceful shutdown: stops accepting new work, lets the workers
-    /// drain every already-submitted request (each submitter still gets
-    /// its reply), and joins the threads. Consuming `self` makes
-    /// post-shutdown submission unrepresentable.
+    /// Prompt shutdown: flags the shared cancel token — in-flight queries
+    /// observe it at their next evaluation loop boundary and abort with
+    /// [`QueryError::Unavailable`] — then closes the queue and joins the
+    /// threads. Every accepted request still gets a reply, but requests
+    /// overtaken by shutdown reply `Err(Unavailable)` rather than running
+    /// to completion; a long-running query can therefore never stall the
+    /// shutdown. Consuming `self` makes post-shutdown submission
+    /// unrepresentable. (Dropping the executor instead drains gracefully,
+    /// without cancelling.)
     pub fn shutdown(mut self) {
+        self.shutdown.cancel();
         self.close_and_join();
     }
 
@@ -174,6 +322,7 @@ fn worker_loop<S: PageStore>(
     engine: &XRankEngine<S>,
     rx: &Mutex<Receiver<Task>>,
     metrics: &ExecMetrics,
+    shutdown: &CancelToken,
 ) {
     loop {
         // Hold the lock only to dequeue, never while evaluating.
@@ -188,9 +337,14 @@ fn worker_loop<S: PageStore>(
             .observe(submitted.elapsed().as_secs_f64() * 1e6);
         metrics.in_flight.add(1);
         let started = Instant::now();
-        let opts = request
+        let mut opts = request
             .opts
             .unwrap_or_else(|| engine.config().query.clone());
+        // Queries that did not bring their own cancel token observe the
+        // executor's shutdown signal at their loop boundaries.
+        if opts.cancel.is_none() {
+            opts.cancel = Some(shutdown.clone());
+        }
         let results = engine.query(&request.query, request.strategy, &opts);
         metrics.wall_us.observe(started.elapsed().as_secs_f64() * 1e6);
         metrics.in_flight.sub(1);
@@ -255,17 +409,94 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_drains_accepted_work() {
+    fn shutdown_replies_to_every_accepted_request() {
         let engine = small_engine();
         let exec = QueryExecutor::new(engine, 2, 64);
         let pending: Vec<_> = (0..32)
             .map(|_| exec.submit(QueryRequest::new("shared words", Strategy::Hdil)).unwrap())
             .collect();
-        exec.shutdown(); // blocks until every accepted request is served
+        exec.shutdown(); // flags cancel, then joins after the queue drains
         for rx in pending {
-            let r = rx.recv().expect("reply delivered before shutdown returned").unwrap();
+            // Shutdown is prompt, not graceful: each accepted request gets
+            // either its results (if it completed before the flag was
+            // observed) or a typed Unavailable — never a hang or a dropped
+            // reply channel.
+            match rx.recv().expect("reply delivered before shutdown returned") {
+                Ok(r) => assert!(!r.hits.is_empty()),
+                Err(QueryError::Unavailable(_)) => {}
+                Err(e) => panic!("unexpected shutdown reply: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_still_drains_gracefully() {
+        let engine = small_engine();
+        let exec = QueryExecutor::new(engine, 2, 64);
+        let pending: Vec<_> = (0..16)
+            .map(|_| exec.submit(QueryRequest::new("shared words", Strategy::Dil)).unwrap())
+            .collect();
+        drop(exec); // no cancel flag: accepted work runs to completion
+        for rx in pending {
+            let r = rx.recv().expect("reply").unwrap();
             assert!(!r.hits.is_empty());
         }
+    }
+
+    #[test]
+    fn shed_policy_rejects_with_typed_overloaded() {
+        let engine = small_engine();
+        // One worker, queue depth 1: rapid-fire submissions must overrun
+        // the queue, and under Shed the overflow is a typed error.
+        let exec =
+            QueryExecutor::with_policy(Arc::clone(&engine), 1, 1, AdmissionPolicy::Shed);
+        let mut accepted = Vec::new();
+        let mut shed = 0u32;
+        for _ in 0..64 {
+            match exec.submit(QueryRequest::new("shared words", Strategy::Hdil)) {
+                Ok(rx) => accepted.push(rx),
+                Err(QueryError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e:?}"),
+            }
+        }
+        // With 64 rapid-fire submissions against worker=1/queue=1, at
+        // least one must have been shed (the queue can hold only one).
+        assert!(shed > 0, "expected at least one shed");
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("xrank_executor_sheds_total") as u32, shed);
+        assert_eq!(
+            snap.counter("xrank_executor_errors_total{kind=\"overloaded\"}") as u32,
+            shed
+        );
+        for rx in accepted {
+            rx.recv().expect("accepted work still served").unwrap();
+        }
+    }
+
+    #[test]
+    fn block_with_deadline_sheds_after_timeout() {
+        let engine = small_engine();
+        let exec = QueryExecutor::with_policy(
+            engine,
+            1,
+            1,
+            AdmissionPolicy::BlockWithDeadline(Duration::from_millis(5)),
+        );
+        let mut shed = 0u32;
+        let mut accepted = Vec::new();
+        for _ in 0..32 {
+            match exec.submit(QueryRequest::new("shared words", Strategy::Hdil)) {
+                Ok(rx) => accepted.push(rx),
+                Err(QueryError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e:?}"),
+            }
+        }
+        for rx in accepted {
+            rx.recv().expect("accepted work still served").unwrap();
+        }
+        // Submissions that were shed waited at least the 5ms deadline and
+        // got the typed error; this cannot deadlock regardless of count.
+        let _ = shed;
     }
 
     #[test]

@@ -39,7 +39,8 @@ mod telemetry;
 mod update;
 
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
-pub use executor::{QueryExecutor, QueryReply, QueryRequest};
+pub use executor::{AdmissionPolicy, QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
 pub use telemetry::{Explain, ObsConfig, SlowQueryEntry};
 pub use update::UpdatableXRank;
+pub use xrank_obs::DegradeReason;

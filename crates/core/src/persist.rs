@@ -220,7 +220,8 @@ impl XRankEngine<FileStore> {
         // Full checksum scan: a bit-flipped or truncated segment fails the
         // open with a descriptive error instead of surfacing mid-query.
         store.verify().map_err(io::Error::from)?;
-        let pool = BufferPool::new(store, config.pool_pages);
+        let mut pool = BufferPool::new(store, config.pool_pages);
+        pool.set_fault_policy(config.fault_policy);
         Ok(XRankEngine::from_parts(
             config, collection, ranks, pool, hdil, rdil, naive_id, naive_rank, html_docs,
         ))

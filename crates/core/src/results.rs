@@ -2,7 +2,7 @@
 
 use xrank_dewey::DeweyId;
 use xrank_graph::ElemId;
-use xrank_obs::Trace;
+use xrank_obs::{DegradeReason, Trace};
 use xrank_query::EvalStats;
 use xrank_storage::IoStats;
 
@@ -40,6 +40,20 @@ pub struct SearchResults {
     /// [`crate::XRankEngine::query_traced`] /
     /// [`crate::XRankEngine::explain`]; `None` on the untraced path.
     pub trace: Option<Trace>,
+    /// `Some(reason)` when the evaluation stopped early (deadline or I/O
+    /// budget, with `allow_partial` set) and `hits` is the best-so-far
+    /// top-k rather than the full answer. Degraded hits carry exact
+    /// scores and are order-consistent with the unbudgeted ranking; the
+    /// set may simply be missing results the cut-off evaluation never
+    /// reached. `None` means the answer is complete.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl SearchResults {
+    /// Whether this is a partial (degraded) answer.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
 }
 
 impl SearchResults {

@@ -80,6 +80,10 @@ pub(crate) struct EngineMetrics {
     err_storage: Counter,
     err_timeout: Counter,
     err_unavailable: Counter,
+    err_overloaded: Counter,
+    err_budget: Counter,
+    degraded_deadline: Counter,
+    degraded_budget: Counter,
     slow_queries: Counter,
 }
 
@@ -98,6 +102,10 @@ impl EngineMetrics {
             err_storage: registry.counter("xrank_query_errors_total{kind=\"storage\"}"),
             err_timeout: registry.counter("xrank_query_errors_total{kind=\"timeout\"}"),
             err_unavailable: registry.counter("xrank_query_errors_total{kind=\"unavailable\"}"),
+            err_overloaded: registry.counter("xrank_query_errors_total{kind=\"overloaded\"}"),
+            err_budget: registry.counter("xrank_query_errors_total{kind=\"budget\"}"),
+            degraded_deadline: registry.counter("xrank_queries_degraded_total{reason=\"deadline\"}"),
+            degraded_budget: registry.counter("xrank_queries_degraded_total{reason=\"io_budget\"}"),
             slow_queries: registry.counter("xrank_slow_queries_total"),
         }
     }
@@ -115,6 +123,16 @@ impl EngineMetrics {
             QueryError::Storage(_) => self.err_storage.inc(),
             QueryError::Timeout => self.err_timeout.inc(),
             QueryError::Unavailable(_) => self.err_unavailable.inc(),
+            QueryError::Overloaded => self.err_overloaded.inc(),
+            QueryError::BudgetExhausted => self.err_budget.inc(),
+        }
+    }
+
+    /// Records a degraded (partial) answer under its trigger.
+    pub(crate) fn record_degraded(&self, reason: xrank_obs::DegradeReason) {
+        match reason {
+            xrank_obs::DegradeReason::Deadline => self.degraded_deadline.inc(),
+            xrank_obs::DegradeReason::IoBudget => self.degraded_budget.inc(),
         }
     }
 
@@ -207,6 +225,8 @@ pub struct Explain {
     pub eval: EvalStats,
     /// Physical I/O attributed to this query.
     pub io: IoStats,
+    /// Degradation trigger, when the answer is a best-so-far partial.
+    pub degraded: Option<xrank_obs::DegradeReason>,
     /// The per-stage timing/event trace.
     pub trace: Trace,
 }
@@ -226,6 +246,13 @@ impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "EXPLAIN {:?} strategy={}", self.query, self.strategy)?;
         writeln!(f, "  hits={} elapsed={}", self.hits, fmt_dur(self.elapsed))?;
+        if let Some(reason) = self.degraded {
+            writeln!(
+                f,
+                "  degraded: partial answer (trigger={}) — best top-k at cut-off",
+                reason.name()
+            )?;
+        }
         writeln!(
             f,
             "  io: seq_reads={} rand_reads={} cache_hits={} (hit ratio {:.1}%)",
@@ -301,6 +328,9 @@ impl fmt::Display for Explain {
                     EventData::Count { what, n } => {
                         writeln!(f, " {} {what}={n}", e.stage.name())?
                     }
+                    EventData::Degraded { reason } => {
+                        writeln!(f, " degraded trigger={}", reason.name())?
+                    }
                     EventData::Note(note) => writeln!(f, " {} {note}", e.stage.name())?,
                 }
             }
@@ -363,6 +393,7 @@ mod tests {
             elapsed: Duration::from_micros(420),
             eval: EvalStats::default(),
             io: IoStats::default(),
+            degraded: Some(xrank_obs::DegradeReason::Deadline),
             trace: qt.finish(),
         };
         let text = explain.to_string();
@@ -371,5 +402,6 @@ mod tests {
         assert!(text.contains("reason=estimate_exceeded"), "{text}");
         assert!(text.contains("rdil_remaining=99.5"), "{text}");
         assert!(text.contains("dil_estimate=40.0"), "{text}");
+        assert!(text.contains("degraded: partial answer (trigger=deadline)"), "{text}");
     }
 }

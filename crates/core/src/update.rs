@@ -166,13 +166,34 @@ impl UpdatableXRank {
     /// merging by score. A storage fault in either engine surfaces as a
     /// typed [`QueryError`] for this query only.
     pub fn search(&self, query: &str, m: usize) -> Result<SearchResults, QueryError> {
+        self.search_opts(query, m, QueryOptions::default())
+    }
+
+    /// [`UpdatableXRank::search`] with explicit options. A relative
+    /// `timeout` is resolved to one absolute deadline *before* the main
+    /// pass and shared with the delta pass — the two passes are one query
+    /// and get one time budget, not a fresh timeout each (a query that
+    /// exhausts its budget on the main index must not get a second full
+    /// allowance on the delta). `allow_partial` and `io_budget` apply to
+    /// both passes; a degraded flag from either marks the merged result.
+    pub fn search_opts(
+        &self,
+        query: &str,
+        m: usize,
+        opts: QueryOptions,
+    ) -> Result<SearchResults, QueryError> {
         let slack = self.deleted_main.len() + self.deleted_delta.len() + 8;
-        let opts = QueryOptions { top_m: m + slack, ..Default::default() };
+        let mut opts = QueryOptions { top_m: m + slack, ..opts };
+        if let Some(shared) = opts.deadline() {
+            opts.deadline_at = Some(shared);
+            opts.timeout = None;
+        }
         let mut primary = self.main.search_with(query, Strategy::Hdil, &opts)?;
         primary.hits.retain(|h| !self.deleted_main.contains(&h.doc_uri));
         let mut hits: Vec<SearchHit> = Vec::new();
         let mut eval = primary.eval;
         let mut io = primary.io;
+        let mut degraded = primary.degraded;
         hits.append(&mut primary.hits);
         if let Some(delta) = &self.delta {
             let mut secondary = delta.search_with(query, Strategy::Hdil, &opts)?;
@@ -182,11 +203,12 @@ impl UpdatableXRank {
             io.seq_reads += secondary.io.seq_reads;
             io.rand_reads += secondary.io.rand_reads;
             io.cache_hits += secondary.io.cache_hits;
+            degraded = degraded.or(secondary.degraded);
             hits.append(&mut secondary.hits);
         }
         hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.dewey.cmp(&b.dewey)));
         hits.truncate(m);
-        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed, trace: None })
+        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed, trace: None, degraded })
     }
 
     /// Number of live (searchable or staged) documents.

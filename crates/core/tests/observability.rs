@@ -133,6 +133,9 @@ fn hdil_switch_records_both_cost_estimates() {
         SwitchReason::NoProgressBudget | SwitchReason::PrefixExhausted => {
             assert!(decision.rdil_remaining.is_none());
         }
+        // This query carries no io_budget, so budget pressure cannot be
+        // the trigger here.
+        SwitchReason::BudgetPressure => panic!("no io_budget set on this query"),
     }
 
     // …and the same quantities land in the trace event stream.

@@ -110,3 +110,40 @@ fn disjunctive_search_via_engine() {
     let top = &e.search_any("apple banana", 10).unwrap().hits[0];
     assert!(top.path.ends_with(&["c".to_string()]));
 }
+
+#[test]
+fn search_shares_one_deadline_across_main_and_delta_passes() {
+    use std::time::{Duration, Instant};
+    use xrank_query::{QueryError, QueryOptions};
+
+    // Main + committed delta: a search runs two passes.
+    let mut e = engine_with(&[("a", "alpha")]);
+    e.add_xml("b", &doc("beta")).unwrap();
+    e.commit();
+
+    // An already-expired absolute deadline must stop the query even though
+    // the relative timeout alone would allow it: the shared deadline wins,
+    // and the delta pass must NOT get a fresh allowance.
+    let expired = QueryOptions {
+        deadline_at: Some(Instant::now() - Duration::from_millis(1)),
+        timeout: Some(Duration::from_secs(3600)),
+        ..Default::default()
+    };
+    match e.search_opts("shared corpus", 10, expired.clone()) {
+        Err(QueryError::Timeout) => {}
+        other => panic!("expected shared-deadline timeout, got {other:?}"),
+    }
+
+    // Same budget, degradation allowed: one merged partial answer instead.
+    let partial = QueryOptions { allow_partial: true, ..expired };
+    let res = e.search_opts("shared corpus", 10, partial).unwrap();
+    assert_eq!(res.degraded, Some(xrank_core::DegradeReason::Deadline));
+
+    // With headroom the two-pass search still completes and merges fully.
+    let roomy = QueryOptions { timeout: Some(Duration::from_secs(3600)), ..Default::default() };
+    let res = e.search_opts("shared corpus", 10, roomy).unwrap();
+    assert!(res.degraded.is_none());
+    let uris: std::collections::HashSet<&str> =
+        res.hits.iter().map(|h| h.doc_uri.as_str()).collect();
+    assert!(uris.contains("a") && uris.contains("b"), "got {uris:?}");
+}

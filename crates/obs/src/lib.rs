@@ -34,4 +34,7 @@ pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     LATENCY_BUCKETS_US,
 };
-pub use trace::{EventData, QueryTrace, Span, Stage, StageTiming, SwitchReason, Trace, TraceEvent};
+pub use trace::{
+    DegradeReason, EventData, QueryTrace, Span, Stage, StageTiming, SwitchReason, Trace,
+    TraceEvent,
+};

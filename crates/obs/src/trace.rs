@@ -60,11 +60,14 @@ pub enum Stage {
     DilFallback,
     /// Result presentation: answer-node promotion, snippets (engine).
     Present,
+    /// The evaluation stopped early (deadline or I/O budget) and returned
+    /// a partial result.
+    Degraded,
 }
 
 impl Stage {
     /// Number of stages (sizes the aggregation table).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     const ALL: [Stage; Stage::COUNT] = [
         Stage::Tokenize,
@@ -80,6 +83,7 @@ impl Stage {
         Stage::SwitchDecision,
         Stage::DilFallback,
         Stage::Present,
+        Stage::Degraded,
     ];
 
     /// Stable snake_case name (used in EXPLAIN output and tests).
@@ -98,6 +102,7 @@ impl Stage {
             Stage::SwitchDecision => "switch_decision",
             Stage::DilFallback => "dil_fallback",
             Stage::Present => "present",
+            Stage::Degraded => "degraded",
         }
     }
 }
@@ -113,6 +118,9 @@ pub enum SwitchReason {
     /// A rank-sorted prefix drained before the TA condition fired (HDIL
     /// stores only a fraction of each list in rank order).
     PrefixExhausted,
+    /// The query's I/O budget is too small to afford the random-probe
+    /// RDIL phase at all, so HDIL went straight to its DIL fallback.
+    BudgetPressure,
 }
 
 impl SwitchReason {
@@ -122,6 +130,28 @@ impl SwitchReason {
             SwitchReason::EstimateExceeded => "estimate_exceeded",
             SwitchReason::NoProgressBudget => "no_progress_budget",
             SwitchReason::PrefixExhausted => "prefix_exhausted",
+            SwitchReason::BudgetPressure => "budget_pressure",
+        }
+    }
+}
+
+/// What made an evaluation stop early and return a partial result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The query's deadline (relative timeout or absolute `deadline_at`)
+    /// elapsed with `allow_partial` set.
+    Deadline,
+    /// The query's logical-read budget (`QueryOptions::io_budget`) was
+    /// exhausted with `allow_partial` set.
+    IoBudget,
+}
+
+impl DegradeReason {
+    /// Stable name for rendering and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::IoBudget => "io_budget",
         }
     }
 }
@@ -158,6 +188,12 @@ pub enum EventData {
         what: &'static str,
         /// The count.
         n: u64,
+    },
+    /// The evaluation degraded: it stopped early and returned the best
+    /// top-k accumulated so far.
+    Degraded {
+        /// What tripped the early stop.
+        reason: DegradeReason,
     },
     /// A plain annotation.
     Note(&'static str),
@@ -352,6 +388,13 @@ impl Trace {
         self.events
             .iter()
             .find(|e| matches!(e.data, EventData::Switch { .. }))
+    }
+
+    /// The degradation event, if the evaluation stopped early.
+    pub fn degraded_event(&self) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.data, EventData::Degraded { .. }))
     }
 }
 

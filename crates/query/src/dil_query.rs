@@ -10,7 +10,7 @@
 //! naive scheme (Section 4.2.2's worked example, reproduced in the tests).
 
 use crate::score::{QueryOptions, TopM};
-use crate::{EvalStats, QueryError, QueryOutcome};
+use crate::{EvalGuard, EvalStats, QueryError, QueryOutcome};
 use xrank_dewey::DeweyId;
 use xrank_obs::{EventData, QueryTrace, Stage};
 use xrank_graph::TermId;
@@ -79,11 +79,11 @@ pub fn evaluate_traced<S: PageStore>(
     trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
     let n = terms.len();
-    let deadline = opts.deadline();
+    let mut guard = EvalGuard::new(opts);
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if n == 0 {
-        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None });
     }
 
     // Conjunctive semantics: a keyword with no list means no results.
@@ -93,7 +93,13 @@ pub fn evaluate_traced<S: PageStore>(
         for &t in terms {
             match index.reader(t) {
                 Some(r) => readers.push(r),
-                None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
+                None => {
+                    return Ok(QueryOutcome {
+                        results: heap.into_sorted(),
+                        stats,
+                        degraded: None,
+                    })
+                }
             }
         }
     }
@@ -141,7 +147,9 @@ pub fn evaluate_traced<S: PageStore>(
     };
 
     loop {
-        crate::check_deadline(deadline)?;
+        if guard.should_stop()? {
+            break;
+        }
         // Line 8: the reader whose next entry has the smallest Dewey ID.
         let mut smallest: Option<(usize, DeweyId)> = None;
         for (i, reader) in readers.iter_mut().enumerate() {
@@ -184,17 +192,26 @@ pub fn evaluate_traced<S: PageStore>(
         top.pos_lists[il].extend_from_slice(&current.positions);
     }
 
-    // Line 33: flush.
-    while !stack.is_empty() {
-        pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
+    // Line 33: flush — but only after a *complete* merge. On a degraded
+    // stop the live frames have seen only a prefix of their subtrees'
+    // postings: flushing them would emit elements with understated
+    // scores. Skipping the flush keeps every returned hit exact (an
+    // element reaches the heap only via `pop`, which fires once the merge
+    // has moved past its entire subtree), so a degraded result set is an
+    // order-consistent subset of the full ranking.
+    if guard.degraded().is_none() {
+        while !stack.is_empty() {
+            pop(&mut stack, &mut path, &mut heap, &mut spare, opts);
+        }
     }
     drop(merge_span);
     trace.event(
         Stage::DeweyMerge,
         EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
     );
+    guard.note(trace);
 
-    Ok(QueryOutcome { results: heap.into_sorted(), stats })
+    Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: guard.degraded() })
 }
 
 #[cfg(test)]
@@ -231,6 +248,7 @@ mod tests {
             return QueryOutcome {
                 results: Vec::new(),
                 stats: EvalStats::default(),
+                degraded: None,
             };
         }
         evaluate(pool, idx, &terms, opts).unwrap()
@@ -374,6 +392,64 @@ mod tests {
         };
         let err = evaluate(&pool, &idx, &[t], &opts).unwrap_err();
         assert!(matches!(err, QueryError::Timeout), "{err}");
+    }
+
+    #[test]
+    fn zero_timeout_with_allow_partial_degrades_instead() {
+        let (pool, idx, c) = setup("<r><a>tick tock</a></r>");
+        let t = c.vocabulary().lookup("tick").unwrap();
+        let opts = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let out = evaluate(&pool, &idx, &[t], &opts).unwrap();
+        assert_eq!(out.degraded, Some(xrank_obs::DegradeReason::Deadline));
+        assert!(out.results.is_empty(), "nothing was popped before the stop");
+    }
+
+    #[test]
+    fn zero_io_budget_degrades_or_errors_by_flag() {
+        let (pool, idx, c) = setup("<r><a>tick tock</a></r>");
+        let t = c.vocabulary().lookup("tick").unwrap();
+        let hard = QueryOptions { io_budget: Some(0), ..Default::default() };
+        // The guard trips only after I/O is charged, so the first loop
+        // iteration reads a page and the second boundary stops.
+        let err = evaluate(&pool, &idx, &[t], &hard).unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExhausted), "{err}");
+        let soft = QueryOptions { io_budget: Some(0), allow_partial: true, ..Default::default() };
+        let out = evaluate(&pool, &idx, &[t], &soft).unwrap();
+        assert_eq!(out.degraded, Some(xrank_obs::DegradeReason::IoBudget));
+    }
+
+    #[test]
+    fn degraded_events_land_in_trace() {
+        let (pool, idx, c) = setup("<r><a>tick tock</a></r>");
+        let t = c.vocabulary().lookup("tick").unwrap();
+        let opts = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let trace = QueryTrace::enabled();
+        evaluate_traced(&pool, &idx, &[t], &opts, &trace).unwrap();
+        let done = trace.finish();
+        let e = done.degraded_event().expect("degraded event recorded");
+        assert!(matches!(
+            e.data,
+            EventData::Degraded { reason: xrank_obs::DegradeReason::Deadline }
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_unavailable() {
+        let (pool, idx, c) = setup("<r><a>tick tock</a></r>");
+        let t = c.vocabulary().lookup("tick").unwrap();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let opts = QueryOptions { cancel: Some(token), ..Default::default() };
+        let err = evaluate(&pool, &idx, &[t], &opts).unwrap_err();
+        assert!(matches!(err, QueryError::Unavailable(_)), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::dil_query::occurrence_rank;
 use crate::score::{QueryOptions, TopM};
-use crate::{EvalStats, QueryError, QueryOutcome};
+use crate::{EvalGuard, EvalStats, QueryError, QueryOutcome};
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
@@ -44,7 +44,7 @@ pub fn evaluate_traced<S: PageStore>(
     opts: &QueryOptions,
     trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
-    let deadline = opts.deadline();
+    let mut guard = EvalGuard::new(opts);
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     let open_span = trace.span(Stage::ListOpen);
@@ -56,7 +56,7 @@ pub fn evaluate_traced<S: PageStore>(
         .collect();
     drop(open_span);
     if readers.is_empty() {
-        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None });
     }
     let n = terms.len();
 
@@ -66,7 +66,9 @@ pub fn evaluate_traced<S: PageStore>(
     let mut pos_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     loop {
-        crate::check_deadline(deadline)?;
+        if guard.should_stop()? {
+            break;
+        }
         // Smallest Dewey among the reader heads.
         let mut smallest: Option<(usize, DeweyId)> = None;
         for (slot, (_, r)) in readers.iter_mut().enumerate() {
@@ -98,16 +100,23 @@ pub fn evaluate_traced<S: PageStore>(
         ranks[*kw] = opts.aggregation.combine(ranks[*kw], occurrence_rank(&posting, opts));
         pos_lists[*kw].extend_from_slice(&posting.positions);
     }
-    if let Some(cur) = current {
-        flush(cur, &mut ranks, &mut pos_lists, opts, &mut heap);
+    // The trailing group is flushed only after a complete merge: on a
+    // degraded stop it may still be missing postings from other lists, and
+    // flushing it would emit an understated score. Skipping it keeps every
+    // degraded hit exact.
+    if guard.degraded().is_none() {
+        if let Some(cur) = current {
+            flush(cur, &mut ranks, &mut pos_lists, opts, &mut heap);
+        }
     }
     drop(union_span);
     trace.event(
         Stage::UnionMerge,
         EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
     );
+    guard.note(trace);
 
-    Ok(QueryOutcome { results: heap.into_sorted(), stats })
+    Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: guard.degraded() })
 }
 
 /// Scores one element group: present keywords only.

@@ -66,61 +66,82 @@ pub fn evaluate_traced<S: PageStore>(
     // global ledger mixes every in-flight query, which would corrupt the
     // spent-so-far estimate driving the switch decision.
     let scope = StatsScope::begin();
-    let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts, trace)?;
-    let ta_span = trace.span(Stage::TaLoop);
-    let mut steps = 0u64;
-    let decision: SwitchDecision = loop {
-        match run.step(pool)? {
-            StepOutcome::Done => {
-                drop(ta_span);
-                return Ok(run.finish());
+
+    // Under budget pressure the random-probe RDIL phase is a losing bet:
+    // each TA step costs probes + range scans, and a budget that cannot
+    // even cover the sequential DIL scan certainly cannot fund RDIL's
+    // random I/O on top. Skip straight to the DIL fallback so every
+    // budgeted page goes to the strategy with the best completion odds.
+    let budget_pressure = opts
+        .io_budget
+        .is_some_and(|budget| budget < total_pages.saturating_mul(2));
+    let (decision, rdil_stats) = if budget_pressure {
+        let decision = SwitchDecision {
+            spent: 0.0,
+            rdil_remaining: None,
+            dil_estimate,
+            confirmed: 0,
+            reason: SwitchReason::BudgetPressure,
+        };
+        (decision, EvalStats::default())
+    } else {
+        let mut run: RdilRun<'_, S, HdilIndex> = RdilRun::new(pool, index, terms, opts, trace)?;
+        let ta_span = trace.span(Stage::TaLoop);
+        let mut steps = 0u64;
+        let decision: SwitchDecision = loop {
+            match run.step(pool)? {
+                StepOutcome::Done | StepOutcome::Degraded => {
+                    drop(ta_span);
+                    return Ok(run.finish());
+                }
+                StepOutcome::PrefixExhausted => {
+                    // Must fall back: HDIL stores only a rank-sorted prefix.
+                    break SwitchDecision {
+                        spent: cost_model.cost(&scope.so_far()),
+                        rdil_remaining: None,
+                        dil_estimate,
+                        confirmed: run.confirmed_results(),
+                        reason: SwitchReason::PrefixExhausted,
+                    };
+                }
+                StepOutcome::Continue => {}
             }
-            StepOutcome::PrefixExhausted => {
-                // Must fall back: HDIL stores only a rank-sorted prefix.
-                break SwitchDecision {
-                    spent: cost_model.cost(&scope.so_far()),
-                    rdil_remaining: None,
-                    dil_estimate,
-                    confirmed: run.confirmed_results(),
-                    reason: SwitchReason::PrefixExhausted,
-                };
+            steps += 1;
+            if !steps.is_multiple_of(CHECK_INTERVAL) {
+                continue;
             }
-            StepOutcome::Continue => {}
-        }
-        steps += 1;
-        if !steps.is_multiple_of(CHECK_INTERVAL) {
-            continue;
-        }
-        // Progress check.
-        let spent = cost_model.cost(&scope.so_far());
-        let r = run.confirmed_results();
-        if r == 0 {
-            // No confirmed result yet — the signature of uncorrelated
-            // keywords. Cut losses after a quarter of the DIL budget so
-            // the total stays "a slight overhead" over DIL (Section 5.4).
-            if spent > dil_estimate / 4.0 {
-                break SwitchDecision {
-                    spent,
-                    rdil_remaining: None,
-                    dil_estimate,
-                    confirmed: 0,
-                    reason: SwitchReason::NoProgressBudget,
-                };
-            }
-        } else if r < m {
-            let estimated_remaining = (m - r) as f64 * spent / r as f64;
-            if estimated_remaining > dil_estimate {
-                break SwitchDecision {
-                    spent,
-                    rdil_remaining: Some(estimated_remaining),
-                    dil_estimate,
-                    confirmed: r,
-                    reason: SwitchReason::EstimateExceeded,
-                };
-            }
-        } // r >= m: about to finish; stay
+            // Progress check.
+            let spent = cost_model.cost(&scope.so_far());
+            let r = run.confirmed_results();
+            if r == 0 {
+                // No confirmed result yet — the signature of uncorrelated
+                // keywords. Cut losses after a quarter of the DIL budget so
+                // the total stays "a slight overhead" over DIL (Section 5.4).
+                if spent > dil_estimate / 4.0 {
+                    break SwitchDecision {
+                        spent,
+                        rdil_remaining: None,
+                        dil_estimate,
+                        confirmed: 0,
+                        reason: SwitchReason::NoProgressBudget,
+                    };
+                }
+            } else if r < m {
+                let estimated_remaining = (m - r) as f64 * spent / r as f64;
+                if estimated_remaining > dil_estimate {
+                    break SwitchDecision {
+                        spent,
+                        rdil_remaining: Some(estimated_remaining),
+                        dil_estimate,
+                        confirmed: r,
+                        reason: SwitchReason::EstimateExceeded,
+                    };
+                }
+            } // r >= m: about to finish; stay
+        };
+        drop(ta_span);
+        (decision, run.stats())
     };
-    drop(ta_span);
     trace.event(
         Stage::SwitchDecision,
         EventData::Switch {
@@ -133,9 +154,21 @@ pub fn evaluate_traced<S: PageStore>(
     );
 
     // Fall back: run the DIL algorithm over the full Dewey-sorted lists.
-    let rdil_stats = run.stats();
+    // The fallback inherits whatever budget the RDIL phase left unspent
+    // (its guard meters a fresh scope, so the hand-off must be explicit).
+    let fallback_opts = match opts.io_budget {
+        Some(budget) => {
+            let spent_pages = scope.so_far().logical_reads();
+            QueryOptions {
+                io_budget: Some(budget.saturating_sub(spent_pages)),
+                ..opts.clone()
+            }
+        }
+        None => opts.clone(),
+    };
     let fallback_span = trace.span(Stage::DilFallback);
-    let mut outcome = crate::dil_query::evaluate_traced(pool, &index.dil, terms, opts, trace)?;
+    let mut outcome =
+        crate::dil_query::evaluate_traced(pool, &index.dil, terms, &fallback_opts, trace)?;
     drop(fallback_span);
     outcome.stats = EvalStats {
         entries_scanned: outcome.stats.entries_scanned + rdil_stats.entries_scanned,
@@ -242,6 +275,62 @@ mod tests {
                 assert!((a.score - b.score).abs() < 1e-9, "m={m}");
             }
         }
+    }
+
+    #[test]
+    fn budget_pressure_skips_rdil_entirely() {
+        let mut xml = String::from("<r>");
+        for i in 0..400 {
+            xml.push_str(&format!("<e{i}>alpha beta together {i}</e{i}>"));
+        }
+        xml.push_str("</r>");
+        let (pool, _, hdil, c) = setup(&xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        let opts = QueryOptions {
+            top_m: 5,
+            io_budget: Some(1),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default()).unwrap();
+        assert!(out.stats.switched_to_dil, "budget pressure must force the DIL fallback");
+        let decision = out.stats.switch.expect("switch decision recorded");
+        assert_eq!(decision.reason, SwitchReason::BudgetPressure);
+        assert_eq!(out.stats.btree_probes, 0, "RDIL phase must not have run");
+        assert_eq!(
+            out.degraded,
+            Some(xrank_obs::DegradeReason::IoBudget),
+            "a 1-page budget cannot finish the scan"
+        );
+        // A generous budget is not pressure: the run completes normally.
+        let roomy = QueryOptions {
+            top_m: 5,
+            io_budget: Some(1_000_000),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let out = evaluate(&pool, &hdil, &q, &roomy, &CostModel::default()).unwrap();
+        assert!(out.degraded.is_none());
+        assert!(!out.stats.switched_to_dil);
+    }
+
+    #[test]
+    fn degraded_rdil_phase_returns_partial_not_error() {
+        let mut xml = String::from("<r>");
+        for i in 0..200 {
+            xml.push_str(&format!("<e{i}>gamma delta {i}</e{i}>"));
+        }
+        xml.push_str("</r>");
+        let (pool, _, hdil, c) = setup(&xml);
+        let q = terms(&c, &["gamma", "delta"]);
+        let opts = QueryOptions {
+            top_m: 5,
+            timeout: Some(std::time::Duration::ZERO),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let out = evaluate(&pool, &hdil, &q, &opts, &CostModel::default()).unwrap();
+        assert_eq!(out.degraded, Some(xrank_obs::DegradeReason::Deadline));
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub enum QueryError {
     /// The serving infrastructure rejected the query (e.g. the executor
     /// is shutting down).
     Unavailable(&'static str),
+    /// Admission control shed the query: the executor's bounded queue was
+    /// full (or stayed full past the submission deadline). The query never
+    /// ran; resubmitting later is safe.
+    Overloaded,
+    /// [`QueryOptions::io_budget`] was exhausted before evaluation
+    /// finished and `allow_partial` was not set.
+    BudgetExhausted,
 }
 
 impl std::fmt::Display for QueryError {
@@ -67,6 +74,8 @@ impl std::fmt::Display for QueryError {
             QueryError::Storage(e) => write!(f, "storage failure during query: {e}"),
             QueryError::Timeout => write!(f, "query deadline exceeded"),
             QueryError::Unavailable(why) => write!(f, "query service unavailable: {why}"),
+            QueryError::Overloaded => write!(f, "query shed: executor at capacity"),
+            QueryError::BudgetExhausted => write!(f, "query i/o budget exhausted"),
         }
     }
 }
@@ -86,11 +95,123 @@ impl From<StorageError> for QueryError {
     }
 }
 
-/// Checks a precomputed deadline at a processor loop boundary.
-pub(crate) fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(), QueryError> {
-    match deadline {
-        Some(d) if std::time::Instant::now() >= d => Err(QueryError::Timeout),
-        _ => Ok(()),
+/// A shared cancellation flag observed by running queries at their loop
+/// boundaries (the same places the deadline is checked).
+///
+/// The executor hands every in-flight query a clone of its shutdown token,
+/// so `QueryExecutor::shutdown` (in the core crate) cannot hang on a
+/// long-running evaluation: the next guard check surfaces
+/// [`QueryError::Unavailable`]. Cheap to clone (one `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flags the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+// Token identity is the shared flag, not its current value: two options
+// structs are equal when they observe the same signal.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// The per-evaluation stop-condition monitor, checked at every processor
+/// loop boundary (the PR 3 `check_deadline` sites, now also covering the
+/// I/O budget and cooperative cancellation).
+///
+/// `should_stop` returns:
+/// * `Ok(false)` — keep going;
+/// * `Ok(true)` — a deadline or budget tripped **with `allow_partial`
+///   set**: stop cleanly and return the best top-k so far, marked with
+///   [`EvalGuard::degraded`];
+/// * `Err(_)` — a hard stop: `Timeout`/`BudgetExhausted` without
+///   `allow_partial`, or cancellation.
+///
+/// The budget is denominated in *logical page reads* (cache hits count:
+/// the budget bounds work, and a fully cached query still burns CPU per
+/// page touched), measured by a nested [`StatsScope`] so concurrent
+/// queries meter only their own I/O.
+pub(crate) struct EvalGuard {
+    deadline: Option<std::time::Instant>,
+    budget: Option<u64>,
+    allow_partial: bool,
+    cancel: Option<CancelToken>,
+    scope: Option<xrank_storage::StatsScope>,
+    tripped: Option<xrank_obs::DegradeReason>,
+}
+
+impl EvalGuard {
+    pub(crate) fn new(opts: &QueryOptions) -> EvalGuard {
+        EvalGuard {
+            deadline: opts.deadline(),
+            budget: opts.io_budget,
+            allow_partial: opts.allow_partial,
+            cancel: opts.cancel.clone(),
+            // Only meter I/O when a budget is set: scopes are cheap but
+            // not free, and the unbudgeted path must stay unchanged.
+            scope: opts.io_budget.map(|_| xrank_storage::StatsScope::begin()),
+            tripped: None,
+        }
+    }
+
+    pub(crate) fn should_stop(&mut self) -> Result<bool, QueryError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(QueryError::Unavailable("engine shutting down"));
+            }
+        }
+        if self.tripped.is_some() {
+            return Ok(true);
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                if !self.allow_partial {
+                    return Err(QueryError::Timeout);
+                }
+                self.tripped = Some(xrank_obs::DegradeReason::Deadline);
+                return Ok(true);
+            }
+        }
+        if let (Some(budget), Some(scope)) = (self.budget, &self.scope) {
+            if scope.so_far().logical_reads() > budget {
+                if !self.allow_partial {
+                    return Err(QueryError::BudgetExhausted);
+                }
+                self.tripped = Some(xrank_obs::DegradeReason::IoBudget);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// What tripped the early stop, if anything did.
+    pub(crate) fn degraded(&self) -> Option<xrank_obs::DegradeReason> {
+        self.tripped
+    }
+
+    /// Records the degradation (if any) as a trace event.
+    pub(crate) fn note(&self, trace: &xrank_obs::QueryTrace) {
+        if let Some(reason) = self.tripped {
+            trace.event(
+                xrank_obs::Stage::Degraded,
+                xrank_obs::EventData::Degraded { reason },
+            );
+        }
     }
 }
 
@@ -143,4 +264,11 @@ pub struct QueryOutcome {
     pub results: Vec<QueryResult>,
     /// Work counters.
     pub stats: EvalStats,
+    /// `Some(reason)` when the evaluation stopped early (deadline or I/O
+    /// budget, with `allow_partial` set) and `results` is the best top-k
+    /// accumulated so far. Every returned hit carries its *exact* score:
+    /// processors only emit elements whose evaluation completed, so a
+    /// degraded result is an order-consistent subset of the full ranking,
+    /// never an approximation of it.
+    pub degraded: Option<xrank_obs::DegradeReason>,
 }

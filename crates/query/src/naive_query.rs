@@ -14,7 +14,7 @@
 //! compared against the DIL family in tests and experiments.
 
 use crate::score::{Aggregation, QueryOptions, TopM};
-use crate::{EvalStats, QueryError, QueryOutcome};
+use crate::{EvalGuard, EvalStats, QueryError, QueryOutcome};
 use std::collections::HashSet;
 use xrank_graph::{Collection, ElemId, TermId};
 use xrank_index::posting::NaivePosting;
@@ -55,25 +55,33 @@ pub fn evaluate_id_traced<S: PageStore>(
     opts: &QueryOptions,
     trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
-    let deadline = opts.deadline();
+    let mut guard = EvalGuard::new(opts);
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
-        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None });
     }
     let open_span = trace.span(Stage::ListOpen);
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
             Some(r) => readers.push(r),
-            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
+            None => {
+                return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None })
+            }
         }
     }
     drop(open_span);
 
     let merge_span = trace.span(Stage::MergeJoin);
+    // A group is offered to the heap only once every list has delivered
+    // its posting for the target element, so stopping between groups
+    // leaves nothing half-scored: a degraded stop still returns exact
+    // scores for everything already offered.
     'merge: loop {
-        crate::check_deadline(deadline)?;
+        if guard.should_stop()? {
+            break 'merge;
+        }
         // Find the maximum head element id; advance every other list to it.
         let mut target: Option<ElemId> = None;
         for r in readers.iter_mut() {
@@ -118,8 +126,9 @@ pub fn evaluate_id_traced<S: PageStore>(
         Stage::MergeJoin,
         EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
     );
+    guard.note(trace);
 
-    Ok(QueryOutcome { results: heap.into_sorted(), stats })
+    Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: guard.degraded() })
 }
 
 /// Naive-Rank evaluation: Threshold Algorithm over rank-ordered lists with
@@ -143,18 +152,20 @@ pub fn evaluate_rank_traced<S: PageStore>(
     opts: &QueryOptions,
     trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
-    let deadline = opts.deadline();
+    let mut guard = EvalGuard::new(opts);
     let mut stats = EvalStats::default();
     let mut heap = TopM::new(opts.top_m);
     if terms.is_empty() {
-        return Ok(QueryOutcome { results: heap.into_sorted(), stats });
+        return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None });
     }
     let open_span = trace.span(Stage::ListOpen);
     let mut readers = Vec::with_capacity(terms.len());
     for &t in terms {
         match index.reader(t) {
             Some(r) => readers.push(r),
-            None => return Ok(QueryOutcome { results: heap.into_sorted(), stats }),
+            None => {
+                return Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: None })
+            }
         }
     }
     drop(open_span);
@@ -168,8 +179,12 @@ pub fn evaluate_rank_traced<S: PageStore>(
     let mut next_list = 0usize;
 
     let ta_span = trace.span(Stage::TaLoop);
+    // Each TA step probes every other list before offering an element, so
+    // a degraded stop between steps leaves only exactly-scored results.
     loop {
-        crate::check_deadline(deadline)?;
+        if guard.should_stop()? {
+            break;
+        }
         // Round-robin over non-exhausted lists.
         let mut picked = None;
         for off in 0..n {
@@ -250,8 +265,9 @@ pub fn evaluate_rank_traced<S: PageStore>(
         }
     }
     drop(ta_span);
+    guard.note(trace);
 
-    Ok(QueryOutcome { results: heap.into_sorted(), stats })
+    Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: guard.degraded() })
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 use crate::access::RankedAccess;
 use crate::dil_query::occurrence_rank;
 use crate::score::{Aggregation, QueryOptions, TopM};
-use crate::{EvalStats, QueryError, QueryOutcome};
+use crate::{EvalGuard, EvalStats, QueryError, QueryOutcome};
 use std::collections::{HashMap, HashSet};
 use xrank_dewey::DeweyId;
 use xrank_obs::{EventData, QueryTrace, Stage};
@@ -35,6 +35,10 @@ pub enum StepOutcome {
     /// A rank reader drained but covers only a prefix of its list (HDIL):
     /// the caller must fall back to the DIL algorithm.
     PrefixExhausted,
+    /// The deadline or I/O budget tripped with `allow_partial` set: the
+    /// heap holds the best results confirmed so far (each with its exact
+    /// score — candidates are scored atomically by `score_candidate`).
+    Degraded,
 }
 
 /// Resumable Figure 7 evaluation state.
@@ -53,7 +57,7 @@ pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
     next_list: usize,
     stats: EvalStats,
     done: bool,
-    deadline: Option<std::time::Instant>,
+    guard: EvalGuard,
     _store: std::marker::PhantomData<S>,
 }
 
@@ -103,7 +107,7 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             next_list: 0,
             stats: EvalStats::default(),
             done: !viable,
-            deadline: opts.deadline(),
+            guard: EvalGuard::new(opts),
             _store: std::marker::PhantomData,
         })
     }
@@ -140,7 +144,10 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         if self.done {
             return Ok(StepOutcome::Done);
         }
-        crate::check_deadline(self.deadline)?;
+        if self.guard.should_stop()? {
+            self.done = true;
+            return Ok(StepOutcome::Degraded);
+        }
         // With f = sum the overall rank is not bounded by the ElemRank sum,
         // so TA early termination is unsound; scan to the end instead.
         let ta_safe = self.opts.aggregation == Aggregation::Max;
@@ -259,9 +266,15 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         }
     }
 
-    /// Finishes, returning the ranked results.
+    /// Finishes, returning the ranked results (marked degraded when the
+    /// run stopped early on its deadline or I/O budget).
     pub fn finish(self) -> QueryOutcome {
-        QueryOutcome { results: self.heap.into_sorted(), stats: self.stats }
+        self.guard.note(self.trace);
+        QueryOutcome {
+            results: self.heap.into_sorted(),
+            stats: self.stats,
+            degraded: self.guard.degraded(),
+        }
     }
 }
 
@@ -499,6 +512,25 @@ mod tests {
             let expect = if weights[0] > weights[1] { "heavy" } else { "light" };
             assert_eq!(&*c.element(top).name, expect, "weights {weights:?}");
         }
+    }
+
+    #[test]
+    fn zero_timeout_with_allow_partial_degrades() {
+        let (pool, _, rdil, c) = setup("<r><a>tick tock</a></r>");
+        let q = terms(&c, &["tick"]);
+        let opts = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            allow_partial: true,
+            ..Default::default()
+        };
+        let out = evaluate(&pool, &rdil, &q, &opts).unwrap();
+        assert_eq!(out.degraded, Some(xrank_obs::DegradeReason::Deadline));
+        // Without the flag the same deadline is a hard error.
+        let hard = QueryOptions {
+            timeout: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        assert!(matches!(evaluate(&pool, &rdil, &q, &hard), Err(QueryError::Timeout)));
     }
 
     #[test]

@@ -61,8 +61,30 @@ pub struct QueryOptions {
     pub keyword_weights: Option<Vec<f64>>,
     /// Wall-clock budget for one evaluation. Checked at processor loop
     /// boundaries; on expiry the processor returns
-    /// [`crate::QueryError::Timeout`] instead of a partial result set.
+    /// [`crate::QueryError::Timeout`] — unless [`Self::allow_partial`] is
+    /// set, in which case the best top-k so far comes back marked
+    /// degraded.
     pub timeout: Option<std::time::Duration>,
+    /// Absolute deadline for the evaluation. When both this and
+    /// [`Self::timeout`] are set the earlier instant wins, which is how
+    /// one deadline is shared across multi-pass evaluations (e.g. the
+    /// updatable engine's main + delta passes) instead of each pass
+    /// getting a fresh timeout.
+    pub deadline_at: Option<std::time::Instant>,
+    /// I/O budget for one evaluation, in *logical* page reads (cache hits
+    /// count — the budget bounds work, not just disk traffic). Checked at
+    /// the same loop boundaries as the deadline; on exhaustion the
+    /// processor returns [`crate::QueryError::BudgetExhausted`] — unless
+    /// [`Self::allow_partial`] is set.
+    pub io_budget: Option<u64>,
+    /// Degrade instead of failing: when a deadline or I/O budget trips,
+    /// return the best top-k accumulated so far (marked degraded, with
+    /// the trigger recorded in the query trace) instead of an error.
+    pub allow_partial: bool,
+    /// Cooperative cancellation signal, observed at loop boundaries. The
+    /// executor injects its shutdown token here; cancellation surfaces as
+    /// [`crate::QueryError::Unavailable`].
+    pub cancel: Option<crate::CancelToken>,
 }
 
 impl Default for QueryOptions {
@@ -74,14 +96,27 @@ impl Default for QueryOptions {
             top_m: 10,
             keyword_weights: None,
             timeout: None,
+            deadline_at: None,
+            io_budget: None,
+            allow_partial: false,
+            cancel: None,
         }
     }
 }
 
 impl QueryOptions {
-    /// Materializes the per-evaluation deadline from [`Self::timeout`].
-    pub(crate) fn deadline(&self) -> Option<std::time::Instant> {
-        self.timeout.map(|t| std::time::Instant::now() + t)
+    /// Materializes the per-evaluation deadline: the earlier of
+    /// [`Self::deadline_at`] and now + [`Self::timeout`]. Callers that run
+    /// *multiple* evaluations as one logical query should resolve this
+    /// once, store it back into [`Self::deadline_at`], and clear
+    /// [`Self::timeout`] — otherwise each pass would mint itself a fresh
+    /// allowance.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        let relative = self.timeout.map(|t| std::time::Instant::now() + t);
+        match (relative, self.deadline_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 

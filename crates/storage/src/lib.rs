@@ -39,6 +39,7 @@ mod error;
 mod fault;
 pub mod hash;
 mod pool;
+mod resilience;
 mod stats;
 mod store;
 pub mod wire;
@@ -46,6 +47,7 @@ pub mod wire;
 pub use error::{crc32, StorageError, StorageResult};
 pub use fault::{FaultAt, FaultKind, FaultRule, FaultStore};
 pub use pool::{BufferPool, EvictionCounters, PageRef, SegmentIo, STREAMS_PER_SEGMENT};
+pub use resilience::{BreakerConfig, FaultCounters, FaultPolicy, RetryPolicy};
 pub use stats::{AtomicIoStats, CostModel, IoStats, StatsScope};
 pub use store::{
     FileStore, MemStore, PageId, PageStore, SegmentId, StoreFormat, PAGE_SIZE, PAGE_TRAILER_LEN,

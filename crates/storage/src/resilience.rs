@@ -1,0 +1,175 @@
+//! Retry and circuit-breaker policy for buffer-pool reads.
+//!
+//! PR 3 made storage faults *typed*; this module makes the transient ones
+//! *survivable*. [`StorageError::is_transient`](crate::StorageError::is_transient)
+//! splits the fault taxonomy in two: raw OS I/O errors may clear on a
+//! re-read (flaky cable, NFS hiccup), while data-shaped errors (checksum
+//! mismatch, torn write, corruption) are permanent. A [`RetryPolicy`]
+//! re-issues transient reads with bounded exponential backoff, and a
+//! per-segment circuit breaker ([`BreakerConfig`]) stops hammering a
+//! segment whose reads keep failing — queries that never touch the
+//! quarantined segment keep serving, extending PR 3's isolation
+//! guarantee from "one bad page fails one query" to "one bad segment
+//! fails fast instead of stalling the pool".
+//!
+//! Both mechanisms default to **off** ([`FaultPolicy::default`]) so the
+//! fault-injection suites that assert a single injected error surfaces
+//! to the caller keep their exact semantics; engines opt in through
+//! `EngineConfig`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bounded exponential-backoff retry for transient read faults.
+///
+/// Attempt `k` (1-based) sleeps `backoff_base * 2^(k-1)`, capped at
+/// `backoff_max`. The schedule is deterministic (no jitter) so
+/// fault-injection tests can pin exact attempt counts against
+/// [`FaultStore::injected_count`](crate::FaultStore::injected_count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure; `0` disables retry.
+    pub max_retries: u32,
+    /// Sleep before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every fault surfaces on the first failure.
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(20);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_max)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::disabled()
+    }
+}
+
+/// Per-segment circuit breaker configuration.
+///
+/// State machine (tracked independently per segment):
+///
+/// ```text
+///            N consecutive failures
+///   Closed ───────────────────────────▶ Open
+///     ▲                                  │ cooldown elapses
+///     │ probe read succeeds              ▼
+///     └──────────────────────────── Half-open ──▶ probe fails: Open again
+/// ```
+///
+/// While Open, pool reads of the segment fail fast with
+/// [`StorageError::CircuitOpen`](crate::StorageError::CircuitOpen)
+/// *without touching the store*; cached pages are still served. After
+/// `cooldown`, the next read is let through as a probe: success closes
+/// the breaker, failure re-opens it for another cooldown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker; `0` disables it.
+    pub threshold: u32,
+    /// How long an open breaker fails fast before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl BreakerConfig {
+    /// No breaker: failures never quarantine a segment.
+    pub fn disabled() -> BreakerConfig {
+        BreakerConfig { threshold: 0, cooldown: Duration::ZERO }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig::disabled()
+    }
+}
+
+/// The buffer pool's complete fault-handling policy. Default is fully
+/// disabled: faults surface exactly as in PR 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPolicy {
+    /// Transient-read retry schedule.
+    pub retry: RetryPolicy,
+    /// Per-segment circuit breaker.
+    pub breaker: BreakerConfig,
+}
+
+/// Snapshot of the pool's fault-handling activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Individual retry attempts issued (one per re-read).
+    pub retries: u64,
+    /// Reads that succeeded only after at least one retry — faults the
+    /// caller never saw.
+    pub retry_successes: u64,
+    /// Breaker transitions Closed→Open (including re-trips from a failed
+    /// half-open probe).
+    pub breaker_trips: u64,
+    /// Reads rejected with `CircuitOpen` without touching the store.
+    pub breaker_fast_fails: u64,
+    /// Successful half-open probes that closed a breaker again.
+    pub breaker_recoveries: u64,
+}
+
+/// Atomic backing for [`FaultCounters`], owned by the pool.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicFaultCounters {
+    pub(crate) retries: AtomicU64,
+    pub(crate) retry_successes: AtomicU64,
+    pub(crate) breaker_trips: AtomicU64,
+    pub(crate) breaker_fast_fails: AtomicU64,
+    pub(crate) breaker_recoveries: AtomicU64,
+}
+
+impl AtomicFaultCounters {
+    pub(crate) fn snapshot(&self) -> FaultCounters {
+        FaultCounters {
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_successes: self.retry_successes.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(10),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(10)); // capped
+        assert_eq!(p.backoff(40), Duration::from_millis(10)); // no overflow
+    }
+
+    #[test]
+    fn defaults_are_disabled() {
+        let p = FaultPolicy::default();
+        assert_eq!(p.retry.max_retries, 0);
+        assert_eq!(p.breaker.threshold, 0);
+    }
+}

@@ -22,6 +22,9 @@ scripts/fault_smoke.sh
 echo "== obs smoke (EXPLAIN stages + Prometheus exposition) =="
 scripts/obs_smoke.sh
 
+echo "== overload smoke (typed shedding + degraded EXPLAIN trigger) =="
+scripts/overload_smoke.sh
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Overload smoke test:
+#   1. saturate a deliberately tiny QueryExecutor (2 workers, queue 4,
+#      32 submitters) via the E10 bench in fast mode and assert the
+#      Shed admission policy rejects excess load with the *typed*
+#      Overloaded error while goodput stays at least as high as the
+#      queue-everything baseline,
+#   2. run a real on-disk query under an exhausted I/O budget with
+#      --allow-partial and assert the degraded result reports its
+#      trigger both on the result line and in the EXPLAIN trace.
+#
+# Usage: scripts/overload_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== saturate a tiny executor (E10 fast mode) =="
+cargo build --release --offline -p xrank-bench --bin e10_overload --bin xrank >/dev/null 2>&1 \
+  || cargo build --release --offline -p xrank-bench --bin e10_overload
+cargo build --release --offline --bin xrank >/dev/null
+
+OUT_JSON=$(mktemp "${TMPDIR:-/tmp}/xrank-overload.XXXXXX.json")
+trap 'rm -rf "$OUT_JSON" "${DIR:-}"' EXIT
+# The bench itself gates goodput-with-shedding >= goodput-without and
+# exits nonzero on failure.
+out=$(BENCH_OVERLOAD_FAST=1 BENCH_OVERLOAD_OUT="$OUT_JSON" target/release/e10_overload)
+echo "$out" | tail -n 4
+
+fail() { echo "overload_smoke: $1" >&2; exit 1; }
+
+grep -q 'typed Overloaded rejections' <<<"$out" \
+  || fail "saturated executor reported no typed Overloaded sheds"
+grep -q '"goodput_gate_ok": true' "$OUT_JSON" \
+  || fail "goodput gate not recorded as passing in $OUT_JSON"
+SHEDS=$(grep -o '"sheds_total": [0-9]*' "$OUT_JSON" | grep -o '[0-9]*')
+[ "${SHEDS:-0}" -gt 0 ] || fail "sheds_total is zero — executor never shed"
+echo "shed admission rejected $SHEDS requests with the typed error"
+
+echo "== degraded query reports its trigger in EXPLAIN =="
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/xrank-overload-smoke.XXXXXX")
+BIN=target/release/xrank
+"$BIN" demo "$DIR/idx" --dblp 300 >/dev/null
+
+# Budget 0: the first page read exhausts it. Without --allow-partial the
+# query must fail with a typed budget error, never a panic.
+set +e
+hard=$("$BIN" search "$DIR/idx" journal studies --io-budget 0 2>&1)
+status=$?
+set -e
+[ "$status" -ne 0 ] || fail "io-budget 0 without --allow-partial succeeded"
+case "$hard" in
+  *panicked*) fail "panic instead of typed budget error: $hard" ;;
+  *budget*) echo "typed budget failure as expected" ;;
+  *) fail "unrecognized budget failure: $hard" ;;
+esac
+
+# With --allow-partial the same query degrades instead of failing, and
+# the CLI marks the cut-off.
+soft=$("$BIN" search "$DIR/idx" journal studies --io-budget 0 --allow-partial)
+grep -q '^\[partial\] evaluation cut off (io_budget)' <<<"$soft" \
+  || fail "degraded result not marked [partial]: $soft"
+
+# EXPLAIN carries the trigger: both the summary line and the trace event.
+explain=$("$BIN" search "$DIR/idx" journal studies --io-budget 0 --allow-partial --explain)
+grep -q 'degraded: partial answer (trigger=io_budget)' <<<"$explain" \
+  || fail "EXPLAIN summary missing degradation trigger"
+grep -q 'degraded trigger=io_budget' <<<"$explain" \
+  || fail "EXPLAIN trace missing degraded event"
+
+echo "overload_smoke: ok"

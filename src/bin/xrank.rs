@@ -5,12 +5,17 @@
 //! xrank demo   <dir> [--dblp N | --xmark S]    build from a generated corpus
 //! xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil]
 //!                                  [--explain] [--metrics]
+//!                                  [--io-budget N] [--allow-partial]
 //! xrank stats  <dir>                           collection statistics
 //! ```
 //!
 //! `--explain` runs the query traced and prints the per-stage timeline
 //! (and, under HDIL, the switch decision with both cost estimates);
 //! `--metrics` dumps the engine's Prometheus exposition after the query.
+//!
+//! `--io-budget N` caps the query at N logical page reads; with
+//! `--allow-partial` an exhausted budget (or deadline) returns the best
+//! top-k found so far, marked `[partial]`, instead of failing.
 //!
 //! `index`/`demo` write the engine under `<dir>` (pages in `<dir>/store/`,
 //! metadata in `<dir>/xrank-meta.bin`); `search`/`stats` reopen it without
@@ -33,7 +38,7 @@ fn main() -> ExitCode {
                 "usage:\n  xrank index  <dir> <file.xml|file.html>...\n  \
                  xrank demo   <dir> [--dblp N | --xmark SCALE]\n  \
                  xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil] \
-                 [--explain] [--metrics]\n  \
+                 [--explain] [--metrics] [--io-budget N] [--allow-partial]\n  \
                  xrank stats  <dir>"
             );
             return ExitCode::from(2);
@@ -119,6 +124,8 @@ fn cmd_search(args: &[String]) -> CliResult {
     let mut any = false;
     let mut explain = false;
     let mut metrics = false;
+    let mut io_budget: Option<u64> = None;
+    let mut allow_partial = false;
     let mut strategy = Strategy::Hdil;
     let mut words: Vec<&str> = Vec::new();
     let mut i = 1;
@@ -134,6 +141,15 @@ fn cmd_search(args: &[String]) -> CliResult {
             "--any" => any = true,
             "--explain" => explain = true,
             "--metrics" => metrics = true,
+            "--io-budget" => {
+                i += 1;
+                io_budget = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("search: --io-budget needs a page count")?,
+                );
+            }
+            "--allow-partial" => allow_partial = true,
             "--strategy" => {
                 i += 1;
                 strategy = match args.get(i).map(String::as_str) {
@@ -158,8 +174,8 @@ fn cmd_search(args: &[String]) -> CliResult {
 
     let engine = XRankEngine::<FileStore>::open(dir, engine_config())
         .map_err(|e| format!("opening {dir}: {e}"))?;
+    let opts = QueryOptions { top_m: m, io_budget, allow_partial, ..Default::default() };
     if explain {
-        let opts = QueryOptions { top_m: m, ..Default::default() };
         let report = engine
             .explain(&query, strategy, &opts)
             .map_err(|e| format!("query failed: {e}"))?;
@@ -172,10 +188,15 @@ fn cmd_search(args: &[String]) -> CliResult {
     let results = if any {
         engine.search_any(&query, m)
     } else {
-        let opts = QueryOptions { top_m: m, ..Default::default() };
         engine.search_with(&query, strategy, &opts)
     }
     .map_err(|e| format!("query failed: {e}"))?;
+    if let Some(reason) = results.degraded {
+        println!(
+            "[partial] evaluation cut off ({}): showing best results found so far",
+            reason.name()
+        );
+    }
     if results.hits.is_empty() {
         println!("no results for {query:?}");
     } else {

@@ -41,8 +41,9 @@
 #![warn(missing_docs)]
 
 pub use xrank_core::{
-    AnswerNodes, EngineBuilder, EngineConfig, Explain, ObsConfig, QueryExecutor, QueryRequest,
-    SearchHit, SearchResults, SlowQueryEntry, Strategy, UpdatableXRank, XRankEngine,
+    AdmissionPolicy, AnswerNodes, DegradeReason, EngineBuilder, EngineConfig, Explain, ObsConfig,
+    QueryExecutor, QueryRequest, SearchHit, SearchResults, SlowQueryEntry, Strategy,
+    UpdatableXRank, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).

@@ -1,0 +1,172 @@
+//! Property test for graceful degradation: on random XML trees, random
+//! queries, and random I/O budgets, a degraded (`allow_partial`) result is
+//! always an *exact, order-consistent subset* of the full unbudgeted
+//! result from the same processor — every partial hit carries the exact
+//! final score it has in the complete answer, and the partial ranking is a
+//! subsequence of the complete ranking. Degradation may drop results the
+//! cut-off evaluation never reached; it must never invent, mis-score, or
+//! reorder one. Checked across all five strategies.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::HashSet;
+use xrank::graph::{Collection, CollectionBuilder, TermId};
+use xrank::index::{
+    direct_postings, naive_postings, DilIndex, HdilIndex, NaiveIdIndex, NaiveRankIndex, RdilIndex,
+};
+use xrank::query::{dil_query, hdil_query, naive_query, rdil_query, QueryOptions, QueryOutcome};
+use xrank::storage::{BufferPool, CostModel, MemStore};
+
+/// A small random XML tree over a tiny vocabulary (so conjunctions hit).
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(Vec<u8>),
+    Node(Vec<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = proptest::collection::vec(0u8..6, 1..5).prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        proptest::collection::vec(inner, 1..4).prop_map(Tree::Node)
+    })
+}
+
+fn render(tree: &Tree, out: &mut String, id: &mut u32) {
+    match tree {
+        Tree::Leaf(words) => {
+            let text: Vec<String> = words.iter().map(|w| format!("w{w}")).collect();
+            out.push_str(&format!("<l{id}>{}</l{id}>", text.join(" ")));
+            *id += 1;
+        }
+        Tree::Node(children) => {
+            let my_id = *id;
+            *id += 1;
+            out.push_str(&format!("<n{my_id}>"));
+            for c in children {
+                render(c, out, id);
+            }
+            out.push_str(&format!("</n{my_id}>"));
+        }
+    }
+}
+
+fn build_collection(trees: &[Tree]) -> Collection {
+    let mut b = CollectionBuilder::new();
+    for (i, t) in trees.iter().enumerate() {
+        let mut xml = String::new();
+        let mut id = 0;
+        render(t, &mut xml, &mut id);
+        b.add_xml_str(&format!("doc{i}"), &format!("<root>{xml}</root>"))
+            .unwrap();
+    }
+    b.build()
+}
+
+/// The partial ranking must be a subsequence of the full ranking with
+/// bit-identical scores: same elements, same scores, same relative order.
+fn assert_exact_subsequence(
+    label: &str,
+    partial: &QueryOutcome,
+    full: &QueryOutcome,
+) -> Result<(), TestCaseError> {
+    let mut full_iter = full.results.iter();
+    for p in &partial.results {
+        let found = full_iter
+            .by_ref()
+            .any(|f| f.dewey == p.dewey && f.score.to_bits() == p.score.to_bits());
+        prop_assert!(
+            found,
+            "{label}: partial hit ({}, {}) is not part of the full ranking in order \
+             (full: {:?})",
+            p.dewey,
+            p.score,
+            full.results
+                .iter()
+                .map(|f| (f.dewey.to_string(), f.score))
+                .collect::<Vec<_>>(),
+        );
+    }
+    // A non-degraded budgeted run found everything: it must equal the full
+    // answer exactly, not merely embed into it.
+    if partial.degraded.is_none() {
+        prop_assert_eq!(
+            partial.results.len(),
+            full.results.len(),
+            "{} reported a complete answer but dropped results",
+            label
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn degraded_partial_is_exact_ordered_subset_of_full(
+        trees in proptest::collection::vec(tree_strategy(), 1..4),
+        kws in proptest::collection::vec(0u8..6, 1..4),
+        budget in 0u64..40,
+    ) {
+        let c = build_collection(&trees);
+        let r = xrank::rank::elem_rank(&c, &xrank::rank::ElemRankParams::default());
+        let postings = direct_postings(&c, &r.scores);
+        let naive = naive_postings(&c, &r.scores);
+        let mut pool = BufferPool::new(MemStore::new(), 8192);
+        let dil = DilIndex::build(&mut pool, &postings).unwrap();
+        let rdil = RdilIndex::build(&mut pool, &postings).unwrap();
+        let hdil = HdilIndex::build(&mut pool, &postings).unwrap();
+        let nid = NaiveIdIndex::build(&mut pool, &naive).unwrap();
+        let nrank = NaiveRankIndex::build(&mut pool, &naive).unwrap();
+
+        let mut seen = HashSet::new();
+        let terms: Vec<TermId> = kws
+            .iter()
+            .filter(|w| seen.insert(**w))
+            .filter_map(|w| c.vocabulary().lookup(&format!("w{w}")))
+            .collect();
+        prop_assume!(terms.len() == seen.len()); // every keyword exists
+
+        // Large top_m so neither list is truncated by the heap — the
+        // subset relation is then purely about where evaluation stopped.
+        let full_opts = QueryOptions { top_m: 10_000, ..Default::default() };
+        let part_opts = QueryOptions {
+            io_budget: Some(budget),
+            allow_partial: true,
+            ..full_opts.clone()
+        };
+        let cost = CostModel::default();
+
+        let runs: Vec<(&str, QueryOutcome, QueryOutcome)> = vec![
+            (
+                "dil",
+                dil_query::evaluate(&pool, &dil, &terms, &full_opts).unwrap(),
+                dil_query::evaluate(&pool, &dil, &terms, &part_opts).unwrap(),
+            ),
+            (
+                "rdil",
+                rdil_query::evaluate(&pool, &rdil, &terms, &full_opts).unwrap(),
+                rdil_query::evaluate(&pool, &rdil, &terms, &part_opts).unwrap(),
+            ),
+            (
+                "hdil",
+                hdil_query::evaluate(&pool, &hdil, &terms, &full_opts, &cost).unwrap(),
+                hdil_query::evaluate(&pool, &hdil, &terms, &part_opts, &cost).unwrap(),
+            ),
+            (
+                "naive_id",
+                naive_query::evaluate_id(&pool, &nid, &c, &terms, &full_opts).unwrap(),
+                naive_query::evaluate_id(&pool, &nid, &c, &terms, &part_opts).unwrap(),
+            ),
+            (
+                "naive_rank",
+                naive_query::evaluate_rank(&pool, &nrank, &c, &terms, &full_opts).unwrap(),
+                naive_query::evaluate_rank(&pool, &nrank, &c, &terms, &part_opts).unwrap(),
+            ),
+        ];
+        for (label, full, partial) in &runs {
+            prop_assert!(full.degraded.is_none(), "{}: unbudgeted run degraded", label);
+            assert_exact_subsequence(label, partial, full)?;
+        }
+    }
+}
