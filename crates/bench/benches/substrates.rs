@@ -62,6 +62,32 @@ fn bench_btree_probe(c: &mut Criterion) {
             black_box(tree.lowest_geq(&pool, &key))
         })
     });
+    // The same probe served three ways: a fresh root descent per call
+    // (the pre-cursor hot path), a stateful cursor over a monotone target
+    // sequence (the TA fast path: pinned leaf + short sibling walks), and
+    // a stateful cursor over the random sequence above (worst case: the
+    // cursor degrades to descents and must not cost more than they do).
+    g.bench_function("cursor_monotone/200k", |b| {
+        let mut i = 0u32;
+        let mut cur = tree.cursor();
+        b.iter(|| {
+            i = (i + 17) % 200_000;
+            if i < 17 {
+                cur = tree.cursor(); // wrapped: reset so seeks stay forward
+            }
+            let key = codec::encode_id(&DeweyId::from([i >> 10, 0, i & 1023]));
+            black_box(cur.seek_geq(&pool, &key))
+        })
+    });
+    g.bench_function("cursor_random/200k", |b| {
+        let mut i = 0u32;
+        let mut cur = tree.cursor();
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % 200_000;
+            let key = codec::encode_id(&DeweyId::from([i >> 10, 0, i & 1023]));
+            black_box(cur.seek_geq(&pool, &key))
+        })
+    });
     g.finish();
 }
 

@@ -24,6 +24,7 @@ use xrank_bench::table::Table;
 use xrank_bench::{fixture, BenchConfig, DatasetKind};
 use xrank_core::{EngineBuilder, EngineConfig, QueryExecutor, QueryRequest, Strategy, XRankEngine};
 use xrank_datagen::workload::{query, Correlation};
+use xrank_query::EvalStats;
 use xrank_storage::IoStats;
 
 /// Thread counts replayed at every strategy. All points run even on a
@@ -180,15 +181,111 @@ impl Point {
 /// Cold-cache single-threaded replay of the distinct workload queries:
 /// the miss-mix numbers (sequential vs random physical reads) only mean
 /// something when the cache actually misses, so they are taken here
-/// rather than from the warm timed trials.
-fn cold_replay(engine: &XRankEngine, queries: &[String], strategy: Strategy) -> IoStats {
+/// rather than from the warm timed trials. Also sums the per-query work
+/// counters — the probe-path breakdown (memo hits / forward seeks /
+/// re-descents) that `probe_stats` reports.
+fn cold_replay(engine: &XRankEngine, queries: &[String], strategy: Strategy) -> (IoStats, EvalStats) {
     engine.pool().clear_cache();
     engine.pool().reset_stats();
+    let mut eval = EvalStats::default();
     for q in queries {
         let r = engine.query(q, strategy, &engine.config().query).expect("cold query");
         assert!(!r.hits.is_empty(), "cold {strategy:?} query '{q}' returned no hits");
+        eval.entries_scanned += r.eval.entries_scanned;
+        eval.btree_probes += r.eval.btree_probes;
+        eval.probe_memo_hits += r.eval.probe_memo_hits;
+        eval.cursor_seeks += r.eval.cursor_seeks;
+        eval.cursor_seeks_back += r.eval.cursor_seeks_back;
+        eval.cursor_descents += r.eval.cursor_descents;
+        eval.range_scans += r.eval.range_scans;
     }
-    engine.pool().stats()
+    (engine.pool().stats(), eval)
+}
+
+/// The `probe_stats` JSON block: how the workload's Section 4.3.2 probes
+/// were served. `descent_reduction` is probes ÷ descents — the factor by
+/// which full root-to-leaf descents dropped versus the pre-cursor path
+/// (which descended once per probe).
+fn probe_stats_json(eval: &EvalStats, queries: usize) -> String {
+    let reduction = if eval.cursor_descents == 0 {
+        eval.btree_probes as f64 // no descent at all: bound by probe count
+    } else {
+        eval.btree_probes as f64 / eval.cursor_descents as f64
+    };
+    format!(
+        "{{\"btree_probes\": {}, \"memo_hits\": {}, \"seek_forward\": {}, \
+         \"seek_backward\": {}, \"re_descent\": {}, \
+         \"descents_per_query\": {:.2}, \
+         \"descent_reduction\": {reduction:.1}}}",
+        eval.btree_probes,
+        eval.probe_memo_hits,
+        eval.cursor_seeks,
+        eval.cursor_seeks_back,
+        eval.cursor_descents,
+        eval.cursor_descents as f64 / queries.max(1) as f64,
+    )
+}
+
+/// `BENCH_THROUGHPUT_QUICK=1`: the CI smoke. Builds a small engine,
+/// replays the workload once per probing strategy, and fails (non-zero
+/// exit) unless the cursor + memo path absorbed ≥ 10× of the descents
+/// the pre-cursor path would have issued. No timed trials — this gates
+/// the probe-path *shape*, which is deterministic, not the QPS.
+fn quick_smoke() {
+    // Default to a small corpus for CI speed; BENCH_THROUGHPUT_QUICK_DOCS
+    // overrides it to reproduce the probe stats of a full-size run.
+    let publications = std::env::var("BENCH_THROUGHPUT_QUICK_DOCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    print!("quick smoke: building dblp({publications}) engine... ");
+    let ds = fixture::generate_dataset(&BenchConfig::standard(DatasetKind::Dblp {
+        publications,
+    }));
+    let config = EngineConfig { with_rdil: true, pool_pages: 2048, ..Default::default() };
+    let mut b = EngineBuilder::with_config(config);
+    for (uri, xml) in &ds.docs {
+        b.add_xml(uri, xml).expect("generated XML parses");
+    }
+    let engine = b.build();
+    println!("done");
+    let queries = workload_queries();
+    let mut ok = true;
+    // HDIL hands the query to its DIL fallback after a handful of TA
+    // steps, so its probe volume is small and the per-keyword cold-cursor
+    // first descent (unavoidable: an empty cursor has nothing pinned)
+    // weighs proportionally more — gate it at 5× where RDIL, which runs
+    // the TA loop to completion, must clear the full 10×.
+    for (strategy, floor) in [(Strategy::Rdil, 10.0), (Strategy::Hdil, 5.0)] {
+        let (_, eval) = cold_replay(&engine, &queries, strategy);
+        let classified = eval.probe_memo_hits
+            + eval.cursor_seeks
+            + eval.cursor_seeks_back
+            + eval.cursor_descents;
+        let reduction = if eval.cursor_descents == 0 {
+            f64::INFINITY
+        } else {
+            eval.btree_probes as f64 / eval.cursor_descents as f64
+        };
+        let pass = classified == eval.btree_probes
+            && (eval.btree_probes == 0 || reduction >= floor);
+        println!(
+            "  {}: probes={} memo={} seek={} seek_back={} descend={} reduction={reduction:.1}x (floor {floor}x) — {}",
+            strategy_label(strategy),
+            eval.btree_probes,
+            eval.probe_memo_hits,
+            eval.cursor_seeks,
+            eval.cursor_seeks_back,
+            eval.cursor_descents,
+            if pass { "ok" } else { "FAIL" }
+        );
+        ok &= pass;
+    }
+    if !ok {
+        eprintln!("quick smoke FAILED: probe path regressed (descents not reduced enough)");
+        std::process::exit(1);
+    }
+    println!("quick smoke passed: cursor + memo path absorbing descents on both probing strategies");
 }
 
 fn strategy_label(s: Strategy) -> &'static str {
@@ -201,6 +298,10 @@ fn strategy_label(s: Strategy) -> &'static str {
 }
 
 fn main() {
+    if std::env::var("BENCH_THROUGHPUT_QUICK").is_ok_and(|v| v == "1") {
+        quick_smoke();
+        return;
+    }
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let total = queries_per_trial();
     println!("E8 — concurrent query serving throughput ({hw} hardware thread(s))\n");
@@ -229,7 +330,7 @@ fn main() {
     ]);
     let mut strategy_blocks = Vec::new();
     for strategy in [Strategy::Dil, Strategy::Rdil, Strategy::Hdil] {
-        let cold = cold_replay(&engine, &queries, strategy);
+        let (cold, cold_eval) = cold_replay(&engine, &queries, strategy);
         // Warm the cache fully before any timed trial so every point
         // measures the same all-hit workload.
         for q in &queries {
@@ -296,6 +397,7 @@ fn main() {
              \"cache_hits\": {}, \"sequential_reads\": {}, \
              \"random_reads\": {}, \"hit_rate\": {:.6}, \
              \"sequential_fraction_of_misses\": {seq_fraction:.6}}}, \
+             \"probe_stats\": {}, \
              \"points\": [\n      {}\n    ]}}",
             strategy_label(strategy),
             peak >= single,
@@ -303,6 +405,7 @@ fn main() {
             cold.seq_reads,
             cold.rand_reads,
             if cold_logical == 0 { 0.0 } else { cold.cache_hits as f64 / cold_logical as f64 },
+            probe_stats_json(&cold_eval, queries.len()),
             points.iter().map(|p| p.json(total)).collect::<Vec<_>>().join(",\n      "),
         ));
     }

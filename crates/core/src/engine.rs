@@ -496,6 +496,7 @@ impl<S: PageStore> XRankEngine<S> {
         let io = scope.finish();
 
         self.emetrics.record_ok(EngineMetrics::slot_for(strategy), elapsed);
+        self.emetrics.record_eval(&outcome.stats);
         if let Some(reason) = outcome.degraded {
             self.emetrics.record_degraded(reason);
         }

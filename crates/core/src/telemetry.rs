@@ -85,6 +85,11 @@ pub(crate) struct EngineMetrics {
     degraded_deadline: Counter,
     degraded_budget: Counter,
     slow_queries: Counter,
+    rdil_probes: Counter,
+    rdil_memo_hits: Counter,
+    cursor_seek_forward: Counter,
+    cursor_seek_backward: Counter,
+    cursor_redescent: Counter,
 }
 
 impl EngineMetrics {
@@ -107,6 +112,32 @@ impl EngineMetrics {
             degraded_deadline: registry.counter("xrank_queries_degraded_total{reason=\"deadline\"}"),
             degraded_budget: registry.counter("xrank_queries_degraded_total{reason=\"io_budget\"}"),
             slow_queries: registry.counter("xrank_slow_queries_total"),
+            rdil_probes: registry.counter("xrank_rdil_probes_total"),
+            rdil_memo_hits: registry.counter("xrank_rdil_probe_memo_hits_total"),
+            cursor_seek_forward: registry.counter("xrank_cursor_seek_forward_total"),
+            cursor_seek_backward: registry.counter("xrank_cursor_seek_backward_total"),
+            cursor_redescent: registry.counter("xrank_cursor_redescent_total"),
+        }
+    }
+
+    /// Folds one evaluation's probe-path counters into the registry: how
+    /// many Section 4.3.2 probes were issued and how each was served
+    /// (memo hit / forward or backward seek / root re-descent).
+    pub(crate) fn record_eval(&self, eval: &EvalStats) {
+        if eval.btree_probes > 0 {
+            self.rdil_probes.add(eval.btree_probes);
+        }
+        if eval.probe_memo_hits > 0 {
+            self.rdil_memo_hits.add(eval.probe_memo_hits);
+        }
+        if eval.cursor_seeks > 0 {
+            self.cursor_seek_forward.add(eval.cursor_seeks);
+        }
+        if eval.cursor_seeks_back > 0 {
+            self.cursor_seek_backward.add(eval.cursor_seeks_back);
+        }
+        if eval.cursor_descents > 0 {
+            self.cursor_redescent.add(eval.cursor_descents);
         }
     }
 
@@ -269,6 +300,36 @@ impl fmt::Display for Explain {
             self.eval.hash_probes,
             self.eval.range_scans,
         )?;
+        if self.eval.btree_probes > 0 {
+            write!(
+                f,
+                "  probes: issued={} memo_hits={} seek_forward={} seek_backward={} re_descent={}",
+                self.eval.btree_probes,
+                self.eval.probe_memo_hits,
+                self.eval.cursor_seeks,
+                self.eval.cursor_seeks_back,
+                self.eval.cursor_descents,
+            )?;
+            // Probes per TA round, before vs after the stateful-cursor
+            // path: before, every probe was a root descent; now only the
+            // `cursor_descents` remainder is.
+            let rounds = self
+                .trace
+                .events
+                .iter()
+                .filter(|e| matches!(e.data, EventData::TaRound { .. }))
+                .count() as u64;
+            if rounds > 0 {
+                writeln!(
+                    f,
+                    " descents_per_round: before={:.2} after={:.2} ({rounds} rounds)",
+                    self.eval.btree_probes as f64 / rounds as f64,
+                    self.eval.cursor_descents as f64 / rounds as f64,
+                )?;
+            } else {
+                writeln!(f)?;
+            }
+        }
         if let Some(sw) = self.eval.switch {
             writeln!(
                 f,

@@ -17,7 +17,7 @@ use crate::rdil::rank_order;
 use crate::SpaceBreakdown;
 use xrank_dewey::{codec, DeweyId};
 use xrank_graph::TermId;
-use xrank_storage::btree::Interior;
+use xrank_storage::btree::{CursorStats, Interior, MAX_SIBLING_HOPS};
 use xrank_storage::{BufferPool, PageId, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// A located Dewey-list entry: list meta, page offset, slot index within
@@ -152,7 +152,8 @@ impl HdilIndex {
         let key = codec::encode_id(target);
         let mut page_off = interior.descend(pool, &key)?;
         loop {
-            let page = pool.read(PageId::new(self.dil.segment, page_off))?.to_vec();
+            // Decode straight off the pinned frame — no staging copy.
+            let page = pool.read(PageId::new(self.dil.segment, page_off))?;
             let postings = decode_dewey_page(&page)?;
             if let Some(slot) = postings.iter().position(|p| &p.dewey >= target) {
                 return Ok(Some((meta, page_off, slot, postings)));
@@ -180,12 +181,31 @@ impl HdilIndex {
         let pred = if slot > 0 {
             postings.get(slot - 1).cloned()
         } else if page_off > meta.start_page {
-            let prev = pool.read(PageId::new(self.dil.segment, page_off - 1))?.to_vec();
+            let prev = pool.read(PageId::new(self.dil.segment, page_off - 1))?;
             decode_dewey_page(&prev)?.pop()
         } else {
             None
         };
         Ok((entry, pred))
+    }
+
+    /// Opens a stateful probe cursor for `term` — the hot-path form of
+    /// [`HdilIndex::lowest_geq`]. The cursor caches the decoded current
+    /// list page across probes, so the TA loop's advancing targets reuse
+    /// the decode instead of re-descending the interior levels and
+    /// re-parsing the page each round.
+    pub fn probe_cursor(&self, term: TermId) -> HdilProbeCursor {
+        let located = match (self.meta(term), self.interiors.get(term.index()).copied().flatten())
+        {
+            (Some(meta), Some(interior)) => Some((meta, interior)),
+            _ => None,
+        };
+        HdilProbeCursor {
+            segment: self.dil.segment,
+            located,
+            current: None,
+            stats: CursorStats::default(),
+        }
     }
 
     /// All postings of `term` whose Dewey has `prefix` as a prefix,
@@ -214,7 +234,7 @@ impl HdilIndex {
             if page_off >= meta.start_page + meta.page_count {
                 return Ok(out);
             }
-            let page = pool.read(PageId::new(self.dil.segment, page_off))?.to_vec();
+            let page = pool.read(PageId::new(self.dil.segment, page_off))?;
             postings = decode_dewey_page(&page)?;
             slot = 0;
         }
@@ -282,6 +302,125 @@ impl HdilIndex {
     }
 }
 
+/// A per-keyword stateful probe cursor over HDIL's Dewey-sorted list.
+///
+/// HDIL's B+-tree leaves *are* the list pages (Section 4.4.1), so the
+/// cursor's pinned state is the decoded current page: forward probes walk
+/// sibling pages from there (decoding each page once), and only backward
+/// targets or long jumps re-descend the interior levels. Answers are
+/// identical to [`HdilIndex::lowest_geq`] for every target.
+#[derive(Debug, Clone)]
+pub struct HdilProbeCursor {
+    segment: SegmentId,
+    /// The term's list + interior; `None` for absent terms.
+    located: Option<(ListMeta, Interior)>,
+    /// Decoded current page: `(page offset, postings)`.
+    current: Option<(u32, Vec<Posting>)>,
+    stats: CursorStats,
+}
+
+impl HdilProbeCursor {
+    /// Seek-forward / re-descent counters since the cursor was opened.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Stateful [`HdilIndex::lowest_geq`]: identical answers, amortized
+    /// probe cost.
+    pub fn lowest_geq<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
+        let Some((meta, interior)) = self.located else {
+            return Ok((None, None));
+        };
+        self.stats.probes += 1;
+        let last_page = meta.start_page + meta.page_count - 1;
+
+        // Fast path: target at or after the cached page's first posting —
+        // walk forward from it (bounded; a long jump descends instead).
+        let forward_from = match &self.current {
+            Some((off, postings)) if !postings.is_empty() && postings[0].dewey <= *target => {
+                Some(*off)
+            }
+            _ => None,
+        };
+        let (mut page_off, descended) = match forward_from {
+            Some(off) => {
+                let mut off = off;
+                let mut hops = 0u32;
+                let mut reachable = true;
+                while off < last_page && hops < MAX_SIBLING_HOPS {
+                    let postings = self.decoded_page(pool, off)?;
+                    if postings.last().is_some_and(|p| p.dewey >= *target) {
+                        break;
+                    }
+                    off += 1;
+                    hops += 1;
+                }
+                if off < last_page && hops >= MAX_SIBLING_HOPS {
+                    // Re-check: did the walk actually reach a covering page?
+                    let postings = self.decoded_page(pool, off)?;
+                    reachable = postings.last().is_some_and(|p| p.dewey >= *target);
+                }
+                if reachable {
+                    self.stats.seeks_forward += 1;
+                    (off, false)
+                } else {
+                    let key = codec::encode_id(target);
+                    self.stats.descents += 1;
+                    (interior.descend(pool, &key)?, true)
+                }
+            }
+            None => {
+                let key = codec::encode_id(target);
+                self.stats.descents += 1;
+                (interior.descend(pool, &key)?, true)
+            }
+        };
+        // After a descent the target may still lie past the landing page
+        // (same forward scan `locate` does); walk until covered or last.
+        if descended {
+            while page_off < last_page {
+                let postings = self.decoded_page(pool, page_off)?;
+                if postings.last().is_some_and(|p| p.dewey >= *target) {
+                    break;
+                }
+                page_off += 1;
+            }
+        }
+
+        let postings = self.decoded_page(pool, page_off)?;
+        let slot = postings.partition_point(|p| p.dewey < *target);
+        let entry = postings.get(slot).cloned();
+        let pred = if slot > 0 {
+            postings.get(slot - 1).cloned()
+        } else if page_off > meta.start_page {
+            let prev = pool.read(PageId::new(self.segment, page_off - 1))?;
+            decode_dewey_page(&prev)?.pop()
+        } else {
+            None
+        };
+        Ok((entry, pred))
+    }
+
+    /// The decoded postings of `page_off`, from the cache when current —
+    /// each list page is parsed at most once per position change.
+    fn decoded_page<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        page_off: u32,
+    ) -> StorageResult<&Vec<Posting>> {
+        let cached = matches!(&self.current, Some((off, _)) if *off == page_off);
+        if !cached {
+            let page = pool.read(PageId::new(self.segment, page_off))?;
+            self.current = Some((page_off, decode_dewey_page(&page)?));
+        }
+        Ok(&self.current.as_ref().expect("page just cached").1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +478,36 @@ mod tests {
                 "pred mismatch at {probe}"
             );
         }
+    }
+
+    #[test]
+    fn probe_cursor_agrees_with_fresh_probes() {
+        let (pool, hdil, _, c) = build_large();
+        let term = c.vocabulary().lookup("common").unwrap();
+        let mut cur = hdil.probe_cursor(term);
+        let probes = [
+            DeweyId::from([0]),
+            DeweyId::from([0, 0, 17]),
+            DeweyId::from([0, 0, 100]),
+            DeweyId::from([0, 0, 250, 1]),
+            DeweyId::from([0, 0, 30]), // backward seek
+            DeweyId::from([0, 0, 399, 9, 9]),
+            DeweyId::from([5, 0]),
+        ];
+        for probe in &probes {
+            let fresh = hdil.lowest_geq(&pool, term, probe).unwrap();
+            let seeked = cur.lowest_geq(&pool, probe).unwrap();
+            assert_eq!(fresh, seeked, "cursor diverged at {probe}");
+        }
+        let s = cur.stats();
+        assert_eq!(s.probes, probes.len() as u64);
+        assert_eq!(s.probes, s.seeks_forward + s.seeks_backward + s.descents);
+        assert!(s.descents >= 1);
+
+        // Absent terms answer without touching storage.
+        let mut none = hdil.probe_cursor(TermId(u32::MAX - 1));
+        let (e, p) = none.lowest_geq(&pool, &DeweyId::from([0])).unwrap();
+        assert!(e.is_none() && p.is_none());
     }
 
     #[test]

@@ -38,10 +38,10 @@ pub mod rdil;
 
 pub use dil::DilIndex;
 pub use extract::{direct_postings, direct_postings_weighted, naive_postings, RankWeighting};
-pub use hdil::HdilIndex;
+pub use hdil::{HdilIndex, HdilProbeCursor};
 pub use naive::{NaiveIdIndex, NaiveRankIndex};
 pub use posting::{NaivePosting, Posting};
-pub use rdil::RdilIndex;
+pub use rdil::{RdilIndex, RdilProbeCursor};
 
 /// Space occupied by an index, in the two columns of Table 1.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -15,8 +15,10 @@ use crate::posting::{self, NaivePosting, Posting};
 use std::collections::VecDeque;
 use xrank_dewey::codec;
 use xrank_dewey::DeweyId;
+use xrank_storage::wire::SliceReader;
 use xrank_storage::{
-    wire, BufferPool, PageId, PageStore, SegmentId, StorageError, StorageResult, PAGE_SIZE,
+    wire, BufferPool, PageId, PageRef, PageStore, SegmentId, StorageError, StorageResult,
+    PAGE_SIZE,
 };
 
 /// Location of one term's list inside its segment.
@@ -184,11 +186,10 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
 
 /// Reads a list page's entry-count header, bounds-checked.
 fn page_header(page: &[u8]) -> StorageResult<usize> {
-    let b: [u8; 2] = page
-        .get(0..2)
-        .and_then(|s| s.try_into().ok())
-        .ok_or_else(|| StorageError::corrupt("list page shorter than its header"))?;
-    Ok(u16::from_le_bytes(b) as usize)
+    SliceReader::new(page)
+        .get_u16()
+        .map(|n| n as usize)
+        .map_err(|_| StorageError::corrupt("list page shorter than its header"))
 }
 
 /// Decodes a Dewey-list page into postings (`elem` ids are not stored on
@@ -355,23 +356,48 @@ pub enum ListKind {
     Rank,
 }
 
+/// The page a [`ListReader`] is currently decoding: the frame stays pinned
+/// via its [`PageRef`] while postings are decoded out of it one at a time,
+/// straight from the frame bytes (no staging copy of the page, no eager
+/// whole-page materialization).
+#[derive(Debug)]
+struct PageFrame {
+    page: PageRef,
+    off: usize,
+    remaining: usize,
+    /// Delta base for Dewey-ordered pages (restarts at each page).
+    prev: Option<DeweyId>,
+}
+
 /// Streaming reader over a [`ListMeta`] page run. Does not borrow the
 /// pool, so a query can interleave several readers (the multiway merges of
-/// Figures 5 and 7).
+/// Figures 5 and 7). Decoding is lazy and zero-copy: each `next` decodes
+/// exactly one posting from the pinned current page, so a reader that is
+/// abandoned early (TA stop, switch to DIL) never pays for entries it did
+/// not consume.
 #[derive(Debug)]
 pub struct ListReader {
     segment: SegmentId,
     meta: ListMeta,
     kind: ListKind,
     next_page: u32,
-    buffered: VecDeque<Posting>,
+    frame: Option<PageFrame>,
+    pending: Option<Posting>,
     consumed: u32,
 }
 
 impl ListReader {
     /// Creates a reader positioned at the start of the list.
     pub fn new(segment: SegmentId, meta: ListMeta, kind: ListKind) -> Self {
-        ListReader { segment, meta, kind, next_page: meta.start_page, buffered: VecDeque::new(), consumed: 0 }
+        ListReader {
+            segment,
+            meta,
+            kind,
+            next_page: meta.start_page,
+            frame: None,
+            pending: None,
+            consumed: 0,
+        }
     }
 
     /// The list's metadata.
@@ -389,41 +415,69 @@ impl ListReader {
         &mut self,
         pool: &BufferPool<S>,
     ) -> StorageResult<Option<&Posting>> {
-        if self.buffered.is_empty() {
-            self.fill(pool)?;
-        }
-        Ok(self.buffered.front())
+        self.ensure_pending(pool)?;
+        Ok(self.pending.as_ref())
     }
 
     /// Pops the next posting.
     pub fn next<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<Option<Posting>> {
-        if self.buffered.is_empty() {
-            self.fill(pool)?;
-        }
-        let p = self.buffered.pop_front();
+        self.ensure_pending(pool)?;
+        let p = self.pending.take();
         if p.is_some() {
             self.consumed += 1;
         }
         Ok(p)
     }
 
-    fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
-        if self.next_page >= self.meta.start_page + self.meta.page_count {
+    /// Decodes the next posting into `pending` (one entry, in place on the
+    /// pinned frame), pulling the next page of the run when the current
+    /// one is spent.
+    fn ensure_pending<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
+        if self.pending.is_some() {
             return Ok(());
         }
-        let page = pool.read(PageId::new(self.segment, self.next_page))?;
-        self.next_page += 1;
-        let postings = match self.kind {
-            ListKind::Dewey => decode_dewey_page(&page)?,
-            ListKind::Rank => decode_rank_page(&page)?,
-        };
-        self.buffered = postings.into();
-        Ok(())
+        loop {
+            let need_page = match &self.frame {
+                Some(f) => f.remaining == 0,
+                None => true,
+            };
+            if need_page {
+                if self.next_page >= self.meta.start_page + self.meta.page_count {
+                    return Ok(());
+                }
+                let page = pool.read(PageId::new(self.segment, self.next_page))?;
+                self.next_page += 1;
+                let remaining = page_header(&page)?;
+                self.frame = Some(PageFrame { page, off: 2, remaining, prev: None });
+                if remaining == 0 {
+                    continue; // writers never emit empty pages; stay robust
+                }
+            }
+            let frame = self.frame.as_mut().expect("current frame present");
+            let buf = frame
+                .page
+                .get(frame.off..)
+                .ok_or_else(|| StorageError::corrupt("list entry overruns page"))?;
+            let prev = match self.kind {
+                ListKind::Dewey => frame.prev.as_ref(),
+                ListKind::Rank => None,
+            };
+            let (p, used) = posting::decode_entry(prev, buf)
+                .map_err(|e| StorageError::corrupt(format!("list page entry: {e}")))?;
+            frame.off += used;
+            frame.remaining -= 1;
+            if self.kind == ListKind::Dewey {
+                frame.prev = Some(p.dewey.clone());
+            }
+            self.pending = Some(p);
+            return Ok(());
+        }
     }
 
     /// True once every posting has been yielded.
     pub fn exhausted(&self) -> bool {
-        self.buffered.is_empty()
+        self.pending.is_none()
+            && self.frame.as_ref().is_none_or(|f| f.remaining == 0)
             && self.next_page >= self.meta.start_page + self.meta.page_count
     }
 }

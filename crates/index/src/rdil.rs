@@ -13,7 +13,7 @@ use crate::posting::{self, Posting};
 use crate::SpaceBreakdown;
 use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
-use xrank_storage::btree::{SortedKv, SortedKvBuilder};
+use xrank_storage::btree::{CursorStats, SortedKv, SortedKvBuilder, TreeCursor};
 use xrank_storage::{BufferPool, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// A built RDIL: rank-ordered lists + the composite Dewey B+-tree.
@@ -110,6 +110,14 @@ impl RdilIndex {
         ))
     }
 
+    /// Opens a stateful probe cursor for `term` — the hot-path form of
+    /// [`RdilIndex::lowest_geq`]. One cursor per keyword, held across all
+    /// TA rounds, turns the ~monotone probe sequence of Figure 7 into
+    /// forward seeks on a pinned leaf instead of a root descent each.
+    pub fn probe_cursor(&self, term: TermId) -> RdilProbeCursor {
+        RdilProbeCursor { term, cursor: self.tree.cursor() }
+    }
+
     /// All postings of `term` whose Dewey has `prefix` as a prefix — the
     /// "range scan over btree[i]" of Figure 7 line 19.
     pub fn prefix_postings<S: PageStore>(
@@ -172,6 +180,39 @@ impl RdilIndex {
             list_bytes: self.lists.iter().flatten().map(|m| m.used_bytes).sum(),
             index_bytes: self.tree.total_pages(pool) as u64 * PAGE_SIZE as u64,
         }
+    }
+}
+
+/// A per-keyword stateful probe cursor over the composite B+-tree: a
+/// [`TreeCursor`] whose answers are restricted to one term's key space.
+/// Returns exactly what [`RdilIndex::lowest_geq`] returns for every
+/// target, while serving the TA loop's advancing probes from the pinned
+/// leaf instead of re-descending from the root.
+#[derive(Debug, Clone)]
+pub struct RdilProbeCursor {
+    term: TermId,
+    cursor: TreeCursor,
+}
+
+impl RdilProbeCursor {
+    /// Seek-forward / re-descent counters since the cursor was opened.
+    pub fn stats(&self) -> CursorStats {
+        self.cursor.stats()
+    }
+
+    /// Stateful [`RdilIndex::lowest_geq`]: identical answers, amortized
+    /// probe cost.
+    pub fn lowest_geq<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
+        let key = posting::composite_key(self.term.0, target);
+        let (entry, pred) = self.cursor.seek_geq(pool, &key)?;
+        Ok((
+            entry.and_then(|e| decode_tree_entry(self.term, &e.key, &e.value)),
+            pred.and_then(|e| decode_tree_entry(self.term, &e.key, &e.value)),
+        ))
     }
 }
 
@@ -269,6 +310,29 @@ mod tests {
         // Foreign subtree: nothing.
         let none = idx.prefix_postings(&pool, term, &DeweyId::from([1])).unwrap();
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn probe_cursor_agrees_with_fresh_probes() {
+        let (pool, idx, c) = build();
+        let term = c.vocabulary().lookup("xql").unwrap();
+        let mut cur = idx.probe_cursor(term);
+        let probes = [
+            DeweyId::from([0]),
+            DeweyId::from([0, 0, 0]),
+            DeweyId::from([0, 0, 0, 1, 2]),
+            DeweyId::from([0, 0, 0]), // backward seek
+            DeweyId::from([99, 0]),
+        ];
+        for probe in &probes {
+            let fresh = idx.lowest_geq(&pool, term, probe).unwrap();
+            let seeked = cur.lowest_geq(&pool, probe).unwrap();
+            assert_eq!(fresh, seeked, "cursor diverged at {probe}");
+        }
+        let s = cur.stats();
+        assert_eq!(s.probes, probes.len() as u64);
+        assert_eq!(s.probes, s.seeks_forward + s.seeks_backward + s.descents);
+        assert!(s.descents >= 1, "first probe must descend");
     }
 
     #[test]

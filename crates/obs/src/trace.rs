@@ -46,6 +46,14 @@ pub enum Stage {
     TaRound,
     /// A B+-tree longest-common-prefix probe (`lowest_geq`).
     BtreeProbe,
+    /// A probe answered from the per-term memo table (no tree access).
+    ProbeMemoHit,
+    /// A probe served by a cursor seeking forward from its pinned leaf.
+    CursorSeek,
+    /// A probe served by a cursor's backward sibling walk.
+    CursorSeekBack,
+    /// A probe that fell back to a full root-to-leaf re-descent.
+    CursorDescent,
     /// A Dewey-prefix range scan scoring a candidate.
     RangeScan,
     /// A hash-index membership probe (Naive-Rank).
@@ -67,7 +75,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (sizes the aggregation table).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     const ALL: [Stage; Stage::COUNT] = [
         Stage::Tokenize,
@@ -76,6 +84,10 @@ impl Stage {
         Stage::TaLoop,
         Stage::TaRound,
         Stage::BtreeProbe,
+        Stage::ProbeMemoHit,
+        Stage::CursorSeek,
+        Stage::CursorSeekBack,
+        Stage::CursorDescent,
         Stage::RangeScan,
         Stage::HashProbe,
         Stage::MergeJoin,
@@ -95,6 +107,10 @@ impl Stage {
             Stage::TaLoop => "ta_loop",
             Stage::TaRound => "ta_round",
             Stage::BtreeProbe => "btree_probe",
+            Stage::ProbeMemoHit => "probe_memo_hit",
+            Stage::CursorSeek => "cursor_seek",
+            Stage::CursorSeekBack => "cursor_seek_back",
+            Stage::CursorDescent => "cursor_descent",
             Stage::RangeScan => "range_scan",
             Stage::HashProbe => "hash_probe",
             Stage::MergeJoin => "merge_join",

@@ -5,11 +5,98 @@ use xrank_dewey::DeweyId;
 use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::posting::Posting;
-use xrank_index::{HdilIndex, RdilIndex};
-use xrank_storage::{BufferPool, PageStore, StorageResult};
+use xrank_index::{HdilIndex, HdilProbeCursor, RdilIndex, RdilProbeCursor};
+use xrank_storage::{BufferPool, CursorStats, PageStore, StorageResult};
+
+/// A stateful `lowest_geq` probe handle for one keyword.
+///
+/// Unlike [`RankedAccess::lowest_geq`] — which re-descends the B+-tree
+/// from the root on every call — a cursor pins its current leaf and
+/// serves monotonically non-decreasing targets by seeking forward from
+/// its last position. The Figure 7 TA loop holds one cursor per keyword
+/// across all rounds, so the common case (probe targets that creep
+/// forward in Dewey order) costs a bounded leaf walk instead of a full
+/// descent. Answers are identical to a fresh descent for *every* target,
+/// including backward seeks (which transparently re-descend).
+pub trait ProbeCursor<S: PageStore> {
+    /// The Section 4.3.2 probe, served statefully: smallest posting with
+    /// `dewey >= target`, and its predecessor.
+    fn lowest_geq(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)>;
+
+    /// Probe counters so far
+    /// (`probes = seeks_forward + seeks_backward + descents`).
+    fn stats(&self) -> CursorStats;
+}
+
+impl<S: PageStore> ProbeCursor<S> for RdilProbeCursor {
+    fn lowest_geq(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
+        RdilProbeCursor::lowest_geq(self, pool, target)
+    }
+
+    fn stats(&self) -> CursorStats {
+        RdilProbeCursor::stats(self)
+    }
+}
+
+impl<S: PageStore> ProbeCursor<S> for HdilProbeCursor {
+    fn lowest_geq(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
+        HdilProbeCursor::lowest_geq(self, pool, target)
+    }
+
+    fn stats(&self) -> CursorStats {
+        HdilProbeCursor::stats(self)
+    }
+}
+
+/// Per-term list statistics, gathered once per query so hot loops (TA
+/// accounting, HDIL's switch-cost check) stop re-asking the index for
+/// quantities that cannot change mid-query.
+#[derive(Debug, Clone, Default)]
+pub struct TermStats {
+    /// `full_list_entries` per query keyword, positionally aligned.
+    pub entries: Vec<u32>,
+    /// `full_list_pages` per query keyword, positionally aligned.
+    pub pages: Vec<u32>,
+    /// Sum of `entries`.
+    pub total_entries: u64,
+    /// Sum of `pages`.
+    pub total_pages: u64,
+}
+
+impl TermStats {
+    /// Collects the stats for `terms` with one accessor call per keyword.
+    pub fn gather<S: PageStore, A: RankedAccess<S>>(access: &A, terms: &[TermId]) -> TermStats {
+        let entries: Vec<u32> = terms.iter().map(|&t| access.full_list_entries(t)).collect();
+        let pages: Vec<u32> = terms.iter().map(|&t| access.full_list_pages(t)).collect();
+        TermStats {
+            total_entries: entries.iter().map(|&e| e as u64).sum(),
+            total_pages: pages.iter().map(|&p| p as u64).sum(),
+            entries,
+            pages,
+        }
+    }
+}
 
 /// What the RDIL-style evaluator needs from an index.
 pub trait RankedAccess<S: PageStore> {
+    /// The stateful probe handle type for this index.
+    type Cursor: ProbeCursor<S>;
+
+    /// Opens a probe cursor for `term` (cold: the first seek descends).
+    fn probe_cursor(&self, term: TermId) -> Self::Cursor;
+
     /// Reader over the rank-sorted list (RDIL: the full list; HDIL: the
     /// stored prefix).
     fn rank_reader(&self, term: TermId) -> Option<ListReader>;
@@ -46,6 +133,12 @@ pub trait RankedAccess<S: PageStore> {
 }
 
 impl<S: PageStore> RankedAccess<S> for RdilIndex {
+    type Cursor = RdilProbeCursor;
+
+    fn probe_cursor(&self, term: TermId) -> RdilProbeCursor {
+        RdilIndex::probe_cursor(self, term)
+    }
+
     fn rank_reader(&self, term: TermId) -> Option<ListReader> {
         self.reader(term)
     }
@@ -82,6 +175,12 @@ impl<S: PageStore> RankedAccess<S> for RdilIndex {
 }
 
 impl<S: PageStore> RankedAccess<S> for HdilIndex {
+    type Cursor = HdilProbeCursor;
+
+    fn probe_cursor(&self, term: TermId) -> HdilProbeCursor {
+        HdilIndex::probe_cursor(self, term)
+    }
+
     fn rank_reader(&self, term: TermId) -> Option<ListReader> {
         self.rank_prefix_reader(term)
     }

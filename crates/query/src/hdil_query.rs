@@ -50,14 +50,13 @@ pub fn evaluate_traced<S: PageStore>(
     trace: &QueryTrace,
 ) -> Result<QueryOutcome, QueryError> {
     let m = opts.top_m;
+    // Per-term list stats, gathered once per query: the switch-cost check
+    // below runs every CHECK_INTERVAL steps and must not re-ask the index
+    // for quantities that cannot change mid-query.
+    let term_stats =
+        crate::access::TermStats::gather::<S, HdilIndex>(index, terms);
+    let total_pages = term_stats.total_pages;
     // Expected DIL cost: one seek per keyword list, then sequential scans.
-    let total_pages: u64 = terms
-        .iter()
-        .map(|&t| {
-            use crate::access::RankedAccess;
-            <HdilIndex as RankedAccess<S>>::full_list_pages(index, t) as u64
-        })
-        .sum();
     let dil_estimate = total_pages.saturating_sub(terms.len() as u64) as f64
         * cost_model.seq_cost
         + terms.len() as f64 * cost_model.rand_cost;
@@ -173,6 +172,10 @@ pub fn evaluate_traced<S: PageStore>(
     outcome.stats = EvalStats {
         entries_scanned: outcome.stats.entries_scanned + rdil_stats.entries_scanned,
         btree_probes: rdil_stats.btree_probes,
+        probe_memo_hits: rdil_stats.probe_memo_hits,
+        cursor_seeks: rdil_stats.cursor_seeks,
+        cursor_seeks_back: rdil_stats.cursor_seeks_back,
+        cursor_descents: rdil_stats.cursor_descents,
         hash_probes: 0,
         range_scans: rdil_stats.range_scans,
         switched_to_dil: true,

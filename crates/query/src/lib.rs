@@ -222,8 +222,23 @@ impl EvalGuard {
 pub struct EvalStats {
     /// Inverted-list entries consumed.
     pub entries_scanned: u64,
-    /// B+-tree `lowest_geq` probes issued.
+    /// B+-tree `lowest_geq` probes issued (logically — memo hits count,
+    /// since the algorithm asked the question even when the answer was
+    /// cached; `btree_probes = probe_memo_hits + cursor_seeks +
+    /// cursor_seeks_back + cursor_descents` on the cursor-driven path).
     pub btree_probes: u64,
+    /// Probes answered from the per-term memo table without touching the
+    /// tree at all.
+    pub probe_memo_hits: u64,
+    /// Probes served by a stateful cursor seeking forward from its pinned
+    /// leaf (no root re-descent).
+    pub cursor_seeks: u64,
+    /// Probes served by a cursor's backward sibling walk (no root
+    /// re-descent).
+    pub cursor_seeks_back: u64,
+    /// Probes that fell back to a full root-to-leaf descent (cold cursor,
+    /// or a target beyond the sibling-walk bound in either direction).
+    pub cursor_descents: u64,
     /// Hash-index lookups issued.
     pub hash_probes: u64,
     /// Prefix range scans issued.

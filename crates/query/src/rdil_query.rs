@@ -12,7 +12,7 @@
 //! The evaluation is exposed as a resumable [`RdilRun`] so the HDIL
 //! adaptive strategy (Section 4.4.2) can interleave progress checks.
 
-use crate::access::RankedAccess;
+use crate::access::{ProbeCursor, RankedAccess};
 use crate::dil_query::occurrence_rank;
 use crate::score::{Aggregation, QueryOptions, TopM};
 use crate::{EvalGuard, EvalStats, QueryError, QueryOutcome};
@@ -23,6 +23,52 @@ use xrank_graph::TermId;
 use xrank_index::listio::ListReader;
 use xrank_index::posting::Posting;
 use xrank_storage::{BufferPool, PageStore};
+
+/// Upper bound of a memoized probe gap: the answering entry's Dewey ID,
+/// or `Top` when the probe ran past the end of the list.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GapTop {
+    At(DeweyId),
+    Top,
+}
+
+/// Per-keyword memo of `lowest_geq` answers, keyed by the *gap* each
+/// answer proves empty: a probe returning `(entry, pred)` certifies the
+/// keyword's list holds no posting inside the interval `(pred, entry]`,
+/// so any later target falling in it has the identical answer — the
+/// index is immutable for the life of the query. Rank-ordered list
+/// consumption makes probe targets jump around Dewey space; gap keying
+/// turns every pair of targets that land between the same two adjacent
+/// postings into one tree access plus a free lookup, where an
+/// exact-target memo would miss.
+#[derive(Default)]
+struct ProbeMemo {
+    /// Gap upper bound → the probe answer whose emptiness proves the gap.
+    gaps: std::collections::BTreeMap<GapTop, (Option<Posting>, Option<Posting>)>,
+}
+
+impl ProbeMemo {
+    /// The memoized answer covering `target`, if some earlier probe's gap
+    /// contains it (`pred < target <= entry`, with open ends at `None`).
+    fn lookup(&self, target: &DeweyId) -> Option<&(Option<Posting>, Option<Posting>)> {
+        use std::ops::Bound;
+        let (_, ans) = self
+            .gaps
+            .range((Bound::Included(GapTop::At(target.clone())), Bound::Unbounded))
+            .next()?;
+        let above_pred = ans.1.as_ref().is_none_or(|p| *target > p.dewey);
+        above_pred.then_some(ans)
+    }
+
+    /// Records a fresh probe answer under the gap it certifies empty.
+    fn insert(&mut self, answer: (Option<Posting>, Option<Posting>)) {
+        let top = match &answer.0 {
+            Some(e) => GapTop::At(e.dewey.clone()),
+            None => GapTop::Top,
+        };
+        self.gaps.insert(top, answer);
+    }
+}
 
 /// What one [`RdilRun::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +94,18 @@ pub struct RdilRun<'a, S: PageStore, A: RankedAccess<S>> {
     terms: Vec<TermId>,
     opts: QueryOptions,
     readers: Vec<ListReader>,
+    /// One stateful probe cursor per keyword, held across all TA rounds.
+    /// When consecutive targets creep forward in Dewey order the seek is a
+    /// bounded forward leaf walk, not a root re-descent.
+    cursors: Vec<A::Cursor>,
+    /// Per-keyword memo of probe answers (see [`ProbeMemo`]).
+    memo: Vec<ProbeMemo>,
     /// ElemRank of the last entry consumed from each list (threshold term).
     frontier: Vec<f64>,
     heap: TopM,
-    /// Scores of all confirmed results (for the HDIL progress estimate).
+    /// Scores of all results found so far, kept ascending so the HDIL
+    /// progress estimate (`confirmed_results`) is a binary search instead
+    /// of a full rescan on every check.
     result_scores: Vec<f64>,
     seen: HashSet<DeweyId>,
     next_list: usize,
@@ -94,12 +148,16 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             }
         }
         drop(open_span);
+        let cursors = terms.iter().map(|&t| access.probe_cursor(t)).collect();
+        let memo = terms.iter().map(|_| ProbeMemo::default()).collect();
         Ok(RdilRun {
             access,
             trace,
             terms: terms.to_vec(),
             opts: opts.clone(),
             readers,
+            cursors,
+            memo,
             frontier,
             heap: TopM::new(opts.top_m),
             result_scores: Vec::new(),
@@ -126,7 +184,9 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     /// threshold — the `r` of the Section 4.4.2 estimate.
     pub fn confirmed_results(&self) -> usize {
         let t = self.threshold();
-        self.result_scores.iter().filter(|&&s| s >= t).count()
+        // `result_scores` is kept ascending; everything from the first
+        // score >= t clears the threshold.
+        self.result_scores.len() - self.result_scores.partition_point(|&s| s < t)
     }
 
     /// True when the run has provably produced the top-m results.
@@ -199,9 +259,35 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 continue;
             }
             self.stats.btree_probes += 1;
-            let probe_span = self.trace.span(Stage::BtreeProbe);
-            let (entry, pred) = self.access.lowest_geq(pool, self.terms[j], &lcp)?;
-            drop(probe_span);
+            let (entry, pred) = match self.memo[j].lookup(&lcp) {
+                Some(hit) => {
+                    let hit = hit.clone();
+                    self.stats.probe_memo_hits += 1;
+                    self.trace.bump(Stage::ProbeMemoHit);
+                    hit
+                }
+                None => {
+                    let before = self.cursors[j].stats();
+                    let probe_span = self.trace.span(Stage::BtreeProbe);
+                    let answer = self.cursors[j].lowest_geq(pool, &lcp)?;
+                    drop(probe_span);
+                    // One seek is exactly one forward walk, one backward
+                    // walk, or one descent.
+                    let after = self.cursors[j].stats();
+                    if after.descents > before.descents {
+                        self.stats.cursor_descents += 1;
+                        self.trace.bump(Stage::CursorDescent);
+                    } else if after.seeks_backward > before.seeks_backward {
+                        self.stats.cursor_seeks_back += 1;
+                        self.trace.bump(Stage::CursorSeekBack);
+                    } else {
+                        self.stats.cursor_seeks += 1;
+                        self.trace.bump(Stage::CursorSeek);
+                    }
+                    self.memo[j].insert(answer.clone());
+                    answer
+                }
+            };
             let via_entry = entry.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let via_pred = pred.map_or(0, |p| p.dewey.common_prefix_len(&lcp));
             let keep = via_entry.max(via_pred);
@@ -226,7 +312,8 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
                 self.trace,
             )? {
                 self.heap.offer(lcp, score);
-                self.result_scores.push(score);
+                let at = self.result_scores.partition_point(|&s| s < score);
+                self.result_scores.insert(at, score);
             }
         }
 
@@ -448,6 +535,49 @@ mod tests {
             "scanned {} of {} — TA should stop early",
             out.stats.entries_scanned,
             total
+        );
+    }
+
+    /// The stateful-cursor + gap-memo probe path must change only *how*
+    /// probes are answered, never how many the algorithm issues — and the
+    /// expensive kind (full root re-descents) must stay under a fixed
+    /// budget on the worked corpus where the old path descended on every
+    /// single probe.
+    #[test]
+    fn probe_budget_on_worked_corpus() {
+        let mut xml = String::from("<corpus>");
+        for i in 0..150 {
+            xml.push_str(&format!(
+                "<doc{i}><h>alpha title {i}</h><p>beta body text {}</p><q>alpha beta</q></doc{i}>",
+                i % 13
+            ));
+        }
+        xml.push_str("</corpus>");
+        let (pool, _, rdil, c) = setup(&xml);
+        let q = terms(&c, &["alpha", "beta"]);
+        let opts = QueryOptions { top_m: 10, ..Default::default() };
+        let out = evaluate(&pool, &rdil, &q, &opts).unwrap();
+        let s = out.stats;
+        // Every probe is classified exactly once.
+        assert_eq!(
+            s.btree_probes,
+            s.probe_memo_hits + s.cursor_seeks + s.cursor_seeks_back + s.cursor_descents,
+            "probe classification leaked: {s:?}"
+        );
+        assert!(s.btree_probes > 30, "worked example should probe heavily: {s:?}");
+        // The regression gate: before this path existed every probe was a
+        // descent (descents == btree_probes). The memo + cursor must now
+        // absorb the overwhelming majority.
+        assert!(
+            s.cursor_descents <= s.btree_probes / 10,
+            "descents {} vs {} probes — cursor/memo path regressed",
+            s.cursor_descents,
+            s.btree_probes
+        );
+        assert!(
+            s.cursor_descents <= 40,
+            "fixed descent budget exceeded: {} descents",
+            s.cursor_descents
         );
     }
 

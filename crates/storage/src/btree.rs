@@ -17,6 +17,13 @@
 //!   d₃, shares the longest common prefix with d"), plus bidirectional
 //!   cursors and range scans.
 //!
+//! Leaf pages are decoded through [`LeafView`]: a pinned [`PageRef`] plus a
+//! slot directory of offsets, so key comparisons borrow bytes straight from
+//! the buffer-pool frame instead of copying every entry into scratch
+//! vectors. [`TreeCursor`] builds on that to serve the TA loop's
+//! monotonically advancing probes from the pinned leaf (or a short forward
+//! sibling walk) without re-descending from the root each time.
+//!
 //! Trees are built by offline bulk load from sorted input (the paper builds
 //! its indexes offline; Section 4.5). Leaf pages occupy offsets
 //! `0..leaf_count` of a fresh segment so sibling navigation is implicit
@@ -27,7 +34,7 @@
 //! own checks) degrades into [`StorageError::Corrupt`] instead of a panic.
 
 use crate::error::{StorageError, StorageResult};
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PageRef};
 use crate::store::{PageId, PageStore, SegmentId, PAGE_SIZE};
 
 /// Max bytes of one leaf entry (key + value + 4-byte lengths); anything
@@ -222,6 +229,105 @@ pub struct Entry {
     pub loc: EntryLoc,
 }
 
+/// One slot of a decoded leaf: byte offsets into the pinned page.
+#[derive(Debug, Clone, Copy)]
+struct LeafSlot {
+    key_off: u32,
+    klen: u16,
+    vlen: u16,
+}
+
+/// A leaf page pinned in memory with a parsed slot directory.
+///
+/// Keys and values are borrowed straight from the frame bytes — the
+/// [`PageRef`] keeps the frame alive for the view's lifetime, so probing
+/// and scanning never copy entries into scratch vectors. Parsing the
+/// directory is done once per page read; every subsequent key comparison
+/// is a bounds-known slice compare.
+#[derive(Debug, Clone)]
+pub struct LeafView {
+    page: PageRef,
+    slots: Vec<LeafSlot>,
+}
+
+impl LeafView {
+    /// Parses the slot directory of one leaf page, pinning the frame.
+    pub fn parse(page: PageRef) -> StorageResult<LeafView> {
+        let slots = Self::parse_slots(&page)?;
+        Ok(LeafView { page, slots })
+    }
+
+    /// Bounds-checks the `[n] (klen, vlen, key, value)×n` layout.
+    fn parse_slots(page: &[u8]) -> StorageResult<Vec<LeafSlot>> {
+        let n = get_u16(page, 0)? as usize;
+        let mut off = 2usize;
+        let mut slots = Vec::with_capacity(n.min(PAGE_SIZE / 4));
+        for _ in 0..n {
+            let klen = get_u16(page, off)? as usize;
+            let vlen = get_u16(page, off + 2)? as usize;
+            if page.len() < off + 4 + klen + vlen {
+                return Err(StorageError::corrupt("leaf entry overruns page"));
+            }
+            slots.push(LeafSlot {
+                key_off: (off + 4) as u32,
+                klen: klen as u16,
+                vlen: vlen as u16,
+            });
+            off += 4 + klen + vlen;
+        }
+        Ok(slots)
+    }
+
+    /// Number of entries in the leaf.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the leaf holds no entries (only the empty tree's leaf).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The key bytes of `slot`, borrowed from the pinned page.
+    pub fn key(&self, slot: usize) -> &[u8] {
+        let s = &self.slots[slot];
+        &self.page[s.key_off as usize..s.key_off as usize + s.klen as usize]
+    }
+
+    /// The value bytes of `slot`, borrowed from the pinned page.
+    pub fn value(&self, slot: usize) -> &[u8] {
+        let s = &self.slots[slot];
+        let v = s.key_off as usize + s.klen as usize;
+        &self.page[v..v + s.vlen as usize]
+    }
+
+    /// First slot with `key >= target`, or `len()` when every key is below.
+    pub fn lower_bound(&self, target: &[u8]) -> usize {
+        self.slots.partition_point(|s| {
+            let k = &self.page[s.key_off as usize..s.key_off as usize + s.klen as usize];
+            k < target
+        })
+    }
+
+    /// Materializes `slot` as an owned [`Entry`] located in `leaf`.
+    pub fn entry(&self, leaf: u32, slot: usize) -> Entry {
+        Entry {
+            key: self.key(slot).to_vec(),
+            value: self.value(slot).to_vec(),
+            loc: EntryLoc { leaf, slot: slot as u16 },
+        }
+    }
+
+    /// The last key in the leaf, if any.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.key(self.slots.len() - 1))
+        }
+    }
+}
+
 /// Leaf page layout: `[n: u16] (klen: u16, vlen: u16, key, value) × n`,
 /// sorted by key. Leaves are pages `0..leaf_count` of the segment; sibling
 /// leaves are adjacent pages.
@@ -355,34 +461,23 @@ impl SortedKv {
         b.finish()
     }
 
-    fn parse_leaf(page: &[u8]) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let n = get_u16(page, 0)? as usize;
-        let mut off = 2;
-        let mut out = Vec::with_capacity(n.min(PAGE_SIZE / 4));
-        for _ in 0..n {
-            let klen = get_u16(page, off)? as usize;
-            let vlen = get_u16(page, off + 2)? as usize;
-            let key = page
-                .get(off + 4..off + 4 + klen)
-                .ok_or_else(|| StorageError::corrupt("leaf entry key overruns page"))?
-                .to_vec();
-            let value = page
-                .get(off + 4 + klen..off + 4 + klen + vlen)
-                .ok_or_else(|| StorageError::corrupt("leaf entry value overruns page"))?
-                .to_vec();
-            out.push((key, value));
-            off += 4 + klen + vlen;
-        }
-        Ok(out)
+    /// Reads and parses one leaf into a pinned zero-copy view.
+    pub fn leaf_view<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        leaf: u32,
+    ) -> StorageResult<LeafView> {
+        LeafView::parse(pool.read(PageId::new(self.segment, leaf))?)
     }
 
+    #[cfg(test)]
     fn leaf_entries<S: PageStore>(
         &self,
         pool: &BufferPool<S>,
         leaf: u32,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let page = pool.read(PageId::new(self.segment, leaf))?;
-        Self::parse_leaf(&page)
+        let view = self.leaf_view(pool, leaf)?;
+        Ok((0..view.len()).map(|i| (view.key(i).to_vec(), view.value(i).to_vec())).collect())
     }
 
     /// The entry at `loc`, if the location is valid.
@@ -394,12 +489,12 @@ impl SortedKv {
         if loc.leaf >= self.leaf_count {
             return Ok(None);
         }
-        let entries = self.leaf_entries(pool, loc.leaf)?;
-        Ok(entries.get(loc.slot as usize).map(|(key, value)| Entry {
-            key: key.clone(),
-            value: value.clone(),
-            loc,
-        }))
+        let view = self.leaf_view(pool, loc.leaf)?;
+        if (loc.slot as usize) < view.len() {
+            Ok(Some(view.entry(loc.leaf, loc.slot as usize)))
+        } else {
+            Ok(None)
+        }
     }
 
     /// The entry after `loc` in key order.
@@ -408,19 +503,11 @@ impl SortedKv {
         pool: &BufferPool<S>,
         loc: EntryLoc,
     ) -> StorageResult<Option<Entry>> {
-        let entries = self.leaf_entries(pool, loc.leaf)?;
-        if (loc.slot as usize) + 1 < entries.len() {
-            return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot + 1 });
+        let view = self.leaf_view(pool, loc.leaf)?;
+        if (loc.slot as usize) + 1 < view.len() {
+            return Ok(Some(view.entry(loc.leaf, loc.slot as usize + 1)));
         }
-        let mut leaf = loc.leaf + 1;
-        while leaf < self.leaf_count {
-            let entries = self.leaf_entries(pool, leaf)?;
-            if !entries.is_empty() {
-                return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
-            }
-            leaf += 1;
-        }
-        Ok(None)
+        self.first_entry_from(pool, loc.leaf + 1)
     }
 
     /// The entry before `loc` in key order.
@@ -430,17 +517,19 @@ impl SortedKv {
         loc: EntryLoc,
     ) -> StorageResult<Option<Entry>> {
         if loc.slot > 0 {
-            return self.entry_at(pool, EntryLoc { leaf: loc.leaf, slot: loc.slot - 1 });
+            let view = self.leaf_view(pool, loc.leaf)?;
+            let slot = loc.slot as usize - 1;
+            if slot < view.len() {
+                return Ok(Some(view.entry(loc.leaf, slot)));
+            }
+            return Ok(None);
         }
         let mut leaf = loc.leaf;
         while leaf > 0 {
             leaf -= 1;
-            let entries = self.leaf_entries(pool, leaf)?;
-            if !entries.is_empty() {
-                return self.entry_at(
-                    pool,
-                    EntryLoc { leaf, slot: (entries.len() - 1) as u16 },
-                );
+            let view = self.leaf_view(pool, leaf)?;
+            if !view.is_empty() {
+                return Ok(Some(view.entry(leaf, view.len() - 1)));
             }
         }
         Ok(None)
@@ -454,40 +543,45 @@ impl SortedKv {
         target: &[u8],
     ) -> StorageResult<(Option<Entry>, Option<Entry>)> {
         let leaf = self.interior.descend(pool, target)?;
-        let entries = self.leaf_entries(pool, leaf)?;
-        match entries.iter().position(|(k, _)| k.as_slice() >= target) {
-            Some(slot) => {
-                let loc = EntryLoc { leaf, slot: slot as u16 };
-                let entry = self.entry_at(pool, loc)?;
-                let pred = self.prev(pool, loc)?;
-                Ok((entry, pred))
-            }
-            None => {
-                // All keys in this leaf sort below target (or leaf empty):
-                // the answer is the first entry of the next leaf; the
-                // predecessor is this leaf's last entry.
-                let pred = if entries.is_empty() {
-                    if leaf == 0 {
-                        None
-                    } else {
-                        self.prev(pool, EntryLoc { leaf, slot: 0 })?
-                    }
+        let view = self.leaf_view(pool, leaf)?;
+        self.probe_view(pool, leaf, &view, target)
+    }
+
+    /// Answers the `lowest_geq` probe inside an already-pinned leaf. The
+    /// leaf must be the descend target for `target` (or a forward sibling
+    /// the cursor verified still covers it); only the cross-leaf
+    /// predecessor / successor lookups touch the pool.
+    fn probe_view<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        leaf: u32,
+        view: &LeafView,
+        target: &[u8],
+    ) -> StorageResult<(Option<Entry>, Option<Entry>)> {
+        let slot = view.lower_bound(target);
+        if slot < view.len() {
+            let entry = Some(view.entry(leaf, slot));
+            let pred = if slot > 0 {
+                Some(view.entry(leaf, slot - 1))
+            } else {
+                self.prev(pool, EntryLoc { leaf, slot: 0 })?
+            };
+            Ok((entry, pred))
+        } else {
+            // All keys in this leaf sort below target (or leaf empty):
+            // the answer is the first entry of a later leaf; the
+            // predecessor is this leaf's last entry.
+            let pred = if view.is_empty() {
+                if leaf == 0 {
+                    None
                 } else {
-                    self.entry_at(pool, EntryLoc { leaf, slot: (entries.len() - 1) as u16 })?
-                };
-                let entry = match pred.as_ref() {
-                    Some(p) => self.next(pool, p.loc)?,
-                    None => None,
-                };
-                let entry = match entry {
-                    Some(e) => Some(e),
-                    None if entries.is_empty() && leaf + 1 < self.leaf_count => {
-                        self.first_entry_from(pool, leaf + 1)?
-                    }
-                    None => None,
-                };
-                Ok((entry, pred))
-            }
+                    self.prev(pool, EntryLoc { leaf, slot: 0 })?
+                }
+            } else {
+                Some(view.entry(leaf, view.len() - 1))
+            };
+            let entry = self.first_entry_from(pool, leaf + 1)?;
+            Ok((entry, pred))
         }
     }
 
@@ -497,9 +591,9 @@ impl SortedKv {
         mut leaf: u32,
     ) -> StorageResult<Option<Entry>> {
         while leaf < self.leaf_count {
-            let entries = self.leaf_entries(pool, leaf)?;
-            if !entries.is_empty() {
-                return self.entry_at(pool, EntryLoc { leaf, slot: 0 });
+            let view = self.leaf_view(pool, leaf)?;
+            if !view.is_empty() {
+                return Ok(Some(view.entry(leaf, 0)));
             }
             leaf += 1;
         }
@@ -516,7 +610,9 @@ impl SortedKv {
         Ok(entry.filter(|e| e.key == key).map(|e| e.value))
     }
 
-    /// Collects all entries with `low <= key < high` via a leaf range scan.
+    /// Collects all entries with `low <= key < high` via a leaf range
+    /// scan: one descent, then one parse per leaf (each page is read and
+    /// decoded exactly once, not once per entry).
     pub fn range<S: PageStore>(
         &self,
         pool: &BufferPool<S>,
@@ -524,21 +620,172 @@ impl SortedKv {
         high: &[u8],
     ) -> StorageResult<Vec<Entry>> {
         let mut out = Vec::new();
-        let (mut cur, _) = self.lowest_geq(pool, low)?;
-        while let Some(entry) = cur {
-            if entry.key.as_slice() >= high {
-                break;
+        let start = self.interior.descend(pool, low)?;
+        let mut leaf = start;
+        while leaf < self.leaf_count {
+            let view = self.leaf_view(pool, leaf)?;
+            let begin = if leaf == start { view.lower_bound(low) } else { 0 };
+            for slot in begin..view.len() {
+                if view.key(slot) >= high {
+                    return Ok(out);
+                }
+                out.push(view.entry(leaf, slot));
             }
-            let loc = entry.loc;
-            out.push(entry);
-            cur = self.next(pool, loc)?;
+            leaf += 1;
         }
         Ok(out)
+    }
+
+    /// Opens a stateful probe cursor positioned nowhere (the first seek
+    /// descends from the root).
+    pub fn cursor(&self) -> TreeCursor {
+        TreeCursor { tree: *self, leaf: 0, view: None, stats: CursorStats::default() }
     }
 
     /// Total pages (leaves + interior) the tree occupies.
     pub fn total_pages<S: PageStore>(&self, pool: &BufferPool<S>) -> u32 {
         pool.store().page_count(self.segment)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stateful probe cursor
+// ---------------------------------------------------------------------
+
+/// How a cursor answered its seeks;
+/// `probes = seeks_forward + seeks_backward + descents`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Total `seek_geq` calls answered.
+    pub probes: u64,
+    /// Probes served from the pinned leaf or a short forward sibling walk.
+    pub seeks_forward: u64,
+    /// Probes served by a short backward sibling walk.
+    pub seeks_backward: u64,
+    /// Probes that re-descended from the root (first seek, or a jump past
+    /// [`MAX_SIBLING_HOPS`] siblings in either direction).
+    pub descents: u64,
+}
+
+impl CursorStats {
+    /// Component-wise accumulation (for folding per-keyword cursors).
+    pub fn merge(&mut self, other: CursorStats) {
+        self.probes += other.probes;
+        self.seeks_forward += other.seeks_forward;
+        self.seeks_backward += other.seeks_backward;
+        self.descents += other.descents;
+    }
+}
+
+/// Sibling hops a seek may take (in either direction) before falling
+/// back to a root descent. A hop touches one (almost always cached) leaf
+/// page and does no interior binary searches, while a descent touches
+/// `height` pages (≤ 3 on every tree we build) *and* searches each
+/// interior node — so hops stay cheaper well past `height` of them. The
+/// cap only bounds the worst case for a far jump on a cold cache.
+pub const MAX_SIBLING_HOPS: u32 = 12;
+
+/// A stateful probe cursor over a [`SortedKv`] — the Section 4.3.2 hot
+/// path. The cursor pins its current leaf in an Arc'd [`PageRef`] (via
+/// [`LeafView`]); a `seek_geq` whose target falls at or after the pinned
+/// leaf's first key is served by binary search in place, or by a short
+/// forward sibling walk, so the TA loop's monotonically advancing probes
+/// cost zero-to-few page reads instead of a root-to-leaf descent each.
+/// A target *before* the pinned leaf is served by the symmetric backward
+/// sibling walk. Only jumps past [`MAX_SIBLING_HOPS`] siblings (and the
+/// first seek of a fresh cursor) fall back to a root descent.
+///
+/// Invariant: for every target, `seek_geq` returns exactly what
+/// [`SortedKv::lowest_geq`] returns — the cursor only changes *how* the
+/// answer is found, never the answer (enforced by the oracle proptest in
+/// `tests/btree_model.rs`).
+#[derive(Debug, Clone)]
+pub struct TreeCursor {
+    tree: SortedKv,
+    leaf: u32,
+    view: Option<LeafView>,
+    stats: CursorStats,
+}
+
+impl TreeCursor {
+    /// Seek/descent counters accumulated since the cursor was opened.
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+
+    /// Stateful [`SortedKv::lowest_geq`]: identical answers, amortized
+    /// cost. See the type-level invariant.
+    pub fn seek_geq<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &[u8],
+    ) -> StorageResult<(Option<Entry>, Option<Entry>)> {
+        self.stats.probes += 1;
+        let forward = match &self.view {
+            // Serving in place is only sound when the pinned leaf's key
+            // range starts at or before the target; descend() can never
+            // land on an earlier leaf in that case.
+            Some(view) => !view.is_empty() && target >= view.key(0),
+            None => false,
+        };
+        if forward {
+            let mut leaf = self.leaf;
+            let mut view = self.view.take().expect("forward path holds a pinned view");
+            let mut hops = 0u32;
+            loop {
+                let contained = view.last_key().is_some_and(|last| target <= last);
+                if contained || leaf + 1 >= self.tree.leaf_count {
+                    self.stats.seeks_forward += 1;
+                    self.leaf = leaf;
+                    let out = self.tree.probe_view(pool, leaf, &view, target);
+                    self.view = Some(view);
+                    return out;
+                }
+                if hops >= MAX_SIBLING_HOPS {
+                    break; // too far ahead — a fresh descent is cheaper
+                }
+                leaf += 1;
+                hops += 1;
+                view = self.tree.leaf_view(pool, leaf)?;
+            }
+        } else if self
+            .view
+            .as_ref()
+            .is_some_and(|view| !view.is_empty() && target < view.key(0))
+            && self.leaf > 0
+        {
+            // Backward walk: the target sorts before the pinned leaf's
+            // first key. Scanning leftward, the first non-empty leaf
+            // whose first key <= the target is the *last* such leaf
+            // overall (everything passed over sorts entirely above the
+            // target), so probing in it gives the descend answer without
+            // touching the interior levels. TA probe targets cluster, so
+            // the walk almost always stops at an adjacent leaf.
+            let mut leaf = self.leaf;
+            let mut hops = 0u32;
+            while leaf > 0 && hops < MAX_SIBLING_HOPS {
+                leaf -= 1;
+                hops += 1;
+                let view = self.tree.leaf_view(pool, leaf)?;
+                let covers =
+                    leaf == 0 || (!view.is_empty() && view.key(0) <= target);
+                if covers {
+                    self.stats.seeks_backward += 1;
+                    self.leaf = leaf;
+                    let out = self.tree.probe_view(pool, leaf, &view, target);
+                    self.view = Some(view);
+                    return out;
+                }
+            }
+        }
+        // Slow path: first seek, or a long jump in either direction.
+        self.stats.descents += 1;
+        let leaf = self.tree.interior.descend(pool, target)?;
+        let view = self.tree.leaf_view(pool, leaf)?;
+        let out = self.tree.probe_view(pool, leaf, &view, target);
+        self.leaf = leaf;
+        self.view = Some(view);
+        out
     }
 }
 
@@ -654,6 +901,23 @@ mod tests {
     }
 
     #[test]
+    fn range_scan_across_leaves_reads_each_leaf_once() {
+        let (pool, tree) = build_tree(2000);
+        assert!(tree.leaf_count >= 3);
+        pool.reset_stats();
+        let out = tree.range(&pool, b"key000000", b"key002000").unwrap();
+        assert_eq!(out.len(), 2000);
+        let s = pool.stats();
+        // One descent + every leaf parsed exactly once — not once per entry.
+        assert!(
+            s.logical_reads() <= (tree.leaf_count + tree.interior.height + 1) as u64,
+            "range re-read pages: {} logical reads over {} leaves",
+            s.logical_reads(),
+            tree.leaf_count
+        );
+    }
+
+    #[test]
     fn rejects_unsorted_and_oversized() {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let mut b = SortedKvBuilder::new(&mut pool).unwrap();
@@ -671,6 +935,9 @@ mod tests {
         let (e, p) = tree.lowest_geq(&pool, b"x").unwrap();
         assert!(e.is_none() && p.is_none());
         assert!(tree.range(&pool, b"", b"zzz").unwrap().is_empty());
+        let mut cur = tree.cursor();
+        let (e, p) = cur.seek_geq(&pool, b"x").unwrap();
+        assert!(e.is_none() && p.is_none());
     }
 
     #[test]
@@ -708,13 +975,76 @@ mod tests {
     }
 
     #[test]
+    fn cursor_forward_seeks_avoid_descents() {
+        let (pool, tree) = build_tree(20_000);
+        let mut cur = tree.cursor();
+        // First seek must descend; monotone seeks after that are served
+        // from the pinned leaf or a short sibling walk.
+        for i in (0..20_000u32).step_by(7) {
+            let (k, _) = kv(i);
+            let (e, _) = cur.seek_geq(&pool, &k).unwrap();
+            assert_eq!(e.unwrap().key, k);
+        }
+        let s = cur.stats();
+        assert_eq!(s.probes, s.seeks_forward + s.seeks_backward + s.descents);
+        assert_eq!(s.descents, 1, "monotone scan re-descended: {s:?}");
+
+        // A long backward jump (19k keys back, far past the sibling-hop
+        // cap) re-descends; forward motion then resumes seek-served.
+        let (k, _) = kv(42);
+        cur.seek_geq(&pool, &k).unwrap();
+        assert_eq!(cur.stats().descents, 2);
+        let (k, _) = kv(43);
+        cur.seek_geq(&pool, &k).unwrap();
+        assert_eq!(cur.stats().descents, 2);
+    }
+
+    #[test]
+    fn cursor_short_backward_seeks_avoid_descents() {
+        let (pool, tree) = build_tree(20_000);
+        let mut cur = tree.cursor();
+        // Position mid-tree (one descent), then oscillate over a window
+        // spanning a few leaves but within the sibling-hop cap: every
+        // backward seek must be served by the backward walk, not a
+        // re-descent.
+        for i in [10_000u32, 9_500, 10_300, 9_400, 10_200, 9_450] {
+            let (k, _) = kv(i);
+            let (e, _) = cur.seek_geq(&pool, &k).unwrap();
+            assert_eq!(e.unwrap().key, k);
+            let (want_e, want_p) = tree.lowest_geq(&pool, &k).unwrap();
+            let (got_e, got_p) = cur.seek_geq(&pool, &k).unwrap();
+            assert_eq!(got_e, want_e);
+            assert_eq!(got_p, want_p);
+        }
+        let s = cur.stats();
+        assert_eq!(s.probes, s.seeks_forward + s.seeks_backward + s.descents);
+        assert_eq!(s.descents, 1, "short backward seeks re-descended: {s:?}");
+        assert!(s.seeks_backward >= 3, "backward walk never used: {s:?}");
+    }
+
+    #[test]
+    fn cursor_agrees_with_descent_on_boundaries() {
+        let (pool, tree) = build_tree(2000);
+        let leaf0 = tree.leaf_entries(&pool, 0).unwrap();
+        let last = leaf0.last().unwrap().0.clone();
+        let mut gap = last.clone();
+        gap.push(b'!');
+        let mut cur = tree.cursor();
+        for probe in [b"aaa".to_vec(), last.clone(), gap, b"zzz".to_vec()] {
+            let fresh = tree.lowest_geq(&pool, &probe).unwrap();
+            let seeked = cur.seek_geq(&pool, &probe).unwrap();
+            assert_eq!(fresh, seeked, "probe {probe:?}");
+        }
+    }
+
+    #[test]
     fn corrupt_leaf_is_an_error_not_a_panic() {
         // A leaf whose entry lengths point past the page must decode to a
         // typed error under any byte garbage.
         let mut page = vec![0u8; PAGE_SIZE];
         page[0..2].copy_from_slice(&3u16.to_le_bytes()); // claims 3 entries
         page[2..4].copy_from_slice(&u16::MAX.to_le_bytes()); // klen = 65535
-        let err = SortedKv::parse_leaf(&page).unwrap_err();
+        let err = LeafView::parse_slots(&page).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
 
         // And through the probe path: corrupt the tree's leaf in place.

@@ -44,6 +44,7 @@ mod stats;
 mod store;
 pub mod wire;
 
+pub use btree::CursorStats;
 pub use error::{crc32, StorageError, StorageResult};
 pub use fault::{FaultAt, FaultKind, FaultRule, FaultStore};
 pub use pool::{BufferPool, EvictionCounters, PageRef, SegmentIo, STREAMS_PER_SEGMENT};

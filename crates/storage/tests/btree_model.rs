@@ -83,6 +83,69 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// The stateful probe cursor is a pure optimization: over any key set
+    /// and any seek sequence (monotone, backward, repeated, off-the-end),
+    /// `TreeCursor::seek_geq` must return exactly what a fresh
+    /// root-descent `lowest_geq` returns, and classify every probe as
+    /// exactly one of forward seek, backward seek, or descent.
+    #[test]
+    fn cursor_seeks_match_fresh_descents(
+        keys in keys(),
+        seeks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..60),
+    ) {
+        let (pool, tree, _model) = build(&keys);
+        let mut cur = tree.cursor();
+        for s in &seeks {
+            let fresh = tree.lowest_geq(&pool, s).unwrap();
+            let seeked = cur.seek_geq(&pool, s).unwrap();
+            prop_assert_eq!(&seeked, &fresh, "seek {:?} diverged from descent", s);
+        }
+        let stats = cur.stats();
+        prop_assert_eq!(stats.probes, seeks.len() as u64);
+        prop_assert_eq!(
+            stats.probes,
+            stats.seeks_forward + stats.seeks_backward + stats.descents
+        );
+        prop_assert!(stats.descents >= 1, "first seek must descend");
+    }
+
+    /// Sorted seek sequences are the TA hot path: after the first descent
+    /// the cursor must stay on the forward path (descents never exceed
+    /// what long forward jumps past the sibling-walk bound force).
+    #[test]
+    fn monotone_seeks_rarely_descend(keys in keys()) {
+        let (pool, tree, model) = build(&keys);
+        let mut cur = tree.cursor();
+        let sorted: Vec<&Vec<u8>> = model.keys().collect();
+        for k in &sorted {
+            let fresh = tree.lowest_geq(&pool, k).unwrap();
+            let seeked = cur.seek_geq(&pool, k).unwrap();
+            prop_assert_eq!(&seeked, &fresh);
+        }
+        let stats = cur.stats();
+        // Walking every key in order visits each leaf once; a descent can
+        // only happen on the cold first seek (adjacent keys are never more
+        // than one leaf apart).
+        prop_assert_eq!(stats.descents, 1, "in-order walk re-descended: {:?}", stats);
+    }
+
+    /// The mirror image: walking every key in *descending* order keeps
+    /// the cursor on the backward sibling walk — adjacent keys are never
+    /// more than one leaf apart, so only the cold first seek descends.
+    #[test]
+    fn reverse_monotone_seeks_rarely_descend(keys in keys()) {
+        let (pool, tree, model) = build(&keys);
+        let mut cur = tree.cursor();
+        let sorted: Vec<&Vec<u8>> = model.keys().collect();
+        for k in sorted.iter().rev() {
+            let fresh = tree.lowest_geq(&pool, k).unwrap();
+            let seeked = cur.seek_geq(&pool, k).unwrap();
+            prop_assert_eq!(&seeked, &fresh);
+        }
+        let stats = cur.stats();
+        prop_assert_eq!(stats.descents, 1, "reverse walk re-descended: {:?}", stats);
+    }
+
     #[test]
     fn cursor_walk_enumerates_model_in_order(keys in keys()) {
         let (pool, tree, model) = build(&keys);

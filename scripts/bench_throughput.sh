@@ -12,3 +12,9 @@ OUT="${1:-BENCH_throughput.json}"
 BENCH_THROUGHPUT_OUT="$OUT" cargo run --release --offline -p xrank-bench \
     --bin e8_throughput
 echo "throughput JSON: $OUT"
+
+# Surface the probe-path breakdown (how the Section 4.3.2 probes were
+# served: memo hit / cursor forward seek / root re-descent) per strategy.
+echo "probe_stats:"
+grep -o '"strategy": "[a-z_]*"' "$OUT" | paste -d' ' - <(grep -o '"probe_stats": {[^}]*}' "$OUT") \
+    || echo "  (no probe_stats block in $OUT)"

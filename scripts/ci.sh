@@ -25,6 +25,10 @@ scripts/obs_smoke.sh
 echo "== overload smoke (typed shedding + degraded EXPLAIN trigger) =="
 scripts/overload_smoke.sh
 
+echo "== probe-path smoke (RDIL cursor/memo descent reduction) =="
+BENCH_THROUGHPUT_QUICK=1 cargo run --release --offline -p xrank-bench \
+    --bin e8_throughput
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
