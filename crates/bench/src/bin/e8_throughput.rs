@@ -198,6 +198,8 @@ fn cold_replay(engine: &XRankEngine, queries: &[String], strategy: Strategy) -> 
         eval.cursor_seeks_back += r.eval.cursor_seeks_back;
         eval.cursor_descents += r.eval.cursor_descents;
         eval.range_scans += r.eval.range_scans;
+        eval.blocks_decoded += r.eval.blocks_decoded;
+        eval.blocks_skipped += r.eval.blocks_skipped;
     }
     (engine.pool().stats(), eval)
 }
@@ -205,18 +207,22 @@ fn cold_replay(engine: &XRankEngine, queries: &[String], strategy: Strategy) -> 
 /// The `probe_stats` JSON block: how the workload's Section 4.3.2 probes
 /// were served. `descent_reduction` is probes ÷ descents — the factor by
 /// which full root-to-leaf descents dropped versus the pre-cursor path
-/// (which descended once per probe).
+/// (which descended once per probe). A strategy that made no probes at
+/// all (DIL) has no reduction to report: the field is `null` so a floor
+/// check reading it can never silently pass on a meaningless zero.
 fn probe_stats_json(eval: &EvalStats, queries: usize) -> String {
-    let reduction = if eval.cursor_descents == 0 {
-        eval.btree_probes as f64 // no descent at all: bound by probe count
+    let reduction = if eval.btree_probes == 0 {
+        "null".to_string()
+    } else if eval.cursor_descents == 0 {
+        format!("{:.1}", eval.btree_probes as f64) // no descent at all
     } else {
-        eval.btree_probes as f64 / eval.cursor_descents as f64
+        format!("{:.1}", eval.btree_probes as f64 / eval.cursor_descents as f64)
     };
     format!(
         "{{\"btree_probes\": {}, \"memo_hits\": {}, \"seek_forward\": {}, \
          \"seek_backward\": {}, \"re_descent\": {}, \
          \"descents_per_query\": {:.2}, \
-         \"descent_reduction\": {reduction:.1}}}",
+         \"descent_reduction\": {reduction}}}",
         eval.btree_probes,
         eval.probe_memo_hits,
         eval.cursor_seeks,
@@ -227,10 +233,14 @@ fn probe_stats_json(eval: &EvalStats, queries: usize) -> String {
 }
 
 /// `BENCH_THROUGHPUT_QUICK=1`: the CI smoke. Builds a small engine,
-/// replays the workload once per probing strategy, and fails (non-zero
-/// exit) unless the cursor + memo path absorbed ≥ 10× of the descents
-/// the pre-cursor path would have issued. No timed trials — this gates
-/// the probe-path *shape*, which is deterministic, not the QPS.
+/// replays the workload once per strategy, and fails (non-zero exit)
+/// unless (a) the cursor + memo path absorbed ≥ 10× of the descents the
+/// pre-cursor path would have issued, (b) the block format compresses
+/// the DIL lists ≥ 2× against the flat baseline, and (c) cold-replay
+/// logical reads stay at or under the pre-compression (v1) baselines —
+/// the read ceilings only apply at the default corpus size they were
+/// measured at. No timed trials — this gates deterministic shape, not
+/// QPS.
 fn quick_smoke() {
     // Default to a small corpus for CI speed; BENCH_THROUGHPUT_QUICK_DOCS
     // overrides it to reproduce the probe stats of a full-size run.
@@ -251,13 +261,45 @@ fn quick_smoke() {
     println!("done");
     let queries = workload_queries();
     let mut ok = true;
+
+    // Compression gate: the block format must at least halve the DIL
+    // lists against the flat (full-Dewey, no-delta) baseline.
+    let (compressed, flat, postings) = engine.dil_storage().expect("storage scan");
+    let ratio = if compressed == 0 { 0.0 } else { flat as f64 / compressed as f64 };
+    let ratio_ok = ratio >= 2.0;
+    println!(
+        "  storage: DIL {compressed} B compressed vs {flat} B flat over {postings} postings \
+         — {ratio:.2}x (floor 2.0x) — {}",
+        if ratio_ok { "ok" } else { "FAIL" }
+    );
+    ok &= ratio_ok;
+
     // HDIL hands the query to its DIL fallback after a handful of TA
     // steps, so its probe volume is small and the per-keyword cold-cursor
     // first descent (unavoidable: an empty cursor has nothing pinned)
     // weighs proportionally more — gate it at 5× where RDIL, which runs
-    // the TA loop to completion, must clear the full 10×.
-    for (strategy, floor) in [(Strategy::Rdil, 10.0), (Strategy::Hdil, 5.0)] {
-        let (_, eval) = cold_replay(&engine, &queries, strategy);
+    // the TA loop to completion, must clear the full 10×. The read
+    // ceilings are the uncompressed (v1) cold-replay logical reads
+    // measured on dblp(600) just before the format bump: the compressed
+    // format must never read more than flat storage did.
+    for (strategy, floor, read_ceiling) in [
+        (Strategy::Dil, 0.0, 20u64),
+        (Strategy::Rdil, 10.0, 377),
+        (Strategy::Hdil, 5.0, 128),
+    ] {
+        let (cold, eval) = cold_replay(&engine, &queries, strategy);
+        let reads = cold.logical_reads();
+        let reads_ok = publications != 600 || reads <= read_ceiling;
+        println!(
+            "  {}: cold logical_reads={reads} (v1 ceiling {read_ceiling}{}) \
+             blocks decoded={} skipped={} — {}",
+            strategy_label(strategy),
+            if publications == 600 { "" } else { ", not gated at this corpus size" },
+            eval.blocks_decoded,
+            eval.blocks_skipped,
+            if reads_ok { "ok" } else { "FAIL" }
+        );
+        ok &= reads_ok;
         let classified = eval.probe_memo_hits
             + eval.cursor_seeks
             + eval.cursor_seeks_back
@@ -282,10 +324,16 @@ fn quick_smoke() {
         ok &= pass;
     }
     if !ok {
-        eprintln!("quick smoke FAILED: probe path regressed (descents not reduced enough)");
+        eprintln!(
+            "quick smoke FAILED: probe path, compression ratio, or cold-read \
+             budget regressed"
+        );
         std::process::exit(1);
     }
-    println!("quick smoke passed: cursor + memo path absorbing descents on both probing strategies");
+    println!(
+        "quick smoke passed: descents absorbed, lists ≥ 2x compressed, cold \
+         reads within the v1 budget"
+    );
 }
 
 fn strategy_label(s: Strategy) -> &'static str {
@@ -317,6 +365,19 @@ fn main() {
     let t0 = Instant::now();
     let engine = Arc::new(build_engine());
     println!("{:.1}s", t0.elapsed().as_secs_f64());
+
+    let (compressed, flat, postings) = engine.dil_storage().expect("storage scan");
+    let ratio = if compressed == 0 { 0.0 } else { flat as f64 / compressed as f64 };
+    let bpp = if postings == 0 { 0.0 } else { compressed as f64 / postings as f64 };
+    println!(
+        "storage: DIL lists {compressed} B compressed vs {flat} B flat \
+         ({ratio:.2}x, {bpp:.2} B/posting over {postings} postings)"
+    );
+    let storage_json = format!(
+        "{{\"dil_compressed_bytes\": {compressed}, \"dil_flat_bytes\": {flat}, \
+         \"postings\": {postings}, \"bytes_per_posting\": {bpp:.2}, \
+         \"compression_ratio\": {ratio:.2}}}"
+    );
 
     let queries = workload_queries();
     println!(
@@ -396,7 +457,8 @@ fn main() {
              \"cold_replay\": {{\"logical_reads\": {cold_logical}, \
              \"cache_hits\": {}, \"sequential_reads\": {}, \
              \"random_reads\": {}, \"hit_rate\": {:.6}, \
-             \"sequential_fraction_of_misses\": {seq_fraction:.6}}}, \
+             \"sequential_fraction_of_misses\": {seq_fraction:.6}, \
+             \"blocks_decoded\": {}, \"blocks_skipped\": {}}}, \
              \"probe_stats\": {}, \
              \"points\": [\n      {}\n    ]}}",
             strategy_label(strategy),
@@ -405,6 +467,8 @@ fn main() {
             cold.seq_reads,
             cold.rand_reads,
             if cold_logical == 0 { 0.0 } else { cold.cache_hits as f64 / cold_logical as f64 },
+            cold_eval.blocks_decoded,
+            cold_eval.blocks_skipped,
             probe_stats_json(&cold_eval, queries.len()),
             points.iter().map(|p| p.json(total)).collect::<Vec<_>>().join(",\n      "),
         ));
@@ -466,7 +530,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"dblp(3000)\",\n  \
          \"hardware_threads\": {hw},\n  \"queries_per_trial\": {total},\n  \
-         \"distinct_queries\": {},\n  \"metrics\": {metrics_json},\n  \
+         \"distinct_queries\": {},\n  \"storage_bytes\": {storage_json},\n  \
+         \"metrics\": {metrics_json},\n  \
          \"obs_overhead\": {overhead_json},\n  \"strategies\": [\n    {}\n  ]\n}}\n",
         queries.len(),
         strategy_blocks.join(",\n    ")

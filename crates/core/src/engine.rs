@@ -641,6 +641,16 @@ impl<S: PageStore> XRankEngine<S> {
         &self.pool
     }
 
+    /// Storage accounting for the block-compressed DIL posting lists:
+    /// `(compressed_bytes, flat_bytes, postings)` — the byte-granular
+    /// on-disk footprint, the flat uncompressed baseline the same
+    /// postings would take (full Dewey per entry, no delta blocks), and
+    /// the posting count. Scans every list; bench/diagnostic use.
+    pub fn dil_storage(&self) -> StorageResult<(u64, u64, u64)> {
+        let dil = &self.hdil.dil;
+        Ok((dil.used_bytes(), dil.flat_bytes(&self.pool)?, dil.total_entries()))
+    }
+
     /// The engine's metrics registry. Shared with the
     /// [`crate::QueryExecutor`] so serving-path metrics land in one place;
     /// gate hot-path recording with

@@ -37,9 +37,12 @@ use xrank_storage::{BufferPool, FileStore, PageStore};
 
 const MAGIC: &[u8; 4] = b"XRKE";
 /// Current meta-file version. v2 engines store checksummed pages and keep
-/// the meta file inside the store directory; v1 metas (written before the
-/// fault-tolerance work) are still readable.
-const VERSION: u32 = 2;
+/// the meta file inside the store directory; v3 engines write
+/// block-compressed posting pages with per-list skip tables (the list
+/// table tags each list with its page format, so stores holding
+/// uncompressed lists keep opening and serving unchanged). All older metas
+/// are still readable.
+const VERSION: u32 = 3;
 const OLDEST_READABLE_VERSION: u32 = 1;
 
 /// The live store directory under the engine dir.

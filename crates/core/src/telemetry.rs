@@ -90,6 +90,8 @@ pub(crate) struct EngineMetrics {
     cursor_seek_forward: Counter,
     cursor_seek_backward: Counter,
     cursor_redescent: Counter,
+    blocks_decoded: Counter,
+    blocks_skipped: Counter,
 }
 
 impl EngineMetrics {
@@ -117,6 +119,8 @@ impl EngineMetrics {
             cursor_seek_forward: registry.counter("xrank_cursor_seek_forward_total"),
             cursor_seek_backward: registry.counter("xrank_cursor_seek_backward_total"),
             cursor_redescent: registry.counter("xrank_cursor_redescent_total"),
+            blocks_decoded: registry.counter("xrank_blocks_decoded_total"),
+            blocks_skipped: registry.counter("xrank_blocks_skipped_total"),
         }
     }
 
@@ -138,6 +142,12 @@ impl EngineMetrics {
         }
         if eval.cursor_descents > 0 {
             self.cursor_redescent.add(eval.cursor_descents);
+        }
+        if eval.blocks_decoded > 0 {
+            self.blocks_decoded.add(eval.blocks_decoded);
+        }
+        if eval.blocks_skipped > 0 {
+            self.blocks_skipped.add(eval.blocks_skipped);
         }
     }
 
@@ -329,6 +339,16 @@ impl fmt::Display for Explain {
             } else {
                 writeln!(f)?;
             }
+        }
+        if self.eval.blocks_decoded + self.eval.blocks_skipped > 0 {
+            writeln!(
+                f,
+                "  blocks: decoded={} skipped={} ({:.1}% skipped)",
+                self.eval.blocks_decoded,
+                self.eval.blocks_skipped,
+                100.0 * self.eval.blocks_skipped as f64
+                    / (self.eval.blocks_decoded + self.eval.blocks_skipped) as f64,
+            )?;
         }
         if let Some(sw) = self.eval.switch {
             writeln!(

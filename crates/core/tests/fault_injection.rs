@@ -218,6 +218,51 @@ fn bit_flips_never_panic() {
     assert_eq!(hits_of(&healed), hits_of(&baseline));
 }
 
+/// A bit flip inside a block-compressed list page is contained. The
+/// [`FaultStore`] flips the bit *above* the store's own trailer checksum
+/// (modeling corruption past that layer — bad RAM, a flipped bus line),
+/// so the defense under test is the v2 page's embedded CRC, which covers
+/// every byte after the checksum field: any flip on a list page the query
+/// pins yields a typed storage error on exactly the touching queries —
+/// never a panic, never silently different survivor results. Pages the
+/// query does not read must leave its results bit-identical.
+#[test]
+fn bit_flip_on_compressed_block_is_typed_and_contained() {
+    let e = fault_engine(17);
+    let opts = QueryOptions::default();
+    let base = e.search_with("alphaword", Strategy::Dil, &opts).unwrap();
+    assert!(!base.hits.is_empty());
+
+    let store = e.pool().store();
+    let mut failed = 0u32;
+    for page in all_pages(store) {
+        store.inject(FaultRule::new(FaultKind::BitFlip, FaultAt::Page(page)));
+        // Drop the cache so the flipped page is actually re-read from the
+        // (faulty) medium instead of being served clean from memory.
+        e.pool().clear_cache();
+        match e.search_with("alphaword", Strategy::Dil, &opts) {
+            Ok(r) => assert_eq!(
+                hits_of(&r),
+                hits_of(&base),
+                "page {page:?}: flip silently changed results"
+            ),
+            Err(err) => {
+                assert!(
+                    matches!(err, QueryError::Storage(_)),
+                    "page {page:?}: expected typed storage error, got {err:?}"
+                );
+                failed += 1;
+            }
+        }
+        store.clear_faults();
+    }
+    assert!(failed > 0, "no page flip ever reached the alphaword query");
+
+    e.pool().clear_cache();
+    let healed = e.search_with("alphaword", Strategy::Dil, &opts).unwrap();
+    assert_eq!(hits_of(&healed), hits_of(&base));
+}
+
 /// A full device fails the *build* with a typed ENOSPC, not a panic.
 #[test]
 fn enospc_fails_build_with_typed_error() {

@@ -6,7 +6,7 @@
 //! ancestors are implicit in the Dewey encoding, the list is much smaller
 //! than the naive one — Table 1's headline result.
 
-use crate::listio::{self, DeweyListWrite, ListKind, ListMeta, ListReader};
+use crate::listio::{self, DeweyListWrite, ListInfo, ListKind, ListMeta, ListReader};
 use crate::posting::Posting;
 use crate::SpaceBreakdown;
 use xrank_graph::TermId;
@@ -22,7 +22,7 @@ pub type PageFirstTables = Vec<Vec<(Vec<u8>, u32)>>;
 pub struct DilIndex {
     /// Segment holding every list.
     pub segment: SegmentId,
-    lists: Vec<Option<ListMeta>>,
+    lists: Vec<Option<ListInfo>>,
 }
 
 impl DilIndex {
@@ -69,9 +69,9 @@ impl DilIndex {
                 term_postings.windows(2).all(|w| w[0].dewey < w[1].dewey),
                 "DIL postings must be strictly Dewey-ascending"
             );
-            let DeweyListWrite { meta, page_firsts } =
+            let DeweyListWrite { info, page_firsts } =
                 listio::write_dewey_list_budgeted(pool, segment, term_postings, page_budget)?;
-            lists.push(Some(meta));
+            lists.push(Some(info));
             firsts.push(page_firsts);
         }
         Ok((DilIndex { segment, lists }, firsts))
@@ -79,13 +79,18 @@ impl DilIndex {
 
     /// Metadata of a term's list.
     pub fn meta(&self, term: TermId) -> Option<ListMeta> {
-        self.lists.get(term.index()).copied().flatten()
+        self.info(term).map(|i| i.meta)
+    }
+
+    /// Full list info (meta + format + skip table) of a term's list.
+    pub fn info(&self, term: TermId) -> Option<&ListInfo> {
+        self.lists.get(term.index()).and_then(|i| i.as_ref())
     }
 
     /// Streaming reader over a term's list (Dewey order).
     pub fn reader(&self, term: TermId) -> Option<ListReader> {
-        self.meta(term)
-            .map(|meta| ListReader::new(self.segment, meta, ListKind::Dewey))
+        self.info(term)
+            .map(|info| ListReader::new(self.segment, info, ListKind::Dewey))
     }
 
     /// Table 1 space: DIL is lists only. Byte-granular (page padding
@@ -96,7 +101,30 @@ impl DilIndex {
 
     /// Byte-granular size of all lists.
     pub fn used_bytes(&self) -> u64 {
-        self.lists.iter().flatten().map(|m| m.used_bytes).sum()
+        self.lists.iter().flatten().map(|i| i.meta.used_bytes).sum()
+    }
+
+    /// Bytes the same postings would occupy uncompressed — every entry in
+    /// the fixed-width layout the paper's C++ implementation stores (and
+    /// the layout [`crate::listio::write_dewey_list_budgeted`]'s budget
+    /// knob emulates): a full `u32` per Dewey component plus a 4-byte
+    /// rank, 4-byte position count and 4 bytes per position, no deltas,
+    /// no varints, no block framing. This is the baseline the E8
+    /// `storage_bytes` report measures the block format's compression
+    /// ratio against. Scans every list, so it is a bench/diagnostic path,
+    /// not a serving one.
+    pub fn flat_bytes<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<u64> {
+        let mut total = 0u64;
+        for info in self.lists.iter().flatten() {
+            let mut r = ListReader::new(self.segment, info, ListKind::Dewey);
+            while let Some(p) = r.next(pool)? {
+                total += 4 * p.dewey.components().len() as u64
+                    + 4
+                    + 4
+                    + 4 * p.positions.len() as u64;
+            }
+        }
+        Ok(total)
     }
 
     /// Serializes the index directory (pages stay in the store).
@@ -118,7 +146,7 @@ impl DilIndex {
         self.lists
             .iter()
             .flatten()
-            .map(|m| m.entry_count as u64)
+            .map(|i| i.meta.entry_count as u64)
             .sum()
     }
 }

@@ -11,7 +11,10 @@
 //! RDIL's while its *list* column is only slightly larger than DIL's.
 
 use crate::dil::DilIndex;
-use crate::listio::{self, decode_dewey_page, ListKind, ListMeta, ListReader};
+use crate::listio::{
+    self, decode_dewey_page, decode_dewey_page_pinned, ListFormat, ListInfo, ListKind, ListMeta,
+    ListReader,
+};
 use crate::posting::Posting;
 use crate::rdil::rank_order;
 use crate::SpaceBreakdown;
@@ -20,9 +23,9 @@ use xrank_graph::TermId;
 use xrank_storage::btree::{CursorStats, Interior, MAX_SIBLING_HOPS};
 use xrank_storage::{BufferPool, PageId, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
-/// A located Dewey-list entry: list meta, page offset, slot index within
-/// the decoded page, and the page's postings.
-type LocatedEntry = (ListMeta, u32, usize, Vec<Posting>);
+/// A located Dewey-list entry: list meta, page format, page offset, slot
+/// index within the decoded page, and the page's postings.
+type LocatedEntry = (ListMeta, ListFormat, u32, usize, Vec<Posting>);
 
 /// Fraction of each list stored rank-sorted (the "small fraction of the
 /// inverted list sorted by rank" of Section 4.4.1).
@@ -40,7 +43,7 @@ pub struct HdilIndex {
     interiors: Vec<Option<Interior>>,
     /// Segment holding the rank-sorted prefixes.
     pub prefix_segment: SegmentId,
-    prefix_lists: Vec<Option<ListMeta>>,
+    prefix_lists: Vec<Option<ListInfo>>,
 }
 
 impl HdilIndex {
@@ -122,18 +125,16 @@ impl HdilIndex {
     pub fn rank_prefix_reader(&self, term: TermId) -> Option<ListReader> {
         self.prefix_lists
             .get(term.index())
-            .copied()
-            .flatten()
-            .map(|meta| ListReader::new(self.prefix_segment, meta, ListKind::Rank))
+            .and_then(|i| i.as_ref())
+            .map(|info| ListReader::new(self.prefix_segment, info, ListKind::Rank))
     }
 
     /// Entries in the rank-sorted prefix of `term`.
     pub fn prefix_len(&self, term: TermId) -> u32 {
         self.prefix_lists
             .get(term.index())
-            .copied()
-            .flatten()
-            .map_or(0, |m| m.entry_count)
+            .and_then(|i| i.as_ref())
+            .map_or(0, |i| i.meta.entry_count)
     }
 
     /// Locates the first posting with `dewey >= target` in the Dewey list:
@@ -144,23 +145,24 @@ impl HdilIndex {
         term: TermId,
         target: &DeweyId,
     ) -> StorageResult<Option<LocatedEntry>> {
-        let (Some(meta), Some(interior)) =
-            (self.meta(term), self.interiors.get(term.index()).copied().flatten())
+        let (Some(info), Some(interior)) =
+            (self.dil.info(term), self.interiors.get(term.index()).copied().flatten())
         else {
             return Ok(None);
         };
+        let (meta, format) = (info.meta, info.format);
         let key = codec::encode_id(target);
         let mut page_off = interior.descend(pool, &key)?;
         loop {
             // Decode straight off the pinned frame — no staging copy.
             let page = pool.read(PageId::new(self.dil.segment, page_off))?;
-            let postings = decode_dewey_page(&page)?;
+            let postings = decode_dewey_page_pinned(&page, format)?;
             if let Some(slot) = postings.iter().position(|p| &p.dewey >= target) {
-                return Ok(Some((meta, page_off, slot, postings)));
+                return Ok(Some((meta, format, page_off, slot, postings)));
             }
             // Everything on this page sorts below target: advance.
             if page_off + 1 >= meta.start_page + meta.page_count {
-                return Ok(Some((meta, page_off, postings.len(), postings)));
+                return Ok(Some((meta, format, page_off, postings.len(), postings)));
             }
             page_off += 1;
         }
@@ -174,7 +176,8 @@ impl HdilIndex {
         term: TermId,
         target: &DeweyId,
     ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
-        let Some((meta, page_off, slot, postings)) = self.locate(pool, term, target)? else {
+        let Some((meta, format, page_off, slot, postings)) = self.locate(pool, term, target)?
+        else {
             return Ok((None, None));
         };
         let entry = postings.get(slot).cloned();
@@ -182,7 +185,7 @@ impl HdilIndex {
             postings.get(slot - 1).cloned()
         } else if page_off > meta.start_page {
             let prev = pool.read(PageId::new(self.dil.segment, page_off - 1))?;
-            decode_dewey_page(&prev)?.pop()
+            decode_dewey_page_pinned(&prev, format)?.pop()
         } else {
             None
         };
@@ -195,9 +198,11 @@ impl HdilIndex {
     /// the decode instead of re-descending the interior levels and
     /// re-parsing the page each round.
     pub fn probe_cursor(&self, term: TermId) -> HdilProbeCursor {
-        let located = match (self.meta(term), self.interiors.get(term.index()).copied().flatten())
-        {
-            (Some(meta), Some(interior)) => Some((meta, interior)),
+        let located = match (
+            self.dil.info(term),
+            self.interiors.get(term.index()).copied().flatten(),
+        ) {
+            (Some(info), Some(interior)) => Some((info.meta, info.format, interior)),
             _ => None,
         };
         HdilProbeCursor {
@@ -208,15 +213,39 @@ impl HdilIndex {
         }
     }
 
-    /// All postings of `term` whose Dewey has `prefix` as a prefix,
-    /// scanning list pages forward from the B+-tree descent point.
+    /// All postings of `term` whose Dewey has `prefix` as a prefix.
+    ///
+    /// v2 lists answer this from the in-memory skip table: jump straight
+    /// to the block that can contain `prefix` (no interior descent, no
+    /// page touched outside the subtree's range) and decode entries until
+    /// the first one past the subtree — descendants are contiguous in
+    /// Dewey order, so that entry ends the scan. This is the TA loop's
+    /// `range_scan` hot path; block granularity (≤ 127 entries) is what
+    /// keeps each candidate check from decoding whole pages. v1 lists
+    /// keep the interior-descent page walk.
     pub fn prefix_postings<S: PageStore>(
         &self,
         pool: &BufferPool<S>,
         term: TermId,
         prefix: &DeweyId,
     ) -> StorageResult<Vec<Posting>> {
-        let Some((meta, mut page_off, mut slot, mut postings)) = self.locate(pool, term, prefix)?
+        let Some(info) = self.dil.info(term) else {
+            return Ok(Vec::new());
+        };
+        if info.format == ListFormat::V2 {
+            let mut r = ListReader::new(self.dil.segment, info, ListKind::Dewey);
+            r.next_seek(pool, prefix)?;
+            let mut out = Vec::new();
+            while let Some(p) = r.peek(pool)? {
+                if !prefix.is_ancestor_or_self_of(&p.dewey) {
+                    break;
+                }
+                out.push(r.next(pool)?.expect("peeked entry present"));
+            }
+            return Ok(out);
+        }
+        let Some((meta, format, mut page_off, mut slot, mut postings)) =
+            self.locate(pool, term, prefix)?
         else {
             return Ok(Vec::new());
         };
@@ -235,7 +264,7 @@ impl HdilIndex {
                 return Ok(out);
             }
             let page = pool.read(PageId::new(self.dil.segment, page_off))?;
-            postings = decode_dewey_page(&page)?;
+            postings = decode_dewey_page(&page, format)?;
             slot = 0;
         }
     }
@@ -293,7 +322,8 @@ impl HdilIndex {
     /// (byte-granular); index = interior pages only.
     pub fn space<S: PageStore>(&self, pool: &BufferPool<S>) -> SpaceBreakdown {
         let dil_bytes = self.dil.used_bytes();
-        let prefix_bytes: u64 = self.prefix_lists.iter().flatten().map(|m| m.used_bytes).sum();
+        let prefix_bytes: u64 =
+            self.prefix_lists.iter().flatten().map(|i| i.meta.used_bytes).sum();
         SpaceBreakdown {
             list_bytes: dil_bytes + prefix_bytes,
             index_bytes: pool.store().page_count(self.interior_segment) as u64
@@ -312,8 +342,8 @@ impl HdilIndex {
 #[derive(Debug, Clone)]
 pub struct HdilProbeCursor {
     segment: SegmentId,
-    /// The term's list + interior; `None` for absent terms.
-    located: Option<(ListMeta, Interior)>,
+    /// The term's list + page format + interior; `None` for absent terms.
+    located: Option<(ListMeta, ListFormat, Interior)>,
     /// Decoded current page: `(page offset, postings)`.
     current: Option<(u32, Vec<Posting>)>,
     stats: CursorStats,
@@ -332,7 +362,7 @@ impl HdilProbeCursor {
         pool: &BufferPool<S>,
         target: &DeweyId,
     ) -> StorageResult<(Option<Posting>, Option<Posting>)> {
-        let Some((meta, interior)) = self.located else {
+        let Some((meta, format, interior)) = self.located else {
             return Ok((None, None));
         };
         self.stats.probes += 1;
@@ -352,7 +382,7 @@ impl HdilProbeCursor {
                 let mut hops = 0u32;
                 let mut reachable = true;
                 while off < last_page && hops < MAX_SIBLING_HOPS {
-                    let postings = self.decoded_page(pool, off)?;
+                    let postings = self.decoded_page(pool, off, format)?;
                     if postings.last().is_some_and(|p| p.dewey >= *target) {
                         break;
                     }
@@ -361,7 +391,7 @@ impl HdilProbeCursor {
                 }
                 if off < last_page && hops >= MAX_SIBLING_HOPS {
                     // Re-check: did the walk actually reach a covering page?
-                    let postings = self.decoded_page(pool, off)?;
+                    let postings = self.decoded_page(pool, off, format)?;
                     reachable = postings.last().is_some_and(|p| p.dewey >= *target);
                 }
                 if reachable {
@@ -383,7 +413,7 @@ impl HdilProbeCursor {
         // (same forward scan `locate` does); walk until covered or last.
         if descended {
             while page_off < last_page {
-                let postings = self.decoded_page(pool, page_off)?;
+                let postings = self.decoded_page(pool, page_off, format)?;
                 if postings.last().is_some_and(|p| p.dewey >= *target) {
                     break;
                 }
@@ -391,14 +421,14 @@ impl HdilProbeCursor {
             }
         }
 
-        let postings = self.decoded_page(pool, page_off)?;
+        let postings = self.decoded_page(pool, page_off, format)?;
         let slot = postings.partition_point(|p| p.dewey < *target);
         let entry = postings.get(slot).cloned();
         let pred = if slot > 0 {
             postings.get(slot - 1).cloned()
         } else if page_off > meta.start_page {
             let prev = pool.read(PageId::new(self.segment, page_off - 1))?;
-            decode_dewey_page(&prev)?.pop()
+            decode_dewey_page_pinned(&prev, format)?.pop()
         } else {
             None
         };
@@ -411,11 +441,12 @@ impl HdilProbeCursor {
         &mut self,
         pool: &BufferPool<S>,
         page_off: u32,
+        format: ListFormat,
     ) -> StorageResult<&Vec<Posting>> {
         let cached = matches!(&self.current, Some((off, _)) if *off == page_off);
         if !cached {
             let page = pool.read(PageId::new(self.segment, page_off))?;
-            self.current = Some((page_off, decode_dewey_page(&page)?));
+            self.current = Some((page_off, decode_dewey_page_pinned(&page, format)?));
         }
         Ok(&self.current.as_ref().expect("page just cached").1)
     }

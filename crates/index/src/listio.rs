@@ -1,25 +1,50 @@
 //! Packing posting lists into pages and streaming them back.
 //!
-//! Page layout: `[n: u16]` then `n` entries. Dewey-ordered lists
-//! delta-encode each entry against the previous one *in the same page*
-//! (first entry of every page is a full encoding), so any page can be
-//! decoded in isolation — the property HDIL exploits when its B+-tree
-//! descends into the middle of a list (Section 4.4.1). Rank-ordered lists
-//! encode every Dewey in full (neighbors share no prefix structure).
+//! v2 (current) page layout: `[crc: u32]` (CRC-32 of bytes 4..PAGE_SIZE,
+//! i.e. everything after the checksum itself, slack included), `[n: u16]`
+//! total entries, then a run of *blocks* — `[count: varint ≤ 127]`, the
+//! block's rank dictionary, and `count` entries whose Dewey IDs are
+//! delta-encoded against the previous entry in the same block and whose
+//! ranks are one-byte dictionary indexes (see [`crate::block`]). The
+//! checksum is verified once per page pin, so corruption that slips past
+//! (or occurs above) the store's own trailer — bad RAM, a flipped bus
+//! line — surfaces as a typed [`StorageError`] on exactly the queries
+//! that touch the page instead of silently perturbing delta decoding.
+//! The first entry of every block is a
+//! restart, so any page is still decodable in isolation — the property
+//! HDIL exploits when its B+-tree descends into the middle of a list
+//! (Section 4.4.1) — while the per-list [`SkipTable`] (one entry per
+//! block: first key, exact max rank, page/byte offset) lets readers jump
+//! over whole blocks without decoding them. Rank-ordered lists use the
+//! same block deltas (v1 encoded every Dewey in full there).
+//!
+//! v1 pages (`[n: u16]` + entries with per-*page* delta restarts, naive
+//! lists with per-page elta restarts, rank lists full-Dewey) remain fully
+//! readable: a [`ListInfo`] carries the [`ListFormat`] and readers pick
+//! the decode path per list, so stores persisted before the format bump
+//! keep serving unchanged.
 //!
 //! Lists are written as contiguous page runs inside a shared segment; the
 //! buffer pool's per-stream readahead model then charges a full-list scan
 //! as one seek plus sequential reads.
 
+use crate::block::{self, SkipEntry, SkipTable, MAX_BLOCK_ENTRIES};
 use crate::posting::{self, NaivePosting, Posting};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use xrank_dewey::codec;
 use xrank_dewey::DeweyId;
 use xrank_storage::wire::SliceReader;
 use xrank_storage::{
-    wire, BufferPool, PageId, PageRef, PageStore, SegmentId, StorageError, StorageResult,
+    crc32, wire, BufferPool, PageId, PageRef, PageStore, SegmentId, StorageError, StorageResult,
     PAGE_SIZE,
 };
+
+/// v2 page header: `[crc: u32][n: u16]`; blocks start here.
+const V2_PAGE_HEADER: usize = 6;
+/// Offset of the entry-count field inside a v2 page (the checksum covers
+/// everything from here to the end of the page).
+const V2_COUNT_OFF: usize = 4;
 
 /// Location of one term's list inside its segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +61,45 @@ pub struct ListMeta {
     pub used_bytes: u64,
 }
 
-/// Result of writing a Dewey-ordered list: its location plus each page's
+/// On-disk encoding of a list's pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListFormat {
+    /// Uncompressed pre-block format: per-page delta restarts (Dewey
+    /// lists), full Dewey per entry (rank lists), no skip table.
+    V1,
+    /// Block-compressed format with a per-block skip table.
+    V2,
+}
+
+/// Everything a reader needs to open one list: its location, its page
+/// format, and (v2) the skip table.
+#[derive(Debug, Clone)]
+pub struct ListInfo {
+    /// List location.
+    pub meta: ListMeta,
+    /// Page encoding.
+    pub format: ListFormat,
+    /// Per-block skip entries; `Some` exactly for v2 lists.
+    pub skip: Option<Arc<SkipTable>>,
+}
+
+impl ListInfo {
+    fn skip_table(&self) -> &SkipTable {
+        self.skip.as_deref().expect("v2 list carries a skip table")
+    }
+}
+
+/// `(encoded first key, global page offset)` per sealed page.
+pub type PageFirsts = Vec<(Vec<u8>, u32)>;
+
+/// Result of writing a Dewey-ordered list: the list info plus each page's
 /// first key (used to build HDIL's interior levels).
 #[derive(Debug, Clone)]
 pub struct DeweyListWrite {
-    /// List location.
-    pub meta: ListMeta,
+    /// List info (meta + format + skip table).
+    pub info: ListInfo,
     /// `(encoded first Dewey, global page offset)` per page.
-    pub page_firsts: Vec<(Vec<u8>, u32)>,
+    pub page_firsts: PageFirsts,
 }
 
 impl ListMeta {
@@ -66,32 +122,49 @@ impl ListMeta {
     }
 }
 
-/// Serializes a per-term list directory.
+/// Serializes a per-term list directory. Tag 1 = v1 list (meta only),
+/// tag 2 = v2 list (meta + skip table).
 pub fn write_list_table<W: std::io::Write>(
     w: &mut W,
-    lists: &[Option<ListMeta>],
+    lists: &[Option<ListInfo>],
 ) -> std::io::Result<()> {
     wire::put_u32(w, lists.len() as u32)?;
     for entry in lists {
         match entry {
-            Some(m) => {
-                wire::put_u32(w, 1)?;
-                m.write_meta(w)?;
-            }
+            Some(info) => match info.format {
+                ListFormat::V1 => {
+                    wire::put_u32(w, 1)?;
+                    info.meta.write_meta(w)?;
+                }
+                ListFormat::V2 => {
+                    wire::put_u32(w, 2)?;
+                    info.meta.write_meta(w)?;
+                    info.skip_table().write(w)?;
+                }
+            },
             None => wire::put_u32(w, 0)?,
         }
     }
     Ok(())
 }
 
-/// Deserializes a per-term list directory.
-pub fn read_list_table<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<Option<ListMeta>>> {
+/// Deserializes a per-term list directory (both v1 and v2 entries).
+pub fn read_list_table<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<Option<ListInfo>>> {
     let n = wire::get_u32(r)?;
     let mut out = Vec::with_capacity(n as usize);
     for _ in 0..n {
         out.push(match wire::get_u32(r)? {
             0 => None,
-            1 => Some(ListMeta::read_meta(r)?),
+            1 => Some(ListInfo {
+                meta: ListMeta::read_meta(r)?,
+                format: ListFormat::V1,
+                skip: None,
+            }),
+            2 => Some(ListInfo {
+                meta: ListMeta::read_meta(r)?,
+                format: ListFormat::V2,
+                skip: Some(Arc::new(SkipTable::read(r)?)),
+            }),
             k => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -103,17 +176,367 @@ pub fn read_list_table<R: std::io::Read>(r: &mut R) -> std::io::Result<Vec<Optio
     Ok(out)
 }
 
+/// v1 page scaffolding — only the test-only v1 writer still produces
+/// pages in this layout; production writers emit v2.
+#[cfg(test)]
 fn new_page() -> Vec<u8> {
     let mut p = Vec::with_capacity(PAGE_SIZE);
     p.extend_from_slice(&0u16.to_le_bytes());
     p
 }
 
+#[cfg(test)]
 fn seal(page: &mut [u8], n: u16) {
     page[0..2].copy_from_slice(&n.to_le_bytes());
 }
 
-/// Writes a Dewey-sorted list with per-page restarts.
+/// A fresh v2 page with its 6-byte header reserved.
+fn new_page_v2() -> Vec<u8> {
+    let mut p = Vec::with_capacity(PAGE_SIZE);
+    p.resize(V2_PAGE_HEADER, 0);
+    p
+}
+
+/// Seals a v2 page: pads to [`PAGE_SIZE`], writes the entry count, and
+/// stamps the checksum over everything after the checksum field (so slack
+/// corruption is detected too).
+fn seal_v2(page: &mut Vec<u8>, n: u16) {
+    page.resize(PAGE_SIZE, 0);
+    page[V2_COUNT_OFF..V2_PAGE_HEADER].copy_from_slice(&n.to_le_bytes());
+    let crc = crc32(&page[V2_COUNT_OFF..]);
+    page[0..V2_COUNT_OFF].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies a v2 page's checksum.
+fn v2_verify(page: &[u8]) -> StorageResult<()> {
+    if page.len() < V2_PAGE_HEADER {
+        return Err(StorageError::corrupt("v2 list page shorter than its header"));
+    }
+    let stored = u32::from_le_bytes(page[0..V2_COUNT_OFF].try_into().expect("4 bytes"));
+    let computed = crc32(&page[V2_COUNT_OFF..]);
+    if stored != computed {
+        return Err(StorageError::corrupt(format!(
+            "v2 list page checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Verifies a pinned v2 page's checksum only when the pin performed the
+/// physical read: bytes served from the cache were verified when they came
+/// off the medium, so steady-state (cache-hit) decodes skip the CRC pass.
+fn v2_verify_fresh(page: &PageRef) -> StorageResult<()> {
+    if page.fresh() {
+        v2_verify(page)
+    } else if page.len() < V2_PAGE_HEADER {
+        Err(StorageError::corrupt("v2 list page shorter than its header"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Bounds-checked entry count of a v2 page (no checksum pass).
+fn v2_entry_count(page: &[u8]) -> StorageResult<usize> {
+    if page.len() < V2_PAGE_HEADER {
+        return Err(StorageError::corrupt("v2 list page shorter than its header"));
+    }
+    let n = u16::from_le_bytes(page[V2_COUNT_OFF..V2_PAGE_HEADER].try_into().expect("2 bytes"));
+    Ok(n as usize)
+}
+
+/// Verifies a v2 page's checksum and returns its entry count.
+fn v2_page_header(page: &[u8]) -> StorageResult<usize> {
+    v2_verify(page)?;
+    v2_entry_count(page)
+}
+
+/// Per-entry encoding for one list family, as consumed by [`ListPacker`].
+/// `prev` is the previous item *in the same block* (`None` at restarts).
+/// `Block` is per-block encoder state, reset at every restart — the rank
+/// dictionary for posting lists, nothing for naive lists. Its serialized
+/// form (the block *prefix*) lands between the count varint and the
+/// entries when the block is flushed.
+trait BlockCodec {
+    /// The posting type being packed.
+    type Item;
+    /// Per-block encoder state.
+    type Block: Default;
+
+    /// Bytes [`BlockCodec::encode`] would append to the entry run, plus
+    /// any growth of the block prefix the entry causes.
+    fn encoded_len(&self, blk: &Self::Block, prev: Option<&Self::Item>, item: &Self::Item)
+        -> usize;
+
+    /// Appends the entry's encoding, updating the block state.
+    fn encode(
+        &self,
+        blk: &mut Self::Block,
+        prev: Option<&Self::Item>,
+        item: &Self::Item,
+        out: &mut Vec<u8>,
+    );
+
+    /// Bytes the block prefix occupies for state `blk`.
+    fn prefix_len(&self, blk: &Self::Block) -> usize;
+
+    /// Writes the block prefix.
+    fn write_prefix(&self, blk: &Self::Block, out: &mut Vec<u8>);
+
+    /// The item's skip key (byte-lexicographic order == item order for
+    /// ordered lists).
+    fn key(&self, item: &Self::Item) -> Vec<u8>;
+
+    /// The item's rank (for per-block max-rank).
+    fn rank(&self, item: &Self::Item) -> f32;
+}
+
+/// Dewey- and rank-ordered lists share one v2 entry encoding.
+struct PostingBlockCodec;
+
+impl BlockCodec for PostingBlockCodec {
+    type Item = Posting;
+    type Block = block::RankDict;
+
+    fn encoded_len(&self, blk: &block::RankDict, prev: Option<&Posting>, item: &Posting) -> usize {
+        block::entry_len(prev.map(|p| &p.dewey), item) + blk.growth(item.rank)
+    }
+
+    fn encode(
+        &self,
+        blk: &mut block::RankDict,
+        prev: Option<&Posting>,
+        item: &Posting,
+        out: &mut Vec<u8>,
+    ) {
+        block::encode_entry(prev.map(|p| &p.dewey), item, blk, out);
+    }
+
+    fn prefix_len(&self, blk: &block::RankDict) -> usize {
+        blk.prefix_len()
+    }
+
+    fn write_prefix(&self, blk: &block::RankDict, out: &mut Vec<u8>) {
+        blk.write(out);
+    }
+
+    fn key(&self, item: &Posting) -> Vec<u8> {
+        codec::encode_id(&item.dewey)
+    }
+
+    fn rank(&self, item: &Posting) -> f32 {
+        item.rank
+    }
+}
+
+/// Naive lists: ordered elem varint (delta within a block when `delta`)
+/// plus the shared payload.
+struct NaiveBlockCodec {
+    delta: bool,
+}
+
+impl NaiveBlockCodec {
+    fn elem_field(&self, prev: Option<&NaivePosting>, item: &NaivePosting) -> u32 {
+        match prev {
+            Some(q) if self.delta => item.elem - q.elem,
+            _ => item.elem,
+        }
+    }
+}
+
+impl BlockCodec for NaiveBlockCodec {
+    type Item = NaivePosting;
+    type Block = ();
+
+    fn encoded_len(&self, _blk: &(), prev: Option<&NaivePosting>, item: &NaivePosting) -> usize {
+        codec::component_encoded_len(self.elem_field(prev, item))
+            + posting::payload_len(&item.positions)
+    }
+
+    fn encode(
+        &self,
+        _blk: &mut (),
+        prev: Option<&NaivePosting>,
+        item: &NaivePosting,
+        out: &mut Vec<u8>,
+    ) {
+        codec::write_component(self.elem_field(prev, item), out);
+        posting::encode_payload(item.rank, &item.positions, out);
+    }
+
+    fn prefix_len(&self, _blk: &()) -> usize {
+        0
+    }
+
+    fn write_prefix(&self, _blk: &(), _out: &mut Vec<u8>) {}
+
+    fn key(&self, item: &NaivePosting) -> Vec<u8> {
+        let mut v = Vec::with_capacity(5);
+        codec::write_component(item.elem, &mut v);
+        v
+    }
+
+    fn rank(&self, item: &NaivePosting) -> f32 {
+        item.rank
+    }
+}
+
+/// The one page-packing loop behind all three `write_*` families: fills
+/// blocks of at most [`MAX_BLOCK_ENTRIES`] entries, flushes each block
+/// (count varint + body) into the current page, seals a page when the
+/// next block would overflow the byte budget, and records one
+/// [`SkipEntry`] per block plus each page's first key.
+///
+/// Keeps the v1 budget semantics: the budget is clamped to
+/// `[64, PAGE_SIZE]` and a single entry larger than the budget still
+/// goes out alone on a fresh page (asserting it fits [`PAGE_SIZE`]).
+struct ListPacker<'a, C: BlockCodec> {
+    codec: C,
+    budget: usize,
+    segment: SegmentId,
+    start_page: u32,
+    pages_done: u32,
+    page: Vec<u8>,
+    page_entries: u16,
+    blk: Vec<u8>,
+    blk_state: C::Block,
+    blk_count: u8,
+    blk_last: Option<&'a C::Item>,
+    blk_first_key: Vec<u8>,
+    blk_max_rank: f32,
+    skip: Vec<SkipEntry>,
+    page_firsts: PageFirsts,
+    entry_count: u32,
+    used_bytes: u64,
+}
+
+impl<'a, C: BlockCodec> ListPacker<'a, C> {
+    fn new<S: PageStore>(codec: C, pool: &BufferPool<S>, segment: SegmentId, budget: usize) -> Self {
+        ListPacker {
+            codec,
+            budget: budget.clamp(64, PAGE_SIZE),
+            segment,
+            start_page: pool.store().page_count(segment),
+            pages_done: 0,
+            page: new_page_v2(),
+            page_entries: 0,
+            blk: Vec::with_capacity(PAGE_SIZE),
+            blk_state: C::Block::default(),
+            blk_count: 0,
+            blk_last: None,
+            blk_first_key: Vec::new(),
+            blk_max_rank: f32::NEG_INFINITY,
+            skip: Vec::new(),
+            page_firsts: Vec::new(),
+            entry_count: 0,
+            used_bytes: 0,
+        }
+    }
+
+    /// Moves the staged block (count varint + entries) into the current
+    /// page and records its skip entry. No-op on an empty block.
+    fn flush_block(&mut self) {
+        if self.blk_count == 0 {
+            return;
+        }
+        let page_no = self.start_page + self.pages_done;
+        let first_key = std::mem::take(&mut self.blk_first_key);
+        if self.page_entries == 0 {
+            self.page_firsts.push((first_key.clone(), page_no));
+        }
+        self.skip.push(SkipEntry {
+            first_key,
+            max_rank: self.blk_max_rank,
+            page: page_no,
+            offset: self.page.len() as u16,
+        });
+        codec::write_component(self.blk_count as u32, &mut self.page);
+        self.codec.write_prefix(&self.blk_state, &mut self.page);
+        self.page.extend_from_slice(&self.blk);
+        self.page_entries += self.blk_count as u16;
+        self.blk.clear();
+        self.blk_state = C::Block::default();
+        self.blk_count = 0;
+        self.blk_last = None;
+        self.blk_max_rank = f32::NEG_INFINITY;
+    }
+
+    /// Seals and appends the current page (must hold no staged block).
+    fn seal_page<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+        debug_assert_eq!(self.blk_count, 0, "seal with a staged block");
+        if self.page_entries == 0 {
+            return Ok(());
+        }
+        self.used_bytes += self.page.len() as u64;
+        seal_v2(&mut self.page, self.page_entries);
+        let off = pool.append_page(self.segment, &self.page)?;
+        debug_assert_eq!(off, self.start_page + self.pages_done);
+        self.pages_done += 1;
+        self.page = new_page_v2();
+        self.page_entries = 0;
+        Ok(())
+    }
+
+    fn push<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        item: &'a C::Item,
+    ) -> StorageResult<()> {
+        if self.blk_count as usize >= MAX_BLOCK_ENTRIES {
+            self.flush_block();
+        }
+        // +1 below: the block-count varint (always one byte at ≤ 127).
+        // `encoded_len` already includes prefix growth, so the check is
+        // against the block's flushed size: count + prefix + entries.
+        let len = self.codec.encoded_len(&self.blk_state, self.blk_last, item);
+        let staged = 1 + self.codec.prefix_len(&self.blk_state) + self.blk.len();
+        if self.page.len() + staged + len > self.budget {
+            self.flush_block();
+            let fresh = C::Block::default();
+            let restart =
+                1 + self.codec.prefix_len(&fresh) + self.codec.encoded_len(&fresh, None, item);
+            if self.page_entries > 0 && self.page.len() + restart > self.budget {
+                self.seal_page(pool)?;
+            }
+            if self.page_entries == 0 {
+                assert!(
+                    V2_PAGE_HEADER + restart <= PAGE_SIZE,
+                    "single posting exceeds a page"
+                );
+            }
+        }
+        if self.blk_count == 0 {
+            self.blk_first_key = self.codec.key(item);
+            self.blk_max_rank = self.codec.rank(item);
+        } else {
+            self.blk_max_rank = self.blk_max_rank.max(self.codec.rank(item));
+        }
+        self.codec.encode(&mut self.blk_state, self.blk_last, item, &mut self.blk);
+        self.blk_count += 1;
+        self.blk_last = Some(item);
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    fn finish<S: PageStore>(
+        mut self,
+        pool: &mut BufferPool<S>,
+    ) -> StorageResult<(ListMeta, SkipTable, PageFirsts)> {
+        self.flush_block();
+        self.seal_page(pool)?;
+        Ok((
+            ListMeta {
+                start_page: self.start_page,
+                page_count: self.pages_done,
+                entry_count: self.entry_count,
+                used_bytes: self.used_bytes,
+            },
+            SkipTable { blocks: self.skip },
+            self.page_firsts,
+        ))
+    }
+}
+
+/// Writes a Dewey-sorted list as v2 compressed blocks.
 ///
 /// Panics if one entry cannot fit a page (positions lists are bounded by
 /// the tokenizer's per-element text sizes; see crate docs).
@@ -137,84 +560,23 @@ pub fn write_dewey_list_budgeted<S: PageStore>(
     postings: &[Posting],
     budget: usize,
 ) -> StorageResult<DeweyListWrite> {
-    let budget = budget.clamp(64, PAGE_SIZE);
-    let mut page = new_page();
-    let mut n: u16 = 0;
-    let mut prev: Option<&DeweyId> = None;
-    let mut page_firsts = Vec::new();
-    let start_page = pool.store().page_count(segment);
-    let mut first_key_of_page: Option<Vec<u8>> = None;
-    let mut used_bytes = 0u64;
-
+    let mut pk = ListPacker::new(PostingBlockCodec, pool, segment, budget);
     for p in postings {
-        let len = posting::entry_len(prev, p);
-        if page.len() + len > budget && n > 0 {
-            used_bytes += page.len() as u64;
-            seal(&mut page, n);
-            let off = pool.append_page(segment, &page)?;
-            page_firsts.push((first_key_of_page.take().expect("page has entries"), off));
-            page = new_page();
-            n = 0;
-            prev = None;
-        }
-        let len = posting::entry_len(prev, p);
-        assert!(page.len() + len <= PAGE_SIZE, "single posting exceeds a page");
-        if n == 0 {
-            first_key_of_page = Some(codec::encode_id(&p.dewey));
-        }
-        posting::encode_entry(prev, p, &mut page);
-        n += 1;
-        prev = Some(&p.dewey);
+        pk.push(pool, p)?;
     }
-    if n > 0 {
-        used_bytes += page.len() as u64;
-        seal(&mut page, n);
-        let off = pool.append_page(segment, &page)?;
-        page_firsts.push((first_key_of_page.take().expect("page has entries"), off));
-    }
-    let page_count = pool.store().page_count(segment) - start_page;
+    let (meta, skip, page_firsts) = pk.finish(pool)?;
     Ok(DeweyListWrite {
-        meta: ListMeta {
-            start_page,
-            page_count,
-            entry_count: postings.len() as u32,
-            used_bytes,
-        },
+        info: ListInfo { meta, format: ListFormat::V2, skip: Some(Arc::new(skip)) },
         page_firsts,
     })
 }
 
-/// Reads a list page's entry-count header, bounds-checked.
-fn page_header(page: &[u8]) -> StorageResult<usize> {
-    SliceReader::new(page)
-        .get_u16()
-        .map(|n| n as usize)
-        .map_err(|_| StorageError::corrupt("list page shorter than its header"))
-}
-
-/// Decodes a Dewey-list page into postings (`elem` ids are not stored on
-/// disk and come back as 0). Corruption yields a typed error, not a panic.
-pub fn decode_dewey_page(page: &[u8]) -> StorageResult<Vec<Posting>> {
-    let n = page_header(page)?;
-    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
-    let mut off = 2;
-    let mut prev: Option<DeweyId> = None;
-    for _ in 0..n {
-        let (p, consumed) = posting::decode_entry(prev.as_ref(), &page[off..])
-            .map_err(|e| StorageError::corrupt(format!("dewey list page entry: {e}")))?;
-        off += consumed;
-        prev = Some(p.dewey.clone());
-        out.push(p);
-    }
-    Ok(out)
-}
-
-/// Writes a rank-ordered list (every Dewey fully encoded).
+/// Writes a rank-ordered list as v2 compressed blocks.
 pub fn write_rank_list<S: PageStore>(
     pool: &mut BufferPool<S>,
     segment: SegmentId,
     postings: &[Posting],
-) -> StorageResult<ListMeta> {
+) -> StorageResult<ListInfo> {
     write_rank_list_budgeted(pool, segment, postings, PAGE_SIZE)
 }
 
@@ -224,56 +586,24 @@ pub fn write_rank_list_budgeted<S: PageStore>(
     segment: SegmentId,
     postings: &[Posting],
     budget: usize,
-) -> StorageResult<ListMeta> {
-    let budget = budget.clamp(64, PAGE_SIZE);
-    let mut page = new_page();
-    let mut n: u16 = 0;
-    let start_page = pool.store().page_count(segment);
-    let mut used_bytes = 0u64;
+) -> StorageResult<ListInfo> {
+    let mut pk = ListPacker::new(PostingBlockCodec, pool, segment, budget);
     for p in postings {
-        let len = posting::entry_len(None, p);
-        if page.len() + len > budget && n > 0 {
-            used_bytes += page.len() as u64;
-            seal(&mut page, n);
-            pool.append_page(segment, &page)?;
-            page = new_page();
-            n = 0;
-        }
-        assert!(page.len() + len <= PAGE_SIZE, "single posting exceeds a page");
-        posting::encode_entry(None, p, &mut page);
-        n += 1;
+        pk.push(pool, p)?;
     }
-    if n > 0 {
-        used_bytes += page.len() as u64;
-        seal(&mut page, n);
-        pool.append_page(segment, &page)?;
-    }
-    let page_count = pool.store().page_count(segment) - start_page;
-    Ok(ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes })
+    let (meta, skip, _) = pk.finish(pool)?;
+    Ok(ListInfo { meta, format: ListFormat::V2, skip: Some(Arc::new(skip)) })
 }
 
-/// Decodes a rank-list page.
-pub fn decode_rank_page(page: &[u8]) -> StorageResult<Vec<Posting>> {
-    let n = page_header(page)?;
-    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
-    let mut off = 2;
-    for _ in 0..n {
-        let (p, consumed) = posting::decode_entry(None, &page[off..])
-            .map_err(|e| StorageError::corrupt(format!("rank list page entry: {e}")))?;
-        off += consumed;
-        out.push(p);
-    }
-    Ok(out)
-}
-
-/// Writes a naive list. `delta` encodes ascending element ids as deltas
-/// (Naive-ID order); rank-ordered naive lists pass `delta = false`.
+/// Writes a naive list as v2 compressed blocks. `delta` encodes ascending
+/// element ids as within-block deltas (Naive-ID order); rank-ordered
+/// naive lists pass `delta = false`.
 pub fn write_naive_list<S: PageStore>(
     pool: &mut BufferPool<S>,
     segment: SegmentId,
     postings: &[NaivePosting],
     delta: bool,
-) -> StorageResult<ListMeta> {
+) -> StorageResult<ListInfo> {
     write_naive_list_budgeted(pool, segment, postings, delta, PAGE_SIZE)
 }
 
@@ -284,75 +614,180 @@ pub fn write_naive_list_budgeted<S: PageStore>(
     postings: &[NaivePosting],
     delta: bool,
     budget: usize,
-) -> StorageResult<ListMeta> {
-    let budget = budget.clamp(64, PAGE_SIZE);
-    let start_page = pool.store().page_count(segment);
-    let mut page = new_page();
-    let mut n: u16 = 0;
-    let mut prev_elem = 0u32;
-    let mut used_bytes = 0u64;
+) -> StorageResult<ListInfo> {
+    let mut pk = ListPacker::new(NaiveBlockCodec { delta }, pool, segment, budget);
     for p in postings {
-        let elem_field = if delta && n > 0 { p.elem - prev_elem } else { p.elem };
-        let len = codec::component_encoded_len(elem_field) + posting::payload_len(&p.positions);
-        if page.len() + len > budget && n > 0 {
-            used_bytes += page.len() as u64;
-            seal(&mut page, n);
-            pool.append_page(segment, &page)?;
-            page = new_page();
-            n = 0;
+        pk.push(pool, p)?;
+    }
+    let (meta, skip, _) = pk.finish(pool)?;
+    Ok(ListInfo { meta, format: ListFormat::V2, skip: Some(Arc::new(skip)) })
+}
+
+/// Reads a list page's entry-count header, bounds-checked.
+fn page_header(page: &[u8]) -> StorageResult<usize> {
+    SliceReader::new(page)
+        .get_u16()
+        .map(|n| n as usize)
+        .map_err(|_| StorageError::corrupt("list page shorter than its header"))
+}
+
+/// As [`decode_dewey_page`] for a pinned page: the checksum pass runs only
+/// when the pin did the physical read (cache hits decode pre-verified
+/// bytes). The hot-path form for readers holding a [`PageRef`].
+pub fn decode_dewey_page_pinned(page: &PageRef, format: ListFormat) -> StorageResult<Vec<Posting>> {
+    match format {
+        ListFormat::V2 => {
+            v2_verify_fresh(page)?;
+            let n = v2_entry_count(page)?;
+            decode_blocks(page, n)
         }
-        let elem_field = if delta && n > 0 { p.elem - prev_elem } else { p.elem };
-        assert!(
-            page.len() + codec::component_encoded_len(elem_field) + posting::payload_len(&p.positions)
-                <= PAGE_SIZE,
-            "single naive posting exceeds a page"
-        );
-        codec::write_component(elem_field, &mut page);
-        posting::encode_payload(p.rank, &p.positions, &mut page);
-        n += 1;
-        prev_elem = p.elem;
+        ListFormat::V1 => decode_dewey_page(page, format),
     }
-    if n > 0 {
-        used_bytes += page.len() as u64;
-        seal(&mut page, n);
-        pool.append_page(segment, &page)?;
+}
+
+/// Decodes a Dewey-list page into postings (`elem` ids are not stored on
+/// disk and come back as 0). Corruption yields a typed error, not a panic.
+pub fn decode_dewey_page(page: &[u8], format: ListFormat) -> StorageResult<Vec<Posting>> {
+    match format {
+        ListFormat::V2 => decode_block_page(page),
+        ListFormat::V1 => {
+            let n = page_header(page)?;
+            let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
+            let mut off = 2;
+            let mut prev: Option<DeweyId> = None;
+            for _ in 0..n {
+                let (p, consumed) = posting::decode_entry(prev.as_ref(), &page[off..])
+                    .map_err(|e| StorageError::corrupt(format!("dewey list page entry: {e}")))?;
+                off += consumed;
+                prev = Some(p.dewey.clone());
+                out.push(p);
+            }
+            Ok(out)
+        }
     }
-    let page_count = pool.store().page_count(segment) - start_page;
-    Ok(ListMeta { start_page, page_count, entry_count: postings.len() as u32, used_bytes })
+}
+
+/// Decodes a rank-list page.
+pub fn decode_rank_page(page: &[u8], format: ListFormat) -> StorageResult<Vec<Posting>> {
+    match format {
+        ListFormat::V2 => decode_block_page(page),
+        ListFormat::V1 => {
+            let n = page_header(page)?;
+            let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
+            let mut off = 2;
+            for _ in 0..n {
+                let (p, consumed) = posting::decode_entry(None, &page[off..])
+                    .map_err(|e| StorageError::corrupt(format!("rank list page entry: {e}")))?;
+                off += consumed;
+                out.push(p);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Shared v2 page decode for Dewey- and rank-ordered lists (their v2
+/// entry encoding is identical).
+fn decode_block_page(page: &[u8]) -> StorageResult<Vec<Posting>> {
+    let n = v2_page_header(page)?;
+    decode_blocks(page, n)
+}
+
+/// Decodes a v2 page's block run (`n` = its entry count; checksum already
+/// handled by the caller).
+fn decode_blocks(page: &[u8], n: usize) -> StorageResult<Vec<Posting>> {
+    let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
+    let mut off = V2_PAGE_HEADER;
+    while out.len() < n {
+        off = block::decode_block(page, off, &mut out)?;
+        if out.len() > n {
+            return Err(StorageError::corrupt("list page blocks exceed entry count"));
+        }
+    }
+    Ok(out)
 }
 
 /// Decodes a naive-list page (pass the same `delta` used when writing).
-pub fn decode_naive_page(page: &[u8], delta: bool) -> StorageResult<Vec<NaivePosting>> {
-    let n = page_header(page)?;
+pub fn decode_naive_page(
+    page: &[u8],
+    delta: bool,
+    format: ListFormat,
+) -> StorageResult<Vec<NaivePosting>> {
+    let (n, mut off) = match format {
+        ListFormat::V2 => (v2_page_header(page)?, V2_PAGE_HEADER),
+        ListFormat::V1 => (page_header(page)?, 2),
+    };
     let mut out = Vec::with_capacity(n.min(PAGE_SIZE));
-    let mut off = 2;
-    let mut prev_elem = 0u32;
-    for i in 0..n {
-        let (field, consumed) = codec::read_component(&page[off..])
-            .map_err(|e| StorageError::corrupt(format!("naive list page entry: {e}")))?;
-        off += consumed;
-        let elem = if delta && i > 0 {
-            prev_elem
-                .checked_add(field)
-                .ok_or_else(|| StorageError::corrupt("naive list element id overflow"))?
-        } else {
-            field
-        };
-        prev_elem = elem;
-        let (rank, positions, consumed) = posting::decode_payload(&page[off..])
-            .map_err(|e| StorageError::corrupt(format!("naive list payload: {e}")))?;
-        off += consumed;
-        out.push(NaivePosting { elem, rank, positions });
+    match format {
+        ListFormat::V2 => {
+            while out.len() < n {
+                off = decode_naive_block(page, off, delta, &mut out)?;
+                if out.len() > n {
+                    return Err(StorageError::corrupt("list page blocks exceed entry count"));
+                }
+            }
+        }
+        ListFormat::V1 => {
+            for i in 0..n {
+                off = decode_naive_entry(page, off, delta && i > 0, &mut out)?;
+            }
+        }
     }
     Ok(out)
+}
+
+/// Decodes one v2 naive block starting at `page[off..]`; returns the
+/// offset just past it.
+fn decode_naive_block(
+    page: &[u8],
+    mut off: usize,
+    delta: bool,
+    out: &mut Vec<NaivePosting>,
+) -> StorageResult<usize> {
+    let (count, used) = codec::read_component(
+        page.get(off..).ok_or_else(|| StorageError::corrupt("block count overruns page"))?,
+    )
+    .map_err(|e| StorageError::corrupt(format!("naive block count: {e}")))?;
+    off += used;
+    for i in 0..count {
+        off = decode_naive_entry(page, off, delta && i > 0, out)?;
+    }
+    Ok(off)
+}
+
+/// Decodes one naive entry; `delta` means the elem field is relative to
+/// the previous entry in `out`.
+fn decode_naive_entry(
+    page: &[u8],
+    mut off: usize,
+    delta: bool,
+    out: &mut Vec<NaivePosting>,
+) -> StorageResult<usize> {
+    let buf = page.get(off..).ok_or_else(|| StorageError::corrupt("naive entry overruns page"))?;
+    let (field, consumed) = codec::read_component(buf)
+        .map_err(|e| StorageError::corrupt(format!("naive list page entry: {e}")))?;
+    off += consumed;
+    let elem = if delta {
+        let prev = out.last().map_or(0, |p| p.elem);
+        prev.checked_add(field)
+            .ok_or_else(|| StorageError::corrupt("naive list element id overflow"))?
+    } else {
+        field
+    };
+    let buf = page.get(off..).ok_or_else(|| StorageError::corrupt("naive entry overruns page"))?;
+    let (rank, positions, consumed) = posting::decode_payload(buf)
+        .map_err(|e| StorageError::corrupt(format!("naive list payload: {e}")))?;
+    off += consumed;
+    out.push(NaivePosting { elem, rank, positions });
+    Ok(off)
 }
 
 /// How a list's pages should be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ListKind {
-    /// Dewey-sorted with per-page delta restarts.
+    /// Dewey-sorted (delta restarts per page in v1, per block in v2).
     Dewey,
-    /// Rank-sorted, full Dewey per entry.
+    /// Rank-sorted (full Dewey per entry in v1, block deltas in v2).
     Rank,
 }
 
@@ -363,9 +798,12 @@ pub enum ListKind {
 #[derive(Debug)]
 struct PageFrame {
     page: PageRef,
+    /// Global page offset (v2 block navigation is addressed by page).
+    page_no: u32,
     off: usize,
+    /// v1: entries left on this page. Unused in v2 (block-driven).
     remaining: usize,
-    /// Delta base for Dewey-ordered pages (restarts at each page).
+    /// Delta base (v1: restarts per page; v2: per block).
     prev: Option<DeweyId>,
 }
 
@@ -374,29 +812,53 @@ struct PageFrame {
 /// Figures 5 and 7). Decoding is lazy and zero-copy: each `next` decodes
 /// exactly one posting from the pinned current page, so a reader that is
 /// abandoned early (TA stop, switch to DIL) never pays for entries it did
-/// not consume.
+/// not consume. v2 readers additionally skip whole blocks via
+/// [`ListReader::next_seek`] and answer [`ListReader::rank_bound`] from
+/// the skip table without I/O.
 #[derive(Debug)]
 pub struct ListReader {
     segment: SegmentId,
     meta: ListMeta,
     kind: ListKind,
+    format: ListFormat,
+    skip: Option<Arc<SkipTable>>,
+    /// v1 sequential cursor: next page of the run to pull.
     next_page: u32,
     frame: Option<PageFrame>,
     pending: Option<Posting>,
     consumed: u32,
+    /// v2: blocks entered so far == index of the next block to enter.
+    entered_blocks: usize,
+    /// v2: entries left undecoded in the current block.
+    block_remaining: u32,
+    /// v2: the current block's rank dictionary.
+    blk_ranks: Vec<f32>,
+    blocks_decoded: u64,
+    blocks_skipped: u64,
 }
 
 impl ListReader {
     /// Creates a reader positioned at the start of the list.
-    pub fn new(segment: SegmentId, meta: ListMeta, kind: ListKind) -> Self {
+    pub fn new(segment: SegmentId, info: &ListInfo, kind: ListKind) -> Self {
+        debug_assert!(
+            info.format == ListFormat::V1 || info.skip.is_some(),
+            "v2 list without a skip table"
+        );
         ListReader {
             segment,
-            meta,
+            meta: info.meta,
             kind,
-            next_page: meta.start_page,
+            format: info.format,
+            skip: info.skip.clone(),
+            next_page: info.meta.start_page,
             frame: None,
             pending: None,
             consumed: 0,
+            entered_blocks: 0,
+            block_remaining: 0,
+            blk_ranks: Vec::new(),
+            blocks_decoded: 0,
+            blocks_skipped: 0,
         }
     }
 
@@ -405,9 +867,20 @@ impl ListReader {
         self.meta
     }
 
-    /// Entries yielded so far.
+    /// Entries yielded so far (excludes entries dropped by
+    /// [`ListReader::next_seek`]).
     pub fn consumed(&self) -> u32 {
         self.consumed
+    }
+
+    /// Blocks whose entries this reader started decoding (v2; 0 on v1).
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded
+    }
+
+    /// Blocks jumped over without decoding (v2; 0 on v1).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
     }
 
     /// Peeks at the next posting without consuming it.
@@ -430,12 +903,19 @@ impl ListReader {
     }
 
     /// Decodes the next posting into `pending` (one entry, in place on the
-    /// pinned frame), pulling the next page of the run when the current
-    /// one is spent.
+    /// pinned frame), pulling the next page / block when the current one
+    /// is spent.
     fn ensure_pending<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
         if self.pending.is_some() {
             return Ok(());
         }
+        match self.format {
+            ListFormat::V1 => self.ensure_pending_v1(pool),
+            ListFormat::V2 => self.ensure_pending_v2(pool),
+        }
+    }
+
+    fn ensure_pending_v1<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
         loop {
             let need_page = match &self.frame {
                 Some(f) => f.remaining == 0,
@@ -445,10 +925,11 @@ impl ListReader {
                 if self.next_page >= self.meta.start_page + self.meta.page_count {
                     return Ok(());
                 }
-                let page = pool.read(PageId::new(self.segment, self.next_page))?;
+                let page_no = self.next_page;
+                let page = pool.read(PageId::new(self.segment, page_no))?;
                 self.next_page += 1;
                 let remaining = page_header(&page)?;
-                self.frame = Some(PageFrame { page, off: 2, remaining, prev: None });
+                self.frame = Some(PageFrame { page, page_no, off: 2, remaining, prev: None });
                 if remaining == 0 {
                     continue; // writers never emit empty pages; stay robust
                 }
@@ -474,28 +955,222 @@ impl ListReader {
         }
     }
 
+    /// v2 navigation is driven by the skip table: each block's exact page
+    /// and byte offset is known, so entering a block pins its page (when
+    /// not already pinned) and positions the frame at the count varint.
+    fn ensure_pending_v2<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
+        loop {
+            if self.block_remaining == 0 {
+                let skip = self.skip.as_ref().expect("v2 list has skip table");
+                let Some(e) = skip.blocks.get(self.entered_blocks) else {
+                    return Ok(()); // end of list
+                };
+                let (page, offset) = (e.page, e.offset as usize);
+                if self.frame.as_ref().is_none_or(|f| f.page_no != page) {
+                    let pinned = pool.read(PageId::new(self.segment, page))?;
+                    // Checksum once per physical read: every later decode
+                    // off this frame (and every cache hit) reads bytes
+                    // verified when they came off the medium.
+                    v2_verify_fresh(&pinned)?;
+                    self.frame = Some(PageFrame {
+                        page: pinned,
+                        page_no: page,
+                        off: offset,
+                        remaining: 0,
+                        prev: None,
+                    });
+                }
+                let frame = self.frame.as_mut().expect("frame pinned");
+                frame.off = offset;
+                frame.prev = None;
+                let buf = frame
+                    .page
+                    .get(frame.off..)
+                    .ok_or_else(|| StorageError::corrupt("block count overruns page"))?;
+                let (count, used) = codec::read_component(buf)
+                    .map_err(|e| StorageError::corrupt(format!("block count: {e}")))?;
+                frame.off += used;
+                let buf = frame
+                    .page
+                    .get(frame.off..)
+                    .ok_or_else(|| StorageError::corrupt("block dict overruns page"))?;
+                let (ranks, used) = block::RankDict::read(buf)
+                    .map_err(|e| StorageError::corrupt(format!("block rank dict: {e}")))?;
+                frame.off += used;
+                self.blk_ranks = ranks;
+                self.block_remaining = count;
+                self.entered_blocks += 1;
+                self.blocks_decoded += 1;
+                if count == 0 {
+                    continue; // writers never emit empty blocks; stay robust
+                }
+            }
+            let frame = self.frame.as_mut().expect("current frame present");
+            let buf = frame
+                .page
+                .get(frame.off..)
+                .ok_or_else(|| StorageError::corrupt("list entry overruns page"))?;
+            let (p, used) = block::decode_entry(frame.prev.as_ref(), &self.blk_ranks, buf)
+                .map_err(|e| StorageError::corrupt(format!("list page entry: {e}")))?;
+            frame.off += used;
+            self.block_remaining -= 1;
+            frame.prev = Some(p.dewey.clone());
+            self.pending = Some(p);
+            return Ok(());
+        }
+    }
+
+    /// Advances the reader to the first posting with `dewey >= target`,
+    /// skipping whole blocks via the skip table without decoding them.
+    /// Forward-only: a target at or behind the current position is a
+    /// cheap no-op (the reader never moves backward). Entries dropped
+    /// here are not counted in [`ListReader::consumed`]. On v1 lists this
+    /// degrades to a linear decode-and-drop.
+    pub fn next_seek<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: &DeweyId,
+    ) -> StorageResult<()> {
+        debug_assert_eq!(self.kind, ListKind::Dewey, "next_seek on an unordered list");
+        if let Some(p) = &self.pending {
+            if p.dewey >= *target {
+                return Ok(());
+            }
+        }
+        if self.format == ListFormat::V2 {
+            let skip = self.skip.as_ref().expect("v2 list has skip table");
+            let key = codec::encode_id(target);
+            if let Some(idx) = skip.last_leq(&key) {
+                // Only jump strictly past the block we are inside of
+                // (`entered_blocks - 1`); backward jumps never happen.
+                if idx >= self.entered_blocks {
+                    self.blocks_skipped += (idx - self.entered_blocks) as u64;
+                    self.entered_blocks = idx;
+                    self.block_remaining = 0;
+                    self.pending = None;
+                    let jump_page = skip.blocks[idx].page;
+                    if self.frame.as_ref().is_none_or(|f| f.page_no != jump_page) {
+                        self.frame = None; // pinned lazily on next decode
+                    }
+                }
+            }
+        }
+        // Decode-and-drop inside the landing block (v2) or from the
+        // current position (v1) up to the target.
+        loop {
+            self.ensure_pending(pool)?;
+            match &self.pending {
+                Some(p) if p.dewey < *target => self.pending = None,
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// An upper bound on the rank of the *next* posting this reader will
+    /// yield, or `None` at end of list. On rank-ordered v2 lists this is
+    /// exact (a block's max rank is its first entry's rank) and costs no
+    /// I/O at block boundaries — the TA frontier uses it to stop without
+    /// pulling the next page. v1 lists fall back to peeking (which may
+    /// pull a page).
+    pub fn rank_bound<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+    ) -> StorageResult<Option<f32>> {
+        if let Some(p) = &self.pending {
+            return Ok(Some(p.rank));
+        }
+        if self.format == ListFormat::V2 && self.block_remaining == 0 {
+            let skip = self.skip.as_ref().expect("v2 list has skip table");
+            return Ok(skip.blocks.get(self.entered_blocks).map(|b| b.max_rank));
+        }
+        // Mid-block (v2) the next entry decodes off the already-pinned
+        // frame; v1 may pull the next page.
+        self.ensure_pending(pool)?;
+        Ok(self.pending.as_ref().map(|p| p.rank))
+    }
+
     /// True once every posting has been yielded.
     pub fn exhausted(&self) -> bool {
-        self.pending.is_none()
-            && self.frame.as_ref().is_none_or(|f| f.remaining == 0)
-            && self.next_page >= self.meta.start_page + self.meta.page_count
+        match self.format {
+            ListFormat::V1 => {
+                self.pending.is_none()
+                    && self.frame.as_ref().is_none_or(|f| f.remaining == 0)
+                    && self.next_page >= self.meta.start_page + self.meta.page_count
+            }
+            ListFormat::V2 => {
+                self.pending.is_none()
+                    && self.block_remaining == 0
+                    && self.entered_blocks
+                        >= self.skip.as_ref().map_or(0, |s| s.blocks.len())
+            }
+        }
+    }
+
+    /// Count-based end check: true once `entry_count` entries were
+    /// yielded. Costs no I/O, unlike peeking. Only meaningful for readers
+    /// that never [`ListReader::next_seek`] (seeks drop entries without
+    /// counting them) — i.e. the rank-ordered readers of the TA loops.
+    pub fn at_end(&self) -> bool {
+        self.pending.is_none() && self.consumed >= self.meta.entry_count
     }
 }
 
-/// Streaming reader for naive lists.
+/// Streaming reader for naive lists. Decodes a page at a time (naive
+/// postings are small and the baselines scan ranges); v2 lists expose
+/// block-granular seeks via [`NaiveListReader::next_seek`].
 #[derive(Debug)]
 pub struct NaiveListReader {
     segment: SegmentId,
     meta: ListMeta,
     delta: bool,
+    format: ListFormat,
+    skip: Option<Arc<SkipTable>>,
+    /// v1 sequential cursor.
     next_page: u32,
+    /// v2: next undecoded block.
+    next_block: usize,
     buffered: VecDeque<NaivePosting>,
+    consumed: u32,
+    blocks_decoded: u64,
+    blocks_skipped: u64,
 }
 
 impl NaiveListReader {
     /// Creates a reader positioned at the start of the list.
-    pub fn new(segment: SegmentId, meta: ListMeta, delta: bool) -> Self {
-        NaiveListReader { segment, meta, delta, next_page: meta.start_page, buffered: VecDeque::new() }
+    pub fn new(segment: SegmentId, info: &ListInfo, delta: bool) -> Self {
+        debug_assert!(
+            info.format == ListFormat::V1 || info.skip.is_some(),
+            "v2 list without a skip table"
+        );
+        NaiveListReader {
+            segment,
+            meta: info.meta,
+            delta,
+            format: info.format,
+            skip: info.skip.clone(),
+            next_page: info.meta.start_page,
+            next_block: 0,
+            buffered: VecDeque::new(),
+            consumed: 0,
+            blocks_decoded: 0,
+            blocks_skipped: 0,
+        }
+    }
+
+    /// Blocks decoded so far (v2; 0 on v1).
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded
+    }
+
+    /// Blocks jumped over without decoding (v2; 0 on v1).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
+    }
+
+    /// Count-based end check (see [`ListReader::at_end`]; same caveat
+    /// about seeks).
+    pub fn at_end(&self) -> bool {
+        self.buffered.is_empty() && self.consumed >= self.meta.entry_count
     }
 
     /// Peeks at the next posting.
@@ -517,17 +1192,85 @@ impl NaiveListReader {
         if self.buffered.is_empty() {
             self.fill(pool)?;
         }
-        Ok(self.buffered.pop_front())
+        let p = self.buffered.pop_front();
+        if p.is_some() {
+            self.consumed += 1;
+        }
+        Ok(p)
+    }
+
+    /// Advances to the first posting with `elem >= target` (only valid on
+    /// `delta` id-ordered lists), skipping whole blocks via the skip
+    /// table. Forward-only; a target at or behind the head is a no-op.
+    pub fn next_seek<S: PageStore>(
+        &mut self,
+        pool: &BufferPool<S>,
+        target: u32,
+    ) -> StorageResult<()> {
+        debug_assert!(self.delta, "next_seek on an unordered naive list");
+        loop {
+            while let Some(front) = self.buffered.front() {
+                if front.elem >= target {
+                    return Ok(());
+                }
+                self.buffered.pop_front();
+            }
+            // Buffer drained below the target: jump over whole blocks.
+            if self.format == ListFormat::V2 {
+                let skip = self.skip.as_ref().expect("v2 list has skip table");
+                let mut key = Vec::with_capacity(5);
+                codec::write_component(target, &mut key);
+                if let Some(idx) = skip.last_leq(&key) {
+                    if idx > self.next_block {
+                        self.blocks_skipped += (idx - self.next_block) as u64;
+                        self.next_block = idx;
+                    }
+                }
+            }
+            self.fill(pool)?;
+            if self.buffered.is_empty() {
+                return Ok(()); // list exhausted
+            }
+        }
     }
 
     fn fill<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<()> {
-        if self.next_page >= self.meta.start_page + self.meta.page_count {
-            return Ok(());
+        match self.format {
+            ListFormat::V1 => {
+                if self.next_page >= self.meta.start_page + self.meta.page_count {
+                    return Ok(());
+                }
+                let page = pool.read(PageId::new(self.segment, self.next_page))?;
+                self.next_page += 1;
+                self.buffered = decode_naive_page(&page, self.delta, ListFormat::V1)?.into();
+                Ok(())
+            }
+            ListFormat::V2 => {
+                let skip = self.skip.as_ref().expect("v2 list has skip table").clone();
+                let Some(first) = skip.blocks.get(self.next_block) else {
+                    return Ok(());
+                };
+                // Decode every remaining block on the landing page — the
+                // page is pinned once and naive consumers are page-scan
+                // shaped anyway.
+                let page_no = first.page;
+                let page = pool.read(PageId::new(self.segment, page_no))?;
+                v2_verify_fresh(&page)?;
+                let mut scratch: Vec<NaivePosting> = Vec::new();
+                let mut k = self.next_block;
+                while let Some(e) = skip.blocks.get(k) {
+                    if e.page != page_no {
+                        break;
+                    }
+                    decode_naive_block(&page, e.offset as usize, self.delta, &mut scratch)?;
+                    k += 1;
+                }
+                self.blocks_decoded += (k - self.next_block) as u64;
+                self.next_block = k;
+                self.buffered = scratch.into();
+                Ok(())
+            }
         }
-        let page = pool.read(PageId::new(self.segment, self.next_page))?;
-        self.next_page += 1;
-        self.buffered = decode_naive_page(&page, self.delta)?.into();
-        Ok(())
     }
 }
 
@@ -547,15 +1290,65 @@ mod tests {
             .collect()
     }
 
+    /// Writes a v1 Dewey page run (per-page delta restarts) — kept as a
+    /// test-only writer so the v1 read path stays covered after the
+    /// production writers moved to v2.
+    fn write_dewey_list_v1<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        segment: SegmentId,
+        postings: &[Posting],
+    ) -> ListInfo {
+        let start_page = pool.store().page_count(segment);
+        let mut page = new_page();
+        let mut n: u16 = 0;
+        let mut prev: Option<&DeweyId> = None;
+        let mut used_bytes = 0u64;
+        for p in postings {
+            let len = posting::entry_len(prev, p);
+            if page.len() + len > PAGE_SIZE && n > 0 {
+                used_bytes += page.len() as u64;
+                seal(&mut page, n);
+                pool.append_page(segment, &page).unwrap();
+                page = new_page();
+                n = 0;
+                prev = None;
+            }
+            posting::encode_entry(prev, p, &mut page);
+            n += 1;
+            prev = Some(&p.dewey);
+        }
+        if n > 0 {
+            used_bytes += page.len() as u64;
+            seal(&mut page, n);
+            pool.append_page(segment, &page).unwrap();
+        }
+        ListInfo {
+            meta: ListMeta {
+                start_page,
+                page_count: pool.store().page_count(segment) - start_page,
+                entry_count: postings.len() as u32,
+                used_bytes,
+            },
+            format: ListFormat::V1,
+            skip: None,
+        }
+    }
+
     #[test]
     fn dewey_list_roundtrip_across_pages() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
         let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(2000);
         let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
-        assert!(w.meta.page_count > 1, "should span pages");
-        assert_eq!(w.page_firsts.len(), w.meta.page_count as usize);
-        let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
+        assert!(w.info.meta.page_count > 1, "should span pages");
+        assert_eq!(w.page_firsts.len(), w.info.meta.page_count as usize);
+        let skip = w.info.skip_table();
+        assert_eq!(
+            skip.blocks.iter().map(|b| b.page).collect::<std::collections::BTreeSet<_>>().len(),
+            w.info.meta.page_count as usize,
+            "every page holds at least one block"
+        );
+        let mut r = ListReader::new(seg, &w.info, ListKind::Dewey);
         for expect in &ps {
             let got = r.next(&pool).unwrap().unwrap();
             assert_eq!(got.dewey, expect.dewey);
@@ -564,6 +1357,44 @@ mod tests {
         }
         assert!(r.next(&pool).unwrap().is_none());
         assert!(r.exhausted());
+        assert_eq!(r.blocks_decoded(), skip.blocks.len() as u64);
+        assert_eq!(r.blocks_skipped(), 0);
+    }
+
+    #[test]
+    fn v1_dewey_list_still_reads() {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps = postings(2000);
+        let info = write_dewey_list_v1(&mut pool, seg, &ps);
+        assert!(info.meta.page_count > 1);
+        let mut r = ListReader::new(seg, &info, ListKind::Dewey);
+        for expect in &ps {
+            let got = r.next(&pool).unwrap().unwrap();
+            assert_eq!(got.dewey, expect.dewey);
+        }
+        assert!(r.next(&pool).unwrap().is_none());
+        assert!(r.exhausted());
+        assert_eq!(r.blocks_decoded(), 0);
+        // v1 decode path of the page decoder agrees
+        let page = pool.read(PageId::new(seg, info.meta.start_page)).unwrap().to_vec();
+        let decoded = decode_dewey_page(&page, ListFormat::V1).unwrap();
+        assert_eq!(decoded[0].dewey, ps[0].dewey);
+    }
+
+    #[test]
+    fn v2_compresses_vs_v1() {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps = postings(5000);
+        let v2 = write_dewey_list(&mut pool, seg, &ps).unwrap();
+        let v1 = write_dewey_list_v1(&mut pool, seg, &ps);
+        assert!(
+            v2.info.meta.used_bytes < v1.meta.used_bytes,
+            "v2 ({}) should be denser than v1 ({})",
+            v2.info.meta.used_bytes,
+            v1.meta.used_bytes
+        );
     }
 
     #[test]
@@ -574,9 +1405,9 @@ mod tests {
         let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         // Decode the middle page directly; its first key must match the
         // recorded page_first.
-        let mid = w.meta.page_count / 2;
-        let page = pool.read(PageId::new(seg, w.meta.start_page + mid)).unwrap().to_vec();
-        let decoded = decode_dewey_page(&page).unwrap();
+        let mid = w.info.meta.page_count / 2;
+        let page = pool.read(PageId::new(seg, w.info.meta.start_page + mid)).unwrap().to_vec();
+        let decoded = decode_dewey_page(&page, ListFormat::V2).unwrap();
         assert!(!decoded.is_empty());
         assert_eq!(
             codec::encode_id(&decoded[0].dewey),
@@ -585,13 +1416,85 @@ mod tests {
     }
 
     #[test]
+    fn next_seek_matches_linear_scan() {
+        let mut pool = BufferPool::new(MemStore::new(), 4096);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps = postings(5000);
+        let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
+        // Seek to a spread of targets (present, absent, block boundaries,
+        // before-start, past-end) and compare against a fresh linear scan.
+        let block0_last = 126usize; // MAX_BLOCK_ENTRIES - 1
+        let targets: Vec<DeweyId> = vec![
+            DeweyId::from([0, 0, 0, 0]),
+            ps[block0_last].dewey.clone(),
+            ps[block0_last + 1].dewey.clone(),
+            ps[700].dewey.clone(),
+            DeweyId::from([0, 0, 70, 5]),
+            DeweyId::from([0, 0, 71, 0]),
+            ps[4999].dewey.clone(),
+            DeweyId::from([9, 9]),
+        ];
+        let mut sorted = targets.clone();
+        sorted.sort();
+        let mut seeker = ListReader::new(seg, &w.info, ListKind::Dewey);
+        for t in &sorted {
+            seeker.next_seek(&pool, t).unwrap();
+            let got = seeker.peek(&pool).unwrap().map(|p| p.dewey.clone());
+            let expect = ps.iter().map(|p| &p.dewey).find(|d| *d >= t).cloned();
+            assert_eq!(got, expect, "seek target {t:?}");
+        }
+        assert!(
+            seeker.blocks_skipped() > 0,
+            "long jumps should skip whole blocks"
+        );
+        // Seeking backward is a no-op.
+        let head = seeker.peek(&pool).unwrap().map(|p| p.dewey.clone());
+        seeker.next_seek(&pool, &DeweyId::from([0, 0, 0, 0])).unwrap();
+        assert_eq!(seeker.peek(&pool).unwrap().map(|p| p.dewey.clone()), head);
+    }
+
+    #[test]
+    fn next_seek_on_v1_list_is_linear_but_correct() {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps = postings(500);
+        let info = write_dewey_list_v1(&mut pool, seg, &ps);
+        let mut r = ListReader::new(seg, &info, ListKind::Dewey);
+        r.next_seek(&pool, &ps[300].dewey).unwrap();
+        assert_eq!(r.peek(&pool).unwrap().unwrap().dewey, ps[300].dewey);
+        assert_eq!(r.blocks_skipped(), 0);
+    }
+
+    #[test]
+    fn rank_bound_is_exact_on_rank_lists() {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let mut ps = postings(800);
+        ps.sort_by(|a, b| b.rank.total_cmp(&a.rank).then(a.dewey.cmp(&b.dewey)));
+        let info = write_rank_list(&mut pool, seg, &ps).unwrap();
+        let mut r = ListReader::new(seg, &info, ListKind::Rank);
+        for expect in &ps {
+            let bound = r.rank_bound(&pool).unwrap().unwrap();
+            assert_eq!(
+                bound.to_bits(),
+                expect.rank.to_bits(),
+                "descending list: bound is exactly the next rank"
+            );
+            let got = r.next(&pool).unwrap().unwrap();
+            assert_eq!(got.rank.to_bits(), expect.rank.to_bits());
+        }
+        assert_eq!(r.rank_bound(&pool).unwrap(), None);
+        assert!(r.at_end());
+    }
+
+    #[test]
     fn rank_list_roundtrip_preserves_order() {
         let mut pool = BufferPool::new(MemStore::new(), 1024);
         let seg = pool.store_mut().create_segment().unwrap();
         let mut ps = postings(500);
         ps.sort_by(|a, b| b.rank.total_cmp(&a.rank).then(a.dewey.cmp(&b.dewey)));
-        let meta = write_rank_list(&mut pool, seg, &ps).unwrap();
-        let mut r = ListReader::new(seg, meta, ListKind::Rank);
+        let info = write_rank_list(&mut pool, seg, &ps).unwrap();
+        let mut r = ListReader::new(seg, &info, ListKind::Rank);
         let mut prev_rank = f32::INFINITY;
         let mut n = 0;
         while let Some(p) = r.next(&pool).unwrap() {
@@ -610,15 +1513,34 @@ mod tests {
             .map(|i| NaivePosting { elem: i * 2, rank: 0.5, positions: vec![i] })
             .collect();
         for delta in [true, false] {
-            let meta = write_naive_list(&mut pool, seg, &ps, delta).unwrap();
-            let mut r = NaiveListReader::new(seg, meta, delta);
+            let info = write_naive_list(&mut pool, seg, &ps, delta).unwrap();
+            let mut r = NaiveListReader::new(seg, &info, delta);
             for expect in &ps {
                 let got = r.next(&pool).unwrap().unwrap();
                 assert_eq!(got.elem, expect.elem);
                 assert_eq!(got.positions, expect.positions);
             }
             assert!(r.next(&pool).unwrap().is_none());
+            assert!(r.at_end());
         }
+    }
+
+    #[test]
+    fn naive_next_seek_matches_linear() {
+        let mut pool = BufferPool::new(MemStore::new(), 4096);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps: Vec<NaivePosting> = (0..6000)
+            .map(|i| NaivePosting { elem: i * 3, rank: 0.5, positions: vec![i] })
+            .collect();
+        let info = write_naive_list(&mut pool, seg, &ps, true).unwrap();
+        let mut r = NaiveListReader::new(seg, &info, true);
+        for target in [0u32, 5, 381, 382, 9000, 17_999, 18_000] {
+            r.next_seek(&pool, target).unwrap();
+            let got = r.peek(&pool).unwrap().map(|p| p.elem);
+            let expect = ps.iter().map(|p| p.elem).find(|&e| e >= target);
+            assert_eq!(got, expect, "seek target {target}");
+        }
+        assert!(r.blocks_skipped() > 0, "long jumps should skip blocks");
     }
 
     #[test]
@@ -626,9 +1548,11 @@ mod tests {
         let mut pool = BufferPool::new(MemStore::new(), 64);
         let seg = pool.store_mut().create_segment().unwrap();
         let w = write_dewey_list(&mut pool, seg, &[]).unwrap();
-        assert_eq!(w.meta.page_count, 0);
-        let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
+        assert_eq!(w.info.meta.page_count, 0);
+        assert!(w.info.skip_table().blocks.is_empty());
+        let mut r = ListReader::new(seg, &w.info, ListKind::Dewey);
         assert!(r.next(&pool).unwrap().is_none());
+        assert!(r.exhausted());
     }
 
     #[test]
@@ -637,11 +1561,29 @@ mod tests {
         let seg = pool.store_mut().create_segment().unwrap();
         let ps = postings(5);
         let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
-        let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
+        let mut r = ListReader::new(seg, &w.info, ListKind::Dewey);
         let first = r.peek(&pool).unwrap().unwrap().dewey.clone();
         assert_eq!(r.peek(&pool).unwrap().unwrap().dewey, first);
         assert_eq!(r.next(&pool).unwrap().unwrap().dewey, first);
         assert_eq!(r.consumed(), 1);
+    }
+
+    #[test]
+    fn budgeted_packing_respects_budget() {
+        let mut pool = BufferPool::new(MemStore::new(), 1024);
+        let seg = pool.store_mut().create_segment().unwrap();
+        let ps = postings(400);
+        let full = write_dewey_list(&mut pool, seg, &ps).unwrap();
+        let tight = write_dewey_list_budgeted(&mut pool, seg, &ps, 256).unwrap();
+        assert!(
+            tight.info.meta.page_count > full.info.meta.page_count,
+            "smaller budget must spread over more pages"
+        );
+        let mut r = ListReader::new(seg, &tight.info, ListKind::Dewey);
+        for expect in &ps {
+            assert_eq!(r.next(&pool).unwrap().unwrap().dewey, expect.dewey);
+        }
+        assert!(r.next(&pool).unwrap().is_none());
     }
 
     #[test]
@@ -652,10 +1594,10 @@ mod tests {
         let w = write_dewey_list(&mut pool, seg, &ps).unwrap();
         pool.clear_cache();
         pool.reset_stats();
-        let mut r = ListReader::new(seg, w.meta, ListKind::Dewey);
+        let mut r = ListReader::new(seg, &w.info, ListKind::Dewey);
         while r.next(&pool).unwrap().is_some() {}
         let s = pool.stats();
         assert_eq!(s.rand_reads, 1, "one initial seek");
-        assert_eq!(s.seq_reads as u32, w.meta.page_count - 1);
+        assert_eq!(s.seq_reads as u32, w.info.meta.page_count - 1);
     }
 }

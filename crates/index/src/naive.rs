@@ -8,7 +8,7 @@
 //! can probe for the other keywords ("a hash-index is sufficient" since
 //! ancestor ids are explicit and no common-prefix computation is needed).
 
-use crate::listio::{self, ListMeta, NaiveListReader};
+use crate::listio::{self, ListInfo, ListMeta, NaiveListReader};
 use crate::posting::{self, NaivePosting};
 use crate::SpaceBreakdown;
 use xrank_graph::{ElemId, TermId};
@@ -25,7 +25,7 @@ fn hash_key(term: TermId, elem: ElemId) -> u64 {
 pub struct NaiveIdIndex {
     /// Segment holding the lists.
     pub segment: SegmentId,
-    lists: Vec<Option<ListMeta>>,
+    lists: Vec<Option<ListInfo>>,
 }
 
 impl NaiveIdIndex {
@@ -65,13 +65,18 @@ impl NaiveIdIndex {
 
     /// Metadata of a term's list.
     pub fn meta(&self, term: TermId) -> Option<ListMeta> {
-        self.lists.get(term.index()).copied().flatten()
+        self.info(term).map(|i| i.meta)
+    }
+
+    /// Full list descriptor of a term.
+    pub fn info(&self, term: TermId) -> Option<&ListInfo> {
+        self.lists.get(term.index()).and_then(|i| i.as_ref())
     }
 
     /// Streaming reader (element-id order).
     pub fn reader(&self, term: TermId) -> Option<NaiveListReader> {
-        self.meta(term)
-            .map(|meta| NaiveListReader::new(self.segment, meta, true))
+        self.info(term)
+            .map(|info| NaiveListReader::new(self.segment, info, true))
     }
 
     /// Serializes the index directory.
@@ -91,7 +96,7 @@ impl NaiveIdIndex {
     /// Table 1 space: lists only (byte-granular).
     pub fn space<S: PageStore>(&self, _pool: &BufferPool<S>) -> SpaceBreakdown {
         SpaceBreakdown {
-            list_bytes: self.lists.iter().flatten().map(|m| m.used_bytes).sum(),
+            list_bytes: self.lists.iter().flatten().map(|i| i.meta.used_bytes).sum(),
             index_bytes: 0,
         }
     }
@@ -103,7 +108,7 @@ impl NaiveIdIndex {
 pub struct NaiveRankIndex {
     /// Segment holding the lists.
     pub segment: SegmentId,
-    lists: Vec<Option<ListMeta>>,
+    lists: Vec<Option<ListInfo>>,
     /// `(term, elem)` → payload hash index.
     pub hash: HashIndex,
 }
@@ -152,13 +157,18 @@ impl NaiveRankIndex {
 
     /// Metadata of a term's list.
     pub fn meta(&self, term: TermId) -> Option<ListMeta> {
-        self.lists.get(term.index()).copied().flatten()
+        self.info(term).map(|i| i.meta)
+    }
+
+    /// Full list descriptor of a term.
+    pub fn info(&self, term: TermId) -> Option<&ListInfo> {
+        self.lists.get(term.index()).and_then(|i| i.as_ref())
     }
 
     /// Streaming reader (rank order).
     pub fn reader(&self, term: TermId) -> Option<NaiveListReader> {
-        self.meta(term)
-            .map(|meta| NaiveListReader::new(self.segment, meta, false))
+        self.info(term)
+            .map(|info| NaiveListReader::new(self.segment, info, false))
     }
 
     /// Membership probe: does `elem` appear in `term`'s list? Returns the
@@ -204,7 +214,7 @@ impl NaiveRankIndex {
     /// Table 1 space: lists (byte-granular) + hash index (page-granular).
     pub fn space<S: PageStore>(&self, pool: &BufferPool<S>) -> SpaceBreakdown {
         SpaceBreakdown {
-            list_bytes: self.lists.iter().flatten().map(|m| m.used_bytes).sum(),
+            list_bytes: self.lists.iter().flatten().map(|i| i.meta.used_bytes).sum(),
             index_bytes: self.hash.total_pages(pool) as u64 * PAGE_SIZE as u64,
         }
     }

@@ -50,13 +50,7 @@ pub struct NaivePosting {
 /// Appends `rank` + positions payload (no Dewey) to `out`.
 pub fn encode_payload(rank: f32, positions: &[u32], out: &mut Vec<u8>) {
     out.extend_from_slice(&rank.to_le_bytes());
-    codec::write_component(positions.len() as u32, out);
-    let mut prev = 0u32;
-    for (i, &p) in positions.iter().enumerate() {
-        let delta = if i == 0 { p } else { p - prev };
-        codec::write_component(delta, out);
-        prev = p;
-    }
+    encode_positions(positions, out);
 }
 
 /// Size of [`encode_payload`]'s output.
@@ -78,9 +72,32 @@ pub fn decode_payload(buf: &[u8]) -> Result<(f32, Vec<u32>, usize), DecodeError>
         return Err(DecodeError::Truncated);
     }
     let rank = f32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
-    let mut off = 4;
-    let (npos, n) = codec::read_component(&buf[off..])?;
-    off += n;
+    let (positions, n) = decode_positions(&buf[4..])?;
+    Ok((rank, positions, 4 + n))
+}
+
+/// Appends the positions part of a payload (count + deltas, no rank) —
+/// the v2 block codec stores ranks in a per-block dictionary instead of
+/// inline, so its entries carry only this part.
+pub fn encode_positions(positions: &[u32], out: &mut Vec<u8>) {
+    codec::write_component(positions.len() as u32, out);
+    let mut prev = 0u32;
+    for (i, &p) in positions.iter().enumerate() {
+        let delta = if i == 0 { p } else { p - prev };
+        codec::write_component(delta, out);
+        prev = p;
+    }
+}
+
+/// Size of [`encode_positions`]'s output.
+pub fn positions_len(positions: &[u32]) -> usize {
+    payload_len(positions) - 4
+}
+
+/// Decodes positions written by [`encode_positions`], returning
+/// `(positions, bytes_consumed)`.
+pub fn decode_positions(buf: &[u8]) -> Result<(Vec<u32>, usize), DecodeError> {
+    let (npos, mut off) = codec::read_component(buf)?;
     // Every position takes at least one byte, so a count beyond the
     // remaining bytes is corruption — reject before reserving capacity.
     if npos as usize > buf.len() - off {
@@ -98,7 +115,7 @@ pub fn decode_payload(buf: &[u8]) -> Result<(f32, Vec<u32>, usize), DecodeError>
         };
         positions.push(cur);
     }
-    Ok((rank, positions, off))
+    Ok((positions, off))
 }
 
 /// Appends a full list entry: delta-encoded Dewey (against `prev`, `None`

@@ -8,7 +8,7 @@
 //! realized as **one** B+-tree over the composite key `(term, dewey)` —
 //! equivalent to per-term trees with perfect page sharing.
 
-use crate::listio::{self, ListKind, ListMeta, ListReader};
+use crate::listio::{self, ListInfo, ListKind, ListMeta, ListReader};
 use crate::posting::{self, Posting};
 use crate::SpaceBreakdown;
 use xrank_dewey::DeweyId;
@@ -21,7 +21,7 @@ use xrank_storage::{BufferPool, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 pub struct RdilIndex {
     /// Segment holding the rank-ordered lists.
     pub segment: SegmentId,
-    lists: Vec<Option<ListMeta>>,
+    lists: Vec<Option<ListInfo>>,
     /// Composite `(term, dewey) → payload` B+-tree.
     pub tree: SortedKv,
 }
@@ -84,13 +84,18 @@ impl RdilIndex {
 
     /// Metadata of a term's rank-ordered list.
     pub fn meta(&self, term: TermId) -> Option<ListMeta> {
-        self.lists.get(term.index()).copied().flatten()
+        self.info(term).map(|i| i.meta)
+    }
+
+    /// Full list info (meta + format + skip table).
+    pub fn info(&self, term: TermId) -> Option<&ListInfo> {
+        self.lists.get(term.index()).and_then(|i| i.as_ref())
     }
 
     /// Streaming reader over a term's list (rank order).
     pub fn reader(&self, term: TermId) -> Option<ListReader> {
-        self.meta(term)
-            .map(|meta| ListReader::new(self.segment, meta, ListKind::Rank))
+        self.info(term)
+            .map(|info| ListReader::new(self.segment, info, ListKind::Rank))
     }
 
     /// The Figure 7 probe (`getLongestCommonPrefix` building block): the
@@ -177,7 +182,7 @@ impl RdilIndex {
     /// (page-granular — its pages are bulk-packed near full).
     pub fn space<S: PageStore>(&self, pool: &BufferPool<S>) -> SpaceBreakdown {
         SpaceBreakdown {
-            list_bytes: self.lists.iter().flatten().map(|m| m.used_bytes).sum(),
+            list_bytes: self.lists.iter().flatten().map(|i| i.meta.used_bytes).sum(),
             index_bytes: self.tree.total_pages(pool) as u64 * PAGE_SIZE as u64,
         }
     }

@@ -150,6 +150,50 @@ pub fn evaluate_traced<S: PageStore>(
         if guard.should_stop()? {
             break;
         }
+        // Document-granularity leapfrog. Every posting consumed so far has
+        // a document at or before the stack's, so a document strictly
+        // between the stack's and the largest head document is missing the
+        // keyword whose head sits at that largest document — it cannot be
+        // a result, and its postings can only be pushed and fruitlessly
+        // popped. Readers lagging in such documents jump straight to the
+        // largest head document; with v2 lists the skip table turns the
+        // jump into whole-block skips instead of a decode-and-drop scan.
+        // Readers still inside the stack's document are never moved: their
+        // postings feed the frames currently being assembled.
+        if n > 1 {
+            let stack_doc = path.first().copied();
+            let mut max_doc = 0u32;
+            let mut min_doc = u32::MAX;
+            let mut any_exhausted = false;
+            for reader in readers.iter_mut() {
+                match reader.peek(pool)? {
+                    Some(p) => {
+                        let doc = p.dewey.components()[0];
+                        max_doc = max_doc.max(doc);
+                        min_doc = min_doc.min(doc);
+                    }
+                    None => any_exhausted = true,
+                }
+            }
+            if any_exhausted {
+                // A keyword's list is finished: no later document can
+                // contain all keywords. Keep merging only while some head
+                // is still inside the stack's document, then stop and let
+                // the flush below emit what the stack already holds.
+                if min_doc == u32::MAX || stack_doc != Some(min_doc) {
+                    break;
+                }
+            } else if min_doc < max_doc {
+                let target = DeweyId::from([max_doc]);
+                for reader in readers.iter_mut() {
+                    let Some(p) = reader.peek(pool)? else { continue };
+                    let doc = p.dewey.components()[0];
+                    if doc < max_doc && stack_doc != Some(doc) {
+                        reader.next_seek(pool, &target)?;
+                    }
+                }
+            }
+        }
         // Line 8: the reader whose next entry has the smallest Dewey ID.
         let mut smallest: Option<(usize, DeweyId)> = None;
         for (i, reader) in readers.iter_mut().enumerate() {
@@ -205,6 +249,10 @@ pub fn evaluate_traced<S: PageStore>(
         }
     }
     drop(merge_span);
+    for reader in &readers {
+        stats.blocks_decoded += reader.blocks_decoded();
+        stats.blocks_skipped += reader.blocks_skipped();
+    }
     trace.event(
         Stage::DeweyMerge,
         EventData::Count { what: "entries_scanned", n: stats.entries_scanned },

@@ -178,6 +178,8 @@ pub fn evaluate_traced<S: PageStore>(
         cursor_descents: rdil_stats.cursor_descents,
         hash_probes: 0,
         range_scans: rdil_stats.range_scans,
+        blocks_decoded: outcome.stats.blocks_decoded + rdil_stats.blocks_decoded,
+        blocks_skipped: outcome.stats.blocks_skipped + rdil_stats.blocks_skipped,
         switched_to_dil: true,
         switch: Some(decision),
     };

@@ -241,6 +241,11 @@ pub struct EvalStats {
     pub cursor_descents: u64,
     /// Hash-index lookups issued.
     pub hash_probes: u64,
+    /// Compressed list blocks decoded (v2 block format; 0 on v1 stores).
+    pub blocks_decoded: u64,
+    /// Compressed list blocks skipped whole — their skip entry proved no
+    /// needed posting could live inside, so they were never decoded.
+    pub blocks_skipped: u64,
     /// Prefix range scans issued.
     pub range_scans: u64,
     /// HDIL only: the adaptive strategy abandoned RDIL for DIL.

@@ -95,25 +95,19 @@ pub fn evaluate_id_traced<S: PageStore>(
         let mut group: Vec<NaivePosting> = Vec::with_capacity(readers.len());
         let mut aligned = true;
         for r in readers.iter_mut() {
-            loop {
-                match r.peek(pool)? {
-                    Some(p) if p.elem < target => {
-                        r.next(pool)?;
-                        stats.entries_scanned += 1;
-                    }
-                    Some(p) if p.elem == target => {
-                        // The peek just buffered this entry.
-                        let Some(p) = r.next(pool)? else { break 'merge };
-                        group.push(p);
-                        stats.entries_scanned += 1;
-                        break;
-                    }
-                    Some(_) => {
-                        aligned = false;
-                        break;
-                    }
-                    None => break 'merge,
+            // Leapfrog: jump straight to the first posting at or past the
+            // merge target. On v2 lists the skip table lets whole blocks
+            // below the target go undecoded.
+            r.next_seek(pool, target)?;
+            match r.peek(pool)? {
+                Some(p) if p.elem == target => {
+                    // The peek just buffered this entry.
+                    let Some(p) = r.next(pool)? else { break 'merge };
+                    group.push(p);
+                    stats.entries_scanned += 1;
                 }
+                Some(_) => aligned = false,
+                None => break 'merge,
             }
         }
         if aligned && group.len() == readers.len() {
@@ -122,6 +116,10 @@ pub fn evaluate_id_traced<S: PageStore>(
         }
     }
     drop(merge_span);
+    for r in &readers {
+        stats.blocks_decoded += r.blocks_decoded();
+        stats.blocks_skipped += r.blocks_skipped();
+    }
     trace.event(
         Stage::MergeJoin,
         EventData::Count { what: "entries_scanned", n: stats.entries_scanned },
@@ -185,11 +183,11 @@ pub fn evaluate_rank_traced<S: PageStore>(
         if guard.should_stop()? {
             break;
         }
-        // Round-robin over non-exhausted lists.
+        // Round-robin over non-exhausted lists (pure count check, no I/O).
         let mut picked = None;
         for off in 0..n {
             let i = (next_list + off) % n;
-            if readers[i].peek(pool)?.is_some() {
+            if !readers[i].at_end() {
                 picked = Some(i);
                 break;
             }
@@ -197,25 +195,15 @@ pub fn evaluate_rank_traced<S: PageStore>(
         // Any fully-drained list implies every intersection member was
         // seen through that list — done.
         let Some(il) = picked else { break };
-        let mut other_drained = false;
-        for (i, reader) in readers.iter_mut().enumerate() {
-            if i != il && reader.peek(pool)?.is_none() {
-                other_drained = true;
-                break;
-            }
-        }
-        if other_drained {
+        if readers.iter().enumerate().any(|(i, r)| i != il && r.at_end()) {
             break;
         }
         next_list = (il + 1) % n;
 
-        // The round-robin peek buffered this entry.
+        // The count-based pick says the list still has entries.
         let Some(current) = readers[il].next(pool)? else { break };
         stats.entries_scanned += 1;
-        frontier[il] = readers[il]
-            .peek(pool)?
-            .map(|_| current.rank as f64)
-            .unwrap_or(0.0);
+        frontier[il] = if readers[il].at_end() { 0.0 } else { current.rank as f64 };
 
         if seen.insert(current.elem) {
             // Probe the other lists for this element.
@@ -265,6 +253,10 @@ pub fn evaluate_rank_traced<S: PageStore>(
         }
     }
     drop(ta_span);
+    for r in &readers {
+        stats.blocks_decoded += r.blocks_decoded();
+        stats.blocks_skipped += r.blocks_skipped();
+    }
     guard.note(trace);
 
     Ok(QueryOutcome { results: heap.into_sorted(), stats, degraded: guard.degraded() })

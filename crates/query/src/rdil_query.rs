@@ -141,10 +141,13 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
             }
         }
         // Initialize the threshold frontier with each list's best rank.
+        // `rank_bound` answers from the skip table's per-block max rank on
+        // v2 lists (the first block's bound *is* the first entry's rank on
+        // a rank-sorted list), so seeding costs no page reads there.
         let mut frontier = vec![0.0f64; readers.len()];
         if viable {
             for (i, r) in readers.iter_mut().enumerate() {
-                frontier[i] = r.peek(pool)?.map(|p| p.rank as f64).unwrap_or(0.0);
+                frontier[i] = r.rank_bound(pool)?.map(|b| b as f64).unwrap_or(0.0);
             }
         }
         drop(open_span);
@@ -194,9 +197,15 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         self.done
     }
 
-    /// Work counters so far.
+    /// Work counters so far, including the readers' block decode/skip
+    /// tallies (collected on demand — the readers own the live counts).
     pub fn stats(&self) -> EvalStats {
-        self.stats
+        let mut s = self.stats;
+        for r in &self.readers {
+            s.blocks_decoded += r.blocks_decoded();
+            s.blocks_skipped += r.blocks_skipped();
+        }
+        s
     }
 
     /// Consumes one list entry (round-robin) and processes it.
@@ -212,12 +221,14 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         // so TA early termination is unsound; scan to the end instead.
         let ta_safe = self.opts.aggregation == Aggregation::Max;
 
-        // Pick the next non-exhausted list round-robin.
+        // Pick the next non-exhausted list round-robin. Exhaustion is a
+        // pure entry-count check — no page read just to learn a list is
+        // (not) finished.
         let n = self.readers.len();
         let mut picked = None;
         for off in 0..n {
             let i = (self.next_list + off) % n;
-            if self.readers[i].peek(pool)?.is_some() {
+            if !self.readers[i].at_end() {
                 picked = Some(i);
                 break;
             }
@@ -235,14 +246,14 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
         };
         self.next_list = (il + 1) % n;
 
-        // The round-robin peek buffered this entry, so `next` cannot be
-        // `None`.
+        // The count-based pick says the list still has entries, so `next`
+        // cannot be `None`.
         let Some(current) = self.readers[il].next(pool)? else {
             self.done = true;
             return Ok(StepOutcome::Done);
         };
         self.stats.entries_scanned += 1;
-        self.frontier[il] = if self.readers[il].peek(pool)?.is_some() {
+        self.frontier[il] = if !self.readers[il].at_end() {
             current.rank as f64
         } else if self.access.rank_lists_complete() {
             // List fully consumed: nothing below can contribute.
@@ -357,9 +368,10 @@ impl<'a, S: PageStore, A: RankedAccess<S>> RdilRun<'a, S, A> {
     /// run stopped early on its deadline or I/O budget).
     pub fn finish(self) -> QueryOutcome {
         self.guard.note(self.trace);
+        let stats = self.stats();
         QueryOutcome {
             results: self.heap.into_sorted(),
-            stats: self.stats,
+            stats,
             degraded: self.guard.degraded(),
         }
     }

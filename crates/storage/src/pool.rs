@@ -89,6 +89,18 @@ pub const STREAMS_PER_SEGMENT: usize = 16;
 #[derive(Debug, Clone)]
 pub struct PageRef {
     data: Arc<[u8]>,
+    fresh: bool,
+}
+
+impl PageRef {
+    /// True when this pin performed the physical read that brought the
+    /// page into the cache (false on cache hits). Integrity layers use
+    /// this to verify page checksums once per physical read instead of
+    /// once per pin: bytes served from the cache were verified when they
+    /// came off the medium.
+    pub fn fresh(&self) -> bool {
+        self.fresh
+    }
 }
 
 impl std::ops::Deref for PageRef {
@@ -287,7 +299,7 @@ impl<S: PageStore> BufferPool<S> {
                 self.stats.add_hit();
                 let s = &mut shard.slots[slot];
                 s.referenced = true;
-                return Ok(PageRef { data: Arc::clone(&s.data) });
+                return Ok(PageRef { data: Arc::clone(&s.data), fresh: false });
             }
         }
         // Fast-fail before touching the ledger or the store: an open
@@ -325,13 +337,14 @@ impl<S: PageStore> BufferPool<S> {
         let mut shard = lock(&self.shards[si]);
         if let Some(&slot) = shard.map.get(&id) {
             // A concurrent reader cached it while we hit the store; adopt
-            // the cached copy so all handles alias one allocation.
+            // the cached copy so all handles alias one allocation. The
+            // concurrent reader's pin is the fresh one.
             let s = &mut shard.slots[slot];
             s.referenced = true;
-            return Ok(PageRef { data: Arc::clone(&s.data) });
+            return Ok(PageRef { data: Arc::clone(&s.data), fresh: false });
         }
         shard.install(id, Arc::clone(&data), &self.evictions, &self.hand_steps);
-        Ok(PageRef { data })
+        Ok(PageRef { data, fresh: true })
     }
 
     /// The physical read, re-issued for transient faults per the retry
