@@ -1,0 +1,241 @@
+//! E12 — update pipeline: read latency through commits and compactions.
+//!
+//! The snapshot-isolation claim of DESIGN §4.13 is that writers never
+//! block readers: a search pins an immutable snapshot `Arc` and runs to
+//! completion while commits seal new segments and the background
+//! compactor folds old ones. This bench measures it directly — the same
+//! read workload is timed twice against a durable [`UpdatableXRank`]:
+//!
+//! 1. **quiescent** — no writes in flight; and
+//! 2. **mixed** — a writer thread churns documents through
+//!    add/replace/delete + commit while a [`Compactor`] folds segments.
+//!
+//! The gate: mixed p99 read latency must stay within 2x the quiescent
+//! p99 (with a small absolute floor so a sub-microsecond quiescent p99
+//! on a tiny corpus doesn't make the multiplier meaningless). The
+//! process exits nonzero if it fails. Results land in
+//! `BENCH_updates.json` (override with `BENCH_UPDATES_OUT`);
+//! `scripts/update_smoke.sh` runs this in fast mode
+//! (`BENCH_UPDATES_FAST=1`).
+//!
+//! ```sh
+//! cargo run --release -p xrank-bench --bin e12_updates
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use xrank_bench::table::Table;
+use xrank_bench::{fixture, BenchConfig, DatasetKind};
+use xrank_core::{CompactionPolicy, Compactor, EngineConfig, UpdatableXRank};
+use xrank_datagen::workload::{query, Correlation};
+
+/// Reader threads timing the search workload.
+const READERS: usize = 2;
+
+/// Gate: mixed p99 must stay within this multiple of the quiescent p99.
+const GATE_FACTOR: f64 = 2.0;
+
+/// Absolute floor for the gate baseline: below this, the corpus is so
+/// small that a fixed scheduling hiccup would dominate the multiplier.
+const GATE_FLOOR: Duration = Duration::from_micros(500);
+
+fn fast_mode() -> bool {
+    std::env::var("BENCH_UPDATES_FAST").is_ok_and(|v| v != "0")
+}
+
+fn window() -> Duration {
+    if fast_mode() { Duration::from_millis(400) } else { Duration::from_millis(2000) }
+}
+
+fn workload_queries() -> Vec<String> {
+    let mut qs = Vec::new();
+    for group in 0..2 {
+        for n in [2, 3] {
+            for corr in [Correlation::High, Correlation::Low] {
+                qs.push(query(corr, group, n).join(" "));
+            }
+        }
+    }
+    qs
+}
+
+fn build_pipeline(dir: &std::path::Path) -> UpdatableXRank {
+    let publications = if fast_mode() { 200 } else { 800 };
+    let ds = fixture::generate_dataset(&BenchConfig::standard(DatasetKind::Dblp { publications }));
+    let config = EngineConfig { pool_pages: 2048, ..Default::default() };
+    let e = UpdatableXRank::open(dir, config).expect("writable bench dir");
+    for (uri, xml) in &ds.docs {
+        e.add_xml(uri, xml).expect("generated XML parses");
+    }
+    e.commit().expect("initial commit");
+    e
+}
+
+/// p-th percentile (nearest-rank) of a sorted latency sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Runs `READERS` timing threads over the workload for one window,
+/// optionally alongside `writer`, and returns the sorted latency sample.
+fn measure(
+    e: &Arc<UpdatableXRank>,
+    queries: &[String],
+    writer: Option<&dyn Fn(&AtomicBool)>,
+) -> Vec<Duration> {
+    let stop = AtomicBool::new(false);
+    let all = Mutex::new(Vec::new());
+    let win = window();
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let e = Arc::clone(e);
+            let (stop, all) = (&stop, &all);
+            scope.spawn(move || {
+                let mut lat = Vec::with_capacity(4096);
+                let mut i = r;
+                let t0 = Instant::now();
+                while t0.elapsed() < win && !stop.load(Ordering::Relaxed) {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    let sent = Instant::now();
+                    let res = e.search(q, 10).expect("read must never fail mid-write");
+                    assert!(!res.hits.is_empty(), "workload query {q:?} returned no hits");
+                    lat.push(sent.elapsed());
+                }
+                all.lock().unwrap().append(&mut lat);
+            });
+        }
+        if let Some(writer) = writer {
+            writer(&stop);
+            stop.store(true, Ordering::Relaxed);
+        }
+    });
+    let mut lat = all.into_inner().unwrap();
+    lat.sort_unstable();
+    lat
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("xrank-bench-e12-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("E12 — update pipeline: {READERS} readers, 1 writer ({hw} hardware thread(s))\n");
+
+    print!("building pipeline... ");
+    let t0 = Instant::now();
+    let e = Arc::new(build_pipeline(&dir));
+    println!("{:.1}s ({} docs)", t0.elapsed().as_secs_f64(), e.doc_count());
+
+    let queries = workload_queries();
+    // Warm the per-segment caches before timing anything.
+    for q in &queries {
+        e.search(q, 10).expect("warmup query");
+    }
+
+    let quiescent = measure(&e, &queries, None);
+
+    // Mixed run: the writer churns small documents — add, replace (an
+    // immediate tombstone plus a staged re-add), delete — committing each
+    // round, while the background compactor folds the small segments it
+    // leaves behind. The big initial segment stays out of the folds, as
+    // it would in a deployment.
+    let compactor = Compactor::spawn(
+        &e,
+        CompactionPolicy {
+            max_segments: 4,
+            small_bytes: 256 << 10,
+            interval: Duration::from_millis(25),
+        },
+    );
+    let commits = AtomicU64::new(0);
+    let writer = |stop: &AtomicBool| {
+        let win = window();
+        let t0 = Instant::now();
+        let mut round = 0u64;
+        while t0.elapsed() < win && !stop.load(Ordering::Relaxed) {
+            let uri = format!("churn-{}", round % 8);
+            let xml = format!(
+                "<doc><title>churned entry {round}</title>\
+                 <body>transient text for update round {round}</body></doc>"
+            );
+            e.add_xml(&uri, &xml).expect("churn add");
+            if round % 4 == 3 {
+                e.delete(&format!("churn-{}", (round + 1) % 8)).expect("churn delete");
+            }
+            e.commit().expect("churn commit");
+            commits.fetch_add(1, Ordering::Relaxed);
+            round += 1;
+        }
+    };
+    let mixed = measure(&e, &queries, Some(&writer));
+    drop(compactor); // shutdown: cancels any in-flight fold, joins
+
+    let commits = commits.load(Ordering::Relaxed);
+    assert!(commits > 0, "mixed window saw no commits — nothing was measured");
+
+    let q99 = percentile(&quiescent, 99.0);
+    let m99 = percentile(&mixed, 99.0);
+    let q50 = percentile(&quiescent, 50.0);
+    let m50 = percentile(&mixed, 50.0);
+    let baseline = q99.max(GATE_FLOOR);
+    let gate_ok = m99.as_secs_f64() <= GATE_FACTOR * baseline.as_secs_f64();
+
+    let mut t = Table::new(vec!["phase", "reads", "p50 us", "p99 us"]);
+    for (label, sample, p50, p99) in
+        [("quiescent", &quiescent, q50, q99), ("mixed", &mixed, m50, m99)]
+    {
+        t.row(vec![
+            label.to_string(),
+            sample.len().to_string(),
+            format!("{:.1}", p50.as_secs_f64() * 1e6),
+            format!("{:.1}", p99.as_secs_f64() * 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "mixed window: {commits} commits, {} segments live, {} tombstones pending",
+        e.segment_count(),
+        e.tombstone_count(),
+    );
+    println!(
+        "gate: mixed p99 {:.1}us vs {GATE_FACTOR}x quiescent baseline {:.1}us — {}",
+        m99.as_secs_f64() * 1e6,
+        GATE_FACTOR * baseline.as_secs_f64() * 1e6,
+        if gate_ok { "PASS" } else { "FAIL" }
+    );
+
+    let phase_json = |label: &str, sample: &[Duration], p50: Duration, p99: Duration| {
+        format!(
+            "{{\"phase\": \"{label}\", \"reads\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            sample.len(),
+            p50.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"updates\",\n  \"hardware_threads\": {hw},\n  \
+         \"readers\": {READERS},\n  \"commits\": {commits},\n  \
+         \"segments_live\": {},\n  \"gate_factor\": {GATE_FACTOR},\n  \
+         \"gate_floor_us\": {:.1},\n  \"latency_gate_ok\": {gate_ok},\n  \
+         \"phases\": [\n    {},\n    {}\n  ]\n}}\n",
+        e.segment_count(),
+        GATE_FLOOR.as_secs_f64() * 1e6,
+        phase_json("quiescent", &quiescent, q50, q99),
+        phase_json("mixed", &mixed, m50, m99),
+    );
+    let out =
+        std::env::var("BENCH_UPDATES_OUT").unwrap_or_else(|_| "BENCH_updates.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("update results written to {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

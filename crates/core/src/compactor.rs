@@ -1,0 +1,130 @@
+//! Background merge/compaction for the update pipeline.
+//!
+//! A [`Compactor`] owns one worker thread that periodically (or when
+//! [`Compactor::nudge`]d) checks the pipeline's published snapshot and,
+//! when commits have accumulated more than
+//! [`CompactionPolicy::max_segments`] segments, folds the small ones
+//! together through [`crate::UpdatableXRank::merge_small`] — dropping
+//! tombstoned postings, re-resolving cross-segment hyperlinks, and
+//! warm-starting ElemRank from the folded segments' rank vectors.
+//!
+//! The plumbing mirrors the [`crate::QueryExecutor`] worker pool:
+//! shutdown cancels a shared [`CancelToken`] (observed by an in-flight
+//! fold at its phase boundaries — a cancelled fold publishes nothing),
+//! wakes the worker, and joins it. The worker holds only a `Weak`
+//! reference to the pipeline, so dropping the last user `Arc` also ends
+//! the thread at its next wake-up.
+
+use crate::update::{UpdatableXRank, UpdateError};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+use xrank_query::CancelToken;
+
+/// When and what the background compactor folds.
+#[derive(Debug, Clone)]
+pub struct CompactionPolicy {
+    /// Fold when the published snapshot holds more than this many
+    /// segments.
+    pub max_segments: usize,
+    /// Only segments of at most this many source bytes are folded; big
+    /// sealed segments stay untouched until a full
+    /// [`crate::UpdatableXRank::compact`].
+    pub small_bytes: u64,
+    /// How often the worker re-checks without a nudge.
+    pub interval: Duration,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_segments: 4,
+            small_bytes: 8 << 20,
+            interval: Duration::from_millis(500),
+        }
+    }
+}
+
+struct Shared {
+    cancel: CancelToken,
+    nudged: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to the background compaction worker. Dropping it (or calling
+/// [`Compactor::shutdown`]) cancels any in-flight fold at its next phase
+/// boundary and joins the thread.
+pub struct Compactor {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawns the worker against `index` under `policy`.
+    pub fn spawn(index: &Arc<UpdatableXRank>, policy: CompactionPolicy) -> Compactor {
+        let shared = Arc::new(Shared {
+            cancel: CancelToken::new(),
+            nudged: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let weak: Weak<UpdatableXRank> = Arc::downgrade(index);
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("xrank-compactor".into())
+            .spawn(move || Self::worker_loop(weak, policy, worker_shared))
+            .expect("spawn compactor worker");
+        Compactor { shared, handle: Some(handle) }
+    }
+
+    fn worker_loop(weak: Weak<UpdatableXRank>, policy: CompactionPolicy, shared: Arc<Shared>) {
+        loop {
+            {
+                let guard = shared.nudged.lock().unwrap_or_else(|e| e.into_inner());
+                let (mut guard, _) = shared
+                    .cv
+                    .wait_timeout_while(guard, policy.interval, |nudged| {
+                        !*nudged && !shared.cancel.is_cancelled()
+                    })
+                    .unwrap_or_else(|e| e.into_inner());
+                *guard = false;
+            }
+            if shared.cancel.is_cancelled() {
+                return;
+            }
+            let Some(index) = weak.upgrade() else { return };
+            if index.segment_count() > policy.max_segments {
+                match index.merge_small(policy.small_bytes, Some(&shared.cancel)) {
+                    Ok(_) => {}
+                    Err(UpdateError::Cancelled) => return,
+                    // Fold failures are counted by the pipeline's
+                    // compaction-failure counter; the worker keeps
+                    // serving — one bad fold must not end compaction
+                    // forever.
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Wakes the worker now instead of waiting out the poll interval.
+    pub fn nudge(&self) {
+        let mut nudged = self.shared.nudged.lock().unwrap_or_else(|e| e.into_inner());
+        *nudged = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Cancels any in-flight fold (observed at its phase boundaries — a
+    /// cancelled fold publishes nothing) and joins the worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.cancel.cancel();
+        self.nudge();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

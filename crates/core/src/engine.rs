@@ -13,7 +13,7 @@ use xrank_index::{
 };
 use xrank_obs::{MetricsRegistry, QueryTrace, Stage};
 use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryError, QueryOptions};
-use xrank_rank::{elem_rank, ElemRankParams, RankResult};
+use xrank_rank::{elem_rank_seeded, ElemRankParams, RankResult};
 use xrank_storage::{
     BufferPool, CostModel, FaultPolicy, FileStore, MemStore, PageStore, StatsScope, StorageResult,
 };
@@ -105,6 +105,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     collection: CollectionBuilder,
     html_docs: HashSet<u32>,
+    rank_seed: Option<std::collections::HashMap<String, Vec<f64>>>,
 }
 
 impl EngineBuilder {
@@ -116,7 +117,21 @@ impl EngineBuilder {
     /// Builder with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         let collection = CollectionBuilder::with_spec(config.link_spec.clone());
-        EngineBuilder { config, collection, html_docs: HashSet::new() }
+        EngineBuilder { config, collection, html_docs: HashSet::new(), rank_seed: None }
+    }
+
+    /// Warm-starts the build-time ElemRank power iteration from a previous
+    /// index generation's rank vector: `seed` maps a document URI to that
+    /// document's per-element scores in element-id order (root first, the
+    /// order [`xrank_graph::DocInfo::element_count`] spans). Documents
+    /// absent from the map — and documents whose element count changed —
+    /// start from the random-jump mass for their slice. The converged
+    /// scores do not depend on the seed (the fixed point is unique); a good
+    /// seed only reduces the number of sweeps. Used by the update
+    /// pipeline's compactor, which folds segments whose contents mostly
+    /// overlap the merged result.
+    pub fn set_rank_seed(&mut self, seed: std::collections::HashMap<String, Vec<f64>>) {
+        self.rank_seed = Some(seed);
     }
 
     /// Sets the worker-thread count for the ElemRank power iteration run
@@ -180,7 +195,34 @@ impl EngineBuilder {
     /// typed [`xrank_storage::StorageError`] instead of a panic.
     pub fn build_with_store<S: PageStore>(self, store: S) -> StorageResult<XRankEngine<S>> {
         let collection = self.collection.build();
-        let ranks = elem_rank(&collection, &self.config.rank_params);
+        let seed = self.rank_seed.as_ref().and_then(|map| {
+            // Assemble the full-length start vector from per-document
+            // slices: a document's elements are contiguous in ElemId order
+            // (`[root, root + element_count)`), so the old scores drop
+            // straight into place. Unmatched documents get uniform
+            // per-document jump mass (the final formula's cold start for
+            // that slice); if nothing matches, skip seeding entirely.
+            let n = collection.element_count();
+            let nd = collection.doc_count() as f64;
+            let mut init = vec![0.0f64; n];
+            let mut matched = false;
+            for doc in collection.docs() {
+                let lo = doc.root as usize;
+                let hi = lo + doc.element_count as usize;
+                match map.get(&doc.uri) {
+                    Some(old) if old.len() == doc.element_count as usize => {
+                        init[lo..hi].copy_from_slice(old);
+                        matched = true;
+                    }
+                    _ => {
+                        let mass = 1.0 / (nd * doc.element_count as f64);
+                        init[lo..hi].fill(mass);
+                    }
+                }
+            }
+            matched.then_some(init)
+        });
+        let ranks = elem_rank_seeded(&collection, &self.config.rank_params, seed);
         let mut pool = BufferPool::new(store, self.config.pool_pages);
         pool.set_fault_policy(self.config.fault_policy);
 

@@ -31,16 +31,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compactor;
 mod engine;
 mod executor;
+mod manifest;
 mod persist;
 mod results;
+mod snapshot;
 mod telemetry;
 mod update;
 
+pub use compactor::{CompactionPolicy, Compactor};
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
 pub use executor::{AdmissionPolicy, QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
+pub use snapshot::Snapshot;
 pub use telemetry::{Explain, ObsConfig, SlowQueryEntry};
-pub use update::UpdatableXRank;
+pub use update::{
+    CommitStats, CompactStats, CrashPoint, PinnedSnapshot, UpdatableXRank, UpdateError,
+};
 pub use xrank_obs::DegradeReason;

@@ -60,7 +60,7 @@ fn bad(msg: &str) -> io::Error {
 }
 
 /// Fsyncs a directory so renames/creations inside it are durable.
-fn fsync_dir(dir: &Path) -> io::Result<()> {
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
     std::fs::File::open(dir)?.sync_all()
 }
 

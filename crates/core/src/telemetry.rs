@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
 use std::time::Duration;
-use xrank_obs::{Counter, EventData, Histogram, MetricsRegistry, Trace};
+use xrank_obs::{Counter, EventData, Gauge, Histogram, MetricsRegistry, Trace};
 use xrank_query::{EvalStats, QueryError};
 use xrank_storage::IoStats;
 
@@ -183,6 +183,53 @@ impl EngineMetrics {
 
     pub(crate) fn slot_for(strategy: Strategy) -> usize {
         strategy_slot(strategy)
+    }
+}
+
+/// Segment-lifecycle handles of the update pipeline, resolved once at
+/// pipeline construction (same discipline as [`EngineMetrics`]): commits,
+/// compactions and their failures as counters; the live shape of the
+/// pipeline (segments, staged docs, delta bytes, pinned snapshots) as
+/// gauges; build wall times as histograms.
+pub(crate) struct UpdateMetrics {
+    pub segments_live: Gauge,
+    pub staged_docs: Gauge,
+    pub delta_bytes: Gauge,
+    pub tombstones_live: Gauge,
+    pub snapshot_pins: Gauge,
+    pub commits: Counter,
+    pub commit_failures: Counter,
+    pub compactions: Counter,
+    pub compaction_failures: Counter,
+    pub tombstones_gced: Counter,
+    pub commit_wall_us: Histogram,
+    pub compact_wall_us: Histogram,
+}
+
+impl UpdateMetrics {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        UpdateMetrics {
+            segments_live: registry.gauge("xrank_update_segments_live"),
+            staged_docs: registry.gauge("xrank_update_staged_docs"),
+            delta_bytes: registry.gauge("xrank_update_delta_bytes"),
+            tombstones_live: registry.gauge("xrank_update_tombstones_live"),
+            snapshot_pins: registry.gauge("xrank_update_snapshot_pins"),
+            commits: registry.counter("xrank_update_commits_total"),
+            commit_failures: registry.counter("xrank_update_commit_failures_total"),
+            compactions: registry.counter("xrank_update_compactions_total"),
+            compaction_failures: registry.counter("xrank_update_compaction_failures_total"),
+            tombstones_gced: registry.counter("xrank_update_tombstones_gced_total"),
+            commit_wall_us: registry.latency_histogram_us("xrank_update_commit_wall_us"),
+            compact_wall_us: registry.latency_histogram_us("xrank_update_compact_wall_us"),
+        }
+    }
+
+    /// Publishes the published-snapshot shape gauges.
+    pub(crate) fn publish_shape(&self, snap: &crate::snapshot::Snapshot, staged: usize) {
+        self.segments_live.set(snap.segment_count() as i64);
+        self.staged_docs.set(staged as i64);
+        self.delta_bytes.set(snap.delta_bytes() as i64);
+        self.tombstones_live.set(snap.tombstone_count() as i64);
     }
 }
 

@@ -1,4 +1,5 @@
-//! Document-granularity updates (paper, Section 4.5).
+//! Document-granularity updates (paper, Section 4.5) as a crash-safe
+//! segmented pipeline.
 //!
 //! "Document-granularity updates (i.e., adding or deleting documents) can
 //! be handled exactly like in traditional inverted lists ... because DIL,
@@ -6,228 +7,844 @@
 //! first component of the Dewey IDs contains the document ID (which can be
 //! used for deletion)."
 //!
-//! [`UpdatableXRank`] realizes that with the classic main+delta scheme
-//! traditional engines use ([7], [34] in the paper's bibliography):
+//! [`UpdatableXRank`] realizes that with an LSM-style pipeline of
+//! immutable sealed segments behind an atomically-swapped, versioned,
+//! CRC-checked manifest (see [`crate::snapshot`] and [`crate::manifest`]):
 //!
-//! * **deletes** are immediate tombstones on the document URI — hits from
+//! * **adds** are staged and become searchable at
+//!   [`UpdatableXRank::commit`], which builds the *next segment* off to
+//!   the side (through the PR 3 staged-write + fsync + rename machinery
+//!   when the pipeline is durable) and publishes it with a single
+//!   manifest swap;
+//! * **deletes** are immediate per-segment tombstones: hits from
 //!   tombstoned documents are filtered at presentation time (the Dewey
-//!   ID's leading document component identifies them), and the postings
+//!   ID's leading document component identifies them) and their postings
 //!   are physically dropped at the next compaction;
-//! * **adds** are staged and become searchable at [`UpdatableXRank::commit`],
-//!   which builds a small *delta* engine over the added documents only;
-//!   queries run against both engines and merge by score;
-//! * [`UpdatableXRank::compact`] rebuilds one engine over the live
-//!   documents, restoring single-index performance and re-resolving
-//!   cross-document hyperlinks between old and new documents (until then,
-//!   links between the main and delta collections remain unresolved — the
-//!   delta's ElemRanks are computed locally, consistent with offline
-//!   ElemRank computation in Figure 2).
+//! * **reads** pin a snapshot `Arc` for the whole query —
+//!   [`UpdatableXRank::search`] takes `&self` and runs concurrently with
+//!   any number of commits and compactions, which only ever publish *new*
+//!   snapshots;
+//! * [`UpdatableXRank::compact`] folds every segment (plus staged docs)
+//!   into one: tombstoned postings disappear, cross-segment hyperlinks
+//!   resolve, and ElemRank is recomputed globally — warm-started from the
+//!   previous segments' rank vectors through the seeded CSR kernel
+//!   ([`xrank_rank::elem_rank_seeded`]), so the rebuild converges in a
+//!   fraction of the cold sweeps. [`UpdatableXRank::merge_small`] is the
+//!   background variant folding only small segments (see
+//!   [`crate::Compactor`]).
+//!
+//! Crash safety: every mutation builds its files off to the side and
+//! publishes with one atomic `CURRENT` rename. Recovery
+//! ([`UpdatableXRank::open`]) returns to the last *published* snapshot at
+//! any kill point, which the deterministic [`CrashPoint`] injection hook
+//! proves step by step (`crates/core/tests/update_crash.rs`).
 //!
 //! Element-granularity insertion (renumbering sibling Dewey IDs, paper's
 //! reference [32]) is future work here exactly as it was in the paper.
 
-use crate::engine::{EngineBuilder, EngineConfig, Strategy, XRankEngine};
+use crate::engine::{EngineBuilder, EngineConfig, Strategy};
+use crate::manifest::{self, ManifestData, ManifestSegment};
 use crate::results::{SearchHit, SearchResults};
-use std::collections::{BTreeMap, HashSet};
-use xrank_query::{QueryError, QueryOptions};
+use crate::snapshot::{AnyEngine, DocSource, Segment, SegmentView, Snapshot};
+use crate::telemetry::UpdateMetrics;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use xrank_obs::{Gauge, MetricsRegistry, QueryTrace, Stage, Trace};
+use xrank_query::{CancelToken, QueryError, QueryOptions};
+use xrank_storage::{FileStore, MemStore, StorageError};
 
-/// The source text of a live document (kept for compaction rebuilds).
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum DocSource {
-    Xml(String),
-    Html(String),
+/// Typed failure of an update-pipeline mutation. Queries keep their own
+/// [`QueryError`]; this covers `commit`/`compact`/`delete`/`open`, which
+/// touch the filesystem and rebuild indexes.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// An index build failed at the storage layer (failing or full device).
+    Storage(StorageError),
+    /// A filesystem operation on the segment/manifest layout failed.
+    Io(std::io::Error),
+    /// A staged document failed to re-parse at rebuild time.
+    Xml(xrank_xml::XmlError),
+    /// The deterministic crash-injection hook fired
+    /// ([`UpdatableXRank::inject_crash`]): the mutation stopped dead at
+    /// the armed step, exactly as a process kill there would, leaving
+    /// the published state untouched.
+    InjectedCrash(CrashPoint),
+    /// A cancellable fold observed its [`CancelToken`] (pipeline
+    /// shutdown) and stopped before publishing.
+    Cancelled,
 }
 
-/// An XRANK engine supporting document-granularity adds and deletes.
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Storage(e) => write!(f, "update storage error: {e}"),
+            UpdateError::Io(e) => write!(f, "update I/O error: {e}"),
+            UpdateError::Xml(e) => write!(f, "update XML error: {e}"),
+            UpdateError::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
+            UpdateError::Cancelled => write!(f, "update cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Storage(e) => Some(e),
+            UpdateError::Io(e) => Some(e),
+            UpdateError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for UpdateError {
+    fn from(e: StorageError) -> Self {
+        UpdateError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for UpdateError {
+    fn from(e: std::io::Error) -> Self {
+        UpdateError::Io(e)
+    }
+}
+
+impl From<xrank_xml::XmlError> for UpdateError {
+    fn from(e: xrank_xml::XmlError) -> Self {
+        UpdateError::Xml(e)
+    }
+}
+
+/// Deterministic kill points of the commit/compaction protocol, for the
+/// crash-injection harness (the update-pipeline analogue of the storage
+/// crate's `FaultStore`). Arm one with [`UpdatableXRank::inject_crash`];
+/// the next mutation stops dead there — no in-memory publish, no cleanup
+/// — modelling a process kill at that step. Reopening the directory must
+/// then recover the last *published* snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the new segment's files are built (mid-segment-build).
+    DuringSegmentBuild,
+    /// After the segment sealed durably, before its manifest is written.
+    AfterSegmentSeal,
+    /// After `MANIFEST-<seq>` is written and fsynced, before the atomic
+    /// `CURRENT` swap — the new manifest exists but was never published.
+    AfterManifestWrite,
+    /// After the `CURRENT` swap (durably published), before the in-memory
+    /// snapshot installs. Reopening sees the *new* state.
+    AfterPublish,
+}
+
+/// What one [`UpdatableXRank::commit`] did.
+#[derive(Debug, Clone)]
+pub struct CommitStats {
+    /// Id of the sealed segment (`None` for an empty no-op commit).
+    pub segment_id: Option<u64>,
+    /// Documents made searchable.
+    pub docs_added: usize,
+    /// Tombstones added against older segments (replaced documents).
+    pub tombstones_added: usize,
+    /// The published manifest sequence number.
+    pub seq: u64,
+    /// Wall-clock time of the whole commit.
+    pub wall: Duration,
+    /// Per-stage timings (segment build, manifest swap).
+    pub trace: Trace,
+}
+
+/// What one [`UpdatableXRank::compact`] / [`UpdatableXRank::merge_small`]
+/// did.
+#[derive(Debug, Clone)]
+pub struct CompactStats {
+    /// Segments folded away (0 when the fold was a no-op).
+    pub segments_folded: usize,
+    /// Live documents in the folded segment.
+    pub docs_live: usize,
+    /// Tombstoned postings physically dropped (tombstone GC).
+    pub tombstones_dropped: usize,
+    /// Power-iteration sweeps the rebuild's ElemRank took.
+    pub rank_iterations: usize,
+    /// Whether the rebuild's ElemRank was warm-started from the previous
+    /// segments' rank vectors.
+    pub rank_seeded: bool,
+    /// The published manifest sequence number.
+    pub seq: u64,
+    /// Wall-clock time of the whole fold.
+    pub wall: Duration,
+    /// Per-stage timings (merge, segment build, manifest swap).
+    pub trace: Trace,
+}
+
+/// A reader's lease on one published [`Snapshot`]: holding it guarantees
+/// every segment, page, and tombstone set it references stays alive and
+/// unchanged, no matter what writers publish meanwhile. Cheap (one `Arc`
+/// clone + a gauge increment); drop releases the pin.
+pub struct PinnedSnapshot {
+    snap: Arc<Snapshot>,
+    pins: Gauge,
+}
+
+impl std::ops::Deref for PinnedSnapshot {
+    type Target = Snapshot;
+    fn deref(&self) -> &Snapshot {
+        &self.snap
+    }
+}
+
+impl Drop for PinnedSnapshot {
+    fn drop(&mut self) {
+        self.pins.sub(1);
+    }
+}
+
+/// Writer-side state, serialized under one mutex: staged documents and
+/// the monotone name counters. Readers never take this lock.
+struct WriterState {
+    staged: BTreeMap<String, DocSource>,
+    next_seq: u64,
+    next_seg: u64,
+    crash: Option<CrashPoint>,
+}
+
+impl WriterState {
+    /// Fires the armed crash point if it matches `at`.
+    fn crash_if_armed(&mut self, at: CrashPoint) -> Result<(), UpdateError> {
+        if self.crash == Some(at) {
+            self.crash = None;
+            return Err(UpdateError::InjectedCrash(at));
+        }
+        Ok(())
+    }
+}
+
+/// An XRANK engine supporting document-granularity adds and deletes, with
+/// snapshot-isolated concurrent reads (see the module docs for the
+/// pipeline design). All methods take `&self`; share one instance across
+/// threads behind an `Arc`.
 pub struct UpdatableXRank {
     config: EngineConfig,
-    /// Live documents (URI → source), the durable state.
-    docs: BTreeMap<String, DocSource>,
-    /// Staged additions not yet searchable.
-    staged: BTreeMap<String, DocSource>,
-    main: XRankEngine,
-    /// URIs indexed by the main engine (tombstone routing).
-    main_uris: HashSet<String>,
-    /// Tombstones against the main engine's postings.
-    deleted_main: HashSet<String>,
-    delta: Option<XRankEngine>,
-    /// Tombstones against the current delta engine's postings.
-    deleted_delta: HashSet<String>,
+    /// Per-segment engine config (pipeline-level obs owns the metrics).
+    seg_config: EngineConfig,
+    /// `Some` for durable pipelines ([`UpdatableXRank::open`]).
+    dir: Option<PathBuf>,
+    /// The published snapshot. Writers swap the `Arc` under a brief write
+    /// lock; readers clone it under a brief read lock and then never
+    /// block again.
+    current: RwLock<Arc<Snapshot>>,
+    writer: Mutex<WriterState>,
+    metrics: Arc<MetricsRegistry>,
+    umetrics: UpdateMetrics,
 }
 
+/// Cap on the over-fetch doublings of the tombstone re-fill loop: with
+/// `m + 8` as the floor, six doublings cover a 64× over-fetch before the
+/// search accepts an underfull page.
+const MAX_REFILL_DOUBLINGS: usize = 6;
+
 impl UpdatableXRank {
-    /// An empty updatable engine.
+    /// An empty, ephemeral (in-memory segments) updatable engine.
     pub fn new(config: EngineConfig) -> Self {
-        let main = EngineBuilder::with_config(config.clone()).build();
+        Self::assemble(config, None, Snapshot::empty(), 1, 1)
+    }
+
+    /// Opens (or initializes) a durable pipeline rooted at `dir`:
+    /// recovers the last published manifest (a valid `CURRENT` is
+    /// authoritative), reopens every referenced segment with a full
+    /// checksum scan, garbage-collects stranded pre-crash files, and
+    /// resumes. A fresh directory starts empty.
+    pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Self, UpdateError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let published = manifest::load_published(&dir)?;
+        let (next_seq, next_seg) = manifest::next_counters(&dir, &published);
+
+        let mut seg_config = config.clone();
+        seg_config.obs.metrics_enabled = false;
+
+        let (seq, views) = match &published {
+            None => (0, Vec::new()),
+            Some(m) => {
+                let mut views = Vec::with_capacity(m.segments.len());
+                for ms in &m.segments {
+                    let seg_dir = dir.join(manifest::segment_dir_name(ms.id));
+                    let engine =
+                        crate::engine::XRankEngine::<FileStore>::open(&seg_dir, seg_config.clone())?;
+                    let docs = manifest::read_docs_sidecar(&seg_dir)?;
+                    let seg = Arc::new(Segment::new(ms.id, AnyEngine::File(engine), docs));
+                    views.push(SegmentView {
+                        seg,
+                        tombstones: Arc::new(ms.tombstones.iter().cloned().collect()),
+                    });
+                }
+                (m.seq, views)
+            }
+        };
+        let live: Vec<u64> = views.iter().map(|v| v.seg.id).collect();
+        manifest::gc(&dir, seq, &live);
+        Ok(Self::assemble(config, Some(dir), Snapshot { seq, views }, next_seq, next_seg))
+    }
+
+    fn assemble(
+        config: EngineConfig,
+        dir: Option<PathBuf>,
+        snapshot: Snapshot,
+        next_seq: u64,
+        next_seg: u64,
+    ) -> Self {
+        let mut seg_config = config.clone();
+        seg_config.obs.metrics_enabled = false;
+        let metrics = Arc::new(if config.obs.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        let umetrics = UpdateMetrics::new(&metrics);
+        umetrics.publish_shape(&snapshot, 0);
         UpdatableXRank {
             config,
-            docs: BTreeMap::new(),
-            staged: BTreeMap::new(),
-            main,
-            main_uris: HashSet::new(),
-            deleted_main: HashSet::new(),
-            delta: None,
-            deleted_delta: HashSet::new(),
+            seg_config,
+            dir,
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(WriterState {
+                staged: BTreeMap::new(),
+                next_seq,
+                next_seg,
+                crash: None,
+            }),
+            metrics,
+            umetrics,
         }
     }
 
-    /// Stages an XML document (validated now, searchable after `commit`).
-    /// Re-adding an existing URI replaces it (delete + add).
-    pub fn add_xml(&mut self, uri: &str, xml: &str) -> Result<(), xrank_xml::XmlError> {
+    /// Pins the current published snapshot: the returned lease reads a
+    /// frozen view of the index for as long as it is held, fully isolated
+    /// from concurrent commits, deletes, and compactions.
+    pub fn pin(&self) -> PinnedSnapshot {
+        let snap = Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()));
+        self.umetrics.snapshot_pins.add(1);
+        PinnedSnapshot { snap, pins: self.umetrics.snapshot_pins.clone() }
+    }
+
+    /// Stages an XML document (validated now, searchable after
+    /// [`UpdatableXRank::commit`]). Re-adding a live URI replaces it
+    /// (immediate tombstone + staged add, matching the previous
+    /// main+delta semantics).
+    pub fn add_xml(&self, uri: &str, xml: &str) -> Result<(), UpdateError> {
         xrank_xml::parse(xml)?; // validate before accepting
-        if self.docs.contains_key(uri) {
-            self.delete(uri);
-        }
-        self.staged.insert(uri.to_string(), DocSource::Xml(xml.to_string()));
+        self.delete(uri)?;
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.staged.insert(uri.to_string(), DocSource::Xml(xml.to_string()));
+        self.umetrics.staged_docs.set(w.staged.len() as i64);
         Ok(())
     }
 
     /// Stages an HTML page.
-    pub fn add_html(&mut self, uri: &str, html: &str) {
-        if self.docs.contains_key(uri) {
-            self.delete(uri);
-        }
-        self.staged.insert(uri.to_string(), DocSource::Html(html.to_string()));
+    pub fn add_html(&self, uri: &str, html: &str) -> Result<(), UpdateError> {
+        self.delete(uri)?;
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.staged.insert(uri.to_string(), DocSource::Html(html.to_string()));
+        self.umetrics.staged_docs.set(w.staged.len() as i64);
+        Ok(())
     }
 
     /// Tombstones a document immediately (also cancels a staged add).
-    /// Returns whether anything was removed.
-    pub fn delete(&mut self, uri: &str) -> bool {
-        let staged = self.staged.remove(uri).is_some();
-        let live = self.docs.remove(uri).is_some();
-        if live {
-            // Route the tombstone to whichever engine holds the postings.
-            if self.main_uris.contains(uri) {
-                self.deleted_main.insert(uri.to_string());
-            } else {
-                self.deleted_delta.insert(uri.to_string());
-            }
+    /// On a durable pipeline the tombstone is published through a new
+    /// manifest generation before this returns. Returns whether anything
+    /// was removed.
+    pub fn delete(&self, uri: &str) -> Result<bool, UpdateError> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let was_staged = w.staged.remove(uri).is_some();
+        if was_staged {
+            self.umetrics.staged_docs.set(w.staged.len() as i64);
         }
-        staged || live
+        let cur = self.current_arc();
+        let Some(idx) = cur.live_view_of(uri) else {
+            return Ok(was_staged);
+        };
+        let mut views = cur.views.clone();
+        views[idx] = views[idx].with_tombstone(uri);
+        let trace = QueryTrace::disabled();
+        self.publish_locked(&mut w, views, &trace)?;
+        Ok(true)
     }
 
-    /// Makes staged documents searchable by (re)building the delta engine.
-    pub fn commit(&mut self) {
-        if self.staged.is_empty() {
-            return;
+    /// Makes staged documents searchable by sealing them into the next
+    /// segment and publishing a new snapshot. Readers in flight keep
+    /// their pinned snapshot; new reads see the new one. With nothing
+    /// staged this is a no-op.
+    pub fn commit(&self) -> Result<CommitStats, UpdateError> {
+        let start = Instant::now();
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if w.staged.is_empty() {
+            return Ok(CommitStats {
+                segment_id: None,
+                docs_added: 0,
+                tombstones_added: 0,
+                seq: self.current_arc().seq,
+                wall: start.elapsed(),
+                trace: Trace::default(),
+            });
         }
-        for (uri, src) in std::mem::take(&mut self.staged) {
-            self.docs.insert(uri, src);
-        }
-        // The delta covers every live document added since the last
-        // compaction — i.e., those not in the main engine's collection.
-        // It is rebuilt from live documents only, so its tombstones reset.
-        let mut builder = EngineBuilder::with_config(self.config.clone());
-        let mut any = false;
-        for (uri, src) in &self.docs {
-            if self.main_uris.contains(uri) {
-                continue;
+        let trace = QueryTrace::enabled();
+        match self.commit_locked(&mut w, &trace, start) {
+            Ok(mut stats) => {
+                self.umetrics.commits.inc();
+                self.umetrics
+                    .commit_wall_us
+                    .observe(stats.wall.as_secs_f64() * 1e6);
+                stats.trace = trace.finish();
+                Ok(stats)
             }
-            any = true;
-            match src {
-                DocSource::Xml(xml) => {
-                    builder.add_xml(uri, xml).expect("validated at add time")
+            Err(e) => {
+                self.umetrics.commit_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_locked(
+        &self,
+        w: &mut WriterState,
+        trace: &QueryTrace,
+        start: Instant,
+    ) -> Result<CommitStats, UpdateError> {
+        w.crash_if_armed(CrashPoint::DuringSegmentBuild)?;
+        let docs = w.staged.clone();
+        let seg_id = w.next_seg;
+
+        let span = trace.span(Stage::SegmentBuild);
+        let engine = self.build_segment(seg_id, &docs, None)?;
+        drop(span);
+        w.next_seg += 1;
+        w.crash_if_armed(CrashPoint::AfterSegmentSeal)?;
+
+        // Replaced documents: tombstone any older live copy so exactly
+        // one copy of each URI is live across the snapshot. (Normally
+        // `add_xml` already tombstoned it; this is the invariant's
+        // backstop.)
+        let cur = self.current_arc();
+        let mut views = cur.views.clone();
+        let mut tombstones_added = 0;
+        for uri in docs.keys() {
+            if let Some(idx) = cur.live_view_of(uri) {
+                views[idx] = views[idx].with_tombstone(uri);
+                tombstones_added += 1;
+            }
+        }
+        let docs_added = docs.len();
+        views.push(SegmentView::fresh(Arc::new(Segment::new(seg_id, engine, docs))));
+
+        let seq = self.publish_locked(w, views, trace)?;
+        w.staged.clear();
+        self.umetrics.staged_docs.set(0);
+        Ok(CommitStats {
+            segment_id: Some(seg_id),
+            docs_added,
+            tombstones_added,
+            seq,
+            wall: start.elapsed(),
+            trace: Trace::default(),
+        })
+    }
+
+    /// Folds **every** segment — plus any staged documents — into one:
+    /// tombstoned postings are physically dropped, cross-segment
+    /// hyperlinks re-resolve (the folded collection is one link-resolution
+    /// scope again), and ElemRank is recomputed globally, warm-started
+    /// from the previous segments' rank vectors.
+    pub fn compact(&self) -> Result<CompactStats, UpdateError> {
+        self.fold(FoldScope::Everything, None)
+    }
+
+    /// Background-compaction fold: merges segments no larger than
+    /// `small_bytes` (at least two must qualify, else no-op), leaving big
+    /// sealed segments untouched. Cancellable between phases via `cancel`
+    /// — a cancelled fold publishes nothing and returns
+    /// [`UpdateError::Cancelled`].
+    pub fn merge_small(
+        &self,
+        small_bytes: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompactStats, UpdateError> {
+        self.fold(FoldScope::SmallerThan(small_bytes), cancel)
+    }
+
+    fn fold(
+        &self,
+        scope: FoldScope,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompactStats, UpdateError> {
+        let start = Instant::now();
+        let trace = QueryTrace::enabled();
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        match self.fold_locked(&mut w, scope, cancel, &trace, start) {
+            Ok(mut stats) => {
+                stats.trace = trace.finish();
+                if stats.segments_folded > 0 || stats.docs_live > 0 {
+                    self.umetrics.compactions.inc();
+                    self.umetrics
+                        .compact_wall_us
+                        .observe(stats.wall.as_secs_f64() * 1e6);
+                    self.umetrics
+                        .tombstones_gced
+                        .add(stats.tombstones_dropped as u64);
                 }
+                Ok(stats)
+            }
+            Err(e) => {
+                if !matches!(e, UpdateError::Cancelled) {
+                    self.umetrics.compaction_failures.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn fold_locked(
+        &self,
+        w: &mut WriterState,
+        scope: FoldScope,
+        cancel: Option<&CancelToken>,
+        trace: &QueryTrace,
+        start: Instant,
+    ) -> Result<CompactStats, UpdateError> {
+        let check_cancel = |c: Option<&CancelToken>| -> Result<(), UpdateError> {
+            match c {
+                Some(t) if t.is_cancelled() => Err(UpdateError::Cancelled),
+                _ => Ok(()),
+            }
+        };
+        check_cancel(cancel)?;
+        let cur = self.current_arc();
+
+        let no_op = |wall: Duration| CompactStats {
+            segments_folded: 0,
+            docs_live: 0,
+            tombstones_dropped: 0,
+            rank_iterations: 0,
+            rank_seeded: false,
+            seq: cur.seq,
+            wall,
+            trace: Trace::default(),
+        };
+
+        let merge_span = trace.span(Stage::CompactMerge);
+        // Staged docs are only cleared after a successful publish, so an
+        // injected crash (or a real build failure) loses nothing.
+        let (fold_idx, staged): (Vec<usize>, BTreeMap<String, DocSource>) = match scope {
+            FoldScope::Everything => ((0..cur.views.len()).collect(), w.staged.clone()),
+            FoldScope::SmallerThan(limit) => {
+                let idx: Vec<usize> = cur
+                    .views
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.seg.bytes <= limit)
+                    .map(|(i, _)| i)
+                    .collect();
+                if idx.len() < 2 {
+                    return Ok(no_op(start.elapsed()));
+                }
+                (idx, BTreeMap::new())
+            }
+        };
+        let folds_staged = matches!(scope, FoldScope::Everything);
+        // A full compact with nothing anywhere is a no-op.
+        if fold_idx.is_empty() && staged.is_empty() {
+            return Ok(no_op(start.elapsed()));
+        }
+
+        w.crash_if_armed(CrashPoint::DuringSegmentBuild)?;
+
+        // Gather live documents (oldest segment first; staged adds win
+        // last) and the warm-start rank seed from the folded engines.
+        let mut docs: BTreeMap<String, DocSource> = BTreeMap::new();
+        let mut tombstones_dropped = 0;
+        let mut seed: HashMap<String, Vec<f64>> = HashMap::new();
+        for &i in &fold_idx {
+            let v = &cur.views[i];
+            tombstones_dropped += v.tombstones.len();
+            for (uri, src) in v.live_docs() {
+                docs.insert(uri.clone(), src.clone());
+            }
+            v.seg.engine.rank_slices(&mut seed);
+        }
+        for (uri, src) in staged {
+            docs.insert(uri, src);
+        }
+        let rank_seeded = !seed.is_empty();
+        drop(merge_span);
+        check_cancel(cancel)?;
+
+        let mut new_view = None;
+        let mut rank_iterations = 0;
+        if !docs.is_empty() {
+            let seg_id = w.next_seg;
+            let span = trace.span(Stage::SegmentBuild);
+            let engine = self.build_segment(seg_id, &docs, rank_seeded.then_some(seed))?;
+            drop(span);
+            w.next_seg += 1;
+            rank_iterations = match &engine {
+                AnyEngine::Mem(e) => e.rank_result().iterations,
+                AnyEngine::File(e) => e.rank_result().iterations,
+            };
+            new_view = Some(SegmentView::fresh(Arc::new(Segment::new(seg_id, engine, docs.clone()))));
+        }
+        w.crash_if_armed(CrashPoint::AfterSegmentSeal)?;
+        check_cancel(cancel)?;
+
+        // The new segment takes the position of the oldest folded one;
+        // untouched segments keep their order.
+        let mut views = Vec::with_capacity(cur.views.len() + 1 - fold_idx.len());
+        let insert_at = fold_idx.first().copied().unwrap_or(0);
+        for (i, v) in cur.views.iter().enumerate() {
+            if i == insert_at {
+                if let Some(nv) = new_view.take() {
+                    views.push(nv);
+                }
+            }
+            if !fold_idx.contains(&i) {
+                views.push(v.clone());
+            }
+        }
+        if let Some(nv) = new_view.take() {
+            views.push(nv);
+        }
+
+        let docs_live = docs.len();
+        let seq = self.publish_locked(w, views, trace)?;
+        if folds_staged {
+            w.staged.clear();
+        }
+        self.umetrics.staged_docs.set(w.staged.len() as i64);
+        Ok(CompactStats {
+            segments_folded: fold_idx.len(),
+            docs_live,
+            tombstones_dropped,
+            rank_iterations,
+            rank_seeded,
+            seq,
+            wall: start.elapsed(),
+            trace: Trace::default(),
+        })
+    }
+
+    /// Builds one sealed segment over `docs` — in memory for ephemeral
+    /// pipelines, through the crash-safe staged-write layout under
+    /// `dir/seg-<id>/` for durable ones (document sidecar first, then the
+    /// engine store, so a sealed directory is always complete).
+    fn build_segment(
+        &self,
+        seg_id: u64,
+        docs: &BTreeMap<String, DocSource>,
+        seed: Option<HashMap<String, Vec<f64>>>,
+    ) -> Result<AnyEngine, UpdateError> {
+        let mut builder = EngineBuilder::with_config(self.seg_config.clone());
+        if let Some(seed) = seed {
+            builder.set_rank_seed(seed);
+        }
+        for (uri, src) in docs {
+            match src {
+                DocSource::Xml(xml) => builder.add_xml(uri, xml)?,
                 DocSource::Html(html) => builder.add_html(uri, html),
             }
         }
-        self.delta = any.then(|| builder.build());
-        self.deleted_delta.clear();
-    }
-
-    /// Rebuilds a single engine over the live documents: tombstoned
-    /// postings disappear, cross-document links between old and new
-    /// documents resolve, and ElemRank is recomputed globally.
-    pub fn compact(&mut self) {
-        self.commit_staged_into_docs();
-        let mut builder = EngineBuilder::with_config(self.config.clone());
-        for (uri, src) in &self.docs {
-            match src {
-                DocSource::Xml(xml) => {
-                    builder.add_xml(uri, xml).expect("validated at add time")
-                }
-                DocSource::Html(html) => builder.add_html(uri, html),
+        match &self.dir {
+            None => Ok(AnyEngine::Mem(builder.build_with_store(MemStore::new())?)),
+            Some(dir) => {
+                let seg_dir = dir.join(manifest::segment_dir_name(seg_id));
+                std::fs::create_dir_all(&seg_dir)?;
+                manifest::write_docs_sidecar(&seg_dir, docs)?;
+                Ok(AnyEngine::File(builder.build_persistent(&seg_dir)?))
             }
         }
-        self.main = builder.build();
-        self.main_uris = self.docs.keys().cloned().collect();
-        self.delta = None;
-        self.deleted_main.clear();
-        self.deleted_delta.clear();
     }
 
-    fn commit_staged_into_docs(&mut self) {
-        for (uri, src) in std::mem::take(&mut self.staged) {
-            self.docs.insert(uri, src);
+    /// Publishes `views` as the next snapshot: durable manifest write +
+    /// atomic `CURRENT` swap (durable pipelines), then the in-memory
+    /// `Arc` swap, shape gauges, and best-effort GC. The caller holds the
+    /// writer lock; readers are never blocked (they only take the
+    /// `current` read lock for an `Arc` clone).
+    fn publish_locked(
+        &self,
+        w: &mut WriterState,
+        views: Vec<SegmentView>,
+        trace: &QueryTrace,
+    ) -> Result<u64, UpdateError> {
+        let seq = w.next_seq;
+        let span = trace.span(Stage::ManifestSwap);
+        if let Some(dir) = &self.dir {
+            let data = ManifestData {
+                seq,
+                segments: views
+                    .iter()
+                    .map(|v| {
+                        let mut tombstones: Vec<String> =
+                            v.tombstones.iter().cloned().collect();
+                        tombstones.sort_unstable();
+                        ManifestSegment { id: v.seg.id, tombstones }
+                    })
+                    .collect(),
+            };
+            manifest::write_manifest(dir, &data)?;
+            w.crash_if_armed(CrashPoint::AfterManifestWrite)?;
+            manifest::publish_current(dir, seq)?;
+        } else {
+            w.crash_if_armed(CrashPoint::AfterManifestWrite)?;
         }
+        drop(span);
+        w.next_seq = seq + 1;
+        // Durably published; a kill here loses only the in-memory install,
+        // which reopening reconstructs from CURRENT.
+        w.crash_if_armed(CrashPoint::AfterPublish)?;
+
+        let snap = Arc::new(Snapshot { seq, views });
+        self.umetrics.publish_shape(&snap, w.staged.len());
+        let live: Vec<u64> = snap.views.iter().map(|v| v.seg.id).collect();
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        if let Some(dir) = &self.dir {
+            manifest::gc(dir, seq, &live);
+        }
+        Ok(seq)
     }
 
-    /// Searches live documents (main + delta, tombstones filtered),
-    /// merging by score. A storage fault in either engine surfaces as a
-    /// typed [`QueryError`] for this query only.
+    /// Arms a deterministic crash point: the next mutation that reaches
+    /// it stops dead with [`UpdateError::InjectedCrash`], modelling a
+    /// process kill at that step (test hook; see the crash-injection
+    /// suite).
+    pub fn inject_crash(&self, at: CrashPoint) {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).crash = Some(at);
+    }
+
+    /// Searches live documents across every segment of a pinned snapshot
+    /// (tombstones filtered), merging by score. Takes `&self` and runs
+    /// concurrently with commits and compactions. A storage fault in any
+    /// segment surfaces as a typed [`QueryError`] for this query only.
     pub fn search(&self, query: &str, m: usize) -> Result<SearchResults, QueryError> {
         self.search_opts(query, m, QueryOptions::default())
     }
 
     /// [`UpdatableXRank::search`] with explicit options. A relative
-    /// `timeout` is resolved to one absolute deadline *before* the main
-    /// pass and shared with the delta pass — the two passes are one query
-    /// and get one time budget, not a fresh timeout each (a query that
-    /// exhausts its budget on the main index must not get a second full
-    /// allowance on the delta). `allow_partial` and `io_budget` apply to
-    /// both passes; a degraded flag from either marks the merged result.
+    /// `timeout` is resolved to one absolute deadline *before* the first
+    /// segment pass and shared by all passes — they are one query and get
+    /// one time budget, not a fresh timeout each. `allow_partial` and
+    /// `io_budget` apply to every pass; a degraded flag from any pass
+    /// marks the merged result.
+    ///
+    /// Tombstone filtering happens at presentation time, so the per-pass
+    /// fetch depth over-fetches (`m + 8`) and — when filtering leaves the
+    /// merged page underfull while some segment still had a full raw page
+    /// (i.e. more live hits may exist past the cut) — re-fetches deeper,
+    /// doubling up to [`MAX_REFILL_DOUBLINGS`] times. A single heavily
+    /// tombstoned document can therefore no longer starve the result
+    /// page below `m` when `m` live results exist.
     pub fn search_opts(
         &self,
         query: &str,
         m: usize,
         opts: QueryOptions,
     ) -> Result<SearchResults, QueryError> {
-        let slack = self.deleted_main.len() + self.deleted_delta.len() + 8;
-        let mut opts = QueryOptions { top_m: m + slack, ..opts };
+        let start = Instant::now();
+        let pinned = self.pin();
+        let mut opts = opts;
         if let Some(shared) = opts.deadline() {
             opts.deadline_at = Some(shared);
             opts.timeout = None;
         }
-        let mut primary = self.main.search_with(query, Strategy::Hdil, &opts)?;
-        primary.hits.retain(|h| !self.deleted_main.contains(&h.doc_uri));
-        let mut hits: Vec<SearchHit> = Vec::new();
-        let mut eval = primary.eval;
-        let mut io = primary.io;
-        let mut degraded = primary.degraded;
-        hits.append(&mut primary.hits);
-        if let Some(delta) = &self.delta {
-            let mut secondary = delta.search_with(query, Strategy::Hdil, &opts)?;
-            secondary.hits.retain(|h| !self.deleted_delta.contains(&h.doc_uri));
-            eval.entries_scanned += secondary.eval.entries_scanned;
-            eval.btree_probes += secondary.eval.btree_probes;
-            io.seq_reads += secondary.io.seq_reads;
-            io.rand_reads += secondary.io.rand_reads;
-            io.cache_hits += secondary.io.cache_hits;
-            degraded = degraded.or(secondary.degraded);
-            hits.append(&mut secondary.hits);
+
+        let mut eval = xrank_query::EvalStats::default();
+        let mut io = xrank_storage::IoStats::default();
+        let mut degraded = None;
+        let mut hits: Vec<(usize, SearchHit)> = Vec::new();
+        let mut fetch = m.saturating_add(8);
+        for attempt in 0..=MAX_REFILL_DOUBLINGS {
+            hits.clear();
+            let pass_opts = QueryOptions { top_m: fetch, ..opts.clone() };
+            let mut any_saturated = false;
+            for (vi, view) in pinned.views.iter().enumerate() {
+                let mut r = view.seg.engine.query(query, Strategy::Hdil, &pass_opts)?;
+                let raw = r.hits.len();
+                eval.entries_scanned += r.eval.entries_scanned;
+                eval.btree_probes += r.eval.btree_probes;
+                io.seq_reads += r.io.seq_reads;
+                io.rand_reads += r.io.rand_reads;
+                io.cache_hits += r.io.cache_hits;
+                degraded = degraded.or(r.degraded);
+                r.hits.retain(|h| !view.tombstones.contains(&h.doc_uri));
+                any_saturated |= raw >= fetch && r.hits.len() < raw;
+                hits.extend(r.hits.into_iter().map(|h| (vi, h)));
+            }
+            if hits.len() >= m || !any_saturated || attempt == MAX_REFILL_DOUBLINGS {
+                break;
+            }
+            // Underfull after tombstone filtering, and at least one
+            // segment's raw page was both full and filtered — deeper live
+            // hits may exist. Re-fill with a doubled fetch depth.
+            fetch = fetch.saturating_mul(2);
         }
-        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.dewey.cmp(&b.dewey)));
+
+        hits.sort_by(|(va, a), (vb, b)| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.dewey.cmp(&b.dewey))
+                .then_with(|| va.cmp(vb))
+        });
+        let mut hits: Vec<SearchHit> = hits.into_iter().map(|(_, h)| h).collect();
         hits.truncate(m);
-        Ok(SearchResults { hits, eval, io, elapsed: primary.elapsed, trace: None, degraded })
+        Ok(SearchResults { hits, eval, io, elapsed: start.elapsed(), trace: None, degraded })
+    }
+
+    fn current_arc(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Number of live (searchable or staged) documents.
     pub fn doc_count(&self) -> usize {
-        self.docs.len() + self.staged.len()
+        let staged = self.writer.lock().unwrap_or_else(|e| e.into_inner()).staged.len();
+        self.current_arc().live_doc_count() + staged
     }
 
     /// Number of staged (not yet searchable) documents.
     pub fn staged_count(&self) -> usize {
-        self.staged.len()
+        self.writer.lock().unwrap_or_else(|e| e.into_inner()).staged.len()
     }
 
     /// Number of tombstoned documents awaiting compaction.
     pub fn tombstone_count(&self) -> usize {
-        self.deleted_main.len() + self.deleted_delta.len()
+        self.current_arc().tombstone_count()
     }
 
-    /// The main engine (for inspection).
-    pub fn main_engine(&self) -> &XRankEngine {
-        &self.main
+    /// Number of live segments in the published snapshot.
+    pub fn segment_count(&self) -> usize {
+        self.current_arc().segment_count()
     }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The pipeline's metrics registry (segment lifecycle counters and
+    /// gauges; shared with [`crate::Compactor`]).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Prometheus text exposition with the snapshot-shape gauges freshly
+    /// published.
+    pub fn render_metrics(&self) -> String {
+        let staged = self.staged_count();
+        self.umetrics.publish_shape(&self.current_arc(), staged);
+        self.metrics.render_prometheus()
+    }
+}
+
+/// Which segments a fold covers.
+#[derive(Clone, Copy)]
+enum FoldScope {
+    /// Every segment plus staged docs (full compaction).
+    Everything,
+    /// Only segments at most this many source bytes (background merge).
+    SmallerThan(u64),
 }

@@ -1,0 +1,281 @@
+//! Crash-injection acceptance for the durable update pipeline: a process
+//! kill at ANY step of a commit or compaction must reopen to the last
+//! *published* snapshot — the one a concurrent reader could have pinned —
+//! never to a half-written state.
+//!
+//! The injection points model the real failure windows:
+//!
+//! - `DuringSegmentBuild` — died mid-seal, segment directory half-written;
+//! - `AfterSegmentSeal` — segment durable, manifest not yet written;
+//! - `AfterManifestWrite` — manifest durable, `CURRENT` swap never landed
+//!   (the subtle one: the new manifest exists on disk but was never
+//!   published, so recovery must ignore it);
+//! - `AfterPublish` — died after the swap: the NEW snapshot is the
+//!   published one and must be what reopening finds.
+
+use std::collections::HashSet;
+use std::path::Path;
+use xrank_core::{
+    CrashPoint, EngineBuilder, EngineConfig, SearchResults, UpdatableXRank, UpdateError,
+};
+
+/// Figure 1 / Section 4.2.2: the `<title>` contains only 'XQL', the
+/// `<abstract>` only 'language', the `<subsection>` both.
+const WORKED_EXAMPLE: &str = r#"<workshop>
+  <wtitle>XML and IR a Workshop</wtitle>
+  <proceedings>
+    <paper>
+      <title>XQL and Proximal Nodes</title>
+      <abstract>We consider the recently proposed language</abstract>
+      <body>
+        <section>
+          <subsection>At first sight the XQL query language looks</subsection>
+        </section>
+      </body>
+    </paper>
+  </proceedings>
+</workshop>"#;
+
+const CRASH_POINTS: [CrashPoint; 4] = [
+    CrashPoint::DuringSegmentBuild,
+    CrashPoint::AfterSegmentSeal,
+    CrashPoint::AfterManifestWrite,
+    CrashPoint::AfterPublish,
+];
+
+fn doc(word: &str) -> String {
+    format!("<doc><title>{word} item</title><body>shared corpus text about {word}</body></doc>")
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("xrank-crash-{tag}-{pid}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_identical(a: &SearchResults, b: &SearchResults, what: &str) {
+    assert_eq!(a.hits.len(), b.hits.len(), "{what}: result count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.dewey, y.dewey, "{what}: dewey");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{what}: score bytes");
+        assert_eq!(x.path, y.path, "{what}: path");
+        assert_eq!(x.snippet, y.snippet, "{what}: snippet");
+    }
+}
+
+fn uris(e: &UpdatableXRank, query: &str) -> HashSet<String> {
+    e.search(query, 32)
+        .unwrap()
+        .hits
+        .into_iter()
+        .map(|h| h.doc_uri)
+        .collect()
+}
+
+#[test]
+fn crash_at_every_point_during_commit_recovers_published_state() {
+    for (i, point) in CRASH_POINTS.iter().enumerate() {
+        let dir = tmp_dir(&format!("commit-{i}"));
+        {
+            let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+            e.add_xml("a", &doc("alpha")).unwrap();
+            e.commit().unwrap();
+
+            e.add_xml("b", &doc("beta")).unwrap();
+            e.inject_crash(*point);
+            match e.commit() {
+                Err(UpdateError::InjectedCrash(at)) => assert_eq!(at, *point),
+                other => panic!("{point:?}: expected injected crash, got {other:?}"),
+            }
+        } // "kill": drop without further writes
+
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        let found = uris(&e, "shared corpus");
+        match point {
+            // Crash after the CURRENT swap: the commit WAS published.
+            CrashPoint::AfterPublish => {
+                assert_eq!(e.doc_count(), 2, "{point:?}");
+                assert!(found.contains("a") && found.contains("b"), "{point:?}: {found:?}");
+            }
+            // Everything earlier: recovery lands on the previous publish,
+            // even when a newer sealed segment or manifest is on disk.
+            _ => {
+                assert_eq!(e.doc_count(), 1, "{point:?}");
+                assert!(found.contains("a") && !found.contains("b"), "{point:?}: {found:?}");
+            }
+        }
+        // The reopened pipeline accepts new writes: counters were advanced
+        // past every stranded file, so nothing gets shadowed.
+        e.add_xml("c", &doc("gamma")).unwrap();
+        e.commit().unwrap();
+        assert!(uris(&e, "shared corpus").contains("c"), "{point:?}: post-recovery commit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn crash_at_every_point_during_compaction_recovers_published_state() {
+    for (i, point) in CRASH_POINTS.iter().enumerate() {
+        let dir = tmp_dir(&format!("compact-{i}"));
+        {
+            let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+            e.add_xml("a", &doc("alpha")).unwrap();
+            e.commit().unwrap();
+            e.add_xml("b", &doc("beta")).unwrap();
+            e.commit().unwrap();
+            e.delete("a").unwrap();
+
+            e.inject_crash(*point);
+            match e.compact() {
+                Err(UpdateError::InjectedCrash(at)) => assert_eq!(at, *point),
+                other => panic!("{point:?}: expected injected crash, got {other:?}"),
+            }
+        }
+
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        let found = uris(&e, "shared corpus");
+        assert!(!found.contains("a"), "{point:?}: tombstone must survive recovery");
+        assert!(found.contains("b"), "{point:?}: {found:?}");
+        match point {
+            CrashPoint::AfterPublish => {
+                assert_eq!(e.segment_count(), 1, "{point:?}: fold was published");
+                assert_eq!(e.tombstone_count(), 0, "{point:?}");
+            }
+            _ => {
+                assert_eq!(e.segment_count(), 2, "{point:?}: fold must not be visible");
+                assert_eq!(e.tombstone_count(), 1, "{point:?}");
+            }
+        }
+        // Compaction still works after recovery.
+        e.compact().unwrap();
+        assert_eq!(e.segment_count(), 1, "{point:?}");
+        assert_eq!(e.tombstone_count(), 0, "{point:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn recovered_worked_example_serves_bit_identical_rankings() {
+    // Commit the Section 4.2.2 corpus, crash in the middle of a follow-up
+    // commit AND a follow-up compaction, reopen — and the recovered
+    // pipeline must serve the worked example bit-identically to a
+    // from-scratch build of the same live document set.
+    let dir = tmp_dir("worked");
+    {
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        e.add_xml("workshop", WORKED_EXAMPLE).unwrap();
+        e.add_xml("other", &doc("unrelated")).unwrap();
+        e.commit().unwrap();
+
+        e.add_xml("doomed", &doc("doomed")).unwrap();
+        e.inject_crash(CrashPoint::AfterManifestWrite);
+        assert!(matches!(e.commit(), Err(UpdateError::InjectedCrash(_))));
+    }
+    {
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        e.inject_crash(CrashPoint::AfterSegmentSeal);
+        assert!(matches!(e.compact(), Err(UpdateError::InjectedCrash(_))));
+    }
+
+    let recovered = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+    assert!(
+        seg_dirs_on_disk(&dir) >= recovered.segment_count(),
+        "every live segment is on disk (plus at most the recovery fallback's)"
+    );
+    assert_eq!(recovered.doc_count(), 2);
+    assert!(uris(&recovered, "doomed").is_empty(), "uncommitted doc gone after crash");
+
+    // Segments hold documents in URI order, so the from-scratch reference
+    // must ingest in that order for dewey assignment to line up.
+    let mut b = EngineBuilder::new();
+    b.add_xml("other", &doc("unrelated")).unwrap();
+    b.add_xml("workshop", WORKED_EXAMPLE).unwrap();
+    let reference = b.build();
+
+    // Section 4.2.2 semantics: <subsection> (most specific) and <paper>
+    // (independent occurrences in <title> and <abstract>), NOT <section>.
+    let got = recovered.search("xql language", 10).unwrap();
+    let names: Vec<&str> =
+        got.hits.iter().filter_map(|h| h.path.last().map(String::as_str)).collect();
+    assert!(names.contains(&"subsection"), "most specific result in {names:?}");
+    assert!(names.contains(&"paper"), "independent occurrences in {names:?}");
+    assert!(!names.contains(&"section"), "spurious ancestor in {names:?}");
+
+    let want = reference.search("xql language", 10).unwrap();
+    assert_identical(&got, &want, "worked example after crash recovery");
+}
+
+/// Counts `seg-*` directories actually on disk under `dir`.
+fn seg_dirs_on_disk(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .count()
+}
+
+#[test]
+fn corrupt_current_falls_back_to_newest_valid_manifest() {
+    let dir = tmp_dir("corrupt-current");
+    {
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        e.add_xml("a", &doc("alpha")).unwrap();
+        e.commit().unwrap();
+    }
+    std::fs::write(dir.join("CURRENT"), b"garbage\n").unwrap();
+    let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+    assert_eq!(e.doc_count(), 1, "manifest scan fallback");
+    assert!(uris(&e, "alpha").contains("a"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_manifest_body_is_rejected_not_half_loaded() {
+    let dir = tmp_dir("corrupt-manifest");
+    {
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        e.add_xml("a", &doc("alpha")).unwrap();
+        e.commit().unwrap();
+        e.add_xml("b", &doc("beta")).unwrap();
+        e.commit().unwrap();
+    }
+    // Flip one byte in the newest manifest: its CRC no longer matches, so
+    // recovery must fall back to the older one rather than trust it.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.file_name().unwrap().to_string_lossy().starts_with("MANIFEST-"))
+        .max()
+        .unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&newest, bytes).unwrap();
+    // CURRENT points at the corrupt manifest — both layers damaged.
+    std::fs::write(dir.join("CURRENT"), b"garbage\n").unwrap();
+
+    let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+    assert_eq!(e.doc_count(), 1, "fell back past the corrupt manifest");
+    assert!(uris(&e, "alpha").contains("a"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fresh_directory_opens_empty_and_round_trips() {
+    let dir = tmp_dir("fresh");
+    {
+        let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+        assert_eq!(e.doc_count(), 0);
+        assert!(e.search("anything", 5).unwrap().hits.is_empty());
+        e.add_xml("a", &doc("alpha")).unwrap();
+        e.add_html("page", "<html><body>an html page about alpha</body></html>").unwrap();
+        e.commit().unwrap();
+    }
+    let e = UpdatableXRank::open(&dir, EngineConfig::default()).unwrap();
+    assert_eq!(e.doc_count(), 2);
+    let found = uris(&e, "alpha");
+    assert!(found.contains("a") && found.contains("page"), "{found:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

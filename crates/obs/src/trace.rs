@@ -71,11 +71,18 @@ pub enum Stage {
     /// The evaluation stopped early (deadline or I/O budget) and returned
     /// a partial result.
     Degraded,
+    /// Building and sealing a new immutable index segment (update pipeline).
+    SegmentBuild,
+    /// Writing + publishing a new manifest generation (the snapshot swap).
+    ManifestSwap,
+    /// Folding segments together during compaction (tombstone GC, link
+    /// re-resolution, warm-started ElemRank).
+    CompactMerge,
 }
 
 impl Stage {
     /// Number of stages (sizes the aggregation table).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     const ALL: [Stage; Stage::COUNT] = [
         Stage::Tokenize,
@@ -96,6 +103,9 @@ impl Stage {
         Stage::DilFallback,
         Stage::Present,
         Stage::Degraded,
+        Stage::SegmentBuild,
+        Stage::ManifestSwap,
+        Stage::CompactMerge,
     ];
 
     /// Stable snake_case name (used in EXPLAIN output and tests).
@@ -119,6 +129,9 @@ impl Stage {
             Stage::DilFallback => "dil_fallback",
             Stage::Present => "present",
             Stage::Degraded => "degraded",
+            Stage::SegmentBuild => "segment_build",
+            Stage::ManifestSwap => "manifest_swap",
+            Stage::CompactMerge => "compact_merge",
         }
     }
 }

@@ -163,6 +163,32 @@ pub fn elem_rank(collection: &Collection, params: &ElemRankParams) -> RankResult
     compute(collection, RankVariant::Final(*params))
 }
 
+/// Computes ElemRank with the paper's final formula, warm-starting the
+/// power iteration from `seed` when one is supplied. The fixed point —
+/// and therefore the scores any converged run reports — does not depend
+/// on the start vector; a good seed (e.g. the previous index generation's
+/// rank vector mapped onto the new element ids) just reaches it in fewer
+/// sweeps. An ill-shaped seed (wrong length, non-finite, negative, zero
+/// mass) silently falls back to the cold random-jump start.
+pub fn elem_rank_seeded(
+    collection: &Collection,
+    params: &ElemRankParams,
+    seed: Option<Vec<f64>>,
+) -> RankResult {
+    params.validate().expect("invalid ElemRank parameters");
+    let n = collection.element_count();
+    if n == 0 {
+        return RankResult { scores: Vec::new(), iterations: 0, converged: true, residual: 0.0 };
+    }
+    let variant = RankVariant::Final(*params);
+    let graph = RankGraph::from_collection(collection, &variant);
+    let threads = resolve_threads(params.threads, n);
+    graph.power_iterate_from(
+        &IterationParams { epsilon: params.epsilon, max_iterations: params.max_iterations, threads },
+        seed,
+    )
+}
+
 /// Computes element ranks under any [`RankVariant`] through the shared
 /// pull-based CSR kernel.
 pub fn compute(collection: &Collection, variant: RankVariant) -> RankResult {
@@ -575,6 +601,67 @@ pub(crate) mod tests {
         let resolved = resolve_threads(0, 1 << 20);
         std::env::remove_var(THREADS_ENV_VAR);
         assert!(resolved <= hw, "env auto request resolved {resolved} > {hw} hw threads");
+    }
+
+    #[test]
+    fn seeded_iteration_converges_faster_to_the_same_fixed_point() {
+        let c = collection(&[
+            ("a", r#"<r><x id="1"><y>alpha beta</y><z>gamma</z></x><c ref="1">t</c></r>"#),
+            ("b", r#"<r><p><q>delta</q></p><s ref="1">u</s></r>"#),
+        ]);
+        let params = ElemRankParams { threads: 1, ..Default::default() };
+        let cold = elem_rank(&c, &params);
+        assert!(cold.converged);
+
+        // Seeding from the converged vector must re-converge immediately
+        // (a single confirming sweep) and land within epsilon of it.
+        let warm = elem_rank_seeded(&c, &params, Some(cold.scores.clone()));
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= 2,
+            "perfect seed should confirm in <=2 sweeps, took {}",
+            warm.iterations
+        );
+        assert!(warm.iterations < cold.iterations);
+        let drift: f64 =
+            warm.scores.iter().zip(&cold.scores).map(|(a, b)| (a - b).abs()).sum();
+        assert!(drift < params.epsilon, "warm fixed point drifted by {drift}");
+
+        // Degenerate seeds fall back to the cold start rather than
+        // corrupting the iteration.
+        for bad in [
+            Vec::new(),
+            vec![0.0; c.element_count()],
+            vec![f64::NAN; c.element_count()],
+            vec![-1.0; c.element_count()],
+        ] {
+            let r = elem_rank_seeded(&c, &params, Some(bad));
+            assert_eq!(r.iterations, cold.iterations, "bad seed must cold-start");
+            assert!(r
+                .scores
+                .iter()
+                .zip(&cold.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+
+        // No seed at all is exactly elem_rank.
+        let none = elem_rank_seeded(&c, &params, None);
+        assert_eq!(none.iterations, cold.iterations);
+    }
+
+    #[test]
+    fn seed_is_normalized_before_iterating() {
+        let c = collection(&[("a", r#"<r><x>alpha</x><y>beta</y></r>"#)]);
+        let params = ElemRankParams { threads: 1, ..Default::default() };
+        let cold = elem_rank(&c, &params);
+        // A scaled copy of the fixed point is the same direction on the
+        // simplex after L1 normalization, so it confirms just as fast.
+        let scaled: Vec<f64> = cold.scores.iter().map(|s| s * 42.0).collect();
+        let warm = elem_rank_seeded(&c, &params, Some(scaled));
+        assert!(warm.converged);
+        assert!(warm.iterations <= 2);
+        let sum: f64 = warm.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "scores must stay stochastic, sum {sum}");
     }
 
     #[test]

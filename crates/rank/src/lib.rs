@@ -57,6 +57,6 @@ pub mod pagerank;
 
 pub use csr::{IterationParams, RankGraph, MAX_THREADS};
 pub use elemrank::{
-    compute, elem_rank, resolve_threads, threads_from_env, ElemRankParams, RankResult,
-    RankVariant, THREADS_ENV_VAR,
+    compute, elem_rank, elem_rank_seeded, resolve_threads, threads_from_env, ElemRankParams,
+    RankResult, RankVariant, THREADS_ENV_VAR,
 };

@@ -1,12 +1,13 @@
 //! Persistence and document-granularity updates (paper, Section 4.5):
 //! build an index on disk, reopen it without re-indexing, and run the
-//! add/delete/compact lifecycle of the updatable engine.
+//! add/delete/commit/compact lifecycle of the crash-safe segmented
+//! update pipeline — including killing it mid-commit and recovering.
 //!
 //! ```sh
 //! cargo run --example persistent_updates
 //! ```
 
-use xrank::{EngineBuilder, EngineConfig, UpdatableXRank, XRankEngine};
+use xrank::{CrashPoint, EngineBuilder, EngineConfig, UpdatableXRank, XRankEngine};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("xrank-example-{}", std::process::id()));
@@ -41,32 +42,54 @@ fn main() {
     assert_eq!(on_build.hits.len(), after.hits.len());
     println!("\nreopened: identical {} hits, zero re-indexing", after.hits.len());
     drop(reopened);
+    std::fs::remove_dir_all(&dir).ok();
 
-    // --- the update lifecycle (in-memory updatable engine) ---------------
-    let mut updatable = UpdatableXRank::new(EngineConfig::default());
+    // --- the update lifecycle (segmented pipeline, durable) ---------------
+    let pipe_dir = dir.join("pipeline");
+    let updatable =
+        UpdatableXRank::open(&pipe_dir, EngineConfig::default()).expect("writable temp dir");
     updatable
         .add_xml("a", "<doc><t>alpha searchable text</t></doc>")
         .unwrap();
-    updatable.commit();
+    let stats = updatable.commit().expect("commit seals a segment");
     assert_eq!(updatable.search("alpha", 10).unwrap().hits.len(), 1);
+    println!("commit: sealed segment {:?} at snapshot seq {}", stats.segment_id, stats.seq);
 
     updatable
         .add_xml("b", "<doc><t>beta arrives later</t></doc>")
         .unwrap();
     assert!(updatable.search("beta", 10).unwrap().hits.is_empty(), "staged, not yet visible");
-    updatable.commit();
+    updatable.commit().unwrap();
     assert!(!updatable.search("beta", 10).unwrap().hits.is_empty());
     println!("update lifecycle: staged add became searchable after commit");
 
-    updatable.delete("a");
+    assert!(updatable.delete("a").expect("tombstone publish"));
     assert!(updatable.search("alpha", 10).unwrap().hits.is_empty(), "tombstoned immediately");
     println!("delete: tombstone filtered results immediately");
 
-    updatable.compact();
-    assert_eq!(updatable.tombstone_count(), 0);
-    assert!(!updatable.search("beta", 10).unwrap().hits.is_empty());
-    println!("compact: single engine again, {} live docs", updatable.doc_count());
+    // --- crash mid-commit, recover the published snapshot -----------------
+    updatable.add_xml("c", "<doc><t>gamma never lands</t></doc>").unwrap();
+    updatable.inject_crash(CrashPoint::AfterManifestWrite);
+    assert!(updatable.commit().is_err(), "injected kill between seal and publish");
+    drop(updatable); // "process dies"
+
+    let recovered =
+        UpdatableXRank::open(&pipe_dir, EngineConfig::default()).expect("recovery from CURRENT");
+    assert!(recovered.search("gamma", 10).unwrap().hits.is_empty(), "unpublished commit gone");
+    assert!(!recovered.search("beta", 10).unwrap().hits.is_empty(), "published state intact");
+    assert_eq!(recovered.tombstone_count(), 1, "tombstone survived the crash");
+    println!("crash recovery: reopened to the last published snapshot");
+
+    let folded = recovered.compact().expect("fold to one segment");
+    assert_eq!(recovered.tombstone_count(), 0);
+    assert_eq!(recovered.segment_count(), 1);
+    assert!(!recovered.search("beta", 10).unwrap().hits.is_empty());
+    println!(
+        "compact: folded to one segment, {} live docs, ElemRank warm-started: {}",
+        recovered.doc_count(),
+        folded.rank_seeded
+    );
 
     std::fs::remove_dir_all(&dir).ok();
-    println!("\n✓ persistence round-trip and §4.5 update lifecycle verified");
+    println!("\n✓ persistence round-trip, §4.5 update lifecycle, and crash recovery verified");
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Update-pipeline smoke test:
+#   1. run the crash-injection suite (kill at every step of commit and
+#      compaction; reopen must recover the last published snapshot) and
+#      the snapshot-isolation suite (readers through concurrent commits,
+#      compactions, and the background compactor),
+#   2. run the E12 mixed read/write bench in fast mode and assert the
+#      latency gate — p99 read latency through commits and compactions
+#      within 2x the quiescent p99 — is recorded as passing.
+#
+# Usage: scripts/update_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail() { echo "update_smoke: $1" >&2; exit 1; }
+
+echo "== crash injection (commit + compaction, every crash point) =="
+cargo test -q -p xrank-core --offline --test update_crash
+
+echo "== snapshot isolation (readers through commits/compactions) =="
+cargo test -q -p xrank-core --offline --test update_concurrent
+cargo test -q -p xrank-core --offline --test updates
+
+echo "== mixed read/write latency (E12 fast mode) =="
+cargo build --release --offline -p xrank-bench --bin e12_updates >/dev/null
+
+OUT_JSON=$(mktemp "${TMPDIR:-/tmp}/xrank-updates.XXXXXX.json")
+trap 'rm -f "$OUT_JSON"' EXIT
+# The bench itself gates mixed p99 <= 2x quiescent p99 and exits nonzero
+# on failure.
+out=$(BENCH_UPDATES_FAST=1 BENCH_UPDATES_OUT="$OUT_JSON" target/release/e12_updates)
+echo "$out" | tail -n 3
+
+grep -q '"latency_gate_ok": true' "$OUT_JSON" \
+  || fail "latency gate not recorded as passing in $OUT_JSON"
+COMMITS=$(grep -o '"commits": [0-9]*' "$OUT_JSON" | grep -o '[0-9]*')
+[ "${COMMITS:-0}" -gt 0 ] || fail "mixed window saw zero commits — nothing was measured"
+echo "reads stayed within the latency gate across $COMMITS commits"
+
+echo "update_smoke: ok"

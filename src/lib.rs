@@ -41,9 +41,10 @@
 #![warn(missing_docs)]
 
 pub use xrank_core::{
-    AdmissionPolicy, AnswerNodes, DegradeReason, EngineBuilder, EngineConfig, Explain, ObsConfig,
-    QueryExecutor, QueryRequest, SearchHit, SearchResults, SlowQueryEntry, Strategy,
-    UpdatableXRank, XRankEngine,
+    AdmissionPolicy, AnswerNodes, CommitStats, CompactStats, CompactionPolicy, Compactor,
+    CrashPoint, DegradeReason, EngineBuilder, EngineConfig, Explain, ObsConfig, PinnedSnapshot,
+    QueryExecutor, QueryRequest, SearchHit, SearchResults, SlowQueryEntry, Snapshot, Strategy,
+    UpdatableXRank, UpdateError, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).
