@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xrank_bench::table::Table;
 use xrank_bench::{fixture, BenchConfig, DatasetKind};
-use xrank_core::{CompactionPolicy, Compactor, EngineConfig, UpdatableXRank};
+use xrank_core::{CompactionPolicy, Compactor, EngineConfig, OpKind, UpdatableXRank};
 use xrank_datagen::workload::{query, Correlation};
 
 /// Reader threads timing the search workload.
@@ -233,6 +233,28 @@ fn main() {
     match std::fs::write(&out, &json) {
         Ok(()) => println!("update results written to {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+
+    if let Ok(path) = std::env::var("BENCH_UPDATES_TRACE_OUT") {
+        // The artifact should show the full timeline — queries, commits,
+        // and at least one compaction. A short fast-mode window can end
+        // before the background compactor ever fires, so force one fold
+        // from a thread named like the compactor's.
+        let has_fold = e.recorder().records().iter().any(|r| r.kind == OpKind::Compaction);
+        if !has_fold {
+            let e2 = Arc::clone(&e);
+            std::thread::Builder::new()
+                .name("xrank-compactor".into())
+                .spawn(move || e2.compact().map(|_| ()))
+                .expect("spawn fold thread")
+                .join()
+                .expect("fold thread panicked")
+                .expect("forced fold failed");
+        }
+        match std::fs::write(&path, e.dump_trace_json()) {
+            Ok(()) => println!("trace dump written to {path} (open in ui.perfetto.dev)"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     std::fs::remove_dir_all(&dir).ok();
     if !gate_ok {

@@ -522,9 +522,33 @@ fn main() {
          (ratio {ratio:.3}) — {}",
         if overhead_ok { "within tolerance" } else { "REGRESSION" }
     );
+    // Flight-recorder gate: the same point with the recorder retaining
+    // every query trace vs fully off. Recording clones the finished trace
+    // into a bounded ring behind a short mutex hold, so recorder-on
+    // throughput must stay >= 0.9x recorder-off throughput.
+    let mut rec_on_qps = 0.0f64;
+    let mut rec_off_qps = 0.0f64;
+    for _ in 0..TRIALS {
+        engine.recorder().set_enabled(true);
+        let (q, _, _) = run_trial(&engine, &queries, Strategy::Hdil, 2, total);
+        rec_on_qps = rec_on_qps.max(q);
+        engine.recorder().set_enabled(false);
+        let (q, _, _) = run_trial(&engine, &queries, Strategy::Hdil, 2, total);
+        rec_off_qps = rec_off_qps.max(q);
+    }
+    engine.recorder().set_enabled(true);
+    let rec_ratio = if rec_off_qps == 0.0 { 1.0 } else { rec_on_qps / rec_off_qps };
+    let recorder_ok = rec_ratio >= 0.90;
+    println!(
+        "recorder overhead: on {rec_on_qps:.0} qps vs off {rec_off_qps:.0} qps \
+         (ratio {rec_ratio:.3}) — {}",
+        if recorder_ok { "within tolerance" } else { "REGRESSION" }
+    );
     let overhead_json = format!(
         "{{\"enabled_qps\": {enabled_qps:.1}, \"disabled_qps\": {disabled_qps:.1}, \
-         \"ratio\": {ratio:.4}, \"within_tolerance\": {overhead_ok}}}"
+         \"ratio\": {ratio:.4}, \"within_tolerance\": {overhead_ok}, \
+         \"recorder_on_qps\": {rec_on_qps:.1}, \"recorder_off_qps\": {rec_off_qps:.1}, \
+         \"recorder_ratio\": {rec_ratio:.4}, \"recorder_within_tolerance\": {recorder_ok}}}"
     );
 
     let json = format!(
@@ -541,5 +565,12 @@ fn main() {
     match std::fs::write(&out, &json) {
         Ok(()) => println!("throughput results written to {out}"),
         Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+
+    if let Ok(path) = std::env::var("BENCH_THROUGHPUT_TRACE_OUT") {
+        match std::fs::write(&path, engine.dump_trace_json()) {
+            Ok(()) => println!("trace dump written to {path} (open in ui.perfetto.dev)"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

@@ -14,6 +14,12 @@
 //! wakes the worker, and joins it. The worker holds only a `Weak`
 //! reference to the pipeline, so dropping the last user `Arc` also ends
 //! the thread at its next wake-up.
+//!
+//! The worker thread is named `xrank-compactor`, so every fold it runs
+//! lands on its own track in flight-recorder trace dumps
+//! ([`crate::UpdatableXRank::dump_trace_json`]); the fold itself records
+//! its trace into the pipeline's [`crate::FlightRecorder`], nothing extra
+//! is needed here.
 
 use crate::update::{UpdatableXRank, UpdateError};
 use std::sync::{Arc, Condvar, Mutex, Weak};

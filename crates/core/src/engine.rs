@@ -11,12 +11,25 @@ use xrank_index::{
     direct_postings_weighted, naive_postings, HdilIndex, NaiveIdIndex, NaiveRankIndex,
     RankWeighting, RdilIndex,
 };
-use xrank_obs::{MetricsRegistry, QueryTrace, Stage};
+use xrank_obs::{
+    EventData, FlightRecorder, MetricsRegistry, OpKind, OpOutcome, QueryTrace, Stage,
+};
 use xrank_query::{dil_query, hdil_query, naive_query, rdil_query, QueryError, QueryOptions};
 use xrank_rank::{elem_rank_seeded, ElemRankParams, RankResult};
 use xrank_storage::{
     BufferPool, CostModel, FaultPolicy, FileStore, MemStore, PageStore, StatsScope, StorageResult,
 };
+
+/// Flight-record label for a query op: `query[strategy] text`, with the
+/// text clipped so a pathological query can't bloat the ring.
+fn op_label(strategy: &str, query: &str) -> String {
+    const MAX_QUERY: usize = 80;
+    let clipped = match query.char_indices().nth(MAX_QUERY) {
+        Some((i, _)) => &query[..i],
+        None => query,
+    };
+    format!("query[{strategy}] {clipped}")
+}
 
 /// Which evaluation strategy [`XRankEngine::search_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -326,6 +339,10 @@ pub struct XRankEngine<S: PageStore = MemStore> {
     emetrics: EngineMetrics,
     slow_log: SlowQueryLog,
     limiter: InFlightLimiter,
+    recorder: Arc<FlightRecorder>,
+    /// Per-segment gauge series published on the last scrape, so series
+    /// whose segment has since disappeared can be retired.
+    segment_series: Mutex<HashSet<String>>,
 }
 
 impl<S: PageStore> XRankEngine<S> {
@@ -365,6 +382,17 @@ impl<S: PageStore> XRankEngine<S> {
             self.emetrics.record_degraded(reason);
         }
         self.note_slow(query, "any", elapsed, hits.len());
+        if self.recorder.is_enabled() {
+            // The disjunctive path is untraced; record the op envelope so
+            // it still lands on the timeline.
+            let trace = xrank_obs::Trace { total: elapsed, ..Default::default() };
+            let outcome_kind = if outcome.degraded.is_some() {
+                OpOutcome::Degraded
+            } else {
+                OpOutcome::Ok
+            };
+            self.recorder.record(OpKind::Query, &op_label("any", query), start, outcome_kind, &trace);
+        }
         Ok(SearchResults {
             hits,
             eval: outcome.stats,
@@ -451,6 +479,14 @@ impl<S: PageStore> XRankEngine<S> {
         trace: QueryTrace,
     ) -> Result<SearchResults, QueryError> {
         let _permit = self.limiter.acquire();
+        // The caller only gets a trace back if it asked for one, but the
+        // flight recorder wants every operation traced — upgrade a
+        // disabled trace while recording is on (the e8 recorder-overhead
+        // gate bounds what this always-on tracing may cost).
+        let explicit = trace.is_enabled();
+        let record = self.recorder.is_enabled();
+        let trace = if record && !explicit { QueryTrace::enabled() } else { trace };
+        let fault_base = trace.is_enabled().then(|| self.pool.fault_counters());
         let scope = StatsScope::begin();
         let start = std::time::Instant::now();
         let tokenize_span = trace.span(Stage::Tokenize);
@@ -527,6 +563,17 @@ impl<S: PageStore> XRankEngine<S> {
             Ok(o) => o,
             Err(e) => {
                 self.emetrics.record_err(&e);
+                if record {
+                    let _ = scope.finish();
+                    let origin = trace.origin();
+                    self.recorder.record(
+                        OpKind::Query,
+                        &op_label(strategy_label(strategy), query),
+                        origin,
+                        OpOutcome::Error,
+                        &trace.finish(),
+                    );
+                }
                 return Err(e);
             }
         };
@@ -543,15 +590,75 @@ impl<S: PageStore> XRankEngine<S> {
             self.emetrics.record_degraded(reason);
         }
         self.note_slow(query, strategy_label(strategy), elapsed, hits.len());
-        let trace = trace.is_enabled().then(|| trace.finish());
+        if trace.is_enabled() {
+            self.attach_pool_events(&trace, &io, fault_base);
+        }
+        let origin = trace.origin();
+        let finished = trace.is_enabled().then(|| trace.finish());
+        if record {
+            if let Some(t) = &finished {
+                let outcome_kind = if outcome.degraded.is_some() {
+                    OpOutcome::Degraded
+                } else {
+                    OpOutcome::Ok
+                };
+                self.recorder.record(
+                    OpKind::Query,
+                    &op_label(strategy_label(strategy), query),
+                    origin,
+                    outcome_kind,
+                    t,
+                );
+            }
+        }
         Ok(SearchResults {
             hits,
             eval: outcome.stats,
             io,
             elapsed,
-            trace,
+            trace: if explicit { finished } else { None },
             degraded: outcome.degraded,
         })
+    }
+
+    /// Stamps the query's I/O ledger and any circuit-breaker / retry
+    /// activity observed while it ran onto the trace as `pool_io` events,
+    /// so the exported timeline shows the physical cost next to the
+    /// stages that incurred it.
+    fn attach_pool_events(
+        &self,
+        trace: &QueryTrace,
+        io: &xrank_storage::IoStats,
+        fault_base: Option<xrank_storage::FaultCounters>,
+    ) {
+        for (what, n) in [
+            ("seq_reads", io.seq_reads),
+            ("rand_reads", io.rand_reads),
+            ("cache_hits", io.cache_hits),
+        ] {
+            if n > 0 {
+                trace.event(Stage::PoolIo, EventData::Count { what, n });
+            }
+        }
+        if let Some(base) = fault_base {
+            let now = self.pool.fault_counters();
+            for (what, n) in [
+                ("read_retries", now.retries.saturating_sub(base.retries)),
+                ("breaker_trips", now.breaker_trips.saturating_sub(base.breaker_trips)),
+                (
+                    "breaker_fast_fails",
+                    now.breaker_fast_fails.saturating_sub(base.breaker_fast_fails),
+                ),
+                (
+                    "breaker_recoveries",
+                    now.breaker_recoveries.saturating_sub(base.breaker_recoveries),
+                ),
+            ] {
+                if n > 0 {
+                    trace.event(Stage::PoolIo, EventData::Count { what, n });
+                }
+            }
+        }
     }
 
     fn note_slow(&self, query: &str, strategy: &'static str, elapsed: std::time::Duration, hits: usize) {
@@ -728,18 +835,29 @@ impl<S: PageStore> XRankEngine<S> {
         m.gauge("xrank_pool_breaker_trips").set(fc.breaker_trips as i64);
         m.gauge("xrank_pool_breaker_fast_fails").set(fc.breaker_fast_fails as i64);
         m.gauge("xrank_pool_breaker_recoveries").set(fc.breaker_recoveries as i64);
+        let (notable, normal) = self.recorder.depth();
+        m.gauge("xrank_recorder_notable_depth").set(notable as i64);
+        m.gauge("xrank_recorder_normal_depth").set(normal as i64);
+        m.gauge("xrank_recorder_dropped").set(self.recorder.dropped() as i64);
+        // Per-segment series carry a transient identity: publish the
+        // current set, then retire series for segments that no longer
+        // exist so a scrape never reports deleted segments.
+        let mut fresh = HashSet::new();
         for (seg, sio) in self.pool.segment_io() {
-            m.gauge(&format!(
-                "xrank_pool_segment_reads{{segment=\"{}\",kind=\"seq\"}}",
-                seg.0
-            ))
-            .set(sio.seq_reads as i64);
-            m.gauge(&format!(
-                "xrank_pool_segment_reads{{segment=\"{}\",kind=\"rand\"}}",
-                seg.0
-            ))
-            .set(sio.rand_reads as i64);
+            for (kind, reads) in [("seq", sio.seq_reads), ("rand", sio.rand_reads)] {
+                let name = format!(
+                    "xrank_pool_segment_reads{{segment=\"{}\",kind=\"{kind}\"}}",
+                    seg.0
+                );
+                m.gauge(&name).set(reads as i64);
+                fresh.insert(name);
+            }
         }
+        let mut prev = self.segment_series.lock().unwrap_or_else(|e| e.into_inner());
+        for stale in prev.difference(&fresh) {
+            m.retire(stale);
+        }
+        *prev = fresh;
     }
 
     /// Prometheus text exposition of every metric, with pool gauges
@@ -760,6 +878,18 @@ impl<S: PageStore> XRankEngine<S> {
     /// [`ObsConfig::slow_query_threshold`] slow), oldest first.
     pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
         self.slow_log.snapshot()
+    }
+
+    /// The engine's flight recorder (see [`FlightRecorder`]): the bounded
+    /// ring of recent finished operation traces.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Renders the flight recorder's retained operations as Chrome
+    /// trace-event JSON, loadable in `ui.perfetto.dev`.
+    pub fn dump_trace_json(&self) -> String {
+        xrank_obs::render_chrome_trace(&self.recorder.records())
     }
 
     // --- crate-internal accessors for the persistence layer ---
@@ -808,6 +938,7 @@ impl<S: PageStore> XRankEngine<S> {
         let emetrics = EngineMetrics::new(&metrics);
         let slow_log = SlowQueryLog::new(&config.obs);
         let limiter = InFlightLimiter::new(config.max_in_flight);
+        let recorder = Arc::new(FlightRecorder::new(config.obs.recorder.clone()));
         XRankEngine {
             config,
             collection,
@@ -822,7 +953,16 @@ impl<S: PageStore> XRankEngine<S> {
             emetrics,
             slow_log,
             limiter,
+            recorder,
+            segment_series: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Replaces this engine's flight recorder — used by the update
+    /// pipeline so every per-segment engine records into the pipeline's
+    /// shared ring (queries and background work on one timeline).
+    pub(crate) fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = recorder;
     }
 }
 

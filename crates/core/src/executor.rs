@@ -24,7 +24,7 @@ use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xrank_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use xrank_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, OpKind};
 use xrank_query::{CancelToken, QueryError, QueryOptions};
 use xrank_storage::PageStore;
 
@@ -139,6 +139,9 @@ pub struct QueryExecutor {
     /// Shared shutdown signal, cloned into every query that does not carry
     /// its own cancel token.
     shutdown: CancelToken,
+    /// The engine's flight recorder: shed decisions land on the timeline
+    /// as instant events next to the queries they displaced.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl QueryExecutor {
@@ -166,19 +169,24 @@ impl QueryExecutor {
         S: PageStore + Send + Sync + 'static,
     {
         let metrics = ExecMetrics::new(engine.metrics());
+        let recorder = Arc::clone(engine.recorder());
         let shutdown = CancelToken::new();
         let (tx, rx) = sync_channel::<Task>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let engine = Arc::clone(&engine);
                 let rx = Arc::clone(&rx);
                 let metrics = metrics.clone();
                 let shutdown = shutdown.clone();
-                std::thread::spawn(move || worker_loop(&engine, &rx, &metrics, &shutdown))
+                // Named so each worker gets its own track in trace dumps.
+                std::thread::Builder::new()
+                    .name(format!("xrank-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &metrics, &shutdown))
+                    .expect("spawn query worker")
             })
             .collect();
-        QueryExecutor { tx: Some(tx), workers, metrics, policy, shutdown }
+        QueryExecutor { tx: Some(tx), workers, metrics, policy, shutdown, recorder }
     }
 
     /// The admission policy this executor was built with.
@@ -219,6 +227,7 @@ impl QueryExecutor {
             Err(TrySendError::Full(_)) => {
                 self.metrics.sheds.inc();
                 self.metrics.record_error(&QueryError::Overloaded);
+                self.recorder.instant(OpKind::Shed, "shed: queue full");
                 Err(QueryError::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -265,6 +274,7 @@ impl QueryExecutor {
                     if Instant::now() >= deadline {
                         self.metrics.sheds.inc();
                         self.metrics.record_error(&QueryError::Overloaded);
+                        self.recorder.instant(OpKind::Shed, "shed: submission deadline");
                         return Err(QueryError::Overloaded);
                     }
                     task = t;

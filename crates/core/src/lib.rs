@@ -46,8 +46,11 @@ pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine
 pub use executor::{AdmissionPolicy, QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
 pub use snapshot::Snapshot;
-pub use telemetry::{Explain, ObsConfig, SlowQueryEntry};
+pub use telemetry::{Explain, ObsConfig, SlowOpEntry, SlowQueryEntry};
 pub use update::{
     CommitStats, CompactStats, CrashPoint, PinnedSnapshot, UpdatableXRank, UpdateError,
 };
-pub use xrank_obs::DegradeReason;
+pub use xrank_obs::{
+    render_chrome_trace, render_chrome_trace_normalized, validate_chrome_trace, DegradeReason,
+    FlightRecord, FlightRecorder, OpKind, OpOutcome, RecorderConfig, TraceCheck, TrackSummary,
+};

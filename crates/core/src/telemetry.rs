@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Mutex;
 use std::time::Duration;
-use xrank_obs::{Counter, EventData, Gauge, Histogram, MetricsRegistry, Trace};
+use xrank_obs::{Counter, EventData, Gauge, Histogram, MetricsRegistry, RecorderConfig, Trace};
 use xrank_query::{EvalStats, QueryError};
 use xrank_storage::IoStats;
 
@@ -29,6 +29,14 @@ pub struct ObsConfig {
     pub slow_query_threshold: Duration,
     /// Ring-buffer capacity of the slow-query log.
     pub slow_log_capacity: usize,
+    /// Background operations (commits, compactions) at least this slow
+    /// are captured in the update pipeline's slow-op log.
+    pub slow_op_threshold: Duration,
+    /// Ring-buffer capacity of the slow-op log.
+    pub slow_op_capacity: usize,
+    /// Flight-recorder retention policy (always-on trace ring; see
+    /// [`xrank_obs::FlightRecorder`]).
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ObsConfig {
@@ -37,6 +45,9 @@ impl Default for ObsConfig {
             metrics_enabled: true,
             slow_query_threshold: Duration::from_millis(100),
             slow_log_capacity: 64,
+            slow_op_threshold: Duration::from_millis(250),
+            slow_op_capacity: 32,
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -202,6 +213,7 @@ pub(crate) struct UpdateMetrics {
     pub compactions: Counter,
     pub compaction_failures: Counter,
     pub tombstones_gced: Counter,
+    pub slow_ops: Counter,
     pub commit_wall_us: Histogram,
     pub compact_wall_us: Histogram,
 }
@@ -219,6 +231,7 @@ impl UpdateMetrics {
             compactions: registry.counter("xrank_update_compactions_total"),
             compaction_failures: registry.counter("xrank_update_compaction_failures_total"),
             tombstones_gced: registry.counter("xrank_update_tombstones_gced_total"),
+            slow_ops: registry.counter("xrank_update_slow_ops_total"),
             commit_wall_us: registry.latency_histogram_us("xrank_update_commit_wall_us"),
             compact_wall_us: registry.latency_histogram_us("xrank_update_compact_wall_us"),
         }
@@ -284,6 +297,72 @@ impl SlowQueryLog {
 
     /// The captured entries, oldest first.
     pub(crate) fn snapshot(&self) -> Vec<SlowQueryEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// One captured slow background operation (commit, compaction, …).
+///
+/// Symmetric with [`SlowQueryEntry`], but background ops are rare and
+/// their traces are the primary evidence — `CompactStats::trace` is
+/// consumed by whoever triggered the fold, so this ring keeps its own
+/// copy for later inspection via `UpdatableXRank::slow_ops`.
+#[derive(Debug, Clone)]
+pub struct SlowOpEntry {
+    /// Operation kind label (`commit`, `compaction`).
+    pub kind: &'static str,
+    /// Human-readable description (segment id, fold shape…).
+    pub label: String,
+    /// Wall time of the operation.
+    pub elapsed: Duration,
+    /// The snapshot sequence the operation published (0 if none).
+    pub seq: u64,
+    /// The operation's finished trace.
+    pub trace: Trace,
+}
+
+/// A bounded ring buffer of the most recent background operations slower
+/// than [`ObsConfig::slow_op_threshold`].
+pub(crate) struct SlowOpLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowOpEntry>>,
+}
+
+impl SlowOpLog {
+    pub(crate) fn new(config: &ObsConfig) -> Self {
+        SlowOpLog {
+            threshold: config.slow_op_threshold,
+            capacity: config.slow_op_capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Captures `entry` if it clears the threshold; evicts the oldest
+    /// entry beyond capacity. Returns whether it was captured.
+    pub(crate) fn offer(&self, entry: SlowOpEntry) -> bool {
+        if entry.elapsed < self.threshold {
+            return false;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+
+    /// The captured entries, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<SlowOpEntry> {
         self.entries
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -480,6 +559,7 @@ mod tests {
             metrics_enabled: true,
             slow_query_threshold: Duration::from_millis(10),
             slow_log_capacity: 2,
+            ..Default::default()
         });
         let entry = |q: &str, ms: u64| SlowQueryEntry {
             query: q.to_string(),
@@ -495,6 +575,32 @@ mod tests {
         assert_eq!(snap.len(), 2, "ring evicts oldest");
         assert_eq!(snap[0].query, "b");
         assert_eq!(snap[1].query, "c");
+    }
+
+    #[test]
+    fn slow_op_log_mirrors_slow_query_semantics() {
+        let log = SlowOpLog::new(&ObsConfig {
+            slow_op_threshold: Duration::from_millis(10),
+            slow_op_capacity: 2,
+            ..Default::default()
+        });
+        assert_eq!(log.threshold(), Duration::from_millis(10));
+        let entry = |label: &str, ms: u64| SlowOpEntry {
+            kind: "commit",
+            label: label.to_string(),
+            elapsed: Duration::from_millis(ms),
+            seq: 7,
+            trace: Trace::default(),
+        };
+        assert!(!log.offer(entry("fast", 1)));
+        assert!(log.offer(entry("a", 20)));
+        assert!(log.offer(entry("b", 30)));
+        assert!(log.offer(entry("c", 40)));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2, "ring evicts oldest");
+        assert_eq!(snap[0].label, "b");
+        assert_eq!(snap[1].label, "c");
+        assert_eq!(snap[1].seq, 7);
     }
 
     #[test]

@@ -46,12 +46,14 @@ use crate::engine::{EngineBuilder, EngineConfig, Strategy};
 use crate::manifest::{self, ManifestData, ManifestSegment};
 use crate::results::{SearchHit, SearchResults};
 use crate::snapshot::{AnyEngine, DocSource, Segment, SegmentView, Snapshot};
-use crate::telemetry::UpdateMetrics;
-use std::collections::{BTreeMap, HashMap};
+use crate::telemetry::{SlowOpEntry, SlowOpLog, UpdateMetrics};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use xrank_obs::{Gauge, MetricsRegistry, QueryTrace, Stage, Trace};
+use xrank_obs::{
+    EventData, FlightRecorder, Gauge, MetricsRegistry, OpKind, OpOutcome, QueryTrace, Stage, Trace,
+};
 use xrank_query::{CancelToken, QueryError, QueryOptions};
 use xrank_storage::{FileStore, MemStore, StorageError};
 
@@ -236,6 +238,14 @@ pub struct UpdatableXRank {
     writer: Mutex<WriterState>,
     metrics: Arc<MetricsRegistry>,
     umetrics: UpdateMetrics,
+    /// Shared flight recorder: every per-segment engine records its query
+    /// ops here, and commits/compactions/swaps/GC/recovery land beside
+    /// them on one timeline.
+    recorder: Arc<FlightRecorder>,
+    slow_op_log: SlowOpLog,
+    /// Per-segment gauge series published on the last scrape (retired
+    /// when compaction/GC deletes their segment).
+    segment_series: Mutex<HashSet<String>>,
 }
 
 /// Cap on the over-fetch doublings of the tombstone re-fill loop: with
@@ -246,7 +256,8 @@ const MAX_REFILL_DOUBLINGS: usize = 6;
 impl UpdatableXRank {
     /// An empty, ephemeral (in-memory segments) updatable engine.
     pub fn new(config: EngineConfig) -> Self {
-        Self::assemble(config, None, Snapshot::empty(), 1, 1)
+        let recorder = Arc::new(FlightRecorder::new(config.obs.recorder.clone()));
+        Self::assemble(config, None, Snapshot::empty(), 1, 1, recorder)
     }
 
     /// Opens (or initializes) a durable pipeline rooted at `dir`:
@@ -257,11 +268,16 @@ impl UpdatableXRank {
     pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Self, UpdateError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let recorder = Arc::new(FlightRecorder::new(config.obs.recorder.clone()));
+        let trace =
+            if recorder.is_enabled() { QueryTrace::enabled() } else { QueryTrace::disabled() };
+        let recovery_span = trace.span(Stage::Recovery);
         let published = manifest::load_published(&dir)?;
         let (next_seq, next_seg) = manifest::next_counters(&dir, &published);
 
         let mut seg_config = config.clone();
         seg_config.obs.metrics_enabled = false;
+        seg_config.obs.recorder.enabled = false;
 
         let (seq, views) = match &published {
             None => (0, Vec::new()),
@@ -269,8 +285,9 @@ impl UpdatableXRank {
                 let mut views = Vec::with_capacity(m.segments.len());
                 for ms in &m.segments {
                     let seg_dir = dir.join(manifest::segment_dir_name(ms.id));
-                    let engine =
+                    let mut engine =
                         crate::engine::XRankEngine::<FileStore>::open(&seg_dir, seg_config.clone())?;
+                    engine.set_recorder(Arc::clone(&recorder));
                     let docs = manifest::read_docs_sidecar(&seg_dir)?;
                     let seg = Arc::new(Segment::new(ms.id, AnyEngine::File(engine), docs));
                     views.push(SegmentView {
@@ -282,8 +299,23 @@ impl UpdatableXRank {
             }
         };
         let live: Vec<u64> = views.iter().map(|v| v.seg.id).collect();
-        manifest::gc(&dir, seq, &live);
-        Ok(Self::assemble(config, Some(dir), Snapshot { seq, views }, next_seq, next_seg))
+        {
+            let _gc = trace.span(Stage::Gc);
+            manifest::gc(&dir, seq, &live);
+        }
+        drop(recovery_span);
+        if trace.is_enabled() {
+            trace.event(Stage::Recovery, EventData::Count { what: "segments", n: live.len() as u64 });
+            let origin = trace.origin();
+            recorder.record(
+                OpKind::Recovery,
+                &format!("recovery seq={seq}"),
+                origin,
+                OpOutcome::Ok,
+                &trace.finish(),
+            );
+        }
+        Ok(Self::assemble(config, Some(dir), Snapshot { seq, views }, next_seq, next_seg, recorder))
     }
 
     fn assemble(
@@ -292,9 +324,11 @@ impl UpdatableXRank {
         snapshot: Snapshot,
         next_seq: u64,
         next_seg: u64,
+        recorder: Arc<FlightRecorder>,
     ) -> Self {
         let mut seg_config = config.clone();
         seg_config.obs.metrics_enabled = false;
+        seg_config.obs.recorder.enabled = false;
         let metrics = Arc::new(if config.obs.metrics_enabled {
             MetricsRegistry::new()
         } else {
@@ -302,6 +336,7 @@ impl UpdatableXRank {
         });
         let umetrics = UpdateMetrics::new(&metrics);
         umetrics.publish_shape(&snapshot, 0);
+        let slow_op_log = SlowOpLog::new(&config.obs);
         UpdatableXRank {
             config,
             seg_config,
@@ -315,6 +350,9 @@ impl UpdatableXRank {
             }),
             metrics,
             umetrics,
+            recorder,
+            slow_op_log,
+            segment_series: Mutex::new(HashSet::new()),
         }
     }
 
@@ -365,8 +403,19 @@ impl UpdatableXRank {
         };
         let mut views = cur.views.clone();
         views[idx] = views[idx].with_tombstone(uri);
-        let trace = QueryTrace::disabled();
+        let trace =
+            if self.recorder.is_enabled() { QueryTrace::enabled() } else { QueryTrace::disabled() };
         self.publish_locked(&mut w, views, &trace)?;
+        if trace.is_enabled() {
+            let origin = trace.origin();
+            self.recorder.record(
+                OpKind::ManifestSwap,
+                &format!("delete {uri}"),
+                origin,
+                OpOutcome::Ok,
+                &trace.finish(),
+            );
+        }
         Ok(true)
     }
 
@@ -388,6 +437,7 @@ impl UpdatableXRank {
             });
         }
         let trace = QueryTrace::enabled();
+        let origin = trace.origin();
         match self.commit_locked(&mut w, &trace, start) {
             Ok(mut stats) => {
                 self.umetrics.commits.inc();
@@ -395,10 +445,25 @@ impl UpdatableXRank {
                     .commit_wall_us
                     .observe(stats.wall.as_secs_f64() * 1e6);
                 stats.trace = trace.finish();
+                let label = format!(
+                    "commit seg-{} docs={} seq={}",
+                    stats.segment_id.unwrap_or(0),
+                    stats.docs_added,
+                    stats.seq
+                );
+                self.recorder.record(OpKind::Commit, &label, origin, OpOutcome::Ok, &stats.trace);
+                self.note_slow_op("commit", label, stats.wall, stats.seq, &stats.trace);
                 Ok(stats)
             }
             Err(e) => {
                 self.umetrics.commit_failures.inc();
+                self.recorder.record(
+                    OpKind::Commit,
+                    &format!("commit failed: {e}"),
+                    origin,
+                    OpOutcome::Error,
+                    &trace.finish(),
+                );
                 Err(e)
             }
         }
@@ -478,6 +543,7 @@ impl UpdatableXRank {
     ) -> Result<CompactStats, UpdateError> {
         let start = Instant::now();
         let trace = QueryTrace::enabled();
+        let origin = trace.origin();
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         match self.fold_locked(&mut w, scope, cancel, &trace, start) {
             Ok(mut stats) => {
@@ -490,14 +556,60 @@ impl UpdatableXRank {
                     self.umetrics
                         .tombstones_gced
                         .add(stats.tombstones_dropped as u64);
+                    let label = format!(
+                        "compaction folded={} live={} seq={}",
+                        stats.segments_folded, stats.docs_live, stats.seq
+                    );
+                    self.recorder.record(
+                        OpKind::Compaction,
+                        &label,
+                        origin,
+                        OpOutcome::Ok,
+                        &stats.trace,
+                    );
+                    self.note_slow_op("compaction", label, stats.wall, stats.seq, &stats.trace);
                 }
                 Ok(stats)
             }
             Err(e) => {
-                if !matches!(e, UpdateError::Cancelled) {
+                let outcome = if matches!(e, UpdateError::Cancelled) {
+                    OpOutcome::Cancelled
+                } else {
                     self.umetrics.compaction_failures.inc();
-                }
+                    OpOutcome::Error
+                };
+                self.recorder.record(
+                    OpKind::Compaction,
+                    &format!("compaction {}: {e}", outcome.name()),
+                    origin,
+                    outcome,
+                    &trace.finish(),
+                );
                 Err(e)
+            }
+        }
+    }
+
+    /// Offers a finished background op to the slow-op ring (the analogue
+    /// of the engine's slow-query log for commits and compactions).
+    fn note_slow_op(
+        &self,
+        kind: &'static str,
+        label: String,
+        elapsed: Duration,
+        seq: u64,
+        trace: &Trace,
+    ) {
+        if elapsed >= self.slow_op_log.threshold() {
+            let captured = self.slow_op_log.offer(SlowOpEntry {
+                kind,
+                label,
+                elapsed,
+                seq,
+                trace: trace.clone(),
+            });
+            if captured {
+                self.umetrics.slow_ops.inc();
             }
         }
     }
@@ -651,12 +763,18 @@ impl UpdatableXRank {
             }
         }
         match &self.dir {
-            None => Ok(AnyEngine::Mem(builder.build_with_store(MemStore::new())?)),
+            None => {
+                let mut engine = builder.build_with_store(MemStore::new())?;
+                engine.set_recorder(Arc::clone(&self.recorder));
+                Ok(AnyEngine::Mem(engine))
+            }
             Some(dir) => {
                 let seg_dir = dir.join(manifest::segment_dir_name(seg_id));
                 std::fs::create_dir_all(&seg_dir)?;
                 manifest::write_docs_sidecar(&seg_dir, docs)?;
-                Ok(AnyEngine::File(builder.build_persistent(&seg_dir)?))
+                let mut engine = builder.build_persistent(&seg_dir)?;
+                engine.set_recorder(Arc::clone(&self.recorder));
+                Ok(AnyEngine::File(engine))
             }
         }
     }
@@ -693,6 +811,7 @@ impl UpdatableXRank {
         } else {
             w.crash_if_armed(CrashPoint::AfterManifestWrite)?;
         }
+        trace.event(Stage::ManifestSwap, EventData::Count { what: "manifest_seq", n: seq });
         drop(span);
         w.next_seq = seq + 1;
         // Durably published; a kill here loses only the in-memory install,
@@ -704,7 +823,24 @@ impl UpdatableXRank {
         let live: Vec<u64> = snap.views.iter().map(|v| v.seg.id).collect();
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
         if let Some(dir) = &self.dir {
+            // GC is its own flight-recorder op: it runs after the swap is
+            // visible and its cost should not be blamed on the publish span.
+            let gc_trace = if self.recorder.is_enabled() {
+                QueryTrace::enabled()
+            } else {
+                QueryTrace::disabled()
+            };
+            let gc_origin = gc_trace.origin();
+            let gc_span = gc_trace.span(Stage::Gc);
             manifest::gc(dir, seq, &live);
+            drop(gc_span);
+            self.recorder.record(
+                OpKind::Gc,
+                &format!("gc seq={seq}"),
+                gc_origin,
+                OpOutcome::Ok,
+                &gc_trace.finish(),
+            );
         }
         Ok(seq)
     }
@@ -831,11 +967,55 @@ impl UpdatableXRank {
         &self.metrics
     }
 
+    /// The pipeline's flight recorder: one bounded timeline holding
+    /// finished traces from queries, commits, compactions, manifest
+    /// swaps, GC, and recovery.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Renders every retained flight-recorder op as Chrome trace-event
+    /// JSON (loadable in `ui.perfetto.dev` / `chrome://tracing`).
+    pub fn dump_trace_json(&self) -> String {
+        xrank_obs::render_chrome_trace(&self.recorder.records())
+    }
+
+    /// The captured slow background ops (commits and compactions at
+    /// least [`ObsConfig::slow_op_threshold`](crate::ObsConfig) slow),
+    /// oldest first — the background-work analogue of
+    /// [`crate::XRankEngine::slow_queries`].
+    pub fn slow_ops(&self) -> Vec<SlowOpEntry> {
+        self.slow_op_log.snapshot()
+    }
+
     /// Prometheus text exposition with the snapshot-shape gauges freshly
     /// published.
     pub fn render_metrics(&self) -> String {
         let staged = self.staged_count();
-        self.umetrics.publish_shape(&self.current_arc(), staged);
+        let snap = self.current_arc();
+        self.umetrics.publish_shape(&snap, staged);
+        // Per-segment shape series carry a transient identity: publish
+        // the live set, then retire series for segments dropped by
+        // compaction or GC so a scrape never reports deleted segments.
+        let mut fresh = HashSet::new();
+        for v in &snap.views {
+            let series = [
+                ("xrank_update_segment_docs", v.seg.docs.len() as i64),
+                ("xrank_update_segment_tombstones", v.tombstones.len() as i64),
+                ("xrank_update_segment_bytes", v.seg.bytes as i64),
+            ];
+            for (base, value) in series {
+                let name = format!("{base}{{segment=\"{}\"}}", v.seg.id);
+                self.metrics.gauge(&name).set(value);
+                fresh.insert(name);
+            }
+        }
+        let mut prev = self.segment_series.lock().unwrap_or_else(|e| e.into_inner());
+        for stale in prev.difference(&fresh) {
+            self.metrics.retire(stale);
+        }
+        *prev = fresh;
+        drop(prev);
         self.metrics.render_prometheus()
     }
 }

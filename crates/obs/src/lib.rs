@@ -20,6 +20,18 @@
 //!   longest-common-prefix probes, range scans) and discrete decisions
 //!   (the HDIL switch with both time estimates that drove it). A disabled
 //!   trace records nothing and costs one branch per call site.
+//! * [`FlightRecorder`] — an always-on bounded ring of recent finished
+//!   [`Trace`]s from foreground queries *and* background pipeline work
+//!   (commits, compactions, manifest swaps, GC, recovery), tagged with
+//!   [`OpKind`], outcome, thread identity, and a start time on a shared
+//!   epoch. Notable ops (slow / errored / degraded / cancelled, and all
+//!   background work) are always kept; normal queries are sampled 1-in-N.
+//! * [`render_chrome_trace`] — Chrome trace-event JSON export of flight
+//!   records, loadable in `ui.perfetto.dev`: one track per thread, a span
+//!   per operation and per stage occurrence, instants for discrete
+//!   decisions. [`validate_chrome_trace`] structurally checks such a file
+//!   (required fields, strict per-track span nesting) without any JSON
+//!   dependency.
 //!
 //! Zero external dependencies, consistent with the workspace's offline
 //! shims policy: everything here is `std` + atomics.
@@ -27,14 +39,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod recorder;
 mod registry;
 mod trace;
+mod trace_json;
 
+pub use recorder::{FlightRecord, FlightRecorder, OpKind, OpOutcome, RecorderConfig};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     LATENCY_BUCKETS_US,
 };
 pub use trace::{
-    DegradeReason, EventData, QueryTrace, Span, Stage, StageTiming, SwitchReason, Trace,
-    TraceEvent,
+    DegradeReason, EventData, QueryTrace, Span, SpanRecord, Stage, StageTiming, SwitchReason,
+    Trace, TraceEvent,
+};
+pub use trace_json::{
+    json_escape, render_chrome_trace, render_chrome_trace_normalized, validate_chrome_trace,
+    TraceCheck, TrackSummary,
 };

@@ -328,6 +328,20 @@ impl MetricsRegistry {
         self.histogram(name, &LATENCY_BUCKETS_US)
     }
 
+    /// Retires a series by exact name: it stops appearing in snapshots
+    /// and the Prometheus exposition. Publishers that label series with
+    /// transient identities (per-segment gauges, retired after a
+    /// compaction deletes the segment) use this so scrapes don't keep
+    /// reporting entities that no longer exist. Outstanding handles keep
+    /// working against their detached cell; re-resolving the same name
+    /// registers a fresh series. Returns whether anything was removed.
+    pub fn retire(&self, name: &str) -> bool {
+        let mut inner = lock(&self.inner);
+        inner.counters.remove(name).is_some()
+            | inner.gauges.remove(name).is_some()
+            | inner.histograms.remove(name).is_some()
+    }
+
     /// A typed point-in-time copy of every registered series.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = lock(&self.inner);

@@ -30,6 +30,12 @@ use std::time::{Duration, Instant};
 /// [`Trace::dropped_events`] instead of growing the buffer.
 const MAX_EVENTS: usize = 4096;
 
+/// Cap on individual timeline spans retained per trace. Aggregates
+/// ([`StageTiming`]) keep counting past this; only the per-occurrence
+/// timeline needed by the Chrome-trace exporter is bounded. Overflow
+/// increments [`Trace::dropped_spans`].
+const MAX_SPANS: usize = 2048;
+
 /// The instrumented stages of the serving path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(usize)]
@@ -78,11 +84,20 @@ pub enum Stage {
     /// Folding segments together during compaction (tombstone GC, link
     /// re-resolution, warm-started ElemRank).
     CompactMerge,
+    /// Garbage-collecting superseded manifest generations and segment
+    /// directories after a publish.
+    Gc,
+    /// Recovering a published snapshot at open (manifest load, segment
+    /// reopen, startup GC).
+    Recovery,
+    /// Buffer-pool I/O accounting attached to a query (read counts,
+    /// breaker/retry activity observed while it ran).
+    PoolIo,
 }
 
 impl Stage {
     /// Number of stages (sizes the aggregation table).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     const ALL: [Stage; Stage::COUNT] = [
         Stage::Tokenize,
@@ -106,6 +121,9 @@ impl Stage {
         Stage::SegmentBuild,
         Stage::ManifestSwap,
         Stage::CompactMerge,
+        Stage::Gc,
+        Stage::Recovery,
+        Stage::PoolIo,
     ];
 
     /// Stable snake_case name (used in EXPLAIN output and tests).
@@ -132,6 +150,9 @@ impl Stage {
             Stage::SegmentBuild => "segment_build",
             Stage::ManifestSwap => "manifest_swap",
             Stage::CompactMerge => "compact_merge",
+            Stage::Gc => "gc",
+            Stage::Recovery => "recovery",
+            Stage::PoolIo => "pool_io",
         }
     }
 }
@@ -246,11 +267,25 @@ struct StageAgg {
     total: Duration,
 }
 
+/// One concrete timed occurrence of a stage on the trace timeline
+/// (recorded by [`Span`] guards; `bump`/`record` stay aggregate-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The stage.
+    pub stage: Stage,
+    /// Offset of the span start from the trace origin.
+    pub at: Duration,
+    /// How long the span ran.
+    pub dur: Duration,
+}
+
 #[derive(Debug)]
 struct TraceInner {
     stages: [StageAgg; Stage::COUNT],
     events: Vec<TraceEvent>,
     dropped: u64,
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
 }
 
 /// The per-query recording handle (see the module docs).
@@ -280,6 +315,8 @@ impl QueryTrace {
                 stages: [StageAgg::default(); Stage::COUNT],
                 events: Vec::new(),
                 dropped: 0,
+                spans: Vec::new(),
+                dropped_spans: 0,
             }),
         }
     }
@@ -287,6 +324,12 @@ impl QueryTrace {
     /// Whether this trace records anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The instant this trace was created — all span/event offsets are
+    /// relative to it, so it anchors the trace on a shared timeline.
+    pub fn origin(&self) -> Instant {
+        self.origin
     }
 
     /// Opens a timing span for `stage`; the duration is recorded when the
@@ -317,6 +360,21 @@ impl QueryTrace {
         let agg = &mut inner.stages[stage as usize];
         agg.count += 1;
         agg.total += dur;
+    }
+
+    /// Records a closed span on the timeline and in the aggregates
+    /// (called by the [`Span`] drop guard).
+    fn record_span(&self, stage: Stage, start: Instant, dur: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let agg = &mut inner.stages[stage as usize];
+        agg.count += 1;
+        agg.total += dur;
+        if inner.spans.len() >= MAX_SPANS {
+            inner.dropped_spans += 1;
+            return;
+        }
+        let at = start.saturating_duration_since(self.origin);
+        inner.spans.push(SpanRecord { stage, at, dur });
     }
 
     /// Appends a discrete event (bounded; overflow counts as dropped).
@@ -352,6 +410,8 @@ impl QueryTrace {
                 .collect(),
             events: inner.events,
             dropped_events: inner.dropped,
+            spans: inner.spans,
+            dropped_spans: inner.dropped_spans,
         }
     }
 }
@@ -367,7 +427,7 @@ pub struct Span<'a> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.trace.record(self.stage, start.elapsed());
+            self.trace.record_span(self.stage, start, start.elapsed());
         }
     }
 }
@@ -394,6 +454,11 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events discarded beyond the per-query cap.
     pub dropped_events: u64,
+    /// Individual timed spans in completion order (what the Chrome-trace
+    /// exporter draws; aggregates above keep counting past the cap).
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded beyond the per-trace cap.
+    pub dropped_spans: u64,
 }
 
 impl Trace {
@@ -477,6 +542,21 @@ mod tests {
         let done = t.finish();
         assert_eq!(done.events.len(), MAX_EVENTS);
         assert_eq!(done.dropped_events, 10);
+    }
+
+    #[test]
+    fn spans_build_a_bounded_timeline() {
+        let t = QueryTrace::enabled();
+        for _ in 0..(MAX_SPANS + 5) {
+            let _s = t.span(Stage::BtreeProbe);
+        }
+        t.bump(Stage::BtreeProbe); // aggregate-only: no timeline entry
+        let done = t.finish();
+        assert_eq!(done.spans.len(), MAX_SPANS);
+        assert_eq!(done.dropped_spans, 5);
+        assert_eq!(done.stage(Stage::BtreeProbe).unwrap().count, MAX_SPANS as u64 + 6);
+        // Spans complete in order on one thread, so offsets never regress.
+        assert!(done.spans.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

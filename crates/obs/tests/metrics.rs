@@ -163,3 +163,120 @@ fn counter_family_total_sums_labelled_series() {
     assert_eq!(snap.counter_family_total("q_totally_different"), 100);
     assert_eq!(snap.counter_family_total("absent"), 0);
 }
+
+#[test]
+fn latency_ladder_boundary_values_land_in_their_bound_bucket() {
+    // A value exactly on a `LATENCY_BUCKETS_US` edge belongs to that
+    // edge's bucket (`v <= bound`), never the next one up.
+    let r = MetricsRegistry::new();
+    let h = r.latency_histogram_us("edges_us");
+    for bound in LATENCY_BUCKETS_US {
+        h.observe(bound);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, LATENCY_BUCKETS_US.len() as u64);
+    let (buckets, overflow) = s.counts.split_at(LATENCY_BUCKETS_US.len());
+    assert!(buckets.iter().all(|&c| c == 1), "one edge value per bucket: {:?}", s.counts);
+    assert_eq!(overflow, [0], "an edge value must not spill into +Inf");
+    // Just past the final edge is the only way into the overflow bucket.
+    h.observe(LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1] + 0.1);
+    assert_eq!(h.snapshot().counts.last(), Some(&1));
+}
+
+#[test]
+fn snapshot_and_render_agree_on_every_series() {
+    let r = MetricsRegistry::new();
+    r.counter("ops_total{kind=\"read\"}").add(7);
+    r.counter("ops_total{kind=\"write\"}").add(2);
+    r.gauge("depth").set(-3);
+    let h = r.histogram("wall_us", &[10.0, 100.0]);
+    for v in [5.0, 10.0, 99.0, 250.0] {
+        h.observe(v);
+    }
+
+    let snap = r.snapshot();
+    let rendered = r.render_prometheus();
+    let value_of = |series: &str| -> f64 {
+        rendered
+            .lines()
+            .find(|l| l.strip_prefix(series).is_some_and(|rest| rest.starts_with(' ')))
+            .unwrap_or_else(|| panic!("series {series:?} not rendered:\n{rendered}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+
+    assert_eq!(value_of("ops_total{kind=\"read\"}") as u64, snap.counter("ops_total{kind=\"read\"}"));
+    assert_eq!(value_of("ops_total{kind=\"write\"}") as u64, snap.counter("ops_total{kind=\"write\"}"));
+    assert_eq!(value_of("depth") as i64, snap.gauge("depth"));
+    let hs = snap.histogram("wall_us").expect("histogram in snapshot");
+    // Rendered buckets are cumulative; the snapshot's are per-bucket.
+    assert_eq!(value_of("wall_us_bucket{le=\"10\"}") as u64, hs.counts[0]);
+    assert_eq!(value_of("wall_us_bucket{le=\"100\"}") as u64, hs.counts[0] + hs.counts[1]);
+    assert_eq!(value_of("wall_us_bucket{le=\"+Inf\"}") as u64, hs.count);
+    assert_eq!(value_of("wall_us_count{}") as u64, hs.count);
+    assert!((value_of("wall_us_sum{}") - hs.sum).abs() < 1e-9);
+}
+
+#[test]
+fn prometheus_exposition_is_parseable_with_no_duplicate_series() {
+    let r = MetricsRegistry::new();
+    r.counter("a_total{kind=\"x\"}").inc();
+    r.counter("a_total{kind=\"y\"}").inc();
+    r.gauge("b_depth").set(4);
+    r.latency_histogram_us("c_us").observe(123.0);
+
+    let rendered = r.render_prometheus();
+    let mut seen = std::collections::HashSet::new();
+    let mut typed_families = std::collections::HashSet::new();
+    for line in rendered.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("# TYPE names a family");
+            let kind = parts.next().expect("# TYPE names a kind");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "bad TYPE kind: {line}");
+            assert!(typed_families.insert(family.to_string()), "duplicate # TYPE for {family}");
+            continue;
+        }
+        // Every sample line is `name[{labels}] value` with a parseable value.
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line:?}"));
+        value.parse::<f64>().unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        assert!(seen.insert(series.to_string()), "duplicate series {series:?}");
+        // Its family (name up to `{` or a histogram suffix) must have
+        // been announced by a preceding # TYPE line.
+        let name = series.split('{').next().unwrap();
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed_families.contains(*f))
+            .unwrap_or(name);
+        assert!(typed_families.contains(family), "series {series:?} precedes its # TYPE line");
+    }
+}
+
+#[test]
+fn retired_series_vanish_from_scrapes_and_reregister_fresh() {
+    let r = MetricsRegistry::new();
+    let g = r.gauge("seg_docs{segment=\"1\"}");
+    g.set(12);
+    r.gauge("seg_docs{segment=\"2\"}").set(5);
+    assert!(r.render_prometheus().contains("seg_docs{segment=\"1\"} 12"));
+
+    assert!(r.retire("seg_docs{segment=\"1\"}"));
+    assert!(!r.retire("seg_docs{segment=\"1\"}"), "second retire finds nothing");
+    let rendered = r.render_prometheus();
+    assert!(!rendered.contains("segment=\"1\""), "retired series still scraped:\n{rendered}");
+    assert!(rendered.contains("seg_docs{segment=\"2\"} 5"), "unrelated series lost:\n{rendered}");
+
+    // The outstanding handle works against its detached cell without
+    // resurrecting the series; re-resolving registers a fresh one at 0.
+    g.set(99);
+    assert!(!r.render_prometheus().contains("segment=\"1\""));
+    let fresh = r.gauge("seg_docs{segment=\"1\"}");
+    assert_eq!(r.snapshot().gauge("seg_docs{segment=\"1\"}"), 0);
+    fresh.set(1);
+    assert!(r.render_prometheus().contains("seg_docs{segment=\"1\"} 1"));
+}

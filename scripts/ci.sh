@@ -28,6 +28,9 @@ scripts/overload_smoke.sh
 echo "== update smoke (crash recovery + read latency through commits) =="
 scripts/update_smoke.sh
 
+echo "== trace smoke (flight recorder -> Perfetto trace dump) =="
+scripts/trace_smoke.sh
+
 echo "== probe-path smoke (RDIL cursor/memo descent reduction) =="
 BENCH_THROUGHPUT_QUICK=1 cargo run --release --offline -p xrank-bench \
     --bin e8_throughput

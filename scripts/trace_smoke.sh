@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke test: one trace dump must hold the whole system
+# on one timeline.
+#
+#   1. run the E12 mixed read/write bench in fast mode with
+#      BENCH_UPDATES_TRACE_OUT set, so the run ends by dumping the flight
+#      recorder as Chrome trace-event JSON (queries + commits + at least
+#      one compaction),
+#   2. structurally validate the dump with `xrank trace-check`: valid
+#      JSON, spans strictly nested per track, and the dump must contain
+#      query, commit, and compaction events with the compactor on its own
+#      named track.
+#
+# Usage: scripts/trace_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail() { echo "trace_smoke: $1" >&2; exit 1; }
+
+echo "== build (e12_updates + xrank CLI) =="
+cargo build --release --offline -p xrank-bench --bin e12_updates >/dev/null
+cargo build --release --offline --bin xrank >/dev/null
+
+OUT_JSON=$(mktemp "${TMPDIR:-/tmp}/xrank-updates.XXXXXX.json")
+TRACE_JSON=$(mktemp "${TMPDIR:-/tmp}/xrank-trace.XXXXXX.json")
+trap 'rm -f "$OUT_JSON" "$TRACE_JSON"' EXIT
+
+echo "== mixed run with trace capture (E12 fast mode) =="
+out=$(BENCH_UPDATES_FAST=1 BENCH_UPDATES_OUT="$OUT_JSON" \
+      BENCH_UPDATES_TRACE_OUT="$TRACE_JSON" target/release/e12_updates)
+echo "$out" | tail -n 2
+[ -s "$TRACE_JSON" ] || fail "no trace dump written to $TRACE_JSON"
+
+echo "== structural validation (nesting + required cats/tracks) =="
+target/release/xrank trace-check "$TRACE_JSON" \
+  --expect-cat query \
+  --expect-cat commit \
+  --expect-cat compaction \
+  --expect-track xrank-compactor \
+  || fail "trace dump failed validation"
+
+echo "trace_smoke: ok"

@@ -7,11 +7,20 @@
 //!                                  [--explain] [--metrics]
 //!                                  [--io-budget N] [--allow-partial]
 //! xrank stats  <dir>                           collection statistics
+//! xrank trace-dump  <dir> <query words> [--strategy dil|rdil|hdil]
+//!                                  [--repeat N] [--out FILE]
+//! xrank trace-check <file> [--expect-cat CAT]... [--expect-track NAME]...
 //! ```
 //!
 //! `--explain` runs the query traced and prints the per-stage timeline
 //! (and, under HDIL, the switch decision with both cost estimates);
 //! `--metrics` dumps the engine's Prometheus exposition after the query.
+//!
+//! `trace-dump` runs the query against the flight recorder and writes the
+//! retained timeline as Chrome trace-event JSON — open the file in
+//! `ui.perfetto.dev` (or `chrome://tracing`). `trace-check` structurally
+//! validates such a dump (valid JSON, spans strictly nested per track)
+//! and optionally asserts that given categories and named tracks appear.
 //!
 //! `--io-budget N` caps the query at N logical page reads; with
 //! `--allow-partial` an exhausted budget (or deadline) returns the best
@@ -33,13 +42,18 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("trace-dump") => cmd_trace_dump(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  xrank index  <dir> <file.xml|file.html>...\n  \
                  xrank demo   <dir> [--dblp N | --xmark SCALE]\n  \
                  xrank search <dir> <query words> [-m N] [--any] [--strategy dil|rdil|hdil] \
                  [--explain] [--metrics] [--io-budget N] [--allow-partial]\n  \
-                 xrank stats  <dir>"
+                 xrank stats  <dir>\n  \
+                 xrank trace-dump  <dir> <query words> [--strategy dil|rdil|hdil] \
+                 [--repeat N] [--out FILE]\n  \
+                 xrank trace-check <file> [--expect-cat CAT]... [--expect-track NAME]..."
             );
             return ExitCode::from(2);
         }
@@ -212,6 +226,120 @@ fn cmd_search(args: &[String]) -> CliResult {
     }
     if metrics {
         print!("{}", engine.render_metrics());
+    }
+    Ok(())
+}
+
+fn cmd_trace_dump(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("trace-dump: missing <dir>")?;
+    let mut strategy = Strategy::Hdil;
+    let mut repeat = 1usize;
+    let mut out: Option<String> = None;
+    let mut words: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                i += 1;
+                strategy = match args.get(i).map(String::as_str) {
+                    Some("dil") => Strategy::Dil,
+                    Some("rdil") => Strategy::Rdil,
+                    Some("hdil") => Strategy::Hdil,
+                    other => return Err(format!("trace-dump: unknown strategy {other:?}")),
+                };
+            }
+            "--repeat" => {
+                i += 1;
+                repeat = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("trace-dump: --repeat needs a count")?;
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("trace-dump: --out needs a file path")?,
+                );
+            }
+            w => words.push(w),
+        }
+        i += 1;
+    }
+    if words.is_empty() {
+        return Err("trace-dump: empty query".into());
+    }
+    let query = words.join(" ");
+
+    let engine = XRankEngine::<FileStore>::open(dir, engine_config())
+        .map_err(|e| format!("opening {dir}: {e}"))?;
+    engine.recorder().set_enabled(true);
+    let opts = QueryOptions::default();
+    for _ in 0..repeat.max(1) {
+        engine
+            .search_with(&query, strategy, &opts)
+            .map_err(|e| format!("query failed: {e}"))?;
+    }
+    let json = engine.dump_trace_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} bytes of trace JSON to {path} — open in ui.perfetto.dev",
+                json.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> CliResult {
+    let file = args.first().ok_or("trace-check: missing <file>")?;
+    let mut expect_cats: Vec<&str> = Vec::new();
+    let mut expect_tracks: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect-cat" => {
+                i += 1;
+                expect_cats
+                    .push(args.get(i).map(String::as_str).ok_or("trace-check: --expect-cat needs a category")?);
+            }
+            "--expect-track" => {
+                i += 1;
+                expect_tracks
+                    .push(args.get(i).map(String::as_str).ok_or("trace-check: --expect-track needs a name")?);
+            }
+            other => return Err(format!("trace-check: unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let json = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let check = xrank::validate_chrome_trace(&json)
+        .map_err(|e| format!("trace-check: {file}: {e}"))?;
+    for cat in &expect_cats {
+        if !check.has_cat(cat) {
+            return Err(format!("trace-check: {file}: no events with cat {cat:?}"));
+        }
+    }
+    for track in &expect_tracks {
+        if !check.has_track(track) {
+            return Err(format!("trace-check: {file}: no track named {track:?}"));
+        }
+    }
+    println!("{file}: {} events across {} tracks, spans nested", check.events, check.tracks.len());
+    for t in &check.tracks {
+        let mut cats: Vec<&str> = t.cats.iter().map(String::as_str).collect();
+        cats.sort_unstable();
+        println!(
+            "  {}: {} spans, {} instants [{}]",
+            t.name,
+            t.spans,
+            t.instants,
+            cats.join(", ")
+        );
     }
     Ok(())
 }

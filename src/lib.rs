@@ -41,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub use xrank_core::{
-    AdmissionPolicy, AnswerNodes, CommitStats, CompactStats, CompactionPolicy, Compactor,
-    CrashPoint, DegradeReason, EngineBuilder, EngineConfig, Explain, ObsConfig, PinnedSnapshot,
-    QueryExecutor, QueryRequest, SearchHit, SearchResults, SlowQueryEntry, Snapshot, Strategy,
-    UpdatableXRank, UpdateError, XRankEngine,
+    render_chrome_trace, validate_chrome_trace, AdmissionPolicy, AnswerNodes, CommitStats,
+    CompactStats, CompactionPolicy, Compactor, CrashPoint, DegradeReason, EngineBuilder,
+    EngineConfig, Explain, FlightRecord, FlightRecorder, ObsConfig, OpKind, OpOutcome,
+    PinnedSnapshot, QueryExecutor, QueryRequest, RecorderConfig, SearchHit, SearchResults,
+    SlowOpEntry, SlowQueryEntry, Snapshot, Strategy, TraceCheck, TrackSummary, UpdatableXRank,
+    UpdateError, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).
