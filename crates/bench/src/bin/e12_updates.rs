@@ -12,11 +12,14 @@
 //!
 //! The gate: mixed p99 read latency must stay within 2x the quiescent
 //! p99 (with a small absolute floor so a sub-microsecond quiescent p99
-//! on a tiny corpus doesn't make the multiplier meaningless). The
-//! process exits nonzero if it fails. Results land in
-//! `BENCH_updates.json` (override with `BENCH_UPDATES_OUT`);
-//! `scripts/update_smoke.sh` runs this in fast mode
-//! (`BENCH_UPDATES_FAST=1`).
+//! on a tiny corpus doesn't make the multiplier meaningless). A second
+//! gate prices the write-ahead log (DESIGN §4.15): the same mixed
+//! workload runs against two fresh pipelines differing only in the WAL
+//! — group-commit logging on vs off — and the WAL-on p99 must stay
+//! within 1.5x the WAL-off p99. The process exits nonzero if either
+//! fails. Results land in `BENCH_updates.json` (override with
+//! `BENCH_UPDATES_OUT`); `scripts/update_smoke.sh` runs this in fast
+//! mode (`BENCH_UPDATES_FAST=1`).
 //!
 //! ```sh
 //! cargo run --release -p xrank-bench --bin e12_updates
@@ -27,8 +30,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xrank_bench::table::Table;
 use xrank_bench::{fixture, BenchConfig, DatasetKind};
-use xrank_core::{CompactionPolicy, Compactor, EngineConfig, OpKind, UpdatableXRank};
+use xrank_core::{
+    CompactionPolicy, Compactor, EngineConfig, OpKind, SyncPolicy, UpdatableXRank, WalConfig,
+};
 use xrank_datagen::workload::{query, Correlation};
+use xrank_datagen::Dataset;
 
 /// Reader threads timing the search workload.
 const READERS: usize = 2;
@@ -39,6 +45,9 @@ const GATE_FACTOR: f64 = 2.0;
 /// Absolute floor for the gate baseline: below this, the corpus is so
 /// small that a fixed scheduling hiccup would dominate the multiplier.
 const GATE_FLOOR: Duration = Duration::from_micros(500);
+
+/// Gate: WAL-on mixed p99 must stay within this multiple of WAL-off.
+const WAL_GATE_FACTOR: f64 = 1.5;
 
 fn fast_mode() -> bool {
     std::env::var("BENCH_UPDATES_FAST").is_ok_and(|v| v != "0")
@@ -60,16 +69,35 @@ fn workload_queries() -> Vec<String> {
     qs
 }
 
-fn build_pipeline(dir: &std::path::Path) -> UpdatableXRank {
-    let publications = if fast_mode() { 200 } else { 800 };
-    let ds = fixture::generate_dataset(&BenchConfig::standard(DatasetKind::Dblp { publications }));
-    let config = EngineConfig { pool_pages: 2048, ..Default::default() };
+fn build_pipeline(dir: &std::path::Path, ds: &Dataset, config: EngineConfig) -> UpdatableXRank {
     let e = UpdatableXRank::open(dir, config).expect("writable bench dir");
     for (uri, xml) in &ds.docs {
         e.add_xml(uri, xml).expect("generated XML parses");
     }
     e.commit().expect("initial commit");
     e
+}
+
+/// Churn writer: add/replace + periodic delete, committing each round,
+/// until the window closes or the readers finish first.
+fn churn(e: &UpdatableXRank, stop: &AtomicBool, commits: &AtomicU64) {
+    let win = window();
+    let t0 = Instant::now();
+    let mut round = 0u64;
+    while t0.elapsed() < win && !stop.load(Ordering::Relaxed) {
+        let uri = format!("churn-{}", round % 8);
+        let xml = format!(
+            "<doc><title>churned entry {round}</title>\
+             <body>transient text for update round {round}</body></doc>"
+        );
+        e.add_xml(&uri, &xml).expect("churn add");
+        if round % 4 == 3 {
+            e.delete(&format!("churn-{}", (round + 1) % 8)).expect("churn delete");
+        }
+        e.commit().expect("churn commit");
+        commits.fetch_add(1, Ordering::Relaxed);
+        round += 1;
+    }
 }
 
 /// p-th percentile (nearest-rank) of a sorted latency sample.
@@ -128,7 +156,13 @@ fn main() {
 
     print!("building pipeline... ");
     let t0 = Instant::now();
-    let e = Arc::new(build_pipeline(&dir));
+    let publications = if fast_mode() { 200 } else { 800 };
+    let ds = fixture::generate_dataset(&BenchConfig::standard(DatasetKind::Dblp { publications }));
+    let e = Arc::new(build_pipeline(
+        &dir.join("main"),
+        &ds,
+        EngineConfig { pool_pages: 2048, ..Default::default() },
+    ));
     println!("{:.1}s ({} docs)", t0.elapsed().as_secs_f64(), e.doc_count());
 
     let queries = workload_queries();
@@ -153,30 +187,35 @@ fn main() {
         },
     );
     let commits = AtomicU64::new(0);
-    let writer = |stop: &AtomicBool| {
-        let win = window();
-        let t0 = Instant::now();
-        let mut round = 0u64;
-        while t0.elapsed() < win && !stop.load(Ordering::Relaxed) {
-            let uri = format!("churn-{}", round % 8);
-            let xml = format!(
-                "<doc><title>churned entry {round}</title>\
-                 <body>transient text for update round {round}</body></doc>"
-            );
-            e.add_xml(&uri, &xml).expect("churn add");
-            if round % 4 == 3 {
-                e.delete(&format!("churn-{}", (round + 1) % 8)).expect("churn delete");
-            }
-            e.commit().expect("churn commit");
-            commits.fetch_add(1, Ordering::Relaxed);
-            round += 1;
-        }
-    };
-    let mixed = measure(&e, &queries, Some(&writer));
+    let mixed = measure(&e, &queries, Some(&|stop: &AtomicBool| churn(&e, stop, &commits)));
     drop(compactor); // shutdown: cancels any in-flight fold, joins
 
     let commits = commits.load(Ordering::Relaxed);
     assert!(commits > 0, "mixed window saw no commits — nothing was measured");
+
+    // WAL pricing: two fresh pipelines over the same corpus, identical
+    // mixed workload (no compactor, so the log is the only variable),
+    // group-commit logging on vs off.
+    let wal_run = |enabled: bool, tag: &str| {
+        let wal_config = WalConfig {
+            enabled,
+            sync: SyncPolicy::GroupCommit(Duration::from_millis(2)),
+        };
+        let we = Arc::new(build_pipeline(
+            &dir.join(format!("wal-{tag}")),
+            &ds,
+            EngineConfig { pool_pages: 2048, wal: wal_config, ..Default::default() },
+        ));
+        for q in &queries {
+            we.search(q, 10).expect("wal warmup query");
+        }
+        let wal_commits = AtomicU64::new(0);
+        let sample =
+            measure(&we, &queries, Some(&|stop: &AtomicBool| churn(&we, stop, &wal_commits)));
+        (sample, wal_commits.into_inner())
+    };
+    let (wal_on, wal_on_commits) = wal_run(true, "on");
+    let (wal_off, wal_off_commits) = wal_run(false, "off");
 
     let q99 = percentile(&quiescent, 99.0);
     let m99 = percentile(&mixed, 99.0);
@@ -184,11 +223,18 @@ fn main() {
     let m50 = percentile(&mixed, 50.0);
     let baseline = q99.max(GATE_FLOOR);
     let gate_ok = m99.as_secs_f64() <= GATE_FACTOR * baseline.as_secs_f64();
+    let won99 = percentile(&wal_on, 99.0);
+    let woff99 = percentile(&wal_off, 99.0);
+    let wal_baseline = woff99.max(GATE_FLOOR);
+    let wal_gate_ok = won99.as_secs_f64() <= WAL_GATE_FACTOR * wal_baseline.as_secs_f64();
 
     let mut t = Table::new(vec!["phase", "reads", "p50 us", "p99 us"]);
-    for (label, sample, p50, p99) in
-        [("quiescent", &quiescent, q50, q99), ("mixed", &mixed, m50, m99)]
-    {
+    for (label, sample, p50, p99) in [
+        ("quiescent", &quiescent, q50, q99),
+        ("mixed", &mixed, m50, m99),
+        ("wal on", &wal_on, percentile(&wal_on, 50.0), won99),
+        ("wal off", &wal_off, percentile(&wal_off, 50.0), woff99),
+    ] {
         t.row(vec![
             label.to_string(),
             sample.len().to_string(),
@@ -208,6 +254,13 @@ fn main() {
         GATE_FACTOR * baseline.as_secs_f64() * 1e6,
         if gate_ok { "PASS" } else { "FAIL" }
     );
+    println!(
+        "wal gate: group-commit p99 {:.1}us ({wal_on_commits} commits) vs \
+         {WAL_GATE_FACTOR}x no-wal baseline {:.1}us ({wal_off_commits} commits) — {}",
+        won99.as_secs_f64() * 1e6,
+        WAL_GATE_FACTOR * wal_baseline.as_secs_f64() * 1e6,
+        if wal_gate_ok { "PASS" } else { "FAIL" }
+    );
 
     let phase_json = |label: &str, sample: &[Duration], p50: Duration, p99: Duration| {
         format!(
@@ -222,11 +275,17 @@ fn main() {
          \"readers\": {READERS},\n  \"commits\": {commits},\n  \
          \"segments_live\": {},\n  \"gate_factor\": {GATE_FACTOR},\n  \
          \"gate_floor_us\": {:.1},\n  \"latency_gate_ok\": {gate_ok},\n  \
-         \"phases\": [\n    {},\n    {}\n  ]\n}}\n",
+         \"wal_gate_factor\": {WAL_GATE_FACTOR},\n  \
+         \"wal_on_commits\": {wal_on_commits},\n  \
+         \"wal_off_commits\": {wal_off_commits},\n  \
+         \"wal_gate_ok\": {wal_gate_ok},\n  \
+         \"phases\": [\n    {},\n    {},\n    {},\n    {}\n  ]\n}}\n",
         e.segment_count(),
         GATE_FLOOR.as_secs_f64() * 1e6,
         phase_json("quiescent", &quiescent, q50, q99),
         phase_json("mixed", &mixed, m50, m99),
+        phase_json("wal_on", &wal_on, percentile(&wal_on, 50.0), won99),
+        phase_json("wal_off", &wal_off, percentile(&wal_off, 50.0), woff99),
     );
     let out =
         std::env::var("BENCH_UPDATES_OUT").unwrap_or_else(|_| "BENCH_updates.json".to_string());
@@ -257,7 +316,7 @@ fn main() {
         }
     }
     std::fs::remove_dir_all(&dir).ok();
-    if !gate_ok {
+    if !gate_ok || !wal_gate_ok {
         std::process::exit(1);
     }
 }

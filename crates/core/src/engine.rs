@@ -92,6 +92,9 @@ pub struct EngineConfig {
     /// Retry and circuit-breaker behavior for physical page reads
     /// (defaults to fully disabled: every fault surfaces immediately).
     pub fault_policy: FaultPolicy,
+    /// Write-ahead log for sub-commit durability of staged documents
+    /// (durable update pipelines only; see [`crate::SyncPolicy`]).
+    pub wal: crate::wal::WalConfig,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +112,7 @@ impl Default for EngineConfig {
             obs: ObsConfig::default(),
             max_in_flight: 0,
             fault_policy: FaultPolicy::default(),
+            wal: crate::wal::WalConfig::default(),
         }
     }
 }

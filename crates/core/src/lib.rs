@@ -37,19 +37,24 @@ mod executor;
 mod manifest;
 mod persist;
 mod results;
+mod scrub;
 mod snapshot;
 mod telemetry;
 mod update;
+mod wal;
 
 pub use compactor::{CompactionPolicy, Compactor};
 pub use engine::{AnswerNodes, EngineBuilder, EngineConfig, Strategy, XRankEngine};
 pub use executor::{AdmissionPolicy, QueryExecutor, QueryReply, QueryRequest};
 pub use results::{SearchHit, SearchResults};
+pub use scrub::{ScrubPolicy, Scrubber};
 pub use snapshot::Snapshot;
 pub use telemetry::{Explain, ObsConfig, SlowOpEntry, SlowQueryEntry};
 pub use update::{
-    CommitStats, CompactStats, CrashPoint, PinnedSnapshot, UpdatableXRank, UpdateError,
+    CommitStats, CompactStats, CrashPoint, PinnedSnapshot, ScrubCursor, ScrubReport,
+    UpdatableXRank, UpdateError,
 };
+pub use wal::{SyncPolicy, WalConfig, WalFault};
 pub use xrank_obs::{
     render_chrome_trace, render_chrome_trace_normalized, validate_chrome_trace, DegradeReason,
     FlightRecord, FlightRecorder, OpKind, OpOutcome, RecorderConfig, TraceCheck, TrackSummary,

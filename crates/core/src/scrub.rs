@@ -1,0 +1,133 @@
+//! Online integrity scrub for the update pipeline.
+//!
+//! A [`Scrubber`] owns one worker thread that continuously walks the
+//! pipeline's sealed segments at a throttled page rate, re-reading every
+//! physical page off the medium and verifying its CRC32 trailer — the
+//! open-time full-checksum scan, running *while serving*. A failed page
+//! quarantines its segment ([`crate::UpdatableXRank::quarantine`]): reads
+//! against it fail fast with a typed
+//! [`xrank_storage::StorageError::Quarantined`] (or degrade under
+//! `allow_partial`) while every other segment keeps serving. With
+//! [`ScrubPolicy::auto_repair`] the worker then triggers self-repair
+//! ([`crate::UpdatableXRank::repair_segment`]): the segment is rebuilt
+//! from its CRC-checked docs sidecar into a fresh segment id, published
+//! with one atomic manifest swap, and the quarantine released.
+//!
+//! The plumbing is the [`crate::Compactor`]'s: shutdown cancels a shared
+//! [`CancelToken`], wakes the worker, and joins it; the worker holds only
+//! a `Weak` reference to the pipeline, so dropping the last user `Arc`
+//! also ends the thread at its next wake-up. The worker thread is named
+//! `xrank-scrubber`, so its scrub and repair ops land on their own track
+//! in flight-recorder trace dumps.
+
+use crate::update::{ScrubCursor, UpdatableXRank};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+use xrank_query::CancelToken;
+
+/// How fast (and how autonomously) the background scrubber works.
+#[derive(Debug, Clone)]
+pub struct ScrubPolicy {
+    /// Pause between verification chunks — the throttle that keeps the
+    /// scrub's read traffic from competing with queries.
+    pub interval: Duration,
+    /// Physical pages verified per chunk.
+    pub pages_per_chunk: u64,
+    /// Whether a quarantined segment is repaired immediately by the
+    /// worker itself. Off, the quarantine stands until an operator (or
+    /// test) calls [`UpdatableXRank::repair_segment`].
+    pub auto_repair: bool,
+}
+
+impl Default for ScrubPolicy {
+    fn default() -> Self {
+        ScrubPolicy {
+            interval: Duration::from_millis(250),
+            pages_per_chunk: 256,
+            auto_repair: true,
+        }
+    }
+}
+
+struct Shared {
+    cancel: CancelToken,
+    nudged: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to the background scrub worker. Dropping it (or calling
+/// [`Scrubber::shutdown`]) wakes and joins the thread.
+pub struct Scrubber {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Scrubber {
+    /// Spawns the worker against `index` under `policy`.
+    pub fn spawn(index: &Arc<UpdatableXRank>, policy: ScrubPolicy) -> Scrubber {
+        let shared = Arc::new(Shared {
+            cancel: CancelToken::new(),
+            nudged: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let weak: Weak<UpdatableXRank> = Arc::downgrade(index);
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("xrank-scrubber".into())
+            .spawn(move || Self::worker_loop(weak, policy, worker_shared))
+            .expect("spawn scrubber worker");
+        Scrubber { shared, handle: Some(handle) }
+    }
+
+    fn worker_loop(weak: Weak<UpdatableXRank>, policy: ScrubPolicy, shared: Arc<Shared>) {
+        let mut cursor = ScrubCursor::default();
+        loop {
+            {
+                let guard = shared.nudged.lock().unwrap_or_else(|e| e.into_inner());
+                let (mut guard, _) = shared
+                    .cv
+                    .wait_timeout_while(guard, policy.interval, |nudged| {
+                        !*nudged && !shared.cancel.is_cancelled()
+                    })
+                    .unwrap_or_else(|e| e.into_inner());
+                *guard = false;
+            }
+            if shared.cancel.is_cancelled() {
+                return;
+            }
+            let Some(index) = weak.upgrade() else { return };
+            let report = index.scrub_chunk(policy.pages_per_chunk, &mut cursor);
+            if policy.auto_repair {
+                for seg_id in report.corrupt_segments {
+                    // A failed repair leaves the quarantine standing —
+                    // the segment keeps failing fast, the worker keeps
+                    // scrubbing everything else, and the next corruption
+                    // report (or an operator) can retry.
+                    let _ = index.repair_segment(seg_id);
+                }
+            }
+        }
+    }
+
+    /// Wakes the worker now instead of waiting out the throttle interval.
+    pub fn nudge(&self) {
+        let mut nudged = self.shared.nudged.lock().unwrap_or_else(|e| e.into_inner());
+        *nudged = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Stops and joins the worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.cancel.cancel();
+        self.nudge();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scrubber {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -20,7 +20,7 @@ use crate::results::SearchResults;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use xrank_query::{QueryError, QueryOptions};
-use xrank_storage::{FileStore, MemStore};
+use xrank_storage::{FileStore, MemStore, PageId, PageStore, SegmentId, StorageResult, PAGE_SIZE};
 
 /// The source text of a live document, kept beside each segment so
 /// compaction can rebuild folded segments from scratch.
@@ -62,6 +62,44 @@ impl AnyEngine {
         match self {
             AnyEngine::Mem(e) => e.query(query, strategy, opts),
             AnyEngine::File(e) => e.query(query, strategy, opts),
+        }
+    }
+
+    /// Total physical pages across the segment's store files (0 for
+    /// in-memory segments — no device bytes to rot).
+    pub(crate) fn page_total(&self) -> u64 {
+        match self {
+            AnyEngine::Mem(_) => 0,
+            AnyEngine::File(e) => {
+                let store = e.pool().store();
+                (0..store.segment_count())
+                    .map(|s| store.page_count(SegmentId(s)) as u64)
+                    .sum()
+            }
+        }
+    }
+
+    /// Verifies the `flat`-th physical page (flat index across the store's
+    /// segment files in order): a direct read off the medium, bypassing
+    /// the page cache, so the checksum-and-trailer check exercises what is
+    /// actually on disk. The scrubber's unit of work.
+    pub(crate) fn verify_page(&self, flat: u64) -> StorageResult<()> {
+        match self {
+            AnyEngine::Mem(_) => Ok(()),
+            AnyEngine::File(e) => {
+                let store = e.pool().store();
+                let mut rest = flat;
+                for s in 0..store.segment_count() {
+                    let seg = SegmentId(s);
+                    let pages = store.page_count(seg) as u64;
+                    if rest < pages {
+                        let mut buf = vec![0u8; PAGE_SIZE];
+                        return store.read_page(PageId::new(seg, rest as u32), &mut buf);
+                    }
+                    rest -= pages;
+                }
+                Ok(())
+            }
         }
     }
 

@@ -95,6 +95,7 @@ pub(crate) struct EngineMetrics {
     err_budget: Counter,
     degraded_deadline: Counter,
     degraded_budget: Counter,
+    degraded_quarantined: Counter,
     slow_queries: Counter,
     rdil_probes: Counter,
     rdil_memo_hits: Counter,
@@ -124,6 +125,8 @@ impl EngineMetrics {
             err_budget: registry.counter("xrank_query_errors_total{kind=\"budget\"}"),
             degraded_deadline: registry.counter("xrank_queries_degraded_total{reason=\"deadline\"}"),
             degraded_budget: registry.counter("xrank_queries_degraded_total{reason=\"io_budget\"}"),
+            degraded_quarantined: registry
+                .counter("xrank_queries_degraded_total{reason=\"quarantined\"}"),
             slow_queries: registry.counter("xrank_slow_queries_total"),
             rdil_probes: registry.counter("xrank_rdil_probes_total"),
             rdil_memo_hits: registry.counter("xrank_rdil_probe_memo_hits_total"),
@@ -185,6 +188,7 @@ impl EngineMetrics {
         match reason {
             xrank_obs::DegradeReason::Deadline => self.degraded_deadline.inc(),
             xrank_obs::DegradeReason::IoBudget => self.degraded_budget.inc(),
+            xrank_obs::DegradeReason::Quarantined => self.degraded_quarantined.inc(),
         }
     }
 
@@ -216,6 +220,21 @@ pub(crate) struct UpdateMetrics {
     pub slow_ops: Counter,
     pub commit_wall_us: Histogram,
     pub compact_wall_us: Histogram,
+    pub wal_appends: Counter,
+    pub wal_append_failures: Counter,
+    pub wal_fsyncs: Counter,
+    pub wal_checkpoints: Counter,
+    pub wal_replayed: Counter,
+    pub wal_bytes: Gauge,
+    pub scrub_pages: Counter,
+    pub scrub_passes: Counter,
+    pub scrub_corruptions: Counter,
+    pub scrub_repairs: Counter,
+    pub scrub_quarantined: Gauge,
+    /// Queries that skipped a quarantined segment under `allow_partial`.
+    /// Same series the engine-level degrade reasons use, resolved here
+    /// because quarantine is a pipeline-level (not per-segment) degrade.
+    pub degraded_quarantined: Counter,
 }
 
 impl UpdateMetrics {
@@ -234,6 +253,19 @@ impl UpdateMetrics {
             slow_ops: registry.counter("xrank_update_slow_ops_total"),
             commit_wall_us: registry.latency_histogram_us("xrank_update_commit_wall_us"),
             compact_wall_us: registry.latency_histogram_us("xrank_update_compact_wall_us"),
+            wal_appends: registry.counter("xrank_wal_appends_total"),
+            wal_append_failures: registry.counter("xrank_wal_append_failures_total"),
+            wal_fsyncs: registry.counter("xrank_wal_fsyncs_total"),
+            wal_checkpoints: registry.counter("xrank_wal_checkpoints_total"),
+            wal_replayed: registry.counter("xrank_wal_replayed_records_total"),
+            wal_bytes: registry.gauge("xrank_wal_bytes"),
+            scrub_pages: registry.counter("xrank_scrub_pages_total"),
+            scrub_passes: registry.counter("xrank_scrub_passes_total"),
+            scrub_corruptions: registry.counter("xrank_scrub_corruptions_total"),
+            scrub_repairs: registry.counter("xrank_scrub_repairs_total"),
+            scrub_quarantined: registry.gauge("xrank_scrub_quarantined_segments"),
+            degraded_quarantined: registry
+                .counter("xrank_queries_degraded_total{reason=\"quarantined\"}"),
         }
     }
 

@@ -47,12 +47,14 @@ use crate::manifest::{self, ManifestData, ManifestSegment};
 use crate::results::{SearchHit, SearchResults};
 use crate::snapshot::{AnyEngine, DocSource, Segment, SegmentView, Snapshot};
 use crate::telemetry::{SlowOpEntry, SlowOpLog, UpdateMetrics};
+use crate::wal::{Wal, WalFault, WalRecord};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use xrank_obs::{
-    EventData, FlightRecorder, Gauge, MetricsRegistry, OpKind, OpOutcome, QueryTrace, Stage, Trace,
+    DegradeReason, EventData, FlightRecorder, Gauge, MetricsRegistry, OpKind, OpOutcome,
+    QueryTrace, Stage, Trace,
 };
 use xrank_query::{CancelToken, QueryError, QueryOptions};
 use xrank_storage::{FileStore, MemStore, StorageError};
@@ -76,6 +78,11 @@ pub enum UpdateError {
     /// A cancellable fold observed its [`CancelToken`] (pipeline
     /// shutdown) and stopped before publishing.
     Cancelled,
+    /// A write-ahead-log append failed (failing or full device). The
+    /// mutation was rejected *atomically* — nothing staged, nothing
+    /// tombstoned, nothing published — and the pipeline keeps serving
+    /// the state it had.
+    WalAppend(StorageError),
 }
 
 impl std::fmt::Display for UpdateError {
@@ -86,6 +93,9 @@ impl std::fmt::Display for UpdateError {
             UpdateError::Xml(e) => write!(f, "update XML error: {e}"),
             UpdateError::InjectedCrash(p) => write!(f, "injected crash at {p:?}"),
             UpdateError::Cancelled => write!(f, "update cancelled"),
+            UpdateError::WalAppend(e) => {
+                write!(f, "wal append failed, mutation rejected: {e}")
+            }
         }
     }
 }
@@ -93,7 +103,7 @@ impl std::fmt::Display for UpdateError {
 impl std::error::Error for UpdateError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            UpdateError::Storage(e) => Some(e),
+            UpdateError::Storage(e) | UpdateError::WalAppend(e) => Some(e),
             UpdateError::Io(e) => Some(e),
             UpdateError::Xml(e) => Some(e),
             _ => None,
@@ -208,6 +218,9 @@ struct WriterState {
     next_seq: u64,
     next_seg: u64,
     crash: Option<CrashPoint>,
+    /// `Some` on durable pipelines with [`crate::WalConfig::enabled`]:
+    /// every accepted mutation is framed here *before* it is applied.
+    wal: Option<Wal>,
 }
 
 impl WriterState {
@@ -246,6 +259,82 @@ pub struct UpdatableXRank {
     /// Per-segment gauge series published on the last scrape (retired
     /// when compaction/GC deletes their segment).
     segment_series: Mutex<HashSet<String>>,
+    /// Segments condemned by the integrity scrubber: their reads fail
+    /// fast (or are skipped under `allow_partial`) until self-repair
+    /// republishes a rebuilt replacement and releases the quarantine.
+    quarantined: Mutex<HashSet<u64>>,
+}
+
+/// Resumable position of the online integrity scrub: the next pipeline
+/// segment id and flat page offset to verify. `Default` starts at the
+/// beginning; the [`crate::Scrubber`] worker threads one through its
+/// throttled [`UpdatableXRank::scrub_chunk`] calls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubCursor {
+    next_seg: u64,
+    next_page: u64,
+}
+
+/// What one [`UpdatableXRank::scrub_chunk`] / [`UpdatableXRank::scrub_full`]
+/// call did.
+#[derive(Debug, Default, Clone)]
+pub struct ScrubReport {
+    /// Physical pages read back off the medium and verified.
+    pub pages_scanned: u64,
+    /// Segments whose verification failed — now quarantined.
+    pub corrupt_segments: Vec<u64>,
+    /// Whether the cursor completed a full pass over every live segment
+    /// and wrapped back to the start.
+    pub wrapped: bool,
+}
+
+/// Metric series name of the per-segment quarantine flag (retired when
+/// repair releases the quarantine).
+fn quarantine_series(seg_id: u64) -> String {
+    format!("xrank_scrub_quarantined{{segment=\"{seg_id}\"}}")
+}
+
+/// Whether `uri` is live in `views` with exactly `src` as its source —
+/// i.e. a logged add whose publish already landed (the crash fell between
+/// the publish and the WAL checkpoint). Replaying such a record would
+/// only tombstone-and-restage an already-visible document, so replay
+/// skips it instead.
+fn published_matches(views: &[SegmentView], uri: &str, src: &DocSource) -> bool {
+    views
+        .iter()
+        .rev()
+        .find(|v| v.contains_live(uri))
+        .is_some_and(|v| v.seg.docs.get(uri) == Some(src))
+}
+
+/// Tombstones the newest live copy of `uri` in `views` (replay-time
+/// re-derivation of a delete/replace). Returns whether anything changed.
+fn tombstone_live(views: &mut [SegmentView], uri: &str) -> bool {
+    if let Some(idx) = views.iter().rposition(|v| v.contains_live(uri)) {
+        views[idx] = views[idx].with_tombstone(uri);
+        true
+    } else {
+        false
+    }
+}
+
+/// Rebuilds a sealed segment's engine store in place from its CRC-checked
+/// docs sidecar (cold build through the same staged-write + atomic-swap
+/// path as a fresh seal) — the boot-time self-repair primitive for a
+/// segment whose open-time checksum scan failed.
+fn rebuild_segment_store(
+    seg_dir: &std::path::Path,
+    docs: &BTreeMap<String, DocSource>,
+    seg_config: &EngineConfig,
+) -> Result<crate::engine::XRankEngine<FileStore>, UpdateError> {
+    let mut builder = EngineBuilder::with_config(seg_config.clone());
+    for (uri, src) in docs {
+        match src {
+            DocSource::Xml(xml) => builder.add_xml(uri, xml)?,
+            DocSource::Html(html) => builder.add_html(uri, html),
+        }
+    }
+    Ok(builder.build_persistent(seg_dir)?)
 }
 
 /// Cap on the over-fetch doublings of the tombstone re-fill loop: with
@@ -257,14 +346,17 @@ impl UpdatableXRank {
     /// An empty, ephemeral (in-memory segments) updatable engine.
     pub fn new(config: EngineConfig) -> Self {
         let recorder = Arc::new(FlightRecorder::new(config.obs.recorder.clone()));
-        Self::assemble(config, None, Snapshot::empty(), 1, 1, recorder)
+        Self::assemble(config, None, Snapshot::empty(), 1, 1, BTreeMap::new(), None, recorder)
     }
 
     /// Opens (or initializes) a durable pipeline rooted at `dir`:
     /// recovers the last published manifest (a valid `CURRENT` is
     /// authoritative), reopens every referenced segment with a full
-    /// checksum scan, garbage-collects stranded pre-crash files, and
-    /// resumes. A fresh directory starts empty.
+    /// checksum scan — rebuilding any segment that scan condemns from its
+    /// CRC-checked docs sidecar — garbage-collects stranded pre-crash
+    /// files, replays the write-ahead log (re-staging every acknowledged
+    /// mutation the last publish did not cover), and resumes. A fresh
+    /// directory starts empty.
     pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Self, UpdateError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -273,22 +365,44 @@ impl UpdatableXRank {
             if recorder.is_enabled() { QueryTrace::enabled() } else { QueryTrace::disabled() };
         let recovery_span = trace.span(Stage::Recovery);
         let published = manifest::load_published(&dir)?;
-        let (next_seq, next_seg) = manifest::next_counters(&dir, &published);
+        let (mut next_seq, next_seg) = manifest::next_counters(&dir, &published);
 
         let mut seg_config = config.clone();
         seg_config.obs.metrics_enabled = false;
         seg_config.obs.recorder.enabled = false;
 
-        let (seq, views) = match &published {
+        let (mut seq, mut views) = match &published {
             None => (0, Vec::new()),
             Some(m) => {
                 let mut views = Vec::with_capacity(m.segments.len());
                 for ms in &m.segments {
                     let seg_dir = dir.join(manifest::segment_dir_name(ms.id));
-                    let mut engine =
-                        crate::engine::XRankEngine::<FileStore>::open(&seg_dir, seg_config.clone())?;
-                    engine.set_recorder(Arc::clone(&recorder));
                     let docs = manifest::read_docs_sidecar(&seg_dir)?;
+                    let mut engine = match crate::engine::XRankEngine::<FileStore>::open(
+                        &seg_dir,
+                        seg_config.clone(),
+                    ) {
+                        Ok(engine) => engine,
+                        Err(damage) => {
+                            // The open-time checksum scan found the
+                            // at-rest corruption the online scrubber
+                            // hunts. Self-repair at boot: rebuild the
+                            // store from the intact sidecar, then serve.
+                            let span = trace.span(Stage::Repair);
+                            let rebuilt =
+                                rebuild_segment_store(&seg_dir, &docs, &seg_config)?;
+                            drop(span);
+                            recorder.record(
+                                OpKind::Repair,
+                                &format!("open-repair seg-{}: {damage}", ms.id),
+                                trace.origin(),
+                                OpOutcome::Ok,
+                                &Trace::default(),
+                            );
+                            rebuilt
+                        }
+                    };
+                    engine.set_recorder(Arc::clone(&recorder));
                     let seg = Arc::new(Segment::new(ms.id, AnyEngine::File(engine), docs));
                     views.push(SegmentView {
                         seg,
@@ -303,9 +417,95 @@ impl UpdatableXRank {
             let _gc = trace.span(Stage::Gc);
             manifest::gc(&dir, seq, &live);
         }
+
+        // Write-ahead-log replay: every intact record is an accepted
+        // mutation; anything the last published manifest does not cover
+        // is re-applied — adds back into the staged set, deletes (and the
+        // tombstone half of replaces) against the published views. Only
+        // the LAST record per URI is applied (earlier ones were
+        // superseded inside the lost batch), and an add whose exact
+        // content is already live published is skipped — both make replay
+        // idempotent no matter where between append and checkpoint the
+        // crash fell.
+        let mut staged: BTreeMap<String, DocSource> = BTreeMap::new();
+        let mut wal = None;
+        let mut replayed = 0u64;
+        if config.wal.enabled {
+            let wal_span = trace.span(Stage::WalAppend);
+            let (mut log, records) = Wal::open(&dir, config.wal.sync)
+                .map_err(|e| UpdateError::WalAppend(StorageError::io("wal open", e)))?;
+            replayed = records.len() as u64;
+            let mut last: BTreeMap<String, WalRecord> = BTreeMap::new();
+            for rec in records {
+                let uri = match &rec {
+                    WalRecord::AddXml { uri, .. }
+                    | WalRecord::AddHtml { uri, .. }
+                    | WalRecord::Delete { uri } => uri.clone(),
+                };
+                last.insert(uri, rec);
+            }
+            let mut dirty = false;
+            for rec in last.into_values() {
+                match rec {
+                    WalRecord::AddXml { uri, text } => {
+                        let src = DocSource::Xml(text);
+                        if !published_matches(&views, &uri, &src) {
+                            dirty |= tombstone_live(&mut views, &uri);
+                            staged.insert(uri, src);
+                        }
+                    }
+                    WalRecord::AddHtml { uri, text } => {
+                        let src = DocSource::Html(text);
+                        if !published_matches(&views, &uri, &src) {
+                            dirty |= tombstone_live(&mut views, &uri);
+                            staged.insert(uri, src);
+                        }
+                    }
+                    WalRecord::Delete { uri } => {
+                        dirty |= tombstone_live(&mut views, &uri);
+                    }
+                }
+            }
+            if dirty {
+                // Replayed deletes/replaces tombstoned documents the
+                // last manifest still lists as live: publish one
+                // recovery manifest so those tombstones are durable
+                // before anything is served.
+                let data = ManifestData {
+                    seq: next_seq,
+                    segments: views
+                        .iter()
+                        .map(|v| {
+                            let mut tombstones: Vec<String> =
+                                v.tombstones.iter().cloned().collect();
+                            tombstones.sort_unstable();
+                            ManifestSegment { id: v.seg.id, tombstones }
+                        })
+                        .collect(),
+                };
+                manifest::write_manifest(&dir, &data)?;
+                manifest::publish_current(&dir, next_seq)?;
+                seq = next_seq;
+                next_seq += 1;
+                manifest::gc(&dir, seq, &live);
+            }
+            // The published layout now covers everything beyond the
+            // still-staged docs: shrink the log (best-effort — a failed
+            // rewrite leaves the larger but still-correct one).
+            let _ = log.checkpoint(&staged);
+            wal = Some(log);
+            drop(wal_span);
+        }
+
         drop(recovery_span);
         if trace.is_enabled() {
             trace.event(Stage::Recovery, EventData::Count { what: "segments", n: live.len() as u64 });
+            if replayed > 0 {
+                trace.event(
+                    Stage::WalAppend,
+                    EventData::Count { what: "wal_replayed", n: replayed },
+                );
+            }
             let origin = trace.origin();
             recorder.record(
                 OpKind::Recovery,
@@ -315,15 +515,29 @@ impl UpdatableXRank {
                 &trace.finish(),
             );
         }
-        Ok(Self::assemble(config, Some(dir), Snapshot { seq, views }, next_seq, next_seg, recorder))
+        let pipeline = Self::assemble(
+            config,
+            Some(dir),
+            Snapshot { seq, views },
+            next_seq,
+            next_seg,
+            staged,
+            wal,
+            recorder,
+        );
+        pipeline.umetrics.wal_replayed.add(replayed);
+        Ok(pipeline)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         config: EngineConfig,
         dir: Option<PathBuf>,
         snapshot: Snapshot,
         next_seq: u64,
         next_seg: u64,
+        staged: BTreeMap<String, DocSource>,
+        wal: Option<Wal>,
         recorder: Arc<FlightRecorder>,
     ) -> Self {
         let mut seg_config = config.clone();
@@ -335,7 +549,7 @@ impl UpdatableXRank {
             MetricsRegistry::disabled()
         });
         let umetrics = UpdateMetrics::new(&metrics);
-        umetrics.publish_shape(&snapshot, 0);
+        umetrics.publish_shape(&snapshot, staged.len());
         let slow_op_log = SlowOpLog::new(&config.obs);
         UpdatableXRank {
             config,
@@ -343,16 +557,18 @@ impl UpdatableXRank {
             dir,
             current: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(WriterState {
-                staged: BTreeMap::new(),
+                staged,
                 next_seq,
                 next_seg,
                 crash: None,
+                wal,
             }),
             metrics,
             umetrics,
             recorder,
             slow_op_log,
             segment_series: Mutex::new(HashSet::new()),
+            quarantined: Mutex::new(HashSet::new()),
         }
     }
 
@@ -368,20 +584,31 @@ impl UpdatableXRank {
     /// Stages an XML document (validated now, searchable after
     /// [`UpdatableXRank::commit`]). Re-adding a live URI replaces it
     /// (immediate tombstone + staged add, matching the previous
-    /// main+delta semantics).
+    /// main+delta semantics). The accepted source is framed into the
+    /// write-ahead log *before* anything is applied, so an acknowledged
+    /// add survives a process kill even before the next commit.
     pub fn add_xml(&self, uri: &str, xml: &str) -> Result<(), UpdateError> {
         xrank_xml::parse(xml)?; // validate before accepting
-        self.delete(uri)?;
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.wal_append(
+            &mut w,
+            &WalRecord::AddXml { uri: uri.to_string(), text: xml.to_string() },
+        )?;
+        self.delete_locked(&mut w, uri)?;
         w.staged.insert(uri.to_string(), DocSource::Xml(xml.to_string()));
         self.umetrics.staged_docs.set(w.staged.len() as i64);
         Ok(())
     }
 
-    /// Stages an HTML page.
+    /// Stages an HTML page (write-ahead-logged like
+    /// [`UpdatableXRank::add_xml`]).
     pub fn add_html(&self, uri: &str, html: &str) -> Result<(), UpdateError> {
-        self.delete(uri)?;
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.wal_append(
+            &mut w,
+            &WalRecord::AddHtml { uri: uri.to_string(), text: html.to_string() },
+        )?;
+        self.delete_locked(&mut w, uri)?;
         w.staged.insert(uri.to_string(), DocSource::Html(html.to_string()));
         self.umetrics.staged_docs.set(w.staged.len() as i64);
         Ok(())
@@ -393,6 +620,18 @@ impl UpdatableXRank {
     /// was removed.
     pub fn delete(&self, uri: &str) -> Result<bool, UpdateError> {
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.wal_append(&mut w, &WalRecord::Delete { uri: uri.to_string() })?;
+        let removed = self.delete_locked(&mut w, uri)?;
+        // Whatever the delete touched is now durable (published manifest
+        // or in-memory staged set): the log no longer needs the record.
+        self.wal_checkpoint(&mut w);
+        Ok(removed)
+    }
+
+    /// The tombstone/unstage half of a delete or replace, under the
+    /// writer lock, *without* touching the write-ahead log — the caller
+    /// has already framed its own record covering this.
+    fn delete_locked(&self, w: &mut WriterState, uri: &str) -> Result<bool, UpdateError> {
         let was_staged = w.staged.remove(uri).is_some();
         if was_staged {
             self.umetrics.staged_docs.set(w.staged.len() as i64);
@@ -405,7 +644,7 @@ impl UpdatableXRank {
         views[idx] = views[idx].with_tombstone(uri);
         let trace =
             if self.recorder.is_enabled() { QueryTrace::enabled() } else { QueryTrace::disabled() };
-        self.publish_locked(&mut w, views, &trace)?;
+        self.publish_locked(w, views, &trace)?;
         if trace.is_enabled() {
             let origin = trace.origin();
             self.recorder.record(
@@ -504,6 +743,11 @@ impl UpdatableXRank {
         let seq = self.publish_locked(w, views, trace)?;
         w.staged.clear();
         self.umetrics.staged_docs.set(0);
+        // The publish durably covers every logged mutation; shrink the
+        // log down to the (now empty) staged set.
+        let wal_span = trace.span(Stage::WalAppend);
+        self.wal_checkpoint(w);
+        drop(wal_span);
         Ok(CommitStats {
             segment_id: Some(seg_id),
             docs_added,
@@ -730,6 +974,9 @@ impl UpdatableXRank {
             w.staged.clear();
         }
         self.umetrics.staged_docs.set(w.staged.len() as i64);
+        let wal_span = trace.span(Stage::WalAppend);
+        self.wal_checkpoint(w);
+        drop(wal_span);
         Ok(CompactStats {
             segments_folded: fold_idx.len(),
             docs_live,
@@ -853,6 +1100,260 @@ impl UpdatableXRank {
         self.writer.lock().unwrap_or_else(|e| e.into_inner()).crash = Some(at);
     }
 
+    /// Appends one record to the write-ahead log (no-op for pipelines
+    /// without one). On failure the caller must reject the mutation
+    /// without applying anything — the contract behind
+    /// [`UpdateError::WalAppend`]: an error here leaves at most a torn
+    /// tail on disk, which replay drops.
+    fn wal_append(&self, w: &mut WriterState, rec: &WalRecord) -> Result<(), UpdateError> {
+        let Some(wal) = w.wal.as_mut() else { return Ok(()) };
+        match wal.append(rec) {
+            Ok(synced) => {
+                self.umetrics.wal_appends.inc();
+                if synced {
+                    self.umetrics.wal_fsyncs.inc();
+                }
+                self.umetrics.wal_bytes.set(wal.len() as i64);
+                Ok(())
+            }
+            Err(e) => {
+                self.umetrics.wal_append_failures.inc();
+                Err(UpdateError::WalAppend(StorageError::io("wal append", e)))
+            }
+        }
+    }
+
+    /// Rewrites the log down to the still-staged set once the state it
+    /// protected is durable in the manifest layout. Best-effort: a failed
+    /// checkpoint leaves a larger but still-correct log.
+    fn wal_checkpoint(&self, w: &mut WriterState) {
+        let WriterState { ref staged, ref mut wal, .. } = *w;
+        let Some(wal) = wal.as_mut() else { return };
+        if wal.checkpoint(staged).is_ok() {
+            self.umetrics.wal_checkpoints.inc();
+            self.umetrics.wal_bytes.set(wal.len() as i64);
+        }
+    }
+
+    /// Arms (or clears with `None`) a deterministic write-ahead-log
+    /// append fault: the targeted appends fail as if the device were full
+    /// or broken, proving rejected mutations leave no trace (test hook,
+    /// the WAL analogue of [`UpdatableXRank::inject_crash`]).
+    pub fn wal_inject_fault(&self, fault: Option<WalFault>) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(wal) = w.wal.as_mut() {
+            wal.set_fault(fault);
+        }
+    }
+
+    /// Flushes any group-commit-buffered WAL appends to the device now
+    /// (bounds the [`crate::SyncPolicy::GroupCommit`] loss window to this
+    /// instant).
+    pub fn wal_sync(&self) -> Result<(), UpdateError> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(wal) = w.wal.as_mut() {
+            wal.sync()
+                .map_err(|e| UpdateError::WalAppend(StorageError::io("wal sync", e)))?;
+            self.umetrics.wal_fsyncs.inc();
+        }
+        Ok(())
+    }
+
+    /// Verifies up to `page_budget` physical pages of the live sealed
+    /// segments, resuming from `cursor` (segments in id order, pages in
+    /// flat order). The first damaged page *quarantines* its whole
+    /// segment — reads fail fast with
+    /// [`xrank_storage::StorageError::Quarantined`] (or degrade under
+    /// `allow_partial`) until [`UpdatableXRank::repair_segment`]
+    /// republishes a rebuilt replacement. Already-quarantined segments
+    /// are skipped: repair, not re-scrubbing, clears them.
+    pub fn scrub_chunk(&self, page_budget: u64, cursor: &mut ScrubCursor) -> ScrubReport {
+        let pinned = self.pin();
+        let mut report = ScrubReport::default();
+        let trace =
+            if self.recorder.is_enabled() { QueryTrace::enabled() } else { QueryTrace::disabled() };
+        let origin = trace.origin();
+        let span = trace.span(Stage::Scrub);
+        let mut ordered: Vec<&SegmentView> = pinned.views.iter().collect();
+        ordered.sort_by_key(|v| v.seg.id);
+        let mut budget = page_budget;
+        let mut exhausted = false;
+        let resume_seg = cursor.next_seg;
+        let resume_page = cursor.next_page;
+        for v in ordered.into_iter().filter(|v| v.seg.id >= resume_seg) {
+            if self.is_quarantined(v.seg.id) {
+                continue;
+            }
+            let total = v.seg.engine.page_total();
+            let start = if v.seg.id == resume_seg { resume_page.min(total) } else { 0 };
+            for flat in start..total {
+                if budget == 0 {
+                    cursor.next_seg = v.seg.id;
+                    cursor.next_page = flat;
+                    exhausted = true;
+                    break;
+                }
+                budget -= 1;
+                report.pages_scanned += 1;
+                if v.seg.engine.verify_page(flat).is_err() {
+                    self.quarantine(v.seg.id);
+                    report.corrupt_segments.push(v.seg.id);
+                    trace.event(
+                        Stage::Scrub,
+                        EventData::Count { what: "quarantined_segment", n: v.seg.id },
+                    );
+                    break; // the segment is condemned; scan the next one
+                }
+            }
+            if exhausted {
+                break;
+            }
+        }
+        if !exhausted {
+            *cursor = ScrubCursor::default();
+            report.wrapped = true;
+            self.umetrics.scrub_passes.inc();
+        }
+        drop(span);
+        self.umetrics.scrub_pages.add(report.pages_scanned);
+        if !report.corrupt_segments.is_empty() {
+            self.umetrics.scrub_corruptions.add(report.corrupt_segments.len() as u64);
+            self.recorder.record(
+                OpKind::Scrub,
+                &format!("scrub quarantined {:?}", report.corrupt_segments),
+                origin,
+                OpOutcome::Error,
+                &trace.finish(),
+            );
+        } else if report.wrapped && report.pages_scanned > 0 {
+            self.recorder.record(
+                OpKind::Scrub,
+                &format!("scrub pass clean ({} pages)", report.pages_scanned),
+                origin,
+                OpOutcome::Ok,
+                &trace.finish(),
+            );
+        }
+        report
+    }
+
+    /// One unthrottled full verification pass over every live segment
+    /// (the PR 3 open-time scan, online): scans everything, quarantines
+    /// what fails.
+    pub fn scrub_full(&self) -> ScrubReport {
+        let mut cursor = ScrubCursor::default();
+        self.scrub_chunk(u64::MAX, &mut cursor)
+    }
+
+    /// Quarantines a segment by pipeline id: its reads fail fast until
+    /// repaired. Normally driven by the scrubber; public as a test hook
+    /// and operator override. Returns whether the segment was newly
+    /// quarantined.
+    pub fn quarantine(&self, seg_id: u64) -> bool {
+        let mut q = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh = q.insert(seg_id);
+        if fresh {
+            self.umetrics.scrub_quarantined.set(q.len() as i64);
+            self.metrics.gauge(&quarantine_series(seg_id)).set(1);
+        }
+        fresh
+    }
+
+    /// Releases a quarantine and retires its per-segment gauge series —
+    /// the flag's identity dies with the quarantine, so scrapes never
+    /// keep reporting a repaired segment.
+    fn release_quarantine(&self, seg_id: u64) {
+        let mut q = self.quarantined.lock().unwrap_or_else(|e| e.into_inner());
+        if q.remove(&seg_id) {
+            self.umetrics.scrub_quarantined.set(q.len() as i64);
+            self.metrics.retire(&quarantine_series(seg_id));
+        }
+    }
+
+    /// The currently quarantined segment ids, ascending.
+    pub fn quarantined_segments(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn is_quarantined(&self, seg_id: u64) -> bool {
+        self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).contains(&seg_id)
+    }
+
+    /// Self-repair: rebuilds a quarantined segment's index from its
+    /// in-memory document set (loaded from the CRC-checked docs sidecar)
+    /// into a brand-new segment id, publishes the replacement with one
+    /// atomic manifest swap, and releases the quarantine. Rebuilding
+    /// *all* of the segment's documents — tombstoned ones included —
+    /// preserves document order, Dewey IDs, and ElemRank inputs exactly,
+    /// so a repaired commit-built segment serves bit-identical rankings;
+    /// the replacement view keeps carrying the old tombstones. Returns
+    /// `false` when the segment is no longer in the published snapshot
+    /// (compacted away since quarantine — nothing left to repair).
+    pub fn repair_segment(&self, seg_id: u64) -> Result<bool, UpdateError> {
+        let start = Instant::now();
+        let trace = QueryTrace::enabled();
+        let origin = trace.origin();
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.current_arc();
+        let Some(pos) = cur.views.iter().position(|v| v.seg.id == seg_id) else {
+            self.release_quarantine(seg_id);
+            return Ok(false);
+        };
+        let docs = cur.views[pos].seg.docs.clone();
+        let new_id = w.next_seg;
+        let span = trace.span(Stage::Repair);
+        let engine = match self.build_segment(new_id, &docs, None) {
+            Ok(engine) => engine,
+            Err(e) => {
+                drop(span);
+                self.recorder.record(
+                    OpKind::Repair,
+                    &format!("repair seg-{seg_id} failed: {e}"),
+                    origin,
+                    OpOutcome::Error,
+                    &trace.finish(),
+                );
+                return Err(e);
+            }
+        };
+        drop(span);
+        w.next_seg += 1;
+        let mut views = cur.views.clone();
+        views[pos] = SegmentView {
+            seg: Arc::new(Segment::new(new_id, engine, docs)),
+            tombstones: Arc::clone(&cur.views[pos].tombstones),
+        };
+        match self.publish_locked(&mut w, views, &trace) {
+            Ok(seq) => {
+                self.release_quarantine(seg_id);
+                self.umetrics.scrub_repairs.inc();
+                let label = format!("repair seg-{seg_id} rebuilt as seg-{new_id} seq={seq}");
+                let finished = trace.finish();
+                self.recorder.record(OpKind::Repair, &label, origin, OpOutcome::Ok, &finished);
+                self.note_slow_op("repair", label, start.elapsed(), seq, &finished);
+                Ok(true)
+            }
+            Err(e) => {
+                self.recorder.record(
+                    OpKind::Repair,
+                    &format!("repair seg-{seg_id} failed: {e}"),
+                    origin,
+                    OpOutcome::Error,
+                    &trace.finish(),
+                );
+                Err(e)
+            }
+        }
+    }
+
     /// Searches live documents across every segment of a pinned snapshot
     /// (tombstones filtered), merging by score. Takes `&self` and runs
     /// concurrently with commits and compactions. A storage fault in any
@@ -889,6 +1390,13 @@ impl UpdatableXRank {
             opts.timeout = None;
         }
 
+        // Read the quarantine set once per query: a segment condemned by
+        // the scrubber fails the query fast (typed, never garbage) — or,
+        // under `allow_partial`, is skipped with the result marked
+        // degraded while every healthy segment keeps serving.
+        let quarantined: HashSet<u64> =
+            self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).clone();
+
         let mut eval = xrank_query::EvalStats::default();
         let mut io = xrank_storage::IoStats::default();
         let mut degraded = None;
@@ -899,6 +1407,18 @@ impl UpdatableXRank {
             let pass_opts = QueryOptions { top_m: fetch, ..opts.clone() };
             let mut any_saturated = false;
             for (vi, view) in pinned.views.iter().enumerate() {
+                if quarantined.contains(&view.seg.id) {
+                    if pass_opts.allow_partial {
+                        if degraded.is_none() {
+                            self.umetrics.degraded_quarantined.inc();
+                        }
+                        degraded = degraded.or(Some(DegradeReason::Quarantined));
+                        continue;
+                    }
+                    return Err(QueryError::Storage(StorageError::Quarantined {
+                        segment: view.seg.id,
+                    }));
+                }
                 let mut r = view.seg.engine.query(query, Strategy::Hdil, &pass_opts)?;
                 let raw = r.hits.len();
                 eval.entries_scanned += r.eval.entries_scanned;

@@ -1,7 +1,9 @@
 //! Crash-injection acceptance for the durable update pipeline: a process
 //! kill at ANY step of a commit or compaction must reopen to the last
 //! *published* snapshot — the one a concurrent reader could have pinned —
-//! never to a half-written state.
+//! never to a half-written state. Accepted-but-unpublished mutations are
+//! not lost either: the write-ahead log replays them back into the
+//! staged set on reopen (sub-commit durability).
 //!
 //! The injection points model the real failure windows:
 //!
@@ -98,18 +100,26 @@ fn crash_at_every_point_during_commit_recovers_published_state() {
                 assert_eq!(e.doc_count(), 2, "{point:?}");
                 assert!(found.contains("a") && found.contains("b"), "{point:?}: {found:?}");
             }
-            // Everything earlier: recovery lands on the previous publish,
-            // even when a newer sealed segment or manifest is on disk.
+            // Everything earlier: the *published* state lands on the
+            // previous publish, even when a newer sealed segment or
+            // manifest is on disk — but the accepted add of "b" survives
+            // via WAL replay into the staged set (counted, not yet
+            // searchable).
             _ => {
-                assert_eq!(e.doc_count(), 1, "{point:?}");
+                assert_eq!(e.doc_count(), 2, "{point:?}: published a + replayed staged b");
+                assert_eq!(e.staged_count(), 1, "{point:?}");
                 assert!(found.contains("a") && !found.contains("b"), "{point:?}: {found:?}");
             }
         }
         // The reopened pipeline accepts new writes: counters were advanced
-        // past every stranded file, so nothing gets shadowed.
+        // past every stranded file, so nothing gets shadowed. The next
+        // commit also publishes the replayed "b" — the acked add survived
+        // the crash end-to-end.
         e.add_xml("c", &doc("gamma")).unwrap();
         e.commit().unwrap();
-        assert!(uris(&e, "shared corpus").contains("c"), "{point:?}: post-recovery commit");
+        let after = uris(&e, "shared corpus");
+        assert!(after.contains("c"), "{point:?}: post-recovery commit: {after:?}");
+        assert!(after.contains("b"), "{point:?}: acked add durable: {after:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
@@ -183,8 +193,9 @@ fn recovered_worked_example_serves_bit_identical_rankings() {
         seg_dirs_on_disk(&dir) >= recovered.segment_count(),
         "every live segment is on disk (plus at most the recovery fallback's)"
     );
-    assert_eq!(recovered.doc_count(), 2);
-    assert!(uris(&recovered, "doomed").is_empty(), "uncommitted doc gone after crash");
+    assert_eq!(recovered.doc_count(), 3, "2 published + WAL-replayed staged 'doomed'");
+    assert_eq!(recovered.staged_count(), 1);
+    assert!(uris(&recovered, "doomed").is_empty(), "replayed doc staged, not searchable");
 
     // Segments hold documents in URI order, so the from-scratch reference
     // must ingest in that order for dewey assignment to line up.

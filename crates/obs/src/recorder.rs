@@ -48,6 +48,10 @@ pub enum OpKind {
     Recovery,
     /// An admission-control shed decision (instant, no duration).
     Shed,
+    /// A background integrity-scrub pass over sealed segment pages.
+    Scrub,
+    /// Rebuilding a quarantined segment from its document sidecar.
+    Repair,
 }
 
 impl OpKind {
@@ -61,6 +65,8 @@ impl OpKind {
             OpKind::Gc => "gc",
             OpKind::Recovery => "recovery",
             OpKind::Shed => "shed",
+            OpKind::Scrub => "scrub",
+            OpKind::Repair => "repair",
         }
     }
 }

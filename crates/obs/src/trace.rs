@@ -93,11 +93,20 @@ pub enum Stage {
     /// Buffer-pool I/O accounting attached to a query (read counts,
     /// breaker/retry activity observed while it ran).
     PoolIo,
+    /// Appending (and possibly fsyncing) a record to the write-ahead log
+    /// before a mutation is acknowledged.
+    WalAppend,
+    /// A background integrity-scrub pass re-reading sealed segment pages
+    /// against their checksums.
+    Scrub,
+    /// Rebuilding a quarantined segment from its document sidecar and
+    /// republishing it.
+    Repair,
 }
 
 impl Stage {
     /// Number of stages (sizes the aggregation table).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     const ALL: [Stage; Stage::COUNT] = [
         Stage::Tokenize,
@@ -124,6 +133,9 @@ impl Stage {
         Stage::Gc,
         Stage::Recovery,
         Stage::PoolIo,
+        Stage::WalAppend,
+        Stage::Scrub,
+        Stage::Repair,
     ];
 
     /// Stable snake_case name (used in EXPLAIN output and tests).
@@ -153,6 +165,9 @@ impl Stage {
             Stage::Gc => "gc",
             Stage::Recovery => "recovery",
             Stage::PoolIo => "pool_io",
+            Stage::WalAppend => "wal_append",
+            Stage::Scrub => "scrub",
+            Stage::Repair => "repair",
         }
     }
 }
@@ -194,6 +209,9 @@ pub enum DegradeReason {
     /// The query's logical-read budget (`QueryOptions::io_budget`) was
     /// exhausted with `allow_partial` set.
     IoBudget,
+    /// One or more segments were quarantined by the integrity scrubber,
+    /// so the answer covers only the healthy segments.
+    Quarantined,
 }
 
 impl DegradeReason {
@@ -202,6 +220,7 @@ impl DegradeReason {
         match self {
             DegradeReason::Deadline => "deadline",
             DegradeReason::IoBudget => "io_budget",
+            DegradeReason::Quarantined => "quarantined",
         }
     }
 }

@@ -79,6 +79,15 @@ pub enum StorageError {
         /// The quarantined segment.
         segment: SegmentId,
     },
+    /// The integrity scrubber found corruption in this index segment and
+    /// quarantined it: reads fail fast (like an open breaker) until
+    /// self-repair rebuilds the segment and releases the quarantine. The
+    /// id is the update pipeline's segment id (`seg-<id>/`), not a store
+    /// file index.
+    Quarantined {
+        /// The quarantined pipeline segment.
+        segment: u64,
+    },
 }
 
 impl StorageError {
@@ -150,6 +159,10 @@ impl fmt::Display for StorageError {
                 f,
                 "circuit breaker open for segment {}: failing fast until cooldown",
                 segment.0
+            ),
+            StorageError::Quarantined { segment } => write!(
+                f,
+                "segment {segment} quarantined by the integrity scrubber: failing fast until repaired"
             ),
         }
     }
@@ -244,6 +257,7 @@ mod tests {
             StorageError::PoolPoisoned,
             StorageError::NoSpace { op: "append" },
             StorageError::CircuitOpen { segment: SegmentId(0) },
+            StorageError::Quarantined { segment: 3 },
         ] {
             assert!(!permanent.is_transient(), "{permanent} misclassified");
         }

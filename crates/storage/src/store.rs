@@ -255,12 +255,16 @@ impl FileStore {
         self.format
     }
 
-    /// Flushes every segment file's data and metadata to the device.
+    /// Flushes every segment file's data and metadata to the device, then
+    /// fsyncs the store directory itself — file fsync alone does not make
+    /// the *creation* of `seg-N.pages`/`FORMAT` entries durable.
     pub fn sync(&self) -> StorageResult<()> {
         for seg in &self.files {
             seg.file.sync_all().map_err(|e| StorageError::io("fsync segment file", e))?;
         }
-        Ok(())
+        std::fs::File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StorageError::io("fsync store dir", e))
     }
 
     /// Reads back every page of every segment, verifying trailers and

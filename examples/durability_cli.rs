@@ -1,0 +1,51 @@
+//! Driver for `scripts/durability_smoke.sh`: exercises the write-ahead
+//! log and boot-time self-repair across real process boundaries — the
+//! in-test crash injection can't cover an actual process death.
+//!
+//! - `build <dir>` — publish one document, then acknowledge a second
+//!   add and exit WITHOUT committing. That exit is the "crash": the
+//!   publish pipeline never saw the add, only the WAL carries it.
+//! - `verify <dir>` — reopen the pipeline: recovery must replay the
+//!   acked add from the log; commit and assert both documents are
+//!   searchable.
+//!
+//! ```sh
+//! cargo run --example durability_cli -- build  /tmp/pipe
+//! cargo run --example durability_cli -- verify /tmp/pipe
+//! ```
+
+use xrank::{EngineConfig, UpdatableXRank};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: durability_cli <build|verify> <dir>";
+    let mode = args.next().expect(usage);
+    let dir = args.next().expect(usage);
+    let e = UpdatableXRank::open(&dir, EngineConfig::default()).expect("writable pipeline dir");
+    match mode.as_str() {
+        "build" => {
+            e.add_xml("pub/a", "<doc><t>alpha published text</t></doc>").unwrap();
+            e.commit().expect("publish the first document");
+            e.add_xml("pub/b", "<doc><t>beta acknowledged text</t></doc>").unwrap();
+            // Exit here, without committing: the acknowledged add
+            // survives this process only through the write-ahead log.
+            assert_eq!(e.staged_count(), 1, "second add must be staged, not published");
+            println!("built: 1 published, 1 acked-but-unpublished");
+        }
+        "verify" => {
+            assert_eq!(e.doc_count(), 2, "WAL replay must re-stage the acked add");
+            e.commit().expect("publish the replayed document");
+            for (uri, word) in [("pub/a", "alpha"), ("pub/b", "beta")] {
+                let found = e
+                    .search(word, 10)
+                    .expect("search after recovery")
+                    .hits
+                    .iter()
+                    .any(|h| h.doc_uri == uri);
+                assert!(found, "{uri} not found for {word:?}");
+            }
+            println!("verified: both documents searchable after recovery");
+        }
+        other => panic!("unknown mode {other:?} — {usage}"),
+    }
+}

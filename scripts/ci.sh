@@ -28,6 +28,9 @@ scripts/overload_smoke.sh
 echo "== update smoke (crash recovery + read latency through commits) =="
 scripts/update_smoke.sh
 
+echo "== durability smoke (WAL replay + scrub/quarantine/self-repair) =="
+scripts/durability_smoke.sh
+
 echo "== trace smoke (flight recorder -> Perfetto trace dump) =="
 scripts/trace_smoke.sh
 

@@ -10,6 +10,7 @@
 //! xrank trace-dump  <dir> <query words> [--strategy dil|rdil|hdil]
 //!                                  [--repeat N] [--out FILE]
 //! xrank trace-check <file> [--expect-cat CAT]... [--expect-track NAME]...
+//! xrank scrub  <pipeline-dir> [--repair]         verify page checksums
 //! ```
 //!
 //! `--explain` runs the query traced and prints the per-stage timeline
@@ -29,6 +30,12 @@
 //! `index`/`demo` write the engine under `<dir>` (pages in `<dir>/store/`,
 //! metadata in `<dir>/xrank-meta.bin`); `search`/`stats` reopen it without
 //! re-indexing.
+//!
+//! `scrub` opens an *updatable pipeline* directory (the `CURRENT` +
+//! `MANIFEST-*` + `seg-*/` layout), re-reads every physical page off the
+//! medium verifying its checksum trailer, and reports corrupt segments;
+//! with `--repair` each one is rebuilt from its CRC-checked document
+//! sidecar and republished atomically.
 
 use std::process::ExitCode;
 use xrank::query::QueryOptions;
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("trace-dump") => cmd_trace_dump(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
+        Some("scrub") => cmd_scrub(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  xrank index  <dir> <file.xml|file.html>...\n  \
@@ -53,7 +61,8 @@ fn main() -> ExitCode {
                  xrank stats  <dir>\n  \
                  xrank trace-dump  <dir> <query words> [--strategy dil|rdil|hdil] \
                  [--repeat N] [--out FILE]\n  \
-                 xrank trace-check <file> [--expect-cat CAT]... [--expect-track NAME]..."
+                 xrank trace-check <file> [--expect-cat CAT]... [--expect-track NAME]...\n  \
+                 xrank scrub  <pipeline-dir> [--repair]"
             );
             return ExitCode::from(2);
         }
@@ -226,6 +235,71 @@ fn cmd_search(args: &[String]) -> CliResult {
     }
     if metrics {
         print!("{}", engine.render_metrics());
+    }
+    Ok(())
+}
+
+fn cmd_scrub(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("scrub: missing <pipeline-dir>")?;
+    let mut repair = false;
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            other => return Err(format!("scrub: unknown argument {other:?}")),
+        }
+    }
+    // Opening a directory without a manifest would CREATE a fresh
+    // pipeline there; an integrity check must never initialize anything.
+    let has_manifest = std::path::Path::new(dir).join("CURRENT").exists()
+        || std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .any(|e| e.file_name().to_string_lossy().starts_with("MANIFEST-"))
+            })
+            .unwrap_or(false);
+    if !has_manifest {
+        return Err(format!("{dir} is not an updatable pipeline (no CURRENT/MANIFEST)"));
+    }
+    let engine = xrank::UpdatableXRank::open(dir, EngineConfig::default())
+        .map_err(|e| format!("opening {dir}: {e}"))?;
+    // Open itself checksum-scans every segment and rebuilds condemned
+    // ones from their sidecars, so rot present before this run may
+    // already be healed; report those so a clean scrub isn't mistaken
+    // for an uneventful history.
+    for rec in engine.recorder().records() {
+        if matches!(rec.kind, xrank::OpKind::Repair) {
+            println!("healed at open: {}", rec.label);
+        }
+    }
+    let report = engine.scrub_full();
+    println!(
+        "scanned {} pages across {} segments ({} docs)",
+        report.pages_scanned,
+        engine.segment_count(),
+        engine.doc_count()
+    );
+    if report.corrupt_segments.is_empty() {
+        println!("clean: every page checksum verified");
+        return Ok(());
+    }
+    for seg in &report.corrupt_segments {
+        println!("CORRUPT: segment {seg} quarantined");
+    }
+    if !repair {
+        return Err(format!(
+            "{} corrupt segment(s); rerun with --repair to rebuild from document sidecars",
+            report.corrupt_segments.len()
+        ));
+    }
+    for seg in report.corrupt_segments {
+        let rebuilt = engine
+            .repair_segment(seg)
+            .map_err(|e| format!("repairing segment {seg}: {e}"))?;
+        if rebuilt {
+            println!("repaired: segment {seg} rebuilt and republished");
+        } else {
+            println!("released: segment {seg} no longer live, quarantine dropped");
+        }
     }
     Ok(())
 }

@@ -44,9 +44,10 @@ pub use xrank_core::{
     render_chrome_trace, validate_chrome_trace, AdmissionPolicy, AnswerNodes, CommitStats,
     CompactStats, CompactionPolicy, Compactor, CrashPoint, DegradeReason, EngineBuilder,
     EngineConfig, Explain, FlightRecord, FlightRecorder, ObsConfig, OpKind, OpOutcome,
-    PinnedSnapshot, QueryExecutor, QueryRequest, RecorderConfig, SearchHit, SearchResults,
-    SlowOpEntry, SlowQueryEntry, Snapshot, Strategy, TraceCheck, TrackSummary, UpdatableXRank,
-    UpdateError, XRankEngine,
+    PinnedSnapshot, QueryExecutor, QueryRequest, RecorderConfig, ScrubCursor, ScrubPolicy,
+    ScrubReport, Scrubber, SearchHit, SearchResults, SlowOpEntry, SlowQueryEntry, Snapshot,
+    Strategy, SyncPolicy, TraceCheck, TrackSummary, UpdatableXRank, UpdateError, WalConfig,
+    WalFault, XRankEngine,
 };
 
 /// Dewey identifiers and codecs (`xrank-dewey`).
